@@ -1,0 +1,98 @@
+//===- bench/Harness.cpp ---------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace omni;
+using namespace omni::bench;
+
+vm::Module omni::bench::compileMobile(const workloads::Workload &W,
+                                      unsigned NumRegs) {
+  driver::CompileOptions Opts;
+  Opts.CodeGen.NumIntRegs = NumRegs;
+  Opts.CodeGen.NumFpRegs = NumRegs;
+  vm::Module Exe;
+  std::string Error;
+  if (!driver::compileAndLink(W.Source, Opts, Exe, Error)) {
+    std::fprintf(stderr, "fatal: compiling %s failed: %s\n", W.Name,
+                 Error.c_str());
+    std::exit(1);
+  }
+  return Exe;
+}
+
+runtime::TargetRunResult
+omni::bench::measureMobile(target::TargetKind Kind, const vm::Module &Exe,
+                           const translate::TranslateOptions &O,
+                           const workloads::Workload &W) {
+  runtime::TargetRunResult R = runtime::runOnTarget(Kind, Exe, O);
+  if (R.Run.Trap.Kind != vm::TrapKind::Halt ||
+      R.Run.Output != W.ExpectedOutput) {
+    std::fprintf(stderr,
+                 "fatal: %s on %s diverged: trap=%s output=[%s]\n", W.Name,
+                 target::getTargetName(Kind),
+                 vm::printTrap(R.Run.Trap).c_str(), R.Run.Output.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+runtime::TargetRunResult
+omni::bench::measureNative(target::TargetKind Kind,
+                           const workloads::Workload &W,
+                           native::Profile P) {
+  runtime::TargetRunResult R = native::runNativeBaseline(Kind, W.Source, P);
+  if (R.Run.Trap.Kind != vm::TrapKind::Halt ||
+      R.Run.Output != W.ExpectedOutput) {
+    std::fprintf(stderr,
+                 "fatal: native %s on %s diverged: trap=%s output=[%s]\n",
+                 W.Name, target::getTargetName(Kind),
+                 vm::printTrap(R.Run.Trap).c_str(), R.Run.Output.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+std::string omni::bench::fmtRatio(double V) {
+  if (V < 0)
+    return "-";
+  return formatStr("%.2f", V);
+}
+
+void omni::bench::printTableHeader(const std::string &Title,
+                                   const std::vector<std::string> &Columns) {
+  std::printf("\n%s\n", Title.c_str());
+  for (size_t I = 0; I < Title.size(); ++I)
+    std::printf("=");
+  std::printf("\n%-22s", "");
+  for (const std::string &C : Columns)
+    std::printf("%10s", C.c_str());
+  std::printf("\n");
+}
+
+void omni::bench::printRow(const std::string &Label,
+                           const std::vector<double> &Values) {
+  std::printf("%-22s", Label.c_str());
+  for (double V : Values)
+    std::printf("%10s", fmtRatio(V).c_str());
+  std::printf("\n");
+}
+
+void omni::bench::printTextRow(const std::string &Label,
+                               const std::vector<std::string> &Cells) {
+  std::printf("%-22s", Label.c_str());
+  for (const std::string &C : Cells)
+    std::printf("%10s", C.c_str());
+  std::printf("\n");
+}
+
+void omni::bench::printComparison(const std::string &Label,
+                                  const std::vector<double> &Measured,
+                                  const std::vector<double> &Paper) {
+  printRow(Label, Measured);
+  printRow("  (paper)", Paper);
+}

@@ -1,0 +1,63 @@
+//===- bench/Harness.h - shared benchmark harness ----------------*- C++ -*-===//
+///
+/// \file
+/// Common measurement and table-printing machinery for the per-table
+/// benchmark binaries. Every binary reproduces one table or figure of the
+/// paper's evaluation: it runs the four workloads on the simulated
+/// machines under the relevant configurations and prints measured numbers
+/// next to the paper's, so shape fidelity can be judged at a glance.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_BENCH_HARNESS_H
+#define OMNI_BENCH_HARNESS_H
+
+#include "driver/Compiler.h"
+#include "native/Baseline.h"
+#include "runtime/Run.h"
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace bench {
+
+/// Compiles workload \p W with the standard mobile pipeline; aborts the
+/// process with a message on failure (benchmarks have no one to report
+/// to).
+vm::Module compileMobile(const workloads::Workload &W,
+                         unsigned NumRegs = 16);
+
+/// Cycles of \p Exe translated with \p Opts on \p Kind. Verifies the
+/// output against the workload's pinned checksum.
+runtime::TargetRunResult measureMobile(target::TargetKind Kind,
+                                       const vm::Module &Exe,
+                                       const translate::TranslateOptions &O,
+                                       const workloads::Workload &W);
+
+/// Cycles of the native baseline for \p W.
+runtime::TargetRunResult measureNative(target::TargetKind Kind,
+                                       const workloads::Workload &W,
+                                       native::Profile P);
+
+/// Prints a table title and column header (benchmark + 4 targets).
+void printTableHeader(const std::string &Title,
+                      const std::vector<std::string> &Columns);
+
+/// Prints one row: label + formatted ratios.
+void printRow(const std::string &Label, const std::vector<double> &Values);
+void printTextRow(const std::string &Label,
+                  const std::vector<std::string> &Cells);
+
+/// Prints a measured-vs-paper pair of rows.
+void printComparison(const std::string &Label,
+                     const std::vector<double> &Measured,
+                     const std::vector<double> &Paper);
+
+/// "x.yz" ratio formatting (negative = unavailable, printed as "-").
+std::string fmtRatio(double V);
+
+} // namespace bench
+} // namespace omni
+
+#endif // OMNI_BENCH_HARNESS_H

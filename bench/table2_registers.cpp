@@ -1,0 +1,49 @@
+//===- bench/table2_registers.cpp - Table 2 reproduction --------------------===//
+///
+/// Table 2 of the paper: average execution time of mobile code relative to
+/// native SPARC cc for various OmniVM register file sizes. Shows that 16
+/// virtual registers suffice and fewer registers cost performance.
+
+#include "bench/Harness.h"
+#include "bench/PaperData.h"
+
+#include <cstdio>
+
+using namespace omni;
+using namespace omni::bench;
+
+int main() {
+  printTableHeader("Table 2: average execution time vs native Sparc cc, "
+                   "by OmniVM register file size",
+                   {"8", "10", "12", "14", "16"});
+
+  // Native cc reference per workload (fixed, 16 registers).
+  double CcCycles[4];
+  for (unsigned W = 0; W < 4; ++W)
+    CcCycles[W] = double(measureNative(target::TargetKind::Sparc,
+                                       workloads::getWorkload(W),
+                                       native::Profile::Cc)
+                             .Stats.Cycles);
+
+  std::vector<double> Avgs;
+  for (unsigned S = 0; S < 5; ++S) {
+    unsigned Regs = PaperT2Sizes[S];
+    double Avg = 0;
+    for (unsigned W = 0; W < 4; ++W) {
+      const workloads::Workload &Wl = workloads::getWorkload(W);
+      vm::Module Exe = compileMobile(Wl, Regs);
+      auto Mobile = measureMobile(target::TargetKind::Sparc, Exe,
+                                  translate::TranslateOptions::mobile(true),
+                                  Wl);
+      Avg += double(Mobile.Stats.Cycles) / CcCycles[W] / 4.0;
+    }
+    Avgs.push_back(Avg);
+  }
+  printComparison("average overhead", Avgs,
+                  {PaperT2[0], PaperT2[1], PaperT2[2], PaperT2[3],
+                   PaperT2[4]});
+  std::printf("\nShape check: overhead decreases monotonically(ish) with "
+              "register count\nand flattens by 14-16 registers (the paper's "
+              "argument for a 16-register VM).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- bench/translation_speed.cpp - load-time cost microbenchmarks --------===//
+///
+/// google-benchmark microbenchmarks of the load-time pipeline stages the
+/// paper's design optimizes for: verification, translation (per target,
+/// with/without SFI and optimizations), and OWX deserialization. "In many
+/// applications of mobile code, translation speed is an important factor"
+/// (§3, design goal 2).
+
+#include "bench/Harness.h"
+#include "vm/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace omni;
+using namespace omni::bench;
+
+namespace {
+
+const vm::Module &liModule() {
+  static vm::Module Exe = compileMobile(workloads::getWorkload(0));
+  return Exe;
+}
+
+void BM_VerifyExecutable(benchmark::State &State) {
+  const vm::Module &Exe = liModule();
+  for (auto _ : State) {
+    std::vector<std::string> Errors;
+    benchmark::DoNotOptimize(vm::verifyExecutable(Exe, Errors));
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Exe.Code.size()));
+}
+BENCHMARK(BM_VerifyExecutable);
+
+void BM_Translate(benchmark::State &State) {
+  const vm::Module &Exe = liModule();
+  auto Kind = static_cast<target::TargetKind>(State.range(0));
+  bool Sfi = State.range(1) != 0;
+  bool Opt = State.range(2) != 0;
+  translate::SegmentLayout Seg;
+  for (auto _ : State) {
+    target::TargetCode Code;
+    std::string Error;
+    bool Ok = translate::translate(
+        Kind, Exe, translate::TranslateOptions::mobile(Sfi, Opt), Seg, Code,
+        Error);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Exe.Code.size()));
+  State.SetLabel(std::string(target::getTargetName(Kind)) +
+                 (Sfi ? "+sfi" : "") + (Opt ? "+opt" : ""));
+}
+BENCHMARK(BM_Translate)
+    ->ArgsProduct({{0, 1, 2, 3}, {1}, {1}})
+    ->Args({0, 0, 0})
+    ->Args({0, 1, 0})
+    ->Args({3, 1, 0});
+
+void BM_DeserializeModule(benchmark::State &State) {
+  std::vector<uint8_t> Bytes = liModule().serialize();
+  for (auto _ : State) {
+    vm::Module M;
+    std::string Error;
+    benchmark::DoNotOptimize(vm::Module::deserialize(Bytes, M, Error));
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Bytes.size()));
+}
+BENCHMARK(BM_DeserializeModule);
+
+void BM_CompileWorkload(benchmark::State &State) {
+  // The (off-line) compile side, for contrast with load-time translation.
+  const workloads::Workload &W = workloads::getWorkload(0);
+  for (auto _ : State) {
+    driver::CompileOptions Opts;
+    vm::Module Exe;
+    std::string Error;
+    benchmark::DoNotOptimize(
+        driver::compileAndLink(W.Source, Opts, Exe, Error));
+  }
+}
+BENCHMARK(BM_CompileWorkload);
+
+} // namespace
+
+BENCHMARK_MAIN();

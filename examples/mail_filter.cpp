@@ -1,0 +1,190 @@
+//===- examples/mail_filter.cpp - safe function shipping --------------------===//
+///
+/// The paper's §2 motivating scenario: "An e-mail client can ship a
+/// mail-filtering function to a server to reduce server bandwidth
+/// requirements." The server (host) loads an UNTRUSTED filter module and
+/// lets it score messages through a narrow call-gate API. A well-behaved
+/// filter works; a malicious filter is contained by SFI and the import
+/// policy — the server survives both.
+
+#include "driver/Compiler.h"
+#include "runtime/HostEnv.h"
+#include "target/Simulator.h"
+#include "translate/Translator.h"
+#include "vm/Assembler.h"
+#include "vm/Linker.h"
+#include "vm/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace omni;
+
+namespace {
+
+struct Message {
+  const char *Sender;
+  const char *Subject;
+};
+
+const Message Inbox[] = {
+    {"alice@example.com", "lunch on friday?"},
+    {"deals@spamcorp.biz", "FREE FREE FREE click now"},
+    {"bob@example.com", "re: omniware draft"},
+    {"win@lottery.test", "you are our FREE winner"},
+    {"carol@example.com", "PLDI camera-ready deadline"},
+};
+constexpr int NumMessages = 5;
+
+/// The server runs one verified module against one message and returns
+/// the filter's score (negative = host refused / module misbehaved).
+int runFilter(const vm::Module &Module, target::TargetKind Kind,
+              const Message &Msg, std::string *Why) {
+  vm::AddressSpace Mem(Module.LinkBase);
+  translate::SegmentLayout Seg{Mem.base(), Mem.size()};
+  target::TargetCode Code;
+  std::string Error;
+  if (!translate::translate(Kind, Module,
+                            translate::TranslateOptions::mobile(true), Seg,
+                            Code, Error)) {
+    *Why = "translation failed: " + Error;
+    return -1;
+  }
+  if (!runtime::loadImage(Module, Mem, Error)) {
+    *Why = Error;
+    return -1;
+  }
+
+  // The host grants exactly two functions: reading the sender and the
+  // subject into guest memory. Nothing else exists for the module.
+  runtime::HostEnv Env;
+  auto CopyString = [](vm::HostContext &Ctx, const char *S) {
+    uint32_t Dst = Ctx.intArg(0);
+    uint32_t Cap = Ctx.intArg(1);
+    uint32_t N = std::min<uint32_t>(Cap ? Cap - 1 : 0,
+                                    static_cast<uint32_t>(std::strlen(S)));
+    for (uint32_t I = 0; I < N; ++I) {
+      vm::Trap F;
+      if (!Ctx.mem().write8(Dst + I, static_cast<uint8_t>(S[I]), F))
+        return F; // guest passed a bad buffer: fault stays the guest's
+    }
+    vm::Trap F;
+    Ctx.mem().write8(Dst + N, 0, F);
+    Ctx.setIntResult(N);
+    return vm::Trap::none();
+  };
+  Env.grant("get_sender", [&](vm::HostContext &Ctx) {
+    return CopyString(Ctx, Msg.Sender);
+  });
+  Env.grant("get_subject", [&](vm::HostContext &Ctx) {
+    return CopyString(Ctx, Msg.Subject);
+  });
+  if (!Env.bind(Module, Error)) {
+    *Why = Error;
+    return -2; // asked for something unauthorized
+  }
+
+  target::Simulator Sim(target::getTargetInfo(Kind), Code, Mem);
+  Sim.setHostHandler(Env.handler());
+  Sim.reset();
+  vm::Trap T = Sim.run(1u << 24);
+  if (T.Kind != vm::TrapKind::Halt) {
+    *Why = "module trapped: " + vm::printTrap(T);
+    return -3;
+  }
+  return T.Code; // filter score = exit code
+}
+
+} // namespace
+
+int main() {
+  // --- the client's filter, shipped as source here and compiled to a
+  // mobile module (in deployment the .owx bytes would be shipped).
+  const char *FilterSource = R"(
+int get_sender(char *buf, int cap);
+int get_subject(char *buf, int cap);
+
+int contains(char *hay, char *needle) {
+  int i, j;
+  for (i = 0; hay[i]; i++) {
+    for (j = 0; needle[j] && hay[i + j] == needle[j]; j++)
+      ;
+    if (!needle[j]) return 1;
+  }
+  return 0;
+}
+
+int main() {
+  char sender[64];
+  char subject[128];
+  get_sender(sender, 64);
+  get_subject(subject, 128);
+  int score = 0;
+  if (contains(subject, "FREE")) score += 60;
+  if (contains(sender, ".biz")) score += 30;
+  if (contains(sender, "lottery")) score += 50;
+  if (contains(subject, "PLDI")) score -= 100; /* never spam */
+  return score;
+}
+)";
+
+  driver::CompileOptions Opts;
+  vm::Module Filter;
+  std::string Error;
+  if (!driver::compileAndLink(FilterSource, Opts, Filter, Error)) {
+    std::fprintf(stderr, "filter compile error:\n%s\n", Error.c_str());
+    return 1;
+  }
+  std::vector<std::string> Problems;
+  if (!vm::verifyExecutable(Filter, Problems)) {
+    std::fprintf(stderr, "filter rejected: %s\n", Problems.front().c_str());
+    return 1;
+  }
+
+  std::printf("mail server: scoring %d messages with the shipped filter "
+              "(x86 host)\n\n",
+              NumMessages);
+  for (const Message &Msg : Inbox) {
+    std::string Why;
+    int Score =
+        runFilter(Filter, target::TargetKind::X86, Msg, &Why);
+    std::printf("  %-22s %-28.28s -> score %3d %s\n", Msg.Sender,
+                Msg.Subject, Score, Score >= 50 ? "[SPAM]" : "");
+  }
+
+  // --- now a MALICIOUS filter, hand-written in OmniVM assembly: it tries
+  // to scribble over low memory and to call an unauthorized host function.
+  std::printf("\nmail server: a hostile filter arrives...\n");
+  const char *EvilAsm = R"(
+        .import get_sender
+        .import delete_mailbox     ; not granted by the host!
+        .text
+        .global main
+main:   li r1, 0x00001000          ; far outside the sandbox
+        li r2, 0x41414141
+        sw r2, 0(r1)               ; wild store
+        hcall delete_mailbox
+        li r0, 0
+        jr ra
+)";
+  DiagnosticEngine Diags;
+  vm::Module EvilObj;
+  if (!vm::assemble(EvilAsm, EvilObj, Diags)) {
+    std::fprintf(stderr, "%s", Diags.render("evil.s").c_str());
+    return 1;
+  }
+  vm::Module Evil;
+  std::vector<std::string> LinkErrors;
+  if (!vm::link({EvilObj}, vm::LinkOptions(), Evil, LinkErrors)) {
+    std::fprintf(stderr, "%s\n", LinkErrors.front().c_str());
+    return 1;
+  }
+  std::string Why;
+  int Score = runFilter(Evil, target::TargetKind::X86, Inbox[0], &Why);
+  std::printf("  hostile filter result: %d (%s)\n", Score, Why.c_str());
+  std::printf("  the server is intact: SFI confined the store, and the "
+              "call gate\n  refused the unauthorized import.\n");
+  return 0;
+}

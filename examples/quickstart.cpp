@@ -1,0 +1,84 @@
+//===- examples/quickstart.cpp - Omniware in five minutes ------------------===//
+///
+/// The minimal end-to-end flow:
+///   1. compile a C program once into a portable OmniVM mobile module;
+///   2. verify it (untrusted input!);
+///   3. translate it at load time for the processor at hand, with SFI;
+///   4. run it against a host environment that exports only the functions
+///      the host chooses to grant.
+
+#include "driver/Compiler.h"
+#include "runtime/Run.h"
+#include "translate/Translator.h"
+#include "vm/Verifier.h"
+
+#include <cstdio>
+
+using namespace omni;
+
+int main() {
+  // 1. A guest program in MiniC. It can only touch the world through the
+  //    imports it declares.
+  const char *Source = R"(
+void print_str(char *);
+void print_int(int);
+void print_char(int);
+
+int collatz_steps(int n) {
+  int steps = 0;
+  while (n != 1) {
+    n = (n % 2 == 0) ? n / 2 : 3 * n + 1;
+    steps++;
+  }
+  return steps;
+}
+
+int main() {
+  print_str("collatz record holder under 100: ");
+  int best = 1, best_steps = 0, n;
+  for (n = 1; n < 100; n++) {
+    int s = collatz_steps(n);
+    if (s > best_steps) { best = n; best_steps = s; }
+  }
+  print_int(best);
+  print_str(" with ");
+  print_int(best_steps);
+  print_str(" steps");
+  print_char('\n');
+  return 0;
+}
+)";
+
+  // Compile once -> one mobile module for every processor.
+  driver::CompileOptions Opts;
+  vm::Module Module;
+  std::string Error;
+  if (!driver::compileAndLink(Source, Opts, Module, Error)) {
+    std::fprintf(stderr, "compile error:\n%s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("compiled: %zu OmniVM instructions, %zu bytes of data\n",
+              Module.Code.size(), Module.Data.size());
+
+  // 2. The host verifies the module before trusting it to the translator.
+  std::vector<std::string> Problems;
+  if (!vm::verifyExecutable(Module, Problems)) {
+    std::fprintf(stderr, "rejected: %s\n", Problems.front().c_str());
+    return 1;
+  }
+
+  // 3.+4. Translate-and-run on each simulated processor. SFI confines the
+  // module to its segment; the host grants only the stdlib print calls.
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    target::TargetKind Kind = target::allTargets(T);
+    runtime::TargetRunResult R = runtime::runOnTarget(
+        Kind, Module, translate::TranslateOptions::mobile(/*WithSfi=*/true));
+    std::printf("[%-5s] %6.2f Mcycles, %u native instrs -> %s",
+                target::getTargetName(Kind),
+                double(R.Stats.Cycles) / 1e6, R.CodeSize,
+                R.Run.Output.c_str());
+  }
+  std::printf("\nSame module, same answer, four architectures — with safety "
+              "enforced.\n");
+  return 0;
+}

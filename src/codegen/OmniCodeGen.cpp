@@ -1,0 +1,1082 @@
+//===- codegen/OmniCodeGen.cpp ---------------------------------------------===//
+
+#include "codegen/OmniCodeGen.h"
+
+#include "codegen/RegAlloc.h"
+#include "ir/Analysis.h"
+#include "support/Format.h"
+
+#include <bit>
+#include <cassert>
+#include <map>
+
+using namespace omni;
+using namespace omni::codegen;
+using namespace omni::ir;
+using vm::Instr;
+using vm::Opcode;
+
+namespace {
+
+/// Where one call argument goes.
+struct ArgSlot {
+  bool InReg = true;
+  unsigned Reg = 0;      ///< arg register number
+  int32_t StackOff = 0;  ///< offset in the outgoing-args area
+  bool IsFp = false;
+  unsigned Bytes = 4;
+};
+
+/// Computes argument placement for a list of IR value types, mirroring the
+/// OmniVM calling convention (r0..r3 / f0..f3, rest on the stack).
+/// Returns the slots and sets \p StackBytes.
+std::vector<ArgSlot> layoutArgs(const std::vector<Type> &Types,
+                                uint32_t &StackBytes) {
+  std::vector<ArgSlot> Slots;
+  unsigned NextInt = 0, NextFp = 0;
+  uint32_t Off = 0;
+  for (Type T : Types) {
+    ArgSlot S;
+    S.IsFp = isFpType(T);
+    S.Bytes = T == Type::F64 ? 8 : 4;
+    if (S.IsFp && NextFp < NumFpArgRegs) {
+      S.Reg = NextFp++;
+    } else if (!S.IsFp && NextInt < NumIntArgRegs) {
+      S.Reg = NextInt++;
+    } else {
+      S.InReg = false;
+      Off = (Off + S.Bytes - 1) & ~(S.Bytes - 1);
+      S.StackOff = static_cast<int32_t>(Off);
+      Off += S.Bytes;
+    }
+    Slots.push_back(S);
+  }
+  StackBytes = (Off + 7) & ~7u;
+  return Slots;
+}
+
+/// One pending register move for the parallel-move resolver.
+struct PMove {
+  unsigned DstReg;
+  bool Fp = false;
+  // Source: exactly one of these.
+  bool SrcIsReg = false;
+  unsigned SrcReg = 0;
+  bool SrcIsFrameLoad = false; ///< load from sp+Off
+  int32_t Off = 0;
+  bool SrcIsF64 = true; ///< fp loads: width
+};
+
+class FunctionEmitter;
+
+/// Emits one IR program into a vm::Module.
+class ModuleEmitter {
+public:
+  ModuleEmitter(const Program &P, const CodeGenOptions &Opts,
+                vm::Module &Out)
+      : P(P), Opts(Opts), Out(Out) {}
+
+  bool run(std::string &Error);
+
+  uint32_t symbolFor(const std::string &Name) {
+    auto It = SymbolIds.find(Name);
+    if (It != SymbolIds.end())
+      return It->second;
+    vm::Symbol S;
+    S.Name = Name;
+    S.Global = true;
+    Out.Symbols.push_back(S);
+    uint32_t Id = static_cast<uint32_t>(Out.Symbols.size() - 1);
+    SymbolIds[Name] = Id;
+    return Id;
+  }
+
+  /// Returns the data symbol of an interned fp constant, creating it on
+  /// first use.
+  std::string fpConstSymbol(double V, bool IsF64);
+
+  int importIndex(const std::string &Name) const {
+    for (size_t I = 0; I < P.Imports.size(); ++I)
+      if (P.Imports[I] == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  const Program &P;
+  const CodeGenOptions &Opts;
+  vm::Module &Out;
+  std::map<std::string, uint32_t> SymbolIds;
+  std::map<std::pair<uint64_t, bool>, std::string> FpConsts;
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> FpConstData;
+};
+
+std::string ModuleEmitter::fpConstSymbol(double V, bool IsF64) {
+  uint64_t Bits = IsF64 ? std::bit_cast<uint64_t>(V)
+                        : std::bit_cast<uint32_t>(static_cast<float>(V));
+  auto Key = std::make_pair(Bits, IsF64);
+  auto It = FpConsts.find(Key);
+  if (It != FpConsts.end())
+    return It->second;
+  std::string Name = formatStr(".fconst.%zu", FpConsts.size());
+  FpConsts[Key] = Name;
+  std::vector<uint8_t> Bytes;
+  unsigned N = IsF64 ? 8 : 4;
+  for (unsigned I = 0; I < N; ++I)
+    Bytes.push_back(static_cast<uint8_t>(Bits >> (8 * I)));
+  FpConstData.push_back({Name, std::move(Bytes)});
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Function emission
+//===----------------------------------------------------------------------===//
+
+class FunctionEmitter {
+public:
+  FunctionEmitter(ModuleEmitter &ME, const Function &F)
+      : ME(ME), F(F), Out(ME.Out) {}
+
+  bool run(std::string &Error);
+
+private:
+  // --- emission primitives -------------------------------------------------
+  uint32_t emit(Instr I) {
+    Out.Code.push_back(I);
+    return static_cast<uint32_t>(Out.Code.size() - 1);
+  }
+  /// Emits an instruction whose Imm must be relocated by &Sym.
+  void emitWithSymbol(Instr I, const std::string &Sym, int32_t Addend) {
+    vm::Reloc R;
+    R.Kind = vm::Reloc::ImmValue;
+    R.Offset = static_cast<uint32_t>(Out.Code.size());
+    R.SymbolId = ME.symbolFor(Sym);
+    R.Addend = Addend;
+    Out.Relocs.push_back(R);
+    emit(I);
+  }
+
+  // --- operand access ------------------------------------------------------
+  int32_t spillOffset(unsigned Slot) const {
+    return static_cast<int32_t>(SpillBase + 8 * Slot);
+  }
+  int32_t frameSlotOffset(unsigned SlotIdx) const {
+    return static_cast<int32_t>(SlotOffsets[SlotIdx]);
+  }
+
+  /// Physical register holding \p V for reading; may load a spill into the
+  /// given scratch register.
+  unsigned useInt(const Value &V, unsigned Scratch) {
+    const Location &L = Alloc.Locs[V.Id];
+    if (L.Kind == Location::Reg)
+      return L.RegNum;
+    assert(L.Kind == Location::Spill && "unallocated value used");
+    emit(vm::makeMemImm(Opcode::Lw, Scratch, vm::RegSp,
+                        spillOffset(L.SpillSlot)));
+    return Scratch;
+  }
+  unsigned useFp(const Value &V, unsigned Scratch) {
+    const Location &L = Alloc.Locs[V.Id];
+    if (L.Kind == Location::Reg)
+      return L.RegNum;
+    assert(L.Kind == Location::Spill && "unallocated value used");
+    emit(vm::makeMemImm(V.Ty == Type::F64 ? Opcode::Lfd : Opcode::Lfs,
+                        Scratch, vm::RegSp, spillOffset(L.SpillSlot)));
+    return Scratch;
+  }
+  /// Register to compute \p V into; pair with finishDef.
+  unsigned defReg(const Value &V, unsigned Scratch) const {
+    const Location &L = Alloc.Locs[V.Id];
+    return L.Kind == Location::Reg ? L.RegNum : Scratch;
+  }
+  void finishDef(const Value &V, unsigned Reg) {
+    const Location &L = Alloc.Locs[V.Id];
+    if (L.Kind != Location::Spill)
+      return;
+    Opcode Op = !isFpType(V.Ty) ? Opcode::Sw
+                : V.Ty == Type::F64 ? Opcode::Sfd
+                                    : Opcode::Sfs;
+    emit(vm::makeMemImm(Op, Reg, vm::RegSp, spillOffset(L.SpillSlot)));
+  }
+
+  // --- structured emission -------------------------------------------------
+  void emitPrologue();
+  void emitEpilogueAndRet();
+  void emitInst(const Inst &I);
+  void emitBranch(const Inst &I, int NextBlockInLayout);
+  void emitCall(const Inst &I);
+  void emitCmpValue(const Inst &I);
+  void emitMemAccess(const Inst &I);
+  /// Resolves a set of parallel register moves (cycle-safe).
+  void resolveMoves(std::vector<PMove> Moves);
+
+  Opcode branchOpcode(Cond Cc, Type Ty, bool &SwapOperands);
+
+  ModuleEmitter &ME;
+  const Function &F;
+  vm::Module &Out;
+
+  LinearOrder Order;
+  Allocation Alloc;
+  uint32_t FuncBase = 0;
+
+  // Frame layout (offsets from sp).
+  uint32_t OutArgBytes = 0;
+  uint32_t SpillBase = 0;
+  std::vector<uint32_t> SlotOffsets;
+  uint32_t SavedBase = 0;
+  uint32_t RaOffset = 0;
+  bool SaveRa = false;
+  uint32_t FrameSize = 0;
+
+  // Branch fixups: (code index, ir block) resolved after body emission.
+  std::vector<std::pair<uint32_t, int>> Fixups;
+  std::vector<uint32_t> BlockLabel; ///< ir block -> code index
+};
+
+Opcode FunctionEmitter::branchOpcode(Cond Cc, Type Ty, bool &Swap) {
+  Swap = false;
+  if (!isFpType(Ty)) {
+    switch (Cc) {
+    case Cond::Eq:
+      return Opcode::Beq;
+    case Cond::Ne:
+      return Opcode::Bne;
+    case Cond::Lt:
+      return Opcode::Blt;
+    case Cond::Le:
+      return Opcode::Ble;
+    case Cond::Gt:
+      return Opcode::Bgt;
+    case Cond::Ge:
+      return Opcode::Bge;
+    case Cond::LtU:
+      return Opcode::Bltu;
+    case Cond::LeU:
+      return Opcode::Bleu;
+    case Cond::GtU:
+      return Opcode::Bgtu;
+    case Cond::GeU:
+      return Opcode::Bgeu;
+    }
+  }
+  bool IsD = Ty == Type::F64;
+  switch (Cc) {
+  case Cond::Eq:
+    return IsD ? Opcode::BfeqD : Opcode::BfeqS;
+  case Cond::Ne:
+    return IsD ? Opcode::BfneD : Opcode::BfneS;
+  case Cond::Lt:
+    return IsD ? Opcode::BfltD : Opcode::BfltS;
+  case Cond::Le:
+    return IsD ? Opcode::BfleD : Opcode::BfleS;
+  case Cond::Gt:
+    Swap = true;
+    return IsD ? Opcode::BfltD : Opcode::BfltS;
+  case Cond::Ge:
+    Swap = true;
+    return IsD ? Opcode::BfleD : Opcode::BfleS;
+  default:
+    assert(false && "unsigned fp compare");
+    return Opcode::BfeqD;
+  }
+}
+
+void FunctionEmitter::resolveMoves(std::vector<PMove> Moves) {
+  // Drop no-op moves.
+  for (size_t I = 0; I < Moves.size();) {
+    if (Moves[I].SrcIsReg && Moves[I].SrcReg == Moves[I].DstReg)
+      Moves.erase(Moves.begin() + I);
+    else
+      ++I;
+  }
+  auto EmitOne = [&](const PMove &M) {
+    if (M.SrcIsReg) {
+      emit(M.Fp ? vm::makeRR(Opcode::FMov, M.DstReg, M.SrcReg)
+                : vm::makeMov(M.DstReg, M.SrcReg));
+    } else if (M.SrcIsFrameLoad) {
+      Opcode Op = M.Fp ? (M.SrcIsF64 ? Opcode::Lfd : Opcode::Lfs)
+                       : Opcode::Lw;
+      emit(vm::makeMemImm(Op, M.DstReg, vm::RegSp, M.Off));
+    }
+  };
+  while (!Moves.empty()) {
+    bool Progress = false;
+    for (size_t I = 0; I < Moves.size(); ++I) {
+      const PMove &M = Moves[I];
+      // Safe to emit when no other pending move reads M.DstReg from the
+      // same register class.
+      bool Blocked = false;
+      for (size_t J = 0; J < Moves.size(); ++J) {
+        if (J == I)
+          continue;
+        const PMove &O = Moves[J];
+        if (O.SrcIsReg && O.Fp == M.Fp && O.SrcReg == M.DstReg)
+          Blocked = true;
+      }
+      if (!Blocked) {
+        EmitOne(M);
+        Moves.erase(Moves.begin() + I);
+        Progress = true;
+        break;
+      }
+    }
+    if (Progress)
+      continue;
+    // Cycle: all remaining moves are reg-reg. Break it with a scratch.
+    PMove &M = Moves.front();
+    unsigned Scratch = M.Fp ? FpScratchA : ScratchA;
+    emit(M.Fp ? vm::makeRR(Opcode::FMov, Scratch, M.SrcReg)
+              : vm::makeMov(Scratch, M.SrcReg));
+    // Redirect every read of M.SrcReg to the scratch copy.
+    unsigned OldSrc = M.SrcReg;
+    for (PMove &O : Moves)
+      if (O.SrcIsReg && O.Fp == M.Fp && O.SrcReg == OldSrc)
+        O.SrcReg = Scratch;
+  }
+}
+
+bool FunctionEmitter::run(std::string &Error) {
+  Order = LinearOrder::compute(F);
+
+  // Register file: reserve sp/ra/2 scratch from the integer file and the
+  // two fp scratches from the fp file.
+  RegisterFile RF;
+  unsigned IntAvail =
+      ME.Opts.NumIntRegs >= 4 ? ME.Opts.NumIntRegs - 4 : 0;
+  if (IntAvail > 12)
+    IntAvail = 12;
+  for (unsigned R = 0; R < IntAvail && R < 8; ++R)
+    RF.IntCallerSaved.push_back(R);
+  for (unsigned R = 8; R < IntAvail; ++R)
+    RF.IntCalleeSaved.push_back(R);
+  unsigned FpAvail = ME.Opts.NumFpRegs >= 2 ? ME.Opts.NumFpRegs - 2 : 0;
+  if (FpAvail > 14)
+    FpAvail = 14;
+  for (unsigned R = 0; R < FpAvail && R < 8; ++R)
+    RF.FpCallerSaved.push_back(R);
+  for (unsigned R = 8; R < FpAvail; ++R)
+    RF.FpCalleeSaved.push_back(R);
+  if (RF.IntCallerSaved.empty() && RF.IntCalleeSaved.empty()) {
+    Error = "register file too small";
+    return false;
+  }
+
+  Alloc = allocateRegisters(F, RF, Order);
+
+  // Outgoing argument area: maximum over all calls.
+  OutArgBytes = 0;
+  for (const Block &B : F.Blocks)
+    for (const Inst &I : B.Insts)
+      if (I.K == Op::Call) {
+        std::vector<Type> ArgTys;
+        for (const Value &A : I.Args)
+          ArgTys.push_back(A.Ty);
+        uint32_t Bytes = 0;
+        layoutArgs(ArgTys, Bytes);
+        if (Bytes > OutArgBytes)
+          OutArgBytes = Bytes;
+      }
+
+  // Frame layout.
+  SpillBase = OutArgBytes;
+  uint32_t Off = SpillBase + 8 * Alloc.NumSpillSlots;
+  SlotOffsets.clear();
+  for (const FrameSlot &S : F.Slots) {
+    uint32_t A = S.Align < 4 ? 4 : S.Align;
+    Off = (Off + A - 1) & ~(A - 1);
+    SlotOffsets.push_back(Off);
+    Off += S.Size == 0 ? 4 : S.Size;
+  }
+  Off = (Off + 7) & ~7u;
+  SavedBase = Off;
+  Off += 4 * static_cast<uint32_t>(Alloc.UsedIntCalleeSaved.size());
+  Off = (Off + 7) & ~7u;
+  Off += 8 * static_cast<uint32_t>(Alloc.UsedFpCalleeSaved.size());
+  SaveRa = Alloc.HasCalls;
+  if (SaveRa) {
+    RaOffset = Off;
+    Off += 4;
+  }
+  FrameSize = (Off + 7) & ~7u;
+
+  FuncBase = static_cast<uint32_t>(Out.Code.size());
+  // Define the function symbol.
+  uint32_t SymId = ME.symbolFor(F.Name);
+  Out.Symbols[SymId].Kind = vm::Symbol::Code;
+  Out.Symbols[SymId].Defined = true;
+  Out.Symbols[SymId].Value = FuncBase;
+
+  emitPrologue();
+
+  BlockLabel.assign(F.Blocks.size(), 0);
+  Fixups.clear();
+  for (size_t LI = 0; LI < Order.BlockOrder.size(); ++LI) {
+    int BIdx = Order.BlockOrder[LI];
+    BlockLabel[BIdx] = static_cast<uint32_t>(Out.Code.size());
+    int NextInLayout = LI + 1 < Order.BlockOrder.size()
+                           ? Order.BlockOrder[LI + 1]
+                           : -1;
+    const Block &B = F.Blocks[BIdx];
+    for (const Inst &I : B.Insts) {
+      if (I.K == Op::Br || I.K == Op::Jmp)
+        emitBranch(I, NextInLayout);
+      else
+        emitInst(I);
+    }
+  }
+
+  // Patch branch targets.
+  for (auto &[CodeIdx, BlockIdx] : Fixups)
+    Out.Code[CodeIdx].Target = static_cast<int32_t>(BlockLabel[BlockIdx]);
+  return true;
+}
+
+void FunctionEmitter::emitPrologue() {
+  if (FrameSize)
+    emit(vm::makeRRI(Opcode::Sub, vm::RegSp, vm::RegSp,
+                     static_cast<int32_t>(FrameSize)));
+  if (SaveRa)
+    emit(vm::makeMemImm(Opcode::Sw, vm::RegRa, vm::RegSp,
+                        static_cast<int32_t>(RaOffset)));
+  uint32_t Off = SavedBase;
+  for (unsigned R : Alloc.UsedIntCalleeSaved) {
+    emit(vm::makeMemImm(Opcode::Sw, R, vm::RegSp,
+                        static_cast<int32_t>(Off)));
+    Off += 4;
+  }
+  Off = (Off + 7) & ~7u;
+  for (unsigned R : Alloc.UsedFpCalleeSaved) {
+    emit(vm::makeMemImm(Opcode::Sfd, R, vm::RegSp,
+                        static_cast<int32_t>(Off)));
+    Off += 8;
+  }
+
+  // Move incoming parameters to their allocated homes.
+  std::vector<Type> ParamTys = F.ParamTypes;
+  uint32_t StackBytes = 0;
+  std::vector<ArgSlot> Slots = layoutArgs(ParamTys, StackBytes);
+  std::vector<PMove> Moves;
+  for (size_t I = 0; I < F.ParamValues.size(); ++I) {
+    const Value &P = F.ParamValues[I];
+    const Location &L = Alloc.Locs[P.Id];
+    if (L.Kind == Location::Unassigned)
+      continue; // unused parameter
+    const ArgSlot &S = Slots[I];
+    if (L.Kind == Location::Reg) {
+      PMove M;
+      M.DstReg = L.RegNum;
+      M.Fp = S.IsFp;
+      if (S.InReg) {
+        M.SrcIsReg = true;
+        M.SrcReg = S.Reg;
+      } else {
+        M.SrcIsFrameLoad = true;
+        M.Off = static_cast<int32_t>(FrameSize) + S.StackOff;
+        M.SrcIsF64 = P.Ty == Type::F64;
+      }
+      Moves.push_back(M);
+    } else {
+      // Spilled parameter: store (or copy) directly.
+      if (S.InReg) {
+        Opcode Op = !S.IsFp ? Opcode::Sw
+                    : P.Ty == Type::F64 ? Opcode::Sfd
+                                        : Opcode::Sfs;
+        emit(vm::makeMemImm(Op, S.Reg, vm::RegSp,
+                            spillOffset(L.SpillSlot)));
+      } else {
+        unsigned Scratch = S.IsFp ? FpScratchA : ScratchA;
+        Opcode LOp = !S.IsFp ? Opcode::Lw
+                     : P.Ty == Type::F64 ? Opcode::Lfd
+                                         : Opcode::Lfs;
+        Opcode SOp = !S.IsFp ? Opcode::Sw
+                     : P.Ty == Type::F64 ? Opcode::Sfd
+                                         : Opcode::Sfs;
+        emit(vm::makeMemImm(LOp, Scratch, vm::RegSp,
+                            static_cast<int32_t>(FrameSize) + S.StackOff));
+        emit(vm::makeMemImm(SOp, Scratch, vm::RegSp,
+                            spillOffset(L.SpillSlot)));
+      }
+    }
+  }
+  resolveMoves(std::move(Moves));
+}
+
+void FunctionEmitter::emitEpilogueAndRet() {
+  uint32_t Off = SavedBase;
+  for (unsigned R : Alloc.UsedIntCalleeSaved) {
+    emit(vm::makeMemImm(Opcode::Lw, R, vm::RegSp,
+                        static_cast<int32_t>(Off)));
+    Off += 4;
+  }
+  Off = (Off + 7) & ~7u;
+  for (unsigned R : Alloc.UsedFpCalleeSaved) {
+    emit(vm::makeMemImm(Opcode::Lfd, R, vm::RegSp,
+                        static_cast<int32_t>(Off)));
+    Off += 8;
+  }
+  if (SaveRa)
+    emit(vm::makeMemImm(Opcode::Lw, vm::RegRa, vm::RegSp,
+                        static_cast<int32_t>(RaOffset)));
+  if (FrameSize)
+    emit(vm::makeRRI(Opcode::Add, vm::RegSp, vm::RegSp,
+                     static_cast<int32_t>(FrameSize)));
+  emit(vm::makeJumpReg(Opcode::Jr, vm::RegRa));
+}
+
+void FunctionEmitter::emitBranch(const Inst &I, int NextBlockInLayout) {
+  if (I.K == Op::Jmp) {
+    if (I.B1 != NextBlockInLayout) {
+      uint32_t Idx = emit(vm::makeJump(Opcode::J, 0));
+      Fixups.push_back({Idx, I.B1});
+    }
+    return;
+  }
+  assert(I.K == Op::Br);
+  bool Swap = false;
+  Opcode Op = branchOpcode(I.Cc, I.Ty, Swap);
+  Instr BI;
+  if (!isFpType(I.Ty)) {
+    unsigned A = useInt(I.A, ScratchA);
+    if (I.BIsImm) {
+      BI = vm::makeBranchImm(Op, A, static_cast<int32_t>(I.Imm), 0);
+    } else {
+      unsigned Bv = useInt(I.B, ScratchB);
+      BI = vm::makeBranch(Op, A, Bv, 0);
+    }
+  } else {
+    unsigned A = useFp(I.A, FpScratchA);
+    unsigned Bv = useFp(I.B, FpScratchB);
+    if (Swap)
+      std::swap(A, Bv);
+    BI = vm::makeBranch(Op, A, Bv, 0);
+    BI.UsesImm = false;
+  }
+  uint32_t Idx = emit(BI);
+  Fixups.push_back({Idx, I.B1});
+  if (I.B2 != NextBlockInLayout) {
+    uint32_t JIdx = emit(vm::makeJump(Opcode::J, 0));
+    Fixups.push_back({JIdx, I.B2});
+  }
+}
+
+void FunctionEmitter::emitCmpValue(const Inst &I) {
+  unsigned D = defReg(I.Dst, ScratchA);
+  bool Swap = false;
+  Opcode Op = branchOpcode(I.Cc, I.Ty, Swap);
+  // bcc a, b, Ltrue; li d, 0; j Lend; Ltrue: li d, 1; Lend:
+  // The operands are consumed by the branch before d is written, so
+  // aliasing between d and the operands (or the scratch registers) is
+  // harmless.
+  uint32_t BIdx;
+  if (!isFpType(I.Ty)) {
+    unsigned A = useInt(I.A, ScratchA);
+    if (I.BIsImm) {
+      BIdx = emit(vm::makeBranchImm(Op, A, static_cast<int32_t>(I.Imm), 0));
+    } else {
+      unsigned Bv = useInt(I.B, ScratchB);
+      BIdx = emit(vm::makeBranch(Op, A, Bv, 0));
+    }
+  } else {
+    unsigned A = useFp(I.A, FpScratchA);
+    unsigned Bv = useFp(I.B, FpScratchB);
+    if (Swap)
+      std::swap(A, Bv);
+    BIdx = emit(vm::makeBranch(Op, A, Bv, 0));
+  }
+  emit(vm::makeLi(D, 0));
+  uint32_t JIdx = emit(vm::makeJump(Opcode::J, 0));
+  Out.Code[BIdx].Target = static_cast<int32_t>(Out.Code.size());
+  emit(vm::makeLi(D, 1));
+  Out.Code[JIdx].Target = static_cast<int32_t>(Out.Code.size());
+  finishDef(I.Dst, D);
+}
+
+void FunctionEmitter::emitMemAccess(const Inst &I) {
+  bool IsLoad = I.K == Op::Load;
+  Opcode Op;
+  switch (I.Width) {
+  case MemWidth::W8:
+    Op = IsLoad ? (I.SignedLoad ? Opcode::Lb : Opcode::Lbu) : Opcode::Sb;
+    break;
+  case MemWidth::W16:
+    Op = IsLoad ? (I.SignedLoad ? Opcode::Lh : Opcode::Lhu) : Opcode::Sh;
+    break;
+  case MemWidth::W32:
+    Op = IsLoad ? Opcode::Lw : Opcode::Sw;
+    break;
+  case MemWidth::F32:
+    Op = IsLoad ? Opcode::Lfs : Opcode::Sfs;
+    break;
+  case MemWidth::F64:
+    Op = IsLoad ? Opcode::Lfd : Opcode::Sfd;
+    break;
+  }
+  bool FpVal = I.Width == MemWidth::F32 || I.Width == MemWidth::F64;
+
+  unsigned ValueReg;
+  if (IsLoad) {
+    ValueReg = FpVal ? defReg(I.Dst, FpScratchA) : defReg(I.Dst, ScratchA);
+  } else {
+    ValueReg = FpVal ? useFp(I.B, FpScratchA) : useInt(I.B, ScratchA);
+  }
+
+  Instr MI;
+  if (I.FrameRel) {
+    MI = vm::makeMemImm(Op, ValueReg, vm::RegSp,
+                        frameSlotOffset(static_cast<unsigned>(I.Imm2)) +
+                            static_cast<int32_t>(I.Imm));
+    emit(MI);
+  } else if (!I.Sym.empty()) {
+    MI = vm::makeMemAbs(Op, ValueReg, 0);
+    MI.Imm = static_cast<int32_t>(I.Imm);
+    emitWithSymbol(MI, I.Sym, 0);
+  } else if (IsLoad && !I.BIsImm && I.B.isValid()) {
+    // Indexed load (OmniVM reg+reg addressing mode).
+    unsigned Base = useInt(I.A, ScratchB);
+    unsigned Index = useInt(I.B, ScratchA);
+    MI = vm::makeMemIdx(Op, ValueReg, Base, Index);
+    emit(MI);
+  } else {
+    unsigned Base = useInt(I.A, ScratchB);
+    MI = vm::makeMemImm(Op, ValueReg, Base, static_cast<int32_t>(I.Imm));
+    emit(MI);
+  }
+  if (IsLoad)
+    finishDef(I.Dst, ValueReg);
+}
+
+void FunctionEmitter::emitCall(const Inst &I) {
+  std::vector<Type> ArgTys;
+  for (const Value &A : I.Args)
+    ArgTys.push_back(A.Ty);
+  uint32_t StackBytes = 0;
+  std::vector<ArgSlot> Slots = layoutArgs(ArgTys, StackBytes);
+
+  // Indirect target first (before arg registers are clobbered).
+  bool Indirect = I.Sym.empty();
+  if (Indirect) {
+    unsigned T = useInt(I.A, ScratchB);
+    if (T != ScratchB)
+      emit(vm::makeMov(ScratchB, T));
+  }
+
+  // Stack arguments.
+  for (size_t AI = 0; AI < I.Args.size(); ++AI) {
+    const ArgSlot &S = Slots[AI];
+    if (S.InReg)
+      continue;
+    const Value &V = I.Args[AI];
+    if (S.IsFp) {
+      unsigned R = useFp(V, FpScratchA);
+      emit(vm::makeMemImm(V.Ty == Type::F64 ? Opcode::Sfd : Opcode::Sfs, R,
+                          vm::RegSp, S.StackOff));
+    } else {
+      unsigned R = useInt(V, ScratchA);
+      emit(vm::makeMemImm(Opcode::Sw, R, vm::RegSp, S.StackOff));
+    }
+  }
+
+  // Register arguments as a parallel move.
+  std::vector<PMove> Moves;
+  for (size_t AI = 0; AI < I.Args.size(); ++AI) {
+    const ArgSlot &S = Slots[AI];
+    if (!S.InReg)
+      continue;
+    const Value &V = I.Args[AI];
+    const Location &L = Alloc.Locs[V.Id];
+    PMove M;
+    M.DstReg = S.Reg;
+    M.Fp = S.IsFp;
+    if (L.Kind == Location::Reg) {
+      M.SrcIsReg = true;
+      M.SrcReg = L.RegNum;
+    } else {
+      M.SrcIsFrameLoad = true;
+      M.Off = spillOffset(L.SpillSlot);
+      M.SrcIsF64 = V.Ty == Type::F64;
+    }
+    Moves.push_back(M);
+  }
+  resolveMoves(std::move(Moves));
+
+  // The transfer itself.
+  if (I.IsImportCall) {
+    int Idx = ME.importIndex(I.Sym);
+    assert(Idx >= 0 && "import not registered");
+    emit(vm::makeHCall(Idx));
+  } else if (!Indirect) {
+    Instr J = vm::makeJump(Opcode::Jal, 0);
+    vm::Reloc R;
+    R.Kind = vm::Reloc::CodeTarget;
+    R.Offset = static_cast<uint32_t>(Out.Code.size());
+    R.SymbolId = ME.symbolFor(I.Sym);
+    R.Addend = 0;
+    Out.Relocs.push_back(R);
+    emit(J);
+  } else {
+    emit(vm::makeJumpReg(Opcode::Jalr, ScratchB));
+  }
+
+  // Result.
+  if (I.hasDst()) {
+    const Location &L = Alloc.Locs[I.Dst.Id];
+    if (L.Kind == Location::Reg) {
+      if (isFpType(I.Dst.Ty)) {
+        if (L.RegNum != 0)
+          emit(vm::makeRR(Opcode::FMov, L.RegNum, 0));
+      } else if (L.RegNum != 0) {
+        emit(vm::makeMov(L.RegNum, 0));
+      }
+    } else if (L.Kind == Location::Spill) {
+      Opcode Op = !isFpType(I.Dst.Ty) ? Opcode::Sw
+                  : I.Dst.Ty == Type::F64 ? Opcode::Sfd
+                                          : Opcode::Sfs;
+      emit(vm::makeMemImm(Op, 0, vm::RegSp, spillOffset(L.SpillSlot)));
+    }
+  }
+}
+
+void FunctionEmitter::emitInst(const Inst &I) {
+  switch (I.K) {
+  case Op::ConstInt: {
+    unsigned D = defReg(I.Dst, ScratchA);
+    emit(vm::makeLi(D, static_cast<int32_t>(I.Imm)));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::ConstFp: {
+    unsigned D = defReg(I.Dst, FpScratchA);
+    bool IsF64 = I.Dst.Ty == Type::F64;
+    std::string Sym = ME.fpConstSymbol(I.FImm, IsF64);
+    Instr MI = vm::makeMemAbs(IsF64 ? Opcode::Lfd : Opcode::Lfs, D, 0);
+    emitWithSymbol(MI, Sym, 0);
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::AddrOf: {
+    unsigned D = defReg(I.Dst, ScratchA);
+    Instr LI = vm::makeLi(D, 0);
+    emitWithSymbol(LI, I.Sym, static_cast<int32_t>(I.Imm));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::FrameAddr: {
+    unsigned D = defReg(I.Dst, ScratchA);
+    emit(vm::makeRRI(Opcode::Add, D, vm::RegSp,
+                     frameSlotOffset(static_cast<unsigned>(I.Imm2)) +
+                         static_cast<int32_t>(I.Imm)));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::Copy: {
+    if (!isFpType(I.Dst.Ty)) {
+      unsigned S = useInt(I.A, ScratchA);
+      unsigned D = defReg(I.Dst, ScratchA);
+      if (S != D)
+        emit(vm::makeMov(D, S));
+      finishDef(I.Dst, D);
+    } else {
+      unsigned S = useFp(I.A, FpScratchA);
+      unsigned D = defReg(I.Dst, FpScratchA);
+      if (S != D)
+        emit(vm::makeRR(Opcode::FMov, D, S));
+      finishDef(I.Dst, D);
+    }
+    return;
+  }
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::DivU:
+  case Op::Rem:
+  case Op::RemU:
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Shl:
+  case Op::ShrL:
+  case Op::ShrA: {
+    Opcode Op2;
+    switch (I.K) {
+    case Op::Add:
+      Op2 = Opcode::Add;
+      break;
+    case Op::Sub:
+      Op2 = Opcode::Sub;
+      break;
+    case Op::Mul:
+      Op2 = Opcode::Mul;
+      break;
+    case Op::Div:
+      Op2 = Opcode::Div;
+      break;
+    case Op::DivU:
+      Op2 = Opcode::DivU;
+      break;
+    case Op::Rem:
+      Op2 = Opcode::Rem;
+      break;
+    case Op::RemU:
+      Op2 = Opcode::RemU;
+      break;
+    case Op::And:
+      Op2 = Opcode::And;
+      break;
+    case Op::Or:
+      Op2 = Opcode::Or;
+      break;
+    case Op::Xor:
+      Op2 = Opcode::Xor;
+      break;
+    case Op::Shl:
+      Op2 = Opcode::Sll;
+      break;
+    case Op::ShrL:
+      Op2 = Opcode::Srl;
+      break;
+    default:
+      Op2 = Opcode::Sra;
+      break;
+    }
+    unsigned A = useInt(I.A, ScratchA);
+    unsigned D = defReg(I.Dst, ScratchA);
+    if (I.BIsImm) {
+      Instr MI = vm::makeRRI(Op2, D, A, static_cast<int32_t>(I.Imm));
+      emit(MI);
+    } else {
+      unsigned Bv = useInt(I.B, ScratchB);
+      emit(vm::makeRRR(Op2, D, A, Bv));
+    }
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::Neg: {
+    // No zero register on OmniVM: materialize 0 in a scratch and subtract.
+    // A is read via ScratchB so ScratchA is always free to hold the zero
+    // (sub reads it before any same-register write).
+    unsigned A = useInt(I.A, ScratchB);
+    unsigned D = defReg(I.Dst, ScratchA);
+    emit(vm::makeLi(ScratchA, 0));
+    emit(vm::makeRRR(Opcode::Sub, D, ScratchA, A));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::Not: {
+    unsigned A = useInt(I.A, ScratchA);
+    unsigned D = defReg(I.Dst, ScratchA);
+    emit(vm::makeRRI(Opcode::Xor, D, A, -1));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::FAdd:
+  case Op::FSub:
+  case Op::FMul:
+  case Op::FDiv: {
+    bool IsD = I.Ty == Type::F64;
+    Opcode Op2;
+    switch (I.K) {
+    case Op::FAdd:
+      Op2 = IsD ? Opcode::FAddD : Opcode::FAddS;
+      break;
+    case Op::FSub:
+      Op2 = IsD ? Opcode::FSubD : Opcode::FSubS;
+      break;
+    case Op::FMul:
+      Op2 = IsD ? Opcode::FMulD : Opcode::FMulS;
+      break;
+    default:
+      Op2 = IsD ? Opcode::FDivD : Opcode::FDivS;
+      break;
+    }
+    unsigned A = useFp(I.A, FpScratchA);
+    unsigned Bv = useFp(I.B, FpScratchB);
+    unsigned D = defReg(I.Dst, FpScratchA);
+    emit(vm::makeRRR(Op2, D, A, Bv));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::FNeg: {
+    unsigned A = useFp(I.A, FpScratchA);
+    unsigned D = defReg(I.Dst, FpScratchA);
+    emit(vm::makeRR(I.Ty == Type::F64 ? Opcode::FNegD : Opcode::FNegS, D,
+                    A));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::Cmp:
+    emitCmpValue(I);
+    return;
+  case Op::SignExt8:
+  case Op::SignExt16:
+  case Op::ZeroExt8:
+  case Op::ZeroExt16: {
+    unsigned A = useInt(I.A, ScratchA);
+    unsigned D = defReg(I.Dst, ScratchA);
+    switch (I.K) {
+    case Op::SignExt8:
+      emit(vm::makeRRI(Opcode::Sll, D, A, 24));
+      emit(vm::makeRRI(Opcode::Sra, D, D, 24));
+      break;
+    case Op::SignExt16:
+      emit(vm::makeRRI(Opcode::Sll, D, A, 16));
+      emit(vm::makeRRI(Opcode::Sra, D, D, 16));
+      break;
+    case Op::ZeroExt8:
+      emit(vm::makeRRI(Opcode::And, D, A, 0xff));
+      break;
+    default:
+      emit(vm::makeRRI(Opcode::And, D, A, 0xffff));
+      break;
+    }
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::IntToFp: {
+    unsigned A = useInt(I.A, ScratchA);
+    unsigned D = defReg(I.Dst, FpScratchA);
+    emit(vm::makeRR(I.Dst.Ty == Type::F64 ? Opcode::CvtWToD
+                                          : Opcode::CvtWToS,
+                    D, A));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::FpToInt: {
+    unsigned A = useFp(I.A, FpScratchA);
+    unsigned D = defReg(I.Dst, ScratchA);
+    emit(vm::makeRR(I.Ty == Type::F64 ? Opcode::CvtDToW : Opcode::CvtSToW,
+                    D, A));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::FpExt: {
+    unsigned A = useFp(I.A, FpScratchA);
+    unsigned D = defReg(I.Dst, FpScratchA);
+    emit(vm::makeRR(Opcode::CvtSToD, D, A));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::FpTrunc: {
+    unsigned A = useFp(I.A, FpScratchA);
+    unsigned D = defReg(I.Dst, FpScratchA);
+    emit(vm::makeRR(Opcode::CvtDToS, D, A));
+    finishDef(I.Dst, D);
+    return;
+  }
+  case Op::Load:
+  case Op::Store:
+    emitMemAccess(I);
+    return;
+  case Op::Call:
+    emitCall(I);
+    return;
+  case Op::Ret: {
+    if (I.A.isValid()) {
+      const Location &L = Alloc.Locs[I.A.Id];
+      if (isFpType(I.A.Ty)) {
+        unsigned R = useFp(I.A, FpScratchA);
+        if (R != 0)
+          emit(vm::makeRR(Opcode::FMov, 0, R));
+      } else {
+        unsigned R = useInt(I.A, ScratchA);
+        if (R != 0)
+          emit(vm::makeMov(0, R));
+      }
+      (void)L;
+    }
+    emitEpilogueAndRet();
+    return;
+  }
+  case Op::Br:
+  case Op::Jmp:
+    assert(false && "handled by emitBranch");
+    return;
+  }
+  assert(false && "unhandled IR instruction");
+}
+
+//===----------------------------------------------------------------------===//
+// Module assembly
+//===----------------------------------------------------------------------===//
+
+bool ModuleEmitter::run(std::string &Error) {
+  Out = vm::Module();
+  Out.Imports = P.Imports;
+
+  for (const Function &F : P.Functions) {
+    FunctionEmitter FE(*this, F);
+    if (!FE.run(Error))
+      return false;
+  }
+
+  // Data section: globals, then fp constants. Zero-only globals go to bss.
+  auto Align = [&](uint32_t A) {
+    while (Out.Data.size() % A)
+      Out.Data.push_back(0);
+  };
+  uint32_t BssOff = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> BssSyms; // symbolId, offset
+  for (const GlobalVar &G : P.Globals) {
+    uint32_t SymId = symbolFor(G.Name);
+    vm::Symbol &S = Out.Symbols[SymId];
+    if (S.Defined) {
+      Error = formatStr("duplicate global '%s'", G.Name.c_str());
+      return false;
+    }
+    S.Kind = vm::Symbol::Data;
+    S.Defined = true;
+    if (G.Init.empty() && G.PtrInits.empty()) {
+      uint32_t A = G.Align ? G.Align : 4;
+      BssOff = (BssOff + A - 1) & ~(A - 1);
+      BssSyms.push_back({SymId, BssOff});
+      BssOff += G.Size ? G.Size : 1;
+      continue;
+    }
+    Align(G.Align ? G.Align : 4);
+    S.Value = static_cast<uint32_t>(Out.Data.size());
+    std::vector<uint8_t> Bytes = G.Init;
+    Bytes.resize(G.Size ? G.Size : 1, 0);
+    for (const GlobalVar::PtrInit &PI : G.PtrInits) {
+      vm::Reloc R;
+      R.Kind = vm::Reloc::DataWord;
+      R.Offset = S.Value + PI.Offset;
+      R.SymbolId = symbolFor(PI.Sym);
+      R.Addend = PI.Addend;
+      Out.Relocs.push_back(R);
+    }
+    Out.Data.insert(Out.Data.end(), Bytes.begin(), Bytes.end());
+  }
+  for (auto &[Name, Bytes] : FpConstData) {
+    Align(8);
+    uint32_t SymId = symbolFor(Name);
+    vm::Symbol &S = Out.Symbols[SymId];
+    S.Kind = vm::Symbol::Data;
+    S.Defined = true;
+    S.Value = static_cast<uint32_t>(Out.Data.size());
+    Out.Data.insert(Out.Data.end(), Bytes.begin(), Bytes.end());
+  }
+  // Bss symbols: values sit past the initialized data.
+  uint32_t DataSize = static_cast<uint32_t>(Out.Data.size());
+  for (auto &[SymId, Off] : BssSyms)
+    Out.Symbols[SymId].Value = DataSize + Off;
+  Out.BssSize = BssOff;
+
+  // Sanity: every referenced symbol must be defined or be an import.
+  for (const vm::Symbol &S : Out.Symbols) {
+    if (!S.Defined && importIndex(S.Name) < 0 &&
+        !P.findFunction(S.Name)) {
+      Error = formatStr("undefined symbol '%s'", S.Name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool omni::codegen::generateOmniVM(const Program &P,
+                                   const CodeGenOptions &Opts,
+                                   vm::Module &Out, std::string &Error) {
+  ModuleEmitter ME(P, Opts, Out);
+  return ME.run(Error);
+}

@@ -1,0 +1,48 @@
+//===- codegen/OmniCodeGen.h - IR to OmniVM code generation -----*- C++ -*-===//
+///
+/// \file
+/// Generates an OmniVM object module from optimized IR. Because OmniVM is a
+/// RISC-like target with 32-bit immediates and compare-and-branch, most IR
+/// instructions map to a single OmniVM instruction — this is the property
+/// (§3.1 of the paper) that lets the compiler's machine-independent
+/// optimization survive into the final native code.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_CODEGEN_OMNICODEGEN_H
+#define OMNI_CODEGEN_OMNICODEGEN_H
+
+#include "ir/IR.h"
+#include "vm/Module.h"
+
+#include <string>
+
+namespace omni {
+namespace codegen {
+
+/// Code generation knobs.
+struct CodeGenOptions {
+  /// OmniVM register file size presented to the register allocator
+  /// (Table 2 sweeps 8..16). The stack pointer, link register and two
+  /// assembler scratch registers are always reserved, so the allocatable
+  /// integer pool is NumIntRegs - 4; the fp pool is NumFpRegs - 2.
+  unsigned NumIntRegs = 16;
+  unsigned NumFpRegs = 16;
+};
+
+/// OmniVM ABI register roles (beyond vm::RegSp / vm::RegRa).
+constexpr unsigned ScratchA = 14; ///< emitter scratch (also frame temp)
+constexpr unsigned ScratchB = 12; ///< second scratch / indirect call target
+constexpr unsigned FpScratchA = 14;
+constexpr unsigned FpScratchB = 15;
+constexpr unsigned NumIntArgRegs = 4; ///< r0..r3
+constexpr unsigned NumFpArgRegs = 4;  ///< f0..f3
+
+/// Generates an object module (with relocations and symbols) from \p P.
+/// Returns false and fills \p Error on unsupported constructs.
+bool generateOmniVM(const ir::Program &P, const CodeGenOptions &Opts,
+                    vm::Module &Out, std::string &Error);
+
+} // namespace codegen
+} // namespace omni
+
+#endif // OMNI_CODEGEN_OMNICODEGEN_H

@@ -1,0 +1,234 @@
+//===- codegen/RegAlloc.cpp ------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include "ir/Analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace omni;
+using namespace omni::codegen;
+using namespace omni::ir;
+
+LinearOrder LinearOrder::compute(const Function &F) {
+  LinearOrder L;
+  // Layout order: reverse post-order keeps loop bodies contiguous enough
+  // for interval quality while guaranteeing entry-first.
+  L.BlockOrder = computeRPO(F);
+  L.BlockStart.assign(F.Blocks.size(), 0);
+  L.BlockEnd.assign(F.Blocks.size(), 0);
+  unsigned N = 0;
+  for (int B : L.BlockOrder) {
+    L.BlockStart[B] = N;
+    N += static_cast<unsigned>(F.Blocks[B].Insts.size());
+    L.BlockEnd[B] = N;
+  }
+  L.NumInsts = N;
+  return L;
+}
+
+namespace {
+
+struct Interval {
+  unsigned VReg = 0;
+  Type Ty = Type::I32;
+  unsigned Start = ~0u; ///< 2*pos (use) or 2*pos+1 (def)
+  unsigned End = 0;
+  bool SpansCall = false;
+
+  bool valid() const { return Start != ~0u; }
+};
+
+} // namespace
+
+Allocation omni::codegen::allocateRegisters(const Function &F,
+                                            const RegisterFile &RF,
+                                            const LinearOrder &Order) {
+  Allocation A;
+  A.Locs.assign(F.NextValueId, Location());
+
+  Liveness Live = Liveness::compute(F);
+
+  // Build one conservative interval per virtual register.
+  std::vector<Interval> Ivals(F.NextValueId);
+  for (unsigned V = 0; V < F.NextValueId; ++V)
+    Ivals[V].VReg = V;
+
+  auto Extend = [&](const Value &V, unsigned Pos2) {
+    Interval &I = Ivals[V.Id];
+    I.Ty = V.Ty;
+    if (Pos2 < I.Start)
+      I.Start = Pos2;
+    if (Pos2 > I.End)
+      I.End = Pos2;
+  };
+
+  std::vector<unsigned> CallPositions;
+  for (int B : Order.BlockOrder) {
+    unsigned Pos = Order.BlockStart[B];
+    // Live-in values span from the top of the block.
+    for (unsigned V = 0; V < F.NextValueId; ++V)
+      if (Live.isLiveIn(B, V)) {
+        Interval &I = Ivals[V];
+        unsigned P2 = 2 * Pos;
+        if (P2 < I.Start)
+          I.Start = P2;
+        if (P2 > I.End)
+          I.End = P2;
+      }
+    for (const Inst &I : F.Blocks[B].Insts) {
+      forEachUse(I, [&](const Value &V) { Extend(V, 2 * Pos); });
+      if (I.hasDst())
+        Extend(I.Dst, 2 * Pos + 1);
+      if (I.K == Op::Call)
+        CallPositions.push_back(Pos);
+      ++Pos;
+    }
+    // Live-out values span to the bottom of the block.
+    unsigned EndPos = 2 * Order.BlockEnd[B] + 1;
+    for (unsigned V = 0; V < F.NextValueId; ++V)
+      if (Live.isLiveOut(B, V)) {
+        Interval &I = Ivals[V];
+        if (EndPos > I.End)
+          I.End = EndPos;
+        if (I.Start == ~0u)
+          I.Start = 2 * Order.BlockStart[B];
+      }
+  }
+
+  // Parameters are defined at entry.
+  for (const Value &P : F.ParamValues)
+    if (Ivals[P.Id].valid())
+      Extend(P, 0);
+
+  A.HasCalls = !CallPositions.empty();
+
+  // Mark call-crossing intervals.
+  for (Interval &I : Ivals) {
+    if (!I.valid())
+      continue;
+    for (unsigned CP : CallPositions) {
+      // The call's own def happens after the call; an interval that ends
+      // exactly at the call's use position does not cross it.
+      if (I.Start < 2 * CP && I.End > 2 * CP + 1) {
+        I.SpansCall = true;
+        break;
+      }
+    }
+  }
+
+  // Sort by start.
+  std::vector<Interval *> Work;
+  for (Interval &I : Ivals)
+    if (I.valid())
+      Work.push_back(&I);
+  std::sort(Work.begin(), Work.end(), [](const Interval *X, const Interval *Y) {
+    if (X->Start != Y->Start)
+      return X->Start < Y->Start;
+    return X->VReg < Y->VReg;
+  });
+
+  // Separate scans per register class.
+  struct Pool {
+    std::vector<unsigned> CallerFree, CalleeFree;
+    std::vector<std::pair<Interval *, unsigned>> Active; // interval, reg
+  };
+  Pool IntPool{RF.IntCallerSaved, RF.IntCalleeSaved, {}};
+  Pool FpPool{RF.FpCallerSaved, RF.FpCalleeSaved, {}};
+  // Reverse so pop_back hands out the first-listed registers first.
+  std::reverse(IntPool.CallerFree.begin(), IntPool.CallerFree.end());
+  std::reverse(IntPool.CalleeFree.begin(), IntPool.CalleeFree.end());
+  std::reverse(FpPool.CallerFree.begin(), FpPool.CallerFree.end());
+  std::reverse(FpPool.CalleeFree.begin(), FpPool.CalleeFree.end());
+
+  auto IsCalleeSaved = [&](unsigned R, bool Fp) {
+    const std::vector<unsigned> &S =
+        Fp ? RF.FpCalleeSaved : RF.IntCalleeSaved;
+    return std::find(S.begin(), S.end(), R) != S.end();
+  };
+
+  unsigned NextSpill = 0;
+  auto ScanOne = [&](Interval *Cur, Pool &P, bool Fp) {
+    // Expire old intervals.
+    for (size_t I = 0; I < P.Active.size();) {
+      if (P.Active[I].first->End < Cur->Start) {
+        unsigned R = P.Active[I].second;
+        if (IsCalleeSaved(R, Fp))
+          P.CalleeFree.push_back(R);
+        else
+          P.CallerFree.push_back(R);
+        P.Active.erase(P.Active.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+    // Pick a register honoring call-crossing.
+    unsigned Reg = ~0u;
+    if (Cur->SpansCall) {
+      if (!P.CalleeFree.empty()) {
+        Reg = P.CalleeFree.back();
+        P.CalleeFree.pop_back();
+      }
+    } else {
+      if (!P.CallerFree.empty()) {
+        Reg = P.CallerFree.back();
+        P.CallerFree.pop_back();
+      } else if (!P.CalleeFree.empty()) {
+        Reg = P.CalleeFree.back();
+        P.CalleeFree.pop_back();
+      }
+    }
+    if (Reg == ~0u) {
+      // Spill heuristic: spill the active interval with the furthest end
+      // if it is "compatible" (same constraint class or weaker), else
+      // spill the current interval.
+      std::pair<Interval *, unsigned> *Victim = nullptr;
+      for (auto &Act : P.Active) {
+        bool ActCalleeSaved = IsCalleeSaved(Act.second, Fp);
+        if (Cur->SpansCall && !ActCalleeSaved)
+          continue; // current needs a callee-saved reg
+        if (!Victim || Act.first->End > Victim->first->End)
+          Victim = &Act;
+      }
+      if (Victim && Victim->first->End > Cur->End) {
+        Interval *Spilled = Victim->first;
+        Reg = Victim->second;
+        A.Locs[Spilled->VReg].Kind = Location::Spill;
+        A.Locs[Spilled->VReg].SpillSlot = NextSpill++;
+        Victim->first = Cur;
+        A.Locs[Cur->VReg].Kind = Location::Reg;
+        A.Locs[Cur->VReg].RegNum = Reg;
+        if (IsCalleeSaved(Reg, Fp)) {
+          if (Fp)
+            A.UsedFpCalleeSaved.insert(Reg);
+          else
+            A.UsedIntCalleeSaved.insert(Reg);
+        }
+        return;
+      }
+      A.Locs[Cur->VReg].Kind = Location::Spill;
+      A.Locs[Cur->VReg].SpillSlot = NextSpill++;
+      return;
+    }
+    A.Locs[Cur->VReg].Kind = Location::Reg;
+    A.Locs[Cur->VReg].RegNum = Reg;
+    if (IsCalleeSaved(Reg, Fp)) {
+      if (Fp)
+        A.UsedFpCalleeSaved.insert(Reg);
+      else
+        A.UsedIntCalleeSaved.insert(Reg);
+    }
+    P.Active.push_back({Cur, Reg});
+  };
+
+  for (Interval *Cur : Work) {
+    if (isFpType(Cur->Ty))
+      ScanOne(Cur, FpPool, /*Fp=*/true);
+    else
+      ScanOne(Cur, IntPool, /*Fp=*/false);
+  }
+
+  A.NumSpillSlots = NextSpill;
+  return A;
+}

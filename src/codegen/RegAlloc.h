@@ -1,0 +1,66 @@
+//===- codegen/RegAlloc.h - linear scan register allocation -----*- C++ -*-===//
+///
+/// \file
+/// Linear-scan register allocation of IR virtual registers onto the OmniVM
+/// register file (or, reused by the native backends, onto a target register
+/// file). The number of allocatable registers is a parameter — Table 2 of
+/// the paper sweeps the OmniVM register file size and this is the knob that
+/// reproduces it.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_CODEGEN_REGALLOC_H
+#define OMNI_CODEGEN_REGALLOC_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace omni {
+namespace codegen {
+
+/// Registers available to the allocator, per class. Caller-saved registers
+/// are only given to intervals that do not span a call.
+struct RegisterFile {
+  std::vector<unsigned> IntCallerSaved;
+  std::vector<unsigned> IntCalleeSaved;
+  std::vector<unsigned> FpCallerSaved;
+  std::vector<unsigned> FpCalleeSaved;
+};
+
+/// Where one virtual register lives.
+struct Location {
+  enum KindTy { Unassigned, Reg, Spill } Kind = Unassigned;
+  unsigned RegNum = 0;   ///< physical register number
+  unsigned SpillSlot = 0; ///< index into the spill area (slot size 8)
+};
+
+/// Result of allocation for one function.
+struct Allocation {
+  std::vector<Location> Locs; ///< indexed by virtual register id
+  std::set<unsigned> UsedIntCalleeSaved;
+  std::set<unsigned> UsedFpCalleeSaved;
+  unsigned NumSpillSlots = 0; ///< each slot is 8 bytes
+  bool HasCalls = false;
+};
+
+/// A linearized view of the function: block order and global instruction
+/// numbering used both by the allocator and by the emitter.
+struct LinearOrder {
+  std::vector<int> BlockOrder;       ///< block indices, entry first
+  std::vector<unsigned> BlockStart;  ///< first inst number of each block
+  std::vector<unsigned> BlockEnd;    ///< one past last inst number
+  unsigned NumInsts = 0;
+
+  static LinearOrder compute(const ir::Function &F);
+};
+
+/// Runs linear scan over \p F with the given register file.
+Allocation allocateRegisters(const ir::Function &F, const RegisterFile &RF,
+                             const LinearOrder &Order);
+
+} // namespace codegen
+} // namespace omni
+
+#endif // OMNI_CODEGEN_REGALLOC_H

@@ -1,0 +1,76 @@
+//===- driver/Compiler.cpp -------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "frontend/AST.h"
+#include "frontend/Lowering.h"
+#include "vm/Linker.h"
+#include "vm/Verifier.h"
+
+using namespace omni;
+using namespace omni::driver;
+
+bool omni::driver::compileToIR(const std::string &Source,
+                               const CompileOptions &Opts, ir::Program &Out,
+                               std::string &Error) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<minic::TranslationUnit> TU = minic::parse(Source, Diags);
+  if (!TU) {
+    Error = Diags.render("<source>");
+    return false;
+  }
+  Out = ir::Program();
+  if (!minic::lowerToIR(*TU, Out, Diags)) {
+    Error = Diags.render("<source>");
+    return false;
+  }
+  std::vector<std::string> VerifyErrors;
+  if (!ir::verifyProgram(Out, VerifyErrors)) {
+    Error = "internal error: lowering produced invalid IR: " +
+            VerifyErrors.front();
+    return false;
+  }
+  ir::optimizeProgram(Out, Opts.Opt);
+  // Addressing-mode selection (indexed loads) is part of code generation
+  // and runs at every optimization level.
+  for (ir::Function &F : Out.Functions)
+    ir::foldIndexedAddressing(F);
+  return true;
+}
+
+bool omni::driver::compileToObject(const std::string &Source,
+                                   const CompileOptions &Opts,
+                                   vm::Module &Out, std::string &Error) {
+  ir::Program P;
+  if (!compileToIR(Source, Opts, P, Error))
+    return false;
+  if (!codegen::generateOmniVM(P, Opts.CodeGen, Out, Error))
+    return false;
+  std::vector<std::string> VerifyErrors;
+  if (!vm::verifyObject(Out, VerifyErrors)) {
+    Error = "internal error: codegen produced invalid module: " +
+            VerifyErrors.front();
+    return false;
+  }
+  return true;
+}
+
+bool omni::driver::compileAndLink(const std::string &Source,
+                                  const CompileOptions &Opts,
+                                  vm::Module &Out, std::string &Error) {
+  vm::Module Obj;
+  if (!compileToObject(Source, Opts, Obj, Error))
+    return false;
+  std::vector<std::string> Errors;
+  if (!vm::link({Obj}, vm::LinkOptions(), Out, Errors)) {
+    Error = Errors.front();
+    return false;
+  }
+  std::vector<std::string> VerifyErrors;
+  if (!vm::verifyExecutable(Out, VerifyErrors)) {
+    Error = "internal error: linked executable invalid: " +
+            VerifyErrors.front();
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,45 @@
+//===- driver/Compiler.h - MiniC -> OmniVM compilation pipeline -*- C++ -*-===//
+///
+/// \file
+/// Facade over the full compile pipeline: MiniC source -> typed AST ->
+/// IR -> machine-independent optimization -> OmniVM object module ->
+/// linked executable. This is the "compile once, ship anywhere" half of
+/// the Omniware system; translation to native code happens at load time on
+/// the host (see translate/).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_DRIVER_COMPILER_H
+#define OMNI_DRIVER_COMPILER_H
+
+#include "codegen/OmniCodeGen.h"
+#include "ir/Passes.h"
+#include "vm/Module.h"
+
+#include <string>
+
+namespace omni {
+namespace driver {
+
+/// Compilation configuration.
+struct CompileOptions {
+  ir::OptOptions Opt = ir::OptOptions::standard();
+  codegen::CodeGenOptions CodeGen;
+};
+
+/// Compiles MiniC source to IR (exposed for the native backends and for
+/// tests). Returns false and fills \p Error with rendered diagnostics.
+bool compileToIR(const std::string &Source, const CompileOptions &Opts,
+                 ir::Program &Out, std::string &Error);
+
+/// Compiles MiniC source to a relocatable OmniVM object module.
+bool compileToObject(const std::string &Source, const CompileOptions &Opts,
+                     vm::Module &Out, std::string &Error);
+
+/// Compiles and links a single MiniC source into a verified executable.
+bool compileAndLink(const std::string &Source, const CompileOptions &Opts,
+                    vm::Module &Out, std::string &Error);
+
+} // namespace driver
+} // namespace omni
+
+#endif // OMNI_DRIVER_COMPILER_H

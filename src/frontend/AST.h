@@ -1,0 +1,157 @@
+//===- frontend/AST.h - MiniC abstract syntax tree --------------*- C++ -*-===//
+///
+/// \file
+/// Typed AST produced by the parser (semantic analysis is interleaved with
+/// parsing, as in classic one-pass C compilers). Every expression node
+/// carries its C type; implicit conversions are explicit Cast nodes by the
+/// time the tree reaches lowering.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_AST_H
+#define OMNI_FRONTEND_AST_H
+
+#include "frontend/Lexer.h"
+#include "frontend/Types.h"
+
+#include <memory>
+
+namespace omni {
+namespace minic {
+
+struct FuncDecl;
+
+/// A variable (global, local, or parameter).
+struct VarDecl {
+  std::string Name;
+  CTypeRef Ty = nullptr;
+  SourceLoc Loc;
+  bool IsGlobal = false;
+  bool IsParam = false;
+  /// Address-taken locals (and all aggregates) live in frame slots; other
+  /// scalars live in IR virtual registers.
+  bool AddressTaken = false;
+
+  struct Expr *Init = nullptr; ///< scalar initializer (owned by InitOwned)
+  std::vector<struct Expr *> InitList; ///< brace elements (owned below)
+  std::string StrInit; ///< char-array initializer from a string literal
+  bool HasStrInit = false;
+
+  std::vector<std::unique_ptr<struct Expr>> InitOwned;
+
+  // Lowering annotations.
+  int FrameSlot = -1;
+  ir::Value IrReg;
+};
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  StringLit, ///< value = pointer to anonymous global
+  VarRef,
+  FuncRef,   ///< function designator (decays to pointer)
+  Unary,     ///< Op in {Minus, Tilde, Bang}
+  Deref,     ///< *p  (lvalue)
+  AddrOf,    ///< &lv
+  Binary,    ///< arithmetic / relational / logical (AmpAmp, PipePipe)
+  Assign,
+  CompoundAssign, ///< Op holds the underlying operator token (+= etc.)
+  IncDec,    ///< Op in {PlusPlus, MinusMinus}; IsPostfix
+  Cond,      ///< C ? L : R
+  Call,      ///< L = callee (FuncRef or pointer expression)
+  Member,    ///< L.field (lvalue when L is)
+  Cast,      ///< explicit or implicit
+  SizeOf,    ///< folded to IntLit during parsing; kept for tests
+  Comma,     ///< L, R
+};
+
+/// One expression node.
+struct Expr {
+  ExprKind K;
+  SourceLoc Loc;
+  CTypeRef Ty = nullptr;
+  /// True when this expression designates an object (can be assigned /
+  /// address-taken). Arrays are lvalues that decay on use.
+  bool IsLValue = false;
+
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  std::string Str;        ///< string literal bytes (no NUL)
+  VarDecl *Var = nullptr; ///< VarRef
+  FuncDecl *Fn = nullptr; ///< FuncRef / direct Call
+  Tok Op = Tok::End;
+  bool IsPostfix = false;
+  const StructDef::Field *Field = nullptr; ///< Member
+
+  std::unique_ptr<Expr> L, R, C;
+  std::vector<std::unique_ptr<Expr>> Args;
+};
+
+enum class StmtKind : uint8_t {
+  Expr,
+  Decl,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Block,
+  Switch,
+  Case, ///< case label inside a switch body (IsDefault for default:)
+  Empty,
+};
+
+/// One statement node.
+struct Stmt {
+  StmtKind K;
+  SourceLoc Loc;
+  std::unique_ptr<Expr> E;  ///< condition / expression / return value
+  std::unique_ptr<Expr> E2; ///< for-init expression (when not a decl)
+  std::unique_ptr<Expr> E3; ///< for-step
+  std::unique_ptr<Stmt> S1; ///< then / body
+  std::unique_ptr<Stmt> S2; ///< else
+  std::vector<std::unique_ptr<Stmt>> Body; ///< block / switch body
+  std::vector<VarDecl *> Decls;            ///< decl statement
+  int64_t CaseValue = 0;
+  bool IsDefault = false;
+};
+
+/// One function.
+struct FuncDecl {
+  std::string Name;
+  CTypeRef Ty = nullptr; ///< Func type
+  SourceLoc Loc;
+  std::vector<VarDecl *> Params;
+  std::unique_ptr<Stmt> Body; ///< null = prototype only
+  bool Defined = false;
+};
+
+/// A parsed translation unit.
+struct TranslationUnit {
+  TypeContext Types;
+  std::vector<std::unique_ptr<VarDecl>> AllVars; ///< owns every VarDecl
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+  std::vector<VarDecl *> Globals; ///< subset of AllVars
+
+  /// String literals become anonymous globals at lowering; the parser
+  /// assigns each literal an index into this table.
+  std::vector<std::string> StringPool;
+
+  FuncDecl *findFunction(const std::string &Name) {
+    for (auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+/// Parses (and type-checks) \p Source. Returns nullptr when \p Diags has
+/// errors.
+std::unique_ptr<TranslationUnit> parse(const std::string &Source,
+                                       DiagnosticEngine &Diags);
+
+} // namespace minic
+} // namespace omni
+
+#endif // OMNI_FRONTEND_AST_H

@@ -1,0 +1,552 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <map>
+
+using namespace omni;
+using namespace omni::minic;
+
+namespace {
+
+const std::map<std::string, Tok> &keywordTable() {
+  static const std::map<std::string, Tok> Table = {
+      {"void", Tok::KwVoid},         {"char", Tok::KwChar},
+      {"short", Tok::KwShort},       {"int", Tok::KwInt},
+      {"unsigned", Tok::KwUnsigned}, {"signed", Tok::KwSigned},
+      {"float", Tok::KwFloat},       {"double", Tok::KwDouble},
+      {"struct", Tok::KwStruct},     {"enum", Tok::KwEnum},
+      {"if", Tok::KwIf},             {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},       {"do", Tok::KwDo},
+      {"for", Tok::KwFor},           {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},       {"continue", Tok::KwContinue},
+      {"sizeof", Tok::KwSizeof},     {"switch", Tok::KwSwitch},
+      {"case", Tok::KwCase},         {"default", Tok::KwDefault},
+      {"const", Tok::KwConst},       {"static", Tok::KwStatic},
+      {"extern", Tok::KwExtern},     {"long", Tok::KwLong},
+  };
+  return Table;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Src, DiagnosticEngine &Diags)
+      : Src(Src), Diags(Diags) {}
+
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+  SourceLoc loc() const { return {Line, Col}; }
+
+  void skipWhitespaceAndComments();
+  Token lexNumber();
+  Token lexIdentifier();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  /// Decodes one escape sequence after a backslash.
+  char lexEscape();
+
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+};
+
+void LexerImpl::skipWhitespaceAndComments() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Src.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    // Preprocessor lines are not supported; skip them with a warning so
+    // pasted C code degrades gracefully.
+    if (C == '#' && (Col == 1)) {
+      Diags.warning(loc(), "preprocessor directives are ignored");
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token LexerImpl::lexNumber() {
+  Token T;
+  T.Loc = loc();
+  std::string Digits;
+  bool IsHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    IsHex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(advance());
+    if (Digits.empty())
+      Diags.error(T.Loc, "malformed hex literal");
+    T.Kind = Tok::IntLiteral;
+    T.IntValue = static_cast<int64_t>(std::strtoull(Digits.c_str(),
+                                                    nullptr, 16));
+    return T;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Digits.push_back(advance());
+  bool IsFloat = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Digits.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(advance());
+  } else if (peek() == '.' && !IsHex) {
+    IsFloat = true;
+    Digits.push_back(advance());
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    IsFloat = true;
+    Digits.push_back(advance());
+    if (peek() == '+' || peek() == '-')
+      Digits.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(advance());
+  }
+  if (IsFloat) {
+    T.Kind = Tok::FloatLiteral;
+    T.FloatValue = std::strtod(Digits.c_str(), nullptr);
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      T.IsFloatSuffix = true;
+    }
+  } else {
+    T.Kind = Tok::IntLiteral;
+    T.IntValue = static_cast<int64_t>(std::strtoull(Digits.c_str(),
+                                                    nullptr, 10));
+    // Accept (and ignore) u/l suffixes.
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+      advance();
+  }
+  return T;
+}
+
+Token LexerImpl::lexIdentifier() {
+  Token T;
+  T.Loc = loc();
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    T.Text.push_back(advance());
+  auto It = keywordTable().find(T.Text);
+  T.Kind = It != keywordTable().end() ? It->second : Tok::Identifier;
+  return T;
+}
+
+char LexerImpl::lexEscape() {
+  char C = advance();
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    Diags.error(loc(), formatStr("unknown escape '\\%c'", C));
+    return C;
+  }
+}
+
+Token LexerImpl::lexCharLiteral() {
+  Token T;
+  T.Loc = loc();
+  T.Kind = Tok::CharLiteral;
+  advance(); // opening quote
+  char C;
+  if (peek() == '\\') {
+    advance();
+    C = lexEscape();
+  } else if (peek() == '\0' || peek() == '\n') {
+    Diags.error(T.Loc, "unterminated character literal");
+    return T;
+  } else {
+    C = advance();
+  }
+  T.IntValue = static_cast<unsigned char>(C);
+  if (!match('\''))
+    Diags.error(T.Loc, "unterminated character literal");
+  return T;
+}
+
+Token LexerImpl::lexStringLiteral() {
+  Token T;
+  T.Loc = loc();
+  T.Kind = Tok::StringLiteral;
+  advance(); // opening quote
+  while (true) {
+    char C = peek();
+    if (C == '\0' || C == '\n') {
+      Diags.error(T.Loc, "unterminated string literal");
+      break;
+    }
+    advance();
+    if (C == '"')
+      break;
+    if (C == '\\')
+      C = lexEscape();
+    T.StrValue.push_back(C);
+  }
+  return T;
+}
+
+std::vector<Token> LexerImpl::run() {
+  std::vector<Token> Out;
+  while (true) {
+    skipWhitespaceAndComments();
+    if (Pos >= Src.size())
+      break;
+    char C = peek();
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Out.push_back(lexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Out.push_back(lexIdentifier());
+      continue;
+    }
+    if (C == '\'') {
+      Out.push_back(lexCharLiteral());
+      continue;
+    }
+    if (C == '"') {
+      Out.push_back(lexStringLiteral());
+      continue;
+    }
+
+    Token T;
+    T.Loc = loc();
+    advance();
+    switch (C) {
+    case '(':
+      T.Kind = Tok::LParen;
+      break;
+    case ')':
+      T.Kind = Tok::RParen;
+      break;
+    case '{':
+      T.Kind = Tok::LBrace;
+      break;
+    case '}':
+      T.Kind = Tok::RBrace;
+      break;
+    case '[':
+      T.Kind = Tok::LBracket;
+      break;
+    case ']':
+      T.Kind = Tok::RBracket;
+      break;
+    case ';':
+      T.Kind = Tok::Semi;
+      break;
+    case ',':
+      T.Kind = Tok::Comma;
+      break;
+    case '.':
+      if (peek() == '.' && peek(1) == '.') {
+        advance();
+        advance();
+        T.Kind = Tok::Ellipsis;
+      } else {
+        T.Kind = Tok::Dot;
+      }
+      break;
+    case '+':
+      T.Kind = match('+')   ? Tok::PlusPlus
+               : match('=') ? Tok::PlusAssign
+                            : Tok::Plus;
+      break;
+    case '-':
+      T.Kind = match('-')   ? Tok::MinusMinus
+               : match('=') ? Tok::MinusAssign
+               : match('>') ? Tok::Arrow
+                            : Tok::Minus;
+      break;
+    case '*':
+      T.Kind = match('=') ? Tok::StarAssign : Tok::Star;
+      break;
+    case '/':
+      T.Kind = match('=') ? Tok::SlashAssign : Tok::Slash;
+      break;
+    case '%':
+      T.Kind = match('=') ? Tok::PercentAssign : Tok::Percent;
+      break;
+    case '&':
+      T.Kind = match('&')   ? Tok::AmpAmp
+               : match('=') ? Tok::AmpAssign
+                            : Tok::Amp;
+      break;
+    case '|':
+      T.Kind = match('|')   ? Tok::PipePipe
+               : match('=') ? Tok::PipeAssign
+                            : Tok::Pipe;
+      break;
+    case '^':
+      T.Kind = match('=') ? Tok::CaretAssign : Tok::Caret;
+      break;
+    case '~':
+      T.Kind = Tok::Tilde;
+      break;
+    case '!':
+      T.Kind = match('=') ? Tok::NotEq : Tok::Bang;
+      break;
+    case '<':
+      if (match('<'))
+        T.Kind = match('=') ? Tok::ShlAssign : Tok::Shl;
+      else
+        T.Kind = match('=') ? Tok::Le : Tok::Lt;
+      break;
+    case '>':
+      if (match('>'))
+        T.Kind = match('=') ? Tok::ShrAssign : Tok::Shr;
+      else
+        T.Kind = match('=') ? Tok::Ge : Tok::Gt;
+      break;
+    case '=':
+      T.Kind = match('=') ? Tok::EqEq : Tok::Assign;
+      break;
+    case '?':
+      T.Kind = Tok::Question;
+      break;
+    case ':':
+      T.Kind = Tok::Colon;
+      break;
+    default:
+      Diags.error(T.Loc, formatStr("unexpected character '%c'", C));
+      continue;
+    }
+    Out.push_back(T);
+  }
+  Token End;
+  End.Kind = Tok::End;
+  End.Loc = loc();
+  Out.push_back(End);
+  return Out;
+}
+
+} // namespace
+
+std::vector<Token> omni::minic::tokenize(const std::string &Source,
+                                         DiagnosticEngine &Diags) {
+  LexerImpl L(Source, Diags);
+  return L.run();
+}
+
+const char *omni::minic::getTokenName(Tok Kind) {
+  switch (Kind) {
+  case Tok::End:
+    return "end of input";
+  case Tok::Identifier:
+    return "identifier";
+  case Tok::IntLiteral:
+    return "integer literal";
+  case Tok::FloatLiteral:
+    return "float literal";
+  case Tok::CharLiteral:
+    return "character literal";
+  case Tok::StringLiteral:
+    return "string literal";
+  case Tok::KwVoid:
+    return "'void'";
+  case Tok::KwChar:
+    return "'char'";
+  case Tok::KwShort:
+    return "'short'";
+  case Tok::KwInt:
+    return "'int'";
+  case Tok::KwUnsigned:
+    return "'unsigned'";
+  case Tok::KwSigned:
+    return "'signed'";
+  case Tok::KwFloat:
+    return "'float'";
+  case Tok::KwDouble:
+    return "'double'";
+  case Tok::KwStruct:
+    return "'struct'";
+  case Tok::KwEnum:
+    return "'enum'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwWhile:
+    return "'while'";
+  case Tok::KwDo:
+    return "'do'";
+  case Tok::KwFor:
+    return "'for'";
+  case Tok::KwReturn:
+    return "'return'";
+  case Tok::KwBreak:
+    return "'break'";
+  case Tok::KwContinue:
+    return "'continue'";
+  case Tok::KwSizeof:
+    return "'sizeof'";
+  case Tok::KwSwitch:
+    return "'switch'";
+  case Tok::KwCase:
+    return "'case'";
+  case Tok::KwDefault:
+    return "'default'";
+  case Tok::KwConst:
+    return "'const'";
+  case Tok::KwStatic:
+    return "'static'";
+  case Tok::KwExtern:
+    return "'extern'";
+  case Tok::KwLong:
+    return "'long'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Dot:
+    return "'.'";
+  case Tok::Arrow:
+    return "'->'";
+  case Tok::Ellipsis:
+    return "'...'";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Slash:
+    return "'/'";
+  case Tok::Percent:
+    return "'%'";
+  case Tok::PlusPlus:
+    return "'++'";
+  case Tok::MinusMinus:
+    return "'--'";
+  case Tok::Amp:
+    return "'&'";
+  case Tok::Pipe:
+    return "'|'";
+  case Tok::Caret:
+    return "'^'";
+  case Tok::Tilde:
+    return "'~'";
+  case Tok::Bang:
+    return "'!'";
+  case Tok::Shl:
+    return "'<<'";
+  case Tok::Shr:
+    return "'>>'";
+  case Tok::Lt:
+    return "'<'";
+  case Tok::Gt:
+    return "'>'";
+  case Tok::Le:
+    return "'<='";
+  case Tok::Ge:
+    return "'>='";
+  case Tok::EqEq:
+    return "'=='";
+  case Tok::NotEq:
+    return "'!='";
+  case Tok::AmpAmp:
+    return "'&&'";
+  case Tok::PipePipe:
+    return "'||'";
+  case Tok::Question:
+    return "'?'";
+  case Tok::Colon:
+    return "':'";
+  case Tok::Assign:
+    return "'='";
+  case Tok::PlusAssign:
+    return "'+='";
+  case Tok::MinusAssign:
+    return "'-='";
+  case Tok::StarAssign:
+    return "'*='";
+  case Tok::SlashAssign:
+    return "'/='";
+  case Tok::PercentAssign:
+    return "'%='";
+  case Tok::ShlAssign:
+    return "'<<='";
+  case Tok::ShrAssign:
+    return "'>>='";
+  case Tok::AmpAssign:
+    return "'&='";
+  case Tok::PipeAssign:
+    return "'|='";
+  case Tok::CaretAssign:
+    return "'^='";
+  }
+  return "?";
+}

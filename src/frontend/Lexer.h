@@ -1,0 +1,70 @@
+//===- frontend/Lexer.h - MiniC lexer ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for MiniC, the C subset used to author mobile-code modules in
+/// this reproduction (standing in for the retargeted gcc of the paper).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_LEXER_H
+#define OMNI_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace minic {
+
+enum class Tok : uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral, ///< has 'f' suffix => float, else double
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwUnsigned, KwSigned, KwFloat, KwDouble,
+  KwStruct, KwEnum, KwIf, KwElse, KwWhile, KwDo, KwFor, KwReturn, KwBreak,
+  KwContinue, KwSizeof, KwSwitch, KwCase, KwDefault, KwConst, KwStatic,
+  KwExtern, KwLong,
+
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Arrow, Ellipsis,
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  AmpAmp, PipePipe,
+  Question, Colon,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  ShlAssign, ShrAssign, AmpAssign, PipeAssign, CaretAssign,
+};
+
+/// One token with its source location and decoded payload.
+struct Token {
+  Tok Kind = Tok::End;
+  SourceLoc Loc;
+  std::string Text;    ///< identifier / raw text
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  bool IsFloatSuffix = false; ///< FloatLiteral had 'f'
+  std::string StrValue;       ///< decoded string literal bytes
+};
+
+/// Tokenizes \p Source; reports malformed tokens to \p Diags. The returned
+/// stream is always terminated by a Tok::End token.
+std::vector<Token> tokenize(const std::string &Source,
+                            DiagnosticEngine &Diags);
+
+/// Printable token-kind name for diagnostics.
+const char *getTokenName(Tok Kind);
+
+} // namespace minic
+} // namespace omni
+
+#endif // OMNI_FRONTEND_LEXER_H

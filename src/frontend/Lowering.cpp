@@ -1,0 +1,1239 @@
+//===- frontend/Lowering.cpp ----------------------------------------------===//
+
+#include "frontend/Lowering.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <optional>
+
+using namespace omni;
+using namespace omni::minic;
+using ir::IRBuilder;
+using ir::MemWidth;
+using ir::Op;
+using ir::Value;
+
+namespace {
+
+/// Name of the anonymous global holding string-pool entry \p Idx.
+std::string strName(size_t Idx) { return formatStr(".str.%zu", Idx); }
+
+/// An lvalue address: exactly one of (register base), (global symbol),
+/// (frame slot) plus a constant byte offset.
+struct Addr {
+  Value Base;
+  std::string Sym;
+  int Slot = -1;
+  int64_t Off = 0;
+
+  bool isFrame() const { return Slot >= 0; }
+  bool isGlobal() const { return !Sym.empty(); }
+};
+
+class LoweringImpl {
+public:
+  LoweringImpl(TranslationUnit &TU, ir::Program &Out,
+               DiagnosticEngine &Diags)
+      : TU(TU), Out(Out), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  // --- globals -------------------------------------------------------------
+  void lowerGlobal(VarDecl *V);
+  void emitStringPool();
+  /// Evaluates a constant scalar initializer into \p Bytes at \p Offset,
+  /// or records a pointer init. Returns false (with diagnostic) otherwise.
+  bool evalConstInit(const Expr *E, CTypeRef Ty, ir::GlobalVar &G,
+                     uint32_t Offset);
+  std::optional<int64_t> evalConstInt(const Expr *E);
+  std::optional<double> evalConstFloat(const Expr *E);
+
+  // --- functions -----------------------------------------------------------
+  void lowerFunction(FuncDecl *Fn);
+  void lowerStmt(const Stmt *S);
+  void lowerLocalDecl(VarDecl *V);
+
+  /// Emits code for \p E and returns the value (invalid for void calls).
+  Value genExpr(const Expr *E);
+  /// Computes the address of lvalue \p E.
+  Addr genAddr(const Expr *E);
+  /// Materializes \p A into a single register value (for &x).
+  Value materializeAddr(const Addr &A);
+  Value genLoad(const Addr &A, CTypeRef Ty);
+  void genStore(const Addr &A, CTypeRef Ty, Value V);
+  /// Emits control flow for a condition: branch to TB when true else FB.
+  void genCond(const Expr *E, int TrueBlk, int FalseBlk);
+  /// Emits a comparison branch for relational \p E (already checked).
+  void genCmpBranch(const Expr *E, int TrueBlk, int FalseBlk);
+  Value genBinary(const Expr *E);
+  Value genCast(const Expr *E);
+  Value genCall(const Expr *E);
+  /// Converts \p V (of C type From) to C type To.
+  Value convert(Value V, CTypeRef From, CTypeRef To);
+  /// After storing to a narrow lvalue, the expression result is the
+  /// truncated value.
+  Value truncateForType(Value V, CTypeRef Ty);
+  ir::Cond condFor(Tok Op, bool IsUnsigned);
+
+  Value genIncDecStored(const Expr *E, bool WantOld);
+
+  TranslationUnit &TU;
+  ir::Program &Out;
+  DiagnosticEngine &Diags;
+
+  ir::Function *F = nullptr;
+  std::unique_ptr<IRBuilder> B;
+  std::map<const VarDecl *, Value> VarRegs;
+  std::map<const VarDecl *, unsigned> VarSlots;
+  std::vector<int> BreakTargets;
+  std::vector<int> ContinueTargets;
+};
+
+//===----------------------------------------------------------------------===//
+// Globals
+//===----------------------------------------------------------------------===//
+
+std::optional<int64_t> LoweringImpl::evalConstInt(const Expr *E) {
+  if (!E)
+    return std::nullopt;
+  switch (E->K) {
+  case ExprKind::IntLit:
+    return E->IntVal;
+  case ExprKind::Unary: {
+    auto V = evalConstInt(E->L.get());
+    if (!V)
+      return std::nullopt;
+    if (E->Op == Tok::Minus)
+      return -*V;
+    if (E->Op == Tok::Tilde)
+      return ~*V;
+    if (E->Op == Tok::Bang)
+      return *V == 0;
+    return std::nullopt;
+  }
+  case ExprKind::Binary: {
+    auto A = evalConstInt(E->L.get()), Bv = evalConstInt(E->R.get());
+    if (!A || !Bv)
+      return std::nullopt;
+    int32_t X = static_cast<int32_t>(*A), Y = static_cast<int32_t>(*Bv);
+    switch (E->Op) {
+    case Tok::Plus:
+      return X + Y;
+    case Tok::Minus:
+      return X - Y;
+    case Tok::Star:
+      return X * Y;
+    case Tok::Slash:
+      return Y ? X / Y : std::optional<int64_t>();
+    case Tok::Shl:
+      return X << (Y & 31);
+    case Tok::Shr:
+      return X >> (Y & 31);
+    case Tok::Amp:
+      return X & Y;
+    case Tok::Pipe:
+      return X | Y;
+    case Tok::Caret:
+      return X ^ Y;
+    default:
+      return std::nullopt;
+    }
+  }
+  case ExprKind::Cast: {
+    if (isFloatType(E->L->Ty)) {
+      auto FV = evalConstFloat(E->L.get());
+      if (!FV || !isIntegerType(E->Ty))
+        return std::nullopt;
+      return static_cast<int64_t>(*FV);
+    }
+    auto V = evalConstInt(E->L.get());
+    if (!V)
+      return std::nullopt;
+    switch (E->Ty->K) {
+    case TypeKind::Char:
+      return static_cast<int8_t>(*V);
+    case TypeKind::UChar:
+      return static_cast<uint8_t>(*V);
+    case TypeKind::Short:
+      return static_cast<int16_t>(*V);
+    case TypeKind::UShort:
+      return static_cast<uint16_t>(*V);
+    default:
+      return static_cast<int32_t>(*V);
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<double> LoweringImpl::evalConstFloat(const Expr *E) {
+  if (!E)
+    return std::nullopt;
+  switch (E->K) {
+  case ExprKind::FloatLit:
+    return E->FloatVal;
+  case ExprKind::IntLit:
+    return static_cast<double>(E->IntVal);
+  case ExprKind::Cast: {
+    if (isFloatType(E->Ty)) {
+      auto V = evalConstFloat(E->L.get());
+      if (!V)
+        return std::nullopt;
+      return E->Ty->K == TypeKind::Float
+                 ? static_cast<double>(static_cast<float>(*V))
+                 : *V;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Unary:
+    if (E->Op == Tok::Minus) {
+      auto V = evalConstFloat(E->L.get());
+      if (V)
+        return -*V;
+    }
+    return std::nullopt;
+  case ExprKind::Binary: {
+    auto A = evalConstFloat(E->L.get()), Bv = evalConstFloat(E->R.get());
+    if (!A || !Bv)
+      return std::nullopt;
+    switch (E->Op) {
+    case Tok::Plus:
+      return *A + *Bv;
+    case Tok::Minus:
+      return *A - *Bv;
+    case Tok::Star:
+      return *A * *Bv;
+    case Tok::Slash:
+      return *A / *Bv;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+bool LoweringImpl::evalConstInit(const Expr *E, CTypeRef Ty,
+                                 ir::GlobalVar &G, uint32_t Offset) {
+  uint32_t Size = typeSize(Ty);
+  assert(Offset + Size <= G.Init.size());
+  // Pointer-valued initializers.
+  if (isPointerType(Ty)) {
+    const Expr *Stripped = E;
+    int64_t Extra = 0;
+    while (Stripped->K == ExprKind::Cast)
+      Stripped = Stripped->L.get();
+    if (Stripped->K == ExprKind::StringLit) {
+      G.PtrInits.push_back(
+          {Offset, strName(static_cast<size_t>(Stripped->IntVal)), 0});
+      return true;
+    }
+    if (Stripped->K == ExprKind::FuncRef) {
+      G.PtrInits.push_back({Offset, Stripped->Fn->Name, 0});
+      return true;
+    }
+    if (Stripped->K == ExprKind::AddrOf &&
+        Stripped->L->K == ExprKind::VarRef && Stripped->L->Var->IsGlobal) {
+      G.PtrInits.push_back(
+          {Offset, Stripped->L->Var->Name, static_cast<int32_t>(Extra)});
+      return true;
+    }
+    // Arrays decay: &arr / arr.
+    if (Stripped->K == ExprKind::VarRef && Stripped->Var->IsGlobal &&
+        Stripped->Var->Ty->K == TypeKind::Array) {
+      G.PtrInits.push_back({Offset, Stripped->Var->Name, 0});
+      return true;
+    }
+    if (auto V = evalConstInt(Stripped)) { // null etc.
+      uint32_t U = static_cast<uint32_t>(*V);
+      std::memcpy(&G.Init[Offset], &U, 4);
+      return true;
+    }
+    error(E->Loc, "global pointer initializer is not a constant");
+    return false;
+  }
+  if (isFloatType(Ty)) {
+    auto V = evalConstFloat(E);
+    if (!V) {
+      error(E->Loc, "global initializer is not a constant");
+      return false;
+    }
+    if (Ty->K == TypeKind::Float) {
+      float FV = static_cast<float>(*V);
+      std::memcpy(&G.Init[Offset], &FV, 4);
+    } else {
+      double DV = *V;
+      std::memcpy(&G.Init[Offset], &DV, 8);
+    }
+    return true;
+  }
+  auto V = evalConstInt(E);
+  if (!V) {
+    error(E->Loc, "global initializer is not a constant");
+    return false;
+  }
+  uint32_t U = static_cast<uint32_t>(*V);
+  std::memcpy(&G.Init[Offset], &U, Size > 4 ? 4 : Size);
+  return true;
+}
+
+void LoweringImpl::lowerGlobal(VarDecl *V) {
+  ir::GlobalVar G;
+  G.Name = V->Name;
+  G.Size = typeSize(V->Ty);
+  G.Align = typeAlign(V->Ty);
+  if (G.Size == 0)
+    G.Size = 1;
+
+  bool HasInit = V->Init || !V->InitList.empty() || V->HasStrInit;
+  if (HasInit) {
+    G.Init.assign(G.Size, 0);
+    if (V->HasStrInit) {
+      size_t N = std::min<size_t>(V->StrInit.size(), G.Size);
+      std::memcpy(G.Init.data(), V->StrInit.data(), N);
+    } else if (!V->InitList.empty()) {
+      if (V->Ty->K == TypeKind::Array) {
+        CTypeRef ET = V->Ty->Elem;
+        uint32_t Stride = typeSize(ET);
+        if (V->InitList.size() > V->Ty->ArrayLen)
+          error(V->Loc, "too many initializers for array");
+        for (size_t I = 0;
+             I < V->InitList.size() && I < V->Ty->ArrayLen; ++I)
+          evalConstInit(V->InitList[I], ET, G,
+                        static_cast<uint32_t>(I) * Stride);
+      } else if (V->Ty->K == TypeKind::Struct) {
+        const StructDef *SD = V->Ty->SD;
+        if (V->InitList.size() > SD->Fields.size())
+          error(V->Loc, "too many initializers for struct");
+        for (size_t I = 0;
+             I < V->InitList.size() && I < SD->Fields.size(); ++I)
+          evalConstInit(V->InitList[I], SD->Fields[I].Ty, G,
+                        SD->Fields[I].Offset);
+      } else {
+        error(V->Loc, "brace initializer on scalar global");
+      }
+    } else {
+      evalConstInit(V->Init, V->Ty, G, 0);
+    }
+  }
+  Out.Globals.push_back(std::move(G));
+}
+
+void LoweringImpl::emitStringPool() {
+  for (size_t I = 0; I < TU.StringPool.size(); ++I) {
+    ir::GlobalVar G;
+    G.Name = strName(I);
+    G.Size = static_cast<uint32_t>(TU.StringPool[I].size() + 1);
+    G.Align = 1;
+    G.Init.assign(TU.StringPool[I].begin(), TU.StringPool[I].end());
+    G.Init.push_back(0);
+    Out.Globals.push_back(std::move(G));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Functions
+//===----------------------------------------------------------------------===//
+
+bool LoweringImpl::run() {
+  size_t ErrorsBefore = Diags.errorCount();
+
+  // Imports: declared-but-undefined functions.
+  for (auto &Fn : TU.Functions)
+    if (!Fn->Defined)
+      Out.Imports.push_back(Fn->Name);
+
+  for (VarDecl *G : TU.Globals)
+    lowerGlobal(G);
+  emitStringPool();
+
+  for (auto &Fn : TU.Functions)
+    if (Fn->Defined)
+      lowerFunction(Fn.get());
+
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+void LoweringImpl::lowerFunction(FuncDecl *Fn) {
+  Out.Functions.push_back(ir::Function());
+  F = &Out.Functions.back();
+  F->Name = Fn->Name;
+  F->HasRet = !isVoidType(Fn->Ty->Ret);
+  F->RetTy = irTypeOf(Fn->Ty->Ret);
+  B = std::make_unique<IRBuilder>(*F);
+  VarRegs.clear();
+  VarSlots.clear();
+
+  unsigned Entry = B->createBlock("entry");
+  B->setInsertPoint(Entry);
+
+  // Parameters: incoming values; address-taken ones spill to slots.
+  for (VarDecl *P : Fn->Params) {
+    ir::Type Ty = irTypeOf(P->Ty);
+    Value In = F->newValue(Ty);
+    F->ParamTypes.push_back(Ty);
+    F->ParamValues.push_back(In);
+    if (P->AddressTaken) {
+      ir::FrameSlot Slot;
+      Slot.Size = typeSize(P->Ty);
+      Slot.Align = typeAlign(P->Ty);
+      Slot.Name = P->Name;
+      F->Slots.push_back(Slot);
+      unsigned SlotId = static_cast<unsigned>(F->Slots.size() - 1);
+      VarSlots[P] = SlotId;
+      B->storeFrame(memWidthOf(P->Ty), SlotId, 0, In);
+    } else {
+      // Copy into a dedicated variable register (multi-def).
+      Value Var = F->newValue(Ty);
+      B->copyTo(Var, In);
+      VarRegs[P] = Var;
+    }
+  }
+
+  lowerStmt(Fn->Body.get());
+
+  // Implicit return at the end of the function.
+  if (!B->blockTerminated()) {
+    if (F->HasRet) {
+      Value Zero = F->RetTy == ir::Type::I32
+                       ? B->constInt(0)
+                       : B->constFp(0.0, F->RetTy);
+      B->ret(Zero);
+    } else {
+      B->retVoid();
+    }
+  }
+  // Any other unterminated blocks (e.g. after break) get returns too.
+  for (unsigned BI = 0; BI < F->Blocks.size(); ++BI) {
+    if (!F->Blocks[BI].hasTerminator()) {
+      B->setInsertPoint(BI);
+      if (F->HasRet) {
+        Value Zero = F->RetTy == ir::Type::I32
+                         ? B->constInt(0)
+                         : B->constFp(0.0, F->RetTy);
+        B->ret(Zero);
+      } else {
+        B->retVoid();
+      }
+    }
+  }
+}
+
+void LoweringImpl::lowerLocalDecl(VarDecl *V) {
+  bool NeedsSlot = V->AddressTaken || V->Ty->K == TypeKind::Array ||
+                   V->Ty->K == TypeKind::Struct;
+  if (NeedsSlot) {
+    ir::FrameSlot Slot;
+    Slot.Size = typeSize(V->Ty);
+    Slot.Align = typeAlign(V->Ty);
+    Slot.Name = V->Name;
+    F->Slots.push_back(Slot);
+    unsigned SlotId = static_cast<unsigned>(F->Slots.size() - 1);
+    VarSlots[V] = SlotId;
+
+    if (V->HasStrInit) {
+      CTypeRef CharT = TU.Types.charTy();
+      uint32_t Len = V->Ty->ArrayLen;
+      for (uint32_t I = 0; I < Len; ++I) {
+        char C = I < V->StrInit.size() ? V->StrInit[I] : '\0';
+        Value CV = B->constInt(C);
+        B->storeFrame(memWidthOf(CharT), SlotId, I, CV);
+      }
+    } else if (!V->InitList.empty()) {
+      if (V->Ty->K == TypeKind::Array) {
+        CTypeRef ET = V->Ty->Elem;
+        uint32_t Stride = typeSize(ET);
+        for (size_t I = 0; I < V->InitList.size(); ++I) {
+          Value EV = genExpr(V->InitList[I]);
+          B->storeFrame(memWidthOf(ET), SlotId,
+                        static_cast<int64_t>(I) * Stride, EV);
+        }
+      } else {
+        error(V->Loc, "brace initializer only supported on local arrays");
+      }
+    } else if (V->Init) {
+      Value IV = genExpr(V->Init);
+      B->storeFrame(memWidthOf(V->Ty), SlotId, 0, IV);
+    }
+    return;
+  }
+  Value Var = F->newValue(irTypeOf(V->Ty));
+  VarRegs[V] = Var;
+  if (V->Init) {
+    Value IV = genExpr(V->Init);
+    B->copyTo(Var, truncateForType(IV, V->Ty));
+  }
+}
+
+void LoweringImpl::lowerStmt(const Stmt *S) {
+  if (!S || B->blockTerminated())
+    return;
+  switch (S->K) {
+  case StmtKind::Block:
+    for (const auto &Child : S->Body) {
+      if (B->blockTerminated())
+        break; // unreachable code after return/break
+      lowerStmt(Child.get());
+    }
+    return;
+  case StmtKind::Decl:
+    for (VarDecl *V : S->Decls)
+      lowerLocalDecl(V);
+    return;
+  case StmtKind::Expr:
+    if (S->E)
+      genExpr(S->E.get());
+    return;
+  case StmtKind::Empty:
+    return;
+  case StmtKind::If: {
+    unsigned Then = B->createBlock("then");
+    unsigned Else = S->S2 ? B->createBlock("else") : 0;
+    unsigned Join = B->createBlock("endif");
+    if (!S->S2)
+      Else = Join;
+    genCond(S->E.get(), Then, Else);
+    B->setInsertPoint(Then);
+    lowerStmt(S->S1.get());
+    if (!B->blockTerminated())
+      B->jmp(Join);
+    if (S->S2) {
+      B->setInsertPoint(Else);
+      lowerStmt(S->S2.get());
+      if (!B->blockTerminated())
+        B->jmp(Join);
+    }
+    B->setInsertPoint(Join);
+    return;
+  }
+  case StmtKind::While: {
+    unsigned Header = B->createBlock("while.header");
+    unsigned Body = B->createBlock("while.body");
+    unsigned Exit = B->createBlock("while.end");
+    B->jmp(Header);
+    B->setInsertPoint(Header);
+    genCond(S->E.get(), Body, Exit);
+    BreakTargets.push_back(Exit);
+    ContinueTargets.push_back(Header);
+    B->setInsertPoint(Body);
+    lowerStmt(S->S1.get());
+    if (!B->blockTerminated())
+      B->jmp(Header);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    B->setInsertPoint(Exit);
+    return;
+  }
+  case StmtKind::DoWhile: {
+    unsigned Body = B->createBlock("do.body");
+    unsigned CondBlk = B->createBlock("do.cond");
+    unsigned Exit = B->createBlock("do.end");
+    B->jmp(Body);
+    BreakTargets.push_back(Exit);
+    ContinueTargets.push_back(CondBlk);
+    B->setInsertPoint(Body);
+    lowerStmt(S->S1.get());
+    if (!B->blockTerminated())
+      B->jmp(CondBlk);
+    B->setInsertPoint(CondBlk);
+    genCond(S->E.get(), Body, Exit);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    B->setInsertPoint(Exit);
+    return;
+  }
+  case StmtKind::For: {
+    if (S->S2)
+      lowerStmt(S->S2.get()); // init declaration
+    else if (S->E2)
+      genExpr(S->E2.get());
+    unsigned Header = B->createBlock("for.header");
+    unsigned Body = B->createBlock("for.body");
+    unsigned Step = B->createBlock("for.step");
+    unsigned Exit = B->createBlock("for.end");
+    B->jmp(Header);
+    B->setInsertPoint(Header);
+    if (S->E)
+      genCond(S->E.get(), Body, Exit);
+    else
+      B->jmp(Body);
+    BreakTargets.push_back(Exit);
+    ContinueTargets.push_back(Step);
+    B->setInsertPoint(Body);
+    lowerStmt(S->S1.get());
+    if (!B->blockTerminated())
+      B->jmp(Step);
+    B->setInsertPoint(Step);
+    if (S->E3)
+      genExpr(S->E3.get());
+    B->jmp(Header);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    B->setInsertPoint(Exit);
+    return;
+  }
+  case StmtKind::Return:
+    if (S->E) {
+      Value V = genExpr(S->E.get());
+      B->ret(V);
+    } else {
+      B->retVoid();
+    }
+    return;
+  case StmtKind::Break:
+    if (!BreakTargets.empty())
+      B->jmp(BreakTargets.back());
+    return;
+  case StmtKind::Continue:
+    if (!ContinueTargets.empty())
+      B->jmp(ContinueTargets.back());
+    return;
+  case StmtKind::Switch: {
+    Value Subject = genExpr(S->E.get());
+    // Copy: the dispatch chain reads it repeatedly.
+    Value Subj = B->copy(Subject);
+    unsigned Dispatch = B->insertBlock();
+    unsigned Exit = B->createBlock("switch.end");
+
+    // Scan the (block) body for top-level case labels; each starts a new
+    // block. Non-case statements attach to the most recent case block.
+    const Stmt *Body = S->S1.get();
+    struct CaseInfo {
+      int64_t Value;
+      bool IsDefault;
+      unsigned Blk;
+    };
+    std::vector<CaseInfo> Cases;
+    std::vector<std::pair<unsigned, const Stmt *>> Pieces;
+    unsigned CurBlk = 0;
+    bool HaveBlk = false;
+    for (const auto &Child : Body->Body) {
+      if (Child->K == StmtKind::Case) {
+        unsigned NewBlk = B->createBlock(Child->IsDefault ? "default"
+                                                           : "case");
+        // Fallthrough into NewBlk is emitted after the previous case's
+        // body has been lowered (see the loop over Cases below).
+        CurBlk = NewBlk;
+        HaveBlk = true;
+        Cases.push_back({Child->CaseValue, Child->IsDefault, NewBlk});
+        continue;
+      }
+      if (!HaveBlk) {
+        error(Child->Loc, "statement before first case label in switch");
+        continue;
+      }
+      Pieces.push_back({CurBlk, Child.get()});
+    }
+    // Lower the case bodies. Pieces sharing a block run in order;
+    // fallthrough to the next case block happens when the previous body
+    // did not terminate.
+    BreakTargets.push_back(Exit);
+    for (size_t CI = 0; CI < Cases.size(); ++CI) {
+      B->setInsertPoint(Cases[CI].Blk);
+      for (auto &[Blk, Piece] : Pieces)
+        if (Blk == Cases[CI].Blk)
+          lowerStmt(Piece);
+      if (!B->blockTerminated()) {
+        if (CI + 1 < Cases.size())
+          B->jmp(Cases[CI + 1].Blk);
+        else
+          B->jmp(Exit);
+      }
+    }
+    BreakTargets.pop_back();
+
+    // Dispatch chain.
+    B->setInsertPoint(Dispatch);
+    unsigned DefaultBlk = Exit;
+    for (const CaseInfo &C : Cases)
+      if (C.IsDefault)
+        DefaultBlk = C.Blk;
+    for (const CaseInfo &C : Cases) {
+      if (C.IsDefault)
+        continue;
+      unsigned Next = B->createBlock("switch.test");
+      B->brImm(ir::Cond::Eq, Subj, C.Value, C.Blk, Next);
+      B->setInsertPoint(Next);
+    }
+    B->jmp(DefaultBlk);
+    B->setInsertPoint(Exit);
+    return;
+  }
+  case StmtKind::Case:
+    error(S->Loc, "case label not directly inside a switch body");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ir::Cond LoweringImpl::condFor(Tok Op, bool IsUnsigned) {
+  switch (Op) {
+  case Tok::EqEq:
+    return ir::Cond::Eq;
+  case Tok::NotEq:
+    return ir::Cond::Ne;
+  case Tok::Lt:
+    return IsUnsigned ? ir::Cond::LtU : ir::Cond::Lt;
+  case Tok::Le:
+    return IsUnsigned ? ir::Cond::LeU : ir::Cond::Le;
+  case Tok::Gt:
+    return IsUnsigned ? ir::Cond::GtU : ir::Cond::Gt;
+  case Tok::Ge:
+    return IsUnsigned ? ir::Cond::GeU : ir::Cond::Ge;
+  default:
+    assert(false && "not a comparison");
+    return ir::Cond::Eq;
+  }
+}
+
+Addr LoweringImpl::genAddr(const Expr *E) {
+  switch (E->K) {
+  case ExprKind::VarRef: {
+    const VarDecl *V = E->Var;
+    Addr A;
+    if (V->IsGlobal) {
+      A.Sym = V->Name;
+      return A;
+    }
+    auto It = VarSlots.find(V);
+    assert(It != VarSlots.end() && "register variable has no address");
+    A.Slot = static_cast<int>(It->second);
+    return A;
+  }
+  case ExprKind::Deref: {
+    Addr A;
+    // Fold a constant offset: *(p + C) patterns come from subscripting.
+    A.Base = genExpr(E->L.get());
+    return A;
+  }
+  case ExprKind::Member: {
+    Addr A = genAddr(E->L.get());
+    A.Off += E->Field->Offset;
+    return A;
+  }
+  case ExprKind::StringLit: {
+    Addr A;
+    A.Sym = strName(static_cast<size_t>(E->IntVal));
+    return A;
+  }
+  default:
+    error(E->Loc, "expression is not an lvalue");
+    Addr A;
+    A.Base = B->constInt(0);
+    return A;
+  }
+}
+
+Value LoweringImpl::materializeAddr(const Addr &A) {
+  if (A.isFrame())
+    return B->frameAddr(static_cast<unsigned>(A.Slot), A.Off);
+  if (A.isGlobal())
+    return B->addrOf(A.Sym, A.Off);
+  if (A.Off != 0)
+    return B->binaryImm(Op::Add, A.Base, A.Off);
+  return A.Base;
+}
+
+Value LoweringImpl::genLoad(const Addr &A, CTypeRef Ty) {
+  ir::Type RegTy = irTypeOf(Ty);
+  MemWidth W = memWidthOf(Ty);
+  bool Signed = isSignedIntType(Ty) || !isIntegerType(Ty);
+  if (A.isFrame())
+    return B->loadFrame(RegTy, W, Signed, static_cast<unsigned>(A.Slot),
+                        A.Off);
+  if (A.isGlobal())
+    return B->loadGlobal(RegTy, W, Signed, A.Sym, A.Off);
+  return B->load(RegTy, W, Signed, A.Base, A.Off);
+}
+
+void LoweringImpl::genStore(const Addr &A, CTypeRef Ty, Value V) {
+  MemWidth W = memWidthOf(Ty);
+  if (A.isFrame()) {
+    B->storeFrame(W, static_cast<unsigned>(A.Slot), A.Off, V);
+    return;
+  }
+  if (A.isGlobal()) {
+    B->storeGlobal(W, A.Sym, A.Off, V);
+    return;
+  }
+  B->store(W, A.Base, A.Off, V);
+}
+
+Value LoweringImpl::truncateForType(Value V, CTypeRef Ty) {
+  switch (Ty->K) {
+  case TypeKind::Char:
+    return B->unary(Op::SignExt8, V, ir::Type::I32);
+  case TypeKind::UChar:
+    return B->unary(Op::ZeroExt8, V, ir::Type::I32);
+  case TypeKind::Short:
+    return B->unary(Op::SignExt16, V, ir::Type::I32);
+  case TypeKind::UShort:
+    return B->unary(Op::ZeroExt16, V, ir::Type::I32);
+  default:
+    return V;
+  }
+}
+
+Value LoweringImpl::convert(Value V, CTypeRef From, CTypeRef To) {
+  if (typesEqual(From, To))
+    return V;
+  ir::Type FT = irTypeOf(From), TT = irTypeOf(To);
+  // int-ish <-> int-ish (includes pointers).
+  if (FT == ir::Type::I32 && TT == ir::Type::I32)
+    return truncateForType(V, To);
+  if (FT == ir::Type::I32) {
+    // int -> fp. (Unsigned sources are converted as signed; see DESIGN.md
+    // notes on MiniC deviations.)
+    return B->unary(Op::IntToFp, V, TT);
+  }
+  if (TT == ir::Type::I32) {
+    Value IV = B->unary(Op::FpToInt, V, ir::Type::I32);
+    return truncateForType(IV, To);
+  }
+  if (FT == ir::Type::F32 && TT == ir::Type::F64)
+    return B->unary(Op::FpExt, V, ir::Type::F64);
+  if (FT == ir::Type::F64 && TT == ir::Type::F32)
+    return B->unary(Op::FpTrunc, V, ir::Type::F32);
+  return V;
+}
+
+void LoweringImpl::genCmpBranch(const Expr *E, int TrueBlk, int FalseBlk) {
+  const Expr *L = E->L.get(), *R = E->R.get();
+  bool IsUnsigned =
+      L->Ty->K == TypeKind::UInt || isPointerType(L->Ty);
+  ir::Cond Cc = condFor(E->Op, IsUnsigned);
+  Value LV = genExpr(L);
+  // Immediate comparison when the rhs is a literal.
+  if (!isFloatType(L->Ty) && R->K == ExprKind::IntLit) {
+    B->brImm(Cc, LV, R->IntVal, TrueBlk, FalseBlk);
+    return;
+  }
+  Value RV = genExpr(R);
+  B->br(Cc, LV, RV, TrueBlk, FalseBlk);
+}
+
+void LoweringImpl::genCond(const Expr *E, int TrueBlk, int FalseBlk) {
+  if (!E) {
+    B->jmp(TrueBlk);
+    return;
+  }
+  switch (E->K) {
+  case ExprKind::Binary:
+    switch (E->Op) {
+    case Tok::EqEq:
+    case Tok::NotEq:
+    case Tok::Lt:
+    case Tok::Le:
+    case Tok::Gt:
+    case Tok::Ge:
+      genCmpBranch(E, TrueBlk, FalseBlk);
+      return;
+    case Tok::AmpAmp: {
+      unsigned Mid = B->createBlock("and.rhs");
+      genCond(E->L.get(), Mid, FalseBlk);
+      B->setInsertPoint(Mid);
+      genCond(E->R.get(), TrueBlk, FalseBlk);
+      return;
+    }
+    case Tok::PipePipe: {
+      unsigned Mid = B->createBlock("or.rhs");
+      genCond(E->L.get(), TrueBlk, Mid);
+      B->setInsertPoint(Mid);
+      genCond(E->R.get(), TrueBlk, FalseBlk);
+      return;
+    }
+    default:
+      break;
+    }
+    break;
+  case ExprKind::Unary:
+    if (E->Op == Tok::Bang) {
+      genCond(E->L.get(), FalseBlk, TrueBlk);
+      return;
+    }
+    break;
+  default:
+    break;
+  }
+  // Generic: compare against zero.
+  Value V = genExpr(E);
+  if (isFloatType(E->Ty)) {
+    Value Zero = B->constFp(0.0, irTypeOf(E->Ty));
+    B->br(ir::Cond::Ne, V, Zero, TrueBlk, FalseBlk);
+  } else {
+    B->brImm(ir::Cond::Ne, V, 0, TrueBlk, FalseBlk);
+  }
+}
+
+Value LoweringImpl::genBinary(const Expr *E) {
+  Tok OpTok = E->Op;
+  const Expr *L = E->L.get(), *R = E->R.get();
+
+  // Short-circuit logical operators produce 0/1 through control flow.
+  if (OpTok == Tok::AmpAmp || OpTok == Tok::PipePipe) {
+    Value Result = F->newValue(ir::Type::I32);
+    unsigned TB = B->createBlock("bool.true");
+    unsigned FB = B->createBlock("bool.false");
+    unsigned Join = B->createBlock("bool.end");
+    genCond(E, TB, FB);
+    B->setInsertPoint(TB);
+    B->copyTo(Result, B->constInt(1));
+    B->jmp(Join);
+    B->setInsertPoint(FB);
+    B->copyTo(Result, B->constInt(0));
+    B->jmp(Join);
+    B->setInsertPoint(Join);
+    return Result;
+  }
+
+  // Comparisons as values.
+  if (OpTok == Tok::EqEq || OpTok == Tok::NotEq || OpTok == Tok::Lt ||
+      OpTok == Tok::Le || OpTok == Tok::Gt || OpTok == Tok::Ge) {
+    bool IsUnsigned = L->Ty->K == TypeKind::UInt || isPointerType(L->Ty);
+    ir::Cond Cc = condFor(OpTok, IsUnsigned);
+    Value LV = genExpr(L);
+    if (!isFloatType(L->Ty) && R->K == ExprKind::IntLit)
+      return B->cmpImm(Cc, LV, R->IntVal);
+    Value RV = genExpr(R);
+    return B->cmp(Cc, LV, RV);
+  }
+
+  // Pointer arithmetic.
+  if (isPointerType(E->Ty) &&
+      (OpTok == Tok::Plus || OpTok == Tok::Minus)) {
+    Value P = genExpr(L);
+    uint32_t Scale = typeSize(L->Ty->Pointee);
+    if (R->K == ExprKind::IntLit) {
+      int64_t Delta = R->IntVal * static_cast<int64_t>(Scale);
+      return B->binaryImm(OpTok == Tok::Plus ? Op::Add : Op::Sub, P,
+                          Delta);
+    }
+    Value Idx = genExpr(R);
+    Value Scaled =
+        Scale == 1 ? Idx : B->binaryImm(Op::Mul, Idx, Scale);
+    return B->binary(OpTok == Tok::Plus ? Op::Add : Op::Sub, P, Scaled);
+  }
+  // Pointer difference.
+  if (OpTok == Tok::Minus && isPointerType(L->Ty) &&
+      isPointerType(R->Ty)) {
+    Value LV = genExpr(L);
+    Value RV = genExpr(R);
+    Value Diff = B->binary(Op::Sub, LV, RV);
+    uint32_t Scale = typeSize(L->Ty->Pointee);
+    if (Scale == 1)
+      return Diff;
+    return B->binaryImm(Op::Div, Diff, Scale);
+  }
+
+  bool IsUnsigned = E->Ty->K == TypeKind::UInt;
+  bool LhsUnsigned = L->Ty->K == TypeKind::UInt;
+  Op K;
+  switch (OpTok) {
+  case Tok::Plus:
+    K = isFloatType(E->Ty) ? Op::FAdd : Op::Add;
+    break;
+  case Tok::Minus:
+    K = isFloatType(E->Ty) ? Op::FSub : Op::Sub;
+    break;
+  case Tok::Star:
+    K = isFloatType(E->Ty) ? Op::FMul : Op::Mul;
+    break;
+  case Tok::Slash:
+    K = isFloatType(E->Ty) ? Op::FDiv : (IsUnsigned ? Op::DivU : Op::Div);
+    break;
+  case Tok::Percent:
+    K = IsUnsigned ? Op::RemU : Op::Rem;
+    break;
+  case Tok::Amp:
+    K = Op::And;
+    break;
+  case Tok::Pipe:
+    K = Op::Or;
+    break;
+  case Tok::Caret:
+    K = Op::Xor;
+    break;
+  case Tok::Shl:
+    K = Op::Shl;
+    break;
+  case Tok::Shr:
+    K = LhsUnsigned ? Op::ShrL : Op::ShrA;
+    break;
+  default:
+    assert(false && "unhandled binary operator");
+    K = Op::Add;
+    break;
+  }
+  Value LV = genExpr(L);
+  if (!isFloatType(E->Ty) && R->K == ExprKind::IntLit)
+    return B->binaryImm(K, LV, R->IntVal);
+  Value RV = genExpr(R);
+  return B->binary(K, LV, RV);
+}
+
+Value LoweringImpl::genCast(const Expr *E) {
+  const Expr *Inner = E->L.get();
+  // Array/function decay casts.
+  if (Inner->Ty->K == TypeKind::Array) {
+    Addr A = genAddr(Inner);
+    return materializeAddr(A);
+  }
+  if (Inner->Ty->K == TypeKind::Func) {
+    assert(Inner->K == ExprKind::FuncRef);
+    return B->addrOf(Inner->Fn->Name); // code symbol; resolves to index
+  }
+  Value V = genExpr(Inner);
+  if (isVoidType(E->Ty))
+    return Value();
+  return convert(V, Inner->Ty, E->Ty);
+}
+
+Value LoweringImpl::genCall(const Expr *E) {
+  const Expr *Callee = E->L.get();
+  bool HasRet = !isVoidType(E->Ty);
+  ir::Type RetTy = irTypeOf(E->Ty);
+  std::vector<Value> Args;
+  for (const auto &A : E->Args)
+    Args.push_back(genExpr(A.get()));
+
+  if (Callee->K == ExprKind::FuncRef) {
+    bool IsImport = !Callee->Fn->Defined;
+    return B->call(Callee->Fn->Name, IsImport, std::move(Args), HasRet,
+                   RetTy);
+  }
+  Value Fn = genExpr(Callee);
+  return B->callIndirect(Fn, std::move(Args), HasRet, RetTy);
+}
+
+Value LoweringImpl::genIncDecStored(const Expr *E, bool WantOld) {
+  const Expr *LV = E->L.get();
+  int64_t Delta = 1;
+  if (isPointerType(LV->Ty))
+    Delta = typeSize(LV->Ty->Pointee);
+  bool IsFp = isFloatType(LV->Ty);
+  Op AddOp = E->Op == Tok::PlusPlus ? (IsFp ? Op::FAdd : Op::Add)
+                                    : (IsFp ? Op::FSub : Op::Sub);
+
+  // Register variable fast path.
+  if (LV->K == ExprKind::VarRef && VarRegs.count(LV->Var)) {
+    Value Var = VarRegs[LV->Var];
+    Value Old;
+    if (WantOld)
+      Old = B->copy(Var);
+    Value New;
+    if (IsFp) {
+      Value One = B->constFp(1.0, irTypeOf(LV->Ty));
+      New = B->binary(AddOp, Var, One);
+    } else {
+      New = B->binaryImm(AddOp, Var, Delta);
+    }
+    B->copyTo(Var, truncateForType(New, LV->Ty));
+    return WantOld ? Old : Var;
+  }
+
+  Addr A = genAddr(LV);
+  Value Old = genLoad(A, LV->Ty);
+  Value New;
+  if (IsFp) {
+    Value One = B->constFp(1.0, irTypeOf(LV->Ty));
+    New = B->binary(AddOp, Old, One);
+  } else {
+    New = B->binaryImm(AddOp, Old, Delta);
+  }
+  genStore(A, LV->Ty, New);
+  return WantOld ? Old : truncateForType(New, LV->Ty);
+}
+
+Value LoweringImpl::genExpr(const Expr *E) {
+  switch (E->K) {
+  case ExprKind::IntLit:
+    return B->constInt(E->IntVal);
+  case ExprKind::FloatLit:
+    return B->constFp(E->FloatVal, irTypeOf(E->Ty));
+  case ExprKind::StringLit:
+    return B->addrOf(strName(static_cast<size_t>(E->IntVal)));
+  case ExprKind::VarRef: {
+    auto It = VarRegs.find(E->Var);
+    if (It != VarRegs.end())
+      return It->second;
+    if (E->Ty->K == TypeKind::Array || E->Ty->K == TypeKind::Struct)
+      return materializeAddr(genAddr(E)); // aggregates decay
+    return genLoad(genAddr(E), E->Ty);
+  }
+  case ExprKind::FuncRef:
+    return B->addrOf(E->Fn->Name);
+  case ExprKind::Deref:
+  case ExprKind::Member: {
+    if (E->Ty->K == TypeKind::Array || E->Ty->K == TypeKind::Struct)
+      return materializeAddr(genAddr(E));
+    Addr A = genAddr(E);
+    return genLoad(A, E->Ty);
+  }
+  case ExprKind::AddrOf:
+    return materializeAddr(genAddr(E->L.get()));
+  case ExprKind::Unary: {
+    Value V = genExpr(E->L.get());
+    switch (E->Op) {
+    case Tok::Minus:
+      return B->unary(isFloatType(E->Ty) ? Op::FNeg : Op::Neg, V,
+                      irTypeOf(E->Ty));
+    case Tok::Tilde:
+      return B->unary(Op::Not, V, ir::Type::I32);
+    case Tok::Bang: {
+      if (isFloatType(E->L->Ty)) {
+        Value Zero = B->constFp(0.0, irTypeOf(E->L->Ty));
+        return B->cmp(ir::Cond::Eq, V, Zero);
+      }
+      return B->cmpImm(ir::Cond::Eq, V, 0);
+    }
+    default:
+      assert(false && "unhandled unary");
+      return V;
+    }
+  }
+  case ExprKind::Binary:
+    return genBinary(E);
+  case ExprKind::Assign: {
+    const Expr *LV = E->L.get();
+    Value RV = genExpr(E->R.get());
+    if (LV->K == ExprKind::VarRef && VarRegs.count(LV->Var)) {
+      Value Var = VarRegs[LV->Var];
+      Value Tr = truncateForType(RV, LV->Ty);
+      B->copyTo(Var, Tr);
+      return Var;
+    }
+    Addr A = genAddr(LV);
+    genStore(A, LV->Ty, RV);
+    return truncateForType(RV, LV->Ty);
+  }
+  case ExprKind::CompoundAssign: {
+    const Expr *LV = E->L.get();
+    bool IsFp = isFloatType(LV->Ty);
+    bool IsPtr = isPointerType(LV->Ty);
+    bool IsUnsigned = LV->Ty->K == TypeKind::UInt ||
+                      LV->Ty->K == TypeKind::UChar ||
+                      LV->Ty->K == TypeKind::UShort;
+    Op K;
+    switch (E->Op) {
+    case Tok::Plus:
+      K = IsFp ? Op::FAdd : Op::Add;
+      break;
+    case Tok::Minus:
+      K = IsFp ? Op::FSub : Op::Sub;
+      break;
+    case Tok::Star:
+      K = IsFp ? Op::FMul : Op::Mul;
+      break;
+    case Tok::Slash:
+      K = IsFp ? Op::FDiv : (IsUnsigned ? Op::DivU : Op::Div);
+      break;
+    case Tok::Percent:
+      K = IsUnsigned ? Op::RemU : Op::Rem;
+      break;
+    case Tok::Amp:
+      K = Op::And;
+      break;
+    case Tok::Pipe:
+      K = Op::Or;
+      break;
+    case Tok::Caret:
+      K = Op::Xor;
+      break;
+    case Tok::Shl:
+      K = Op::Shl;
+      break;
+    case Tok::Shr:
+      K = IsUnsigned ? Op::ShrL : Op::ShrA;
+      break;
+    default:
+      assert(false);
+      K = Op::Add;
+      break;
+    }
+
+    // Fast path: register variable.
+    if (LV->K == ExprKind::VarRef && VarRegs.count(LV->Var)) {
+      Value Var = VarRegs[LV->Var];
+      Value RHS = genExpr(E->R.get());
+      Value Operand = RHS;
+      if (IsFp && E->R->Ty != LV->Ty)
+        Operand = convert(RHS, E->R->Ty, LV->Ty);
+      if (IsPtr && (K == Op::Add || K == Op::Sub)) {
+        uint32_t Scale = typeSize(LV->Ty->Pointee);
+        if (Scale != 1)
+          Operand = B->binaryImm(Op::Mul, Operand, Scale);
+      }
+      Value New = B->binary(K, Var, Operand);
+      B->copyTo(Var, truncateForType(New, LV->Ty));
+      return Var;
+    }
+
+    Addr A = genAddr(LV);
+    Value Old = genLoad(A, LV->Ty);
+    Value RHS = genExpr(E->R.get());
+    Value Operand = RHS;
+    if (IsFp && E->R->Ty != LV->Ty)
+      Operand = convert(RHS, E->R->Ty, LV->Ty);
+    if (IsPtr && (K == Op::Add || K == Op::Sub)) {
+      uint32_t Scale = typeSize(LV->Ty->Pointee);
+      if (Scale != 1)
+        Operand = B->binaryImm(Op::Mul, Operand, Scale);
+    }
+    Value New = B->binary(K, Old, Operand);
+    genStore(A, LV->Ty, New);
+    return truncateForType(New, LV->Ty);
+  }
+  case ExprKind::IncDec:
+    return genIncDecStored(E, E->IsPostfix);
+  case ExprKind::Cond: {
+    Value Result = F->newValue(irTypeOf(E->Ty));
+    unsigned TB = B->createBlock("cond.true");
+    unsigned FB = B->createBlock("cond.false");
+    unsigned Join = B->createBlock("cond.end");
+    genCond(E->C.get(), TB, FB);
+    B->setInsertPoint(TB);
+    Value TV = genExpr(E->L.get());
+    B->copyTo(Result, TV);
+    B->jmp(Join);
+    B->setInsertPoint(FB);
+    Value FV = genExpr(E->R.get());
+    B->copyTo(Result, FV);
+    B->jmp(Join);
+    B->setInsertPoint(Join);
+    return Result;
+  }
+  case ExprKind::Call:
+    return genCall(E);
+  case ExprKind::Cast:
+    return genCast(E);
+  case ExprKind::SizeOf:
+    return B->constInt(E->IntVal);
+  case ExprKind::Comma:
+    genExpr(E->L.get());
+    return genExpr(E->R.get());
+  }
+  assert(false && "unhandled expression kind");
+  return Value();
+}
+
+} // namespace
+
+bool omni::minic::lowerToIR(TranslationUnit &TU, ir::Program &Out,
+                            DiagnosticEngine &Diags) {
+  LoweringImpl Impl(TU, Out, Diags);
+  return Impl.run();
+}

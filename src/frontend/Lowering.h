@@ -1,0 +1,30 @@
+//===- frontend/Lowering.h - AST to IR lowering ------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a type-checked MiniC translation unit to the machine-independent
+/// IR. Data layout becomes fully explicit here (struct offsets, array
+/// strides, pointer scaling), which is exactly the property OmniVM's design
+/// exploits: the compiler decides layout, the translator only emits code.
+///
+/// Functions that are declared but never defined become *imports* — host
+/// functions reached through Omniware call gates.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_LOWERING_H
+#define OMNI_FRONTEND_LOWERING_H
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+
+namespace omni {
+namespace minic {
+
+/// Lowers \p TU into \p Out. Returns false when \p Diags received errors
+/// (non-constant global initializers, unsupported constructs).
+bool lowerToIR(TranslationUnit &TU, ir::Program &Out,
+               DiagnosticEngine &Diags);
+
+} // namespace minic
+} // namespace omni
+
+#endif // OMNI_FRONTEND_LOWERING_H

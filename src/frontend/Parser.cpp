@@ -1,0 +1,1893 @@
+//===- frontend/Parser.cpp - MiniC parser + semantic analysis -------------===//
+///
+/// Recursive-descent parser with interleaved type checking, in the style of
+/// classic one-pass C compilers. Produces a fully-typed AST; implicit
+/// conversions are materialized as Cast nodes.
+
+#include "frontend/AST.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace omni;
+using namespace omni::minic;
+
+namespace {
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A name in scope: a variable, a function, or an enum constant.
+struct ScopeEntry {
+  VarDecl *Var = nullptr;
+  FuncDecl *Fn = nullptr;
+  bool IsEnumConst = false;
+  int64_t EnumValue = 0;
+};
+
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, DiagnosticEngine &Diags)
+      : Toks(std::move(Toks)), Diags(Diags) {
+    TU = std::make_unique<TranslationUnit>();
+  }
+
+  std::unique_ptr<TranslationUnit> run();
+
+private:
+  // --- token plumbing ----------------------------------------------------
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool is(Tok K) const { return cur().Kind == K; }
+  bool consume(Tok K) {
+    if (!is(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+  Token expect(Tok K, const char *Context) {
+    if (is(K)) {
+      Token T = cur();
+      ++Pos;
+      return T;
+    }
+    error(cur().Loc, formatStr("expected %s %s, got %s", getTokenName(K),
+                               Context, getTokenName(cur().Kind)));
+    return cur();
+  }
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  /// Skips tokens until a likely statement/declaration boundary (error
+  /// recovery).
+  void synchronize() {
+    while (!is(Tok::End)) {
+      if (consume(Tok::Semi))
+        return;
+      if (is(Tok::RBrace) || is(Tok::LBrace))
+        return;
+      ++Pos;
+    }
+  }
+
+  // --- scopes -------------------------------------------------------------
+  void pushScope() { Scopes.push_back({}); }
+  void popScope() { Scopes.pop_back(); }
+  ScopeEntry *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+  void declare(const std::string &Name, ScopeEntry E, SourceLoc Loc) {
+    auto &Top = Scopes.back();
+    if (Top.count(Name)) {
+      // Function redeclaration is handled separately; variables conflict.
+      error(Loc, formatStr("redefinition of '%s'", Name.c_str()));
+      return;
+    }
+    Top[Name] = E;
+  }
+
+  VarDecl *createVar(std::string Name, CTypeRef Ty, SourceLoc Loc) {
+    TU->AllVars.push_back(std::make_unique<VarDecl>());
+    VarDecl *V = TU->AllVars.back().get();
+    V->Name = std::move(Name);
+    V->Ty = Ty;
+    V->Loc = Loc;
+    return V;
+  }
+
+  // --- types --------------------------------------------------------------
+  bool startsDeclSpec() const;
+  /// Parses declaration specifiers; returns null when malformed.
+  CTypeRef parseDeclSpec();
+  /// Parses a declarator over \p Base. Fills \p Name (may legitimately be
+  /// empty for abstract declarators in casts/sizeof). Params receives
+  /// parameter declarations when the declarator is a function.
+  CTypeRef parseDeclarator(CTypeRef Base, std::string &Name,
+                           std::vector<VarDecl *> *Params);
+  CTypeRef parseStructSpec();
+  CTypeRef parseEnumSpec();
+  /// Parses a type-name (for casts and sizeof).
+  CTypeRef parseTypeName();
+
+  // --- declarations -------------------------------------------------------
+  void parseTopLevel();
+  void parseGlobalVar(CTypeRef Ty, std::string Name, SourceLoc Loc);
+  void parseFunction(CTypeRef FnTy, std::string Name,
+                     std::vector<VarDecl *> Params, SourceLoc Loc);
+  StmtPtr parseLocalDecl();
+
+  // --- statements ----------------------------------------------------------
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDoWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  StmtPtr parseSwitch();
+
+  // --- expressions ----------------------------------------------------------
+  ExprPtr parseExpr();       ///< comma expression
+  ExprPtr parseAssign();
+  ExprPtr parseCond();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parseCastOrUnary();
+  ExprPtr parsePostfix(ExprPtr E);
+  ExprPtr parsePrimary();
+
+  // --- semantic helpers -----------------------------------------------------
+  ExprPtr makeIntLit(int64_t V, SourceLoc Loc, CTypeRef Ty = nullptr);
+  /// Inserts a (possibly no-op) conversion of \p E to \p Ty.
+  ExprPtr castTo(ExprPtr E, CTypeRef Ty, bool Implicit);
+  /// Array-to-pointer and function-to-pointer decay + lvalue load marker.
+  ExprPtr decay(ExprPtr E);
+  /// Applies integer promotions (char/short -> int).
+  ExprPtr promote(ExprPtr E);
+  /// Usual arithmetic conversions; returns the common type.
+  CTypeRef usualArith(ExprPtr &L, ExprPtr &R);
+  /// Checks/converts \p E for assignment to \p Ty; reports at \p Loc.
+  ExprPtr convertForAssign(ExprPtr E, CTypeRef Ty, SourceLoc Loc,
+                           const char *What);
+  /// Requires a scalar condition.
+  ExprPtr checkCondition(ExprPtr E);
+  /// Compile-time integer evaluation (array sizes, case labels, enum
+  /// values, global scalar initializers).
+  std::optional<int64_t> constEval(const Expr *E);
+
+  ExprPtr buildBinary(Tok Op, ExprPtr L, ExprPtr R, SourceLoc Loc);
+  ExprPtr buildAssign(ExprPtr L, ExprPtr R, SourceLoc Loc);
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<TranslationUnit> TU;
+  std::vector<std::map<std::string, ScopeEntry>> Scopes;
+  std::map<std::string, StructDef *> StructTags;
+  FuncDecl *CurFn = nullptr;
+  int LoopDepth = 0;
+  int SwitchDepth = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Types and declarators
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsDeclSpec() const {
+  switch (cur().Kind) {
+  case Tok::KwVoid:
+  case Tok::KwChar:
+  case Tok::KwShort:
+  case Tok::KwInt:
+  case Tok::KwUnsigned:
+  case Tok::KwSigned:
+  case Tok::KwFloat:
+  case Tok::KwDouble:
+  case Tok::KwStruct:
+  case Tok::KwEnum:
+  case Tok::KwConst:
+  case Tok::KwStatic:
+  case Tok::KwExtern:
+  case Tok::KwLong:
+    return true;
+  default:
+    return false;
+  }
+}
+
+CTypeRef Parser::parseDeclSpec() {
+  // Storage/qualifier keywords are accepted and ignored.
+  while (is(Tok::KwConst) || is(Tok::KwStatic) || is(Tok::KwExtern))
+    ++Pos;
+
+  TypeContext &T = TU->Types;
+  bool Unsigned = false, Signed = false;
+  if (consume(Tok::KwUnsigned))
+    Unsigned = true;
+  else if (consume(Tok::KwSigned))
+    Signed = true;
+  (void)Signed;
+
+  CTypeRef Base = nullptr;
+  switch (cur().Kind) {
+  case Tok::KwVoid:
+    ++Pos;
+    Base = T.voidTy();
+    break;
+  case Tok::KwChar:
+    ++Pos;
+    Base = Unsigned ? T.ucharTy() : T.charTy();
+    break;
+  case Tok::KwShort:
+    ++Pos;
+    consume(Tok::KwInt);
+    Base = Unsigned ? T.ushortTy() : T.shortTy();
+    break;
+  case Tok::KwLong:
+    ++Pos;
+    consume(Tok::KwLong); // "long long" collapses to int too
+    consume(Tok::KwInt);
+    Base = Unsigned ? T.uintTy() : T.intTy();
+    break;
+  case Tok::KwInt:
+    ++Pos;
+    Base = Unsigned ? T.uintTy() : T.intTy();
+    break;
+  case Tok::KwFloat:
+    ++Pos;
+    Base = T.floatTy();
+    break;
+  case Tok::KwDouble:
+    ++Pos;
+    Base = T.doubleTy();
+    break;
+  case Tok::KwStruct:
+    Base = parseStructSpec();
+    break;
+  case Tok::KwEnum:
+    Base = parseEnumSpec();
+    break;
+  default:
+    if (Unsigned || Signed) {
+      Base = Unsigned ? T.uintTy() : T.intTy();
+      break;
+    }
+    error(cur().Loc, formatStr("expected type, got %s",
+                               getTokenName(cur().Kind)));
+    return nullptr;
+  }
+  while (is(Tok::KwConst))
+    ++Pos;
+  return Base;
+}
+
+CTypeRef Parser::parseStructSpec() {
+  SourceLoc Loc = cur().Loc;
+  expect(Tok::KwStruct, "in struct specifier");
+  std::string Tag;
+  if (is(Tok::Identifier)) {
+    Tag = cur().Text;
+    ++Pos;
+  }
+  StructDef *SD = nullptr;
+  if (!Tag.empty()) {
+    auto It = StructTags.find(Tag);
+    if (It != StructTags.end())
+      SD = It->second;
+  }
+  if (!is(Tok::LBrace)) {
+    if (Tag.empty()) {
+      error(Loc, "anonymous struct requires a definition");
+      return TU->Types.intTy();
+    }
+    if (!SD) {
+      SD = TU->Types.createStruct(Tag);
+      StructTags[Tag] = SD;
+    }
+    return TU->Types.getStruct(SD);
+  }
+  // Definition.
+  if (!SD) {
+    SD = TU->Types.createStruct(Tag.empty() ? "<anon>" : Tag);
+    if (!Tag.empty())
+      StructTags[Tag] = SD;
+  } else if (SD->Complete) {
+    error(Loc, formatStr("redefinition of struct '%s'", Tag.c_str()));
+  }
+  expect(Tok::LBrace, "in struct definition");
+  uint32_t Offset = 0, MaxAlign = 1;
+  while (!is(Tok::RBrace) && !is(Tok::End)) {
+    CTypeRef Base = parseDeclSpec();
+    if (!Base) {
+      synchronize();
+      continue;
+    }
+    do {
+      std::string Name;
+      CTypeRef FieldTy = parseDeclarator(Base, Name, nullptr);
+      if (!FieldTy)
+        break;
+      if (Name.empty()) {
+        error(cur().Loc, "struct field requires a name");
+        break;
+      }
+      if (FieldTy->K == TypeKind::Struct && !FieldTy->SD->Complete) {
+        error(cur().Loc, "field has incomplete struct type");
+        break;
+      }
+      uint32_t A = typeAlign(FieldTy);
+      Offset = (Offset + A - 1) & ~(A - 1);
+      SD->Fields.push_back({Name, FieldTy, Offset});
+      Offset += typeSize(FieldTy);
+      if (A > MaxAlign)
+        MaxAlign = A;
+    } while (consume(Tok::Comma));
+    expect(Tok::Semi, "after struct field");
+  }
+  expect(Tok::RBrace, "closing struct definition");
+  SD->Align = MaxAlign;
+  SD->Size = (Offset + MaxAlign - 1) & ~(MaxAlign - 1);
+  if (SD->Size == 0)
+    SD->Size = MaxAlign; // empty structs get size 1-ish
+  SD->Complete = true;
+  return TU->Types.getStruct(SD);
+}
+
+CTypeRef Parser::parseEnumSpec() {
+  expect(Tok::KwEnum, "in enum specifier");
+  if (is(Tok::Identifier))
+    ++Pos; // enum tags are accepted, not tracked (enum type is int)
+  if (consume(Tok::LBrace)) {
+    int64_t Next = 0;
+    while (!is(Tok::RBrace) && !is(Tok::End)) {
+      Token Name = expect(Tok::Identifier, "in enumerator list");
+      if (consume(Tok::Assign)) {
+        ExprPtr V = parseCond();
+        auto CV = V ? constEval(V.get()) : std::nullopt;
+        if (!CV)
+          error(Name.Loc, "enumerator value is not a constant");
+        else
+          Next = *CV;
+      }
+      ScopeEntry E;
+      E.IsEnumConst = true;
+      E.EnumValue = Next++;
+      declare(Name.Text, E, Name.Loc);
+      if (!consume(Tok::Comma))
+        break;
+    }
+    expect(Tok::RBrace, "closing enumerator list");
+  }
+  return TU->Types.intTy();
+}
+
+CTypeRef Parser::parseDeclarator(CTypeRef Base, std::string &Name,
+                                 std::vector<VarDecl *> *Params) {
+  // Pointers bind first.
+  while (consume(Tok::Star)) {
+    Base = TU->Types.getPointer(Base);
+    while (is(Tok::KwConst))
+      ++Pos;
+  }
+
+  // Direct declarator: name, or parenthesized declarator (function
+  // pointers), or abstract.
+  CTypeRef InnerBaseSlot = nullptr; ///< marker type for "(...)" declarators
+  size_t InnerStart = 0, InnerEnd = 0;
+  if (is(Tok::LParen) &&
+      (peek().Kind == Tok::Star || peek().Kind == Tok::LParen)) {
+    // Remember the inner declarator tokens; parse suffixes first, then
+    // re-parse the inner declarator with the full type. (Classic two-pass
+    // trick kept simple by token positions.)
+    ++Pos;
+    InnerStart = Pos;
+    int Depth = 1;
+    while (Depth > 0 && !is(Tok::End)) {
+      if (is(Tok::LParen))
+        ++Depth;
+      if (is(Tok::RParen))
+        --Depth;
+      if (Depth > 0)
+        ++Pos;
+    }
+    InnerEnd = Pos;
+    expect(Tok::RParen, "closing declarator");
+    InnerBaseSlot = Base;
+  } else if (is(Tok::Identifier)) {
+    Name = cur().Text;
+    ++Pos;
+  }
+
+  // Suffixes: arrays and function parameter lists.
+  std::vector<uint32_t> ArrayDims;
+  bool SawUnsizedArray = false;
+  CTypeRef FnTy = nullptr;
+  if (is(Tok::LParen) && InnerBaseSlot == nullptr && Params != nullptr) {
+    // Function declarator (only supported at the outermost level, i.e.
+    // actual function declarations — function types elsewhere come from
+    // pointer-to-function declarators).
+    ++Pos;
+    std::vector<CTypeRef> ParamTypes;
+    if (is(Tok::KwVoid) && peek().Kind == Tok::RParen)
+      Pos += 1; // (void)
+    while (!is(Tok::RParen) && !is(Tok::End)) {
+      CTypeRef PBase = parseDeclSpec();
+      if (!PBase)
+        break;
+      std::string PName;
+      CTypeRef PTy = parseDeclarator(PBase, PName, nullptr);
+      if (!PTy)
+        break;
+      // Array parameters decay to pointers.
+      if (PTy->K == TypeKind::Array)
+        PTy = TU->Types.getPointer(PTy->Elem);
+      if (PTy->K == TypeKind::Func)
+        PTy = TU->Types.getPointer(PTy);
+      ParamTypes.push_back(PTy);
+      VarDecl *P = createVar(PName, PTy, cur().Loc);
+      P->IsParam = true;
+      Params->push_back(P);
+      if (!consume(Tok::Comma))
+        break;
+    }
+    expect(Tok::RParen, "closing parameter list");
+    FnTy = TU->Types.getFunc(Base, std::move(ParamTypes));
+    return FnTy;
+  }
+  while (is(Tok::LParen) || is(Tok::LBracket)) {
+    if (consume(Tok::LBracket)) {
+      if (is(Tok::RBracket)) {
+        SawUnsizedArray = true;
+        ArrayDims.push_back(0);
+      } else {
+        ExprPtr SizeE = parseCond();
+        auto CV = SizeE ? constEval(SizeE.get()) : std::nullopt;
+        if (!CV || *CV < 0) {
+          error(cur().Loc, "array size is not a non-negative constant");
+          ArrayDims.push_back(1);
+        } else {
+          ArrayDims.push_back(static_cast<uint32_t>(*CV));
+        }
+      }
+      expect(Tok::RBracket, "closing array size");
+    } else {
+      // Function type suffix for inner declarators: T (*name)(params).
+      ++Pos;
+      std::vector<CTypeRef> ParamTypes;
+      if (is(Tok::KwVoid) && peek().Kind == Tok::RParen)
+        Pos += 1;
+      while (!is(Tok::RParen) && !is(Tok::End)) {
+        CTypeRef PBase = parseDeclSpec();
+        if (!PBase)
+          break;
+        std::string PName;
+        CTypeRef PTy = parseDeclarator(PBase, PName, nullptr);
+        if (!PTy)
+          break;
+        if (PTy->K == TypeKind::Array)
+          PTy = TU->Types.getPointer(PTy->Elem);
+        if (PTy->K == TypeKind::Func)
+          PTy = TU->Types.getPointer(PTy);
+        ParamTypes.push_back(PTy);
+        if (!consume(Tok::Comma))
+          break;
+      }
+      expect(Tok::RParen, "closing parameter list");
+      Base = TU->Types.getFunc(Base, std::move(ParamTypes));
+    }
+  }
+  // Apply array dims right-to-left.
+  for (auto It = ArrayDims.rbegin(); It != ArrayDims.rend(); ++It)
+    Base = TU->Types.getArray(Base, *It);
+  (void)SawUnsizedArray;
+
+  // Re-parse an inner parenthesized declarator, with Base as its base.
+  if (InnerBaseSlot != nullptr) {
+    size_t Save = Pos;
+    Pos = InnerStart;
+    CTypeRef Result = parseDeclarator(Base, Name, nullptr);
+    // Ensure we consumed exactly the inner tokens.
+    if (Pos != InnerEnd)
+      error(cur().Loc, "malformed parenthesized declarator");
+    Pos = Save;
+    return Result;
+  }
+  return Base;
+}
+
+CTypeRef Parser::parseTypeName() {
+  CTypeRef Base = parseDeclSpec();
+  if (!Base)
+    return nullptr;
+  std::string Name;
+  CTypeRef Ty = parseDeclarator(Base, Name, nullptr);
+  if (!Name.empty())
+    error(cur().Loc, "type name cannot declare an identifier");
+  return Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<TranslationUnit> Parser::run() {
+  pushScope();
+  while (!is(Tok::End))
+    parseTopLevel();
+  popScope();
+  if (Diags.hasErrors())
+    return nullptr;
+  return std::move(TU);
+}
+
+void Parser::parseTopLevel() {
+  if (consume(Tok::Semi))
+    return;
+  if (!startsDeclSpec()) {
+    error(cur().Loc, formatStr("expected declaration, got %s",
+                               getTokenName(cur().Kind)));
+    ++Pos;
+    synchronize();
+    return;
+  }
+  CTypeRef Base = parseDeclSpec();
+  if (!Base) {
+    synchronize();
+    return;
+  }
+  // struct definition followed by ';' declares only the tag.
+  if (consume(Tok::Semi))
+    return;
+
+  while (true) {
+    SourceLoc Loc = cur().Loc;
+    std::string Name;
+    std::vector<VarDecl *> Params;
+    CTypeRef Ty = parseDeclarator(Base, Name, &Params);
+    if (!Ty) {
+      synchronize();
+      return;
+    }
+    if (Name.empty()) {
+      error(Loc, "declaration requires a name");
+      synchronize();
+      return;
+    }
+    if (Ty->K == TypeKind::Func) {
+      parseFunction(Ty, Name, std::move(Params), Loc);
+      return; // functions never chain with commas here
+    }
+    parseGlobalVar(Ty, Name, Loc);
+    if (consume(Tok::Comma))
+      continue;
+    expect(Tok::Semi, "after declaration");
+    return;
+  }
+}
+
+void Parser::parseGlobalVar(CTypeRef Ty, std::string Name, SourceLoc Loc) {
+  if (isVoidType(Ty)) {
+    error(Loc, "variable has void type");
+    return;
+  }
+  ScopeEntry *Prev = lookup(Name);
+  VarDecl *V;
+  if (Prev && Prev->Var && Prev->Var->IsGlobal) {
+    // Redeclaration (extern then definition); types must match.
+    if (!typesEqual(Prev->Var->Ty, Ty) &&
+        !(Prev->Var->Ty->K == TypeKind::Array &&
+          Ty->K == TypeKind::Array &&
+          typesEqual(Prev->Var->Ty->Elem, Ty->Elem)))
+      error(Loc, formatStr("conflicting types for '%s'", Name.c_str()));
+    V = Prev->Var;
+    if (Ty->K != TypeKind::Array || Ty->ArrayLen != 0)
+      V->Ty = Ty;
+  } else {
+    V = createVar(Name, Ty, Loc);
+    V->IsGlobal = true;
+    TU->Globals.push_back(V);
+    ScopeEntry E;
+    E.Var = V;
+    declare(Name, E, Loc);
+  }
+
+  if (!consume(Tok::Assign))
+    return;
+
+  // Initializer.
+  if (consume(Tok::LBrace)) {
+    while (!is(Tok::RBrace) && !is(Tok::End)) {
+      ExprPtr E = parseAssign();
+      if (!E)
+        break;
+      V->InitList.push_back(E.get());
+      V->InitOwned.push_back(std::move(E));
+      if (!consume(Tok::Comma))
+        break;
+    }
+    expect(Tok::RBrace, "closing initializer list");
+    if (V->Ty->K == TypeKind::Array && V->Ty->ArrayLen == 0)
+      V->Ty = TU->Types.getArray(V->Ty->Elem,
+                                 static_cast<uint32_t>(V->InitList.size()));
+  } else if (is(Tok::StringLiteral) && V->Ty->K == TypeKind::Array) {
+    V->StrInit = cur().StrValue;
+    V->HasStrInit = true;
+    ++Pos;
+    if (V->Ty->ArrayLen == 0)
+      V->Ty = TU->Types.getArray(
+          V->Ty->Elem, static_cast<uint32_t>(V->StrInit.size() + 1));
+  } else {
+    ExprPtr E = parseAssign();
+    if (E) {
+      E = convertForAssign(std::move(E), V->Ty, Loc, "initializer");
+      V->Init = E.get();
+      V->InitOwned.push_back(std::move(E));
+    }
+  }
+}
+
+void Parser::parseFunction(CTypeRef FnTy, std::string Name,
+                           std::vector<VarDecl *> Params, SourceLoc Loc) {
+  FuncDecl *Fn = TU->findFunction(Name);
+  if (Fn) {
+    if (!typesEqual(Fn->Ty, FnTy))
+      error(Loc, formatStr("conflicting types for '%s'", Name.c_str()));
+  } else {
+    TU->Functions.push_back(std::make_unique<FuncDecl>());
+    Fn = TU->Functions.back().get();
+    Fn->Name = Name;
+    Fn->Ty = FnTy;
+    Fn->Loc = Loc;
+    ScopeEntry E;
+    E.Fn = Fn;
+    declare(Name, E, Loc);
+  }
+
+  if (consume(Tok::Semi))
+    return; // prototype
+
+  if (Fn->Defined)
+    error(Loc, formatStr("redefinition of function '%s'", Name.c_str()));
+  Fn->Defined = true;
+  Fn->Params = std::move(Params);
+  CurFn = Fn;
+  pushScope();
+  for (VarDecl *P : Fn->Params) {
+    if (P->Name.empty()) {
+      error(Loc, "parameter name omitted in function definition");
+      continue;
+    }
+    ScopeEntry E;
+    E.Var = P;
+    declare(P->Name, E, P->Loc);
+  }
+  Fn->Body = parseBlock();
+  popScope();
+  CurFn = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::Block;
+  S->Loc = cur().Loc;
+  expect(Tok::LBrace, "to open block");
+  pushScope();
+  while (!is(Tok::RBrace) && !is(Tok::End)) {
+    StmtPtr Child = parseStmt();
+    if (Child)
+      S->Body.push_back(std::move(Child));
+  }
+  popScope();
+  expect(Tok::RBrace, "to close block");
+  return S;
+}
+
+StmtPtr Parser::parseLocalDecl() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::Decl;
+  S->Loc = cur().Loc;
+  CTypeRef Base = parseDeclSpec();
+  if (!Base) {
+    synchronize();
+    return S;
+  }
+  if (consume(Tok::Semi))
+    return S; // struct definition only
+  do {
+    SourceLoc Loc = cur().Loc;
+    std::string Name;
+    CTypeRef Ty = parseDeclarator(Base, Name, nullptr);
+    if (!Ty || Name.empty()) {
+      error(Loc, "expected declarator");
+      break;
+    }
+    if (isVoidType(Ty)) {
+      error(Loc, "variable has void type");
+      break;
+    }
+    if (Ty->K == TypeKind::Func) {
+      error(Loc, "local function declarations are not supported");
+      break;
+    }
+    VarDecl *V = createVar(Name, Ty, Loc);
+    ScopeEntry E;
+    E.Var = V;
+    declare(Name, E, Loc);
+    if (consume(Tok::Assign)) {
+      if (consume(Tok::LBrace)) {
+        while (!is(Tok::RBrace) && !is(Tok::End)) {
+          ExprPtr El = parseAssign();
+          if (!El)
+            break;
+          if (V->Ty->K == TypeKind::Array && isScalarType(V->Ty->Elem))
+            El = convertForAssign(std::move(El), V->Ty->Elem, Loc,
+                                  "initializer");
+          V->InitList.push_back(El.get());
+          V->InitOwned.push_back(std::move(El));
+          if (!consume(Tok::Comma))
+            break;
+        }
+        expect(Tok::RBrace, "closing initializer list");
+        if (V->Ty->K == TypeKind::Array && V->Ty->ArrayLen == 0)
+          V->Ty = TU->Types.getArray(
+              V->Ty->Elem, static_cast<uint32_t>(V->InitList.size()));
+      } else if (is(Tok::StringLiteral) && V->Ty->K == TypeKind::Array) {
+        V->StrInit = cur().StrValue;
+        V->HasStrInit = true;
+        ++Pos;
+        if (V->Ty->ArrayLen == 0)
+          V->Ty = TU->Types.getArray(
+              V->Ty->Elem, static_cast<uint32_t>(V->StrInit.size() + 1));
+      } else {
+        ExprPtr Init = parseAssign();
+        if (Init) {
+          Init = convertForAssign(std::move(Init), V->Ty, Loc,
+                                  "initializer");
+          V->Init = Init.get();
+          V->InitOwned.push_back(std::move(Init));
+        }
+      }
+    }
+    S->Decls.push_back(V);
+  } while (consume(Tok::Comma));
+  expect(Tok::Semi, "after declaration");
+  return S;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (cur().Kind) {
+  case Tok::LBrace:
+    return parseBlock();
+  case Tok::KwIf:
+    return parseIf();
+  case Tok::KwWhile:
+    return parseWhile();
+  case Tok::KwDo:
+    return parseDoWhile();
+  case Tok::KwFor:
+    return parseFor();
+  case Tok::KwReturn:
+    return parseReturn();
+  case Tok::KwSwitch:
+    return parseSwitch();
+  case Tok::KwBreak: {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Break;
+    S->Loc = cur().Loc;
+    ++Pos;
+    if (LoopDepth == 0 && SwitchDepth == 0)
+      error(S->Loc, "'break' outside loop or switch");
+    expect(Tok::Semi, "after break");
+    return S;
+  }
+  case Tok::KwContinue: {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Continue;
+    S->Loc = cur().Loc;
+    ++Pos;
+    if (LoopDepth == 0)
+      error(S->Loc, "'continue' outside loop");
+    expect(Tok::Semi, "after continue");
+    return S;
+  }
+  case Tok::KwCase:
+  case Tok::KwDefault: {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Case;
+    S->Loc = cur().Loc;
+    if (SwitchDepth == 0)
+      error(S->Loc, "case label outside switch");
+    if (consume(Tok::KwDefault)) {
+      S->IsDefault = true;
+    } else {
+      expect(Tok::KwCase, "in case label");
+      ExprPtr V = parseCond();
+      auto CV = V ? constEval(V.get()) : std::nullopt;
+      if (!CV)
+        error(S->Loc, "case label is not an integer constant");
+      else
+        S->CaseValue = *CV;
+    }
+    expect(Tok::Colon, "after case label");
+    return S;
+  }
+  case Tok::Semi: {
+    auto S = std::make_unique<Stmt>();
+    S->K = StmtKind::Empty;
+    S->Loc = cur().Loc;
+    ++Pos;
+    return S;
+  }
+  default:
+    break;
+  }
+  if (startsDeclSpec())
+    return parseLocalDecl();
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::Expr;
+  S->Loc = cur().Loc;
+  S->E = parseExpr();
+  if (!S->E)
+    synchronize();
+  else
+    expect(Tok::Semi, "after expression");
+  return S;
+}
+
+StmtPtr Parser::parseIf() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::If;
+  S->Loc = cur().Loc;
+  expect(Tok::KwIf, "");
+  expect(Tok::LParen, "after if");
+  S->E = checkCondition(parseExpr());
+  expect(Tok::RParen, "after if condition");
+  S->S1 = parseStmt();
+  if (consume(Tok::KwElse))
+    S->S2 = parseStmt();
+  return S;
+}
+
+StmtPtr Parser::parseWhile() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::While;
+  S->Loc = cur().Loc;
+  expect(Tok::KwWhile, "");
+  expect(Tok::LParen, "after while");
+  S->E = checkCondition(parseExpr());
+  expect(Tok::RParen, "after while condition");
+  ++LoopDepth;
+  S->S1 = parseStmt();
+  --LoopDepth;
+  return S;
+}
+
+StmtPtr Parser::parseDoWhile() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::DoWhile;
+  S->Loc = cur().Loc;
+  expect(Tok::KwDo, "");
+  ++LoopDepth;
+  S->S1 = parseStmt();
+  --LoopDepth;
+  expect(Tok::KwWhile, "after do body");
+  expect(Tok::LParen, "after while");
+  S->E = checkCondition(parseExpr());
+  expect(Tok::RParen, "after do-while condition");
+  expect(Tok::Semi, "after do-while");
+  return S;
+}
+
+StmtPtr Parser::parseFor() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::For;
+  S->Loc = cur().Loc;
+  expect(Tok::KwFor, "");
+  expect(Tok::LParen, "after for");
+  pushScope();
+  if (!consume(Tok::Semi)) {
+    if (startsDeclSpec()) {
+      S->S2 = parseLocalDecl(); // reuse S2 as the init declaration
+    } else {
+      S->E2 = parseExpr();
+      expect(Tok::Semi, "after for-init");
+    }
+  }
+  if (!is(Tok::Semi))
+    S->E = checkCondition(parseExpr());
+  expect(Tok::Semi, "after for-condition");
+  if (!is(Tok::RParen))
+    S->E3 = parseExpr();
+  expect(Tok::RParen, "after for clauses");
+  ++LoopDepth;
+  S->S1 = parseStmt();
+  --LoopDepth;
+  popScope();
+  return S;
+}
+
+StmtPtr Parser::parseReturn() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::Return;
+  S->Loc = cur().Loc;
+  expect(Tok::KwReturn, "");
+  CTypeRef RetTy = CurFn ? CurFn->Ty->Ret : TU->Types.intTy();
+  if (!is(Tok::Semi)) {
+    ExprPtr E = parseExpr();
+    if (isVoidType(RetTy)) {
+      error(S->Loc, "returning a value from a void function");
+    } else if (E) {
+      S->E = convertForAssign(std::move(E), RetTy, S->Loc, "return value");
+    }
+  } else if (!isVoidType(RetTy)) {
+    error(S->Loc, "non-void function must return a value");
+  }
+  expect(Tok::Semi, "after return");
+  return S;
+}
+
+StmtPtr Parser::parseSwitch() {
+  auto S = std::make_unique<Stmt>();
+  S->K = StmtKind::Switch;
+  S->Loc = cur().Loc;
+  expect(Tok::KwSwitch, "");
+  expect(Tok::LParen, "after switch");
+  ExprPtr E = parseExpr();
+  if (E) {
+    E = decay(std::move(E));
+    if (!isIntegerType(E->Ty))
+      error(S->Loc, "switch subject must have integer type");
+    else
+      E = promote(std::move(E));
+  }
+  S->E = std::move(E);
+  expect(Tok::RParen, "after switch subject");
+  ++SwitchDepth;
+  // Body must be a block; case labels live directly in it.
+  S->S1 = parseBlock();
+  --SwitchDepth;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::makeIntLit(int64_t V, SourceLoc Loc, CTypeRef Ty) {
+  auto E = std::make_unique<Expr>();
+  E->K = ExprKind::IntLit;
+  E->Loc = Loc;
+  E->Ty = Ty ? Ty : TU->Types.intTy();
+  E->IntVal = static_cast<int32_t>(V);
+  return E;
+}
+
+ExprPtr Parser::decay(ExprPtr E) {
+  if (!E)
+    return E;
+  if (E->Ty->K == TypeKind::Array) {
+    auto C = std::make_unique<Expr>();
+    C->K = ExprKind::Cast;
+    C->Loc = E->Loc;
+    C->Ty = TU->Types.getPointer(E->Ty->Elem);
+    C->L = std::move(E);
+    return C;
+  }
+  if (E->Ty->K == TypeKind::Func) {
+    auto C = std::make_unique<Expr>();
+    C->K = ExprKind::Cast;
+    C->Loc = E->Loc;
+    C->Ty = TU->Types.getPointer(E->Ty);
+    C->L = std::move(E);
+    return C;
+  }
+  return E;
+}
+
+ExprPtr Parser::castTo(ExprPtr E, CTypeRef Ty, bool Implicit) {
+  if (!E || typesEqual(E->Ty, Ty))
+    return E;
+  auto C = std::make_unique<Expr>();
+  C->K = ExprKind::Cast;
+  C->Loc = E->Loc;
+  C->Ty = Ty;
+  C->L = std::move(E);
+  (void)Implicit;
+  return C;
+}
+
+ExprPtr Parser::promote(ExprPtr E) {
+  if (!E)
+    return E;
+  if (isIntegerType(E->Ty) && typeSize(E->Ty) < 4) {
+    CTypeRef To = TU->Types.intTy();
+    return castTo(std::move(E), To, /*Implicit=*/true);
+  }
+  return E;
+}
+
+CTypeRef Parser::usualArith(ExprPtr &L, ExprPtr &R) {
+  TypeContext &T = TU->Types;
+  CTypeRef LT = L->Ty, RT = R->Ty;
+  CTypeRef Common;
+  if (LT->K == TypeKind::Double || RT->K == TypeKind::Double)
+    Common = T.doubleTy();
+  else if (LT->K == TypeKind::Float || RT->K == TypeKind::Float)
+    Common = T.floatTy();
+  else if (LT->K == TypeKind::UInt || RT->K == TypeKind::UInt)
+    Common = T.uintTy();
+  else
+    Common = T.intTy();
+  L = castTo(std::move(L), Common, true);
+  R = castTo(std::move(R), Common, true);
+  return Common;
+}
+
+ExprPtr Parser::convertForAssign(ExprPtr E, CTypeRef Ty, SourceLoc Loc,
+                                 const char *What) {
+  if (!E)
+    return E;
+  E = decay(std::move(E));
+  if (typesEqual(E->Ty, Ty))
+    return E;
+  if (isArithType(Ty) && isArithType(E->Ty))
+    return castTo(std::move(E), Ty, true);
+  if (isPointerType(Ty) && isPointerType(E->Ty))
+    return castTo(std::move(E), Ty, true); // K&R-style laxness
+  if (isPointerType(Ty) && E->K == ExprKind::IntLit && E->IntVal == 0)
+    return castTo(std::move(E), Ty, true); // null pointer constant
+  error(Loc, formatStr("incompatible types in %s: cannot convert %s to %s",
+                       What, typeName(E->Ty).c_str(),
+                       typeName(Ty).c_str()));
+  return castTo(std::move(E), Ty, true);
+}
+
+ExprPtr Parser::checkCondition(ExprPtr E) {
+  if (!E)
+    return E;
+  E = decay(std::move(E));
+  if (!isScalarType(E->Ty)) {
+    error(E->Loc, formatStr("condition has non-scalar type %s",
+                            typeName(E->Ty).c_str()));
+  }
+  return E;
+}
+
+std::optional<int64_t> Parser::constEval(const Expr *E) {
+  if (!E)
+    return std::nullopt;
+  switch (E->K) {
+  case ExprKind::IntLit:
+    return E->IntVal;
+  case ExprKind::Cast: {
+    auto V = constEval(E->L.get());
+    if (!V)
+      return std::nullopt;
+    switch (E->Ty->K) {
+    case TypeKind::Char:
+      return static_cast<int8_t>(*V);
+    case TypeKind::UChar:
+      return static_cast<uint8_t>(*V);
+    case TypeKind::Short:
+      return static_cast<int16_t>(*V);
+    case TypeKind::UShort:
+      return static_cast<uint16_t>(*V);
+    case TypeKind::Int:
+      return static_cast<int32_t>(*V);
+    case TypeKind::UInt:
+      return static_cast<int64_t>(static_cast<uint32_t>(*V));
+    default:
+      return std::nullopt;
+    }
+  }
+  case ExprKind::Unary: {
+    auto V = constEval(E->L.get());
+    if (!V)
+      return std::nullopt;
+    switch (E->Op) {
+    case Tok::Minus:
+      return -*V;
+    case Tok::Tilde:
+      return ~*V;
+    case Tok::Bang:
+      return *V == 0 ? 1 : 0;
+    default:
+      return std::nullopt;
+    }
+  }
+  case ExprKind::Binary: {
+    auto A = constEval(E->L.get());
+    auto B = constEval(E->R.get());
+    if (!A || !B)
+      return std::nullopt;
+    int32_t X = static_cast<int32_t>(*A), Y = static_cast<int32_t>(*B);
+    switch (E->Op) {
+    case Tok::Plus:
+      return X + Y;
+    case Tok::Minus:
+      return X - Y;
+    case Tok::Star:
+      return X * Y;
+    case Tok::Slash:
+      return Y == 0 ? std::optional<int64_t>() : X / Y;
+    case Tok::Percent:
+      return Y == 0 ? std::optional<int64_t>() : X % Y;
+    case Tok::Amp:
+      return X & Y;
+    case Tok::Pipe:
+      return X | Y;
+    case Tok::Caret:
+      return X ^ Y;
+    case Tok::Shl:
+      return X << (Y & 31);
+    case Tok::Shr:
+      return X >> (Y & 31);
+    case Tok::Lt:
+      return X < Y;
+    case Tok::Gt:
+      return X > Y;
+    case Tok::Le:
+      return X <= Y;
+    case Tok::Ge:
+      return X >= Y;
+    case Tok::EqEq:
+      return X == Y;
+    case Tok::NotEq:
+      return X != Y;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr L = parseAssign();
+  while (L && is(Tok::Comma)) {
+    SourceLoc Loc = cur().Loc;
+    ++Pos;
+    ExprPtr R = parseAssign();
+    if (!R)
+      break;
+    auto E = std::make_unique<Expr>();
+    E->K = ExprKind::Comma;
+    E->Loc = Loc;
+    E->Ty = R->Ty;
+    E->L = std::move(L);
+    E->R = std::move(R);
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::buildAssign(ExprPtr L, ExprPtr R, SourceLoc Loc) {
+  if (!L || !R)
+    return nullptr;
+  if (!L->IsLValue || L->Ty->K == TypeKind::Array) {
+    error(Loc, "assignment target is not an lvalue");
+    return L;
+  }
+  if (L->Ty->K == TypeKind::Struct) {
+    error(Loc, "struct assignment is not supported (use explicit copies)");
+    return L;
+  }
+  R = convertForAssign(std::move(R), L->Ty, Loc, "assignment");
+  auto E = std::make_unique<Expr>();
+  E->K = ExprKind::Assign;
+  E->Loc = Loc;
+  E->Ty = L->Ty;
+  E->L = std::move(L);
+  E->R = std::move(R);
+  return E;
+}
+
+ExprPtr Parser::parseAssign() {
+  ExprPtr L = parseCond();
+  if (!L)
+    return L;
+  Tok K = cur().Kind;
+  SourceLoc Loc = cur().Loc;
+  switch (K) {
+  case Tok::Assign: {
+    ++Pos;
+    ExprPtr R = parseAssign();
+    return buildAssign(std::move(L), std::move(R), Loc);
+  }
+  case Tok::PlusAssign:
+  case Tok::MinusAssign:
+  case Tok::StarAssign:
+  case Tok::SlashAssign:
+  case Tok::PercentAssign:
+  case Tok::ShlAssign:
+  case Tok::ShrAssign:
+  case Tok::AmpAssign:
+  case Tok::PipeAssign:
+  case Tok::CaretAssign: {
+    ++Pos;
+    ExprPtr R = parseAssign();
+    if (!L->IsLValue) {
+      error(Loc, "assignment target is not an lvalue");
+      return L;
+    }
+    Tok Under;
+    switch (K) {
+    case Tok::PlusAssign:
+      Under = Tok::Plus;
+      break;
+    case Tok::MinusAssign:
+      Under = Tok::Minus;
+      break;
+    case Tok::StarAssign:
+      Under = Tok::Star;
+      break;
+    case Tok::SlashAssign:
+      Under = Tok::Slash;
+      break;
+    case Tok::PercentAssign:
+      Under = Tok::Percent;
+      break;
+    case Tok::ShlAssign:
+      Under = Tok::Shl;
+      break;
+    case Tok::ShrAssign:
+      Under = Tok::Shr;
+      break;
+    case Tok::AmpAssign:
+      Under = Tok::Amp;
+      break;
+    case Tok::PipeAssign:
+      Under = Tok::Pipe;
+      break;
+    default:
+      Under = Tok::Caret;
+      break;
+    }
+    auto E = std::make_unique<Expr>();
+    E->K = ExprKind::CompoundAssign;
+    E->Loc = Loc;
+    E->Op = Under;
+    E->Ty = L->Ty;
+    if (L->Ty->K == TypeKind::Pointer &&
+        (Under == Tok::Plus || Under == Tok::Minus)) {
+      if (R) {
+        R = decay(std::move(R));
+        if (!isIntegerType(R->Ty))
+          error(Loc, "pointer arithmetic requires an integer operand");
+        R = promote(std::move(R));
+      }
+    } else if (R) {
+      R = decay(std::move(R));
+      if (!isArithType(L->Ty) || !isArithType(R->Ty))
+        error(Loc, "invalid operands to compound assignment");
+      // Compute in the promoted common type; lowering truncates on store.
+      R = promote(std::move(R));
+    }
+    E->L = std::move(L);
+    E->R = std::move(R);
+    return E;
+  }
+  default:
+    return L;
+  }
+}
+
+ExprPtr Parser::parseCond() {
+  ExprPtr C = parseBinary(0);
+  if (!C || !is(Tok::Question))
+    return C;
+  SourceLoc Loc = cur().Loc;
+  ++Pos;
+  C = checkCondition(std::move(C));
+  ExprPtr L = parseAssign();
+  expect(Tok::Colon, "in conditional expression");
+  ExprPtr R = parseCond();
+  if (!L || !R)
+    return C;
+  L = decay(std::move(L));
+  R = decay(std::move(R));
+  auto E = std::make_unique<Expr>();
+  E->K = ExprKind::Cond;
+  E->Loc = Loc;
+  if (isArithType(L->Ty) && isArithType(R->Ty)) {
+    E->Ty = usualArith(L, R);
+  } else if (typesEqual(L->Ty, R->Ty)) {
+    E->Ty = L->Ty;
+  } else if (isPointerType(L->Ty) && isPointerType(R->Ty)) {
+    E->Ty = L->Ty;
+  } else if (isPointerType(L->Ty) && R->K == ExprKind::IntLit &&
+             R->IntVal == 0) {
+    R = castTo(std::move(R), L->Ty, true);
+    E->Ty = L->Ty;
+  } else if (isPointerType(R->Ty) && L->K == ExprKind::IntLit &&
+             L->IntVal == 0) {
+    L = castTo(std::move(L), R->Ty, true);
+    E->Ty = R->Ty;
+  } else {
+    error(Loc, "incompatible operand types in conditional expression");
+    E->Ty = L->Ty;
+  }
+  E->C = std::move(C);
+  E->L = std::move(L);
+  E->R = std::move(R);
+  return E;
+}
+
+namespace {
+/// Binary operator precedence (higher binds tighter); -1 = not binary.
+int precedenceOf(Tok K) {
+  switch (K) {
+  case Tok::PipePipe:
+    return 1;
+  case Tok::AmpAmp:
+    return 2;
+  case Tok::Pipe:
+    return 3;
+  case Tok::Caret:
+    return 4;
+  case Tok::Amp:
+    return 5;
+  case Tok::EqEq:
+  case Tok::NotEq:
+    return 6;
+  case Tok::Lt:
+  case Tok::Gt:
+  case Tok::Le:
+  case Tok::Ge:
+    return 7;
+  case Tok::Shl:
+  case Tok::Shr:
+    return 8;
+  case Tok::Plus:
+  case Tok::Minus:
+    return 9;
+  case Tok::Star:
+  case Tok::Slash:
+  case Tok::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+} // namespace
+
+ExprPtr Parser::buildBinary(Tok Op, ExprPtr L, ExprPtr R, SourceLoc Loc) {
+  if (!L || !R)
+    return L ? std::move(L) : std::move(R);
+  L = decay(std::move(L));
+  R = decay(std::move(R));
+  TypeContext &T = TU->Types;
+  auto E = std::make_unique<Expr>();
+  E->K = ExprKind::Binary;
+  E->Loc = Loc;
+  E->Op = Op;
+
+  switch (Op) {
+  case Tok::AmpAmp:
+  case Tok::PipePipe:
+    if (!isScalarType(L->Ty) || !isScalarType(R->Ty))
+      error(Loc, "logical operators require scalar operands");
+    E->Ty = T.intTy();
+    break;
+  case Tok::EqEq:
+  case Tok::NotEq:
+  case Tok::Lt:
+  case Tok::Gt:
+  case Tok::Le:
+  case Tok::Ge:
+    if (isArithType(L->Ty) && isArithType(R->Ty)) {
+      usualArith(L, R);
+    } else if (isPointerType(L->Ty) && isPointerType(R->Ty)) {
+      // pointer comparison; compared as unsigned addresses
+    } else if (isPointerType(L->Ty) && R->K == ExprKind::IntLit &&
+               R->IntVal == 0) {
+      R = castTo(std::move(R), L->Ty, true);
+    } else if (isPointerType(R->Ty) && L->K == ExprKind::IntLit &&
+               L->IntVal == 0) {
+      L = castTo(std::move(L), R->Ty, true);
+    } else {
+      error(Loc, formatStr("invalid comparison between %s and %s",
+                           typeName(L->Ty).c_str(),
+                           typeName(R->Ty).c_str()));
+    }
+    E->Ty = T.intTy();
+    break;
+  case Tok::Plus:
+    if (isPointerType(L->Ty) && isIntegerType(R->Ty)) {
+      R = promote(std::move(R));
+      E->Ty = L->Ty;
+    } else if (isIntegerType(L->Ty) && isPointerType(R->Ty)) {
+      std::swap(L, R);
+      R = promote(std::move(R));
+      E->Ty = L->Ty;
+    } else if (isArithType(L->Ty) && isArithType(R->Ty)) {
+      E->Ty = usualArith(L, R);
+    } else {
+      error(Loc, "invalid operands to +");
+      E->Ty = T.intTy();
+    }
+    break;
+  case Tok::Minus:
+    if (isPointerType(L->Ty) && isPointerType(R->Ty)) {
+      E->Ty = T.intTy(); // ptrdiff
+    } else if (isPointerType(L->Ty) && isIntegerType(R->Ty)) {
+      R = promote(std::move(R));
+      E->Ty = L->Ty;
+    } else if (isArithType(L->Ty) && isArithType(R->Ty)) {
+      E->Ty = usualArith(L, R);
+    } else {
+      error(Loc, "invalid operands to -");
+      E->Ty = T.intTy();
+    }
+    break;
+  case Tok::Star:
+  case Tok::Slash:
+    if (!isArithType(L->Ty) || !isArithType(R->Ty)) {
+      error(Loc, "invalid operands to multiplicative operator");
+      E->Ty = T.intTy();
+    } else {
+      E->Ty = usualArith(L, R);
+    }
+    break;
+  case Tok::Percent:
+  case Tok::Amp:
+  case Tok::Pipe:
+  case Tok::Caret:
+  case Tok::Shl:
+  case Tok::Shr:
+    if (!isIntegerType(L->Ty) || !isIntegerType(R->Ty)) {
+      error(Loc, "bitwise/modulo operators require integer operands");
+      E->Ty = T.intTy();
+    } else if (Op == Tok::Shl || Op == Tok::Shr) {
+      L = promote(std::move(L));
+      R = promote(std::move(R));
+      E->Ty = L->Ty;
+    } else {
+      E->Ty = usualArith(L, R);
+    }
+    break;
+  default:
+    assert(false && "not a binary operator");
+    E->Ty = T.intTy();
+    break;
+  }
+  E->L = std::move(L);
+  E->R = std::move(R);
+  return E;
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr L = parseCastOrUnary();
+  while (L) {
+    int Prec = precedenceOf(cur().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      break;
+    Tok Op = cur().Kind;
+    SourceLoc Loc = cur().Loc;
+    ++Pos;
+    ExprPtr R = parseBinary(Prec + 1);
+    L = buildBinary(Op, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseCastOrUnary() {
+  // "( type-name )" cast — lookahead distinguishes from parenthesized expr.
+  if (is(Tok::LParen)) {
+    Tok Next = peek().Kind;
+    bool IsType = false;
+    switch (Next) {
+    case Tok::KwVoid:
+    case Tok::KwChar:
+    case Tok::KwShort:
+    case Tok::KwInt:
+    case Tok::KwUnsigned:
+    case Tok::KwSigned:
+    case Tok::KwFloat:
+    case Tok::KwDouble:
+    case Tok::KwStruct:
+    case Tok::KwEnum:
+    case Tok::KwConst:
+    case Tok::KwLong:
+      IsType = true;
+      break;
+    default:
+      break;
+    }
+    if (IsType) {
+      SourceLoc Loc = cur().Loc;
+      ++Pos;
+      CTypeRef Ty = parseTypeName();
+      expect(Tok::RParen, "after cast type");
+      ExprPtr E = parseCastOrUnary();
+      if (!E || !Ty)
+        return E;
+      E = decay(std::move(E));
+      if (!isScalarType(Ty) && !isVoidType(Ty))
+        error(Loc, "cast target must be a scalar type");
+      else if (!isScalarType(E->Ty) && !isVoidType(Ty))
+        error(Loc, "cast operand must be a scalar");
+      return castTo(std::move(E), Ty, /*Implicit=*/false);
+    }
+  }
+  return parseUnary();
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case Tok::Plus:
+    ++Pos;
+    return promote(decay(parseCastOrUnary()));
+  case Tok::Minus:
+  case Tok::Tilde:
+  case Tok::Bang: {
+    Tok Op = cur().Kind;
+    ++Pos;
+    ExprPtr E = parseCastOrUnary();
+    if (!E)
+      return E;
+    E = decay(std::move(E));
+    auto U = std::make_unique<Expr>();
+    U->K = ExprKind::Unary;
+    U->Loc = Loc;
+    U->Op = Op;
+    if (Op == Tok::Bang) {
+      if (!isScalarType(E->Ty))
+        error(Loc, "'!' requires a scalar operand");
+      U->Ty = TU->Types.intTy();
+    } else if (Op == Tok::Tilde) {
+      if (!isIntegerType(E->Ty))
+        error(Loc, "'~' requires an integer operand");
+      E = promote(std::move(E));
+      U->Ty = E->Ty;
+    } else {
+      if (!isArithType(E->Ty))
+        error(Loc, "unary '-' requires an arithmetic operand");
+      E = promote(std::move(E));
+      U->Ty = E->Ty;
+    }
+    U->L = std::move(E);
+    return U;
+  }
+  case Tok::Star: {
+    ++Pos;
+    ExprPtr E = parseCastOrUnary();
+    if (!E)
+      return E;
+    E = decay(std::move(E));
+    if (!isPointerType(E->Ty)) {
+      error(Loc, formatStr("cannot dereference %s",
+                           typeName(E->Ty).c_str()));
+      return E;
+    }
+    if (E->Ty->Pointee->K == TypeKind::Func)
+      return E; // *fnptr == fnptr
+    auto D = std::make_unique<Expr>();
+    D->K = ExprKind::Deref;
+    D->Loc = Loc;
+    D->Ty = E->Ty->Pointee;
+    D->IsLValue = true;
+    D->L = std::move(E);
+    return D;
+  }
+  case Tok::Amp: {
+    ++Pos;
+    ExprPtr E = parseCastOrUnary();
+    if (!E)
+      return E;
+    if (E->K == ExprKind::FuncRef)
+      return decay(std::move(E)); // &f == f
+    if (!E->IsLValue) {
+      error(Loc, "cannot take the address of an rvalue");
+      return E;
+    }
+    if (E->K == ExprKind::VarRef && !E->Var->IsGlobal)
+      E->Var->AddressTaken = true;
+    auto A = std::make_unique<Expr>();
+    A->K = ExprKind::AddrOf;
+    A->Loc = Loc;
+    A->Ty = TU->Types.getPointer(E->Ty);
+    A->L = std::move(E);
+    return A;
+  }
+  case Tok::PlusPlus:
+  case Tok::MinusMinus: {
+    Tok Op = cur().Kind;
+    ++Pos;
+    ExprPtr E = parseUnary();
+    if (!E)
+      return E;
+    if (!E->IsLValue || !(isArithType(E->Ty) || isPointerType(E->Ty))) {
+      error(Loc, "++/-- requires a scalar lvalue");
+      return E;
+    }
+    auto U = std::make_unique<Expr>();
+    U->K = ExprKind::IncDec;
+    U->Loc = Loc;
+    U->Op = Op;
+    U->IsPostfix = false;
+    U->Ty = E->Ty;
+    U->L = std::move(E);
+    return U;
+  }
+  case Tok::KwSizeof: {
+    ++Pos;
+    uint32_t Size = 0;
+    if (is(Tok::LParen)) {
+      Tok Next = peek().Kind;
+      bool IsType = false;
+      switch (Next) {
+      case Tok::KwVoid:
+      case Tok::KwChar:
+      case Tok::KwShort:
+      case Tok::KwInt:
+      case Tok::KwUnsigned:
+      case Tok::KwSigned:
+      case Tok::KwFloat:
+      case Tok::KwDouble:
+      case Tok::KwStruct:
+      case Tok::KwEnum:
+      case Tok::KwConst:
+      case Tok::KwLong:
+        IsType = true;
+        break;
+      default:
+        break;
+      }
+      if (IsType) {
+        ++Pos;
+        CTypeRef Ty = parseTypeName();
+        expect(Tok::RParen, "after sizeof type");
+        Size = Ty ? typeSize(Ty) : 0;
+        return makeIntLit(Size, Loc, TU->Types.uintTy());
+      }
+    }
+    ExprPtr E = parseUnary();
+    Size = E ? typeSize(E->Ty) : 0;
+    return makeIntLit(Size, Loc, TU->Types.uintTy());
+  }
+  default:
+    return parsePostfix(parsePrimary());
+  }
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr E) {
+  while (E) {
+    SourceLoc Loc = cur().Loc;
+    if (consume(Tok::LBracket)) {
+      ExprPtr Idx = parseExpr();
+      expect(Tok::RBracket, "closing subscript");
+      E = decay(std::move(E));
+      if (Idx)
+        Idx = promote(decay(std::move(Idx)));
+      // Support idx[ptr] too by swapping.
+      if (Idx && isPointerType(Idx->Ty) && isIntegerType(E->Ty))
+        std::swap(E, Idx);
+      if (!isPointerType(E->Ty)) {
+        error(Loc, "subscripted value is not an array or pointer");
+        continue;
+      }
+      if (Idx && !isIntegerType(Idx->Ty))
+        error(Loc, "array subscript is not an integer");
+      // a[i] == *(a + i)
+      ExprPtr Sum = buildBinary(Tok::Plus, std::move(E), std::move(Idx),
+                                Loc);
+      auto D = std::make_unique<Expr>();
+      D->K = ExprKind::Deref;
+      D->Loc = Loc;
+      D->Ty = Sum->Ty->Pointee;
+      D->IsLValue = true;
+      D->L = std::move(Sum);
+      E = std::move(D);
+      continue;
+    }
+    if (consume(Tok::LParen)) {
+      // Call.
+      std::vector<ExprPtr> Args;
+      while (!is(Tok::RParen) && !is(Tok::End)) {
+        ExprPtr A = parseAssign();
+        if (!A)
+          break;
+        Args.push_back(std::move(A));
+        if (!consume(Tok::Comma))
+          break;
+      }
+      expect(Tok::RParen, "closing call");
+      CTypeRef FnTy = nullptr;
+      if (E->K == ExprKind::FuncRef) {
+        FnTy = E->Fn->Ty;
+      } else {
+        E = decay(std::move(E));
+        if (isPointerType(E->Ty) && E->Ty->Pointee->K == TypeKind::Func)
+          FnTy = E->Ty->Pointee;
+      }
+      if (!FnTy) {
+        error(Loc, "called object is not a function");
+        continue;
+      }
+      auto C = std::make_unique<Expr>();
+      C->K = ExprKind::Call;
+      C->Loc = Loc;
+      C->Ty = FnTy->Ret;
+      if (Args.size() != FnTy->Params.size())
+        error(Loc, formatStr("call expects %zu arguments, got %zu",
+                             FnTy->Params.size(), Args.size()));
+      for (size_t I = 0; I < Args.size(); ++I) {
+        ExprPtr A = std::move(Args[I]);
+        if (I < FnTy->Params.size())
+          A = convertForAssign(std::move(A), FnTy->Params[I], Loc,
+                               "argument");
+        else
+          A = decay(std::move(A));
+        C->Args.push_back(std::move(A));
+      }
+      C->L = std::move(E);
+      E = std::move(C);
+      continue;
+    }
+    if (is(Tok::Dot) || is(Tok::Arrow)) {
+      bool IsArrow = cur().Kind == Tok::Arrow;
+      ++Pos;
+      Token Name = expect(Tok::Identifier, "after member operator");
+      const StructDef *SD = nullptr;
+      if (IsArrow) {
+        E = decay(std::move(E));
+        if (isPointerType(E->Ty) && E->Ty->Pointee->K == TypeKind::Struct)
+          SD = E->Ty->Pointee->SD;
+      } else if (E->Ty->K == TypeKind::Struct) {
+        SD = E->Ty->SD;
+      }
+      if (!SD || !SD->Complete) {
+        error(Loc, "member access requires a complete struct type");
+        continue;
+      }
+      const StructDef::Field *F = SD->findField(Name.Text);
+      if (!F) {
+        error(Name.Loc, formatStr("no field '%s' in struct %s",
+                                  Name.Text.c_str(), SD->Name.c_str()));
+        continue;
+      }
+      if (IsArrow) {
+        // p->f  ==  (*p).f : materialize the deref.
+        auto D = std::make_unique<Expr>();
+        D->K = ExprKind::Deref;
+        D->Loc = Loc;
+        D->Ty = E->Ty->Pointee;
+        D->IsLValue = true;
+        D->L = std::move(E);
+        E = std::move(D);
+      }
+      auto M = std::make_unique<Expr>();
+      M->K = ExprKind::Member;
+      M->Loc = Loc;
+      M->Ty = F->Ty;
+      M->IsLValue = E->IsLValue;
+      M->Field = F;
+      M->L = std::move(E);
+      E = std::move(M);
+      continue;
+    }
+    if (is(Tok::PlusPlus) || is(Tok::MinusMinus)) {
+      Tok Op = cur().Kind;
+      ++Pos;
+      if (!E->IsLValue || !(isArithType(E->Ty) || isPointerType(E->Ty))) {
+        error(Loc, "++/-- requires a scalar lvalue");
+        continue;
+      }
+      auto U = std::make_unique<Expr>();
+      U->K = ExprKind::IncDec;
+      U->Loc = Loc;
+      U->Op = Op;
+      U->IsPostfix = true;
+      U->Ty = E->Ty;
+      U->L = std::move(E);
+      E = std::move(U);
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case Tok::IntLiteral: {
+    int64_t V = cur().IntValue;
+    ++Pos;
+    return makeIntLit(V, Loc);
+  }
+  case Tok::CharLiteral: {
+    int64_t V = cur().IntValue;
+    ++Pos;
+    return makeIntLit(V, Loc); // char literals have type int in C
+  }
+  case Tok::FloatLiteral: {
+    auto E = std::make_unique<Expr>();
+    E->K = ExprKind::FloatLit;
+    E->Loc = Loc;
+    E->Ty = cur().IsFloatSuffix ? TU->Types.floatTy() : TU->Types.doubleTy();
+    E->FloatVal = cur().FloatValue;
+    ++Pos;
+    return E;
+  }
+  case Tok::StringLiteral: {
+    auto E = std::make_unique<Expr>();
+    E->K = ExprKind::StringLit;
+    E->Loc = Loc;
+    E->Ty = TU->Types.getPointer(TU->Types.charTy());
+    E->Str = cur().StrValue;
+    E->IntVal = static_cast<int64_t>(TU->StringPool.size());
+    TU->StringPool.push_back(cur().StrValue);
+    ++Pos;
+    return E;
+  }
+  case Tok::Identifier: {
+    std::string Name = cur().Text;
+    ++Pos;
+    ScopeEntry *Entry = lookup(Name);
+    if (!Entry) {
+      error(Loc, formatStr("use of undeclared identifier '%s'",
+                           Name.c_str()));
+      return makeIntLit(0, Loc);
+    }
+    if (Entry->IsEnumConst)
+      return makeIntLit(Entry->EnumValue, Loc);
+    if (Entry->Fn) {
+      auto E = std::make_unique<Expr>();
+      E->K = ExprKind::FuncRef;
+      E->Loc = Loc;
+      E->Ty = Entry->Fn->Ty;
+      E->Fn = Entry->Fn;
+      return E;
+    }
+    auto E = std::make_unique<Expr>();
+    E->K = ExprKind::VarRef;
+    E->Loc = Loc;
+    E->Ty = Entry->Var->Ty;
+    E->Var = Entry->Var;
+    E->IsLValue = true;
+    return E;
+  }
+  case Tok::LParen: {
+    ++Pos;
+    ExprPtr E = parseExpr();
+    expect(Tok::RParen, "closing parenthesis");
+    return E;
+  }
+  default:
+    error(Loc, formatStr("expected expression, got %s",
+                         getTokenName(cur().Kind)));
+    ++Pos;
+    return nullptr;
+  }
+}
+
+} // namespace
+
+std::unique_ptr<TranslationUnit>
+omni::minic::parse(const std::string &Source, DiagnosticEngine &Diags) {
+  std::vector<Token> Toks = tokenize(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Toks), Diags);
+  return P.run();
+}

@@ -1,0 +1,250 @@
+//===- frontend/Types.cpp -------------------------------------------------===//
+
+#include "frontend/Types.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace omni;
+using namespace omni::minic;
+
+TypeContext::TypeContext() {
+  TypeKind Kinds[9] = {TypeKind::Void,  TypeKind::Char,  TypeKind::UChar,
+                       TypeKind::Short, TypeKind::UShort, TypeKind::Int,
+                       TypeKind::UInt,  TypeKind::Float, TypeKind::Double};
+  for (int I = 0; I < 9; ++I)
+    Basic[I].K = Kinds[I];
+}
+
+CTypeRef TypeContext::getPointer(CTypeRef Pointee) {
+  for (const CType &T : Derived)
+    if (T.K == TypeKind::Pointer && T.Pointee == Pointee)
+      return &T;
+  CType T;
+  T.K = TypeKind::Pointer;
+  T.Pointee = Pointee;
+  Derived.push_back(T);
+  return &Derived.back();
+}
+
+CTypeRef TypeContext::getArray(CTypeRef Elem, uint32_t Len) {
+  for (const CType &T : Derived)
+    if (T.K == TypeKind::Array && T.Elem == Elem && T.ArrayLen == Len)
+      return &T;
+  CType T;
+  T.K = TypeKind::Array;
+  T.Elem = Elem;
+  T.ArrayLen = Len;
+  Derived.push_back(T);
+  return &Derived.back();
+}
+
+CTypeRef TypeContext::getFunc(CTypeRef Ret, std::vector<CTypeRef> Params) {
+  for (const CType &T : Derived) {
+    if (T.K != TypeKind::Func || T.Ret != Ret ||
+        T.Params.size() != Params.size())
+      continue;
+    bool Same = true;
+    for (size_t I = 0; I < Params.size(); ++I)
+      if (T.Params[I] != Params[I])
+        Same = false;
+    if (Same)
+      return &T;
+  }
+  CType T;
+  T.K = TypeKind::Func;
+  T.Ret = Ret;
+  T.Params = std::move(Params);
+  Derived.push_back(T);
+  return &Derived.back();
+}
+
+CTypeRef TypeContext::getStruct(StructDef *Def) {
+  for (const CType &T : Derived)
+    if (T.K == TypeKind::Struct && T.SD == Def)
+      return &T;
+  CType T;
+  T.K = TypeKind::Struct;
+  T.SD = Def;
+  Derived.push_back(T);
+  return &Derived.back();
+}
+
+StructDef *TypeContext::createStruct(std::string Name) {
+  Structs.push_back(StructDef());
+  Structs.back().Name = std::move(Name);
+  return &Structs.back();
+}
+
+uint32_t omni::minic::typeSize(CTypeRef T) {
+  switch (T->K) {
+  case TypeKind::Void:
+    return 0;
+  case TypeKind::Char:
+  case TypeKind::UChar:
+    return 1;
+  case TypeKind::Short:
+  case TypeKind::UShort:
+    return 2;
+  case TypeKind::Int:
+  case TypeKind::UInt:
+  case TypeKind::Float:
+  case TypeKind::Pointer:
+    return 4;
+  case TypeKind::Double:
+    return 8;
+  case TypeKind::Array:
+    return typeSize(T->Elem) * T->ArrayLen;
+  case TypeKind::Struct:
+    assert(T->SD->Complete && "sizeof incomplete struct");
+    return T->SD->Size;
+  case TypeKind::Func:
+    return 4; // decays to pointer
+  }
+  return 0;
+}
+
+uint32_t omni::minic::typeAlign(CTypeRef T) {
+  switch (T->K) {
+  case TypeKind::Array:
+    return typeAlign(T->Elem);
+  case TypeKind::Struct:
+    return T->SD->Align;
+  case TypeKind::Double:
+    return 8;
+  default: {
+    uint32_t S = typeSize(T);
+    return S == 0 ? 1 : S;
+  }
+  }
+}
+
+bool omni::minic::isIntegerType(CTypeRef T) {
+  switch (T->K) {
+  case TypeKind::Char:
+  case TypeKind::UChar:
+  case TypeKind::Short:
+  case TypeKind::UShort:
+  case TypeKind::Int:
+  case TypeKind::UInt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool omni::minic::isSignedIntType(CTypeRef T) {
+  return T->K == TypeKind::Char || T->K == TypeKind::Short ||
+         T->K == TypeKind::Int;
+}
+
+bool omni::minic::isFloatType(CTypeRef T) {
+  return T->K == TypeKind::Float || T->K == TypeKind::Double;
+}
+
+bool omni::minic::isArithType(CTypeRef T) {
+  return isIntegerType(T) || isFloatType(T);
+}
+
+bool omni::minic::isPointerType(CTypeRef T) {
+  return T->K == TypeKind::Pointer;
+}
+
+bool omni::minic::isScalarType(CTypeRef T) {
+  return isArithType(T) || isPointerType(T);
+}
+
+bool omni::minic::isVoidType(CTypeRef T) { return T->K == TypeKind::Void; }
+
+bool omni::minic::typesEqual(CTypeRef A, CTypeRef B) {
+  if (A == B)
+    return true;
+  if (A->K != B->K)
+    return false;
+  switch (A->K) {
+  case TypeKind::Pointer:
+    return typesEqual(A->Pointee, B->Pointee);
+  case TypeKind::Array:
+    return A->ArrayLen == B->ArrayLen && typesEqual(A->Elem, B->Elem);
+  case TypeKind::Struct:
+    return A->SD == B->SD;
+  case TypeKind::Func: {
+    if (!typesEqual(A->Ret, B->Ret) || A->Params.size() != B->Params.size())
+      return false;
+    for (size_t I = 0; I < A->Params.size(); ++I)
+      if (!typesEqual(A->Params[I], B->Params[I]))
+        return false;
+    return true;
+  }
+  default:
+    return true; // same basic kind
+  }
+}
+
+ir::Type omni::minic::irTypeOf(CTypeRef T) {
+  switch (T->K) {
+  case TypeKind::Float:
+    return ir::Type::F32;
+  case TypeKind::Double:
+    return ir::Type::F64;
+  default:
+    return ir::Type::I32;
+  }
+}
+
+ir::MemWidth omni::minic::memWidthOf(CTypeRef T) {
+  switch (T->K) {
+  case TypeKind::Char:
+  case TypeKind::UChar:
+    return ir::MemWidth::W8;
+  case TypeKind::Short:
+  case TypeKind::UShort:
+    return ir::MemWidth::W16;
+  case TypeKind::Float:
+    return ir::MemWidth::F32;
+  case TypeKind::Double:
+    return ir::MemWidth::F64;
+  default:
+    return ir::MemWidth::W32;
+  }
+}
+
+std::string omni::minic::typeName(CTypeRef T) {
+  switch (T->K) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::UChar:
+    return "unsigned char";
+  case TypeKind::Short:
+    return "short";
+  case TypeKind::UShort:
+    return "unsigned short";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::UInt:
+    return "unsigned int";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Pointer:
+    return typeName(T->Pointee) + " *";
+  case TypeKind::Array:
+    return formatStr("%s [%u]", typeName(T->Elem).c_str(), T->ArrayLen);
+  case TypeKind::Struct:
+    return "struct " + T->SD->Name;
+  case TypeKind::Func: {
+    std::string S = typeName(T->Ret) + " (";
+    for (size_t I = 0; I < T->Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += typeName(T->Params[I]);
+    }
+    return S + ")";
+  }
+  }
+  return "?";
+}

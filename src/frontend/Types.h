@@ -1,0 +1,134 @@
+//===- frontend/Types.h - MiniC type system ---------------------*- C++ -*-===//
+///
+/// \file
+/// C-level types for MiniC. OmniVM defines the sizes of primitive types
+/// (paper §3.3), so layout decisions — struct padding, array strides,
+/// pointer width — are made here in the compiler and become explicit
+/// address arithmetic in the IR.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_TYPES_H
+#define OMNI_FRONTEND_TYPES_H
+
+#include "ir/IR.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace minic {
+
+enum class TypeKind : uint8_t {
+  Void,
+  Char,   ///< signed 8-bit
+  UChar,
+  Short,  ///< signed 16-bit
+  UShort,
+  Int,    ///< signed 32-bit
+  UInt,
+  Float,  ///< IEEE single
+  Double, ///< IEEE double
+  Pointer,
+  Array,
+  Struct,
+  Func,
+};
+
+struct CType;
+struct StructDef;
+using CTypeRef = const CType *;
+
+/// A MiniC type. Instances are interned/owned by TypeContext; identity
+/// comparison is not used — use typesEqual.
+struct CType {
+  TypeKind K = TypeKind::Int;
+  CTypeRef Pointee = nullptr;          ///< Pointer
+  CTypeRef Elem = nullptr;             ///< Array
+  uint32_t ArrayLen = 0;               ///< Array (0 = unsized, e.g. extern)
+  StructDef *SD = nullptr;             ///< Struct
+  CTypeRef Ret = nullptr;              ///< Func
+  std::vector<CTypeRef> Params;        ///< Func
+};
+
+/// A struct definition with computed layout.
+struct StructDef {
+  struct Field {
+    std::string Name;
+    CTypeRef Ty;
+    uint32_t Offset;
+  };
+  std::string Name;
+  std::vector<Field> Fields;
+  uint32_t Size = 0;
+  uint32_t Align = 1;
+  bool Complete = false;
+
+  const Field *findField(const std::string &FieldName) const {
+    for (const Field &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Owns and interns types for one translation unit.
+class TypeContext {
+public:
+  TypeContext();
+
+  CTypeRef voidTy() const { return &Basic[0]; }
+  CTypeRef charTy() const { return &Basic[1]; }
+  CTypeRef ucharTy() const { return &Basic[2]; }
+  CTypeRef shortTy() const { return &Basic[3]; }
+  CTypeRef ushortTy() const { return &Basic[4]; }
+  CTypeRef intTy() const { return &Basic[5]; }
+  CTypeRef uintTy() const { return &Basic[6]; }
+  CTypeRef floatTy() const { return &Basic[7]; }
+  CTypeRef doubleTy() const { return &Basic[8]; }
+
+  CTypeRef getPointer(CTypeRef Pointee);
+  CTypeRef getArray(CTypeRef Elem, uint32_t Len);
+  CTypeRef getFunc(CTypeRef Ret, std::vector<CTypeRef> Params);
+  /// Creates (or retrieves) the struct type for \p Def.
+  CTypeRef getStruct(StructDef *Def);
+  /// Allocates a new struct definition (layout filled by the parser).
+  StructDef *createStruct(std::string Name);
+
+private:
+  CType Basic[9];
+  std::deque<CType> Derived;    ///< stable addresses
+  std::deque<StructDef> Structs;
+};
+
+/// Size/alignment queries (pointer = 4 bytes, as OmniVM defines).
+uint32_t typeSize(CTypeRef T);
+uint32_t typeAlign(CTypeRef T);
+
+bool isIntegerType(CTypeRef T);
+bool isSignedIntType(CTypeRef T);
+bool isFloatType(CTypeRef T);  ///< float or double
+bool isArithType(CTypeRef T);
+bool isPointerType(CTypeRef T);
+/// Scalar = arithmetic or pointer (usable in conditions).
+bool isScalarType(CTypeRef T);
+bool isVoidType(CTypeRef T);
+
+/// Structural type equality.
+bool typesEqual(CTypeRef A, CTypeRef B);
+
+/// The IR register type used to hold a value of C type \p T
+/// (narrow integers widen to I32 in registers).
+ir::Type irTypeOf(CTypeRef T);
+
+/// The memory access width for loading/storing a value of C type \p T.
+ir::MemWidth memWidthOf(CTypeRef T);
+
+/// Readable type name for diagnostics ("int *", "struct point", ...).
+std::string typeName(CTypeRef T);
+
+} // namespace minic
+} // namespace omni
+
+#endif // OMNI_FRONTEND_TYPES_H

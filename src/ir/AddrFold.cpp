@@ -1,0 +1,72 @@
+//===- ir/AddrFold.cpp - indexed addressing-mode selection ------------------===//
+///
+/// Rewrites "t = base + index; v = load [t+0]" (t single-use, same block)
+/// into an indexed load — OmniVM's reg+reg addressing mode (§3.4 of the
+/// paper: "the OmniVM indexed addressing mode maps one-to-one on the
+/// PowerPC but requires an additional add instruction on the Mips").
+/// The dead add is left for DCE.
+
+#include "ir/Analysis.h"
+#include "ir/Passes.h"
+
+using namespace omni;
+using namespace omni::ir;
+
+bool omni::ir::foldIndexedAddressing(Function &F) {
+  // Use counts over the whole function (non-SSA: defs too).
+  std::vector<unsigned> Uses(F.NextValueId, 0);
+  std::vector<unsigned> Defs(F.NextValueId, 0);
+  for (const Block &B : F.Blocks)
+    for (const Inst &I : B.Insts) {
+      forEachUse(I, [&](const Value &V) { ++Uses[V.Id]; });
+      if (I.hasDst())
+        ++Defs[I.Dst.Id];
+    }
+
+  bool Changed = false;
+  for (Block &B : F.Blocks) {
+    for (size_t AI = 0; AI < B.Insts.size(); ++AI) {
+      Inst &AddI = B.Insts[AI];
+      if (AddI.K != Op::Add || AddI.BIsImm || !AddI.hasDst())
+        continue;
+      unsigned T = AddI.Dst.Id;
+      if (Uses[T] != 1 || Defs[T] != 1)
+        continue;
+      unsigned X = AddI.A.Id, Y = AddI.B.Id;
+      // Find the single use within this block; bail on interference.
+      for (size_t LI = AI + 1; LI < B.Insts.size(); ++LI) {
+        Inst &LoadI = B.Insts[LI];
+        bool UsesT = false;
+        forEachUse(LoadI, [&](const Value &V) {
+          if (V.Id == T)
+            UsesT = true;
+        });
+        if (UsesT) {
+          if (LoadI.K == Op::Load && LoadI.Sym.empty() && !LoadI.FrameRel &&
+              LoadI.A.isValid() && LoadI.A.Id == T && LoadI.Imm == 0) {
+            // Rewrite to the indexed form.
+            LoadI.A = AddI.A;
+            LoadI.B = AddI.B;
+            LoadI.BIsImm = false;
+            // The add is now dead (DCE removes it).
+            ++Uses[X];
+            ++Uses[Y];
+            --Uses[T];
+            Changed = true;
+          }
+          break;
+        }
+        // Calls and stores don't redefine registers we track, but any
+        // redefinition of the operands or t kills the opportunity.
+        if (LoadI.hasDst() &&
+            (LoadI.Dst.Id == X || LoadI.Dst.Id == Y || LoadI.Dst.Id == T))
+          break;
+        if (LoadI.isTerminator())
+          break;
+      }
+    }
+  }
+  if (Changed)
+    eliminateDeadCode(F);
+  return Changed;
+}

@@ -1,0 +1,263 @@
+//===- ir/Analysis.cpp ----------------------------------------------------===//
+
+#include "ir/Analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace omni;
+using namespace omni::ir;
+
+bool omni::ir::usesBReg(const Inst &I) {
+  if (I.K == Op::Store)
+    return true;
+  if (I.BIsImm || !I.B.isValid())
+    return false;
+  switch (I.K) {
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::DivU:
+  case Op::Rem:
+  case Op::RemU:
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Shl:
+  case Op::ShrL:
+  case Op::ShrA:
+  case Op::FAdd:
+  case Op::FSub:
+  case Op::FMul:
+  case Op::FDiv:
+  case Op::Cmp:
+  case Op::Br:
+    return true;
+  default:
+    return false;
+  }
+}
+
+CFG CFG::compute(const Function &F) {
+  CFG C;
+  size_t N = F.Blocks.size();
+  C.Succs.resize(N);
+  C.Preds.resize(N);
+  for (unsigned B = 0; B < N; ++B) {
+    int S[2];
+    F.successors(B, S);
+    for (int SI : S) {
+      if (SI < 0)
+        continue;
+      // De-duplicate a conditional branch with equal targets.
+      if (!C.Succs[B].empty() && C.Succs[B].back() == SI)
+        continue;
+      C.Succs[B].push_back(SI);
+      C.Preds[SI].push_back(static_cast<int>(B));
+    }
+  }
+  return C;
+}
+
+std::vector<int> omni::ir::computeRPO(const Function &F) {
+  size_t N = F.Blocks.size();
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done
+  std::vector<int> PostOrder;
+  PostOrder.reserve(N);
+  // Iterative DFS with explicit stack of (block, next-successor-index).
+  std::vector<std::pair<int, int>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    int S[2];
+    F.successors(B, S);
+    bool Descended = false;
+    while (NextSucc < 2) {
+      int T = S[NextSucc++];
+      if (T >= 0 && State[T] == 0) {
+        State[T] = 1;
+        Stack.push_back({T, 0});
+        Descended = true;
+        break;
+      }
+    }
+    if (!Descended && NextSucc >= 2) {
+      State[B] = 2;
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+Liveness Liveness::compute(const Function &F) {
+  Liveness L;
+  L.NumValues = F.NextValueId;
+  size_t N = F.Blocks.size();
+  size_t Words = (L.NumValues + 63) / 64;
+  L.LiveInBits.assign(N, std::vector<uint64_t>(Words, 0));
+  L.LiveOutBits.assign(N, std::vector<uint64_t>(Words, 0));
+
+  // Per-block gen (upward-exposed uses) and kill (defs).
+  std::vector<std::vector<uint64_t>> Gen(N, std::vector<uint64_t>(Words, 0));
+  std::vector<std::vector<uint64_t>> Kill(N, std::vector<uint64_t>(Words, 0));
+  auto Set = [](std::vector<uint64_t> &Bits, unsigned V) {
+    Bits[V / 64] |= 1ull << (V % 64);
+  };
+  auto Test = [](const std::vector<uint64_t> &Bits, unsigned V) {
+    return (Bits[V / 64] >> (V % 64)) & 1;
+  };
+  for (unsigned B = 0; B < N; ++B) {
+    for (const Inst &I : F.Blocks[B].Insts) {
+      forEachUse(I, [&](const Value &V) {
+        if (!Test(Kill[B], V.Id))
+          Set(Gen[B], V.Id);
+      });
+      if (I.hasDst())
+        Set(Kill[B], I.Dst.Id);
+    }
+  }
+
+  CFG Cfg = CFG::compute(F);
+  // Iterate to fixpoint (backward): out = U in(succ); in = gen U (out-kill).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B = static_cast<int>(N) - 1; B >= 0; --B) {
+      std::vector<uint64_t> &Out = L.LiveOutBits[B];
+      for (int S : Cfg.Succs[B])
+        for (size_t W = 0; W < Words; ++W) {
+          uint64_t New = Out[W] | L.LiveInBits[S][W];
+          if (New != Out[W]) {
+            Out[W] = New;
+            Changed = true;
+          }
+        }
+      for (size_t W = 0; W < Words; ++W) {
+        uint64_t New = Gen[B][W] | (Out[W] & ~Kill[B][W]);
+        if (New != L.LiveInBits[B][W]) {
+          L.LiveInBits[B][W] = New;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return L;
+}
+
+Dominators Dominators::compute(const Function &F) {
+  Dominators D;
+  size_t N = F.Blocks.size();
+  D.Idom.assign(N, Unprocessed);
+  std::vector<int> RPO = computeRPO(F);
+  std::vector<int> RpoIndex(N, -1);
+  for (size_t I = 0; I < RPO.size(); ++I)
+    RpoIndex[RPO[I]] = static_cast<int>(I);
+  CFG Cfg = CFG::compute(F);
+
+  D.Idom[0] = -1;
+  bool Changed = true;
+  auto Intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = D.Idom[A] == -1 ? 0 : D.Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = D.Idom[B] == -1 ? 0 : D.Idom[B];
+    }
+    return A;
+  };
+  while (Changed) {
+    Changed = false;
+    for (int B : RPO) {
+      if (B == 0)
+        continue;
+      int NewIdom = -3;
+      for (int P : Cfg.Preds[B]) {
+        if (D.Idom[P] == Unprocessed && P != 0)
+          continue; // unreachable or not yet processed
+        if (NewIdom == -3)
+          NewIdom = P;
+        else
+          NewIdom = Intersect(NewIdom, P);
+      }
+      if (NewIdom == -3)
+        continue;
+      if (D.Idom[B] != NewIdom) {
+        D.Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  return D;
+}
+
+bool Dominators::dominates(int A, int B) const {
+  if (A == B)
+    return isReachable(A);
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  int Cur = B;
+  while (Cur != -1) {
+    Cur = Cur == 0 ? -1 : Idom[Cur];
+    if (Cur == A)
+      return true;
+  }
+  return A == 0;
+}
+
+std::vector<Loop> omni::ir::findLoops(const Function &F,
+                                      const Dominators &Dom,
+                                      const CFG &Cfg) {
+  std::vector<Loop> Loops;
+  size_t N = F.Blocks.size();
+  // Find back edges and collect each loop's body by walking predecessors
+  // from the latch up to the header.
+  for (unsigned B = 0; B < N; ++B) {
+    for (int S : Cfg.Succs[B]) {
+      if (!Dom.dominates(S, static_cast<int>(B)))
+        continue;
+      // Back edge B -> S: natural loop with header S.
+      Loop *L = nullptr;
+      for (Loop &Existing : Loops)
+        if (Existing.Header == S)
+          L = &Existing;
+      if (!L) {
+        Loops.push_back(Loop());
+        L = &Loops.back();
+        L->Header = S;
+        L->Blocks.push_back(S);
+      }
+      // Walk up from the latch.
+      std::vector<int> Work;
+      if (!L->contains(static_cast<int>(B))) {
+        L->Blocks.push_back(static_cast<int>(B));
+        Work.push_back(static_cast<int>(B));
+      }
+      while (!Work.empty()) {
+        int X = Work.back();
+        Work.pop_back();
+        for (int P : Cfg.Preds[X]) {
+          if (!Dom.isReachable(P) || L->contains(P))
+            continue;
+          L->Blocks.push_back(P);
+          Work.push_back(P);
+        }
+      }
+    }
+  }
+  // Compute exit blocks.
+  for (Loop &L : Loops) {
+    for (int B : L.Blocks) {
+      for (int S : Cfg.Succs[B]) {
+        if (!L.contains(S)) {
+          L.ExitBlocks.push_back(B);
+          break;
+        }
+      }
+    }
+  }
+  return Loops;
+}

@@ -1,0 +1,137 @@
+//===- ir/Analysis.h - CFG, liveness, dominators, loops ---------*- C++ -*-===//
+///
+/// \file
+/// Dataflow and control-flow analyses shared by the optimizer and the
+/// register allocator: predecessor/successor maps, reverse post-order,
+/// per-value liveness, iterative dominators, and natural loop detection
+/// (used by loop-invariant code motion).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_IR_ANALYSIS_H
+#define OMNI_IR_ANALYSIS_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace omni {
+namespace ir {
+
+/// Calls \p Fn for each virtual register read by \p I.
+template <typename FnT> void forEachUse(const Inst &I, FnT Fn) {
+  switch (I.K) {
+  case Op::ConstInt:
+  case Op::ConstFp:
+  case Op::AddrOf:
+  case Op::FrameAddr:
+  case Op::Jmp:
+    return;
+  case Op::Call:
+    if (I.Sym.empty() && I.A.isValid())
+      Fn(I.A);
+    for (const Value &V : I.Args)
+      Fn(V);
+    return;
+  case Op::Ret:
+    if (I.A.isValid())
+      Fn(I.A);
+    return;
+  case Op::Store:
+    if (I.Sym.empty() && !I.FrameRel && I.A.isValid())
+      Fn(I.A);
+    Fn(I.B);
+    return;
+  case Op::Load:
+    if (I.Sym.empty() && !I.FrameRel && I.A.isValid())
+      Fn(I.A);
+    if (I.Sym.empty() && !I.FrameRel && !I.BIsImm && I.B.isValid())
+      Fn(I.B); // indexed load
+    return;
+  default:
+    if (I.A.isValid())
+      Fn(I.A);
+    if (!I.BIsImm && I.B.isValid())
+      Fn(I.B);
+    return;
+  }
+}
+
+/// True when \p I actually reads its B operand as a register.
+bool usesBReg(const Inst &I);
+
+/// Control-flow graph edges.
+struct CFG {
+  std::vector<std::vector<int>> Succs;
+  std::vector<std::vector<int>> Preds;
+
+  static CFG compute(const Function &F);
+};
+
+/// Reverse post-order of reachable blocks, entry first.
+std::vector<int> computeRPO(const Function &F);
+
+/// Per-block, per-value liveness as bitsets.
+class Liveness {
+public:
+  static Liveness compute(const Function &F);
+
+  bool isLiveIn(unsigned BlockIdx, unsigned ValueId) const {
+    return test(LiveInBits, BlockIdx, ValueId);
+  }
+  bool isLiveOut(unsigned BlockIdx, unsigned ValueId) const {
+    return test(LiveOutBits, BlockIdx, ValueId);
+  }
+
+  unsigned numValues() const { return NumValues; }
+
+private:
+  bool test(const std::vector<std::vector<uint64_t>> &Bits, unsigned B,
+            unsigned V) const {
+    return (Bits[B][V / 64] >> (V % 64)) & 1;
+  }
+  unsigned NumValues = 0;
+  std::vector<std::vector<uint64_t>> LiveInBits;
+  std::vector<std::vector<uint64_t>> LiveOutBits;
+};
+
+/// Immediate dominators (iterative algorithm over RPO).
+class Dominators {
+public:
+  static Dominators compute(const Function &F);
+
+  /// True when block \p A dominates block \p B. Unreachable blocks
+  /// dominate nothing and are dominated by everything reachable? No —
+  /// queries on unreachable blocks return false.
+  bool dominates(int A, int B) const;
+
+  int idom(int B) const { return Idom[B]; }
+  bool isReachable(int B) const { return Idom[B] != Unprocessed || B == 0; }
+
+private:
+  static constexpr int Unprocessed = -2;
+  std::vector<int> Idom; ///< entry has -1
+};
+
+/// One natural loop.
+struct Loop {
+  int Header = -1;
+  std::vector<int> Blocks; ///< includes header
+  std::vector<int> ExitBlocks; ///< blocks inside with a successor outside
+
+  bool contains(int B) const {
+    for (int X : Blocks)
+      if (X == B)
+        return true;
+    return false;
+  }
+};
+
+/// Finds all natural loops from back edges (target dominates source).
+/// Loops sharing a header are merged.
+std::vector<Loop> findLoops(const Function &F, const Dominators &Dom,
+                            const CFG &Cfg);
+
+} // namespace ir
+} // namespace omni
+
+#endif // OMNI_IR_ANALYSIS_H

@@ -1,0 +1,114 @@
+//===- ir/CSE.cpp - local common subexpression elimination -----------------===//
+///
+/// Local value numbering per basic block. Pure expressions with identical
+/// opcode/operands are replaced by copies of the first computation.
+/// Redundant loads from the same address are also eliminated, invalidated
+/// by any store or call ("memory epoch" in the key).
+
+#include "ir/Analysis.h"
+#include "ir/Passes.h"
+
+#include <map>
+#include <tuple>
+
+using namespace omni;
+using namespace omni::ir;
+
+namespace {
+
+/// Hashable expression key. Fields unused by an op are zeroed.
+struct ExprKey {
+  Op K;
+  Type Ty;
+  unsigned A;
+  unsigned B;
+  bool BIsImm;
+  int64_t Imm;
+  int64_t Imm2;
+  uint64_t FImmBits;
+  std::string Sym;
+  Cond Cc;
+  MemWidth Width;
+  bool SignedLoad;
+  uint64_t MemEpoch; ///< only for loads
+
+  bool operator<(const ExprKey &O) const {
+    return std::tie(K, Ty, A, B, BIsImm, Imm, Imm2, FImmBits, Sym, Cc, Width,
+                    SignedLoad, MemEpoch) <
+           std::tie(O.K, O.Ty, O.A, O.B, O.BIsImm, O.Imm, O.Imm2, O.FImmBits,
+                    O.Sym, O.Cc, O.Width, O.SignedLoad, O.MemEpoch);
+  }
+};
+
+} // namespace
+
+bool omni::ir::eliminateCommonSubexpressions(Function &F) {
+  bool Changed = false;
+  for (Block &B : F.Blocks) {
+    std::map<ExprKey, Value> Available;
+    // Values currently representing an available expression; if redefined,
+    // the expressions they represent die.
+    std::map<unsigned, std::vector<ExprKey>> RepUses;
+    uint64_t MemEpoch = 0;
+
+    for (Inst &I : B.Insts) {
+      bool Cacheable = I.isPure() || I.K == Op::Load;
+      // Never cache trivial constants/copies; fold passes handle those and
+      // caching them would just create more copies.
+      if (I.K == Op::ConstInt || I.K == Op::ConstFp || I.K == Op::Copy)
+        Cacheable = false;
+
+      // Redefinition invalidates expressions mentioning the old value —
+      // before this instruction's own result is recorded.
+      if (I.hasDst()) {
+        auto It = RepUses.find(I.Dst.Id);
+        if (It != RepUses.end()) {
+          for (const ExprKey &Key : It->second)
+            Available.erase(Key);
+          RepUses.erase(It);
+        }
+      }
+
+      if (Cacheable && I.hasDst()) {
+        ExprKey Key{};
+        Key.K = I.K;
+        Key.Ty = I.Ty;
+        Key.A = I.A.isValid() ? I.A.Id : ~0u;
+        Key.B = (!I.BIsImm && I.B.isValid()) ? I.B.Id : ~0u;
+        Key.BIsImm = I.BIsImm;
+        Key.Imm = I.Imm;
+        Key.Imm2 = I.Imm2;
+        Key.FImmBits = 0;
+        Key.Sym = I.Sym;
+        Key.Cc = I.Cc;
+        Key.Width = I.Width;
+        Key.SignedLoad = I.SignedLoad;
+        Key.MemEpoch = I.K == Op::Load ? MemEpoch : 0;
+
+        auto It = Available.find(Key);
+        if (It != Available.end()) {
+          // Replace with a copy of the previous result.
+          Value Dst = I.Dst;
+          Value Src = It->second;
+          I = Inst();
+          I.K = Op::Copy;
+          I.Ty = Dst.Ty;
+          I.Dst = Dst;
+          I.A = Src;
+          Changed = true;
+        } else {
+          Available[Key] = I.Dst;
+          if (I.A.isValid())
+            RepUses[I.A.Id].push_back(Key);
+          if (Key.B != ~0u)
+            RepUses[Key.B].push_back(Key);
+          RepUses[I.Dst.Id].push_back(Key);
+        }
+      }
+
+      if (I.K == Op::Store || I.K == Op::Call)
+        ++MemEpoch;
+    }
+  }
+  return Changed;
+}

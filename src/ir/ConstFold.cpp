@@ -1,0 +1,480 @@
+//===- ir/ConstFold.cpp - constant folding/propagation, copy prop ---------===//
+
+#include "ir/Analysis.h"
+#include "ir/Passes.h"
+
+#include <limits>
+#include <map>
+#include <optional>
+
+using namespace omni;
+using namespace omni::ir;
+
+namespace {
+
+/// Wrap-safe 32-bit arithmetic on int64 immediates.
+int32_t asI32(int64_t V) { return static_cast<int32_t>(V); }
+uint32_t asU32(int64_t V) { return static_cast<uint32_t>(V); }
+
+std::optional<int64_t> foldIntBinary(Op K, int64_t A64, int64_t B64) {
+  int32_t A = asI32(A64), B = asI32(B64);
+  uint32_t UA = asU32(A64), UB = asU32(B64);
+  switch (K) {
+  case Op::Add:
+    return asI32(UA + UB);
+  case Op::Sub:
+    return asI32(UA - UB);
+  case Op::Mul:
+    return asI32(UA * UB);
+  case Op::Div:
+    if (B == 0)
+      return std::nullopt;
+    if (A == std::numeric_limits<int32_t>::min() && B == -1)
+      return A;
+    return A / B;
+  case Op::DivU:
+    if (UB == 0)
+      return std::nullopt;
+    return asI32(UA / UB);
+  case Op::Rem:
+    if (B == 0)
+      return std::nullopt;
+    if (A == std::numeric_limits<int32_t>::min() && B == -1)
+      return 0;
+    return A % B;
+  case Op::RemU:
+    if (UB == 0)
+      return std::nullopt;
+    return asI32(UA % UB);
+  case Op::And:
+    return asI32(UA & UB);
+  case Op::Or:
+    return asI32(UA | UB);
+  case Op::Xor:
+    return asI32(UA ^ UB);
+  case Op::Shl:
+    return asI32(UA << (UB & 31));
+  case Op::ShrL:
+    return asI32(UA >> (UB & 31));
+  case Op::ShrA:
+    return A >> (UB & 31);
+  default:
+    return std::nullopt;
+  }
+}
+
+bool evalCond(Cond Cc, int64_t A64, int64_t B64) {
+  int32_t A = asI32(A64), B = asI32(B64);
+  uint32_t UA = asU32(A64), UB = asU32(B64);
+  switch (Cc) {
+  case Cond::Eq:
+    return A == B;
+  case Cond::Ne:
+    return A != B;
+  case Cond::Lt:
+    return A < B;
+  case Cond::Le:
+    return A <= B;
+  case Cond::Gt:
+    return A > B;
+  case Cond::Ge:
+    return A >= B;
+  case Cond::LtU:
+    return UA < UB;
+  case Cond::LeU:
+    return UA <= UB;
+  case Cond::GtU:
+    return UA > UB;
+  case Cond::GeU:
+    return UA >= UB;
+  }
+  return false;
+}
+
+std::optional<double> foldFpBinary(Op K, double A, double B, Type Ty) {
+  double R;
+  switch (K) {
+  case Op::FAdd:
+    R = A + B;
+    break;
+  case Op::FSub:
+    R = A - B;
+    break;
+  case Op::FMul:
+    R = A * B;
+    break;
+  case Op::FDiv:
+    R = A / B;
+    break;
+  default:
+    return std::nullopt;
+  }
+  // Match runtime single-precision rounding.
+  if (Ty == Type::F32)
+    R = static_cast<float>(R);
+  return R;
+}
+
+/// Per-block constant/copy environment keyed by value id.
+struct Env {
+  std::map<unsigned, int64_t> IntConst;
+  std::map<unsigned, double> FpConst;
+
+  void kill(unsigned Id) {
+    IntConst.erase(Id);
+    FpConst.erase(Id);
+  }
+};
+
+} // namespace
+
+bool omni::ir::foldConstants(Function &F) {
+  bool Changed = false;
+
+  // Global facts: values with exactly one def that is a constant.
+  std::vector<unsigned> DefCount(F.NextValueId, 0);
+  for (const Block &B : F.Blocks)
+    for (const Inst &I : B.Insts)
+      if (I.hasDst())
+        ++DefCount[I.Dst.Id];
+  for (const Value &P : F.ParamValues)
+    ++DefCount[P.Id];
+  std::map<unsigned, int64_t> GlobalInt;
+  std::map<unsigned, double> GlobalFp;
+  for (const Block &B : F.Blocks)
+    for (const Inst &I : B.Insts) {
+      if (!I.hasDst() || DefCount[I.Dst.Id] != 1)
+        continue;
+      if (I.K == Op::ConstInt)
+        GlobalInt[I.Dst.Id] = I.Imm;
+      else if (I.K == Op::ConstFp)
+        GlobalFp[I.Dst.Id] = I.FImm;
+    }
+
+  for (Block &B : F.Blocks) {
+    Env E;
+    auto IntOf = [&](const Value &V) -> std::optional<int64_t> {
+      auto It = E.IntConst.find(V.Id);
+      if (It != E.IntConst.end())
+        return It->second;
+      auto G = GlobalInt.find(V.Id);
+      if (G != GlobalInt.end())
+        return G->second;
+      return std::nullopt;
+    };
+    auto FpOf = [&](const Value &V) -> std::optional<double> {
+      auto It = E.FpConst.find(V.Id);
+      if (It != E.FpConst.end())
+        return It->second;
+      auto G = GlobalFp.find(V.Id);
+      if (G != GlobalFp.end())
+        return G->second;
+      return std::nullopt;
+    };
+    auto MakeConstInt = [&](Inst &I, int64_t V) {
+      Value Dst = I.Dst;
+      I = Inst();
+      I.K = Op::ConstInt;
+      I.Dst = Dst;
+      I.Imm = asI32(V);
+      Changed = true;
+    };
+    auto MakeConstFp = [&](Inst &I, double V, Type Ty) {
+      Value Dst = I.Dst;
+      I = Inst();
+      I.K = Op::ConstFp;
+      I.Ty = Ty;
+      I.Dst = Dst;
+      I.FImm = V;
+      Changed = true;
+    };
+    auto MakeCopy = [&](Inst &I, Value Src) {
+      Value Dst = I.Dst;
+      I = Inst();
+      I.K = Op::Copy;
+      I.Ty = Dst.Ty;
+      I.Dst = Dst;
+      I.A = Src;
+      Changed = true;
+    };
+
+    for (Inst &I : B.Insts) {
+      // Try to turn a register B operand into an immediate.
+      if (usesBReg(I) && I.K != Op::Store && !isFpType(I.B.Ty)) {
+        if (auto BV = IntOf(I.B)) {
+          I.BIsImm = true;
+          I.Imm = asI32(*BV);
+          I.B = Value();
+          Changed = true;
+        }
+      }
+
+      switch (I.K) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Div:
+      case Op::DivU:
+      case Op::Rem:
+      case Op::RemU:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shl:
+      case Op::ShrL:
+      case Op::ShrA: {
+        auto AV = IntOf(I.A);
+        if (AV && I.BIsImm) {
+          if (auto R = foldIntBinary(I.K, *AV, I.Imm)) {
+            MakeConstInt(I, *R);
+            break;
+          }
+        }
+        // A constant, B register, commutative: canonicalize to imm form.
+        if (AV && !I.BIsImm &&
+            (I.K == Op::Add || I.K == Op::Mul || I.K == Op::And ||
+             I.K == Op::Or || I.K == Op::Xor)) {
+          I.A = I.B;
+          I.B = Value();
+          I.BIsImm = true;
+          I.Imm = asI32(*AV);
+          Changed = true;
+        }
+        // Algebraic identities with immediate B.
+        if (I.BIsImm) {
+          int64_t C = I.Imm;
+          bool ToCopy = false, ToZero = false;
+          switch (I.K) {
+          case Op::Add:
+          case Op::Sub:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Shl:
+          case Op::ShrL:
+          case Op::ShrA:
+            ToCopy = C == 0;
+            break;
+          case Op::Mul:
+            ToCopy = C == 1;
+            ToZero = C == 0;
+            break;
+          case Op::Div:
+          case Op::DivU:
+            ToCopy = C == 1;
+            break;
+          case Op::And:
+            ToZero = C == 0;
+            ToCopy = asU32(C) == 0xffffffffu;
+            break;
+          default:
+            break;
+          }
+          if (ToZero)
+            MakeConstInt(I, 0);
+          else if (ToCopy)
+            MakeCopy(I, I.A);
+        }
+        break;
+      }
+      case Op::Neg:
+        if (auto AV = IntOf(I.A))
+          MakeConstInt(I, -asI32(*AV));
+        break;
+      case Op::Not:
+        if (auto AV = IntOf(I.A))
+          MakeConstInt(I, ~asI32(*AV));
+        break;
+      case Op::SignExt8:
+        if (auto AV = IntOf(I.A))
+          MakeConstInt(I, static_cast<int8_t>(*AV));
+        break;
+      case Op::SignExt16:
+        if (auto AV = IntOf(I.A))
+          MakeConstInt(I, static_cast<int16_t>(*AV));
+        break;
+      case Op::ZeroExt8:
+        if (auto AV = IntOf(I.A))
+          MakeConstInt(I, static_cast<uint8_t>(*AV));
+        break;
+      case Op::ZeroExt16:
+        if (auto AV = IntOf(I.A))
+          MakeConstInt(I, static_cast<uint16_t>(*AV));
+        break;
+      case Op::FAdd:
+      case Op::FSub:
+      case Op::FMul:
+      case Op::FDiv: {
+        auto AV = FpOf(I.A), BV = FpOf(I.B);
+        if (AV && BV) {
+          double A = *AV, Bv = *BV;
+          if (I.Ty == Type::F32) {
+            A = static_cast<float>(A);
+            Bv = static_cast<float>(Bv);
+          }
+          if (auto R = foldFpBinary(I.K, A, Bv, I.Ty))
+            MakeConstFp(I, *R, I.Ty);
+        }
+        break;
+      }
+      case Op::FNeg:
+        if (auto AV = FpOf(I.A))
+          MakeConstFp(I, I.Ty == Type::F32
+                             ? -static_cast<float>(*AV)
+                             : -*AV,
+                      I.Ty);
+        break;
+      case Op::IntToFp:
+        if (auto AV = IntOf(I.A))
+          MakeConstFp(I,
+                      I.Ty == Type::F32
+                          ? static_cast<float>(asI32(*AV))
+                          : static_cast<double>(asI32(*AV)),
+                      I.Ty);
+        break;
+      case Op::FpExt:
+        if (auto AV = FpOf(I.A))
+          MakeConstFp(I, static_cast<float>(*AV), Type::F64);
+        break;
+      case Op::FpTrunc:
+        if (auto AV = FpOf(I.A))
+          MakeConstFp(I, static_cast<float>(*AV), Type::F32);
+        break;
+      case Op::Cmp:
+        if (!isFpType(I.Ty)) {
+          auto AV = IntOf(I.A);
+          if (AV && I.BIsImm)
+            MakeConstInt(I, evalCond(I.Cc, *AV, I.Imm) ? 1 : 0);
+        } else {
+          auto AV = FpOf(I.A), BV = FpOf(I.B);
+          if (AV && BV) {
+            bool R;
+            double A = *AV, Bv = *BV;
+            switch (I.Cc) {
+            case Cond::Eq:
+              R = A == Bv;
+              break;
+            case Cond::Ne:
+              R = A != Bv;
+              break;
+            case Cond::Lt:
+              R = A < Bv;
+              break;
+            case Cond::Le:
+              R = A <= Bv;
+              break;
+            case Cond::Gt:
+              R = A > Bv;
+              break;
+            default:
+              R = A >= Bv;
+              break;
+            }
+            MakeConstInt(I, R ? 1 : 0);
+          }
+        }
+        break;
+      case Op::Br:
+        if (!isFpType(I.Ty)) {
+          auto AV = IntOf(I.A);
+          if (AV && I.BIsImm) {
+            int Target = evalCond(I.Cc, *AV, I.Imm) ? I.B1 : I.B2;
+            Value None;
+            I = Inst();
+            I.K = Op::Jmp;
+            I.B1 = Target;
+            (void)None;
+            Changed = true;
+          }
+        }
+        break;
+      default:
+        break;
+      }
+
+      // Update the environment with this instruction's result.
+      if (I.hasDst()) {
+        E.kill(I.Dst.Id);
+        if (I.K == Op::ConstInt)
+          E.IntConst[I.Dst.Id] = I.Imm;
+        else if (I.K == Op::ConstFp)
+          E.FpConst[I.Dst.Id] = I.FImm;
+        else if (I.K == Op::Copy) {
+          if (!isFpType(I.A.Ty)) {
+            if (auto V = IntOf(I.A))
+              E.IntConst[I.Dst.Id] = *V;
+          } else if (auto V = FpOf(I.A)) {
+            E.FpConst[I.Dst.Id] = *V;
+          }
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+bool omni::ir::propagateCopies(Function &F) {
+  bool Changed = false;
+  for (Block &B : F.Blocks) {
+    // CopyOf[v] = w  when  v = copy w  and neither has been redefined.
+    std::map<unsigned, Value> CopyOf;
+    auto Resolve = [&](Value &V) {
+      auto It = CopyOf.find(V.Id);
+      if (It != CopyOf.end() && It->second.Ty == V.Ty) {
+        V = It->second;
+        Changed = true;
+      }
+    };
+    for (Inst &I : B.Insts) {
+      // Rewrite uses.
+      switch (I.K) {
+      case Op::ConstInt:
+      case Op::ConstFp:
+      case Op::AddrOf:
+      case Op::FrameAddr:
+      case Op::Jmp:
+        break;
+      case Op::Call:
+        if (I.Sym.empty() && I.A.isValid())
+          Resolve(I.A);
+        for (Value &V : I.Args)
+          Resolve(V);
+        break;
+      case Op::Ret:
+        if (I.A.isValid())
+          Resolve(I.A);
+        break;
+      case Op::Store:
+        if (I.Sym.empty() && I.A.isValid())
+          Resolve(I.A);
+        Resolve(I.B);
+        break;
+      case Op::Load:
+        if (I.Sym.empty() && I.A.isValid())
+          Resolve(I.A);
+        if (!I.BIsImm && I.B.isValid())
+          Resolve(I.B); // indexed load
+        break;
+      default:
+        if (I.A.isValid())
+          Resolve(I.A);
+        if (usesBReg(I))
+          Resolve(I.B);
+        break;
+      }
+      // Update copy map.
+      if (I.hasDst()) {
+        // Any mapping through the redefined value dies.
+        unsigned Dead = I.Dst.Id;
+        for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+          if (It->first == Dead || It->second.Id == Dead)
+            It = CopyOf.erase(It);
+          else
+            ++It;
+        }
+        if (I.K == Op::Copy && I.A.Id != I.Dst.Id)
+          CopyOf[I.Dst.Id] = I.A;
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,49 @@
+//===- ir/DCE.cpp - liveness-based dead code elimination --------------------===//
+
+#include "ir/Analysis.h"
+#include "ir/Passes.h"
+
+using namespace omni;
+using namespace omni::ir;
+
+bool omni::ir::eliminateDeadCode(Function &F) {
+  Liveness L = Liveness::compute(F);
+  bool Changed = false;
+  for (unsigned BI = 0; BI < F.Blocks.size(); ++BI) {
+    Block &B = F.Blocks[BI];
+    // Walk backward maintaining the live set from block live-out.
+    std::vector<uint8_t> Live(F.NextValueId, 0);
+    for (unsigned V = 0; V < F.NextValueId; ++V)
+      Live[V] = L.isLiveOut(BI, V);
+
+    std::vector<uint8_t> Keep(B.Insts.size(), 1);
+    for (int II = static_cast<int>(B.Insts.size()) - 1; II >= 0; --II) {
+      Inst &I = B.Insts[II];
+      bool DstDead = I.hasDst() && !Live[I.Dst.Id];
+      bool Removable = (I.isPure() || I.K == Op::Load) && I.hasDst();
+      if (Removable && DstDead) {
+        Keep[II] = 0;
+        Changed = true;
+        continue; // its uses do not become live
+      }
+      // A call whose result is dead keeps its side effects but drops the
+      // result so the register allocator need not reserve a register.
+      if (I.K == Op::Call && DstDead) {
+        I.Dst = Value();
+        Changed = true;
+      }
+      if (I.hasDst())
+        Live[I.Dst.Id] = 0;
+      forEachUse(I, [&](const Value &V) { Live[V.Id] = 1; });
+    }
+    if (Changed) {
+      std::vector<Inst> Kept;
+      Kept.reserve(B.Insts.size());
+      for (size_t II = 0; II < B.Insts.size(); ++II)
+        if (Keep[II])
+          Kept.push_back(std::move(B.Insts[II]));
+      B.Insts = std::move(Kept);
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,447 @@
+//===- ir/IR.cpp ----------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+using namespace omni::ir;
+
+Cond omni::ir::swapCond(Cond C) {
+  switch (C) {
+  case Cond::Eq:
+  case Cond::Ne:
+    return C;
+  case Cond::Lt:
+    return Cond::Gt;
+  case Cond::Le:
+    return Cond::Ge;
+  case Cond::Gt:
+    return Cond::Lt;
+  case Cond::Ge:
+    return Cond::Le;
+  case Cond::LtU:
+    return Cond::GtU;
+  case Cond::LeU:
+    return Cond::GeU;
+  case Cond::GtU:
+    return Cond::LtU;
+  case Cond::GeU:
+    return Cond::LeU;
+  }
+  return C;
+}
+
+Cond omni::ir::negateCond(Cond C, bool IsFp) {
+  switch (C) {
+  case Cond::Eq:
+    return Cond::Ne;
+  case Cond::Ne:
+    return Cond::Eq;
+  case Cond::Lt:
+    assert(!IsFp && "fp < negation not NaN-safe");
+    return Cond::Ge;
+  case Cond::Le:
+    assert(!IsFp && "fp <= negation not NaN-safe");
+    return Cond::Gt;
+  case Cond::Gt:
+    assert(!IsFp && "fp > negation not NaN-safe");
+    return Cond::Le;
+  case Cond::Ge:
+    assert(!IsFp && "fp >= negation not NaN-safe");
+    return Cond::Lt;
+  case Cond::LtU:
+    return Cond::GeU;
+  case Cond::LeU:
+    return Cond::GtU;
+  case Cond::GtU:
+    return Cond::LeU;
+  case Cond::GeU:
+    return Cond::LtU;
+  }
+  return C;
+}
+
+const char *omni::ir::getCondName(Cond C) {
+  switch (C) {
+  case Cond::Eq:
+    return "eq";
+  case Cond::Ne:
+    return "ne";
+  case Cond::Lt:
+    return "lt";
+  case Cond::Le:
+    return "le";
+  case Cond::Gt:
+    return "gt";
+  case Cond::Ge:
+    return "ge";
+  case Cond::LtU:
+    return "ltu";
+  case Cond::LeU:
+    return "leu";
+  case Cond::GtU:
+    return "gtu";
+  case Cond::GeU:
+    return "geu";
+  }
+  return "?";
+}
+
+void Function::successors(unsigned BlockIdx, int Out[2]) const {
+  Out[0] = Out[1] = -1;
+  const Block &B = Blocks[BlockIdx];
+  if (!B.hasTerminator())
+    return;
+  const Inst &T = B.terminator();
+  if (T.K == Op::Br) {
+    Out[0] = T.B1;
+    Out[1] = T.B2;
+  } else if (T.K == Op::Jmp) {
+    Out[0] = T.B1;
+  }
+}
+
+Function *Program::findFunction(const std::string &Name) {
+  for (Function &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const GlobalVar *Program::findGlobal(const std::string &Name) const {
+  for (const GlobalVar &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+bool Program::isImport(const std::string &Name) const {
+  for (const std::string &I : Imports)
+    if (I == Name)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *typeName(Type T) {
+  switch (T) {
+  case Type::I32:
+    return "i32";
+  case Type::F32:
+    return "f32";
+  case Type::F64:
+    return "f64";
+  }
+  return "?";
+}
+
+const char *widthName(MemWidth W) {
+  switch (W) {
+  case MemWidth::W8:
+    return "w8";
+  case MemWidth::W16:
+    return "w16";
+  case MemWidth::W32:
+    return "w32";
+  case MemWidth::F32:
+    return "f32";
+  case MemWidth::F64:
+    return "f64";
+  }
+  return "?";
+}
+
+std::string valueName(const Value &V) {
+  if (!V.isValid())
+    return "<none>";
+  return formatStr("%%%u", V.Id);
+}
+
+const char *opName(Op K) {
+  switch (K) {
+  case Op::ConstInt:
+    return "const";
+  case Op::ConstFp:
+    return "fconst";
+  case Op::AddrOf:
+    return "addrof";
+  case Op::FrameAddr:
+    return "frameaddr";
+  case Op::Copy:
+    return "copy";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::Div:
+    return "div";
+  case Op::DivU:
+    return "divu";
+  case Op::Rem:
+    return "rem";
+  case Op::RemU:
+    return "remu";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Xor:
+    return "xor";
+  case Op::Shl:
+    return "shl";
+  case Op::ShrL:
+    return "shrl";
+  case Op::ShrA:
+    return "shra";
+  case Op::Neg:
+    return "neg";
+  case Op::Not:
+    return "not";
+  case Op::FAdd:
+    return "fadd";
+  case Op::FSub:
+    return "fsub";
+  case Op::FMul:
+    return "fmul";
+  case Op::FDiv:
+    return "fdiv";
+  case Op::FNeg:
+    return "fneg";
+  case Op::Cmp:
+    return "cmp";
+  case Op::SignExt8:
+    return "sext8";
+  case Op::SignExt16:
+    return "sext16";
+  case Op::ZeroExt8:
+    return "zext8";
+  case Op::ZeroExt16:
+    return "zext16";
+  case Op::IntToFp:
+    return "itof";
+  case Op::FpToInt:
+    return "ftoi";
+  case Op::FpExt:
+    return "fpext";
+  case Op::FpTrunc:
+    return "fptrunc";
+  case Op::Load:
+    return "load";
+  case Op::Store:
+    return "store";
+  case Op::Call:
+    return "call";
+  case Op::Br:
+    return "br";
+  case Op::Jmp:
+    return "jmp";
+  case Op::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+std::string printInst(const Inst &I) {
+  std::string S = "  ";
+  if (I.hasDst())
+    S += valueName(I.Dst) + std::string(":") + typeName(I.Dst.Ty) + " = ";
+  S += opName(I.K);
+  switch (I.K) {
+  case Op::ConstInt:
+    appendFormat(S, " %lld", static_cast<long long>(I.Imm));
+    break;
+  case Op::ConstFp:
+    appendFormat(S, " %g", I.FImm);
+    break;
+  case Op::AddrOf:
+    appendFormat(S, " @%s+%lld", I.Sym.c_str(),
+                 static_cast<long long>(I.Imm));
+    break;
+  case Op::FrameAddr:
+    appendFormat(S, " slot%lld+%lld", static_cast<long long>(I.Imm2),
+                 static_cast<long long>(I.Imm));
+    break;
+  case Op::Cmp:
+  case Op::Br:
+    appendFormat(S, ".%s.%s %s, ", getCondName(I.Cc), typeName(I.Ty),
+                 valueName(I.A).c_str());
+    if (I.BIsImm)
+      appendFormat(S, "%lld", static_cast<long long>(I.Imm));
+    else
+      S += valueName(I.B);
+    if (I.K == Op::Br)
+      appendFormat(S, " -> b%d, b%d", I.B1, I.B2);
+    break;
+  case Op::Load:
+    appendFormat(S, ".%s%s ", widthName(I.Width),
+                 (I.Width == MemWidth::W8 || I.Width == MemWidth::W16)
+                     ? (I.SignedLoad ? "s" : "u")
+                     : "");
+    if (I.FrameRel)
+      appendFormat(S, "slot%lld+%lld", static_cast<long long>(I.Imm2),
+                   static_cast<long long>(I.Imm));
+    else if (!I.Sym.empty())
+      appendFormat(S, "@%s+%lld", I.Sym.c_str(),
+                   static_cast<long long>(I.Imm));
+    else
+      appendFormat(S, "[%s+%lld]", valueName(I.A).c_str(),
+                   static_cast<long long>(I.Imm));
+    break;
+  case Op::Store:
+    appendFormat(S, ".%s ", widthName(I.Width));
+    if (I.FrameRel)
+      appendFormat(S, "slot%lld+%lld", static_cast<long long>(I.Imm2),
+                   static_cast<long long>(I.Imm));
+    else if (!I.Sym.empty())
+      appendFormat(S, "@%s+%lld", I.Sym.c_str(),
+                   static_cast<long long>(I.Imm));
+    else
+      appendFormat(S, "[%s+%lld]", valueName(I.A).c_str(),
+                   static_cast<long long>(I.Imm));
+    S += ", " + valueName(I.B);
+    break;
+  case Op::Call:
+    if (!I.Sym.empty())
+      appendFormat(S, " @%s%s", I.Sym.c_str(),
+                   I.IsImportCall ? "!import" : "");
+    else
+      S += " " + valueName(I.A);
+    S += "(";
+    for (size_t AI = 0; AI < I.Args.size(); ++AI) {
+      if (AI)
+        S += ", ";
+      S += valueName(I.Args[AI]);
+    }
+    S += ")";
+    break;
+  case Op::Jmp:
+    appendFormat(S, " b%d", I.B1);
+    break;
+  case Op::Ret:
+    if (I.A.isValid())
+      S += " " + valueName(I.A);
+    break;
+  default:
+    S += " " + valueName(I.A);
+    if (I.K != Op::Copy && I.K != Op::Neg && I.K != Op::Not &&
+        I.K != Op::FNeg && I.K != Op::SignExt8 && I.K != Op::SignExt16 &&
+        I.K != Op::ZeroExt8 && I.K != Op::ZeroExt16 && I.K != Op::IntToFp &&
+        I.K != Op::FpToInt && I.K != Op::FpExt && I.K != Op::FpTrunc) {
+      if (I.BIsImm)
+        appendFormat(S, ", %lld", static_cast<long long>(I.Imm));
+      else
+        S += ", " + valueName(I.B);
+    }
+    break;
+  }
+  return S;
+}
+
+} // namespace
+
+std::string omni::ir::printFunction(const Function &F) {
+  std::string S = formatStr("func @%s(", F.Name.c_str());
+  for (size_t I = 0; I < F.ParamTypes.size(); ++I) {
+    if (I)
+      S += ", ";
+    appendFormat(S, "%s:%s", valueName(F.ParamValues[I]).c_str(),
+                 typeName(F.ParamTypes[I]));
+  }
+  appendFormat(S, ") -> %s {\n", F.HasRet ? typeName(F.RetTy) : "void");
+  for (size_t SI = 0; SI < F.Slots.size(); ++SI)
+    appendFormat(S, "  slot%zu: size=%u align=%u (%s)\n", SI,
+                 F.Slots[SI].Size, F.Slots[SI].Align,
+                 F.Slots[SI].Name.c_str());
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    appendFormat(S, "b%zu:%s%s\n", BI,
+                 F.Blocks[BI].Name.empty() ? "" : "  ; ",
+                 F.Blocks[BI].Name.c_str());
+    for (const Inst &I : F.Blocks[BI].Insts)
+      S += printInst(I) + "\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string omni::ir::printProgram(const Program &P) {
+  std::string S;
+  for (const std::string &I : P.Imports)
+    appendFormat(S, "import @%s\n", I.c_str());
+  for (const GlobalVar &G : P.Globals)
+    appendFormat(S, "global @%s size=%u align=%u init=%zu ptrs=%zu\n",
+                 G.Name.c_str(), G.Size, G.Align, G.Init.size(),
+                 G.PtrInits.size());
+  for (const Function &F : P.Functions)
+    S += printFunction(F);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Verification
+//===----------------------------------------------------------------------===//
+
+bool omni::ir::verifyFunction(const Function &F,
+                              std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  auto Err = [&](const std::string &Msg) {
+    Errors.push_back(formatStr("@%s: %s", F.Name.c_str(), Msg.c_str()));
+  };
+  if (F.Blocks.empty()) {
+    Err("function has no blocks");
+    return false;
+  }
+  int NumBlocks = static_cast<int>(F.Blocks.size());
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const Block &B = F.Blocks[BI];
+    if (!B.hasTerminator()) {
+      Err(formatStr("b%zu has no terminator", BI));
+      continue;
+    }
+    for (size_t II = 0; II < B.Insts.size(); ++II) {
+      const Inst &I = B.Insts[II];
+      if (I.isTerminator() && II + 1 != B.Insts.size())
+        Err(formatStr("b%zu: terminator not last", BI));
+      if (I.K == Op::Br) {
+        if (I.B1 < 0 || I.B1 >= NumBlocks || I.B2 < 0 || I.B2 >= NumBlocks)
+          Err(formatStr("b%zu: branch target out of range", BI));
+      } else if (I.K == Op::Jmp) {
+        if (I.B1 < 0 || I.B1 >= NumBlocks)
+          Err(formatStr("b%zu: jump target out of range", BI));
+      }
+      if ((I.K == Op::FrameAddr ||
+           ((I.K == Op::Load || I.K == Op::Store) && I.FrameRel)) &&
+          (I.Imm2 < 0 || static_cast<size_t>(I.Imm2) >= F.Slots.size()))
+        Err(formatStr("b%zu: frame slot reference out of range", BI));
+      if (I.hasDst() && I.Dst.Id >= F.NextValueId)
+        Err(formatStr("b%zu: dst value id out of range", BI));
+      // Immediates only make sense for integer-typed second operands.
+      if (I.BIsImm && (I.K == Op::FAdd || I.K == Op::FSub ||
+                       I.K == Op::FMul || I.K == Op::FDiv))
+        Err(formatStr("b%zu: fp op with immediate", BI));
+    }
+  }
+  return Errors.size() == Before;
+}
+
+bool omni::ir::verifyProgram(const Program &P,
+                             std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  for (const Function &F : P.Functions)
+    verifyFunction(F, Errors);
+  return Errors.size() == Before;
+}

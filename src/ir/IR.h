@@ -1,0 +1,236 @@
+//===- ir/IR.h - Three-address intermediate representation ------*- C++ -*-===//
+///
+/// \file
+/// The compiler's machine-independent intermediate representation: a typed
+/// three-address code over unlimited virtual registers, organized into
+/// basic blocks with explicit two-target branches.
+///
+/// This is the level at which Omniware performs the "great deal of
+/// machine-independent optimization" the paper attributes to the compiler
+/// (constant folding/propagation, CSE, strength reduction, LICM, DCE), so
+/// that translated mobile code needs only cheap local optimization at load
+/// time. Data layout is fully explicit: aggregates are lowered to address
+/// arithmetic before this level, as OmniVM's design intends.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_IR_IR_H
+#define OMNI_IR_IR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace ir {
+
+/// Register-level value types. Narrow integers exist only as memory access
+/// widths; in registers everything is I32, F32, or F64.
+enum class Type : uint8_t { I32, F32, F64 };
+
+inline bool isFpType(Type T) { return T != Type::I32; }
+
+/// Memory access widths.
+enum class MemWidth : uint8_t { W8, W16, W32, F32, F64 };
+
+/// Size in bytes of a memory access width.
+inline unsigned memWidthBytes(MemWidth W) {
+  switch (W) {
+  case MemWidth::W8:
+    return 1;
+  case MemWidth::W16:
+    return 2;
+  case MemWidth::W32:
+  case MemWidth::F32:
+    return 4;
+  case MemWidth::F64:
+    return 8;
+  }
+  return 4;
+}
+
+/// Comparison conditions (signed/unsigned int, ordered fp).
+enum class Cond : uint8_t { Eq, Ne, Lt, Le, Gt, Ge, LtU, LeU, GtU, GeU };
+
+/// Returns the condition with swapped operands (a<b == b>a).
+Cond swapCond(Cond C);
+/// Returns the logical negation (valid for integer conditions; fp Lt/Le
+/// negation is not representable under NaN semantics and is asserted).
+Cond negateCond(Cond C, bool IsFp);
+/// Printable condition name.
+const char *getCondName(Cond C);
+
+/// A virtual register.
+struct Value {
+  static constexpr unsigned InvalidId = ~0u;
+  unsigned Id = InvalidId;
+  Type Ty = Type::I32;
+
+  bool isValid() const { return Id != InvalidId; }
+  bool operator==(const Value &O) const { return Id == O.Id && Ty == O.Ty; }
+};
+
+/// IR operations.
+enum class Op : uint8_t {
+  // Constants and addresses.
+  ConstInt, ///< Dst = Imm
+  ConstFp,  ///< Dst = FImm (Ty selects F32/F64)
+  AddrOf,   ///< Dst = &Sym + Imm (global or function symbol)
+  FrameAddr, ///< Dst = &frame-slot[Imm2] + Imm
+  Copy,     ///< Dst = A
+
+  // Integer arithmetic; B may be an immediate (BIsImm).
+  Add, Sub, Mul, Div, DivU, Rem, RemU,
+  And, Or, Xor, Shl, ShrL, ShrA,
+  Neg, Not, ///< unary on A
+
+  // Floating point (Ty = F32/F64).
+  FAdd, FSub, FMul, FDiv, FNeg,
+
+  // Comparison: Dst(i32) = A <Cc> B, operand type in Ty.
+  Cmp,
+
+  // Width adjustments and conversions.
+  SignExt8, SignExt16, ZeroExt8, ZeroExt16,
+  IntToFp, ///< Dst(F32/F64 by Ty) = (fp)A(i32)
+  FpToInt, ///< Dst(i32) = (int)A; operand fp type in Ty
+  FpExt,   ///< Dst(f64) = (double)A(f32)
+  FpTrunc, ///< Dst(f32) = (float)A(f64)
+
+  // Memory. Address = A + Imm; or &Sym + Imm when Sym set (A invalid);
+  // or frame-slot[Imm2] + Imm when FrameRel; or A + B (indexed, Load only,
+  // with B a valid register and Imm == 0 — OmniVM's reg+reg mode).
+  Load,  ///< Dst = *(addr); Width, SignedLoad
+  Store, ///< *(addr) = B; Width
+
+  // Calls. Direct when Sym set; indirect through A otherwise.
+  Call,
+
+  // Terminators.
+  Br,  ///< if (A <Cc> B) goto blocks[B1] else goto blocks[B2]; op type Ty
+  Jmp, ///< goto blocks[B1]
+  Ret, ///< return A (when A valid)
+};
+
+/// One IR instruction.
+struct Inst {
+  Op K = Op::Copy;
+  Type Ty = Type::I32; ///< result type, or operand type for Cmp/Br/FpToInt
+  Value Dst;
+  Value A;
+  Value B;
+  bool BIsImm = false; ///< B replaced by Imm (int ops, Cmp, Br)
+  int64_t Imm = 0;     ///< integer immediate / address offset
+  int64_t Imm2 = 0;    ///< frame slot id for FrameAddr
+  double FImm = 0;     ///< fp constant for ConstFp
+  std::string Sym;     ///< global/function symbol
+  Cond Cc = Cond::Eq;
+  MemWidth Width = MemWidth::W32;
+  bool SignedLoad = true;
+  bool FrameRel = false; ///< Load/Store address is frame-slot[Imm2] + Imm
+  bool IsImportCall = false; ///< Call targets a host import
+  std::vector<Value> Args;   ///< call arguments
+  int B1 = -1, B2 = -1;      ///< branch targets (block indices)
+
+  bool isTerminator() const {
+    return K == Op::Br || K == Op::Jmp || K == Op::Ret;
+  }
+  /// True when re-executing the instruction has no side effect (candidate
+  /// for CSE/DCE/LICM).
+  bool isPure() const {
+    switch (K) {
+    case Op::Load: // loads are pure-ish but not CSE'd across stores; DCE ok
+    case Op::Store:
+    case Op::Call:
+    case Op::Br:
+    case Op::Jmp:
+    case Op::Ret:
+      return false;
+    default:
+      return true;
+    }
+  }
+  bool hasDst() const { return Dst.isValid(); }
+};
+
+/// A stack slot of a function frame (locals whose address is taken,
+/// arrays, structs).
+struct FrameSlot {
+  uint32_t Size = 0;
+  uint32_t Align = 4;
+  std::string Name; ///< for dumps only
+};
+
+/// A basic block: straight-line instructions ending in one terminator.
+struct Block {
+  std::vector<Inst> Insts;
+  std::string Name; ///< for dumps only
+
+  const Inst &terminator() const {
+    assert(!Insts.empty() && Insts.back().isTerminator());
+    return Insts.back();
+  }
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+};
+
+/// One function.
+struct Function {
+  std::string Name;
+  std::vector<Type> ParamTypes;
+  std::vector<Value> ParamValues; ///< virtual registers holding parameters
+  Type RetTy = Type::I32;
+  bool HasRet = true; ///< false = void
+  std::vector<Block> Blocks;     ///< Blocks[0] is the entry
+  std::vector<FrameSlot> Slots;
+  unsigned NextValueId = 0;
+
+  Value newValue(Type Ty) { return Value{NextValueId++, Ty}; }
+
+  /// Successor block indices of \p BlockIdx.
+  void successors(unsigned BlockIdx, int Out[2]) const;
+};
+
+/// One global variable.
+struct GlobalVar {
+  std::string Name;
+  uint32_t Size = 0;
+  uint32_t Align = 4;
+  std::vector<uint8_t> Init; ///< empty => zero-initialized (bss)
+  /// Pointer-valued initializers: 32-bit word at Offset = &Sym + Addend.
+  struct PtrInit {
+    uint32_t Offset;
+    std::string Sym;
+    int32_t Addend;
+  };
+  std::vector<PtrInit> PtrInits;
+};
+
+/// A compilation unit.
+struct Program {
+  std::vector<Function> Functions;
+  std::vector<GlobalVar> Globals;
+  std::vector<std::string> Imports; ///< host functions (call gates)
+
+  Function *findFunction(const std::string &Name);
+  const Function *findFunction(const std::string &Name) const;
+  const GlobalVar *findGlobal(const std::string &Name) const;
+  bool isImport(const std::string &Name) const;
+};
+
+/// Renders a function or whole program as readable text (tests, dumps).
+std::string printFunction(const Function &F);
+std::string printProgram(const Program &P);
+
+/// Structural sanity checks (used by tests and after each pass in debug
+/// builds): terminators present and last, operands defined-before-use is
+/// NOT required (non-SSA), branch targets valid, types consistent where
+/// cheaply checkable. Returns true when OK; appends problems to Errors.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+bool verifyProgram(const Program &P, std::vector<std::string> &Errors);
+
+} // namespace ir
+} // namespace omni
+
+#endif // OMNI_IR_IR_H

@@ -1,0 +1,304 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+///
+/// \file
+/// Helper for building IR functions; used by the MiniC frontend lowering
+/// and by optimizer unit tests.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_IR_IRBUILDER_H
+#define OMNI_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+
+namespace omni {
+namespace ir {
+
+/// Appends instructions to a current block of a function.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  Function &function() { return F; }
+
+  /// Creates a new empty block and returns its index.
+  unsigned createBlock(std::string Name = "") {
+    F.Blocks.push_back(Block());
+    F.Blocks.back().Name = std::move(Name);
+    return static_cast<unsigned>(F.Blocks.size() - 1);
+  }
+
+  void setInsertPoint(unsigned BlockIdx) { Cur = BlockIdx; }
+  unsigned insertBlock() const { return Cur; }
+
+  /// True when the current block already ends in a terminator (the caller
+  /// should not emit more code into it).
+  bool blockTerminated() const { return F.Blocks[Cur].hasTerminator(); }
+
+  Inst &append(Inst I) {
+    F.Blocks[Cur].Insts.push_back(std::move(I));
+    return F.Blocks[Cur].Insts.back();
+  }
+
+  Value constInt(int64_t V) {
+    Inst I;
+    I.K = Op::ConstInt;
+    I.Imm = V;
+    I.Dst = F.newValue(Type::I32);
+    append(I);
+    return I.Dst;
+  }
+
+  Value constFp(double V, Type Ty) {
+    Inst I;
+    I.K = Op::ConstFp;
+    I.Ty = Ty;
+    I.FImm = V;
+    I.Dst = F.newValue(Ty);
+    append(I);
+    return I.Dst;
+  }
+
+  Value addrOf(std::string Sym, int64_t Off = 0) {
+    Inst I;
+    I.K = Op::AddrOf;
+    I.Sym = std::move(Sym);
+    I.Imm = Off;
+    I.Dst = F.newValue(Type::I32);
+    append(I);
+    return I.Dst;
+  }
+
+  Value frameAddr(unsigned Slot, int64_t Off = 0) {
+    Inst I;
+    I.K = Op::FrameAddr;
+    I.Imm2 = Slot;
+    I.Imm = Off;
+    I.Dst = F.newValue(Type::I32);
+    append(I);
+    return I.Dst;
+  }
+
+  Value copy(Value Src) {
+    Inst I;
+    I.K = Op::Copy;
+    I.Ty = Src.Ty;
+    I.A = Src;
+    I.Dst = F.newValue(Src.Ty);
+    append(I);
+    return I.Dst;
+  }
+
+  /// Copy into a specific existing register (variable assignment).
+  void copyTo(Value Dst, Value Src) {
+    Inst I;
+    I.K = Op::Copy;
+    I.Ty = Dst.Ty;
+    I.A = Src;
+    I.Dst = Dst;
+    append(I);
+  }
+
+  Value binary(Op K, Value A, Value B) {
+    Inst I;
+    I.K = K;
+    I.Ty = A.Ty;
+    I.A = A;
+    I.B = B;
+    I.Dst = F.newValue(A.Ty);
+    append(I);
+    return I.Dst;
+  }
+
+  Value binaryImm(Op K, Value A, int64_t Imm) {
+    Inst I;
+    I.K = K;
+    I.Ty = A.Ty;
+    I.A = A;
+    I.BIsImm = true;
+    I.Imm = Imm;
+    I.Dst = F.newValue(A.Ty);
+    append(I);
+    return I.Dst;
+  }
+
+  Value unary(Op K, Value A, Type DstTy) {
+    Inst I;
+    I.K = K;
+    I.Ty = K == Op::FpToInt ? A.Ty : DstTy;
+    I.A = A;
+    I.Dst = F.newValue(DstTy);
+    append(I);
+    return I.Dst;
+  }
+
+  Value cmp(Cond Cc, Value A, Value B) {
+    Inst I;
+    I.K = Op::Cmp;
+    I.Ty = A.Ty;
+    I.Cc = Cc;
+    I.A = A;
+    I.B = B;
+    I.Dst = F.newValue(Type::I32);
+    append(I);
+    return I.Dst;
+  }
+
+  Value cmpImm(Cond Cc, Value A, int64_t Imm) {
+    Inst I;
+    I.K = Op::Cmp;
+    I.Ty = A.Ty;
+    I.Cc = Cc;
+    I.A = A;
+    I.BIsImm = true;
+    I.Imm = Imm;
+    I.Dst = F.newValue(Type::I32);
+    append(I);
+    return I.Dst;
+  }
+
+  Value load(Type RegTy, MemWidth W, bool Signed, Value Base,
+             int64_t Off = 0, std::string Sym = "") {
+    Inst I;
+    I.K = Op::Load;
+    I.Ty = RegTy;
+    I.Width = W;
+    I.SignedLoad = Signed;
+    I.A = Base;
+    I.Imm = Off;
+    I.Sym = std::move(Sym);
+    I.Dst = F.newValue(RegTy);
+    append(I);
+    return I.Dst;
+  }
+
+  Value loadGlobal(Type RegTy, MemWidth W, bool Signed, std::string Sym,
+                   int64_t Off = 0) {
+    return load(RegTy, W, Signed, Value(), Off, std::move(Sym));
+  }
+
+  void store(MemWidth W, Value Base, int64_t Off, Value Val,
+             std::string Sym = "") {
+    Inst I;
+    I.K = Op::Store;
+    I.Width = W;
+    I.A = Base;
+    I.Imm = Off;
+    I.B = Val;
+    I.Sym = std::move(Sym);
+    append(I);
+  }
+
+  void storeGlobal(MemWidth W, std::string Sym, int64_t Off, Value Val) {
+    store(W, Value(), Off, Val, std::move(Sym));
+  }
+
+  Value loadFrame(Type RegTy, MemWidth W, bool Signed, unsigned Slot,
+                  int64_t Off = 0) {
+    Inst I;
+    I.K = Op::Load;
+    I.Ty = RegTy;
+    I.Width = W;
+    I.SignedLoad = Signed;
+    I.FrameRel = true;
+    I.Imm2 = Slot;
+    I.Imm = Off;
+    I.Dst = F.newValue(RegTy);
+    append(I);
+    return I.Dst;
+  }
+
+  void storeFrame(MemWidth W, unsigned Slot, int64_t Off, Value Val) {
+    Inst I;
+    I.K = Op::Store;
+    I.Width = W;
+    I.FrameRel = true;
+    I.Imm2 = Slot;
+    I.Imm = Off;
+    I.B = Val;
+    append(I);
+  }
+
+  /// Direct call; pass an invalid-type marker by setting \p HasRet false.
+  Value call(std::string Callee, bool IsImport, std::vector<Value> Args,
+             bool HasRet, Type RetTy) {
+    Inst I;
+    I.K = Op::Call;
+    I.Sym = std::move(Callee);
+    I.IsImportCall = IsImport;
+    I.Args = std::move(Args);
+    if (HasRet) {
+      I.Ty = RetTy;
+      I.Dst = F.newValue(RetTy);
+    }
+    append(I);
+    return I.Dst;
+  }
+
+  Value callIndirect(Value Fn, std::vector<Value> Args, bool HasRet,
+                     Type RetTy) {
+    Inst I;
+    I.K = Op::Call;
+    I.A = Fn;
+    I.Args = std::move(Args);
+    if (HasRet) {
+      I.Ty = RetTy;
+      I.Dst = F.newValue(RetTy);
+    }
+    append(I);
+    return I.Dst;
+  }
+
+  void br(Cond Cc, Value A, Value B, int TrueBlk, int FalseBlk) {
+    Inst I;
+    I.K = Op::Br;
+    I.Ty = A.Ty;
+    I.Cc = Cc;
+    I.A = A;
+    I.B = B;
+    I.B1 = TrueBlk;
+    I.B2 = FalseBlk;
+    append(I);
+  }
+
+  void brImm(Cond Cc, Value A, int64_t Imm, int TrueBlk, int FalseBlk) {
+    Inst I;
+    I.K = Op::Br;
+    I.Ty = A.Ty;
+    I.Cc = Cc;
+    I.A = A;
+    I.BIsImm = true;
+    I.Imm = Imm;
+    I.B1 = TrueBlk;
+    I.B2 = FalseBlk;
+    append(I);
+  }
+
+  void jmp(int Blk) {
+    Inst I;
+    I.K = Op::Jmp;
+    I.B1 = Blk;
+    append(I);
+  }
+
+  void ret(Value V) {
+    Inst I;
+    I.K = Op::Ret;
+    I.A = V;
+    append(I);
+  }
+
+  void retVoid() {
+    Inst I;
+    I.K = Op::Ret;
+    append(I);
+  }
+
+private:
+  Function &F;
+  unsigned Cur = 0;
+};
+
+} // namespace ir
+} // namespace omni
+
+#endif // OMNI_IR_IRBUILDER_H

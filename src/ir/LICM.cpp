@@ -1,0 +1,145 @@
+//===- ir/LICM.cpp - loop-invariant code motion ----------------------------===//
+
+#include "ir/Analysis.h"
+#include "ir/Passes.h"
+
+#include <algorithm>
+
+using namespace omni;
+using namespace omni::ir;
+
+namespace {
+
+/// Ensures loop \p L has a preheader: a block whose only successor is the
+/// header and which receives all non-back-edge entries. Returns its index,
+/// creating one (and updating \p Cfg invalidation responsibility rests on
+/// the caller) when needed. Returns -1 when the header is the function
+/// entry with no preds (cannot happen for natural loops) or when layout
+/// can't be fixed.
+int ensurePreheader(Function &F, const Loop &L, const CFG &Cfg) {
+  int Header = L.Header;
+  // Collect entry edges (preds outside the loop).
+  std::vector<int> OutsidePreds;
+  for (int P : Cfg.Preds[Header])
+    if (!L.contains(P))
+      OutsidePreds.push_back(P);
+  if (OutsidePreds.size() == 1) {
+    int P = OutsidePreds[0];
+    // Usable as preheader only if its sole successor is the header.
+    if (Cfg.Succs[P].size() == 1 && Cfg.Succs[P][0] == Header)
+      return P;
+  }
+  if (Header == 0)
+    return -1; // entry block loops directly; create below handles preds only
+  // Create a fresh preheader.
+  int Pre = static_cast<int>(F.Blocks.size());
+  F.Blocks.push_back(Block());
+  F.Blocks.back().Name = "preheader";
+  Inst J;
+  J.K = Op::Jmp;
+  J.B1 = Header;
+  F.Blocks.back().Insts.push_back(J);
+  // Redirect all outside preds' edges into the preheader.
+  for (int P : OutsidePreds) {
+    Inst &T = F.Blocks[P].Insts.back();
+    if (T.K == Op::Jmp && T.B1 == Header)
+      T.B1 = Pre;
+    else if (T.K == Op::Br) {
+      if (T.B1 == Header)
+        T.B1 = Pre;
+      if (T.B2 == Header)
+        T.B2 = Pre;
+    }
+  }
+  return Pre;
+}
+
+} // namespace
+
+bool omni::ir::hoistLoopInvariants(Function &F) {
+  bool Changed = false;
+  Dominators Dom = Dominators::compute(F);
+  CFG Cfg = CFG::compute(F);
+  std::vector<Loop> Loops = findLoops(F, Dom, Cfg);
+  if (Loops.empty())
+    return false;
+  // Process larger (outer) loops last so inner-loop hoists can cascade
+  // outward across pipeline iterations; within one call, process each loop
+  // independently against the current function state.
+  std::sort(Loops.begin(), Loops.end(),
+            [](const Loop &A, const Loop &B) {
+              return A.Blocks.size() < B.Blocks.size();
+            });
+
+  for (const Loop &L : Loops) {
+    // Values defined inside the loop, and how many times.
+    std::vector<unsigned> DefsInLoop(F.NextValueId, 0);
+    for (int BI : L.Blocks)
+      for (const Inst &I : F.Blocks[BI].Insts)
+        if (I.hasDst())
+          ++DefsInLoop[I.Dst.Id];
+
+    Liveness Live = Liveness::compute(F);
+
+    int Pre = -1; // created lazily on first hoist
+    bool LoopChanged = true;
+    while (LoopChanged) {
+      LoopChanged = false;
+      for (int BI : L.Blocks) {
+        // Instructions that may trap (division with a possibly-zero
+        // divisor) may only be hoisted from blocks that execute on every
+        // iteration (dominate all loop exits). Non-trapping pure
+        // instructions can be speculated into the preheader freely.
+        bool DominatesExits = true;
+        for (int E : L.ExitBlocks)
+          if (!Dom.dominates(BI, E))
+            DominatesExits = false;
+
+        for (size_t II = 0; II < F.Blocks[BI].Insts.size(); ++II) {
+          // Note: creating a preheader appends a block, which may
+          // reallocate F.Blocks — always index, never hold references
+          // across that point.
+          Inst I = F.Blocks[BI].Insts[II];
+          if (!I.isPure() || !I.hasDst())
+            continue;
+          bool MayTrap = (I.K == Op::Div || I.K == Op::DivU ||
+                          I.K == Op::Rem || I.K == Op::RemU) &&
+                         !(I.BIsImm && I.Imm != 0);
+          if (MayTrap && !DominatesExits)
+            continue;
+          if (DefsInLoop[I.Dst.Id] != 1)
+            continue;
+          // Not loop-carried: must not be live into the header.
+          if (Live.isLiveIn(L.Header, I.Dst.Id))
+            continue;
+          bool OperandsInvariant = true;
+          forEachUse(I, [&](const Value &V) {
+            if (DefsInLoop[V.Id] != 0)
+              OperandsInvariant = false;
+          });
+          if (!OperandsInvariant)
+            continue;
+
+          if (Pre < 0) {
+            Pre = ensurePreheader(F, L, Cfg);
+            if (Pre < 0)
+              break;
+            // A new block may have been appended; refresh analyses that
+            // index by block.
+            Cfg = CFG::compute(F);
+          }
+          // Move the instruction to the preheader, before its terminator.
+          Block &P = F.Blocks[Pre];
+          P.Insts.insert(P.Insts.end() - 1, I);
+          DefsInLoop[I.Dst.Id] = 0;
+          F.Blocks[BI].Insts.erase(F.Blocks[BI].Insts.begin() + II);
+          --II;
+          Changed = LoopChanged = true;
+        }
+      }
+      if (LoopChanged)
+        Live = Liveness::compute(F);
+    }
+  }
+  return Changed;
+}

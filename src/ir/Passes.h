@@ -1,0 +1,82 @@
+//===- ir/Passes.h - Machine-independent optimizer ---------------*- C++ -*-===//
+///
+/// \file
+/// The machine-independent optimization passes the Omniware design puts in
+/// the *compiler* (before shipping the module), as opposed to the cheap
+/// local optimizations the load-time translator performs. Each pass is
+/// exposed individually for unit testing; `optimize` runs a pipeline to a
+/// fixpoint.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_IR_PASSES_H
+#define OMNI_IR_PASSES_H
+
+#include "ir/IR.h"
+
+namespace omni {
+namespace ir {
+
+/// Which passes run, and how hard. Two presets model the paper's compilers:
+/// the OmniVM-targeting gcc ("O2g") and the vendor cc whose *machine
+/// independent* half is comparable but which additionally folds more
+/// aggressively across iterations.
+struct OptOptions {
+  bool ConstFold = true;
+  bool CopyProp = true;
+  bool LocalCSE = true;
+  bool DCE = true;
+  bool StrengthReduce = true;
+  bool LICM = true;
+  bool SimplifyCFG = true;
+  unsigned MaxIterations = 8;
+
+  /// No optimization (straight lowering).
+  static OptOptions none();
+  /// The gcc-2.x-era pipeline used for OmniVM modules and the gcc-native
+  /// baseline.
+  static OptOptions standard();
+  /// The vendor-cc pipeline (same passes, more fixpoint iterations).
+  static OptOptions aggressive();
+};
+
+/// Local constant folding/propagation + algebraic simplification +
+/// global propagation of single-def constants. Converts constant-condition
+/// branches to jumps. Returns true when anything changed.
+bool foldConstants(Function &F);
+
+/// Local copy propagation.
+bool propagateCopies(Function &F);
+
+/// Local common subexpression elimination by value numbering; redundant
+/// loads are eliminated until a store/call clobbers memory.
+bool eliminateCommonSubexpressions(Function &F);
+
+/// Liveness-based dead code elimination (pure instructions and loads with
+/// dead results; dead call results are dropped but calls kept).
+bool eliminateDeadCode(Function &F);
+
+/// Strength reduction of multiply/divide by constants into shifts/adds.
+bool reduceStrength(Function &F);
+
+/// Loop-invariant code motion: hoists pure invariant instructions into a
+/// (created on demand) preheader.
+bool hoistLoopInvariants(Function &F);
+
+/// Branch-to-jump cleanup, jump threading, block merging, unreachable
+/// block removal.
+bool simplifyCFG(Function &F);
+
+/// Code-generator preparation: rewrites single-use "addr = base + index;
+/// load [addr]" pairs into OmniVM's indexed addressing mode (reg+reg
+/// loads). Run after optimization, before OmniVM code generation — this is
+/// instruction selection, not optimization, so it runs at every -O level.
+bool foldIndexedAddressing(Function &F);
+
+/// Runs the configured pipeline to a fixpoint (bounded by MaxIterations).
+void optimize(Function &F, const OptOptions &Opts);
+void optimizeProgram(Program &P, const OptOptions &Opts);
+
+} // namespace ir
+} // namespace omni
+
+#endif // OMNI_IR_PASSES_H

@@ -1,0 +1,55 @@
+//===- ir/Pipeline.cpp - optimization pipeline ------------------------------===//
+
+#include "ir/Passes.h"
+
+#include <cassert>
+
+using namespace omni;
+using namespace omni::ir;
+
+OptOptions OptOptions::none() {
+  OptOptions O;
+  O.ConstFold = O.CopyProp = O.LocalCSE = O.DCE = O.StrengthReduce =
+      O.LICM = O.SimplifyCFG = false;
+  O.MaxIterations = 0;
+  return O;
+}
+
+OptOptions OptOptions::standard() { return OptOptions(); }
+
+OptOptions OptOptions::aggressive() {
+  OptOptions O;
+  O.MaxIterations = 16;
+  return O;
+}
+
+void omni::ir::optimize(Function &F, const OptOptions &Opts) {
+  for (unsigned Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    bool Changed = false;
+    if (Opts.ConstFold)
+      Changed |= foldConstants(F);
+    if (Opts.CopyProp)
+      Changed |= propagateCopies(F);
+    if (Opts.LocalCSE)
+      Changed |= eliminateCommonSubexpressions(F);
+    if (Opts.StrengthReduce)
+      Changed |= reduceStrength(F);
+    if (Opts.SimplifyCFG)
+      Changed |= simplifyCFG(F);
+    if (Opts.LICM)
+      Changed |= hoistLoopInvariants(F);
+    if (Opts.DCE)
+      Changed |= eliminateDeadCode(F);
+    if (!Changed)
+      break;
+  }
+#ifndef NDEBUG
+  std::vector<std::string> Errors;
+  assert(verifyFunction(F, Errors) && "optimizer broke the function");
+#endif
+}
+
+void omni::ir::optimizeProgram(Program &P, const OptOptions &Opts) {
+  for (Function &F : P.Functions)
+    optimize(F, Opts);
+}

@@ -1,0 +1,121 @@
+//===- ir/SimplifyCFG.cpp - CFG cleanup -------------------------------------===//
+
+#include "ir/Analysis.h"
+#include "ir/Passes.h"
+
+using namespace omni;
+using namespace omni::ir;
+
+namespace {
+
+/// Follows chains of empty jump-only blocks. Returns the final target.
+int threadTarget(const Function &F, int B) {
+  int Seen = 0;
+  while (Seen++ < 64) { // cycle guard
+    const Block &Blk = F.Blocks[B];
+    if (Blk.Insts.size() != 1 || Blk.Insts[0].K != Op::Jmp)
+      return B;
+    int Next = Blk.Insts[0].B1;
+    if (Next == B)
+      return B;
+    B = Next;
+  }
+  return B;
+}
+
+} // namespace
+
+bool omni::ir::simplifyCFG(Function &F) {
+  bool Changed = false;
+
+  // 1. Branches with identical targets become jumps; thread jump chains.
+  for (Block &B : F.Blocks) {
+    if (!B.hasTerminator())
+      continue;
+    Inst &T = B.Insts.back();
+    if (T.K == Op::Br) {
+      int NB1 = threadTarget(F, T.B1);
+      int NB2 = threadTarget(F, T.B2);
+      if (NB1 != T.B1 || NB2 != T.B2) {
+        T.B1 = NB1;
+        T.B2 = NB2;
+        Changed = true;
+      }
+      if (T.B1 == T.B2) {
+        int Target = T.B1;
+        T = Inst();
+        T.K = Op::Jmp;
+        T.B1 = Target;
+        Changed = true;
+      }
+    } else if (T.K == Op::Jmp) {
+      int NT = threadTarget(F, T.B1);
+      if (NT != T.B1) {
+        T.B1 = NT;
+        Changed = true;
+      }
+    }
+  }
+
+  // 2. Merge straight-line pairs: B -> S where S has exactly one pred.
+  {
+    CFG Cfg = CFG::compute(F);
+    for (unsigned BI = 0; BI < F.Blocks.size(); ++BI) {
+      while (true) {
+        Block &B = F.Blocks[BI];
+        if (!B.hasTerminator() || B.Insts.back().K != Op::Jmp)
+          break;
+        int S = B.Insts.back().B1;
+        if (S == static_cast<int>(BI) || Cfg.Preds[S].size() != 1)
+          break;
+        // Splice S into B.
+        Block &SB = F.Blocks[S];
+        B.Insts.pop_back();
+        B.Insts.insert(B.Insts.end(), SB.Insts.begin(), SB.Insts.end());
+        SB.Insts.clear();
+        // S is now unreachable; keep a placeholder terminator so the
+        // verifier stays happy until unreachable-removal below.
+        Inst Dead;
+        Dead.K = Op::Ret;
+        SB.Insts.push_back(Dead);
+        Changed = true;
+        // Recompute CFG for the next merge opportunity from this block.
+        Cfg = CFG::compute(F);
+      }
+    }
+  }
+
+  // 3. Remove unreachable blocks, compacting indices.
+  {
+    std::vector<int> RPO = computeRPO(F);
+    if (RPO.size() != F.Blocks.size()) {
+      std::vector<int> NewIndex(F.Blocks.size(), -1);
+      // Preserve original relative order for readability.
+      std::vector<uint8_t> Reachable(F.Blocks.size(), 0);
+      for (int B : RPO)
+        Reachable[B] = 1;
+      std::vector<Block> NewBlocks;
+      for (unsigned B = 0; B < F.Blocks.size(); ++B) {
+        if (!Reachable[B])
+          continue;
+        NewIndex[B] = static_cast<int>(NewBlocks.size());
+        NewBlocks.push_back(std::move(F.Blocks[B]));
+      }
+      for (Block &B : NewBlocks) {
+        if (!B.hasTerminator())
+          continue;
+        Inst &T = B.Insts.back();
+        if (T.K == Op::Br) {
+          T.B1 = NewIndex[T.B1];
+          T.B2 = NewIndex[T.B2];
+        } else if (T.K == Op::Jmp) {
+          T.B1 = NewIndex[T.B1];
+        }
+      }
+      F.Blocks = std::move(NewBlocks);
+      Changed = true;
+    }
+  }
+
+  return Changed;
+}

@@ -1,0 +1,162 @@
+//===- ir/StrengthReduce.cpp - mul/div by constant reduction ---------------===//
+///
+/// Turns multiplications and divisions by constants into cheaper shift/add
+/// sequences — one of the machine-independent optimizations the paper lists
+/// as profitable on explicit address arithmetic (§3.3).
+
+#include "ir/Passes.h"
+
+using namespace omni;
+using namespace omni::ir;
+
+namespace {
+
+bool isPowerOfTwo(uint32_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+unsigned log2u(uint32_t X) {
+  unsigned L = 0;
+  while (X >>= 1)
+    ++L;
+  return L;
+}
+
+} // namespace
+
+bool omni::ir::reduceStrength(Function &F) {
+  bool Changed = false;
+  for (Block &B : F.Blocks) {
+    for (size_t II = 0; II < B.Insts.size(); ++II) {
+      Inst &I = B.Insts[II];
+      if (!I.BIsImm)
+        continue;
+
+      if (I.K == Op::Mul) {
+        int64_t C = I.Imm;
+        if (C == -1) {
+          I.K = Op::Neg;
+          I.BIsImm = false;
+          I.Imm = 0;
+          Changed = true;
+          continue;
+        }
+        if (C > 0 && isPowerOfTwo(static_cast<uint32_t>(C))) {
+          I.K = Op::Shl;
+          I.Imm = log2u(static_cast<uint32_t>(C));
+          Changed = true;
+          continue;
+        }
+        // 2^k + 1 (3, 5, 9, 17, ...): t = a << k; dst = t + a.
+        if (C > 2 && isPowerOfTwo(static_cast<uint32_t>(C - 1))) {
+          Value T = F.newValue(Type::I32);
+          Inst Shift;
+          Shift.K = Op::Shl;
+          Shift.Ty = Type::I32;
+          Shift.Dst = T;
+          Shift.A = I.A;
+          Shift.BIsImm = true;
+          Shift.Imm = log2u(static_cast<uint32_t>(C - 1));
+          Inst Add;
+          Add.K = Op::Add;
+          Add.Ty = Type::I32;
+          Add.Dst = I.Dst;
+          Add.A = T;
+          Add.B = I.A;
+          B.Insts[II] = Shift;
+          B.Insts.insert(B.Insts.begin() + II + 1, Add);
+          Changed = true;
+          continue;
+        }
+        // 2^k - 1 (7, 15, 31, ...): t = a << k; dst = t - a.
+        if (C > 2 && isPowerOfTwo(static_cast<uint32_t>(C + 1))) {
+          Value T = F.newValue(Type::I32);
+          Inst Shift;
+          Shift.K = Op::Shl;
+          Shift.Ty = Type::I32;
+          Shift.Dst = T;
+          Shift.A = I.A;
+          Shift.BIsImm = true;
+          Shift.Imm = log2u(static_cast<uint32_t>(C + 1));
+          Inst Sub;
+          Sub.K = Op::Sub;
+          Sub.Ty = Type::I32;
+          Sub.Dst = I.Dst;
+          Sub.A = T;
+          Sub.B = I.A;
+          B.Insts[II] = Shift;
+          B.Insts.insert(B.Insts.begin() + II + 1, Sub);
+          Changed = true;
+          continue;
+        }
+        continue;
+      }
+
+      if (I.K == Op::DivU) {
+        int64_t C = I.Imm;
+        if (C > 0 && isPowerOfTwo(static_cast<uint32_t>(C))) {
+          I.K = Op::ShrL;
+          I.Imm = log2u(static_cast<uint32_t>(C));
+          Changed = true;
+        }
+        continue;
+      }
+
+      if (I.K == Op::RemU) {
+        int64_t C = I.Imm;
+        if (C > 0 && isPowerOfTwo(static_cast<uint32_t>(C))) {
+          I.K = Op::And;
+          I.Imm = C - 1;
+          Changed = true;
+        }
+        continue;
+      }
+
+      if (I.K == Op::Div) {
+        int64_t C = I.Imm;
+        if (C > 1 && isPowerOfTwo(static_cast<uint32_t>(C))) {
+          // Signed division by 2^k with round-toward-zero:
+          //   t1 = a >> 31            (all ones when negative)
+          //   t2 = t1 >>> (32-k)      (bias = 2^k - 1 when negative)
+          //   t3 = a + t2
+          //   dst = t3 >> k
+          unsigned K = log2u(static_cast<uint32_t>(C));
+          Value T1 = F.newValue(Type::I32);
+          Value T2 = F.newValue(Type::I32);
+          Value T3 = F.newValue(Type::I32);
+          Inst S1;
+          S1.K = Op::ShrA;
+          S1.Ty = Type::I32;
+          S1.Dst = T1;
+          S1.A = I.A;
+          S1.BIsImm = true;
+          S1.Imm = 31;
+          Inst S2;
+          S2.K = Op::ShrL;
+          S2.Ty = Type::I32;
+          S2.Dst = T2;
+          S2.A = T1;
+          S2.BIsImm = true;
+          S2.Imm = 32 - K;
+          Inst S3;
+          S3.K = Op::Add;
+          S3.Ty = Type::I32;
+          S3.Dst = T3;
+          S3.A = I.A;
+          S3.B = T2;
+          Inst S4;
+          S4.K = Op::ShrA;
+          S4.Ty = Type::I32;
+          S4.Dst = I.Dst;
+          S4.A = T3;
+          S4.BIsImm = true;
+          S4.Imm = K;
+          B.Insts[II] = S1;
+          B.Insts.insert(B.Insts.begin() + II + 1, {S2, S3, S4});
+          II += 3;
+          Changed = true;
+        }
+        continue;
+      }
+    }
+  }
+  return Changed;
+}

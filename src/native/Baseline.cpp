@@ -1,0 +1,32 @@
+//===- native/Baseline.cpp -------------------------------------------------===//
+
+#include "native/Baseline.h"
+
+using namespace omni;
+using namespace omni::native;
+
+driver::CompileOptions omni::native::compileOptionsFor(Profile P) {
+  driver::CompileOptions Opts;
+  Opts.Opt = P == Profile::Cc ? ir::OptOptions::aggressive()
+                              : ir::OptOptions::standard();
+  return Opts;
+}
+
+translate::TranslateOptions omni::native::translateOptionsFor(Profile P) {
+  return P == Profile::Cc ? translate::TranslateOptions::nativeCc()
+                          : translate::TranslateOptions::nativeGcc();
+}
+
+runtime::TargetRunResult omni::native::runNativeBaseline(
+    target::TargetKind Kind, const std::string &Source, Profile P,
+    uint64_t MaxSteps) {
+  runtime::TargetRunResult R;
+  vm::Module Exe;
+  std::string Error;
+  if (!driver::compileAndLink(Source, compileOptionsFor(P), Exe, Error)) {
+    R.Run.Trap.Kind = vm::TrapKind::HostError;
+    R.Run.Output = Error;
+    return R;
+  }
+  return runtime::runOnTarget(Kind, Exe, translateOptionsFor(P), MaxSteps);
+}

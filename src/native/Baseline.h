@@ -1,0 +1,50 @@
+//===- native/Baseline.h - native compiler baselines -------------*- C++ -*-===//
+///
+/// \file
+/// The paper's comparison baselines: code produced by the vendor `cc` and
+/// by `gcc` for each target, against which translated mobile code is
+/// measured (Tables 1, 3-6).
+///
+/// Modeling: a native baseline is the same IR compiled through the same
+/// backend pipeline but with native privileges — no SFI, machine-specific
+/// selection (global pointers everywhere, PPC record forms, MIPS/x86
+/// set-condition), and per-profile optimization strength:
+///
+///  * `Cc`  — aggressive IR optimization + instruction scheduling +
+///            machine-specific selection (the vendor compiler);
+///  * `Gcc` — standard IR optimization, no scheduler, generic selection
+///            (gcc 2.x era, whose scheduling the paper found weak).
+///
+/// This makes the native/mobile gap decompose into exactly the four
+/// factors §4.1 of the paper enumerates. See DESIGN.md for the full
+/// substitution argument.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_NATIVE_BASELINE_H
+#define OMNI_NATIVE_BASELINE_H
+
+#include "driver/Compiler.h"
+#include "runtime/Run.h"
+
+namespace omni {
+namespace native {
+
+enum class Profile { Cc, Gcc };
+
+/// Compile options matching one baseline profile.
+driver::CompileOptions compileOptionsFor(Profile P);
+
+/// Translation options matching one baseline profile.
+translate::TranslateOptions translateOptionsFor(Profile P);
+
+/// Compiles \p Source as a native baseline for \p Kind and runs it.
+/// Returns the run result with cycle statistics; on compile failure the
+/// trap kind is HostError and the output holds the error text.
+runtime::TargetRunResult runNativeBaseline(
+    target::TargetKind Kind, const std::string &Source, Profile P,
+    uint64_t MaxSteps = 1ull << 33);
+
+} // namespace native
+} // namespace omni
+
+#endif // OMNI_NATIVE_BASELINE_H

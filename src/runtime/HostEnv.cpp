@@ -1,0 +1,123 @@
+//===- runtime/HostEnv.cpp -------------------------------------------------===//
+
+#include "runtime/HostEnv.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+using namespace omni::runtime;
+using vm::Trap;
+using vm::TrapKind;
+
+void HostEnv::grant(const std::string &Name, HostFunction Fn) {
+  Granted[Name] = std::move(Fn);
+}
+
+void HostEnv::installStdlib() {
+  grant("print_int", [this](vm::HostContext &Ctx) {
+    appendFormat(Output, "%d", static_cast<int32_t>(Ctx.intArg(0)));
+    return Trap::none();
+  });
+  grant("print_uint", [this](vm::HostContext &Ctx) {
+    appendFormat(Output, "%u", Ctx.intArg(0));
+    return Trap::none();
+  });
+  grant("print_char", [this](vm::HostContext &Ctx) {
+    Output.push_back(static_cast<char>(Ctx.intArg(0)));
+    return Trap::none();
+  });
+  grant("print_str", [this](vm::HostContext &Ctx) {
+    uint32_t Ptr = Ctx.intArg(0);
+    if (!Ctx.mem().contains(Ptr)) {
+      Trap T;
+      T.Kind = TrapKind::HostError;
+      return T;
+    }
+    Output += Ctx.mem().hostReadCString(Ptr);
+    return Trap::none();
+  });
+  grant("print_f64", [this](vm::HostContext &Ctx) {
+    appendFormat(Output, "%.6g", Ctx.fpArg(0));
+    return Trap::none();
+  });
+  grant("host_exit", [](vm::HostContext &Ctx) {
+    return Trap::halt(static_cast<int32_t>(Ctx.intArg(0)));
+  });
+  grant("host_abort", [](vm::HostContext &Ctx) {
+    Trap T;
+    T.Kind = TrapKind::Break;
+    return T;
+  });
+  grant("host_sbrk", [this](vm::HostContext &Ctx) {
+    uint32_t N = Ctx.intArg(0);
+    uint32_t Aligned = (N + 7) & ~7u;
+    if (HeapBreak + Aligned > HeapLimit || HeapBreak + Aligned < HeapBreak) {
+      Ctx.setIntResult(0); // out of memory => NULL
+      return Trap::none();
+    }
+    Ctx.setIntResult(HeapBreak);
+    HeapBreak += Aligned;
+    return Trap::none();
+  });
+}
+
+bool HostEnv::bind(const vm::Module &M, std::string &Error) {
+  Bound.clear();
+  for (const std::string &Name : M.Imports) {
+    auto It = Granted.find(Name);
+    if (It == Granted.end()) {
+      Error = formatStr("module imports unauthorized host function '%s'",
+                        Name.c_str());
+      return false;
+    }
+    Bound.push_back(It->second);
+  }
+  return true;
+}
+
+vm::HostCallHandler HostEnv::handler() {
+  return [this](unsigned Idx, vm::HostContext &Ctx) -> Trap {
+    if (Idx >= Bound.size()) {
+      Trap T;
+      T.Kind = TrapKind::HostError;
+      return T;
+    }
+    return Bound[Idx](Ctx);
+  };
+}
+
+bool omni::runtime::loadImage(const vm::Module &Exe, vm::AddressSpace &Mem,
+                              std::string &Error) {
+  if (!Exe.isExecutable()) {
+    Error = "module is not a linked executable";
+    return false;
+  }
+  if (Exe.LinkBase != Mem.base()) {
+    Error = formatStr("module linked for base 0x%08x, segment is 0x%08x",
+                      Exe.LinkBase, Mem.base());
+    return false;
+  }
+  uint64_t ImageEnd = static_cast<uint64_t>(Exe.Data.size()) + Exe.BssSize;
+  if (ImageEnd + StackReserve > Mem.size()) {
+    Error = "module image does not fit in the data segment";
+    return false;
+  }
+  if (!Exe.Data.empty())
+    Mem.hostWrite(Mem.base(), Exe.Data.data(),
+                  static_cast<uint32_t>(Exe.Data.size()));
+  // Bss pages are already zero in a fresh segment, but clear them anyway
+  // so reloading into a reused segment is sound.
+  if (Exe.BssSize) {
+    std::vector<uint8_t> Zeros(Exe.BssSize, 0);
+    Mem.hostWrite(Mem.base() + static_cast<uint32_t>(Exe.Data.size()),
+                  Zeros.data(), Exe.BssSize);
+  }
+  return true;
+}
+
+uint32_t omni::runtime::initialHeapBreak(const vm::Module &Exe,
+                                         const vm::AddressSpace &Mem) {
+  uint32_t End = Mem.base() + static_cast<uint32_t>(Exe.Data.size()) +
+                 Exe.BssSize;
+  return (End + 7) & ~7u;
+}

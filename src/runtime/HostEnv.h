@@ -1,0 +1,82 @@
+//===- runtime/HostEnv.h - Omniware host environment -------------*- C++ -*-===//
+///
+/// \file
+/// The trusted host side of the Omniware runtime: a registry of host
+/// functions exported to modules through call gates, the loader that
+/// installs a verified module image into its sandboxed segment, and the
+/// standard library (console output, heap, exit) the paper's runtime
+/// provides ("memory management, threads, synchronization, and graphics"
+/// — scaled to what the workloads need).
+///
+/// The host decides which functions a module may import: binding fails if
+/// the module asks for anything not explicitly granted (the paper's
+/// "prevent ... calling unauthorized host functions").
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_RUNTIME_HOSTENV_H
+#define OMNI_RUNTIME_HOSTENV_H
+
+#include "vm/AddressSpace.h"
+#include "vm/Host.h"
+#include "vm/Module.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace runtime {
+
+/// One host function exposed through a call gate.
+using HostFunction = std::function<vm::Trap(vm::HostContext &)>;
+
+/// Host environment for one loaded module.
+class HostEnv {
+public:
+  /// Registers (grants) a host function under \p Name.
+  void grant(const std::string &Name, HostFunction Fn);
+
+  /// Installs the standard library: print_int, print_uint, print_char,
+  /// print_str, print_f64, host_exit, host_sbrk, host_abort.
+  /// Output is captured in output().
+  void installStdlib();
+
+  /// Resolves \p M's import table against granted functions. Returns
+  /// false and fills \p Error when the module requests an unauthorized
+  /// function.
+  bool bind(const vm::Module &M, std::string &Error);
+
+  /// The HostCallHandler to install on an execution engine.
+  vm::HostCallHandler handler();
+
+  /// Captured output of the print_* family.
+  const std::string &output() const { return Output; }
+  void clearOutput() { Output.clear(); }
+
+  /// Heap state for host_sbrk (set by the loader).
+  uint32_t HeapBreak = 0;
+  uint32_t HeapLimit = 0;
+
+private:
+  std::map<std::string, HostFunction> Granted;
+  std::vector<HostFunction> Bound; ///< by import index
+  std::string Output;
+};
+
+/// Copies a verified executable's image into \p Mem: initialized data at
+/// the link base, zeroed bss after it. Returns false when the image does
+/// not fit or the module was linked for a different base.
+bool loadImage(const vm::Module &Exe, vm::AddressSpace &Mem,
+               std::string &Error);
+
+/// Initial heap break for \p Exe in \p Mem (after data+bss, 8-aligned).
+uint32_t initialHeapBreak(const vm::Module &Exe, const vm::AddressSpace &Mem);
+
+/// Bytes reserved for the module stack at the top of the segment.
+constexpr uint32_t StackReserve = 256 * 1024;
+
+} // namespace runtime
+} // namespace omni
+
+#endif // OMNI_RUNTIME_HOSTENV_H

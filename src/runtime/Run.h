@@ -1,0 +1,57 @@
+//===- runtime/Run.h - one-call module execution helpers ---------*- C++ -*-===//
+///
+/// \file
+/// Convenience entry points that assemble the full Omniware host stack
+/// (segment, loader, stdlib host environment, engine) and run a module.
+/// Used by tests, examples, and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_RUNTIME_RUN_H
+#define OMNI_RUNTIME_RUN_H
+
+#include "runtime/HostEnv.h"
+#include "target/Simulator.h"
+#include "translate/Translator.h"
+#include "vm/Module.h"
+#include "vm/Trap.h"
+
+#include <cstdint>
+#include <string>
+
+namespace omni {
+namespace runtime {
+
+/// Outcome of one execution.
+struct RunResult {
+  vm::Trap Trap;
+  std::string Output;       ///< captured print_* output
+  uint64_t InstrCount = 0;  ///< instructions executed (engine-specific)
+};
+
+/// Runs \p Exe on the OmniVM reference interpreter with the standard
+/// library granted. \p ExtraSetup, when provided, can grant additional
+/// host functions before binding.
+RunResult runOnInterpreter(
+    const vm::Module &Exe, uint64_t MaxSteps = 1ull << 33,
+    const std::function<void(HostEnv &)> &ExtraSetup = nullptr);
+
+/// Outcome of a translated run, with the simulator's cycle accounting.
+struct TargetRunResult {
+  RunResult Run;
+  target::SimStats Stats;
+  /// Static native code size (instructions).
+  uint32_t CodeSize = 0;
+};
+
+/// Translates \p Exe for \p Kind with \p Opts (SFI, translator
+/// optimizations) and runs it on that target's simulator with the standard
+/// library granted.
+TargetRunResult runOnTarget(
+    target::TargetKind Kind, const vm::Module &Exe,
+    const translate::TranslateOptions &Opts, uint64_t MaxSteps = 1ull << 33,
+    const std::function<void(HostEnv &)> &ExtraSetup = nullptr);
+
+} // namespace runtime
+} // namespace omni
+
+#endif // OMNI_RUNTIME_RUN_H

@@ -1,0 +1,37 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Msg) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Msg)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Msg) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Msg)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Msg) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Msg)});
+}
+
+std::string DiagnosticEngine::render(const std::string &InputName) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    const char *Kind = D.Kind == DiagKind::Error     ? "error"
+                       : D.Kind == DiagKind::Warning ? "warning"
+                                                     : "note";
+    appendFormat(Out, "%s:%u:%u: %s: %s\n", InputName.c_str(), D.Loc.Line,
+                 D.Loc.Col, Kind, D.Message.c_str());
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

@@ -1,0 +1,63 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+///
+/// \file
+/// Source locations and a diagnostic engine shared by the MiniC frontend and
+/// the OmniVM assembler. Library code never throws; errors are accumulated
+/// here and inspected by the caller.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_SUPPORT_DIAGNOSTICS_H
+#define OMNI_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace omni {
+
+/// A position in an input buffer (1-based line and column).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics produced while processing one input.
+class DiagnosticEngine {
+public:
+  /// Reports an error at \p Loc.
+  void error(SourceLoc Loc, std::string Msg);
+
+  /// Reports a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Msg);
+
+  /// Reports a note attached to the previous diagnostic.
+  void note(SourceLoc Loc, std::string Msg);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "<name>:line:col: kind: message" lines.
+  std::string render(const std::string &InputName) const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace omni
+
+#endif // OMNI_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,46 @@
+//===- support/Format.cpp -------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace omni;
+
+static std::string vformat(const char *Fmt, va_list Ap) {
+  va_list Copy;
+  va_copy(Copy, Ap);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Ap);
+  return Out;
+}
+
+std::string omni::formatStr(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::string Out = vformat(Fmt, Ap);
+  va_end(Ap);
+  return Out;
+}
+
+void omni::appendFormat(std::string &Out, const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  Out += vformat(Fmt, Ap);
+  va_end(Ap);
+}
+
+std::string omni::padRight(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.append(Width - S.size(), ' ');
+  return S;
+}
+
+std::string omni::padLeft(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.insert(S.begin(), Width - S.size(), ' ');
+  return S;
+}

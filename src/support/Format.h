@@ -1,0 +1,32 @@
+//===- support/Format.h - printf-style std::string formatting --*- C++ -*-===//
+///
+/// \file
+/// Small formatting helpers used throughout the project instead of
+/// iostream-based formatting (see LLVM coding standards on <iostream>).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_SUPPORT_FORMAT_H
+#define OMNI_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace omni {
+
+/// Returns a std::string produced from a printf-style format.
+std::string formatStr(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Appends printf-style formatted text to \p Out.
+void appendFormat(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Pads \p S on the right with spaces to at least \p Width columns.
+std::string padRight(std::string S, size_t Width);
+
+/// Pads \p S on the left with spaces to at least \p Width columns.
+std::string padLeft(std::string S, size_t Width);
+
+} // namespace omni
+
+#endif // OMNI_SUPPORT_FORMAT_H

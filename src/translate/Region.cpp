@@ -1,0 +1,387 @@
+//===- translate/Region.cpp - region scheduling and delay slots -----------===//
+
+#include "translate/Region.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace omni;
+using namespace omni::translate;
+using namespace omni::target;
+
+bool DepSets::conflict(const DepSets &E, const DepSets &L) {
+  if (E.Barrier || L.Barrier)
+    return true;
+  // RAW / WAR / WAW on integer registers.
+  if ((E.IntW0 & (L.IntR0 | L.IntW0)) || (E.IntR0 & L.IntW0))
+    return true;
+  if ((E.FpW & (L.FpR | L.FpW)) || (E.FpR & L.FpW))
+    return true;
+  if ((E.WritesCc && (L.ReadsCc || L.WritesCc)) || (E.ReadsCc && L.WritesCc))
+    return true;
+  if ((E.WritesFcc && (L.ReadsFcc || L.WritesFcc)) ||
+      (E.ReadsFcc && L.WritesFcc))
+    return true;
+  if ((E.WritesCtr && (L.ReadsCtr || L.WritesCtr)) ||
+      (E.ReadsCtr && L.WritesCtr))
+    return true;
+  // Memory: loads may pass loads; stores order with everything.
+  if ((E.WritesMem && (L.ReadsMem || L.WritesMem)) ||
+      (E.ReadsMem && L.WritesMem))
+    return true;
+  return false;
+}
+
+DepSets omni::translate::computeDeps(const TargetInfo &TI, const TInstr &I) {
+  DepSets D;
+  auto RInt = [&](unsigned R) {
+    if (!(TI.HasZeroReg && R == TI.ZeroReg))
+      D.IntR0 |= 1ull << R;
+  };
+  auto WInt = [&](unsigned R) {
+    if (!(TI.HasZeroReg && R == TI.ZeroReg))
+      D.IntW0 |= 1ull << R;
+  };
+  auto RFp = [&](unsigned R) { D.FpR |= 1u << R; };
+  auto WFp = [&](unsigned R) { D.FpW |= 1u << R; };
+  auto Addr = [&]() {
+    if (I.Mode != AddrMode::Abs) {
+      RInt(I.Rs1);
+      if (I.Mode == AddrMode::BaseIndex || I.Mode == AddrMode::BaseIndexImm)
+        RInt(I.Rs2);
+    }
+  };
+
+  switch (I.Op) {
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+    WInt(I.Rd);
+    break;
+  case TOp::OrImmLo:
+  case TOp::MovReg:
+    RInt(I.Rs1);
+    WInt(I.Rd);
+    break;
+  case TOp::Lea:
+    Addr();
+    WInt(I.Rd);
+    break;
+  case TOp::Load:
+    Addr();
+    D.ReadsMem = true;
+    if (I.MemOperand)
+      D.ReadsMem = true;
+    if (I.FpVal)
+      WFp(I.Rd);
+    else
+      WInt(I.Rd);
+    break;
+  case TOp::Store:
+    Addr();
+    D.WritesMem = true;
+    if (I.FpVal)
+      RFp(I.Rd);
+    else
+      RInt(I.Rd);
+    break;
+  case TOp::Cmp:
+    RInt(I.Rs1);
+    if (I.MemOperand) {
+      Addr();
+      D.ReadsMem = true;
+    } else if (!I.UsesImm) {
+      RInt(I.Rs2);
+    }
+    D.WritesCc = true;
+    break;
+  case TOp::SetCond:
+    RInt(I.Rs1);
+    if (!I.UsesImm)
+      RInt(I.Rs2);
+    WInt(I.Rd);
+    break;
+  case TOp::FCmp:
+    RFp(I.Rs1);
+    RFp(I.Rs2);
+    D.WritesFcc = true;
+    break;
+  case TOp::CmpBranch:
+    RInt(I.Rs1);
+    if (!I.UsesImm)
+      RInt(I.Rs2);
+    break;
+  case TOp::BranchCC:
+    D.ReadsCc = true;
+    break;
+  case TOp::FBranchCC:
+    D.ReadsFcc = true;
+    break;
+  case TOp::BranchDec:
+    D.ReadsCtr = true;
+    D.WritesCtr = true;
+    break;
+  case TOp::MoveToCtr:
+    RInt(I.Rs1);
+    D.WritesCtr = true;
+    break;
+  case TOp::Branch:
+    break;
+  case TOp::CallDirect:
+  case TOp::CallIndirect:
+    if (I.Op == TOp::CallIndirect)
+      RInt(I.Rs1);
+    if (!TI.LinkIsMemory)
+      WInt(I.Rd);
+    else
+      D.WritesMem = true;
+    break;
+  case TOp::JumpIndirect:
+    RInt(I.Rs1);
+    break;
+  case TOp::HostCall:
+  case TOp::Trap:
+  case TOp::Halt:
+    D.Barrier = true;
+    break;
+  case TOp::FMov:
+  case TOp::FNeg:
+  case TOp::CvtFpToFp:
+    RFp(I.Rs1);
+    WFp(I.Rd);
+    break;
+  case TOp::CvtIntToFp:
+    RInt(I.Rs1);
+    WFp(I.Rd);
+    break;
+  case TOp::CvtFpToInt:
+    RFp(I.Rs1);
+    WInt(I.Rd);
+    break;
+  case TOp::FAdd:
+  case TOp::FSub:
+  case TOp::FMul:
+  case TOp::FDiv:
+    RFp(I.Rs1);
+    RFp(I.Rs2);
+    WFp(I.Rd);
+    break;
+  case TOp::Nop:
+    break;
+  default: // integer ALU
+    RInt(I.Rs1);
+    if (I.MemOperand) {
+      Addr();
+      D.ReadsMem = true;
+    } else if (!I.UsesImm) {
+      RInt(I.Rs2);
+    }
+    WInt(I.Rd);
+    break;
+  }
+  if (I.RecordForm)
+    D.WritesCc = true;
+  return D;
+}
+
+namespace {
+
+/// Index of the first trailing instruction that must not be reordered:
+/// a control transfer plus (on delay-slot targets) its slot.
+size_t straightLineEnd(const TargetInfo &TI, const Region &R) {
+  size_t N = R.Code.size();
+  if (N == 0)
+    return 0;
+  // Find a trailing branch; everything from it on stays fixed.
+  // Regions contain at most one control transfer, at the end (possibly
+  // followed by its delay slot).
+  for (size_t I = N; I > 0; --I) {
+    if (R.Code[I - 1].isBranch())
+      return I - 1;
+  }
+  return N;
+}
+
+} // namespace
+
+void omni::translate::scheduleRegion(const TargetInfo &TI, Region &R) {
+  size_t End = straightLineEnd(TI, R);
+  if (End < 3)
+    return;
+
+  std::vector<TInstr> Body(R.Code.begin(), R.Code.begin() + End);
+  size_t N = Body.size();
+  std::vector<DepSets> Deps(N);
+  for (size_t I = 0; I < N; ++I)
+    Deps[I] = computeDeps(TI, Body[I]);
+
+  // Dependence edges (I -> J means J must follow I).
+  std::vector<std::vector<unsigned>> Succs(N);
+  std::vector<unsigned> PredCount(N, 0);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (DepSets::conflict(Deps[I], Deps[J])) {
+        Succs[I].push_back(static_cast<unsigned>(J));
+        ++PredCount[J];
+      }
+
+  // Priority: critical-path length (latency-weighted height).
+  std::vector<unsigned> Height(N, 0);
+  for (size_t I = N; I > 0; --I) {
+    unsigned Idx = static_cast<unsigned>(I - 1);
+    unsigned H = 0;
+    for (unsigned S : Succs[Idx])
+      H = std::max(H, Height[S]);
+    Height[Idx] = H + instrLatency(TI, Body[Idx]);
+  }
+
+  // Cycle-driven list scheduling: prefer ready instructions whose operands
+  // are available; break ties by height then original order.
+  std::vector<uint8_t> Scheduled(N, 0);
+  std::vector<unsigned> ReadyAt(N, 0); // earliest cycle operand-ready
+  std::vector<TInstr> Out;
+  Out.reserve(N);
+  unsigned Cycle = 0;
+  size_t Remaining = N;
+  std::vector<unsigned> FinishAt(N, 0);
+
+  while (Remaining) {
+    int Best = -1;
+    bool BestStalls = true;
+    for (size_t I = 0; I < N; ++I) {
+      if (Scheduled[I] || PredCount[I])
+        continue;
+      bool Stalls = ReadyAt[I] > Cycle;
+      if (Best < 0 || (BestStalls && !Stalls) ||
+          (Stalls == BestStalls &&
+           Height[I] > Height[static_cast<size_t>(Best)])) {
+        Best = static_cast<int>(I);
+        BestStalls = Stalls;
+      }
+    }
+    assert(Best >= 0 && "cyclic dependence graph");
+    unsigned B = static_cast<unsigned>(Best);
+    Scheduled[B] = 1;
+    --Remaining;
+    unsigned Issue = std::max(Cycle, ReadyAt[B]);
+    FinishAt[B] = Issue + instrLatency(TI, Body[B]);
+    for (unsigned S : Succs[B]) {
+      ReadyAt[S] = std::max(ReadyAt[S], FinishAt[B]);
+      --PredCount[S];
+    }
+    Out.push_back(Body[B]);
+    Cycle = Issue + 1;
+  }
+
+  std::copy(Out.begin(), Out.end(), R.Code.begin());
+}
+
+void omni::translate::fillDelaySlot(const TargetInfo &TI, Region &R) {
+  if (!TI.HasDelaySlot || R.Code.size() < 3)
+    return;
+  size_t N = R.Code.size();
+  // Pattern: ..., candidate, branch, nop(Bnop).
+  if (R.Code[N - 1].Op != TOp::Nop ||
+      R.Code[N - 1].Cat != ExpCat::Bnop || !R.Code[N - 2].isBranch())
+    return;
+  const TInstr &Branch = R.Code[N - 2];
+  DepSets BranchDeps = computeDeps(TI, Branch);
+  // Search upward for a legal candidate (first one wins; instructions it
+  // would jump over must not depend on it, which holds only for the
+  // immediately preceding instruction — keep it simple and correct).
+  size_t CandIdx = N - 3;
+  const TInstr &Cand = R.Code[CandIdx];
+  if (Cand.isBranch() || Cand.Op == TOp::Nop)
+    return;
+  DepSets CandDeps = computeDeps(TI, Cand);
+  if (CandDeps.Barrier)
+    return;
+  // The branch must not read anything the candidate writes (the slot
+  // executes after the branch decision).
+  if ((CandDeps.IntW0 & BranchDeps.IntR0) || (CandDeps.FpW & BranchDeps.FpR))
+    return;
+  if (CandDeps.WritesCc && BranchDeps.ReadsCc)
+    return;
+  if (CandDeps.WritesFcc && BranchDeps.ReadsFcc)
+    return;
+  if (CandDeps.WritesCtr && BranchDeps.ReadsCtr)
+    return;
+  // A call's link write must not clobber the candidate (and vice versa).
+  if ((BranchDeps.IntW0 & (CandDeps.IntR0 | CandDeps.IntW0)))
+    return;
+  if (BranchDeps.WritesMem && (CandDeps.ReadsMem || CandDeps.WritesMem))
+    return;
+  // Move the candidate into the slot.
+  TInstr Moved = Cand;
+  R.Code.erase(R.Code.begin() + CandIdx);
+  R.Code.back() = Moved; // replaces the nop
+}
+
+void omni::translate::foldRecordForms(const TargetInfo &TI, Region &R) {
+  auto Recordable = [](TOp Op) {
+    switch (Op) {
+    case TOp::Add:
+    case TOp::Sub:
+    case TOp::And:
+    case TOp::Or:
+    case TOp::Xor:
+    case TOp::Shl:
+    case TOp::ShrL:
+    case TOp::ShrA:
+    case TOp::MovReg: // mr. / or.
+      return true;
+    default:
+      return false;
+    }
+  };
+  for (size_t I = 1; I < R.Code.size(); ++I) {
+    TInstr &CmpI = R.Code[I];
+    if (CmpI.Op != TOp::Cmp || !CmpI.UsesImm || CmpI.Imm != 0 ||
+        CmpI.MemOperand)
+      continue;
+    // The consuming branch must use a signed condition (cr0 semantics).
+    bool SignedUse = true;
+    for (size_t J = I + 1; J < R.Code.size(); ++J) {
+      if (R.Code[J].Op == TOp::BranchCC) {
+        ir::Cond C = R.Code[J].Cc;
+        SignedUse = C == ir::Cond::Eq || C == ir::Cond::Ne ||
+                    C == ir::Cond::Lt || C == ir::Cond::Le ||
+                    C == ir::Cond::Gt || C == ir::Cond::Ge;
+        break;
+      }
+      if (R.Code[J].Op == TOp::Cmp)
+        break;
+    }
+    if (!SignedUse)
+      continue;
+    // Find the defining instruction of the compared register; no
+    // condition-code writer may sit between it and the branch.
+    for (size_t J = I; J-- > 0;) {
+      const DepSets D = computeDeps(TI, R.Code[J]);
+      if (D.WritesCc || D.Barrier || R.Code[J].isBranch())
+        break;
+      if (D.IntW0 & (1ull << CmpI.Rs1)) {
+        if (Recordable(R.Code[J].Op) && R.Code[J].Rd == CmpI.Rs1 &&
+            !R.Code[J].RecordForm) {
+          R.Code[J].RecordForm = true;
+          R.Code.erase(R.Code.begin() + I);
+          --I;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void omni::translate::peepholeRegion(const TargetInfo &TI, Region &R) {
+  (void)TI;
+  for (size_t I = 0; I < R.Code.size();) {
+    const TInstr &C = R.Code[I];
+    bool SelfMove = (C.Op == TOp::MovReg && C.Rd == C.Rs1) ||
+                    (C.Op == TOp::FMov && C.Rd == C.Rs1);
+    if (SelfMove) {
+      R.Code.erase(R.Code.begin() + I);
+      continue;
+    }
+    ++I;
+  }
+}

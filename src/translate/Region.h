@@ -1,0 +1,69 @@
+//===- translate/Region.h - translation regions (internal) ------*- C++ -*-===//
+///
+/// \file
+/// Internal shared structures between the translator's emission phase and
+/// its optimization phase. A region is the native code emitted for a run
+/// of OmniVM instructions between two *labels* (possible control-transfer
+/// targets); translator optimizations only reorder within a region, so the
+/// label -> native mapping stays exact.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_TRANSLATE_REGION_H
+#define OMNI_TRANSLATE_REGION_H
+
+#include "target/TargetInfo.h"
+
+#include <vector>
+
+namespace omni {
+namespace translate {
+
+/// Native code for one label-to-label range of OmniVM code.
+struct Region {
+  uint32_t VmStart = 0; ///< OmniVM index of the label starting this region
+  std::vector<target::TInstr> Code;
+};
+
+/// Register/resource read-write sets used by the scheduler and the
+/// delay-slot filler. Condition codes, fp condition codes, CTR and memory
+/// are modeled as pseudo-resources.
+struct DepSets {
+  uint64_t IntR0 = 0; ///< int regs 0..32 read (bit i)
+  uint64_t IntW0 = 0;
+  uint32_t FpR = 0; ///< fp regs 0..31 read
+  uint32_t FpW = 0;
+  bool ReadsCc = false, WritesCc = false;
+  bool ReadsFcc = false, WritesFcc = false;
+  bool ReadsCtr = false, WritesCtr = false;
+  bool ReadsMem = false, WritesMem = false;
+  bool Barrier = false; ///< host calls, traps: nothing moves across
+
+  /// True when \p Later depends on \p Earlier (RAW/WAR/WAW on any
+  /// resource) or ordering must be preserved.
+  static bool conflict(const DepSets &Earlier, const DepSets &Later);
+};
+
+/// Computes the dependence sets of \p I for target \p TI.
+DepSets computeDeps(const target::TargetInfo &TI, const target::TInstr &I);
+
+/// List-schedules the straight-line part of \p R (everything before a
+/// trailing control transfer and its delay slot) to minimize stalls under
+/// \p TI's latencies. Pure reordering; no instructions added or removed.
+void scheduleRegion(const target::TargetInfo &TI, Region &R);
+
+/// Fills the delay slot of \p R's trailing branch from the instruction
+/// stream above it when legal; removes the filled nop.
+void fillDelaySlot(const target::TargetInfo &TI, Region &R);
+
+/// Removes no-op moves and plain (non-delay-slot) nops.
+void peepholeRegion(const target::TargetInfo &TI, Region &R);
+
+/// PPC record-form selection (native cc profile): deletes a compare
+/// against zero whose operand is defined by the immediately preceding ALU
+/// instruction, marking that instruction RecordForm.
+void foldRecordForms(const target::TargetInfo &TI, Region &R);
+
+} // namespace translate
+} // namespace omni
+
+#endif // OMNI_TRANSLATE_REGION_H

@@ -1,0 +1,1541 @@
+//===- translate/Translator.cpp --------------------------------------------===//
+
+#include "translate/Translator.h"
+
+#include "support/Format.h"
+#include "translate/Region.h"
+#include "vm/Opcode.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace omni;
+using namespace omni::translate;
+using namespace omni::target;
+using vm::Opcode;
+
+namespace {
+
+/// Bytes reserved at the segment top for memory-mapped OmniVM registers
+/// (x86). Int slots: 16*4; fp slots: 16*8.
+constexpr uint32_t IntSlotsOffset = 192; // from segment top
+constexpr uint32_t FpSlotsOffset = 128;
+
+class TranslatorImpl {
+public:
+  TranslatorImpl(TargetKind Kind, const vm::Module &Exe,
+                 const TranslateOptions &Opts, const SegmentLayout &Seg,
+                 TargetCode &Out)
+      : Kind(Kind), TI(getTargetInfo(Kind)), Exe(Exe), Opts(Opts), Seg(Seg),
+        Out(Out) {}
+
+  bool run(std::string &Error);
+
+private:
+  // --- emission ------------------------------------------------------------
+  TInstr &emit(TInstr I) {
+    I.VmIndex = CurVmIndex;
+    Cur->Code.push_back(I);
+    return Cur->Code.back();
+  }
+  TInstr make(TOp Op, ExpCat Cat = ExpCat::Base) {
+    TInstr I;
+    I.Op = Op;
+    I.Cat = Cat;
+    return I;
+  }
+  void startRegion(uint32_t VmStart) {
+    Regions.push_back(Region());
+    Regions.back().VmStart = VmStart;
+    Cur = &Regions.back();
+  }
+
+  void computeLabels();
+  void setupRegisterMaps();
+  void emitPrologue();
+  void expand(uint32_t VmIdx, const vm::Instr &I);
+
+  // --- risc helpers ----------------------------------------------------
+  bool fitsImm(int64_t V, bool Logical) const;
+  /// Materializes \p V into \p Reg. First instruction gets \p FirstCat,
+  /// later ones Ldi.
+  void synthImm(uint32_t V, unsigned Reg, ExpCat FirstCat);
+  /// hi/lo split for "LoadImmHi + signed lo offset" addressing.
+  void hiLoSplit(uint32_t V, uint32_t &Hi, int32_t &Lo) const;
+
+  // VM register mapping (RISC targets: all mapped; x86: some in memory).
+  int IntMap[16];
+  int FpMap[16];
+  /// Reads VM int register into a real register (x86 may emit a load into
+  /// \p Scratch). Returns the register.
+  unsigned readInt(unsigned VmReg, unsigned Scratch);
+  unsigned readFp(unsigned VmReg, unsigned Scratch);
+  /// Target register to compute VM dest into (scratch when memory-mapped);
+  /// call writeInt/writeFp afterwards.
+  unsigned destInt(unsigned VmReg, unsigned Scratch) {
+    int M = IntMap[VmReg];
+    return M >= 0 ? static_cast<unsigned>(M) : Scratch;
+  }
+  unsigned destFp(unsigned VmReg, unsigned Scratch) {
+    int M = FpMap[VmReg];
+    return M >= 0 ? static_cast<unsigned>(M) : Scratch;
+  }
+  void writeInt(unsigned VmReg, unsigned FromReg);
+  void writeFp(unsigned VmReg, unsigned FromReg, bool F64);
+  bool intInMemory(unsigned VmReg) const { return IntMap[VmReg] < 0; }
+
+  uint32_t intSlotAddr(unsigned VmReg) const {
+    return Out.IntSlotBase + 4 * VmReg;
+  }
+  uint32_t fpSlotAddr(unsigned VmReg) const {
+    return Out.FpSlotBase + 8 * VmReg;
+  }
+
+  // --- per-construct expansion ----------------------------------------
+  void expandAlu(const vm::Instr &I);
+  void expandMem(const vm::Instr &I);
+  void expandBranch(const vm::Instr &I);
+  void expandFpBranch(const vm::Instr &I);
+  void expandCall(const vm::Instr &I);
+  void expandExtIns(const vm::Instr &I);
+  /// Emits the mandatory delay-slot nop after a control transfer.
+  void emitSlotNop() {
+    if (TI.HasDelaySlot)
+      emit(make(TOp::Nop, ExpCat::Bnop));
+  }
+  /// Emits SFI sandboxing for an indirect jump through \p Reg.
+  void emitJumpSandbox(unsigned Reg);
+  /// Sandboxes the dedicated stack pointer after any instruction that
+  /// wrote it (the discipline that lets sp-relative accesses go
+  /// unchecked).
+  void emitSpSandbox(unsigned VmDestReg);
+
+  /// Finds the code generator's 4-instruction compare-to-value idiom
+  /// (bcc/li 0/j/li 1); with CcSelection the translator re-selects it as a
+  /// single set-condition instruction (MIPS slt / x86 setcc).
+  void findSetCondIdioms();
+  void expandSetCondIdiom(uint32_t Idx);
+
+  TargetKind Kind;
+  const TargetInfo &TI;
+  const vm::Module &Exe;
+  TranslateOptions Opts;
+  SegmentLayout Seg;
+  TargetCode &Out;
+
+  std::vector<Region> Regions;
+  Region *Cur = nullptr;
+  int32_t CurVmIndex = -1;
+  std::set<uint32_t> Labels;
+  std::set<uint32_t> SetCondIdioms;
+  bool UseGp = false; ///< SPARC global-pointer optimization active
+};
+
+//===----------------------------------------------------------------------===//
+// Setup
+//===----------------------------------------------------------------------===//
+
+void TranslatorImpl::computeLabels() {
+  Labels.insert(Exe.EntryIndex);
+  for (uint32_t Idx = 0; Idx < Exe.Code.size(); ++Idx) {
+    const vm::Instr &I = Exe.Code[Idx];
+    vm::OpSig Sig = vm::getOpcodeInfo(I.Op).Sig;
+    // Branches internal to a recognized set-condition idiom do not create
+    // labels; the whole idiom becomes one instruction.
+    if (SetCondIdioms.count(Idx) || (Idx >= 2 && SetCondIdioms.count(Idx - 2)))
+      continue;
+    if (Sig == vm::OpSig::Br || Sig == vm::OpSig::FBr ||
+        Sig == vm::OpSig::Jmp)
+      Labels.insert(static_cast<uint32_t>(I.Target));
+    // Return points of calls are indirect-jump targets.
+    if (I.Op == Opcode::Jal || I.Op == Opcode::Jalr)
+      Labels.insert(Idx + 1);
+  }
+  // Exported code symbols can be reached through function pointers.
+  for (const vm::ExportEntry &E : Exe.Exports)
+    if (E.Kind == vm::Symbol::Code)
+      Labels.insert(E.Value);
+  // Drop idioms whose interior is independently reachable.
+  for (auto It = SetCondIdioms.begin(); It != SetCondIdioms.end();) {
+    uint32_t S = *It;
+    if (Labels.count(S + 1) || Labels.count(S + 2) || Labels.count(S + 3)) {
+      Labels.insert(static_cast<uint32_t>(Exe.Code[S].Target));
+      Labels.insert(static_cast<uint32_t>(Exe.Code[S + 2].Target));
+      It = SetCondIdioms.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void TranslatorImpl::findSetCondIdioms() {
+  // Direct set-condition selection exists on MIPS (slt) and x86 (setcc);
+  // PPC uses record forms instead (see foldRecordForms).
+  if (Kind != TargetKind::Mips && Kind != TargetKind::X86)
+    return;
+  for (uint32_t Idx = 0; Idx + 3 < Exe.Code.size(); ++Idx) {
+    const vm::Instr &Br = Exe.Code[Idx];
+    if (vm::getOpcodeInfo(Br.Op).Sig != vm::OpSig::Br)
+      continue;
+    if (Br.Target != static_cast<int32_t>(Idx) + 3)
+      continue;
+    const vm::Instr &Li0 = Exe.Code[Idx + 1];
+    const vm::Instr &Jmp = Exe.Code[Idx + 2];
+    const vm::Instr &Li1 = Exe.Code[Idx + 3];
+    if (Li0.Op != Opcode::Li || Li0.Imm != 0 || Li1.Op != Opcode::Li ||
+        Li1.Imm != 1 || Li0.Rd != Li1.Rd || Jmp.Op != Opcode::J ||
+        Jmp.Target != static_cast<int32_t>(Idx) + 4)
+      continue;
+    SetCondIdioms.insert(Idx);
+  }
+}
+
+void TranslatorImpl::expandSetCondIdiom(uint32_t Idx) {
+  const vm::Instr &Br = Exe.Code[Idx];
+  unsigned Dest = Exe.Code[Idx + 1].Rd;
+  CurVmIndex = static_cast<int32_t>(Idx);
+  ir::Cond Cc;
+  switch (Br.Op) {
+  case Opcode::Beq:
+    Cc = ir::Cond::Eq;
+    break;
+  case Opcode::Bne:
+    Cc = ir::Cond::Ne;
+    break;
+  case Opcode::Blt:
+    Cc = ir::Cond::Lt;
+    break;
+  case Opcode::Ble:
+    Cc = ir::Cond::Le;
+    break;
+  case Opcode::Bgt:
+    Cc = ir::Cond::Gt;
+    break;
+  case Opcode::Bge:
+    Cc = ir::Cond::Ge;
+    break;
+  case Opcode::Bltu:
+    Cc = ir::Cond::LtU;
+    break;
+  case Opcode::Bleu:
+    Cc = ir::Cond::LeU;
+    break;
+  case Opcode::Bgtu:
+    Cc = ir::Cond::GtU;
+    break;
+  default:
+    Cc = ir::Cond::GeU;
+    break;
+  }
+  unsigned A = readInt(Br.Rs1, TI.ScratchA);
+  unsigned D = destInt(Dest, TI.ScratchB);
+  TInstr Set = make(TOp::SetCond, ExpCat::Base);
+  Set.Cc = Cc;
+  Set.Rd = D;
+  Set.Rs1 = A;
+  if (Br.UsesImm) {
+    Set.UsesImm = true;
+    Set.Imm = Br.Imm;
+  } else {
+    Set.Rs2 = readInt(Br.Rs2, TI.ScratchB);
+  }
+  emit(Set);
+  writeInt(Dest, D);
+}
+
+void TranslatorImpl::setupRegisterMaps() {
+  for (int &M : IntMap)
+    M = -1;
+  for (int &M : FpMap)
+    M = -1;
+  Out.IntSlotBase = Seg.Base + Seg.Size - IntSlotsOffset;
+  Out.FpSlotBase = Seg.Base + Seg.Size - FpSlotsOffset;
+
+  switch (Kind) {
+  case TargetKind::Mips:
+    // vm r0-r12 -> $8..$20, sp -> $29, r14 -> $21, ra -> $31.
+    for (unsigned I = 0; I <= 12; ++I)
+      IntMap[I] = 8 + static_cast<int>(I);
+    IntMap[vm::RegSp] = 29;
+    IntMap[14] = 21;
+    IntMap[vm::RegRa] = 31;
+    for (unsigned I = 0; I < 16; ++I)
+      FpMap[I] = static_cast<int>(I);
+    break;
+  case TargetKind::Sparc:
+    // vm r0-r12 -> %l0-%l7,%i0-%i4; sp -> %o6; r14 -> %i5; ra -> %o7.
+    for (unsigned I = 0; I <= 12; ++I)
+      IntMap[I] = 16 + static_cast<int>(I);
+    IntMap[vm::RegSp] = 14;
+    IntMap[14] = 29;
+    IntMap[vm::RegRa] = 15;
+    for (unsigned I = 0; I < 16; ++I)
+      FpMap[I] = static_cast<int>(I);
+    break;
+  case TargetKind::Ppc:
+    // vm r0-r12 -> r13-r25; sp -> r1; r14 -> r26; ra -> r27.
+    for (unsigned I = 0; I <= 12; ++I)
+      IntMap[I] = 13 + static_cast<int>(I);
+    IntMap[vm::RegSp] = 1;
+    IntMap[14] = 26;
+    IntMap[vm::RegRa] = 27;
+    for (unsigned I = 0; I < 16; ++I)
+      FpMap[I] = static_cast<int>(I);
+    break;
+  case TargetKind::X86:
+    // Six OmniVM registers live in real registers; the rest are memory
+    // slots ("on the x86, some registers are mapped to memory locations").
+    IntMap[0] = 0;  // eax
+    IntMap[1] = 1;  // ecx
+    IntMap[2] = 2;  // edx
+    IntMap[3] = 3;  // ebx
+    IntMap[14] = 5; // ebp (the code generator's hot scratch register)
+    IntMap[vm::RegSp] = 4; // esp
+    // vm f0-f5 in st0-st5; f14/f15 in st6/st7; f6-f13 in memory.
+    for (unsigned I = 0; I <= 5; ++I)
+      FpMap[I] = static_cast<int>(I);
+    FpMap[14] = 6;
+    FpMap[15] = 7;
+    break;
+  }
+}
+
+bool TranslatorImpl::fitsImm(int64_t V, bool Logical) const {
+  switch (Kind) {
+  case TargetKind::X86:
+    return true;
+  case TargetKind::Sparc:
+    return V >= -4096 && V <= 4095;
+  case TargetKind::Mips:
+  case TargetKind::Ppc:
+    if (Logical)
+      return V >= 0 && V <= 0xffff;
+    return V >= -32768 && V <= 32767;
+  }
+  return false;
+}
+
+void TranslatorImpl::hiLoSplit(uint32_t V, uint32_t &Hi, int32_t &Lo) const {
+  if (Kind == TargetKind::Sparc) {
+    Hi = V & ~0x3ffu;
+    Lo = static_cast<int32_t>(V & 0x3ffu);
+    return;
+  }
+  // 16-bit signed low part: round the high part so lo is in [-32768,32767].
+  Hi = (V + 0x8000u) & 0xffff0000u;
+  Lo = static_cast<int32_t>(V - Hi);
+}
+
+void TranslatorImpl::synthImm(uint32_t V, unsigned Reg, ExpCat FirstCat) {
+  if (Kind == TargetKind::X86 ||
+      fitsImm(static_cast<int32_t>(V), /*Logical=*/false)) {
+    TInstr I = make(TOp::MovImm, FirstCat);
+    I.Rd = Reg;
+    I.Imm = static_cast<int32_t>(V);
+    emit(I);
+    return;
+  }
+  uint32_t Hi;
+  int32_t Lo;
+  if (Kind == TargetKind::Sparc) {
+    Hi = V & ~0x3ffu;
+    Lo = static_cast<int32_t>(V & 0x3ffu);
+  } else {
+    Hi = V & 0xffff0000u;
+    Lo = static_cast<int32_t>(V & 0xffffu);
+  }
+  TInstr HiI = make(TOp::LoadImmHi, FirstCat);
+  HiI.Rd = Reg;
+  HiI.Imm = static_cast<int32_t>(Hi);
+  emit(HiI);
+  if (Lo != 0) {
+    TInstr LoI = make(TOp::OrImmLo, ExpCat::Ldi);
+    LoI.Rd = Reg;
+    LoI.Rs1 = Reg;
+    LoI.Imm = Lo;
+    emit(LoI);
+  }
+}
+
+unsigned TranslatorImpl::readInt(unsigned VmReg, unsigned Scratch) {
+  int M = IntMap[VmReg];
+  if (M >= 0)
+    return static_cast<unsigned>(M);
+  TInstr L = make(TOp::Load, ExpCat::Other);
+  L.Rd = Scratch;
+  L.Mode = AddrMode::Abs;
+  L.Imm = static_cast<int32_t>(intSlotAddr(VmReg));
+  L.Width = ir::MemWidth::W32;
+  emit(L);
+  return Scratch;
+}
+
+unsigned TranslatorImpl::readFp(unsigned VmReg, unsigned Scratch) {
+  int M = FpMap[VmReg];
+  if (M >= 0)
+    return static_cast<unsigned>(M);
+  TInstr L = make(TOp::Load, ExpCat::Other);
+  L.Rd = Scratch;
+  L.Mode = AddrMode::Abs;
+  L.Imm = static_cast<int32_t>(fpSlotAddr(VmReg));
+  L.Width = ir::MemWidth::F64;
+  L.FpVal = true;
+  emit(L);
+  return Scratch;
+}
+
+void TranslatorImpl::writeInt(unsigned VmReg, unsigned FromReg) {
+  int M = IntMap[VmReg];
+  if (M >= 0) {
+    assert(static_cast<unsigned>(M) == FromReg && "dest mapping mismatch");
+    return;
+  }
+  TInstr S = make(TOp::Store, ExpCat::Other);
+  S.Rd = FromReg;
+  S.Mode = AddrMode::Abs;
+  S.Imm = static_cast<int32_t>(intSlotAddr(VmReg));
+  S.Width = ir::MemWidth::W32;
+  emit(S);
+}
+
+void TranslatorImpl::writeFp(unsigned VmReg, unsigned FromReg, bool F64) {
+  int M = FpMap[VmReg];
+  if (M >= 0) {
+    assert(static_cast<unsigned>(M) == FromReg && "dest mapping mismatch");
+    return;
+  }
+  (void)F64;
+  TInstr S = make(TOp::Store, ExpCat::Other);
+  S.Rd = FromReg;
+  S.Mode = AddrMode::Abs;
+  S.Imm = static_cast<int32_t>(fpSlotAddr(VmReg));
+  S.Width = ir::MemWidth::F64;
+  S.FpVal = true;
+  emit(S);
+}
+
+void TranslatorImpl::emitPrologue() {
+  startRegion(~0u);
+  CurVmIndex = -1;
+  if (Opts.Sfi && Kind != TargetKind::X86) {
+    synthImm(Seg.Size - 1, TI.SfiMaskReg, ExpCat::Other);
+    synthImm(Seg.Base, TI.SfiBaseReg, ExpCat::Other);
+  }
+  if (UseGp)
+    synthImm(Seg.Base, TI.GlobalPtrReg, ExpCat::Other);
+  TInstr B = make(TOp::Branch, ExpCat::Other);
+  B.Target = static_cast<int32_t>(Exe.EntryIndex); // VM target; fixed later
+  emit(B);
+  emitSlotNop();
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion
+//===----------------------------------------------------------------------===//
+
+void TranslatorImpl::expandAlu(const vm::Instr &I) {
+  TOp Op;
+  bool Logical = false;
+  switch (I.Op) {
+  case Opcode::Add:
+    Op = TOp::Add;
+    break;
+  case Opcode::Sub:
+    Op = TOp::Sub;
+    break;
+  case Opcode::Mul:
+    Op = TOp::Mul;
+    break;
+  case Opcode::Div:
+    Op = TOp::Div;
+    break;
+  case Opcode::DivU:
+    Op = TOp::DivU;
+    break;
+  case Opcode::Rem:
+    Op = TOp::Rem;
+    break;
+  case Opcode::RemU:
+    Op = TOp::RemU;
+    break;
+  case Opcode::And:
+    Op = TOp::And;
+    Logical = true;
+    break;
+  case Opcode::Or:
+    Op = TOp::Or;
+    Logical = true;
+    break;
+  case Opcode::Xor:
+    Op = TOp::Xor;
+    Logical = true;
+    break;
+  case Opcode::Sll:
+    Op = TOp::Shl;
+    break;
+  case Opcode::Srl:
+    Op = TOp::ShrL;
+    break;
+  default:
+    Op = TOp::ShrA;
+    break;
+  }
+
+  unsigned A = readInt(I.Rs1, TI.ScratchA);
+  bool IsMulDiv = Op == TOp::Mul || Op == TOp::Div || Op == TOp::DivU ||
+                  Op == TOp::Rem || Op == TOp::RemU;
+  bool IsShift = Op == TOp::Shl || Op == TOp::ShrL || Op == TOp::ShrA;
+
+  // Second operand.
+  bool UseImm = false;
+  int32_t Imm = 0;
+  unsigned B = 0;
+  bool BMem = false;
+  uint32_t BMemAddr = 0;
+  if (I.UsesImm) {
+    bool ImmOk = IsShift || fitsImm(I.Imm, Logical);
+    if (IsMulDiv && Kind != TargetKind::X86 &&
+        !(Kind == TargetKind::Ppc && Op == TOp::Mul && fitsImm(I.Imm, false)))
+      ImmOk = false; // RISC mul/div want registers (PPC has mulli)
+    if (ImmOk && Kind == TargetKind::X86 && IsShift) {
+      UseImm = true;
+      Imm = I.Imm;
+    } else if (ImmOk) {
+      UseImm = true;
+      Imm = I.Imm;
+    } else {
+      synthImm(static_cast<uint32_t>(I.Imm), TI.ScratchB, ExpCat::Ldi);
+      B = TI.ScratchB;
+    }
+  } else if (Kind == TargetKind::X86 && intInMemory(I.Rs2)) {
+    BMem = true;
+    BMemAddr = intSlotAddr(I.Rs2);
+  } else {
+    B = readInt(I.Rs2, TI.ScratchB);
+  }
+
+  // Remainder on SPARC/PPC: div, mul, sub sequence.
+  if ((Op == TOp::Rem || Op == TOp::RemU) &&
+      (Kind == TargetKind::Sparc || Kind == TargetKind::Ppc)) {
+    assert(!UseImm && !BMem);
+    TOp DivOp = Op == TOp::Rem ? TOp::Div : TOp::DivU;
+    TInstr DivI = make(DivOp, ExpCat::Base);
+    DivI.Rd = TI.ScratchA;
+    DivI.Rs1 = A;
+    DivI.Rs2 = B;
+    emit(DivI);
+    TInstr MulI = make(TOp::Mul, ExpCat::Other);
+    MulI.Rd = TI.ScratchA;
+    MulI.Rs1 = TI.ScratchA;
+    MulI.Rs2 = B;
+    emit(MulI);
+    unsigned D = destInt(I.Rd, TI.ScratchB);
+    TInstr SubI = make(TOp::Sub, ExpCat::Other);
+    SubI.Rd = D;
+    SubI.Rs1 = A;
+    SubI.Rs2 = TI.ScratchA;
+    emit(SubI);
+    writeInt(I.Rd, D);
+    return;
+  }
+
+  unsigned D = destInt(I.Rd, TI.ScratchA);
+  if (TI.TwoAddressAlu) {
+    // x86 form: dst must equal first source. When dst aliases the second
+    // source, either swap (commutative) or save it to a scratch first.
+    if (!UseImm && !BMem && D != A && D == B) {
+      bool Commutative = Op == TOp::Add || Op == TOp::And ||
+                         Op == TOp::Or || Op == TOp::Xor || Op == TOp::Mul;
+      if (Commutative) {
+        std::swap(A, B);
+      } else {
+        unsigned Save = D == TI.ScratchB ? TI.ScratchA : TI.ScratchB;
+        TInstr Sv = make(TOp::MovReg, ExpCat::Other);
+        Sv.Rd = Save;
+        Sv.Rs1 = B;
+        emit(Sv);
+        B = Save;
+      }
+    }
+    if (D != A) {
+      TInstr Mv = make(TOp::MovReg, ExpCat::Other);
+      Mv.Rd = D;
+      Mv.Rs1 = A;
+      emit(Mv);
+    }
+    TInstr AluI = make(Op, ExpCat::Base);
+    AluI.Rd = D;
+    AluI.Rs1 = D;
+    if (BMem) {
+      AluI.MemOperand = true;
+      AluI.Mode = AddrMode::Abs;
+      AluI.Imm = static_cast<int32_t>(BMemAddr);
+    } else if (UseImm) {
+      AluI.UsesImm = true;
+      AluI.Imm = Imm;
+    } else {
+      AluI.Rs2 = B;
+    }
+    emit(AluI);
+    writeInt(I.Rd, D);
+    return;
+  }
+
+  TInstr AluI = make(Op, ExpCat::Base);
+  AluI.Rd = D;
+  AluI.Rs1 = A;
+  if (UseImm) {
+    AluI.UsesImm = true;
+    AluI.Imm = Imm;
+  } else {
+    AluI.Rs2 = B;
+  }
+  emit(AluI);
+  writeInt(I.Rd, D);
+
+  emitSpSandbox(I.Rd);
+}
+
+void TranslatorImpl::emitSpSandbox(unsigned VmDestReg) {
+  // Stack-pointer discipline: any update of the dedicated sp register is
+  // sandboxed so that sp-relative accesses can go unchecked (expandMem).
+  if (!Opts.Sfi || Kind == TargetKind::X86 || VmDestReg != vm::RegSp)
+    return;
+  unsigned D = static_cast<unsigned>(IntMap[vm::RegSp]);
+  TInstr AndI = make(TOp::And, ExpCat::Sfi);
+  AndI.Rd = D;
+  AndI.Rs1 = D;
+  AndI.Rs2 = TI.SfiMaskReg;
+  emit(AndI);
+  TInstr OrI = make(TOp::Or, ExpCat::Sfi);
+  OrI.Rd = D;
+  OrI.Rs1 = D;
+  OrI.Rs2 = TI.SfiBaseReg;
+  emit(OrI);
+}
+
+void TranslatorImpl::expandMem(const vm::Instr &I) {
+  bool IsLoad = I.isLoad();
+  bool Fp = I.Op == Opcode::Lfs || I.Op == Opcode::Lfd ||
+            I.Op == Opcode::Sfs || I.Op == Opcode::Sfd;
+  ir::MemWidth Width;
+  bool Signed = true;
+  switch (I.Op) {
+  case Opcode::Lb:
+    Width = ir::MemWidth::W8;
+    break;
+  case Opcode::Lbu:
+    Width = ir::MemWidth::W8;
+    Signed = false;
+    break;
+  case Opcode::Lh:
+    Width = ir::MemWidth::W16;
+    break;
+  case Opcode::Lhu:
+    Width = ir::MemWidth::W16;
+    Signed = false;
+    break;
+  case Opcode::Sb:
+    Width = ir::MemWidth::W8;
+    break;
+  case Opcode::Sh:
+    Width = ir::MemWidth::W16;
+    break;
+  case Opcode::Lfs:
+  case Opcode::Sfs:
+    Width = ir::MemWidth::F32;
+    break;
+  case Opcode::Lfd:
+  case Opcode::Sfd:
+    Width = ir::MemWidth::F64;
+    break;
+  default:
+    Width = ir::MemWidth::W32;
+    break;
+  }
+
+  bool IsAbs = I.Rs1 == vm::NoBaseReg;
+  bool Indexed = !I.UsesImm;
+  bool NeedSfi = Opts.Sfi && (!IsLoad || Opts.SfiReads) &&
+                 Kind != TargetKind::X86 && !IsAbs;
+  // Dedicated-register stack discipline (Wahbe et al.): the stack pointer
+  // is kept inside the segment by sandboxing *updates* of it (see
+  // expandAlu), so small sp-relative accesses need no per-access check —
+  // a guard zone covers the offset. This is what keeps SFI near 10%.
+  if (NeedSfi && !Indexed && I.Rs1 == vm::RegSp && I.Imm >= 0 &&
+      static_cast<uint32_t>(I.Imm) < vm::PageSize)
+    NeedSfi = false;
+
+  // On x86, a store whose value, base and index all live in memory slots
+  // would need three scratches; collapse base+index into one register
+  // first (lea) so the value can use the other scratch.
+  unsigned PrecomputedBase = ~0u;
+  if (Kind == TargetKind::X86 && !IsLoad && Indexed && !IsAbs &&
+      intInMemory(I.Rd)) {
+    unsigned B0 = readInt(I.Rs1, TI.ScratchB);
+    unsigned X0 = readInt(I.Rs2, B0 == TI.ScratchB ? TI.ScratchA
+                                                   : TI.ScratchB);
+    TInstr LeaI = make(TOp::Lea, ExpCat::Other);
+    LeaI.Rd = TI.ScratchB;
+    LeaI.Rs1 = B0;
+    LeaI.Rs2 = X0;
+    LeaI.Mode = AddrMode::BaseIndex;
+    emit(LeaI);
+    PrecomputedBase = TI.ScratchB;
+    Indexed = false;
+  }
+
+  // Value register. For stores, the value is read after address operands
+  // are in place (see PrecomputedBase above for the x86 conflict case).
+  unsigned ValReg;
+  if (IsLoad) {
+    ValReg = Fp ? destFp(I.Rd, Kind == TargetKind::X86 ? 6 : 0)
+                : destInt(I.Rd, TI.ScratchA);
+  } else {
+    ValReg = Fp ? readFp(I.Rd, Kind == TargetKind::X86 ? 6 : 0)
+                : readInt(I.Rd, TI.ScratchA);
+  }
+
+  TInstr M = make(IsLoad ? TOp::Load : TOp::Store, ExpCat::Base);
+  M.Rd = ValReg;
+  M.Width = Width;
+  M.SignedLoad = Signed;
+  M.FpVal = Fp;
+
+  if (IsAbs) {
+    uint32_t Addr = static_cast<uint32_t>(I.Imm);
+    if (Kind == TargetKind::X86) {
+      M.Mode = AddrMode::Abs;
+      M.Imm = I.Imm;
+      emit(M);
+    } else if (UseGp) {
+      int64_t Delta = static_cast<int64_t>(Addr) -
+                      static_cast<int64_t>(Seg.Base);
+      if (fitsImm(Delta, false)) {
+        M.Mode = AddrMode::BaseImm;
+        M.Rs1 = TI.GlobalPtrReg;
+        M.Imm = static_cast<int32_t>(Delta);
+        emit(M);
+      } else {
+        uint32_t Hi;
+        int32_t Lo;
+        hiLoSplit(Addr, Hi, Lo);
+        TInstr HiI = make(TOp::LoadImmHi, ExpCat::Ldi);
+        HiI.Rd = TI.ScratchA;
+        HiI.Imm = static_cast<int32_t>(Hi);
+        emit(HiI);
+        M.Mode = AddrMode::BaseImm;
+        M.Rs1 = TI.ScratchA;
+        M.Imm = Lo;
+        emit(M);
+      }
+    } else {
+      uint32_t Hi;
+      int32_t Lo;
+      hiLoSplit(Addr, Hi, Lo);
+      TInstr HiI = make(TOp::LoadImmHi, ExpCat::Ldi);
+      HiI.Rd = TI.ScratchA;
+      HiI.Imm = static_cast<int32_t>(Hi);
+      emit(HiI);
+      M.Mode = AddrMode::BaseImm;
+      M.Rs1 = TI.ScratchA;
+      M.Imm = Lo;
+      emit(M);
+    }
+    if (IsLoad) {
+      if (Fp)
+        writeFp(I.Rd, ValReg, Width == ir::MemWidth::F64);
+      else
+        writeInt(I.Rd, ValReg);
+      if (!Fp)
+        emitSpSandbox(I.Rd);
+    }
+    return;
+  }
+
+  unsigned Base = PrecomputedBase != ~0u ? PrecomputedBase
+                                          : readInt(I.Rs1, TI.ScratchB);
+  unsigned Index = 0;
+  if (Indexed)
+    Index = readInt(I.Rs2, Base == TI.ScratchB ? TI.ScratchA
+                                               : TI.ScratchB);
+
+  if (!NeedSfi) {
+    if (Indexed) {
+      if (TI.HasIndexedAddr) {
+        M.Mode = AddrMode::BaseIndex;
+        M.Rs1 = Base;
+        M.Rs2 = Index;
+        emit(M);
+      } else {
+        // MIPS: explicit add ("addr" expansion of the paper).
+        TInstr AddI = make(TOp::Add, ExpCat::Addr);
+        AddI.Rd = TI.ScratchA;
+        AddI.Rs1 = Base;
+        AddI.Rs2 = Index;
+        emit(AddI);
+        M.Mode = AddrMode::BaseImm;
+        M.Rs1 = TI.ScratchA;
+        M.Imm = 0;
+        emit(M);
+      }
+    } else if (fitsImm(I.Imm, false)) {
+      M.Mode = AddrMode::BaseImm;
+      M.Rs1 = Base;
+      M.Imm = I.Imm;
+      emit(M);
+    } else {
+      // Large offset: hi into scratch, add base, lo in the access.
+      uint32_t Hi;
+      int32_t Lo;
+      hiLoSplit(static_cast<uint32_t>(I.Imm), Hi, Lo);
+      TInstr HiI = make(TOp::LoadImmHi, ExpCat::Ldi);
+      HiI.Rd = TI.ScratchA;
+      HiI.Imm = static_cast<int32_t>(Hi);
+      emit(HiI);
+      TInstr AddI = make(TOp::Add, ExpCat::Addr);
+      AddI.Rd = TI.ScratchA;
+      AddI.Rs1 = TI.ScratchA;
+      AddI.Rs2 = Base;
+      emit(AddI);
+      M.Mode = AddrMode::BaseImm;
+      M.Rs1 = TI.ScratchA;
+      M.Imm = Lo;
+      emit(M);
+    }
+    if (IsLoad) {
+      if (Fp)
+        writeFp(I.Rd, ValReg, Width == ir::MemWidth::F64);
+      else
+        writeInt(I.Rd, ValReg);
+      if (!Fp)
+        emitSpSandbox(I.Rd);
+    }
+    return;
+  }
+
+  // SFI-sandboxed access (MIPS/SPARC/PPC).
+  unsigned Ea = Base;
+  if (Indexed) {
+    TInstr AddI = make(TOp::Add,
+                       TI.HasIndexedAddr ? ExpCat::Sfi : ExpCat::Addr);
+    AddI.Rd = TI.SfiAddrReg;
+    AddI.Rs1 = Base;
+    AddI.Rs2 = Index;
+    emit(AddI);
+    Ea = TI.SfiAddrReg;
+  } else if (I.Imm != 0) {
+    if (fitsImm(I.Imm, false)) {
+      TInstr AddI = make(TOp::Add, ExpCat::Sfi);
+      AddI.Rd = TI.SfiAddrReg;
+      AddI.Rs1 = Base;
+      AddI.UsesImm = true;
+      AddI.Imm = I.Imm;
+      emit(AddI);
+    } else {
+      synthImm(static_cast<uint32_t>(I.Imm), TI.ScratchA, ExpCat::Ldi);
+      TInstr AddI = make(TOp::Add, ExpCat::Addr);
+      AddI.Rd = TI.SfiAddrReg;
+      AddI.Rs1 = Base;
+      AddI.Rs2 = TI.ScratchA;
+      emit(AddI);
+    }
+    Ea = TI.SfiAddrReg;
+  }
+  // Mask the offset bits.
+  TInstr AndI = make(TOp::And, ExpCat::Sfi);
+  AndI.Rd = TI.SfiAddrReg;
+  AndI.Rs1 = Ea;
+  AndI.Rs2 = TI.SfiMaskReg;
+  emit(AndI);
+  if (Kind == TargetKind::Ppc) {
+    // Indexed store through the segment-base register: one instruction
+    // shorter than the or+store sequence (the paper's PPC observation).
+    M.Mode = AddrMode::BaseIndex;
+    M.Rs1 = TI.SfiAddrReg;
+    M.Rs2 = TI.SfiBaseReg;
+    emit(M);
+  } else {
+    TInstr OrI = make(TOp::Or, ExpCat::Sfi);
+    OrI.Rd = TI.SfiAddrReg;
+    OrI.Rs1 = TI.SfiAddrReg;
+    OrI.Rs2 = TI.SfiBaseReg;
+    emit(OrI);
+    M.Mode = AddrMode::BaseImm;
+    M.Rs1 = TI.SfiAddrReg;
+    M.Imm = 0;
+    emit(M);
+  }
+}
+
+void TranslatorImpl::expandBranch(const vm::Instr &I) {
+  ir::Cond Cc;
+  switch (I.Op) {
+  case Opcode::Beq:
+    Cc = ir::Cond::Eq;
+    break;
+  case Opcode::Bne:
+    Cc = ir::Cond::Ne;
+    break;
+  case Opcode::Blt:
+    Cc = ir::Cond::Lt;
+    break;
+  case Opcode::Ble:
+    Cc = ir::Cond::Le;
+    break;
+  case Opcode::Bgt:
+    Cc = ir::Cond::Gt;
+    break;
+  case Opcode::Bge:
+    Cc = ir::Cond::Ge;
+    break;
+  case Opcode::Bltu:
+    Cc = ir::Cond::LtU;
+    break;
+  case Opcode::Bleu:
+    Cc = ir::Cond::LeU;
+    break;
+  case Opcode::Bgtu:
+    Cc = ir::Cond::GtU;
+    break;
+  default:
+    Cc = ir::Cond::GeU;
+    break;
+  }
+  unsigned A = readInt(I.Rs1, TI.ScratchA);
+
+  if (TI.HasCmpBranch) {
+    // MIPS: beq/bne take two registers; the relationals compare against
+    // zero only; anything else needs slt (cmp) and/or an immediate load
+    // (ldi), exactly the paper's expansion buckets.
+    bool IsEq = Cc == ir::Cond::Eq || Cc == ir::Cond::Ne;
+    if (IsEq) {
+      unsigned B;
+      if (I.UsesImm) {
+        if (I.Imm == 0) {
+          B = TI.ZeroReg;
+        } else {
+          synthImm(static_cast<uint32_t>(I.Imm), TI.ScratchB, ExpCat::Ldi);
+          B = TI.ScratchB;
+        }
+      } else {
+        B = readInt(I.Rs2, TI.ScratchB);
+      }
+      TInstr Br = make(TOp::CmpBranch, ExpCat::Base);
+      Br.Cc = Cc;
+      Br.Rs1 = A;
+      Br.Rs2 = B;
+      Br.Target = I.Target;
+      emit(Br);
+      emitSlotNop();
+      return;
+    }
+    if (I.UsesImm && I.Imm == 0 &&
+        (Cc == ir::Cond::Lt || Cc == ir::Cond::Le || Cc == ir::Cond::Gt ||
+         Cc == ir::Cond::Ge)) {
+      // bltz/blez/bgtz/bgez.
+      TInstr Br = make(TOp::CmpBranch, ExpCat::Base);
+      Br.Cc = Cc;
+      Br.Rs1 = A;
+      Br.Rs2 = TI.ZeroReg;
+      Br.Target = I.Target;
+      emit(Br);
+      emitSlotNop();
+      return;
+    }
+    // slt-based lowering.
+    bool Unsigned = Cc == ir::Cond::LtU || Cc == ir::Cond::LeU ||
+                    Cc == ir::Cond::GtU || Cc == ir::Cond::GeU;
+    bool Swap = Cc == ir::Cond::Gt || Cc == ir::Cond::Le ||
+                Cc == ir::Cond::GtU || Cc == ir::Cond::LeU;
+    bool BranchOnSet = Cc == ir::Cond::Lt || Cc == ir::Cond::Gt ||
+                       Cc == ir::Cond::LtU || Cc == ir::Cond::GtU;
+    TInstr Set = make(TOp::SetCond, ExpCat::Cmp);
+    Set.Cc = Unsigned ? ir::Cond::LtU : ir::Cond::Lt;
+    Set.Rd = TI.ScratchA == A ? TI.ScratchB : TI.ScratchA;
+    if (!Swap && I.UsesImm && fitsImm(I.Imm, false)) {
+      Set.Rs1 = A;
+      Set.UsesImm = true;
+      Set.Imm = I.Imm;
+    } else {
+      unsigned B;
+      if (I.UsesImm) {
+        synthImm(static_cast<uint32_t>(I.Imm),
+                 Set.Rd == TI.ScratchA ? TI.ScratchB : TI.ScratchA,
+                 ExpCat::Ldi);
+        B = Set.Rd == TI.ScratchA ? TI.ScratchB : TI.ScratchA;
+      } else {
+        B = readInt(I.Rs2, TI.ScratchB);
+      }
+      Set.Rs1 = Swap ? B : A;
+      Set.Rs2 = Swap ? A : B;
+    }
+    emit(Set);
+    TInstr Br = make(TOp::CmpBranch, ExpCat::Base);
+    Br.Cc = BranchOnSet ? ir::Cond::Ne : ir::Cond::Eq;
+    Br.Rs1 = Set.Rd;
+    Br.Rs2 = TI.ZeroReg;
+    Br.Target = I.Target;
+    emit(Br);
+    emitSlotNop();
+    return;
+  }
+
+  // Condition-code targets: cmp (cat cmp) + bcc.
+  TInstr CmpI = make(TOp::Cmp, ExpCat::Cmp);
+  CmpI.Rs1 = A;
+  if (I.UsesImm) {
+    if (fitsImm(I.Imm, false)) {
+      CmpI.UsesImm = true;
+      CmpI.Imm = I.Imm;
+    } else {
+      synthImm(static_cast<uint32_t>(I.Imm), TI.ScratchB, ExpCat::Ldi);
+      CmpI.Rs2 = TI.ScratchB;
+    }
+  } else if (Kind == TargetKind::X86 && intInMemory(I.Rs2)) {
+    CmpI.MemOperand = true;
+    CmpI.Mode = AddrMode::Abs;
+    CmpI.Imm = static_cast<int32_t>(intSlotAddr(I.Rs2));
+  } else {
+    CmpI.Rs2 = readInt(I.Rs2, TI.ScratchB);
+  }
+  emit(CmpI);
+  TInstr Br = make(TOp::BranchCC, ExpCat::Base);
+  Br.Cc = Cc;
+  Br.Target = I.Target;
+  emit(Br);
+  emitSlotNop();
+}
+
+void TranslatorImpl::expandFpBranch(const vm::Instr &I) {
+  bool IsD = I.Op == Opcode::BfeqD || I.Op == Opcode::BfneD ||
+             I.Op == Opcode::BfltD || I.Op == Opcode::BfleD;
+  ir::Cond Cc;
+  switch (I.Op) {
+  case Opcode::BfeqS:
+  case Opcode::BfeqD:
+    Cc = ir::Cond::Eq;
+    break;
+  case Opcode::BfneS:
+  case Opcode::BfneD:
+    Cc = ir::Cond::Ne;
+    break;
+  case Opcode::BfltS:
+  case Opcode::BfltD:
+    Cc = ir::Cond::Lt;
+    break;
+  default:
+    Cc = ir::Cond::Le;
+    break;
+  }
+  unsigned A = readFp(I.Rs1, Kind == TargetKind::X86 ? 6 : 0);
+  unsigned B = readFp(I.Rs2, Kind == TargetKind::X86 ? 7 : 1);
+  TInstr CmpI = make(TOp::FCmp, ExpCat::Cmp);
+  CmpI.Rs1 = A;
+  CmpI.Rs2 = B;
+  CmpI.Width = IsD ? ir::MemWidth::F64 : ir::MemWidth::F32;
+  emit(CmpI);
+  TInstr Br = make(TOp::FBranchCC, ExpCat::Base);
+  Br.Cc = Cc;
+  Br.Target = I.Target;
+  emit(Br);
+  emitSlotNop();
+}
+
+void TranslatorImpl::emitJumpSandbox(unsigned Reg) {
+  if (!Opts.Sfi || Kind == TargetKind::X86)
+    return;
+  // Dynamic cost of sandboxing an indirect control transfer. The masked
+  // value is computed into the dedicated register; containment itself is
+  // enforced by the (modeled) code-segment mapping.
+  TInstr AndI = make(TOp::And, ExpCat::Sfi);
+  AndI.Rd = TI.SfiAddrReg;
+  AndI.Rs1 = Reg;
+  AndI.Rs2 = TI.SfiMaskReg;
+  emit(AndI);
+  if (Kind != TargetKind::Ppc) {
+    TInstr OrI = make(TOp::Or, ExpCat::Sfi);
+    OrI.Rd = TI.SfiAddrReg;
+    OrI.Rs1 = TI.SfiAddrReg;
+    OrI.Rs2 = TI.SfiBaseReg;
+    emit(OrI);
+  }
+}
+
+void TranslatorImpl::expandCall(const vm::Instr &I) {
+  switch (I.Op) {
+  case Opcode::J: {
+    TInstr B = make(TOp::Branch, ExpCat::Base);
+    B.Target = I.Target;
+    emit(B);
+    emitSlotNop();
+    return;
+  }
+  case Opcode::Jal: {
+    TInstr C = make(TOp::CallDirect, ExpCat::Base);
+    C.Target = I.Target;
+    if (!TI.LinkIsMemory)
+      C.Rd = static_cast<unsigned>(IntMap[vm::RegRa]);
+    else
+      emit(make(TOp::Nop, ExpCat::Other)); // explicit link move on x86
+    emit(C);
+    emitSlotNop();
+    return;
+  }
+  case Opcode::Jr:
+  case Opcode::Jalr: {
+    unsigned T = readInt(I.Rs1, TI.ScratchB);
+    emitJumpSandbox(T);
+    TInstr J = make(I.Op == Opcode::Jr ? TOp::JumpIndirect
+                                       : TOp::CallIndirect,
+                    ExpCat::Base);
+    J.Rs1 = T;
+    if (I.Op == Opcode::Jalr && !TI.LinkIsMemory)
+      J.Rd = static_cast<unsigned>(IntMap[vm::RegRa]);
+    emit(J);
+    emitSlotNop();
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void TranslatorImpl::expandExtIns(const vm::Instr &I) {
+  unsigned A = readInt(I.Rs1, TI.ScratchB);
+  unsigned D = destInt(I.Rd, TI.ScratchA);
+  bool IsByte = I.Op == Opcode::ExtB || I.Op == Opcode::InsB;
+  unsigned Shift = IsByte ? 8 * (I.Imm & 3) : 16 * (I.Imm & 1);
+  uint32_t Mask = IsByte ? 0xffu : 0xffffu;
+
+  if (I.Op == Opcode::ExtB || I.Op == Opcode::ExtH) {
+    TInstr Sr = make(TOp::ShrL, ExpCat::Base);
+    Sr.Rd = D;
+    Sr.Rs1 = A;
+    Sr.UsesImm = true;
+    Sr.Imm = static_cast<int32_t>(Shift);
+    if (TI.TwoAddressAlu && D != A) {
+      TInstr Mv = make(TOp::MovReg, ExpCat::Other);
+      Mv.Rd = D;
+      Mv.Rs1 = A;
+      emit(Mv);
+      Sr.Rs1 = D;
+    }
+    emit(Sr);
+    TInstr AndI = make(TOp::And, ExpCat::Other);
+    AndI.Rd = D;
+    AndI.Rs1 = D;
+    AndI.UsesImm = true;
+    AndI.Imm = static_cast<int32_t>(Mask);
+    emit(AndI);
+    writeInt(I.Rd, D);
+    return;
+  }
+
+  // Insert: d = (d & ~(mask<<shift)) | ((a & mask) << shift).
+  // d is read-modify-write; load current d when memory-mapped.
+  unsigned DVal = readInt(I.Rd, TI.ScratchA);
+  unsigned Tmp = TI.ScratchB == A ? TI.ScratchA : TI.ScratchB;
+  if (Tmp == DVal)
+    Tmp = TI.ScratchB;
+  TInstr AndA = make(TOp::And, ExpCat::Base);
+  AndA.Rd = Tmp;
+  AndA.Rs1 = A;
+  AndA.UsesImm = true;
+  AndA.Imm = static_cast<int32_t>(Mask);
+  if (TI.TwoAddressAlu && Tmp != A) {
+    TInstr Mv = make(TOp::MovReg, ExpCat::Other);
+    Mv.Rd = Tmp;
+    Mv.Rs1 = A;
+    emit(Mv);
+    AndA.Rs1 = Tmp;
+  }
+  emit(AndA);
+  if (Shift) {
+    TInstr Sh = make(TOp::Shl, ExpCat::Other);
+    Sh.Rd = Tmp;
+    Sh.Rs1 = Tmp;
+    Sh.UsesImm = true;
+    Sh.Imm = static_cast<int32_t>(Shift);
+    emit(Sh);
+  }
+  // Clear the field in d. ~(mask<<shift) rarely fits logical immediates;
+  // synthesize when needed.
+  uint32_t Clear = ~(Mask << Shift);
+  TInstr AndD = make(TOp::And, ExpCat::Other);
+  AndD.Rd = DVal;
+  AndD.Rs1 = DVal;
+  if (fitsImm(static_cast<int32_t>(Clear), true) ||
+      Kind == TargetKind::X86) {
+    AndD.UsesImm = true;
+    AndD.Imm = static_cast<int32_t>(Clear);
+  } else {
+    unsigned MaskReg = Tmp == TI.ScratchA ? TI.ScratchB : TI.ScratchA;
+    if (MaskReg == DVal || MaskReg == Tmp)
+      MaskReg = TI.SfiAddrReg; // safe extra scratch on RISC targets
+    synthImm(Clear, MaskReg, ExpCat::Ldi);
+    AndD.Rs2 = MaskReg;
+  }
+  emit(AndD);
+  TInstr OrI = make(TOp::Or, ExpCat::Other);
+  OrI.Rd = DVal;
+  OrI.Rs1 = DVal;
+  OrI.Rs2 = Tmp;
+  emit(OrI);
+  writeInt(I.Rd, DVal);
+}
+
+void TranslatorImpl::expand(uint32_t VmIdx, const vm::Instr &I) {
+  CurVmIndex = static_cast<int32_t>(VmIdx);
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::DivU:
+  case Opcode::Rem:
+  case Opcode::RemU:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+    expandAlu(I);
+    return;
+  case Opcode::Mov: {
+    unsigned A = readInt(I.Rs1, TI.ScratchA);
+    unsigned D = destInt(I.Rd, TI.ScratchA);
+    if (D != A) {
+      TInstr Mv = make(TOp::MovReg, ExpCat::Base);
+      Mv.Rd = D;
+      Mv.Rs1 = A;
+      emit(Mv);
+    }
+    writeInt(I.Rd, D);
+    emitSpSandbox(I.Rd);
+    return;
+  }
+  case Opcode::Li: {
+    unsigned D = destInt(I.Rd, TI.ScratchA);
+    // Global-pointer optimization: values (typically addresses) near the
+    // data-segment base materialize in one gp-relative add instead of a
+    // sethi/or pair — the paper's SPARC gp win.
+    int64_t Delta = static_cast<int64_t>(static_cast<uint32_t>(I.Imm)) -
+                    static_cast<int64_t>(Seg.Base);
+    if (UseGp && Delta >= 0 && fitsImm(Delta, false) &&
+        !fitsImm(I.Imm, false)) {
+      TInstr AddI = make(TOp::Add, ExpCat::Base);
+      AddI.Rd = D;
+      AddI.Rs1 = TI.GlobalPtrReg;
+      AddI.UsesImm = true;
+      AddI.Imm = static_cast<int32_t>(Delta);
+      emit(AddI);
+    } else {
+      synthImm(static_cast<uint32_t>(I.Imm), D, ExpCat::Base);
+    }
+    writeInt(I.Rd, D);
+    emitSpSandbox(I.Rd);
+    return;
+  }
+  case Opcode::ExtB:
+  case Opcode::ExtH:
+  case Opcode::InsB:
+  case Opcode::InsH:
+    expandExtIns(I);
+    return;
+  case Opcode::Lb:
+  case Opcode::Lbu:
+  case Opcode::Lh:
+  case Opcode::Lhu:
+  case Opcode::Lw:
+  case Opcode::Sb:
+  case Opcode::Sh:
+  case Opcode::Sw:
+  case Opcode::Lfs:
+  case Opcode::Lfd:
+  case Opcode::Sfs:
+  case Opcode::Sfd:
+    expandMem(I);
+    return;
+  case Opcode::FAddS:
+  case Opcode::FSubS:
+  case Opcode::FMulS:
+  case Opcode::FDivS:
+  case Opcode::FAddD:
+  case Opcode::FSubD:
+  case Opcode::FMulD:
+  case Opcode::FDivD: {
+    bool IsD = I.Op == Opcode::FAddD || I.Op == Opcode::FSubD ||
+               I.Op == Opcode::FMulD || I.Op == Opcode::FDivD;
+    TOp Op = I.Op == Opcode::FAddS || I.Op == Opcode::FAddD ? TOp::FAdd
+             : I.Op == Opcode::FSubS || I.Op == Opcode::FSubD ? TOp::FSub
+             : I.Op == Opcode::FMulS || I.Op == Opcode::FMulD ? TOp::FMul
+                                                               : TOp::FDiv;
+    unsigned A = readFp(I.Rs1, Kind == TargetKind::X86 ? 6 : 0);
+    unsigned B = readFp(I.Rs2, Kind == TargetKind::X86 ? 7 : 1);
+    unsigned D = destFp(I.Rd, Kind == TargetKind::X86 ? 6 : 0);
+    TInstr F = make(Op, ExpCat::Base);
+    F.Rd = D;
+    F.Rs1 = A;
+    F.Rs2 = B;
+    F.Width = IsD ? ir::MemWidth::F64 : ir::MemWidth::F32;
+    emit(F);
+    writeFp(I.Rd, D, IsD);
+    return;
+  }
+  case Opcode::FNegS:
+  case Opcode::FNegD:
+  case Opcode::FMov: {
+    bool IsD = I.Op != Opcode::FNegS;
+    unsigned A = readFp(I.Rs1, Kind == TargetKind::X86 ? 6 : 0);
+    unsigned D = destFp(I.Rd, Kind == TargetKind::X86 ? 6 : 0);
+    if (I.Op == Opcode::FMov) {
+      if (D != A || FpMap[I.Rd] < 0 || FpMap[I.Rs1] < 0) {
+        TInstr Mv = make(TOp::FMov, ExpCat::Base);
+        Mv.Rd = D;
+        Mv.Rs1 = A;
+        if (D != A)
+          emit(Mv);
+      }
+    } else {
+      TInstr Ng = make(TOp::FNeg, ExpCat::Base);
+      Ng.Rd = D;
+      Ng.Rs1 = A;
+      Ng.Width = I.Op == Opcode::FNegD ? ir::MemWidth::F64
+                                       : ir::MemWidth::F32;
+      emit(Ng);
+    }
+    writeFp(I.Rd, D, IsD);
+    return;
+  }
+  case Opcode::CvtWToS:
+  case Opcode::CvtWToD: {
+    unsigned A = readInt(I.Rs1, TI.ScratchA);
+    unsigned D = destFp(I.Rd, Kind == TargetKind::X86 ? 6 : 0);
+    TInstr C = make(TOp::CvtIntToFp, ExpCat::Base);
+    C.Rd = D;
+    C.Rs1 = A;
+    C.Width = I.Op == Opcode::CvtWToD ? ir::MemWidth::F64
+                                      : ir::MemWidth::F32;
+    emit(C);
+    if (Kind == TargetKind::Ppc) {
+      // The 601 has no int->fp instruction: magic-number sequence.
+      for (int K = 0; K < 3; ++K)
+        emit(make(TOp::Nop, ExpCat::Other));
+    }
+    writeFp(I.Rd, D, I.Op == Opcode::CvtWToD);
+    return;
+  }
+  case Opcode::CvtSToW:
+  case Opcode::CvtDToW: {
+    unsigned A = readFp(I.Rs1, Kind == TargetKind::X86 ? 6 : 0);
+    unsigned D = destInt(I.Rd, TI.ScratchA);
+    TInstr C = make(TOp::CvtFpToInt, ExpCat::Base);
+    C.Rd = D;
+    C.Rs1 = A;
+    C.Width = I.Op == Opcode::CvtDToW ? ir::MemWidth::F64
+                                      : ir::MemWidth::F32;
+    emit(C);
+    if (Kind == TargetKind::Ppc) {
+      // fctiwz + store + reload on the 601.
+      emit(make(TOp::Nop, ExpCat::Other));
+      emit(make(TOp::Nop, ExpCat::Other));
+    }
+    writeInt(I.Rd, D);
+    return;
+  }
+  case Opcode::CvtSToD:
+  case Opcode::CvtDToS: {
+    unsigned A = readFp(I.Rs1, Kind == TargetKind::X86 ? 6 : 0);
+    unsigned D = destFp(I.Rd, Kind == TargetKind::X86 ? 6 : 0);
+    TInstr C = make(TOp::CvtFpToFp, ExpCat::Base);
+    C.Rd = D;
+    C.Rs1 = A;
+    C.Width = I.Op == Opcode::CvtSToD ? ir::MemWidth::F64
+                                      : ir::MemWidth::F32;
+    emit(C);
+    writeFp(I.Rd, D, I.Op == Opcode::CvtSToD);
+    return;
+  }
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+  case Opcode::Bgt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bleu:
+  case Opcode::Bgtu:
+  case Opcode::Bgeu:
+    expandBranch(I);
+    return;
+  case Opcode::BfeqS:
+  case Opcode::BfneS:
+  case Opcode::BfltS:
+  case Opcode::BfleS:
+  case Opcode::BfeqD:
+  case Opcode::BfneD:
+  case Opcode::BfltD:
+  case Opcode::BfleD:
+    expandFpBranch(I);
+    return;
+  case Opcode::J:
+  case Opcode::Jal:
+  case Opcode::Jr:
+  case Opcode::Jalr:
+    expandCall(I);
+    return;
+  case Opcode::HCall: {
+    TInstr H = make(TOp::HostCall, ExpCat::Base);
+    H.Imm = I.Imm;
+    emit(H);
+    return;
+  }
+  case Opcode::Nop:
+    emit(make(TOp::Nop, ExpCat::Base));
+    return;
+  case Opcode::Break:
+    emit(make(TOp::Trap, ExpCat::Base));
+    return;
+  case Opcode::Halt:
+    emit(make(TOp::Halt, ExpCat::Base));
+    return;
+  }
+  assert(false && "unhandled OmniVM opcode");
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+bool TranslatorImpl::run(std::string &Error) {
+  if (!Exe.isExecutable()) {
+    Error = "translator requires a linked executable";
+    return false;
+  }
+  Out.TargetName = TI.Name;
+  UseGp = Opts.Optimize &&
+          (Kind == TargetKind::Sparc ||
+           (Opts.GpAll &&
+            (Kind == TargetKind::Mips || Kind == TargetKind::Ppc)));
+  setupRegisterMaps();
+  if (Opts.CcSelection)
+    findSetCondIdioms();
+  for (unsigned R = 0; R < 16; ++R) {
+    Out.VmIntRegMap[R] = IntMap[R];
+    Out.VmFpRegMap[R] = FpMap[R];
+  }
+  computeLabels();
+
+  emitPrologue();
+  for (uint32_t Idx = 0; Idx < Exe.Code.size(); ++Idx) {
+    if (Labels.count(Idx))
+      startRegion(Idx);
+    else if (!Cur->Code.empty() && Cur->Code.back().Op == TOp::Nop &&
+             Cur->Code.size() >= 2 &&
+             Cur->Code[Cur->Code.size() - 2].isBranch())
+      startRegion(Idx); // break after a branch + slot
+    else if (!Cur->Code.empty() && Cur->Code.back().isBranch())
+      startRegion(Idx);
+    if (SetCondIdioms.count(Idx)) {
+      expandSetCondIdiom(Idx);
+      Idx += 3; // consumed bcc/li/j/li
+      continue;
+    }
+    expand(Idx, Exe.Code[Idx]);
+  }
+
+  // Optimize regions.
+  if (Opts.Optimize) {
+    for (Region &R : Regions) {
+      if (Kind == TargetKind::X86)
+        peepholeRegion(TI, R);
+      if (Opts.CcSelection && Kind == TargetKind::Ppc)
+        foldRecordForms(TI, R);
+      bool WantSchedule =
+          !Opts.NoSchedule &&
+          (Kind == TargetKind::Mips || Kind == TargetKind::Ppc ||
+           Kind == TargetKind::X86);
+      // The mobile x86 translator performs only floating-point pipeline
+      // scheduling (paper §4); native compilers schedule everything.
+      if (WantSchedule && Kind == TargetKind::X86 && !Opts.CcSelection) {
+        bool HasFp = false;
+        for (const TInstr &I : R.Code)
+          if (instrUnit(I) == UnitClass::Fp)
+            HasFp = true;
+        WantSchedule = HasFp;
+      }
+      if (WantSchedule)
+        scheduleRegion(TI, R);
+      if (TI.HasDelaySlot)
+        fillDelaySlot(TI, R);
+    }
+  }
+
+  // Concatenate regions; build the VM->native map.
+  Out.VmToNative.assign(Exe.Code.size(), 0);
+  Out.Code.clear();
+  std::vector<uint32_t> RegionStart(Regions.size());
+  for (size_t RI = 0; RI < Regions.size(); ++RI) {
+    RegionStart[RI] = static_cast<uint32_t>(Out.Code.size());
+    Out.Code.insert(Out.Code.end(), Regions[RI].Code.begin(),
+                    Regions[RI].Code.end());
+  }
+  for (size_t RI = 0; RI < Regions.size(); ++RI) {
+    if (Regions[RI].VmStart == ~0u)
+      continue;
+    uint32_t From = Regions[RI].VmStart;
+    uint32_t To = RI + 1 < Regions.size() && Regions[RI + 1].VmStart != ~0u
+                      ? Regions[RI + 1].VmStart
+                      : static_cast<uint32_t>(Exe.Code.size());
+    for (uint32_t V = From; V < To && V < Exe.Code.size(); ++V)
+      Out.VmToNative[V] = RegionStart[RI];
+  }
+
+  // Fix branch targets (currently VM indices) to native indices.
+  for (TInstr &I : Out.Code) {
+    switch (I.Op) {
+    case TOp::Branch:
+    case TOp::CmpBranch:
+    case TOp::BranchCC:
+    case TOp::FBranchCC:
+    case TOp::BranchDec:
+    case TOp::CallDirect: {
+      uint32_t VmTarget = static_cast<uint32_t>(I.Target);
+      if (VmTarget >= Exe.Code.size()) {
+        Error = formatStr("branch target %u out of range", VmTarget);
+        return false;
+      }
+      I.Target = static_cast<int32_t>(Out.VmToNative[VmTarget]);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  Out.Entry = 0; // prologue region
+  return true;
+}
+
+} // namespace
+
+bool omni::translate::translate(TargetKind Kind, const vm::Module &Exe,
+                                const TranslateOptions &Opts,
+                                const SegmentLayout &Seg, TargetCode &Out,
+                                std::string &Error) {
+  Out = TargetCode();
+  TranslatorImpl Impl(Kind, Exe, Opts, Seg, Out);
+  return Impl.run(Error);
+}
+
+std::string omni::translate::printTargetCode(TargetKind Kind,
+                                             const TargetCode &Code) {
+  const TargetInfo &TI = getTargetInfo(Kind);
+  std::string S;
+  for (size_t I = 0; I < Code.Code.size(); ++I)
+    appendFormat(S, "%5zu: %s\n", I, printTInstr(TI, Code.Code[I]).c_str());
+  return S;
+}

@@ -1,0 +1,131 @@
+//===- vm/AddressSpace.cpp ------------------------------------------------===//
+
+#include "vm/AddressSpace.h"
+
+using namespace omni;
+using namespace omni::vm;
+
+static bool isPowerOfTwo(uint32_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+AddressSpace::AddressSpace(uint32_t Base, uint32_t Size)
+    : Base(Base), Size(Size) {
+  assert(isPowerOfTwo(Size) && "segment size must be a power of two");
+  assert((Base & (Size - 1)) == 0 && "segment base must be aligned to size");
+  assert(Size >= PageSize && "segment smaller than a page");
+  Mem.resize(Size);
+  Perms.assign(Size / PageSize, PermReadWrite);
+}
+
+void AddressSpace::protect(uint32_t Addr, uint32_t Len, PagePerm Perm) {
+  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
+  uint32_t First = (Addr - Base) / PageSize;
+  uint32_t Last = Len == 0 ? First : (Addr - Base + Len - 1) / PageSize;
+  for (uint32_t P = First; P <= Last; ++P)
+    Perms[P] = Perm;
+}
+
+bool AddressSpace::checkRange(uint32_t Addr, uint32_t Len, bool IsWrite,
+                              Trap &Fault) {
+  if (!contains(Addr) || !contains(Addr + Len - 1)) {
+    Fault = Trap::accessViolation(Addr);
+    return false;
+  }
+  uint8_t Need = IsWrite ? PermWrite : PermRead;
+  uint32_t First = (Addr - Base) / PageSize;
+  uint32_t Last = (Addr - Base + Len - 1) / PageSize;
+  for (uint32_t P = First; P <= Last; ++P) {
+    if (!(Perms[P] & Need)) {
+      Fault = Trap::accessViolation(Addr);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AddressSpace::read8(uint32_t Addr, uint32_t &Out, Trap &Fault) {
+  if (!checkRange(Addr, 1, /*IsWrite=*/false, Fault))
+    return false;
+  Out = Mem[Addr - Base];
+  return true;
+}
+
+bool AddressSpace::read16(uint32_t Addr, uint32_t &Out, Trap &Fault) {
+  if (!checkRange(Addr, 2, /*IsWrite=*/false, Fault))
+    return false;
+  uint16_t V;
+  std::memcpy(&V, &Mem[Addr - Base], 2);
+  Out = V;
+  return true;
+}
+
+bool AddressSpace::read32(uint32_t Addr, uint32_t &Out, Trap &Fault) {
+  if (!checkRange(Addr, 4, /*IsWrite=*/false, Fault))
+    return false;
+  std::memcpy(&Out, &Mem[Addr - Base], 4);
+  return true;
+}
+
+bool AddressSpace::read64(uint32_t Addr, uint64_t &Out, Trap &Fault) {
+  if (!checkRange(Addr, 8, /*IsWrite=*/false, Fault))
+    return false;
+  std::memcpy(&Out, &Mem[Addr - Base], 8);
+  return true;
+}
+
+bool AddressSpace::write8(uint32_t Addr, uint32_t Val, Trap &Fault) {
+  if (!checkRange(Addr, 1, /*IsWrite=*/true, Fault))
+    return false;
+  Mem[Addr - Base] = static_cast<uint8_t>(Val);
+  return true;
+}
+
+bool AddressSpace::write16(uint32_t Addr, uint32_t Val, Trap &Fault) {
+  if (!checkRange(Addr, 2, /*IsWrite=*/true, Fault))
+    return false;
+  uint16_t V = static_cast<uint16_t>(Val);
+  std::memcpy(&Mem[Addr - Base], &V, 2);
+  return true;
+}
+
+bool AddressSpace::write32(uint32_t Addr, uint32_t Val, Trap &Fault) {
+  if (!checkRange(Addr, 4, /*IsWrite=*/true, Fault))
+    return false;
+  std::memcpy(&Mem[Addr - Base], &Val, 4);
+  return true;
+}
+
+bool AddressSpace::write64(uint32_t Addr, uint64_t Val, Trap &Fault) {
+  if (!checkRange(Addr, 8, /*IsWrite=*/true, Fault))
+    return false;
+  std::memcpy(&Mem[Addr - Base], &Val, 8);
+  return true;
+}
+
+uint8_t *AddressSpace::hostPtr(uint32_t Addr, uint32_t Len) {
+  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
+  return &Mem[Addr - Base];
+}
+
+void AddressSpace::hostWrite(uint32_t Addr, const void *Src, uint32_t Len) {
+  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
+  std::memcpy(&Mem[Addr - Base], Src, Len);
+}
+
+void AddressSpace::hostRead(uint32_t Addr, void *Dst, uint32_t Len) const {
+  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
+  std::memcpy(Dst, &Mem[Addr - Base], Len);
+}
+
+std::string AddressSpace::hostReadCString(uint32_t Addr,
+                                          uint32_t MaxLen) const {
+  std::string Out;
+  for (uint32_t I = 0; I < MaxLen; ++I) {
+    if (!contains(Addr + I))
+      break;
+    char C = static_cast<char>(Mem[Addr + I - Base]);
+    if (C == '\0')
+      break;
+    Out.push_back(C);
+  }
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- vm/AddressSpace.h - Sandboxed segmented memory -----------*- C++ -*-===//
+///
+/// \file
+/// The OmniVM segmented virtual memory model. A module executes against one
+/// data segment: a power-of-two sized region whose base is aligned to its
+/// size, so an address belongs to the segment iff
+/// (addr & ~(Size-1)) == Base. That property is what makes the classic
+/// two-instruction SFI sandboxing sequence (and with mask, or with base)
+/// sufficient to confine stores.
+///
+/// Page-granular host-imposed permissions implement the paper's "write and
+/// execute protections on multi-page segments"; any violation produces an
+/// access-violation trap which the runtime delivers as a virtual exception.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_ADDRESSSPACE_H
+#define OMNI_VM_ADDRESSSPACE_H
+
+#include "vm/Trap.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace omni {
+namespace vm {
+
+/// Access permissions on a page.
+enum PagePerm : uint8_t {
+  PermNone = 0,
+  PermRead = 1,
+  PermWrite = 2,
+  PermReadWrite = PermRead | PermWrite,
+};
+
+/// Default data segment placement: 8 MiB at 0x10000000.
+constexpr uint32_t DefaultSegmentBase = 0x10000000u;
+constexpr uint32_t DefaultSegmentSize = 8u << 20;
+constexpr uint32_t PageSize = 4096;
+
+/// Bytes at the top of the segment reserved for engine-private state
+/// (memory-mapped OmniVM registers on x86). Every execution engine places
+/// the initial stack pointer just below this area so that addresses are
+/// identical across engines.
+constexpr uint32_t EngineReservedTop = 256;
+
+/// A module's sandboxed data segment.
+class AddressSpace {
+public:
+  /// Creates a segment of \p Size bytes (power of two) based at \p Base
+  /// (aligned to Size). All pages start ReadWrite.
+  AddressSpace(uint32_t Base = DefaultSegmentBase,
+               uint32_t Size = DefaultSegmentSize);
+
+  uint32_t base() const { return Base; }
+  uint32_t size() const { return Size; }
+  /// Mask with which (addr & mask()) | base() lands inside the segment.
+  uint32_t offsetMask() const { return Size - 1; }
+
+  bool contains(uint32_t Addr) const { return (Addr & ~offsetMask()) == Base; }
+
+  /// Sets host-imposed permissions on [Addr, Addr+Len), page granular.
+  /// Addr must lie in the segment.
+  void protect(uint32_t Addr, uint32_t Len, PagePerm Perm);
+
+  PagePerm pagePerm(uint32_t Addr) const {
+    assert(contains(Addr));
+    return static_cast<PagePerm>(Perms[(Addr - Base) / PageSize]);
+  }
+
+  /// Typed accessors. On success return true; on violation fill \p Fault
+  /// and return false. \p Fault is an in-out parameter so hot loops pay a
+  /// single branch.
+  bool read8(uint32_t Addr, uint32_t &Out, Trap &Fault);
+  bool read16(uint32_t Addr, uint32_t &Out, Trap &Fault);
+  bool read32(uint32_t Addr, uint32_t &Out, Trap &Fault);
+  bool read64(uint32_t Addr, uint64_t &Out, Trap &Fault);
+  bool write8(uint32_t Addr, uint32_t Val, Trap &Fault);
+  bool write16(uint32_t Addr, uint32_t Val, Trap &Fault);
+  bool write32(uint32_t Addr, uint32_t Val, Trap &Fault);
+  bool write64(uint32_t Addr, uint64_t Val, Trap &Fault);
+
+  /// Host-side (trusted) access: ignores page permissions, still bounds
+  /// checked by assertion. Used by the runtime and by host call gates.
+  uint8_t *hostPtr(uint32_t Addr, uint32_t Len);
+  void hostWrite(uint32_t Addr, const void *Src, uint32_t Len);
+  void hostRead(uint32_t Addr, void *Dst, uint32_t Len) const;
+  /// Reads a NUL-terminated string (bounded by segment end).
+  std::string hostReadCString(uint32_t Addr, uint32_t MaxLen = 4096) const;
+
+private:
+  bool checkRange(uint32_t Addr, uint32_t Len, bool IsWrite, Trap &Fault);
+
+  uint32_t Base;
+  uint32_t Size;
+  std::vector<uint8_t> Mem;
+  std::vector<uint8_t> Perms; // one per page
+};
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_ADDRESSSPACE_H

@@ -1,0 +1,54 @@
+//===- vm/Arith.h - shared arithmetic semantics ------------------*- C++ -*-===//
+///
+/// \file
+/// The arithmetic semantics OmniVM defines, shared by every execution
+/// engine (interpreter and all target simulators) so that a module behaves
+/// identically everywhere — the mobile-code guarantee.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_ARITH_H
+#define OMNI_VM_ARITH_H
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace omni {
+namespace vm {
+
+/// Signed division with wrap-on-overflow (INT_MIN / -1 == INT_MIN).
+/// Divisor must be non-zero (callers trap on zero).
+inline int32_t sdivWrap(int32_t A, int32_t B) {
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return A;
+  return A / B;
+}
+
+inline int32_t sremWrap(int32_t A, int32_t B) {
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return 0;
+  return A % B;
+}
+
+/// Deterministic, saturating float->int conversion (NaN -> 0).
+template <typename FloatT> inline int32_t fpToIntSat(FloatT V) {
+  if (V != V)
+    return 0;
+  if (V >= 2147483647.0)
+    return std::numeric_limits<int32_t>::max();
+  if (V <= -2147483648.0)
+    return std::numeric_limits<int32_t>::min();
+  return static_cast<int32_t>(V);
+}
+
+inline float bitsToF32(uint64_t Bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(Bits));
+}
+inline uint64_t f32ToBits(float V) { return std::bit_cast<uint32_t>(V); }
+inline double bitsToF64(uint64_t Bits) { return std::bit_cast<double>(Bits); }
+inline uint64_t f64ToBits(double V) { return std::bit_cast<uint64_t>(V); }
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_ARITH_H

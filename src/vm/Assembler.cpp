@@ -1,0 +1,789 @@
+//===- vm/Assembler.cpp ---------------------------------------------------===//
+
+#include "vm/Assembler.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+
+using namespace omni;
+using namespace omni::vm;
+
+namespace {
+
+/// Sections the assembler emits into.
+enum class Section { Text, Data, Bss };
+
+/// Mnemonic lookup table built once from the opcode list.
+const std::map<std::string, Opcode> &mnemonicTable() {
+  static const std::map<std::string, Opcode> Table = [] {
+    std::map<std::string, Opcode> T;
+    for (unsigned I = 0; I < NumOpcodes; ++I) {
+      Opcode Op = static_cast<Opcode>(I);
+      T[getMnemonic(Op)] = Op;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+class AssemblerImpl {
+public:
+  AssemblerImpl(const std::string &Source, Module &Out,
+                DiagnosticEngine &Diags)
+      : Source(Source), Out(Out), Diags(Diags) {}
+
+  bool run();
+
+private:
+  // --- per-line scanning -------------------------------------------------
+  void scanLine(const std::string &Line);
+  /// Splits a line into trimmed comma-separated operand strings.
+  std::vector<std::string> splitOperands(const std::string &Rest);
+
+  void handleDirective(const std::string &Dir, const std::string &Rest);
+  void handleInstr(Opcode Op, const std::string &Rest);
+
+  // --- operand parsing ---------------------------------------------------
+  std::optional<unsigned> parseReg(const std::string &Tok, bool Fp);
+  std::optional<int64_t> parseInt(const std::string &Tok);
+  bool isSymbolStart(char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '.';
+  }
+  /// Parses `sym`, `sym+N`, `sym-N`; returns symbol name and addend.
+  bool parseSymbolRef(const std::string &Tok, std::string &Name,
+                      int32_t &Addend);
+
+  // --- symbols -----------------------------------------------------------
+  uint32_t getOrCreateSymbol(const std::string &Name);
+  void defineLabel(const std::string &Name);
+
+  void emitData(const void *Bytes, size_t Len);
+  void error(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  const std::string &Source;
+  Module &Out;
+  DiagnosticEngine &Diags;
+
+  Section Cur = Section::Text;
+  uint32_t BssOffset = 0;
+  unsigned LineNo = 0;
+  bool NextGlobal = false;
+  std::vector<std::string> PendingGlobals;
+  std::map<std::string, uint32_t> SymbolIds;
+  std::map<std::string, uint32_t> ImportIds;
+  /// Data symbols defined in .bss get Value = <final data size> + offset;
+  /// patched in finalize().
+  std::vector<uint32_t> BssSymbols;
+};
+
+void AssemblerImpl::error(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  char Buf[512];
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  Diags.error({LineNo, 1}, Buf);
+}
+
+uint32_t AssemblerImpl::getOrCreateSymbol(const std::string &Name) {
+  auto It = SymbolIds.find(Name);
+  if (It != SymbolIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Out.Symbols.size());
+  Symbol S;
+  S.Name = Name;
+  Out.Symbols.push_back(S);
+  SymbolIds[Name] = Id;
+  return Id;
+}
+
+void AssemblerImpl::defineLabel(const std::string &Name) {
+  uint32_t Id = getOrCreateSymbol(Name);
+  Symbol &S = Out.Symbols[Id];
+  if (S.Defined) {
+    error("redefinition of '%s'", Name.c_str());
+    return;
+  }
+  S.Defined = true;
+  switch (Cur) {
+  case Section::Text:
+    S.Kind = Symbol::Code;
+    S.Value = static_cast<uint32_t>(Out.Code.size());
+    break;
+  case Section::Data:
+    S.Kind = Symbol::Data;
+    S.Value = static_cast<uint32_t>(Out.Data.size());
+    break;
+  case Section::Bss:
+    S.Kind = Symbol::Data;
+    S.Value = BssOffset; // patched to data-size + offset in finalize
+    BssSymbols.push_back(Id);
+    break;
+  }
+}
+
+void AssemblerImpl::emitData(const void *Bytes, size_t Len) {
+  if (Cur != Section::Data) {
+    error("data emission outside .data section");
+    return;
+  }
+  const uint8_t *P = static_cast<const uint8_t *>(Bytes);
+  Out.Data.insert(Out.Data.end(), P, P + Len);
+}
+
+std::optional<unsigned> AssemblerImpl::parseReg(const std::string &Tok,
+                                                bool Fp) {
+  if (!Fp) {
+    if (Tok == "sp")
+      return RegSp;
+    if (Tok == "fp")
+      return RegFp;
+    if (Tok == "ra")
+      return RegRa;
+  }
+  char Prefix = Fp ? 'f' : 'r';
+  if (Tok.size() < 2 || Tok[0] != Prefix)
+    return std::nullopt;
+  unsigned N = 0;
+  for (size_t I = 1; I < Tok.size(); ++I) {
+    if (!std::isdigit(static_cast<unsigned char>(Tok[I])))
+      return std::nullopt;
+    N = N * 10 + (Tok[I] - '0');
+  }
+  if (N >= (Fp ? NumFpRegs : NumIntRegs))
+    return std::nullopt;
+  return N;
+}
+
+std::optional<int64_t> AssemblerImpl::parseInt(const std::string &Tok) {
+  if (Tok.empty())
+    return std::nullopt;
+  size_t I = 0;
+  bool Neg = false;
+  if (Tok[0] == '-' || Tok[0] == '+') {
+    Neg = Tok[0] == '-';
+    I = 1;
+  }
+  if (I >= Tok.size())
+    return std::nullopt;
+  if (Tok[I] == '\'') { // character literal 'x' or '\n'
+    std::string Rest = Tok.substr(I);
+    if (Rest.size() >= 3 && Rest.back() == '\'') {
+      char C = Rest[1];
+      if (C == '\\' && Rest.size() >= 4) {
+        switch (Rest[2]) {
+        case 'n':
+          C = '\n';
+          break;
+        case 't':
+          C = '\t';
+          break;
+        case '0':
+          C = '\0';
+          break;
+        case '\\':
+          C = '\\';
+          break;
+        case '\'':
+          C = '\'';
+          break;
+        default:
+          return std::nullopt;
+        }
+      }
+      int64_t V = static_cast<unsigned char>(C);
+      return Neg ? -V : V;
+    }
+    return std::nullopt;
+  }
+  int64_t V = 0;
+  if (Tok.size() > I + 2 && Tok[I] == '0' &&
+      (Tok[I + 1] == 'x' || Tok[I + 1] == 'X')) {
+    for (size_t J = I + 2; J < Tok.size(); ++J) {
+      char C = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(Tok[J])));
+      int D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else
+        return std::nullopt;
+      V = V * 16 + D;
+    }
+  } else {
+    for (size_t J = I; J < Tok.size(); ++J) {
+      if (!std::isdigit(static_cast<unsigned char>(Tok[J])))
+        return std::nullopt;
+      V = V * 10 + (Tok[J] - '0');
+    }
+  }
+  return Neg ? -V : V;
+}
+
+bool AssemblerImpl::parseSymbolRef(const std::string &Tok, std::string &Name,
+                                   int32_t &Addend) {
+  if (Tok.empty() || !isSymbolStart(Tok[0]))
+    return false;
+  size_t I = 0;
+  while (I < Tok.size() &&
+         (std::isalnum(static_cast<unsigned char>(Tok[I])) || Tok[I] == '_' ||
+          Tok[I] == '.'))
+    ++I;
+  Name = Tok.substr(0, I);
+  Addend = 0;
+  if (I == Tok.size())
+    return true;
+  if (Tok[I] != '+' && Tok[I] != '-')
+    return false;
+  auto Off = parseInt(Tok.substr(I));
+  if (!Off)
+    return false;
+  Addend = static_cast<int32_t>(*Off);
+  return true;
+}
+
+std::vector<std::string>
+AssemblerImpl::splitOperands(const std::string &Rest) {
+  std::vector<std::string> Parts;
+  std::string CurTok;
+  bool InString = false;
+  int Paren = 0;
+  for (char C : Rest) {
+    if (InString) {
+      CurTok.push_back(C);
+      if (C == '"' && (CurTok.size() < 2 ||
+                       CurTok[CurTok.size() - 2] != '\\'))
+        InString = false;
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+      CurTok.push_back(C);
+      continue;
+    }
+    if (C == '(')
+      ++Paren;
+    if (C == ')')
+      --Paren;
+    if (C == ',' && Paren == 0) {
+      Parts.push_back(CurTok);
+      CurTok.clear();
+      continue;
+    }
+    CurTok.push_back(C);
+  }
+  if (!CurTok.empty())
+    Parts.push_back(CurTok);
+  for (std::string &P : Parts) {
+    size_t B = P.find_first_not_of(" \t");
+    size_t E = P.find_last_not_of(" \t");
+    P = B == std::string::npos ? std::string() : P.substr(B, E - B + 1);
+  }
+  while (!Parts.empty() && Parts.back().empty())
+    Parts.pop_back();
+  return Parts;
+}
+
+void AssemblerImpl::handleDirective(const std::string &Dir,
+                                    const std::string &Rest) {
+  std::vector<std::string> Ops = splitOperands(Rest);
+  if (Dir == ".text") {
+    Cur = Section::Text;
+    return;
+  }
+  if (Dir == ".data") {
+    Cur = Section::Data;
+    return;
+  }
+  if (Dir == ".bss") {
+    Cur = Section::Bss;
+    return;
+  }
+  if (Dir == ".global" || Dir == ".globl") {
+    for (const std::string &Name : Ops)
+      PendingGlobals.push_back(Name);
+    return;
+  }
+  if (Dir == ".import") {
+    for (const std::string &Name : Ops) {
+      if (ImportIds.count(Name))
+        continue;
+      ImportIds[Name] = static_cast<uint32_t>(Out.Imports.size());
+      Out.Imports.push_back(Name);
+    }
+    return;
+  }
+  if (Dir == ".word") {
+    for (const std::string &Op : Ops) {
+      if (auto V = parseInt(Op)) {
+        uint32_t U = static_cast<uint32_t>(*V);
+        emitData(&U, 4);
+        continue;
+      }
+      std::string Name;
+      int32_t Addend;
+      if (parseSymbolRef(Op, Name, Addend)) {
+        Reloc R;
+        R.Kind = Reloc::DataWord;
+        R.Offset = static_cast<uint32_t>(Out.Data.size());
+        R.SymbolId = getOrCreateSymbol(Name);
+        R.Addend = Addend;
+        Out.Relocs.push_back(R);
+        uint32_t Zero = 0;
+        emitData(&Zero, 4);
+        continue;
+      }
+      error(".word operand '%s' is not a constant or symbol", Op.c_str());
+    }
+    return;
+  }
+  if (Dir == ".half") {
+    for (const std::string &Op : Ops) {
+      auto V = parseInt(Op);
+      if (!V) {
+        error("bad .half operand '%s'", Op.c_str());
+        continue;
+      }
+      uint16_t U = static_cast<uint16_t>(*V);
+      emitData(&U, 2);
+    }
+    return;
+  }
+  if (Dir == ".byte") {
+    for (const std::string &Op : Ops) {
+      auto V = parseInt(Op);
+      if (!V) {
+        error("bad .byte operand '%s'", Op.c_str());
+        continue;
+      }
+      uint8_t U = static_cast<uint8_t>(*V);
+      emitData(&U, 1);
+    }
+    return;
+  }
+  if (Dir == ".float" || Dir == ".double") {
+    for (const std::string &Op : Ops) {
+      char *End = nullptr;
+      double D = std::strtod(Op.c_str(), &End);
+      if (End == Op.c_str() || *End != '\0') {
+        error("bad %s operand '%s'", Dir.c_str(), Op.c_str());
+        continue;
+      }
+      if (Dir == ".float") {
+        float FV = static_cast<float>(D);
+        emitData(&FV, 4);
+      } else {
+        emitData(&D, 8);
+      }
+    }
+    return;
+  }
+  if (Dir == ".asciiz" || Dir == ".ascii") {
+    // Operand is a quoted string; interpret standard escapes.
+    size_t B = Rest.find('"');
+    size_t E = Rest.rfind('"');
+    if (B == std::string::npos || E == B) {
+      error("%s expects a quoted string", Dir.c_str());
+      return;
+    }
+    std::string Bytes;
+    for (size_t I = B + 1; I < E; ++I) {
+      char C = Rest[I];
+      if (C == '\\' && I + 1 < E) {
+        ++I;
+        switch (Rest[I]) {
+        case 'n':
+          C = '\n';
+          break;
+        case 't':
+          C = '\t';
+          break;
+        case '0':
+          C = '\0';
+          break;
+        case '\\':
+          C = '\\';
+          break;
+        case '"':
+          C = '"';
+          break;
+        default:
+          C = Rest[I];
+          break;
+        }
+      }
+      Bytes.push_back(C);
+    }
+    if (Dir == ".asciiz")
+      Bytes.push_back('\0');
+    emitData(Bytes.data(), Bytes.size());
+    return;
+  }
+  if (Dir == ".space") {
+    auto V = Ops.empty() ? std::nullopt : parseInt(Ops[0]);
+    if (!V || *V < 0) {
+      error(".space expects a non-negative size");
+      return;
+    }
+    if (Cur == Section::Bss) {
+      BssOffset += static_cast<uint32_t>(*V);
+    } else if (Cur == Section::Data) {
+      Out.Data.insert(Out.Data.end(), static_cast<size_t>(*V), 0);
+    } else {
+      error(".space outside .data/.bss");
+    }
+    return;
+  }
+  if (Dir == ".align") {
+    auto V = Ops.empty() ? std::nullopt : parseInt(Ops[0]);
+    if (!V || *V <= 0 || (*V & (*V - 1))) {
+      error(".align expects a power of two");
+      return;
+    }
+    uint32_t A = static_cast<uint32_t>(*V);
+    if (Cur == Section::Data) {
+      while (Out.Data.size() % A)
+        Out.Data.push_back(0);
+    } else if (Cur == Section::Bss) {
+      BssOffset = (BssOffset + A - 1) & ~(A - 1);
+    }
+    return;
+  }
+  error("unknown directive '%s'", Dir.c_str());
+}
+
+void AssemblerImpl::handleInstr(Opcode Op, const std::string &Rest) {
+  if (Cur != Section::Text) {
+    error("instruction outside .text section");
+    return;
+  }
+  const OpcodeInfo &Info = getOpcodeInfo(Op);
+  std::vector<std::string> Ops = splitOperands(Rest);
+  Instr I;
+  I.Op = Op;
+  uint32_t Pc = static_cast<uint32_t>(Out.Code.size());
+
+  auto NeedOps = [&](size_t N) {
+    if (Ops.size() != N) {
+      error("'%s' expects %zu operands, got %zu", Info.Mnemonic, N,
+            Ops.size());
+      return false;
+    }
+    return true;
+  };
+  auto Reg = [&](const std::string &Tok, bool Fp,
+                 uint8_t &Field) -> bool {
+    auto R = parseReg(Tok, Fp);
+    if (!R) {
+      error("bad %s register '%s'", Fp ? "fp" : "int", Tok.c_str());
+      return false;
+    }
+    Field = static_cast<uint8_t>(*R);
+    return true;
+  };
+  /// Parses a register-or-immediate-or-symbol second source.
+  auto RegOrImm = [&](const std::string &Tok) -> bool {
+    if (auto R = parseReg(Tok, Info.Rs2IsFp)) {
+      I.Rs2 = static_cast<uint8_t>(*R);
+      return true;
+    }
+    if (auto V = parseInt(Tok)) {
+      I.UsesImm = true;
+      I.Imm = static_cast<int32_t>(*V);
+      return true;
+    }
+    std::string Name;
+    int32_t Addend;
+    if (parseSymbolRef(Tok, Name, Addend)) {
+      I.UsesImm = true;
+      I.Imm = 0;
+      Reloc R;
+      R.Kind = Reloc::ImmValue;
+      R.Offset = Pc;
+      R.SymbolId = getOrCreateSymbol(Name);
+      R.Addend = Addend;
+      Out.Relocs.push_back(R);
+      return true;
+    }
+    error("bad operand '%s'", Tok.c_str());
+    return false;
+  };
+  /// Parses a branch/jump target label (or numeric index @N for tests).
+  auto Label = [&](const std::string &Tok) -> bool {
+    if (!Tok.empty() && Tok[0] == '@') {
+      auto V = parseInt(Tok.substr(1));
+      if (V) {
+        I.Target = static_cast<int32_t>(*V);
+        return true;
+      }
+    }
+    std::string Name;
+    int32_t Addend;
+    if (!parseSymbolRef(Tok, Name, Addend)) {
+      error("bad target '%s'", Tok.c_str());
+      return false;
+    }
+    Reloc R;
+    R.Kind = Reloc::CodeTarget;
+    R.Offset = Pc;
+    R.SymbolId = getOrCreateSymbol(Name);
+    R.Addend = Addend;
+    Out.Relocs.push_back(R);
+    return true;
+  };
+  /// Parses a memory operand into Rs1/Rs2/Imm.
+  auto MemOperand = [&](const std::string &Tok) -> bool {
+    size_t LP = Tok.find('(');
+    if (LP != std::string::npos && !Tok.empty() && Tok.back() == ')') {
+      std::string Inner = Tok.substr(LP + 1, Tok.size() - LP - 2);
+      std::string Prefix = Tok.substr(0, LP);
+      size_t Plus = Inner.find('+');
+      if (Prefix.empty() && Plus != std::string::npos) {
+        // (rB+rX) indexed form.
+        std::string B = Inner.substr(0, Plus), X = Inner.substr(Plus + 1);
+        return Reg(B, false, I.Rs1) && Reg(X, false, I.Rs2);
+      }
+      // imm(reg) form; empty prefix means 0(reg).
+      if (!Reg(Inner, false, I.Rs1))
+        return false;
+      I.UsesImm = true;
+      if (Prefix.empty()) {
+        I.Imm = 0;
+        return true;
+      }
+      if (auto V = parseInt(Prefix)) {
+        I.Imm = static_cast<int32_t>(*V);
+        return true;
+      }
+      error("bad memory offset '%s'", Prefix.c_str());
+      return false;
+    }
+    // Absolute: numeric or symbol.
+    I.Rs1 = NoBaseReg;
+    I.UsesImm = true;
+    if (auto V = parseInt(Tok)) {
+      I.Imm = static_cast<int32_t>(*V);
+      return true;
+    }
+    std::string Name;
+    int32_t Addend;
+    if (parseSymbolRef(Tok, Name, Addend)) {
+      I.Imm = 0;
+      Reloc R;
+      R.Kind = Reloc::ImmValue;
+      R.Offset = Pc;
+      R.SymbolId = getOrCreateSymbol(Name);
+      R.Addend = Addend;
+      Out.Relocs.push_back(R);
+      return true;
+    }
+    error("bad memory operand '%s'", Tok.c_str());
+    return false;
+  };
+
+  bool Ok = true;
+  switch (Info.Sig) {
+  case OpSig::None:
+    Ok = NeedOps(0);
+    break;
+  case OpSig::RRR:
+    Ok = NeedOps(3) && Reg(Ops[0], Info.RdIsFp, I.Rd) &&
+         Reg(Ops[1], Info.Rs1IsFp, I.Rs1) && RegOrImm(Ops[2]);
+    if (Ok && Info.Rs2IsFp && I.UsesImm) {
+      error("fp operation cannot take an immediate");
+      Ok = false;
+    }
+    break;
+  case OpSig::RR:
+    Ok = NeedOps(2) && Reg(Ops[0], Info.RdIsFp, I.Rd) &&
+         Reg(Ops[1], Info.Rs1IsFp, I.Rs1);
+    break;
+  case OpSig::RI:
+    Ok = NeedOps(2) && Reg(Ops[0], Info.RdIsFp, I.Rd);
+    if (Ok) {
+      I.UsesImm = true;
+      if (auto V = parseInt(Ops[1])) {
+        I.Imm = static_cast<int32_t>(*V);
+      } else {
+        std::string Name;
+        int32_t Addend;
+        if (parseSymbolRef(Ops[1], Name, Addend)) {
+          Reloc R;
+          R.Kind = Reloc::ImmValue;
+          R.Offset = Pc;
+          R.SymbolId = getOrCreateSymbol(Name);
+          R.Addend = Addend;
+          Out.Relocs.push_back(R);
+        } else {
+          error("bad li operand '%s'", Ops[1].c_str());
+          Ok = false;
+        }
+      }
+    }
+    break;
+  case OpSig::RRI: {
+    Ok = NeedOps(3) && Reg(Ops[0], Info.RdIsFp, I.Rd) &&
+         Reg(Ops[1], Info.Rs1IsFp, I.Rs1);
+    if (Ok) {
+      auto V = parseInt(Ops[2]);
+      if (!V) {
+        error("bad index '%s'", Ops[2].c_str());
+        Ok = false;
+      } else {
+        I.UsesImm = true;
+        I.Imm = static_cast<int32_t>(*V);
+      }
+    }
+    break;
+  }
+  case OpSig::Mem:
+    Ok = NeedOps(2) && Reg(Ops[0], Info.RdIsFp, I.Rd) && MemOperand(Ops[1]);
+    break;
+  case OpSig::Br:
+    Ok = NeedOps(3) && Reg(Ops[0], false, I.Rs1) && RegOrImm(Ops[1]) &&
+         Label(Ops[2]);
+    break;
+  case OpSig::FBr:
+    Ok = NeedOps(3) && Reg(Ops[0], true, I.Rs1) && Reg(Ops[1], true, I.Rs2) &&
+         Label(Ops[2]);
+    break;
+  case OpSig::Jmp:
+    Ok = NeedOps(1) && Label(Ops[0]);
+    break;
+  case OpSig::JmpR:
+    Ok = NeedOps(1) && Reg(Ops[0], false, I.Rs1);
+    break;
+  case OpSig::Host: {
+    Ok = NeedOps(1);
+    if (Ok) {
+      if (auto V = parseInt(Ops[0])) {
+        I.UsesImm = true;
+        I.Imm = static_cast<int32_t>(*V);
+      } else {
+        auto It = ImportIds.find(Ops[0]);
+        if (It == ImportIds.end()) {
+          error("hcall of undeclared import '%s' (missing .import?)",
+                Ops[0].c_str());
+          Ok = false;
+        } else {
+          I.UsesImm = true;
+          I.Imm = static_cast<int32_t>(It->second);
+        }
+      }
+    }
+    break;
+  }
+  }
+  if (Ok)
+    Out.Code.push_back(I);
+}
+
+void AssemblerImpl::scanLine(const std::string &LineIn) {
+  // Strip comments (# or ; outside strings).
+  std::string Line;
+  bool InString = false;
+  for (char C : LineIn) {
+    if (C == '"')
+      InString = !InString;
+    if (!InString && (C == '#' || C == ';'))
+      break;
+    Line.push_back(C);
+  }
+
+  size_t Pos = 0;
+  auto SkipWs = [&]() {
+    while (Pos < Line.size() && std::isspace(static_cast<unsigned char>(
+                                    Line[Pos])))
+      ++Pos;
+  };
+  SkipWs();
+  if (Pos >= Line.size())
+    return;
+
+  // Optional label.
+  if (isSymbolStart(Line[Pos])) {
+    size_t E = Pos;
+    while (E < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[E])) ||
+            Line[E] == '_' || Line[E] == '.'))
+      ++E;
+    if (E < Line.size() && Line[E] == ':') {
+      defineLabel(Line.substr(Pos, E - Pos));
+      Pos = E + 1;
+      SkipWs();
+      if (Pos >= Line.size())
+        return;
+    }
+  }
+
+  // Directive or mnemonic.
+  size_t E = Pos;
+  while (E < Line.size() && !std::isspace(static_cast<unsigned char>(
+                                Line[E])))
+    ++E;
+  std::string Word = Line.substr(Pos, E - Pos);
+  std::string Rest = E < Line.size() ? Line.substr(E + 1) : std::string();
+
+  if (Word[0] == '.') {
+    handleDirective(Word, Rest);
+    return;
+  }
+  auto It = mnemonicTable().find(Word);
+  if (It == mnemonicTable().end()) {
+    // Pseudo-instructions.
+    if (Word == "ret") {
+      Out.Code.push_back(makeJumpReg(Opcode::Jr, RegRa));
+      return;
+    }
+    if (Word == "la") { // alias for li with a symbol
+      handleInstr(Opcode::Li, Rest);
+      return;
+    }
+    error("unknown mnemonic '%s'", Word.c_str());
+    return;
+  }
+  handleInstr(It->second, Rest);
+}
+
+bool AssemblerImpl::run() {
+  size_t Start = 0;
+  while (Start <= Source.size()) {
+    size_t End = Source.find('\n', Start);
+    if (End == std::string::npos)
+      End = Source.size();
+    ++LineNo;
+    scanLine(Source.substr(Start, End - Start));
+    Start = End + 1;
+  }
+
+  // Finalize: bss symbols sit after initialized data.
+  uint32_t DataSize = static_cast<uint32_t>(Out.Data.size());
+  for (uint32_t Id : BssSymbols)
+    Out.Symbols[Id].Value += DataSize;
+  Out.BssSize = BssOffset;
+
+  for (const std::string &Name : PendingGlobals) {
+    uint32_t Id = getOrCreateSymbol(Name);
+    Out.Symbols[Id].Global = true;
+  }
+  // Undefined non-global symbols are extern references.
+  for (Symbol &S : Out.Symbols)
+    if (!S.Defined)
+      S.Global = true;
+  return !Diags.hasErrors();
+}
+
+} // namespace
+
+bool omni::vm::assemble(const std::string &Source, Module &Out,
+                        DiagnosticEngine &Diags) {
+  Out = Module();
+  AssemblerImpl Impl(Source, Out, Diags);
+  return Impl.run();
+}

@@ -1,0 +1,47 @@
+//===- vm/Assembler.h - OmniVM textual assembler ----------------*- C++ -*-===//
+///
+/// \file
+/// Assembles OmniVM assembly text into a relocatable object Module. The
+/// assembler exists so that program modules can be written in languages
+/// other than MiniC (including by hand) — the language-independence claim
+/// of the system. Syntax:
+///
+/// \code
+///         .import print_int          ; host function
+///         .text
+///         .global main
+/// main:   li      r0, 42
+///         hcall   print_int
+///         li      r0, 0
+///         jr      ra
+///         .data
+/// value:  .word   7
+/// msg:    .asciiz "hello"
+///         .bss
+/// buf:    .space  256
+/// \endcode
+///
+/// Registers: r0..r15 (aliases sp=r13, fp=r14, ra=r15), f0..f15.
+/// Memory operands: `imm(reg)`, `(reg+reg)`, `imm`, `sym`, `sym+imm`.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_ASSEMBLER_H
+#define OMNI_VM_ASSEMBLER_H
+
+#include "support/Diagnostics.h"
+#include "vm/Module.h"
+
+#include <string>
+
+namespace omni {
+namespace vm {
+
+/// Assembles \p Source into \p Out. Returns false when \p Diags received
+/// errors; \p Out is unspecified in that case.
+bool assemble(const std::string &Source, Module &Out,
+              DiagnosticEngine &Diags);
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_ASSEMBLER_H

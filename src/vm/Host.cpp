@@ -1,0 +1,18 @@
+//===- vm/Host.cpp --------------------------------------------------------===//
+
+#include "vm/Host.h"
+
+#include <bit>
+
+using namespace omni;
+using namespace omni::vm;
+
+HostContext::~HostContext() = default;
+
+double HostContext::fpArg(unsigned I) const {
+  return std::bit_cast<double>(getFpBits(I));
+}
+
+void HostContext::setFpResult(double V) {
+  setFpBits(0, std::bit_cast<uint64_t>(V));
+}

@@ -1,0 +1,52 @@
+//===- vm/Host.h - Host call gate interface ---------------------*- C++ -*-===//
+///
+/// \file
+/// The trusted interface between executing mobile code and its host. Every
+/// execution engine (OmniVM interpreter, the four native-target simulators)
+/// exposes the module's virtual register state through HostContext when an
+/// `hcall` crosses into the host; the Omniware runtime dispatches on the
+/// import index. Host functions see VM-level state regardless of how the
+/// engine maps virtual registers to physical resources.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_HOST_H
+#define OMNI_VM_HOST_H
+
+#include "vm/Trap.h"
+
+#include <functional>
+
+namespace omni {
+namespace vm {
+
+class AddressSpace;
+
+/// View of the module's virtual machine state during a host call.
+///
+/// Calling convention: integer/pointer arguments in r0..r3, fp arguments in
+/// f0..f3, integer result in r0, fp result in f0.
+class HostContext {
+public:
+  virtual ~HostContext();
+
+  virtual uint32_t getIntReg(unsigned Reg) const = 0;
+  virtual void setIntReg(unsigned Reg, uint32_t Val) = 0;
+  virtual uint64_t getFpBits(unsigned Reg) const = 0;
+  virtual void setFpBits(unsigned Reg, uint64_t Bits) = 0;
+  virtual AddressSpace &mem() = 0;
+
+  /// Convenience argument accessors.
+  uint32_t intArg(unsigned I) const { return getIntReg(I); }
+  double fpArg(unsigned I) const;
+  void setIntResult(uint32_t V) { setIntReg(0, V); }
+  void setFpResult(double V);
+};
+
+/// Invoked for `hcall N`; returns TrapKind::None to continue execution.
+using HostCallHandler = std::function<Trap(unsigned ImportIndex,
+                                           HostContext &Ctx)>;
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_HOST_H

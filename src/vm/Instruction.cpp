@@ -1,0 +1,87 @@
+//===- vm/Instruction.cpp -------------------------------------------------===//
+
+#include "vm/Instruction.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+using namespace omni::vm;
+
+static std::string regName(unsigned Reg, bool IsFp) {
+  return formatStr("%c%u", IsFp ? 'f' : 'r', Reg);
+}
+
+std::string omni::vm::printInstr(const Instr &I) {
+  const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+  std::string Out = Info.Mnemonic;
+  auto Pad = [&Out]() {
+    if (Out.size() < 8)
+      Out.append(8 - Out.size(), ' ');
+    else
+      Out += ' ';
+  };
+  switch (Info.Sig) {
+  case OpSig::None:
+    break;
+  case OpSig::RRR:
+    Pad();
+    Out += regName(I.Rd, Info.RdIsFp) + ", " + regName(I.Rs1, Info.Rs1IsFp);
+    if (I.UsesImm)
+      appendFormat(Out, ", %d", I.Imm);
+    else
+      Out += ", " + regName(I.Rs2, Info.Rs2IsFp);
+    break;
+  case OpSig::RR:
+    Pad();
+    Out += regName(I.Rd, Info.RdIsFp) + ", " + regName(I.Rs1, Info.Rs1IsFp);
+    break;
+  case OpSig::RI:
+    Pad();
+    Out += regName(I.Rd, Info.RdIsFp);
+    appendFormat(Out, ", %d", I.Imm);
+    break;
+  case OpSig::RRI:
+    Pad();
+    Out += regName(I.Rd, Info.RdIsFp) + ", " + regName(I.Rs1, Info.Rs1IsFp);
+    appendFormat(Out, ", %d", I.Imm);
+    break;
+  case OpSig::Mem:
+    Pad();
+    Out += regName(I.Rd, Info.RdIsFp);
+    if (I.Rs1 == NoBaseReg)
+      appendFormat(Out, ", %d", I.Imm);
+    else if (I.UsesImm)
+      appendFormat(Out, ", %d(%s)", I.Imm, regName(I.Rs1, false).c_str());
+    else
+      appendFormat(Out, ", (%s+%s)", regName(I.Rs1, false).c_str(),
+                   regName(I.Rs2, false).c_str());
+    break;
+  case OpSig::Br:
+    Pad();
+    Out += regName(I.Rs1, false);
+    if (I.UsesImm)
+      appendFormat(Out, ", %d", I.Imm);
+    else
+      Out += ", " + regName(I.Rs2, false);
+    appendFormat(Out, ", @%d", I.Target);
+    break;
+  case OpSig::FBr:
+    Pad();
+    Out += regName(I.Rs1, true) + ", " + regName(I.Rs2, true);
+    appendFormat(Out, ", @%d", I.Target);
+    break;
+  case OpSig::Jmp:
+    Pad();
+    appendFormat(Out, "@%d", I.Target);
+    break;
+  case OpSig::JmpR:
+    Pad();
+    Out += regName(I.Rs1, false);
+    break;
+  case OpSig::Host:
+    Pad();
+    appendFormat(Out, "%d", I.Imm);
+    break;
+  }
+  return Out;
+}

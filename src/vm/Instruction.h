@@ -1,0 +1,194 @@
+//===- vm/Instruction.h - OmniVM instruction representation -----*- C++ -*-===//
+///
+/// \file
+/// In-memory representation of one OmniVM instruction, plus convenience
+/// builders. Code addresses are instruction indices into a module's code
+/// array; data addresses are 32-bit virtual addresses inside the module's
+/// sandboxed data segment.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_INSTRUCTION_H
+#define OMNI_VM_INSTRUCTION_H
+
+#include "vm/Opcode.h"
+
+#include <cstdint>
+#include <string>
+
+namespace omni {
+namespace vm {
+
+/// Sentinel for the base register of a memory access meaning "no base":
+/// the effective address is the 32-bit immediate itself. This is how
+/// compiled code addresses globals — the compiler knows the final data
+/// layout, folds it into the 32-bit offset, and the translator turns it
+/// into the best native sequence (one instruction on x86; lui/sethi
+/// expansion or a global-pointer-relative access on the RISC targets).
+constexpr uint8_t NoBaseReg = 0xff;
+
+/// One OmniVM instruction.
+///
+/// Field use by signature:
+///  - RRR:  Rd, Rs1, Rs2 (or Imm when UsesImm)
+///  - RR:   Rd, Rs1
+///  - RI:   Rd, Imm
+///  - Mem:  Rd = value register; address = Rs1 + (UsesImm ? Imm : Rs2),
+///          where Rs1 == NoBaseReg contributes 0 (absolute addressing)
+///  - Br:   compare Rs1 against (UsesImm ? Imm : Rs2); branch to Target
+///  - FBr:  compare fp Rs1 against fp Rs2; branch to Target
+///  - Jmp:  Target
+///  - JmpR: Rs1 holds a code index; jalr links r15
+///  - Host: Imm = import index
+///  - RRI:  Rd, Rs1, Imm (byte/halfword index for ext/ins)
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  bool UsesImm = false;
+  int32_t Imm = 0;
+  int32_t Target = 0;
+
+  bool isCondBranch() const { return vm::isCondBranch(Op); }
+  bool isLoad() const { return vm::isLoad(Op); }
+  bool isStore() const { return vm::isStore(Op); }
+};
+
+/// Builders (keep call sites readable in the code generator and tests).
+inline Instr makeRRR(Opcode Op, unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  return I;
+}
+
+inline Instr makeRRI(Opcode Op, unsigned Rd, unsigned Rs1, int32_t Imm) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.UsesImm = true;
+  I.Imm = Imm;
+  return I;
+}
+
+inline Instr makeMov(unsigned Rd, unsigned Rs) {
+  Instr I;
+  I.Op = Opcode::Mov;
+  I.Rd = Rd;
+  I.Rs1 = Rs;
+  return I;
+}
+
+inline Instr makeLi(unsigned Rd, int32_t Imm) {
+  Instr I;
+  I.Op = Opcode::Li;
+  I.Rd = Rd;
+  I.UsesImm = true;
+  I.Imm = Imm;
+  return I;
+}
+
+inline Instr makeRR(Opcode Op, unsigned Rd, unsigned Rs1) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  return I;
+}
+
+/// Memory access with base+imm32 addressing.
+inline Instr makeMemImm(Opcode Op, unsigned ValueReg, unsigned Base,
+                        int32_t Offset) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = ValueReg;
+  I.Rs1 = Base;
+  I.UsesImm = true;
+  I.Imm = Offset;
+  return I;
+}
+
+/// Memory access at an absolute 32-bit address (global variables).
+inline Instr makeMemAbs(Opcode Op, unsigned ValueReg, int32_t Addr) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = ValueReg;
+  I.Rs1 = NoBaseReg;
+  I.UsesImm = true;
+  I.Imm = Addr;
+  return I;
+}
+
+/// Memory access with base+index addressing.
+inline Instr makeMemIdx(Opcode Op, unsigned ValueReg, unsigned Base,
+                        unsigned Index) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = ValueReg;
+  I.Rs1 = Base;
+  I.Rs2 = Index;
+  return I;
+}
+
+/// Compare-and-branch against a register.
+inline Instr makeBranch(Opcode Op, unsigned Rs1, unsigned Rs2,
+                        int32_t Target) {
+  Instr I;
+  I.Op = Op;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  I.Target = Target;
+  return I;
+}
+
+/// Compare-and-branch against an immediate.
+inline Instr makeBranchImm(Opcode Op, unsigned Rs1, int32_t Imm,
+                           int32_t Target) {
+  Instr I;
+  I.Op = Op;
+  I.Rs1 = Rs1;
+  I.UsesImm = true;
+  I.Imm = Imm;
+  I.Target = Target;
+  return I;
+}
+
+inline Instr makeJump(Opcode Op, int32_t Target) {
+  Instr I;
+  I.Op = Op;
+  I.Target = Target;
+  return I;
+}
+
+inline Instr makeJumpReg(Opcode Op, unsigned Rs1) {
+  Instr I;
+  I.Op = Op;
+  I.Rs1 = Rs1;
+  return I;
+}
+
+inline Instr makeHCall(int32_t ImportIndex) {
+  Instr I;
+  I.Op = Opcode::HCall;
+  I.UsesImm = true;
+  I.Imm = ImportIndex;
+  return I;
+}
+
+inline Instr makeSimple(Opcode Op) {
+  Instr I;
+  I.Op = Op;
+  return I;
+}
+
+/// Renders \p I as OmniVM assembly text (used by the disassembler and
+/// debug dumps). Branch targets are printed as "@<index>".
+std::string printInstr(const Instr &I);
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_INSTRUCTION_H

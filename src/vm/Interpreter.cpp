@@ -1,0 +1,444 @@
+//===- vm/Interpreter.cpp -------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include <bit>
+#include <cassert>
+#include <limits>
+
+using namespace omni;
+using namespace omni::vm;
+
+Interpreter::Interpreter(const Module &M, AddressSpace &Mem)
+    : M(M), Mem(Mem) {
+  assert(M.isExecutable() && "interpreter requires a linked executable");
+}
+
+void Interpreter::reset(uint32_t EntryIndex) {
+  for (uint32_t &Reg : R)
+    Reg = 0;
+  for (uint64_t &Reg : F)
+    Reg = 0;
+  Pc = EntryIndex;
+  InstrCount = 0;
+  // Stack occupies the top of the data segment (below the engine-reserved
+  // area), grows down.
+  R[RegSp] = Mem.base() + Mem.size() - EngineReservedTop;
+  R[RegRa] = ReturnToHost;
+}
+
+namespace {
+
+inline float asF32(uint64_t Bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(Bits));
+}
+inline uint64_t fromF32(float V) { return std::bit_cast<uint32_t>(V); }
+inline double asF64(uint64_t Bits) { return std::bit_cast<double>(Bits); }
+inline uint64_t fromF64(double V) { return std::bit_cast<uint64_t>(V); }
+
+/// Integer division with the wrap-on-overflow semantics OmniVM defines
+/// (INT_MIN / -1 == INT_MIN), avoiding host UB.
+inline int32_t sdiv(int32_t A, int32_t B) {
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return A;
+  return A / B;
+}
+inline int32_t srem(int32_t A, int32_t B) {
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return 0;
+  return A % B;
+}
+
+/// Float-to-int conversion with saturating, deterministic semantics.
+template <typename FloatT> inline int32_t cvtToW(FloatT V) {
+  if (V != V)
+    return 0;
+  if (V >= 2147483647.0)
+    return std::numeric_limits<int32_t>::max();
+  if (V <= -2147483648.0)
+    return std::numeric_limits<int32_t>::min();
+  return static_cast<int32_t>(V);
+}
+
+} // namespace
+
+Trap Interpreter::run(uint64_t MaxSteps) {
+  const Instr *Code = M.Code.data();
+  const uint32_t CodeSize = static_cast<uint32_t>(M.Code.size());
+  Trap Fault;
+
+  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+    if (Pc >= CodeSize) {
+      Trap T = Trap::badJump(Pc);
+      T.FaultPc = Pc;
+      return T;
+    }
+    const Instr &I = Code[Pc];
+    ++InstrCount;
+    uint32_t NextPc = Pc + 1;
+
+    // Second integer source operand for RRR/Br forms.
+    auto Src2 = [&]() -> uint32_t {
+      return I.UsesImm ? static_cast<uint32_t>(I.Imm) : R[I.Rs2];
+    };
+
+    switch (I.Op) {
+    case Opcode::Add:
+      R[I.Rd] = R[I.Rs1] + Src2();
+      break;
+    case Opcode::Sub:
+      R[I.Rd] = R[I.Rs1] - Src2();
+      break;
+    case Opcode::Mul:
+      R[I.Rd] = R[I.Rs1] * Src2();
+      break;
+    case Opcode::Div: {
+      int32_t B = static_cast<int32_t>(Src2());
+      if (B == 0) {
+        Trap T = Trap::divideByZero();
+        T.FaultPc = Pc;
+        return T;
+      }
+      R[I.Rd] = static_cast<uint32_t>(sdiv(static_cast<int32_t>(R[I.Rs1]), B));
+      break;
+    }
+    case Opcode::DivU: {
+      uint32_t B = Src2();
+      if (B == 0) {
+        Trap T = Trap::divideByZero();
+        T.FaultPc = Pc;
+        return T;
+      }
+      R[I.Rd] = R[I.Rs1] / B;
+      break;
+    }
+    case Opcode::Rem: {
+      int32_t B = static_cast<int32_t>(Src2());
+      if (B == 0) {
+        Trap T = Trap::divideByZero();
+        T.FaultPc = Pc;
+        return T;
+      }
+      R[I.Rd] = static_cast<uint32_t>(srem(static_cast<int32_t>(R[I.Rs1]), B));
+      break;
+    }
+    case Opcode::RemU: {
+      uint32_t B = Src2();
+      if (B == 0) {
+        Trap T = Trap::divideByZero();
+        T.FaultPc = Pc;
+        return T;
+      }
+      R[I.Rd] = R[I.Rs1] % B;
+      break;
+    }
+    case Opcode::And:
+      R[I.Rd] = R[I.Rs1] & Src2();
+      break;
+    case Opcode::Or:
+      R[I.Rd] = R[I.Rs1] | Src2();
+      break;
+    case Opcode::Xor:
+      R[I.Rd] = R[I.Rs1] ^ Src2();
+      break;
+    case Opcode::Sll:
+      R[I.Rd] = R[I.Rs1] << (Src2() & 31);
+      break;
+    case Opcode::Srl:
+      R[I.Rd] = R[I.Rs1] >> (Src2() & 31);
+      break;
+    case Opcode::Sra:
+      R[I.Rd] = static_cast<uint32_t>(static_cast<int32_t>(R[I.Rs1]) >>
+                                      (Src2() & 31));
+      break;
+    case Opcode::Mov:
+      R[I.Rd] = R[I.Rs1];
+      break;
+    case Opcode::Li:
+      R[I.Rd] = static_cast<uint32_t>(I.Imm);
+      break;
+    case Opcode::ExtB:
+      R[I.Rd] = (R[I.Rs1] >> (8 * (I.Imm & 3))) & 0xff;
+      break;
+    case Opcode::ExtH:
+      R[I.Rd] = (R[I.Rs1] >> (16 * (I.Imm & 1))) & 0xffff;
+      break;
+    case Opcode::InsB: {
+      unsigned Shift = 8 * (I.Imm & 3);
+      R[I.Rd] = (R[I.Rd] & ~(0xffu << Shift)) | ((R[I.Rs1] & 0xff) << Shift);
+      break;
+    }
+    case Opcode::InsH: {
+      unsigned Shift = 16 * (I.Imm & 1);
+      R[I.Rd] =
+          (R[I.Rd] & ~(0xffffu << Shift)) | ((R[I.Rs1] & 0xffff) << Shift);
+      break;
+    }
+
+    case Opcode::Lb:
+    case Opcode::Lbu:
+    case Opcode::Lh:
+    case Opcode::Lhu:
+    case Opcode::Lw:
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw:
+    case Opcode::Lfs:
+    case Opcode::Lfd:
+    case Opcode::Sfs:
+    case Opcode::Sfd: {
+      uint32_t BaseVal = I.Rs1 == NoBaseReg ? 0 : R[I.Rs1];
+      uint32_t Ea = BaseVal + Src2();
+      bool Ok = true;
+      uint32_t V32 = 0;
+      uint64_t V64 = 0;
+      switch (I.Op) {
+      case Opcode::Lb:
+        Ok = Mem.read8(Ea, V32, Fault);
+        if (Ok)
+          R[I.Rd] = static_cast<uint32_t>(
+              static_cast<int32_t>(static_cast<int8_t>(V32)));
+        break;
+      case Opcode::Lbu:
+        Ok = Mem.read8(Ea, V32, Fault);
+        if (Ok)
+          R[I.Rd] = V32;
+        break;
+      case Opcode::Lh:
+        Ok = Mem.read16(Ea, V32, Fault);
+        if (Ok)
+          R[I.Rd] = static_cast<uint32_t>(
+              static_cast<int32_t>(static_cast<int16_t>(V32)));
+        break;
+      case Opcode::Lhu:
+        Ok = Mem.read16(Ea, V32, Fault);
+        if (Ok)
+          R[I.Rd] = V32;
+        break;
+      case Opcode::Lw:
+        Ok = Mem.read32(Ea, V32, Fault);
+        if (Ok)
+          R[I.Rd] = V32;
+        break;
+      case Opcode::Sb:
+        Ok = Mem.write8(Ea, R[I.Rd], Fault);
+        break;
+      case Opcode::Sh:
+        Ok = Mem.write16(Ea, R[I.Rd], Fault);
+        break;
+      case Opcode::Sw:
+        Ok = Mem.write32(Ea, R[I.Rd], Fault);
+        break;
+      case Opcode::Lfs:
+        Ok = Mem.read32(Ea, V32, Fault);
+        if (Ok)
+          F[I.Rd] = V32;
+        break;
+      case Opcode::Lfd:
+        Ok = Mem.read64(Ea, V64, Fault);
+        if (Ok)
+          F[I.Rd] = V64;
+        break;
+      case Opcode::Sfs:
+        Ok = Mem.write32(Ea, static_cast<uint32_t>(F[I.Rd]), Fault);
+        break;
+      case Opcode::Sfd:
+        Ok = Mem.write64(Ea, F[I.Rd], Fault);
+        break;
+      default:
+        break;
+      }
+      if (!Ok) {
+        Fault.FaultPc = Pc;
+        return Fault;
+      }
+      break;
+    }
+
+    case Opcode::FAddS:
+      F[I.Rd] = fromF32(asF32(F[I.Rs1]) + asF32(F[I.Rs2]));
+      break;
+    case Opcode::FSubS:
+      F[I.Rd] = fromF32(asF32(F[I.Rs1]) - asF32(F[I.Rs2]));
+      break;
+    case Opcode::FMulS:
+      F[I.Rd] = fromF32(asF32(F[I.Rs1]) * asF32(F[I.Rs2]));
+      break;
+    case Opcode::FDivS:
+      F[I.Rd] = fromF32(asF32(F[I.Rs1]) / asF32(F[I.Rs2]));
+      break;
+    case Opcode::FAddD:
+      F[I.Rd] = fromF64(asF64(F[I.Rs1]) + asF64(F[I.Rs2]));
+      break;
+    case Opcode::FSubD:
+      F[I.Rd] = fromF64(asF64(F[I.Rs1]) - asF64(F[I.Rs2]));
+      break;
+    case Opcode::FMulD:
+      F[I.Rd] = fromF64(asF64(F[I.Rs1]) * asF64(F[I.Rs2]));
+      break;
+    case Opcode::FDivD:
+      F[I.Rd] = fromF64(asF64(F[I.Rs1]) / asF64(F[I.Rs2]));
+      break;
+    case Opcode::FNegS:
+      F[I.Rd] = fromF32(-asF32(F[I.Rs1]));
+      break;
+    case Opcode::FNegD:
+      F[I.Rd] = fromF64(-asF64(F[I.Rs1]));
+      break;
+    case Opcode::FMov:
+      F[I.Rd] = F[I.Rs1];
+      break;
+
+    case Opcode::CvtWToS:
+      F[I.Rd] = fromF32(static_cast<float>(static_cast<int32_t>(R[I.Rs1])));
+      break;
+    case Opcode::CvtWToD:
+      F[I.Rd] = fromF64(static_cast<double>(static_cast<int32_t>(R[I.Rs1])));
+      break;
+    case Opcode::CvtSToW:
+      R[I.Rd] = static_cast<uint32_t>(cvtToW(asF32(F[I.Rs1])));
+      break;
+    case Opcode::CvtDToW:
+      R[I.Rd] = static_cast<uint32_t>(cvtToW(asF64(F[I.Rs1])));
+      break;
+    case Opcode::CvtSToD:
+      F[I.Rd] = fromF64(static_cast<double>(asF32(F[I.Rs1])));
+      break;
+    case Opcode::CvtDToS:
+      F[I.Rd] = fromF32(static_cast<float>(asF64(F[I.Rs1])));
+      break;
+
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Ble:
+    case Opcode::Bgt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bleu:
+    case Opcode::Bgtu:
+    case Opcode::Bgeu: {
+      uint32_t A = R[I.Rs1], B = Src2();
+      int32_t As = static_cast<int32_t>(A), Bs = static_cast<int32_t>(B);
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::Beq:
+        Taken = A == B;
+        break;
+      case Opcode::Bne:
+        Taken = A != B;
+        break;
+      case Opcode::Blt:
+        Taken = As < Bs;
+        break;
+      case Opcode::Ble:
+        Taken = As <= Bs;
+        break;
+      case Opcode::Bgt:
+        Taken = As > Bs;
+        break;
+      case Opcode::Bge:
+        Taken = As >= Bs;
+        break;
+      case Opcode::Bltu:
+        Taken = A < B;
+        break;
+      case Opcode::Bleu:
+        Taken = A <= B;
+        break;
+      case Opcode::Bgtu:
+        Taken = A > B;
+        break;
+      case Opcode::Bgeu:
+        Taken = A >= B;
+        break;
+      default:
+        break;
+      }
+      if (Taken)
+        NextPc = static_cast<uint32_t>(I.Target);
+      break;
+    }
+
+    case Opcode::BfeqS:
+    case Opcode::BfneS:
+    case Opcode::BfltS:
+    case Opcode::BfleS: {
+      float A = asF32(F[I.Rs1]), B = asF32(F[I.Rs2]);
+      bool Taken = I.Op == Opcode::BfeqS   ? A == B
+                   : I.Op == Opcode::BfneS ? A != B
+                   : I.Op == Opcode::BfltS ? A < B
+                                           : A <= B;
+      if (Taken)
+        NextPc = static_cast<uint32_t>(I.Target);
+      break;
+    }
+    case Opcode::BfeqD:
+    case Opcode::BfneD:
+    case Opcode::BfltD:
+    case Opcode::BfleD: {
+      double A = asF64(F[I.Rs1]), B = asF64(F[I.Rs2]);
+      bool Taken = I.Op == Opcode::BfeqD   ? A == B
+                   : I.Op == Opcode::BfneD ? A != B
+                   : I.Op == Opcode::BfltD ? A < B
+                                           : A <= B;
+      if (Taken)
+        NextPc = static_cast<uint32_t>(I.Target);
+      break;
+    }
+
+    case Opcode::J:
+      NextPc = static_cast<uint32_t>(I.Target);
+      break;
+    case Opcode::Jal:
+      R[RegRa] = Pc + 1;
+      NextPc = static_cast<uint32_t>(I.Target);
+      break;
+    case Opcode::Jr:
+    case Opcode::Jalr: {
+      uint32_t Dest = R[I.Rs1];
+      if (I.Op == Opcode::Jalr)
+        R[RegRa] = Pc + 1;
+      if (Dest == ReturnToHost)
+        return Trap::halt(static_cast<int32_t>(R[0]));
+      if (Dest >= CodeSize) {
+        Trap T = Trap::badJump(Dest);
+        T.FaultPc = Pc;
+        return T;
+      }
+      NextPc = Dest;
+      break;
+    }
+
+    case Opcode::HCall: {
+      if (!Host) {
+        Trap T;
+        T.Kind = TrapKind::HostError;
+        T.FaultPc = Pc;
+        return T;
+      }
+      Trap T = Host(static_cast<unsigned>(I.Imm), *this);
+      if (T.Kind != TrapKind::None) {
+        T.FaultPc = Pc;
+        return T;
+      }
+      break;
+    }
+    case Opcode::Nop:
+      break;
+    case Opcode::Break: {
+      Trap T;
+      T.Kind = TrapKind::Break;
+      T.FaultPc = Pc;
+      return T;
+    }
+    case Opcode::Halt:
+      return Trap::halt(static_cast<int32_t>(R[0]));
+    }
+
+    Pc = NextPc;
+  }
+  Trap T;
+  T.Kind = TrapKind::StepLimit;
+  return T;
+}

@@ -1,0 +1,62 @@
+//===- vm/Interpreter.h - OmniVM reference interpreter ----------*- C++ -*-===//
+///
+/// \file
+/// Direct interpreter for OmniVM modules. This is both (a) the semantic
+/// reference every translator is differentially tested against, and (b) the
+/// "abstract machine interpretation" baseline the paper's §4.4 compares
+/// Omniware's translation approach to.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_INTERPRETER_H
+#define OMNI_VM_INTERPRETER_H
+
+#include "vm/AddressSpace.h"
+#include "vm/Host.h"
+#include "vm/Module.h"
+
+#include <cstdint>
+
+namespace omni {
+namespace vm {
+
+/// Executes a linked module's OmniVM code directly.
+class Interpreter final : public HostContext {
+public:
+  /// \p M must be a linked executable; \p Mem the segment it was linked for.
+  Interpreter(const Module &M, AddressSpace &Mem);
+
+  void setHostHandler(HostCallHandler Handler) { Host = std::move(Handler); }
+
+  /// Resets machine state: clears registers, sets pc to \p EntryIndex,
+  /// sp to the top of the segment and ra to the return-to-host sentinel.
+  void reset(uint32_t EntryIndex);
+
+  /// Runs until a trap or until \p MaxSteps instructions have executed.
+  Trap run(uint64_t MaxSteps = ~0ull);
+
+  /// Total OmniVM instructions executed across run() calls since reset().
+  uint64_t instrCount() const { return InstrCount; }
+
+  uint32_t pc() const { return Pc; }
+
+  // HostContext interface.
+  uint32_t getIntReg(unsigned Reg) const override { return R[Reg]; }
+  void setIntReg(unsigned Reg, uint32_t Val) override { R[Reg] = Val; }
+  uint64_t getFpBits(unsigned Reg) const override { return F[Reg]; }
+  void setFpBits(unsigned Reg, uint64_t Bits) override { F[Reg] = Bits; }
+  AddressSpace &mem() override { return Mem; }
+
+private:
+  const Module &M;
+  AddressSpace &Mem;
+  HostCallHandler Host;
+  uint32_t R[NumIntRegs] = {};
+  uint64_t F[NumFpRegs] = {};
+  uint32_t Pc = 0;
+  uint64_t InstrCount = 0;
+};
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_INTERPRETER_H

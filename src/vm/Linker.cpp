@@ -1,0 +1,208 @@
+//===- vm/Linker.cpp ------------------------------------------------------===//
+
+#include "vm/Linker.h"
+
+#include "support/Format.h"
+
+#include <map>
+
+using namespace omni;
+using namespace omni::vm;
+
+namespace {
+
+struct ModuleLayout {
+  uint32_t CodeBase = 0; ///< first code index of this module in the output
+  uint32_t DataBase = 0; ///< offset of this module's data in the output data
+  uint32_t BssBase = 0;  ///< offset of this module's bss in the output bss
+};
+
+uint32_t alignTo(uint32_t V, uint32_t Align) {
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+} // namespace
+
+bool omni::vm::link(const std::vector<Module> &Objects,
+                    const LinkOptions &Opts, Module &Out,
+                    std::vector<std::string> &Errors) {
+  Out = Module();
+  Out.LinkBase = Opts.DataBase;
+  size_t FirstError = Errors.size();
+
+  // Pass 1: layout.
+  std::vector<ModuleLayout> Layouts(Objects.size());
+  uint32_t CodeSize = 0, DataSize = 0, BssSize = 0;
+  for (size_t MI = 0; MI < Objects.size(); ++MI) {
+    const Module &M = Objects[MI];
+    Layouts[MI].CodeBase = CodeSize;
+    DataSize = alignTo(DataSize, 8);
+    Layouts[MI].DataBase = DataSize;
+    BssSize = alignTo(BssSize, 8);
+    Layouts[MI].BssBase = BssSize;
+    CodeSize += static_cast<uint32_t>(M.Code.size());
+    DataSize += static_cast<uint32_t>(M.Data.size());
+    BssSize += M.BssSize;
+  }
+  uint32_t TotalData = alignTo(DataSize, 8);
+  // Bss follows initialized data in the segment.
+  uint32_t BssStart = TotalData;
+
+  // Absolute value of a symbol (code index or virtual address).
+  auto resolveLocal = [&](size_t MI, const Symbol &S) -> uint32_t {
+    if (S.Kind == Symbol::Code)
+      return Layouts[MI].CodeBase + S.Value;
+    // Data symbols whose Value points past the module's initialized data
+    // live in bss.
+    const Module &M = Objects[MI];
+    if (S.Value < M.Data.size())
+      return Opts.DataBase + Layouts[MI].DataBase + S.Value;
+    uint32_t BssOff = S.Value - static_cast<uint32_t>(M.Data.size());
+    return Opts.DataBase + BssStart + Layouts[MI].BssBase + BssOff;
+  };
+
+  // Pass 2: global symbol table.
+  struct GlobalDef {
+    size_t ModuleIdx;
+    uint32_t SymbolIdx;
+  };
+  std::map<std::string, GlobalDef> Globals;
+  for (size_t MI = 0; MI < Objects.size(); ++MI) {
+    const Module &M = Objects[MI];
+    for (uint32_t SI = 0; SI < M.Symbols.size(); ++SI) {
+      const Symbol &S = M.Symbols[SI];
+      if (!S.Global || !S.Defined)
+        continue;
+      auto [It, Inserted] = Globals.insert({S.Name, {MI, SI}});
+      if (!Inserted)
+        Errors.push_back(
+            formatStr("duplicate global symbol '%s'", S.Name.c_str()));
+    }
+  }
+
+  auto resolveSymbol = [&](size_t MI, uint32_t SymbolId, bool &Ok,
+                           Symbol::KindTy &KindOut) -> uint32_t {
+    const Module &M = Objects[MI];
+    if (SymbolId >= M.Symbols.size()) {
+      Errors.push_back(formatStr("invalid symbol id %u", SymbolId));
+      Ok = false;
+      return 0;
+    }
+    const Symbol &S = M.Symbols[SymbolId];
+    if (S.Defined) {
+      KindOut = S.Kind;
+      return resolveLocal(MI, S);
+    }
+    auto It = Globals.find(S.Name);
+    if (It == Globals.end()) {
+      Errors.push_back(
+          formatStr("undefined symbol '%s'", S.Name.c_str()));
+      Ok = false;
+      return 0;
+    }
+    const Symbol &Def = Objects[It->second.ModuleIdx]
+                            .Symbols[It->second.SymbolIdx];
+    KindOut = Def.Kind;
+    return resolveLocal(It->second.ModuleIdx, Def);
+  };
+
+  // Pass 3: merge imports.
+  std::map<std::string, uint32_t> ImportIndex;
+  std::vector<std::vector<uint32_t>> ImportMap(Objects.size());
+  for (size_t MI = 0; MI < Objects.size(); ++MI) {
+    for (const std::string &Name : Objects[MI].Imports) {
+      auto It = ImportIndex.find(Name);
+      uint32_t Idx;
+      if (It == ImportIndex.end()) {
+        Idx = static_cast<uint32_t>(Out.Imports.size());
+        ImportIndex[Name] = Idx;
+        Out.Imports.push_back(Name);
+      } else {
+        Idx = It->second;
+      }
+      ImportMap[MI].push_back(Idx);
+    }
+  }
+
+  // Pass 4: emit code and data, rebasing local control flow.
+  Out.Data.assign(TotalData, 0);
+  Out.BssSize = BssSize;
+  Out.Code.reserve(CodeSize);
+  for (size_t MI = 0; MI < Objects.size(); ++MI) {
+    const Module &M = Objects[MI];
+    const ModuleLayout &L = Layouts[MI];
+    for (Instr I : M.Code) {
+      const OpSig Sig = getOpcodeInfo(I.Op).Sig;
+      if (Sig == OpSig::Br || Sig == OpSig::FBr || Sig == OpSig::Jmp)
+        I.Target += static_cast<int32_t>(L.CodeBase);
+      if (I.Op == Opcode::HCall) {
+        if (I.Imm < 0 ||
+            static_cast<size_t>(I.Imm) >= ImportMap[MI].size()) {
+          Errors.push_back(formatStr("module %zu: hcall index %d invalid",
+                                     MI, I.Imm));
+        } else {
+          I.Imm = static_cast<int32_t>(ImportMap[MI][I.Imm]);
+        }
+      }
+      Out.Code.push_back(I);
+    }
+    if (!M.Data.empty())
+      std::copy(M.Data.begin(), M.Data.end(), Out.Data.begin() + L.DataBase);
+  }
+
+  // Pass 5: apply relocations.
+  for (size_t MI = 0; MI < Objects.size(); ++MI) {
+    const Module &M = Objects[MI];
+    const ModuleLayout &L = Layouts[MI];
+    for (const Reloc &R : M.Relocs) {
+      bool Ok = true;
+      Symbol::KindTy Kind;
+      uint32_t Value = resolveSymbol(MI, R.SymbolId, Ok, Kind);
+      if (!Ok)
+        continue;
+      switch (R.Kind) {
+      case Reloc::CodeTarget: {
+        if (Kind != Symbol::Code) {
+          Errors.push_back("code-target relocation against data symbol");
+          break;
+        }
+        uint32_t At = L.CodeBase + R.Offset;
+        Out.Code[At].Target = static_cast<int32_t>(Value) + R.Addend;
+        break;
+      }
+      case Reloc::ImmValue: {
+        uint32_t At = L.CodeBase + R.Offset;
+        Out.Code[At].Imm += static_cast<int32_t>(Value) + R.Addend;
+        break;
+      }
+      case Reloc::DataWord: {
+        uint32_t At = L.DataBase + R.Offset;
+        uint32_t V = Value + static_cast<uint32_t>(R.Addend);
+        for (int B = 0; B < 4; ++B)
+          Out.Data[At + B] = static_cast<uint8_t>(V >> (8 * B));
+        break;
+      }
+      }
+    }
+  }
+
+  // Pass 6: entry point and exports.
+  auto EntryIt = Globals.find(Opts.EntryName);
+  if (EntryIt == Globals.end()) {
+    Errors.push_back(
+        formatStr("undefined entry symbol '%s'", Opts.EntryName.c_str()));
+  } else {
+    const Symbol &S = Objects[EntryIt->second.ModuleIdx]
+                          .Symbols[EntryIt->second.SymbolIdx];
+    if (S.Kind != Symbol::Code)
+      Errors.push_back("entry symbol is not code");
+    else
+      Out.EntryIndex = resolveLocal(EntryIt->second.ModuleIdx, S);
+  }
+  for (const auto &[Name, Def] : Globals) {
+    const Symbol &S = Objects[Def.ModuleIdx].Symbols[Def.SymbolIdx];
+    Out.Exports.push_back({Name, S.Kind, resolveLocal(Def.ModuleIdx, S)});
+  }
+
+  return Errors.size() == FirstError;
+}

@@ -1,0 +1,38 @@
+//===- vm/Linker.h - OmniVM module linker -----------------------*- C++ -*-===//
+///
+/// \file
+/// Links OmniVM object modules into a single executable module: lays out
+/// code and data, resolves symbols across modules, merges import tables,
+/// and applies relocations. In Omniware, symbols are resolved at link /
+/// translation time, so the running system pays no dynamic-linking cost
+/// (§4.2 of the paper: no global-pointer save/restore on calls).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_LINKER_H
+#define OMNI_VM_LINKER_H
+
+#include "vm/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace vm {
+
+/// Linker configuration.
+struct LinkOptions {
+  /// Data segment base address the executable is linked for.
+  uint32_t DataBase = DefaultSegmentBase;
+  /// Name of the entry symbol.
+  std::string EntryName = "main";
+};
+
+/// Links \p Objects into an executable. Returns true on success; on failure
+/// fills \p Errors (undefined/duplicate symbols, malformed relocations).
+bool link(const std::vector<Module> &Objects, const LinkOptions &Opts,
+          Module &Out, std::vector<std::string> &Errors);
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_LINKER_H

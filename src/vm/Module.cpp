@@ -1,0 +1,239 @@
+//===- vm/Module.cpp ------------------------------------------------------===//
+
+#include "vm/Module.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+using namespace omni::vm;
+
+const ExportEntry *Module::findExport(const std::string &Name) const {
+  for (const ExportEntry &E : Exports)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+std::string Module::printCode() const {
+  std::string Out;
+  for (size_t I = 0; I < Code.size(); ++I)
+    appendFormat(Out, "@%-5zu %s\n", I, printInstr(Code[I]).c_str());
+  return Out;
+}
+
+namespace {
+
+/// Little-endian byte writer for the OWX image.
+class Writer {
+public:
+  explicit Writer(std::vector<uint8_t> &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void bytes(const std::vector<uint8_t> &B) {
+    u32(static_cast<uint32_t>(B.size()));
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+
+private:
+  std::vector<uint8_t> &Out;
+};
+
+/// Bounds-checked little-endian reader; all methods fail gracefully so that
+/// hostile images cannot crash the host.
+class Reader {
+public:
+  Reader(const std::vector<uint8_t> &In) : In(In) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > In.size())
+      return false;
+    V = In[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(In[Pos + I]) << (8 * I);
+    Pos += 4;
+    return true;
+  }
+  bool i32(int32_t &V) {
+    uint32_t U;
+    if (!u32(U))
+      return false;
+    V = static_cast<int32_t>(U);
+    return true;
+  }
+  bool str(std::string &S, uint32_t MaxLen = 1u << 20) {
+    uint32_t Len;
+    if (!u32(Len) || Len > MaxLen || Pos + Len > In.size())
+      return false;
+    S.assign(In.begin() + Pos, In.begin() + Pos + Len);
+    Pos += Len;
+    return true;
+  }
+  bool bytes(std::vector<uint8_t> &B, uint32_t MaxLen = 1u << 28) {
+    uint32_t Len;
+    if (!u32(Len) || Len > MaxLen || Pos + Len > In.size())
+      return false;
+    B.assign(In.begin() + Pos, In.begin() + Pos + Len);
+    Pos += Len;
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &In;
+  size_t Pos = 0;
+};
+
+constexpr uint32_t OwxMagic = 0x3158574fu; // "OWX1"
+constexpr uint32_t MaxCount = 1u << 24;
+
+} // namespace
+
+std::vector<uint8_t> Module::serialize() const {
+  std::vector<uint8_t> Out;
+  Writer W(Out);
+  W.u32(OwxMagic);
+  W.u32(static_cast<uint32_t>(Code.size()));
+  for (const Instr &I : Code) {
+    W.u8(static_cast<uint8_t>(I.Op));
+    W.u8(I.Rd);
+    W.u8(I.Rs1);
+    W.u8(I.Rs2);
+    W.u8(I.UsesImm ? 1 : 0);
+    W.i32(I.Imm);
+    W.i32(I.Target);
+  }
+  W.bytes(Data);
+  W.u32(BssSize);
+  W.u32(LinkBase);
+  W.u32(EntryIndex);
+  W.u32(static_cast<uint32_t>(Imports.size()));
+  for (const std::string &S : Imports)
+    W.str(S);
+  W.u32(static_cast<uint32_t>(Symbols.size()));
+  for (const Symbol &S : Symbols) {
+    W.u8(S.Kind);
+    W.str(S.Name);
+    W.u32(S.Value);
+    W.u8((S.Defined ? 1 : 0) | (S.Global ? 2 : 0));
+  }
+  W.u32(static_cast<uint32_t>(Relocs.size()));
+  for (const Reloc &R : Relocs) {
+    W.u8(R.Kind);
+    W.u32(R.Offset);
+    W.u32(R.SymbolId);
+    W.i32(R.Addend);
+  }
+  W.u32(static_cast<uint32_t>(Exports.size()));
+  for (const ExportEntry &E : Exports) {
+    W.str(E.Name);
+    W.u8(E.Kind);
+    W.u32(E.Value);
+  }
+  return Out;
+}
+
+bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out,
+                         std::string &Error) {
+  Out = Module();
+  Reader R(Bytes);
+  uint32_t Magic;
+  if (!R.u32(Magic) || Magic != OwxMagic) {
+    Error = "not an OWX module (bad magic)";
+    return false;
+  }
+  uint32_t NumInstrs;
+  if (!R.u32(NumInstrs) || NumInstrs > MaxCount) {
+    Error = "bad instruction count";
+    return false;
+  }
+  Out.Code.resize(NumInstrs);
+  for (Instr &I : Out.Code) {
+    uint8_t Op, Flags;
+    if (!R.u8(Op) || !R.u8(I.Rd) || !R.u8(I.Rs1) || !R.u8(I.Rs2) ||
+        !R.u8(Flags) || !R.i32(I.Imm) || !R.i32(I.Target)) {
+      Error = "truncated code section";
+      return false;
+    }
+    if (Op >= NumOpcodes) {
+      Error = formatStr("invalid opcode %u", Op);
+      return false;
+    }
+    I.Op = static_cast<Opcode>(Op);
+    I.UsesImm = (Flags & 1) != 0;
+  }
+  if (!R.bytes(Out.Data) || !R.u32(Out.BssSize) || !R.u32(Out.LinkBase) ||
+      !R.u32(Out.EntryIndex)) {
+    Error = "truncated data section";
+    return false;
+  }
+  uint32_t N;
+  if (!R.u32(N) || N > MaxCount) {
+    Error = "bad import count";
+    return false;
+  }
+  Out.Imports.resize(N);
+  for (std::string &S : Out.Imports)
+    if (!R.str(S)) {
+      Error = "truncated import table";
+      return false;
+    }
+  if (!R.u32(N) || N > MaxCount) {
+    Error = "bad symbol count";
+    return false;
+  }
+  Out.Symbols.resize(N);
+  for (Symbol &S : Out.Symbols) {
+    uint8_t Kind, Flags;
+    if (!R.u8(Kind) || !R.str(S.Name) || !R.u32(S.Value) || !R.u8(Flags) ||
+        Kind > Symbol::Data) {
+      Error = "truncated symbol table";
+      return false;
+    }
+    S.Kind = static_cast<Symbol::KindTy>(Kind);
+    S.Defined = (Flags & 1) != 0;
+    S.Global = (Flags & 2) != 0;
+  }
+  if (!R.u32(N) || N > MaxCount) {
+    Error = "bad reloc count";
+    return false;
+  }
+  Out.Relocs.resize(N);
+  for (Reloc &Rl : Out.Relocs) {
+    uint8_t Kind;
+    if (!R.u8(Kind) || !R.u32(Rl.Offset) || !R.u32(Rl.SymbolId) ||
+        !R.i32(Rl.Addend) || Kind > Reloc::DataWord) {
+      Error = "truncated reloc table";
+      return false;
+    }
+    Rl.Kind = static_cast<Reloc::KindTy>(Kind);
+  }
+  if (!R.u32(N) || N > MaxCount) {
+    Error = "bad export count";
+    return false;
+  }
+  Out.Exports.resize(N);
+  for (ExportEntry &E : Out.Exports) {
+    uint8_t Kind;
+    if (!R.str(E.Name) || !R.u8(Kind) || !R.u32(E.Value) ||
+        Kind > Symbol::Data) {
+      Error = "truncated export table";
+      return false;
+    }
+    E.Kind = static_cast<Symbol::KindTy>(Kind);
+  }
+  return true;
+}

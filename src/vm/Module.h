@@ -1,0 +1,91 @@
+//===- vm/Module.h - Omniware mobile code module format ---------*- C++ -*-===//
+///
+/// \file
+/// The OWX ("Omniware executable") module format. A module holds OmniVM code
+/// (instruction-indexed), initialized data, a bss size, imports (names of
+/// host functions reachable through call gates), exports, and — at the
+/// object-file stage — symbols and relocations consumed by the linker.
+///
+/// After linking, all relocations are resolved: code targets are instruction
+/// indices, data references are absolute virtual addresses inside the data
+/// segment the module was linked for.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_MODULE_H
+#define OMNI_VM_MODULE_H
+
+#include "vm/AddressSpace.h"
+#include "vm/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace vm {
+
+/// A named location in a module.
+struct Symbol {
+  enum KindTy : uint8_t { Code, Data } Kind = Code;
+  std::string Name;
+  uint32_t Value = 0; ///< code index, or offset into data (object stage)
+  bool Defined = false;
+  bool Global = false; ///< visible to the linker / exported
+};
+
+/// A fixup to apply when symbol values become known.
+struct Reloc {
+  enum KindTy : uint8_t {
+    CodeTarget, ///< Instr.Target at code index Offset = code index of symbol
+    ImmValue,   ///< Instr.Imm at code index Offset += symbol value (+ addend)
+    DataWord,   ///< 32-bit LE word at data offset Offset = symbol (+ addend)
+  } Kind = CodeTarget;
+  uint32_t Offset = 0;
+  uint32_t SymbolId = 0;
+  int32_t Addend = 0;
+};
+
+/// One exported definition of a linked module.
+struct ExportEntry {
+  std::string Name;
+  Symbol::KindTy Kind = Symbol::Code;
+  uint32_t Value = 0; ///< code index or absolute data address
+};
+
+/// A mobile code module (object file or linked executable).
+struct Module {
+  std::vector<Instr> Code;
+  std::vector<uint8_t> Data;
+  uint32_t BssSize = 0;
+  /// Data segment base the module was linked against (executables only).
+  uint32_t LinkBase = 0;
+  /// Entry point (code index of "main"); ~0u when not an executable.
+  uint32_t EntryIndex = ~0u;
+
+  std::vector<std::string> Imports; ///< hcall imm indexes into this
+  std::vector<Symbol> Symbols;      ///< object stage only
+  std::vector<Reloc> Relocs;        ///< object stage only
+  std::vector<ExportEntry> Exports;
+
+  bool isExecutable() const { return Relocs.empty() && EntryIndex != ~0u; }
+
+  /// Finds an export by name; returns nullptr when absent.
+  const ExportEntry *findExport(const std::string &Name) const;
+
+  /// Serializes to the OWX binary format.
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses an OWX image. Returns false and sets \p Error on malformed
+  /// input (never crashes on hostile bytes; this is the wire format for
+  /// untrusted mobile code).
+  static bool deserialize(const std::vector<uint8_t> &Bytes, Module &Out,
+                          std::string &Error);
+
+  /// Renders the code section as assembly with "@index:" markers (debug).
+  std::string printCode() const;
+};
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_MODULE_H

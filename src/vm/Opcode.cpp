@@ -1,0 +1,98 @@
+//===- vm/Opcode.cpp ------------------------------------------------------===//
+
+#include "vm/Opcode.h"
+
+#include <cassert>
+
+using namespace omni;
+using namespace omni::vm;
+
+static const OpcodeInfo InfoTable[] = {
+#define X(Name, Mn, Sig, RdFp, Rs1Fp, Rs2Fp)                                   \
+  {Mn, OpSig::Sig, RdFp != 0, Rs1Fp != 0, Rs2Fp != 0},
+    OMNI_OPCODE_LIST(X)
+#undef X
+};
+
+const OpcodeInfo &omni::vm::getOpcodeInfo(Opcode Op) {
+  unsigned Idx = static_cast<unsigned>(Op);
+  assert(Idx < NumOpcodes && "invalid opcode");
+  return InfoTable[Idx];
+}
+
+bool omni::vm::isCondBranch(Opcode Op) {
+  OpSig Sig = getOpcodeInfo(Op).Sig;
+  return Sig == OpSig::Br || Sig == OpSig::FBr;
+}
+
+bool omni::vm::isControlFlow(Opcode Op) {
+  OpSig Sig = getOpcodeInfo(Op).Sig;
+  return Sig == OpSig::Br || Sig == OpSig::FBr || Sig == OpSig::Jmp ||
+         Sig == OpSig::JmpR || Op == Opcode::Halt || Op == Opcode::Break;
+}
+
+bool omni::vm::isLoad(Opcode Op) {
+  switch (Op) {
+  case Opcode::Lb:
+  case Opcode::Lbu:
+  case Opcode::Lh:
+  case Opcode::Lhu:
+  case Opcode::Lw:
+  case Opcode::Lfs:
+  case Opcode::Lfd:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool omni::vm::isStore(Opcode Op) {
+  switch (Op) {
+  case Opcode::Sb:
+  case Opcode::Sh:
+  case Opcode::Sw:
+  case Opcode::Sfs:
+  case Opcode::Sfd:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Opcode omni::vm::invertBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+    return Opcode::Bne;
+  case Opcode::Bne:
+    return Opcode::Beq;
+  case Opcode::Blt:
+    return Opcode::Bge;
+  case Opcode::Ble:
+    return Opcode::Bgt;
+  case Opcode::Bgt:
+    return Opcode::Ble;
+  case Opcode::Bge:
+    return Opcode::Blt;
+  case Opcode::Bltu:
+    return Opcode::Bgeu;
+  case Opcode::Bleu:
+    return Opcode::Bgtu;
+  case Opcode::Bgtu:
+    return Opcode::Bleu;
+  case Opcode::Bgeu:
+    return Opcode::Bltu;
+  case Opcode::BfeqS:
+    return Opcode::BfneS;
+  case Opcode::BfneS:
+    return Opcode::BfeqS;
+  case Opcode::BfeqD:
+    return Opcode::BfneD;
+  case Opcode::BfneD:
+    return Opcode::BfeqD;
+  default:
+    // blt/ble on FP cannot be inverted by opcode alone because of NaNs; the
+    // code generator never asks for those inversions.
+    assert(false && "branch not invertible");
+    return Op;
+  }
+}

@@ -1,0 +1,184 @@
+//===- vm/Opcode.h - OmniVM opcode definitions ------------------*- C++ -*-===//
+///
+/// \file
+/// The OmniVM instruction set. OmniVM is the software-defined computer
+/// architecture of the Omniware mobile-code system (PLDI'96): a RISC-like
+/// load/store machine with 16 integer and 16 floating-point registers,
+/// 32-bit immediates everywhere, general compare-and-branch instructions,
+/// two memory addressing modes (register+imm32 and register+register), and
+/// endian-neutral byte/halfword extract/insert instructions.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_OPCODE_H
+#define OMNI_VM_OPCODE_H
+
+#include <cstdint>
+
+namespace omni {
+namespace vm {
+
+/// Operand signature of an opcode; drives the assembler, disassembler,
+/// verifier and encoder generically.
+enum class OpSig : uint8_t {
+  None, ///< no operands (nop, halt, break)
+  RRR,  ///< rd, rs1, rs2-or-imm32
+  RR,   ///< rd, rs1 (moves, fp unary, conversions)
+  RI,   ///< rd, imm32 (li)
+  Mem,  ///< value-reg, [base + imm32] or [base + index-reg]
+  Br,   ///< rs1, rs2-or-imm32, target
+  FBr,  ///< fs1, fs2, target
+  Jmp,  ///< target (j, jal)
+  JmpR, ///< rs1 (jr, jalr; link register is always r15)
+  Host, ///< imm32 = import index (hcall)
+  RRI,  ///< rd, rs1, imm (extract/insert with byte index)
+};
+
+// X-macro: OMNI_OPCODE(Name, Mnemonic, Sig, RdFp, Rs1Fp, Rs2Fp)
+#define OMNI_OPCODE_LIST(X)                                                    \
+  /* Integer ALU */                                                            \
+  X(Add, "add", RRR, 0, 0, 0)                                                  \
+  X(Sub, "sub", RRR, 0, 0, 0)                                                  \
+  X(Mul, "mul", RRR, 0, 0, 0)                                                  \
+  X(Div, "div", RRR, 0, 0, 0)                                                  \
+  X(DivU, "divu", RRR, 0, 0, 0)                                                \
+  X(Rem, "rem", RRR, 0, 0, 0)                                                  \
+  X(RemU, "remu", RRR, 0, 0, 0)                                                \
+  X(And, "and", RRR, 0, 0, 0)                                                  \
+  X(Or, "or", RRR, 0, 0, 0)                                                    \
+  X(Xor, "xor", RRR, 0, 0, 0)                                                  \
+  X(Sll, "sll", RRR, 0, 0, 0)                                                  \
+  X(Srl, "srl", RRR, 0, 0, 0)                                                  \
+  X(Sra, "sra", RRR, 0, 0, 0)                                                  \
+  /* Moves and constants */                                                    \
+  X(Mov, "mov", RR, 0, 0, 0)                                                   \
+  X(Li, "li", RI, 0, 0, 0)                                                     \
+  /* Endian-neutral data manipulation */                                       \
+  X(ExtB, "extb", RRI, 0, 0, 0)                                                \
+  X(ExtH, "exth", RRI, 0, 0, 0)                                                \
+  X(InsB, "insb", RRI, 0, 0, 0)                                                \
+  X(InsH, "insh", RRI, 0, 0, 0)                                                \
+  /* Integer loads/stores (value reg, base, index-or-imm) */                   \
+  X(Lb, "lb", Mem, 0, 0, 0)                                                    \
+  X(Lbu, "lbu", Mem, 0, 0, 0)                                                  \
+  X(Lh, "lh", Mem, 0, 0, 0)                                                    \
+  X(Lhu, "lhu", Mem, 0, 0, 0)                                                  \
+  X(Lw, "lw", Mem, 0, 0, 0)                                                    \
+  X(Sb, "sb", Mem, 0, 0, 0)                                                    \
+  X(Sh, "sh", Mem, 0, 0, 0)                                                    \
+  X(Sw, "sw", Mem, 0, 0, 0)                                                    \
+  /* FP loads/stores */                                                        \
+  X(Lfs, "lfs", Mem, 1, 0, 0)                                                  \
+  X(Lfd, "lfd", Mem, 1, 0, 0)                                                  \
+  X(Sfs, "sfs", Mem, 1, 0, 0)                                                  \
+  X(Sfd, "sfd", Mem, 1, 0, 0)                                                  \
+  /* FP arithmetic */                                                          \
+  X(FAddS, "fadd.s", RRR, 1, 1, 1)                                             \
+  X(FSubS, "fsub.s", RRR, 1, 1, 1)                                             \
+  X(FMulS, "fmul.s", RRR, 1, 1, 1)                                             \
+  X(FDivS, "fdiv.s", RRR, 1, 1, 1)                                             \
+  X(FAddD, "fadd.d", RRR, 1, 1, 1)                                             \
+  X(FSubD, "fsub.d", RRR, 1, 1, 1)                                             \
+  X(FMulD, "fmul.d", RRR, 1, 1, 1)                                             \
+  X(FDivD, "fdiv.d", RRR, 1, 1, 1)                                             \
+  X(FNegS, "fneg.s", RR, 1, 1, 0)                                              \
+  X(FNegD, "fneg.d", RR, 1, 1, 0)                                              \
+  X(FMov, "fmov", RR, 1, 1, 0)                                                 \
+  /* Conversions: CvtXToY converts X to Y. w = 32-bit int, s/d = float. */     \
+  X(CvtWToS, "cvt.w.s", RR, 1, 0, 0)                                           \
+  X(CvtWToD, "cvt.w.d", RR, 1, 0, 0)                                           \
+  X(CvtSToW, "cvt.s.w", RR, 0, 1, 0)                                           \
+  X(CvtDToW, "cvt.d.w", RR, 0, 1, 0)                                           \
+  X(CvtSToD, "cvt.s.d", RR, 1, 1, 0)                                           \
+  X(CvtDToS, "cvt.d.s", RR, 1, 1, 0)                                           \
+  /* Compare-and-branch, integer (rs2 may be imm32) */                         \
+  X(Beq, "beq", Br, 0, 0, 0)                                                   \
+  X(Bne, "bne", Br, 0, 0, 0)                                                   \
+  X(Blt, "blt", Br, 0, 0, 0)                                                   \
+  X(Ble, "ble", Br, 0, 0, 0)                                                   \
+  X(Bgt, "bgt", Br, 0, 0, 0)                                                   \
+  X(Bge, "bge", Br, 0, 0, 0)                                                   \
+  X(Bltu, "bltu", Br, 0, 0, 0)                                                 \
+  X(Bleu, "bleu", Br, 0, 0, 0)                                                 \
+  X(Bgtu, "bgtu", Br, 0, 0, 0)                                                 \
+  X(Bgeu, "bgeu", Br, 0, 0, 0)                                                 \
+  /* Compare-and-branch, floating point */                                     \
+  X(BfeqS, "bfeq.s", FBr, 0, 1, 1)                                             \
+  X(BfneS, "bfne.s", FBr, 0, 1, 1)                                             \
+  X(BfltS, "bflt.s", FBr, 0, 1, 1)                                             \
+  X(BfleS, "bfle.s", FBr, 0, 1, 1)                                             \
+  X(BfeqD, "bfeq.d", FBr, 0, 1, 1)                                             \
+  X(BfneD, "bfne.d", FBr, 0, 1, 1)                                             \
+  X(BfltD, "bflt.d", FBr, 0, 1, 1)                                             \
+  X(BfleD, "bfle.d", FBr, 0, 1, 1)                                             \
+  /* Control transfer */                                                       \
+  X(J, "j", Jmp, 0, 0, 0)                                                      \
+  X(Jal, "jal", Jmp, 0, 0, 0)                                                  \
+  X(Jr, "jr", JmpR, 0, 0, 0)                                                   \
+  X(Jalr, "jalr", JmpR, 0, 0, 0)                                               \
+  /* Runtime interface */                                                      \
+  X(HCall, "hcall", Host, 0, 0, 0)                                             \
+  X(Nop, "nop", None, 0, 0, 0)                                                 \
+  X(Break, "break", None, 0, 0, 0)                                             \
+  X(Halt, "halt", None, 0, 0, 0)
+
+/// OmniVM opcodes.
+enum class Opcode : uint8_t {
+#define X(Name, Mn, Sig, RdFp, Rs1Fp, Rs2Fp) Name,
+  OMNI_OPCODE_LIST(X)
+#undef X
+};
+
+/// Number of opcodes (for table sizing).
+constexpr unsigned NumOpcodes =
+#define X(Name, Mn, Sig, RdFp, Rs1Fp, Rs2Fp) +1
+    OMNI_OPCODE_LIST(X)
+#undef X
+    ;
+
+/// Static properties of one opcode.
+struct OpcodeInfo {
+  const char *Mnemonic;
+  OpSig Sig;
+  bool RdIsFp;
+  bool Rs1IsFp;
+  bool Rs2IsFp;
+};
+
+/// Returns the static properties of \p Op.
+const OpcodeInfo &getOpcodeInfo(Opcode Op);
+
+/// Returns the mnemonic of \p Op.
+inline const char *getMnemonic(Opcode Op) { return getOpcodeInfo(Op).Mnemonic; }
+
+/// True for conditional branches (integer or fp compare-and-branch).
+bool isCondBranch(Opcode Op);
+
+/// True for any instruction that can transfer control (branches and jumps).
+bool isControlFlow(Opcode Op);
+
+/// True for memory loads (integer or fp).
+bool isLoad(Opcode Op);
+
+/// True for memory stores (integer or fp).
+bool isStore(Opcode Op);
+
+/// For a conditional branch, returns the branch with inverted condition.
+Opcode invertBranch(Opcode Op);
+
+/// Number of OmniVM integer registers.
+constexpr unsigned NumIntRegs = 16;
+/// Number of OmniVM floating-point registers.
+constexpr unsigned NumFpRegs = 16;
+
+/// ABI register assignments.
+constexpr unsigned RegSp = 13; ///< stack pointer
+constexpr unsigned RegFp = 14; ///< frame pointer
+constexpr unsigned RegRa = 15; ///< return address / link register
+
+/// Value in the link register that means "return to host".
+constexpr uint32_t ReturnToHost = 0x7fffffffu;
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_OPCODE_H

@@ -1,0 +1,44 @@
+//===- vm/Trap.cpp --------------------------------------------------------===//
+
+#include "vm/Trap.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+using namespace omni::vm;
+
+const char *omni::vm::getTrapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::Halt:
+    return "halt";
+  case TrapKind::AccessViolation:
+    return "access-violation";
+  case TrapKind::BadJump:
+    return "bad-jump";
+  case TrapKind::DivideByZero:
+    return "divide-by-zero";
+  case TrapKind::Break:
+    return "break";
+  case TrapKind::StepLimit:
+    return "step-limit";
+  case TrapKind::HostError:
+    return "host-error";
+  }
+  return "unknown";
+}
+
+std::string omni::vm::printTrap(const Trap &T) {
+  switch (T.Kind) {
+  case TrapKind::Halt:
+    return formatStr("halt(code=%d)", T.Code);
+  case TrapKind::AccessViolation:
+    return formatStr("access-violation(addr=0x%08x, pc=%u)", T.Addr,
+                     T.FaultPc);
+  case TrapKind::BadJump:
+    return formatStr("bad-jump(target=0x%08x, pc=%u)", T.Addr, T.FaultPc);
+  default:
+    return getTrapKindName(T.Kind);
+  }
+}

@@ -1,0 +1,81 @@
+//===- vm/Trap.h - Execution trap / exception model -------------*- C++ -*-===//
+///
+/// \file
+/// The OmniVM virtual exception model. Every execution engine (the OmniVM
+/// interpreter and the four native-target simulators) reports termination
+/// through a Trap value; the Omniware runtime turns traps into host-visible
+/// events or delivers them to the module's registered handler.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_TRAP_H
+#define OMNI_VM_TRAP_H
+
+#include <cstdint>
+#include <string>
+
+namespace omni {
+namespace vm {
+
+/// Why execution stopped.
+enum class TrapKind : uint8_t {
+  None,            ///< still running (internal use)
+  Halt,            ///< normal termination; exit code available
+  AccessViolation, ///< unauthorized memory access (the SDCA's segment fault)
+  BadJump,         ///< control transfer outside the code segment
+  DivideByZero,    ///< integer division by zero
+  Break,           ///< explicit break instruction
+  StepLimit,       ///< execution budget exhausted
+  HostError,       ///< a host call gate rejected the request
+};
+
+/// Result of running a module on any execution engine.
+struct Trap {
+  TrapKind Kind = TrapKind::None;
+  /// Faulting data address (AccessViolation) or target (BadJump).
+  uint32_t Addr = 0;
+  /// Exit code for Halt; host-defined code for HostError.
+  int32_t Code = 0;
+  /// Code index of the faulting instruction, when known.
+  uint32_t FaultPc = 0;
+
+  static Trap halt(int32_t ExitCode) {
+    Trap T;
+    T.Kind = TrapKind::Halt;
+    T.Code = ExitCode;
+    return T;
+  }
+  static Trap accessViolation(uint32_t Addr) {
+    Trap T;
+    T.Kind = TrapKind::AccessViolation;
+    T.Addr = Addr;
+    return T;
+  }
+  static Trap badJump(uint32_t Target) {
+    Trap T;
+    T.Kind = TrapKind::BadJump;
+    T.Addr = Target;
+    return T;
+  }
+  static Trap divideByZero() {
+    Trap T;
+    T.Kind = TrapKind::DivideByZero;
+    return T;
+  }
+  static Trap none() { return Trap(); }
+
+  bool isHalt() const { return Kind == TrapKind::Halt; }
+  bool isFault() const {
+    return Kind != TrapKind::None && Kind != TrapKind::Halt;
+  }
+};
+
+/// Human-readable name of a trap kind.
+const char *getTrapKindName(TrapKind Kind);
+
+/// Renders a trap for error messages.
+std::string printTrap(const Trap &T);
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_TRAP_H

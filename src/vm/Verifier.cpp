@@ -1,0 +1,147 @@
+//===- vm/Verifier.cpp ----------------------------------------------------===//
+
+#include "vm/Verifier.h"
+
+#include "support/Format.h"
+#include "vm/Module.h"
+
+using namespace omni;
+using namespace omni::vm;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Module &M, std::vector<std::string> &Errors)
+      : M(M), Errors(Errors) {}
+
+  void err(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list Ap;
+    va_start(Ap, Fmt);
+    char Buf[256];
+    std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+    va_end(Ap);
+    Errors.push_back(Buf);
+  }
+
+  void checkReg(size_t Pc, unsigned Reg, bool IsFp, const char *What) {
+    unsigned Limit = IsFp ? NumFpRegs : NumIntRegs;
+    if (Reg >= Limit)
+      err("@%zu: %s register %u out of range", Pc, What, Reg);
+  }
+
+  /// Checks one instruction's static constraints.
+  void checkInstr(size_t Pc, const Instr &I) {
+    const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+    size_t CodeSize = M.Code.size();
+    switch (Info.Sig) {
+    case OpSig::None:
+      break;
+    case OpSig::RRR:
+      checkReg(Pc, I.Rd, Info.RdIsFp, "dest");
+      checkReg(Pc, I.Rs1, Info.Rs1IsFp, "src1");
+      if (!I.UsesImm)
+        checkReg(Pc, I.Rs2, Info.Rs2IsFp, "src2");
+      if (Info.Rs2IsFp && I.UsesImm)
+        err("@%zu: fp operation cannot take an immediate", Pc);
+      break;
+    case OpSig::RR:
+      checkReg(Pc, I.Rd, Info.RdIsFp, "dest");
+      checkReg(Pc, I.Rs1, Info.Rs1IsFp, "src");
+      break;
+    case OpSig::RI:
+      checkReg(Pc, I.Rd, Info.RdIsFp, "dest");
+      break;
+    case OpSig::RRI:
+      checkReg(Pc, I.Rd, Info.RdIsFp, "dest");
+      checkReg(Pc, I.Rs1, Info.Rs1IsFp, "src");
+      break;
+    case OpSig::Mem:
+      checkReg(Pc, I.Rd, Info.RdIsFp, "value");
+      if (I.Rs1 != NoBaseReg)
+        checkReg(Pc, I.Rs1, /*IsFp=*/false, "base");
+      else if (!I.UsesImm)
+        err("@%zu: absolute addressing requires an immediate", Pc);
+      if (!I.UsesImm)
+        checkReg(Pc, I.Rs2, /*IsFp=*/false, "index");
+      break;
+    case OpSig::Br:
+      checkReg(Pc, I.Rs1, /*IsFp=*/false, "src1");
+      if (!I.UsesImm)
+        checkReg(Pc, I.Rs2, /*IsFp=*/false, "src2");
+      checkTarget(Pc, I.Target);
+      break;
+    case OpSig::FBr:
+      checkReg(Pc, I.Rs1, /*IsFp=*/true, "src1");
+      checkReg(Pc, I.Rs2, /*IsFp=*/true, "src2");
+      checkTarget(Pc, I.Target);
+      break;
+    case OpSig::Jmp:
+      checkTarget(Pc, I.Target);
+      break;
+    case OpSig::JmpR:
+      checkReg(Pc, I.Rs1, /*IsFp=*/false, "target");
+      break;
+    case OpSig::Host:
+      if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= M.Imports.size())
+        err("@%zu: host call index %d out of range (%zu imports)", Pc, I.Imm,
+            M.Imports.size());
+      break;
+    }
+    (void)CodeSize;
+  }
+
+  void checkTarget(size_t Pc, int32_t Target) {
+    if (Target < 0 || static_cast<size_t>(Target) >= M.Code.size())
+      err("@%zu: control transfer target %d out of range", Pc, Target);
+  }
+
+  const Module &M;
+  std::vector<std::string> &Errors;
+};
+
+} // namespace
+
+bool omni::vm::verifyExecutable(const Module &M,
+                                std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  VerifierImpl V(M, Errors);
+  if (!M.Relocs.empty())
+    V.err("executable still has %zu unresolved relocations", M.Relocs.size());
+  if (M.EntryIndex >= M.Code.size())
+    V.err("entry point %u out of range", M.EntryIndex);
+  for (size_t Pc = 0; Pc < M.Code.size(); ++Pc)
+    V.checkInstr(Pc, M.Code[Pc]);
+  return Errors.size() == Before;
+}
+
+bool omni::vm::verifyObject(const Module &M,
+                            std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  VerifierImpl V(M, Errors);
+  for (size_t Pc = 0; Pc < M.Code.size(); ++Pc) {
+    const Instr &I = M.Code[Pc];
+    // Branch targets may be patched by relocations later; only validate
+    // non-relocated fields here.
+    const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+    if (Info.Sig != OpSig::Br && Info.Sig != OpSig::FBr &&
+        Info.Sig != OpSig::Jmp && Info.Sig != OpSig::Host)
+      V.checkInstr(Pc, I);
+  }
+  for (const Reloc &R : M.Relocs) {
+    if (R.SymbolId >= M.Symbols.size())
+      V.err("relocation references invalid symbol %u", R.SymbolId);
+    switch (R.Kind) {
+    case Reloc::CodeTarget:
+    case Reloc::ImmValue:
+      if (R.Offset >= M.Code.size())
+        V.err("relocation offset @%u out of code range", R.Offset);
+      break;
+    case Reloc::DataWord:
+      if (R.Offset + 4 > M.Data.size())
+        V.err("data relocation offset %u out of range", R.Offset);
+      break;
+    }
+  }
+  return Errors.size() == Before;
+}

@@ -1,0 +1,32 @@
+//===- vm/Verifier.h - Load-time module verification ------------*- C++ -*-===//
+///
+/// \file
+/// Structural verification of untrusted OWX modules before translation or
+/// interpretation: branch targets in bounds, register indices valid, host
+/// call indices resolved. The verifier complements SFI: SFI confines the
+/// dynamic behaviour of verified code, the verifier rejects images that are
+/// not well-formed OmniVM programs at all.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_VM_VERIFIER_H
+#define OMNI_VM_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace vm {
+
+struct Module;
+
+/// Verifies \p M as a linked executable. Returns true when well-formed;
+/// otherwise appends human-readable problems to \p Errors.
+bool verifyExecutable(const Module &M, std::vector<std::string> &Errors);
+
+/// Verifies \p M as an object (relocatable) module.
+bool verifyObject(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace vm
+} // namespace omni
+
+#endif // OMNI_VM_VERIFIER_H

@@ -1,0 +1,426 @@
+//===- workloads/Workloads.cpp ---------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cstring>
+
+using namespace omni;
+using namespace omni::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// li: lisp interpreter miniature
+//===----------------------------------------------------------------------===//
+
+const char *LiSource = R"MC(
+/* li: a miniature xlisp. Expressions are cons trees in an arena; eval
+   walks them with an environment list. Exercises pointer chasing,
+   recursion, and tag dispatch like the SPEC92 original. */
+void print_int(int);
+void print_char(int);
+
+enum { T_NUM, T_VAR, T_ADD, T_SUB, T_MUL, T_LT, T_IF, T_CALL };
+
+struct cell {
+  int tag;
+  int a;            /* number value / variable index / function index */
+  struct cell *x;   /* operands */
+  struct cell *y;
+  struct cell *z;
+};
+
+struct cell heap[4096];
+int heap_top;
+int cells_made;
+
+struct cell *node(int tag, int a, struct cell *x, struct cell *y,
+                  struct cell *z) {
+  struct cell *c = &heap[heap_top++];
+  c->tag = tag; c->a = a; c->x = x; c->y = y; c->z = z;
+  cells_made++;
+  return c;
+}
+struct cell *num(int v) { return node(T_NUM, v, 0, 0, 0); }
+struct cell *var(int i) { return node(T_VAR, i, 0, 0, 0); }
+struct cell *bin(int tag, struct cell *l, struct cell *r) {
+  return node(tag, 0, l, r, 0);
+}
+struct cell *ifx(struct cell *c, struct cell *t, struct cell *e) {
+  return node(T_IF, 0, c, t, e);
+}
+struct cell *call1(int fn, struct cell *a0) {
+  return node(T_CALL, fn, a0, 0, 0);
+}
+struct cell *call3(int fn, struct cell *a0, struct cell *a1,
+                   struct cell *a2) {
+  return node(T_CALL, fn, a0, a1, a2);
+}
+
+/* function table: body + arity */
+struct cell *fn_body[8];
+int fn_arity[8];
+
+int evals;
+
+int eval(struct cell *e, int *env) {
+  evals++;
+  switch (e->tag) {
+  case T_NUM: return e->a;
+  case T_VAR: return env[e->a];
+  case T_ADD: return eval(e->x, env) + eval(e->y, env);
+  case T_SUB: return eval(e->x, env) - eval(e->y, env);
+  case T_MUL: return eval(e->x, env) * eval(e->y, env);
+  case T_LT:  return eval(e->x, env) < eval(e->y, env);
+  case T_IF:  return eval(e->x, env) ? eval(e->y, env) : eval(e->z, env);
+  default: {
+    /* T_CALL: evaluate arguments, bind a fresh frame */
+    int frame[3];
+    int n = fn_arity[e->a];
+    if (n > 0) frame[0] = eval(e->x, env);
+    if (n > 1) frame[1] = eval(e->y, env);
+    if (n > 2) frame[2] = eval(e->z, env);
+    return eval(fn_body[e->a], frame);
+  }
+  }
+}
+
+int main() {
+  /* (defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) */
+  fn_arity[0] = 1;
+  fn_body[0] = ifx(bin(T_LT, var(0), num(2)),
+                   var(0),
+                   bin(T_ADD,
+                       call1(0, bin(T_SUB, var(0), num(1))),
+                       call1(0, bin(T_SUB, var(0), num(2)))));
+  /* (defun tak (x y z) (if (< y x)
+        (tak (tak (1- x) y z) (tak (1- y) z x) (tak (1- z) x y)) z)) */
+  fn_arity[1] = 3;
+  fn_body[1] = ifx(bin(T_LT, var(1), var(0)),
+                   call3(1,
+                         call3(1, bin(T_SUB, var(0), num(1)), var(1),
+                               var(2)),
+                         call3(1, bin(T_SUB, var(1), num(1)), var(2),
+                               var(0)),
+                         call3(1, bin(T_SUB, var(2), num(1)), var(0),
+                               var(1))),
+                   var(2));
+
+  int env[1];
+  env[0] = 0;
+  int r1 = eval(call1(0, num(16)), env);        /* fib 16 = 987 */
+  int r2 = eval(call3(1, num(12), num(8), num(4)), env); /* tak = 5 */
+  print_int(r1); print_char(' ');
+  print_int(r2); print_char(' ');
+  print_int(evals); print_char(' ');
+  print_int(cells_made); print_char('\n');
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// compress: LZW miniature
+//===----------------------------------------------------------------------===//
+
+const char *CompressSource = R"MC(
+/* compress: LZW with 12-bit codes over synthetic English-ish text.
+   Open-addressed hash table of (prefix, char) -> code, as in the SPEC92
+   original's hot loop. */
+void print_int(int);
+void print_char(int);
+
+enum { INSIZE = 24000, HASHSIZE = 8192, MAXCODE = 4096 };
+
+char input[INSIZE];
+int hash_prefix[HASHSIZE];
+int hash_ch[HASHSIZE];
+int hash_code[HASHSIZE];
+
+unsigned seed = 99991;
+int nextrand(int mod) {
+  seed = seed * 1103515245 + 12345;
+  return (int)((seed >> 16) % (unsigned)mod);
+}
+
+void make_input() {
+  /* word soup with zipf-ish repetition so compression finds structure */
+  char words[16][8];
+  int wlen[16];
+  int w, i, pos = 0;
+  for (w = 0; w < 16; w++) {
+    wlen[w] = 2 + nextrand(5);
+    for (i = 0; i < wlen[w]; i++)
+      words[w][i] = 'a' + nextrand(26);
+  }
+  while (pos < INSIZE - 9) {
+    int pick = nextrand(16);
+    if (pick > 7) pick = nextrand(8); /* skew toward low indices */
+    for (i = 0; i < wlen[pick]; i++) input[pos++] = words[pick][i];
+    input[pos++] = ' ';
+  }
+  while (pos < INSIZE) input[pos++] = ' ';
+}
+
+int main() {
+  make_input();
+  int i;
+  for (i = 0; i < HASHSIZE; i++) hash_code[i] = -1;
+
+  int next_code = 256;
+  int prefix = input[0] & 0xff;
+  unsigned checksum = 5381;
+  int out_codes = 0;
+  int probes = 0;
+
+  for (i = 1; i < INSIZE; i++) {
+    int c = input[i] & 0xff;
+    /* search (prefix, c) */
+    int h = ((prefix << 5) ^ c) & (HASHSIZE - 1);
+    int found = -1;
+    while (hash_code[h] != -1) {
+      probes++;
+      if (hash_prefix[h] == prefix && hash_ch[h] == c) {
+        found = hash_code[h];
+        break;
+      }
+      h = (h + 61) & (HASHSIZE - 1);
+    }
+    if (found != -1) {
+      prefix = found;
+      continue;
+    }
+    /* emit prefix, add (prefix,c) to the table */
+    checksum = checksum * 33 + (unsigned)prefix;
+    out_codes++;
+    if (next_code < MAXCODE) {
+      hash_prefix[h] = prefix;
+      hash_ch[h] = c;
+      hash_code[h] = next_code++;
+    }
+    prefix = c;
+  }
+  checksum = checksum * 33 + (unsigned)prefix;
+  out_codes++;
+
+  print_int((int)(checksum & 0x7fffffff)); print_char(' ');
+  print_int(out_codes); print_char(' ');
+  print_int(next_code); print_char(' ');
+  print_int(probes); print_char('\n');
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// alvinn: neural net miniature
+//===----------------------------------------------------------------------===//
+
+const char *AlvinnSource = R"MC(
+/* alvinn: two-layer perceptron trained by backprop on synthetic road
+   images; double-precision inner products dominate, like the SPEC92
+   original. Sigmoid is rational (no libm in the sandbox). */
+void print_int(int);
+void print_char(int);
+
+enum { IN = 48, HID = 12, OUT = 4, PATTERNS = 8, EPOCHS = 12 };
+
+double w1[HID][IN];
+double w2[OUT][HID];
+double pat_in[PATTERNS][IN];
+double pat_out[PATTERNS][OUT];
+double hid_act[HID];
+double hid_raw[HID];
+double out_act[OUT];
+double out_raw[OUT];
+double out_delta[OUT];
+double hid_delta[HID];
+
+unsigned seed = 424243;
+double frand() {
+  seed = seed * 1103515245 + 12345;
+  return (double)(int)((seed >> 16) & 0x7fff) / 32768.0 - 0.5;
+}
+
+double sigmoid(double x) {
+  double ax = x < 0.0 ? -x : x;
+  return 0.5 + 0.5 * (x / (1.0 + ax));
+}
+double dsigmoid(double x) {
+  double ax = x < 0.0 ? -x : x;
+  double d = 1.0 + ax;
+  return 0.5 / (d * d);
+}
+
+int main() {
+  int i, j, p, e;
+  for (j = 0; j < HID; j++)
+    for (i = 0; i < IN; i++) w1[j][i] = frand();
+  for (j = 0; j < OUT; j++)
+    for (i = 0; i < HID; i++) w2[j][i] = frand();
+  for (p = 0; p < PATTERNS; p++) {
+    /* a "road" centered at column c: bright band across the inputs */
+    int c = (p * IN) / PATTERNS;
+    for (i = 0; i < IN; i++) {
+      int d = i - c;
+      if (d < 0) d = -d;
+      pat_in[p][i] = d < 4 ? 1.0 : 0.1;
+    }
+    for (j = 0; j < OUT; j++)
+      pat_out[p][j] = (p % OUT) == j ? 0.9 : 0.1;
+  }
+
+  double lr = 0.3;
+  double total_err = 0.0;
+  for (e = 0; e < EPOCHS; e++) {
+    total_err = 0.0;
+    for (p = 0; p < PATTERNS; p++) {
+      /* forward */
+      for (j = 0; j < HID; j++) {
+        double s = 0.0;
+        for (i = 0; i < IN; i++) s += w1[j][i] * pat_in[p][i];
+        hid_raw[j] = s;
+        hid_act[j] = sigmoid(s);
+      }
+      for (j = 0; j < OUT; j++) {
+        double s = 0.0;
+        for (i = 0; i < HID; i++) s += w2[j][i] * hid_act[i];
+        out_raw[j] = s;
+        out_act[j] = sigmoid(s);
+      }
+      /* backward */
+      for (j = 0; j < OUT; j++) {
+        double err = pat_out[p][j] - out_act[j];
+        total_err += err * err;
+        out_delta[j] = err * dsigmoid(out_raw[j]);
+      }
+      for (j = 0; j < HID; j++) {
+        double s = 0.0;
+        for (i = 0; i < OUT; i++) s += out_delta[i] * w2[i][j];
+        hid_delta[j] = s * dsigmoid(hid_raw[j]);
+      }
+      for (j = 0; j < OUT; j++)
+        for (i = 0; i < HID; i++)
+          w2[j][i] += lr * out_delta[j] * hid_act[i];
+      for (j = 0; j < HID; j++)
+        for (i = 0; i < IN; i++)
+          w1[j][i] += lr * hid_delta[j] * pat_in[p][i];
+    }
+  }
+
+  /* weight checksum + final error, scaled to integers */
+  double wsum = 0.0;
+  for (j = 0; j < HID; j++)
+    for (i = 0; i < IN; i++) wsum += w1[j][i];
+  for (j = 0; j < OUT; j++)
+    for (i = 0; i < HID; i++) wsum += w2[j][i];
+  print_int((int)(total_err * 1000000.0)); print_char(' ');
+  print_int((int)(wsum * 1000.0)); print_char('\n');
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// eqntott: truth-table sort miniature
+//===----------------------------------------------------------------------===//
+
+const char *EqntottSource = R"MC(
+/* eqntott: sorting product terms of a truth table. The hot spot is
+   cmppt, a lexicographic comparator over vectors of {0,1,2} values,
+   driving quicksort — exactly the SPEC92 profile. */
+void print_int(int);
+void print_char(int);
+
+enum { NTERMS = 160, NVARS = 40 };
+
+char pt[NTERMS][NVARS];
+int order[NTERMS];
+int cmps;
+
+unsigned seed = 777;
+int nextrand(int mod) {
+  seed = seed * 1103515245 + 12345;
+  return (int)((seed >> 16) % (unsigned)mod);
+}
+
+int cmppt(int a, int b) {
+  char *pa = pt[a];
+  char *pb = pt[b];
+  int i;
+  cmps++;
+  for (i = 0; i < NVARS; i++) {
+    if (pa[i] < pb[i]) return -1;
+    if (pa[i] > pb[i]) return 1;
+  }
+  return 0;
+}
+
+void sortpt(int lo, int hi) {
+  if (lo >= hi) return;
+  int pivot = order[(lo + hi) / 2];
+  int i = lo, j = hi;
+  while (i <= j) {
+    while (cmppt(order[i], pivot) < 0) i++;
+    while (cmppt(order[j], pivot) > 0) j--;
+    if (i <= j) {
+      int t = order[i]; order[i] = order[j]; order[j] = t;
+      i++; j--;
+    }
+  }
+  sortpt(lo, j);
+  sortpt(i, hi);
+}
+
+int main() {
+  int t, v;
+  for (t = 0; t < NTERMS; t++) {
+    order[t] = t;
+    for (v = 0; v < NVARS; v++) {
+      int r = nextrand(10);
+      /* mostly don't-cares with sparse 0/1, like real PLA terms */
+      pt[t][v] = r < 6 ? 2 : (r & 1);
+    }
+  }
+  /* duplicate a block of terms so the sort sees equal keys */
+  for (t = 0; t < 24; t++)
+    for (v = 0; v < NVARS; v++)
+      pt[NTERMS - 1 - t][v] = pt[t][v];
+
+  sortpt(0, NTERMS - 1);
+
+  int sorted = 1, distinct = 1;
+  for (t = 1; t < NTERMS; t++) {
+    int c = cmppt(order[t - 1], order[t]);
+    if (c > 0) sorted = 0;
+    if (c != 0) distinct++;
+  }
+  unsigned h = 5381;
+  for (t = 0; t < NTERMS; t++)
+    for (v = 0; v < NVARS; v++)
+      h = h * 31 + (unsigned)pt[order[t]][v];
+
+  print_int(sorted); print_char(' ');
+  print_int(distinct); print_char(' ');
+  print_int(cmps); print_char(' ');
+  print_int((int)(h & 0x7fffffff)); print_char('\n');
+  return 0;
+}
+)MC";
+
+Workload Table[NumWorkloads] = {
+    {"li", LiSource, "987 5 45198 44\n", false},
+    {"compress", CompressSource, "1450125514 3115 3370 26351\n", false},
+    {"alvinn", AlvinnSource, "3183146 1256\n", true},
+    {"eqntott", EqntottSource, "1 136 1742 644029541\n", false},
+};
+
+} // namespace
+
+const Workload &omni::workloads::getWorkload(unsigned I) {
+  return Table[I % NumWorkloads];
+}
+
+const Workload *omni::workloads::findWorkload(const char *Name) {
+  for (Workload &W : Table)
+    if (std::strcmp(W.Name, Name) == 0)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,48 @@
+//===- workloads/Workloads.h - SPEC92-miniature benchmark programs -*-C++-*-===//
+///
+/// \file
+/// The four benchmark programs of the paper's evaluation — li, compress,
+/// alvinn, eqntott — as deterministic MiniC miniatures with the same
+/// hot-loop character as the SPEC92 originals (whose reference inputs are
+/// unavailable; see DESIGN.md):
+///
+///  * li       — a lisp interpreter evaluating recursive functions over
+///               cons cells (pointer chasing, recursion, dispatch);
+///  * compress — LZW compression of synthetic text (hash table probing,
+///               byte loads/stores);
+///  * alvinn   — two-layer neural network forward+backprop training
+///               (double-precision array loops);
+///  * eqntott  — bit-vector truth-table sorting dominated by a cmppt-style
+///               comparator (compare-heavy quicksort).
+///
+/// Each program prints a checksum; ExpectedOutput pins it so that every
+/// engine and configuration is verified against the same behaviour.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_WORKLOADS_WORKLOADS_H
+#define OMNI_WORKLOADS_WORKLOADS_H
+
+#include <cstddef>
+
+namespace omni {
+namespace workloads {
+
+struct Workload {
+  const char *Name;
+  const char *Source;         ///< MiniC source
+  const char *ExpectedOutput; ///< pinned checksum output
+  bool FpHeavy;               ///< alvinn-style fp mix
+};
+
+constexpr unsigned NumWorkloads = 4;
+
+/// Returns workload \p I (0 = li, 1 = compress, 2 = alvinn, 3 = eqntott).
+const Workload &getWorkload(unsigned I);
+
+/// Finds a workload by name; nullptr when unknown.
+const Workload *findWorkload(const char *Name);
+
+} // namespace workloads
+} // namespace omni
+
+#endif // OMNI_WORKLOADS_WORKLOADS_H

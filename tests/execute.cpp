@@ -1,0 +1,704 @@
+//===- tests/execute.cpp - end-to-end MiniC execution tests ----------------===//
+///
+/// Compiles MiniC programs through the full pipeline (parse -> IR ->
+/// optimize -> OmniVM codegen -> link) and executes them on the reference
+/// interpreter, checking printed output. Parameterized over optimization
+/// level and OmniVM register file size: every program must behave
+/// identically under every configuration — the compiler's correctness
+/// property that all later translator work builds on.
+
+#include "driver/Compiler.h"
+#include "runtime/Run.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  int OptLevel; // 0 none, 1 standard, 2 aggressive
+  unsigned Regs;
+};
+
+class ExecTest : public ::testing::TestWithParam<Config> {
+protected:
+  /// Compiles and runs; returns captured output. Fails the test on any
+  /// compile error or abnormal trap.
+  std::string run(const std::string &Source, int32_t ExpectExit = 0) {
+    driver::CompileOptions Opts;
+    const Config &C = GetParam();
+    Opts.Opt = C.OptLevel == 0   ? ir::OptOptions::none()
+               : C.OptLevel == 1 ? ir::OptOptions::standard()
+                                 : ir::OptOptions::aggressive();
+    Opts.CodeGen.NumIntRegs = C.Regs;
+    Opts.CodeGen.NumFpRegs = C.Regs;
+    vm::Module Exe;
+    std::string Error;
+    if (!driver::compileAndLink(Source, Opts, Exe, Error)) {
+      ADD_FAILURE() << "compile failed: " << Error;
+      return "<compile error>";
+    }
+    runtime::RunResult R = runtime::runOnInterpreter(Exe);
+    EXPECT_EQ(R.Trap.Kind, vm::TrapKind::Halt) << printTrap(R.Trap);
+    EXPECT_EQ(R.Trap.Code, ExpectExit);
+    return R.Output;
+  }
+};
+
+} // namespace
+
+TEST_P(ExecTest, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  print_int(2 + 3 * 4 - 6 / 2);   /* 11 */
+  print_int((2 + 3) * (4 - 6));   /* -10 */
+  print_int(17 % 5);              /* 2 */
+  print_int(-17 / 5);             /* -3 */
+  print_int(-17 % 5);             /* -2 */
+  return 0;
+}
+)"),
+            "11-102-3-2");
+}
+
+TEST_P(ExecTest, BitwiseAndShifts) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+void print_uint(unsigned);
+int main() {
+  print_int(0xf0 & 0x3c);   /* 0x30 = 48 */
+  print_int(0xf0 | 0x0f);   /* 255 */
+  print_int(0xff ^ 0x0f);   /* 240 */
+  print_int(~0);            /* -1 */
+  print_int(1 << 10);       /* 1024 */
+  print_int(-16 >> 2);      /* -4 (arithmetic) */
+  print_uint(((unsigned)-16) >> 28); /* 15 (logical) */
+  return 0;
+}
+)"),
+            "48255240-11024-415");
+}
+
+TEST_P(ExecTest, UnsignedSemantics) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  unsigned a = 0xffffffff;
+  unsigned b = 2;
+  print_int(a / b == 0x7fffffff); /* unsigned divide */
+  print_int(a > b);               /* unsigned compare */
+  print_int((int)a > (int)b);     /* signed compare: -1 > 2 false */
+  print_int(a % 10);
+  return 0;
+}
+)"),
+            "110" + std::to_string(0xffffffffu % 10));
+}
+
+TEST_P(ExecTest, CharAndShortWrapAround) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  char c = 100;
+  c = c + 100;          /* 200 -> -56 */
+  print_int(c);
+  unsigned char u = 200;
+  u = u + 100;          /* 300 -> 44 */
+  print_int(u);
+  short s = 32000;
+  s = s + 1000;         /* 33000 -> -32536 */
+  print_int(s);
+  unsigned short w = 65535;
+  w = w + 2;
+  print_int(w);         /* 1 */
+  return 0;
+}
+)"),
+            "-5644-325361");
+}
+
+TEST_P(ExecTest, ControlFlow) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  int i, sum = 0;
+  for (i = 1; i <= 10; i++) sum += i;
+  print_int(sum);               /* 55 */
+  int n = 0;
+  while (n < 100) { n += 7; }
+  print_int(n);                 /* 105 */
+  int d = 0;
+  do { d++; } while (d < 3);
+  print_int(d);                 /* 3 */
+  int k, hits = 0;
+  for (k = 0; k < 20; k++) {
+    if (k % 3 == 0) continue;
+    if (k > 15) break;
+    hits++;
+  }
+  print_int(hits);              /* 1,2,4,5,7,8,10,11,13,14 = 10 */
+  return 0;
+}
+)"),
+            "55105310");
+}
+
+TEST_P(ExecTest, LogicalShortCircuit) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int g = 0;
+int bump() { g++; return 1; }
+int main() {
+  int r = 0 && bump();
+  print_int(r); print_int(g);   /* 0 0 : rhs not evaluated */
+  r = 1 || bump();
+  print_int(r); print_int(g);   /* 1 0 */
+  r = 1 && bump();
+  print_int(r); print_int(g);   /* 1 1 */
+  r = !r;
+  print_int(r);                 /* 0 */
+  return 0;
+}
+)"),
+            "0010110");
+}
+
+TEST_P(ExecTest, TernaryAndComma) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  int a = 5, b = 9;
+  print_int(a > b ? a : b);     /* 9 */
+  print_int(a < b ? a - b : a + b); /* -4 */
+  int c = (a++, b++, a + b);    /* 6 + 10 */
+  print_int(c);
+  return 0;
+}
+)"),
+            "9-416");
+}
+
+TEST_P(ExecTest, FunctionsAndRecursion) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int gcd(int a, int b) { return b == 0 ? a : gcd(b, a % b); }
+int main() {
+  print_int(fib(15));    /* 610 */
+  print_int(gcd(462, 1071)); /* 21 */
+  return 0;
+}
+)"),
+            "61021");
+}
+
+TEST_P(ExecTest, ManyArguments) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+  return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+}
+int main() {
+  print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); /* 204 */
+  return 0;
+}
+)"),
+            "204");
+}
+
+TEST_P(ExecTest, MixedIntFpArguments) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+double mix(int a, double x, int b, double y, double z, int c) {
+  return a + x * b + y - z * c;
+}
+int main() {
+  double r = mix(1, 2.5, 3, 4.0, 0.5, 6); /* 1 + 7.5 + 4 - 3 = 9.5 */
+  print_int((int)(r * 2.0)); /* 19 */
+  return 0;
+}
+)"),
+            "19");
+}
+
+TEST_P(ExecTest, ArraysAndPointers) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  int a[10];
+  int i;
+  for (i = 0; i < 10; i++) a[i] = i * i;
+  int *p = a + 3;
+  print_int(*p);        /* 9 */
+  print_int(p[2]);      /* 25 */
+  print_int(*(a + 7));  /* 49 */
+  p++;
+  print_int(*p);        /* 16 */
+  print_int(p - a);     /* 4 */
+  int sum = 0;
+  for (p = a; p < a + 10; p++) sum += *p;
+  print_int(sum);       /* 285 */
+  return 0;
+}
+)"),
+            "9254916" + std::string("4285"));
+}
+
+TEST_P(ExecTest, MultiDimensionalArrays) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int m[3][4];
+int main() {
+  int i, j;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      m[i][j] = i * 10 + j;
+  print_int(m[2][3]);  /* 23 */
+  print_int(m[1][0]);  /* 10 */
+  int sum = 0;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      sum += m[i][j];
+  print_int(sum);      /* sum of 0..3,10..13,20..23 = 6+46+86=138 */
+  return 0;
+}
+)"),
+            "231013" + std::string("8"));
+}
+
+TEST_P(ExecTest, StringsAndCharPointers) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+void print_str(char *);
+int my_strlen(char *s) {
+  int n = 0;
+  while (*s++) n++;
+  return n;
+}
+char buf[32];
+int main() {
+  char *msg = "omniware";
+  print_int(my_strlen(msg)); /* 8 */
+  int i = 0;
+  while ((buf[i] = msg[i]) != 0) i++;
+  buf[0] = 'O';
+  print_str(buf);
+  print_int(buf[3]);         /* 'i' = 105 */
+  return 0;
+}
+)"),
+            "8Omniware105");
+}
+
+TEST_P(ExecTest, StructsAndMembers) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+struct point { int x; int y; };
+struct rect { struct point lo; struct point hi; };
+int area(struct rect *r) {
+  return (r->hi.x - r->lo.x) * (r->hi.y - r->lo.y);
+}
+int main() {
+  struct rect r;
+  r.lo.x = 2; r.lo.y = 3;
+  r.hi.x = 10; r.hi.y = 8;
+  print_int(area(&r));  /* 40 */
+  struct point *p = &r.lo;
+  p->x += 1;
+  print_int(r.lo.x);    /* 3 */
+  return 0;
+}
+)"),
+            "403");
+}
+
+TEST_P(ExecTest, StructPadding) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+struct padded { char c; double d; short s; };
+int main() {
+  print_int(sizeof(struct padded));   /* 24 */
+  struct padded p;
+  p.c = 7; p.d = 2.5; p.s = -3;
+  print_int(p.c);
+  print_int((int)(p.d * 4.0));
+  print_int(p.s);
+  return 0;
+}
+)"),
+            "24710-3");
+}
+
+TEST_P(ExecTest, GlobalsAndInitializers) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int counter = 5;
+int table[5] = {2, 4, 8, 16, 32};
+int *tp = table;
+char greeting[] = "hi";
+int bss_array[100];
+int main() {
+  counter += 10;
+  print_int(counter);        /* 15 */
+  print_int(table[3]);       /* 16 */
+  print_int(tp[4]);          /* 32 */
+  print_int(greeting[1]);    /* 'i' = 105 */
+  print_int(bss_array[99]);  /* 0 */
+  return 0;
+}
+)"),
+            "1516321050");
+}
+
+TEST_P(ExecTest, FunctionPointers) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(int (*op)(int, int), int x, int y) { return op(x, y); }
+int (*ops[2])(int, int) = {add, mul};
+int main() {
+  print_int(apply(add, 3, 4));  /* 7 */
+  print_int(apply(mul, 3, 4));  /* 12 */
+  int i;
+  for (i = 0; i < 2; i++) print_int(ops[i](5, 6)); /* 11 30 */
+  int (*f)(int, int) = mul;
+  print_int(f(7, 8)); /* 56 */
+  return 0;
+}
+)"),
+            "712113056");
+}
+
+TEST_P(ExecTest, SwitchStatement) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int classify(int c) {
+  switch (c) {
+  case 0: return 100;
+  case 1:
+  case 2: return 200;     /* fallthrough label sharing */
+  case 3: c += 1000;      /* falls through into default */
+  default: return c;
+  }
+}
+int main() {
+  print_int(classify(0));
+  print_int(classify(1));
+  print_int(classify(2));
+  print_int(classify(3));
+  print_int(classify(9));
+  int s = 0, i;
+  for (i = 0; i < 5; i++) {
+    switch (i) {
+    case 1: s += 10; break;
+    case 3: s += 30; break;
+    default: s += 1; break;
+    }
+  }
+  print_int(s); /* 1+10+1+30+1 = 43 */
+  return 0;
+}
+)"),
+            "100200200" + std::string("1003943"));
+}
+
+TEST_P(ExecTest, FloatingPoint) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+void print_f64(double);
+int main() {
+  double a = 1.5, b = 2.25;
+  print_f64(a + b);        /* 3.75 */
+  print_f64(a * b);        /* 3.375 */
+  print_f64(b / a);        /* 1.5 */
+  print_f64(a - b);        /* -0.75 */
+  float f = 0.5f;
+  f = f * 3.0f;
+  print_f64(f);            /* 1.5 */
+  print_int(a < b);        /* 1 */
+  print_int(a == 1.5);     /* 1 */
+  return 0;
+}
+)"),
+            "3.753.3751.5-0.751.511");
+}
+
+TEST_P(ExecTest, FloatIntConversions) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+void print_f64(double);
+int main() {
+  double d = 7.9;
+  print_int((int)d);        /* 7 (truncation) */
+  print_int((int)-7.9);     /* -7 */
+  int i = -3;
+  print_f64((double)i);     /* -3 */
+  float f = (float)i / 2.0f;
+  print_f64(f);             /* -1.5 */
+  char c = (char)(65.7);
+  print_int(c);             /* 65 */
+  return 0;
+}
+)"),
+            "7-7-3-1.565");
+}
+
+TEST_P(ExecTest, DoubleArrayNumerics) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+double dot(double *a, double *b, int n) {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < n; i++) s += a[i] * b[i];
+  return s;
+}
+int main() {
+  double x[5], y[5];
+  int i;
+  for (i = 0; i < 5; i++) { x[i] = i + 1; y[i] = 2 * i; }
+  /* dot = 1*0+2*2+3*4+4*6+5*8 = 0+4+12+24+40 = 80 */
+  print_int((int)dot(x, y, 5));
+  return 0;
+}
+)"),
+            "80");
+}
+
+TEST_P(ExecTest, IncDecSemantics) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  int i = 5;
+  print_int(i++);   /* 5 */
+  print_int(i);     /* 6 */
+  print_int(++i);   /* 7 */
+  print_int(i--);   /* 7 */
+  print_int(--i);   /* 5 */
+  int a[3]; a[0]=10; a[1]=20; a[2]=30;
+  int *p = a;
+  print_int(*p++);  /* 10 */
+  print_int(*p);    /* 20 */
+  print_int(*++p);  /* 30 */
+  double d = 1.5;
+  d++;
+  print_int((int)(d * 2.0)); /* 5 */
+  return 0;
+}
+)"),
+            "56775102030" + std::string("5"));
+}
+
+TEST_P(ExecTest, CompoundAssignments) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int g = 100;
+int main() {
+  g += 10; g -= 5; g *= 2; g /= 3; g %= 50;  /* 210/3=70, %50=20 */
+  print_int(g);
+  int x = 0xff;
+  x &= 0x0f; x |= 0x30; x ^= 0xff; x <<= 2; x >>= 1;
+  /* 0x0f|0x30=0x3f ^0xff=0xc0 <<2=0x300 >>1=0x180=384 */
+  print_int(x);
+  return 0;
+}
+)"),
+            "20384");
+}
+
+TEST_P(ExecTest, HeapViaSbrk) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int *host_sbrk(int);
+int main() {
+  int *a = host_sbrk(40);
+  int *b = host_sbrk(40);
+  print_int(a != 0);
+  print_int(b != 0);
+  print_int(b - a >= 10);   /* distinct blocks */
+  int i;
+  for (i = 0; i < 10; i++) a[i] = i * 3;
+  for (i = 0; i < 10; i++) b[i] = a[i] + 1;
+  print_int(b[9]);          /* 28 */
+  return 0;
+}
+)"),
+            "11128");
+}
+
+TEST_P(ExecTest, RegisterPressureSpilling) {
+  // 20 simultaneously-live values force spills in every configuration.
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  int a0=1,a1=2,a2=3,a3=4,a4=5,a5=6,a6=7,a7=8,a8=9,a9=10;
+  int b0=11,b1=12,b2=13,b3=14,b4=15,b5=16,b6=17,b7=18,b8=19,b9=20;
+  int i;
+  for (i = 0; i < 3; i++) {
+    a0+=b9; a1+=b8; a2+=b7; a3+=b6; a4+=b5;
+    a5+=b4; a6+=b3; a7+=b2; a8+=b1; a9+=b0;
+    b0++; b1++; b2++; b3++; b4++; b5++; b6++; b7++; b8++; b9++;
+  }
+  print_int(a0+a1+a2+a3+a4+a5+a6+a7+a8+a9+b0+b1+b2+b3+b4+b5+b6+b7+b8+b9);
+  return 0;
+}
+)"),
+            "735");
+}
+
+TEST_P(ExecTest, QuickSortIntegration) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+void qsort_ints(int *a, int lo, int hi) {
+  if (lo >= hi) return;
+  int pivot = a[(lo + hi) / 2];
+  int i = lo, j = hi;
+  while (i <= j) {
+    while (a[i] < pivot) i++;
+    while (a[j] > pivot) j--;
+    if (i <= j) {
+      int t = a[i]; a[i] = a[j]; a[j] = t;
+      i++; j--;
+    }
+  }
+  qsort_ints(a, lo, j);
+  qsort_ints(a, i, hi);
+}
+int data[16];
+int main() {
+  int i;
+  int seed = 12345;
+  for (i = 0; i < 16; i++) {
+    seed = seed * 1103515245 + 12345;
+    data[i] = (seed >> 16) & 0xff;
+  }
+  qsort_ints(data, 0, 15);
+  int ok = 1;
+  for (i = 1; i < 16; i++) if (data[i-1] > data[i]) ok = 0;
+  print_int(ok);
+  print_int(data[0] <= data[15]);
+  return 0;
+}
+)"),
+            "11");
+}
+
+TEST_P(ExecTest, SieveOfEratosthenes) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+char sieve[1000];
+int main() {
+  int i, j, count = 0;
+  for (i = 2; i < 1000; i++) sieve[i] = 1;
+  for (i = 2; i * i < 1000; i++)
+    if (sieve[i])
+      for (j = i * i; j < 1000; j += i) sieve[j] = 0;
+  for (i = 2; i < 1000; i++) count += sieve[i];
+  print_int(count);  /* 168 primes below 1000 */
+  return 0;
+}
+)"),
+            "168");
+}
+
+TEST_P(ExecTest, ExitCodePropagates) {
+  run("int main() { return 42; }", 42);
+}
+
+TEST_P(ExecTest, HostExitStopsExecution) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+void host_exit(int);
+int main() {
+  print_int(1);
+  host_exit(7);
+  print_int(2); /* never reached */
+  return 0;
+}
+)",
+                7),
+            "1");
+}
+
+TEST_P(ExecTest, NestedLoopsLabelFree) {
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  int count = 0, i, j;
+  for (i = 0; i < 30; i++) {
+    for (j = 0; j < 30; j++) {
+      if (i * j == 36) count++;
+    }
+  }
+  print_int(count); /* divisor pairs of 36 with both < 30: (2,18),(3,12),(4,9),(6,6),(9,4),(12,3),(18,2) = 7 */
+  return 0;
+}
+)"),
+            "7");
+}
+
+TEST_P(ExecTest, SignedDivisionByPowerOfTwoConstants) {
+  std::string Expected;
+  {
+    int Vals[6] = {7, -7, 1024, -1024, 2147483647, -2147483647};
+    for (int V : Vals) {
+      Expected += std::to_string(V / 4);
+      Expected += std::to_string(V % 8);
+      Expected += std::to_string(static_cast<unsigned>(V) / 16 != 0);
+    }
+  }
+  EXPECT_EQ(run(R"(
+void print_int(int);
+int main() {
+  int vals[6];
+  vals[0] = 7; vals[1] = -7; vals[2] = 1024; vals[3] = -1024;
+  vals[4] = 2147483647; vals[5] = -2147483647;
+  int i;
+  for (i = 0; i < 6; i++) {
+    print_int(vals[i] / 4);
+    print_int(vals[i] % 8);
+    print_int((unsigned)vals[i] / 16 != 0);
+  }
+  return 0;
+}
+)"),
+            Expected);
+}
+
+TEST_P(ExecTest, StringTableSwitchInterpreterStyle) {
+  // A miniature token dispatcher in the style of the li benchmark.
+  EXPECT_EQ(run(R"(
+void print_int(int);
+char prog[] = "ada*s+";
+int main() {
+  int acc = 0, reg = 3;
+  int i;
+  for (i = 0; prog[i]; i++) {
+    switch (prog[i]) {
+    case 'a': acc += reg; break;
+    case 'd': acc -= 1; break;
+    case 's': acc = acc * acc; break;
+    case '*': acc *= reg; break;
+    case '+': acc += 100; break;
+    }
+  }
+  /* 3 -> 2 -> 5 -> 15 -> 225 -> 325 */
+  print_int(acc);
+  return 0;
+}
+)"),
+            "325");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ExecTest,
+    ::testing::Values(Config{"O0_r16", 0, 16}, Config{"O1_r16", 1, 16},
+                      Config{"O2_r16", 2, 16}, Config{"O1_r8", 1, 8},
+                      Config{"O1_r10", 1, 10}, Config{"O1_r12", 1, 12},
+                      Config{"O0_r8", 0, 8}, Config{"O2_r14", 2, 14}),
+    [](const ::testing::TestParamInfo<Config> &Info) {
+      return Info.param.Name;
+    });

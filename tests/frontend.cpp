@@ -1,0 +1,304 @@
+//===- tests/frontend.cpp - lexer/parser/sema unit tests -------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/AST.h"
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::minic;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto Toks = tokenize(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render("t.c");
+  return Toks;
+}
+
+std::string parseError(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto TU = parse(Src, Diags);
+  EXPECT_EQ(TU, nullptr) << "expected a parse error";
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Kind == DiagKind::Error)
+      return D.Message;
+  return "";
+}
+
+std::unique_ptr<TranslationUnit> parseOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto TU = parse(Src, Diags);
+  EXPECT_NE(TU, nullptr) << Diags.render("t.c");
+  return TU;
+}
+
+} // namespace
+
+TEST(Lexer, TokenKinds) {
+  auto T = lex("int x = 42 + 0x1f; // comment\n\"str\\n\" 'a' 1.5 2.5f");
+  ASSERT_GE(T.size(), 12u);
+  EXPECT_EQ(T[0].Kind, Tok::KwInt);
+  EXPECT_EQ(T[1].Kind, Tok::Identifier);
+  EXPECT_EQ(T[1].Text, "x");
+  EXPECT_EQ(T[2].Kind, Tok::Assign);
+  EXPECT_EQ(T[3].IntValue, 42);
+  EXPECT_EQ(T[5].IntValue, 0x1f);
+  EXPECT_EQ(T[7].Kind, Tok::StringLiteral);
+  EXPECT_EQ(T[7].StrValue, "str\n");
+  EXPECT_EQ(T[8].Kind, Tok::CharLiteral);
+  EXPECT_EQ(T[8].IntValue, 'a');
+  EXPECT_EQ(T[9].Kind, Tok::FloatLiteral);
+  EXPECT_FALSE(T[9].IsFloatSuffix);
+  EXPECT_EQ(T[10].Kind, Tok::FloatLiteral);
+  EXPECT_TRUE(T[10].IsFloatSuffix);
+}
+
+TEST(Lexer, Operators) {
+  auto T = lex("<<= >>= == != <= >= && || ++ -- -> ...");
+  EXPECT_EQ(T[0].Kind, Tok::ShlAssign);
+  EXPECT_EQ(T[1].Kind, Tok::ShrAssign);
+  EXPECT_EQ(T[2].Kind, Tok::EqEq);
+  EXPECT_EQ(T[3].Kind, Tok::NotEq);
+  EXPECT_EQ(T[4].Kind, Tok::Le);
+  EXPECT_EQ(T[5].Kind, Tok::Ge);
+  EXPECT_EQ(T[6].Kind, Tok::AmpAmp);
+  EXPECT_EQ(T[7].Kind, Tok::PipePipe);
+  EXPECT_EQ(T[8].Kind, Tok::PlusPlus);
+  EXPECT_EQ(T[9].Kind, Tok::MinusMinus);
+  EXPECT_EQ(T[10].Kind, Tok::Arrow);
+  EXPECT_EQ(T[11].Kind, Tok::Ellipsis);
+}
+
+TEST(Lexer, BlockComments) {
+  auto T = lex("a /* x \n y */ b");
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+}
+
+TEST(Lexer, ErrorsReported) {
+  DiagnosticEngine Diags;
+  tokenize("int x = @;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  Diags.clear();
+  tokenize("\"unterminated", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  Diags.clear();
+  tokenize("/* unterminated", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserSema, StructLayout) {
+  auto TU = parseOk(R"(
+struct point { int x; int y; };
+struct mixed { char c; double d; short s; };
+struct point gp;
+struct mixed gm;
+int main() { return 0; }
+)");
+  // Layout checks through the type context are indirect; check sizes via
+  // sizeof in source instead.
+  auto TU2 = parseOk(R"(
+struct mixed { char c; double d; short s; };
+unsigned a = sizeof(struct mixed);
+unsigned b = sizeof(int *);
+int main() { return 0; }
+)");
+  // mixed: c at 0, d at 8 (align 8), s at 16 -> size 24.
+  VarDecl *A = nullptr, *Bv = nullptr;
+  for (VarDecl *G : TU2->Globals) {
+    if (G->Name == "a")
+      A = G;
+    if (G->Name == "b")
+      Bv = G;
+  }
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(A->Init, nullptr);
+  EXPECT_EQ(A->Init->IntVal, 24);
+  ASSERT_NE(Bv, nullptr);
+  ASSERT_NE(Bv->Init, nullptr);
+  EXPECT_EQ(Bv->Init->IntVal, 4);
+}
+
+TEST(ParserSema, EnumConstants) {
+  auto TU = parseOk(R"(
+enum { RED, GREEN = 5, BLUE };
+int x = BLUE;
+int main() { return 0; }
+)");
+  VarDecl *X = TU->Globals[0];
+  ASSERT_NE(X->Init, nullptr);
+  EXPECT_EQ(X->Init->IntVal, 6);
+}
+
+TEST(ParserSema, FunctionPointerDeclarator) {
+  parseOk(R"(
+int apply(int (*f)(int), int x) { return f(x); }
+int twice(int v) { return v * 2; }
+int main() { return apply(twice, 21); }
+)");
+}
+
+TEST(ParserSema, Errors) {
+  EXPECT_NE(parseError("int main() { return y; }").find("undeclared"),
+            std::string::npos);
+  EXPECT_NE(parseError("int main() { int x; int x; return 0; }")
+                .find("redefinition"),
+            std::string::npos);
+  EXPECT_NE(parseError("int f(int a); int f(double d) { return 0; }")
+                .find("conflicting types"),
+            std::string::npos);
+  EXPECT_NE(parseError("int main() { 5 = 6; return 0; }").find("lvalue"),
+            std::string::npos);
+  EXPECT_NE(parseError("int main() { break; }").find("break"),
+            std::string::npos);
+  EXPECT_NE(
+      parseError("struct s { int x; }; int main() { struct s v; return "
+                 "v.nope; }")
+          .find("no field"),
+      std::string::npos);
+  EXPECT_NE(
+      parseError("int main() { int x; return x(3); }").find("not a function"),
+      std::string::npos);
+  EXPECT_NE(parseError("int f(int a) { return a; } int main() { return "
+                       "f(1, 2); }")
+                .find("arguments"),
+            std::string::npos);
+  EXPECT_NE(parseError("void g() { return 5; } int main() { return 0; }")
+                .find("void"),
+            std::string::npos);
+  EXPECT_NE(parseError("int main() { double d; return d % 3; }")
+                .find("integer"),
+            std::string::npos);
+  EXPECT_NE(parseError("int main() { int *p; double *q; return p == 5 ? 0 "
+                       ": (q - p); }")
+                .length(),
+            0u);
+}
+
+TEST(ParserSema, StructAssignRejected) {
+  EXPECT_NE(parseError("struct s { int x; }; int main() { struct s a; "
+                       "struct s b; a = b; return 0; }")
+                .find("struct assignment"),
+            std::string::npos);
+}
+
+TEST(ParserSema, ImportDetection) {
+  // Prototype without definition becomes an import at lowering.
+  driver::CompileOptions Opts;
+  ir::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::compileToIR(R"(
+void print_int(int v);
+int main() { print_int(42); return 0; }
+)",
+                                  Opts, P, Error))
+      << Error;
+  ASSERT_EQ(P.Imports.size(), 1u);
+  EXPECT_EQ(P.Imports[0], "print_int");
+  // The call is marked as an import call.
+  const ir::Function *Main = P.findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  bool FoundImportCall = false;
+  for (const ir::Block &B : Main->Blocks)
+    for (const ir::Inst &I : B.Insts)
+      if (I.K == ir::Op::Call && I.IsImportCall)
+        FoundImportCall = true;
+  EXPECT_TRUE(FoundImportCall);
+}
+
+TEST(ParserSema, AddressTakenAnalysis) {
+  driver::CompileOptions Opts;
+  Opts.Opt = ir::OptOptions::none();
+  ir::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::compileToIR(R"(
+int main() {
+  int a;      /* register */
+  int b;      /* address taken -> slot */
+  int *p = &b;
+  a = 1;
+  *p = 2;
+  return a + b;
+}
+)",
+                                  Opts, P, Error))
+      << Error;
+  const ir::Function *Main = P.findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  // Exactly one frame slot (b).
+  EXPECT_EQ(Main->Slots.size(), 1u);
+  EXPECT_EQ(Main->Slots[0].Name, "b");
+}
+
+TEST(ParserSema, GlobalInitializers) {
+  driver::CompileOptions Opts;
+  ir::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::compileToIR(R"(
+int scalar = 40 + 2;
+int arr[4] = {1, 2, 3, 4};
+char msg[] = "hey";
+double d = 1.5;
+int *ptr = &scalar;
+const char *s = "lit";
+int main() { return 0; }
+)",
+                                  Opts, P, Error))
+      << Error;
+  const ir::GlobalVar *Scalar = P.findGlobal("scalar");
+  ASSERT_NE(Scalar, nullptr);
+  ASSERT_EQ(Scalar->Init.size(), 4u);
+  EXPECT_EQ(Scalar->Init[0], 42);
+  const ir::GlobalVar *Arr = P.findGlobal("arr");
+  ASSERT_NE(Arr, nullptr);
+  EXPECT_EQ(Arr->Size, 16u);
+  EXPECT_EQ(Arr->Init[8], 3);
+  const ir::GlobalVar *Msg = P.findGlobal("msg");
+  ASSERT_NE(Msg, nullptr);
+  EXPECT_EQ(Msg->Size, 4u); // "hey" + NUL
+  const ir::GlobalVar *Ptr = P.findGlobal("ptr");
+  ASSERT_NE(Ptr, nullptr);
+  ASSERT_EQ(Ptr->PtrInits.size(), 1u);
+  EXPECT_EQ(Ptr->PtrInits[0].Sym, "scalar");
+  const ir::GlobalVar *S = P.findGlobal("s");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->PtrInits.size(), 1u);
+  EXPECT_EQ(S->PtrInits[0].Sym.substr(0, 5), ".str.");
+}
+
+TEST(ParserSema, NonConstGlobalInitRejected) {
+  driver::CompileOptions Opts;
+  ir::Program P;
+  std::string Error;
+  EXPECT_FALSE(driver::compileToIR(
+      "int f() { return 1; }\nint g = f();\nint main() { return 0; }",
+      Opts, P, Error));
+  EXPECT_NE(Error.find("constant"), std::string::npos);
+}
+
+TEST(ParserSema, TypePromotions) {
+  // char + char computes as int; stores truncate.
+  parseOk(R"(
+int main() {
+  char a = 100, b = 100;
+  char c = a + b; /* wraps */
+  unsigned u = 1;
+  return c + (int)u;
+}
+)");
+}
+
+TEST(ParserSema, PreprocessorSkippedWithWarning) {
+  DiagnosticEngine Diags;
+  auto TU = parse("#include <stdio.h>\nint main() { return 0; }", Diags);
+  EXPECT_NE(TU, nullptr);
+  bool Warned = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Kind == DiagKind::Warning)
+      Warned = true;
+  EXPECT_TRUE(Warned);
+}

@@ -1,0 +1,213 @@
+//===- tests/ir_core.cpp - IR structure and analysis tests -----------------===//
+
+#include "ir/Analysis.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::ir;
+
+namespace {
+
+/// Builds:  b0: i=0; jmp b1
+///          b1: br (i < n) b2, b3     (loop header)
+///          b2: i = i + 1; jmp b1     (body/latch)
+///          b3: ret i
+Function makeCountLoop() {
+  Function F;
+  F.Name = "count";
+  F.ParamTypes = {Type::I32};
+  Value N = F.newValue(Type::I32);
+  F.ParamValues = {N};
+  IRBuilder B(F);
+  unsigned B0 = B.createBlock("entry");
+  unsigned B1 = B.createBlock("header");
+  unsigned B2 = B.createBlock("body");
+  unsigned B3 = B.createBlock("exit");
+  B.setInsertPoint(B0);
+  Value I = F.newValue(Type::I32);
+  Inst CI;
+  CI.K = Op::ConstInt;
+  CI.Imm = 0;
+  CI.Dst = I;
+  B.append(CI);
+  B.jmp(B1);
+  B.setInsertPoint(B1);
+  B.br(Cond::Lt, I, N, B2, B3);
+  B.setInsertPoint(B2);
+  Inst AddI;
+  AddI.K = Op::Add;
+  AddI.Ty = Type::I32;
+  AddI.Dst = I;
+  AddI.A = I;
+  AddI.BIsImm = true;
+  AddI.Imm = 1;
+  B.append(AddI);
+  B.jmp(B1);
+  B.setInsertPoint(B3);
+  B.ret(I);
+  return F;
+}
+
+} // namespace
+
+TEST(IrCore, VerifyAcceptsWellFormed) {
+  Function F = makeCountLoop();
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(F, Errors)) << Errors.front();
+}
+
+TEST(IrCore, VerifyRejectsMissingTerminator) {
+  Function F;
+  F.Name = "bad";
+  F.Blocks.push_back(Block());
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, Errors));
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(IrCore, VerifyRejectsBadBranchTarget) {
+  Function F;
+  F.Name = "bad";
+  IRBuilder B(F);
+  B.setInsertPoint(B.createBlock());
+  Value V = F.newValue(Type::I32);
+  B.brImm(Cond::Eq, V, 0, 5, 0);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, Errors));
+}
+
+TEST(IrCore, PrintContainsStructure) {
+  Function F = makeCountLoop();
+  std::string S = printFunction(F);
+  EXPECT_NE(S.find("func @count"), std::string::npos);
+  EXPECT_NE(S.find("br.lt.i32"), std::string::npos);
+  EXPECT_NE(S.find("-> b2, b3"), std::string::npos);
+  EXPECT_NE(S.find("ret"), std::string::npos);
+}
+
+TEST(IrCore, CondHelpers) {
+  EXPECT_EQ(swapCond(Cond::Lt), Cond::Gt);
+  EXPECT_EQ(swapCond(Cond::Eq), Cond::Eq);
+  EXPECT_EQ(swapCond(Cond::LeU), Cond::GeU);
+  EXPECT_EQ(negateCond(Cond::Eq, false), Cond::Ne);
+  EXPECT_EQ(negateCond(Cond::Lt, false), Cond::Ge);
+  EXPECT_EQ(negateCond(Cond::GtU, false), Cond::LeU);
+}
+
+TEST(IrCore, CfgEdges) {
+  Function F = makeCountLoop();
+  CFG C = CFG::compute(F);
+  ASSERT_EQ(C.Succs.size(), 4u);
+  EXPECT_EQ(C.Succs[0], (std::vector<int>{1}));
+  EXPECT_EQ(C.Succs[1], (std::vector<int>{2, 3}));
+  EXPECT_EQ(C.Succs[2], (std::vector<int>{1}));
+  EXPECT_TRUE(C.Succs[3].empty());
+  EXPECT_EQ(C.Preds[1], (std::vector<int>{0, 2}));
+}
+
+TEST(IrCore, RpoStartsAtEntryAndCoversReachable) {
+  Function F = makeCountLoop();
+  std::vector<int> RPO = computeRPO(F);
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO[0], 0);
+  // Header precedes body and exit.
+  auto Pos = [&](int B) {
+    return std::find(RPO.begin(), RPO.end(), B) - RPO.begin();
+  };
+  EXPECT_LT(Pos(1), Pos(2));
+  EXPECT_LT(Pos(1), Pos(3));
+}
+
+TEST(IrCore, RpoSkipsUnreachable) {
+  Function F = makeCountLoop();
+  // Add an unreachable block.
+  F.Blocks.push_back(Block());
+  Inst R;
+  R.K = Op::Ret;
+  F.Blocks.back().Insts.push_back(R);
+  std::vector<int> RPO = computeRPO(F);
+  EXPECT_EQ(RPO.size(), 4u);
+}
+
+TEST(IrCore, Dominators) {
+  Function F = makeCountLoop();
+  Dominators D = Dominators::compute(F);
+  EXPECT_TRUE(D.dominates(0, 1));
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_TRUE(D.dominates(1, 3));
+  EXPECT_FALSE(D.dominates(2, 3));
+  EXPECT_FALSE(D.dominates(2, 1));
+  EXPECT_TRUE(D.dominates(1, 1));
+  EXPECT_EQ(D.idom(1), 0);
+  EXPECT_EQ(D.idom(2), 1);
+  EXPECT_EQ(D.idom(3), 1);
+}
+
+TEST(IrCore, NaturalLoopDetection) {
+  Function F = makeCountLoop();
+  Dominators D = Dominators::compute(F);
+  CFG C = CFG::compute(F);
+  std::vector<Loop> Loops = findLoops(F, D, C);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0].Header, 1);
+  EXPECT_EQ(Loops[0].Blocks.size(), 2u); // header + latch
+  EXPECT_TRUE(Loops[0].contains(2));
+  ASSERT_EQ(Loops[0].ExitBlocks.size(), 1u);
+  EXPECT_EQ(Loops[0].ExitBlocks[0], 1);
+}
+
+TEST(IrCore, Liveness) {
+  Function F = makeCountLoop();
+  Liveness L = Liveness::compute(F);
+  unsigned N = F.ParamValues[0].Id;
+  // n (param) is live around the loop (used by header compare).
+  EXPECT_TRUE(L.isLiveIn(1, N));
+  EXPECT_TRUE(L.isLiveOut(0, N));
+  EXPECT_TRUE(L.isLiveOut(2, N));
+  // i (value 1) live into exit block.
+  EXPECT_TRUE(L.isLiveIn(3, 1));
+  // n is dead after the loop exits into b3.
+  EXPECT_FALSE(L.isLiveIn(3, N));
+}
+
+TEST(IrCore, ForEachUseCoversOperands) {
+  Function F;
+  IRBuilder B(F);
+  B.setInsertPoint(B.createBlock());
+  Value X = F.newValue(Type::I32);
+  Value Y = F.newValue(Type::I32);
+  Value Sum = B.binary(Op::Add, X, Y);
+  Value C = B.call("f", false, {X, Sum}, true, Type::I32);
+  B.store(MemWidth::W32, Y, 0, C);
+  B.retVoid();
+
+  auto UsesOf = [&](const Inst &I) {
+    std::vector<unsigned> Ids;
+    forEachUse(I, [&](const Value &V) { Ids.push_back(V.Id); });
+    return Ids;
+  };
+  const Block &Blk = F.Blocks[0];
+  EXPECT_EQ(UsesOf(Blk.Insts[0]), (std::vector<unsigned>{X.Id, Y.Id}));
+  EXPECT_EQ(UsesOf(Blk.Insts[1]), (std::vector<unsigned>{X.Id, Sum.Id}));
+  EXPECT_EQ(UsesOf(Blk.Insts[2]), (std::vector<unsigned>{Y.Id, C.Id}));
+}
+
+TEST(IrCore, ProgramLookups) {
+  Program P;
+  P.Imports.push_back("print_int");
+  Function F;
+  F.Name = "main";
+  P.Functions.push_back(F);
+  GlobalVar G;
+  G.Name = "g";
+  G.Size = 4;
+  P.Globals.push_back(G);
+  EXPECT_NE(P.findFunction("main"), nullptr);
+  EXPECT_EQ(P.findFunction("nope"), nullptr);
+  EXPECT_NE(P.findGlobal("g"), nullptr);
+  EXPECT_TRUE(P.isImport("print_int"));
+  EXPECT_FALSE(P.isImport("main"));
+}

@@ -1,0 +1,287 @@
+//===- tests/region_opt.cpp - translator optimizer unit tests --------------===//
+///
+/// Unit tests for the region-level machinery: dependence sets, the list
+/// scheduler, delay-slot filling, record-form folding, and peephole.
+
+#include "translate/Region.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::translate;
+using namespace omni::target;
+
+namespace {
+
+const TargetInfo &Mips = getTargetInfo(TargetKind::Mips);
+const TargetInfo &Ppc = getTargetInfo(TargetKind::Ppc);
+
+TInstr movImm(unsigned Rd, int32_t V) {
+  TInstr I;
+  I.Op = TOp::MovImm;
+  I.Rd = Rd;
+  I.Imm = V;
+  return I;
+}
+TInstr add(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  TInstr I;
+  I.Op = TOp::Add;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  return I;
+}
+TInstr load(unsigned Rd, unsigned Base, int32_t Off) {
+  TInstr I;
+  I.Op = TOp::Load;
+  I.Rd = Rd;
+  I.Rs1 = Base;
+  I.Mode = AddrMode::BaseImm;
+  I.Imm = Off;
+  return I;
+}
+TInstr store(unsigned Val, unsigned Base, int32_t Off) {
+  TInstr I;
+  I.Op = TOp::Store;
+  I.Rd = Val;
+  I.Rs1 = Base;
+  I.Mode = AddrMode::BaseImm;
+  I.Imm = Off;
+  return I;
+}
+TInstr branch(int32_t Target) {
+  TInstr I;
+  I.Op = TOp::Branch;
+  I.Target = Target;
+  return I;
+}
+TInstr bnop() {
+  TInstr I;
+  I.Op = TOp::Nop;
+  I.Cat = ExpCat::Bnop;
+  return I;
+}
+
+std::vector<TOp> opsOf(const Region &R) {
+  std::vector<TOp> Ops;
+  for (const TInstr &I : R.Code)
+    Ops.push_back(I.Op);
+  return Ops;
+}
+
+} // namespace
+
+TEST(DepSetsTest, RawWarWaw) {
+  DepSets Def = computeDeps(Mips, movImm(8, 1));
+  DepSets Use = computeDeps(Mips, add(9, 8, 10));
+  DepSets Redef = computeDeps(Mips, movImm(8, 2));
+  EXPECT_TRUE(DepSets::conflict(Def, Use));    // RAW
+  EXPECT_TRUE(DepSets::conflict(Use, Redef));  // WAR
+  EXPECT_TRUE(DepSets::conflict(Def, Redef));  // WAW
+  DepSets Other = computeDeps(Mips, add(11, 12, 13));
+  EXPECT_FALSE(DepSets::conflict(Def, Other));
+}
+
+TEST(DepSetsTest, MemoryOrdering) {
+  DepSets L1 = computeDeps(Mips, load(8, 20, 0));
+  DepSets L2 = computeDeps(Mips, load(9, 21, 4));
+  DepSets S = computeDeps(Mips, store(10, 22, 8));
+  EXPECT_FALSE(DepSets::conflict(L1, L2)); // loads may pass loads
+  EXPECT_TRUE(DepSets::conflict(L1, S));   // store ordered after load
+  EXPECT_TRUE(DepSets::conflict(S, L1));   // load ordered after store
+  EXPECT_TRUE(DepSets::conflict(S, S));    // stores stay ordered
+}
+
+TEST(DepSetsTest, ZeroRegisterIgnored) {
+  DepSets A = computeDeps(Mips, add(8, 0, 0)); // reads $0
+  DepSets B = computeDeps(Mips, add(0, 9, 9)); // "writes" $0
+  EXPECT_FALSE(DepSets::conflict(B, A));
+}
+
+TEST(DepSetsTest, Barriers) {
+  TInstr H;
+  H.Op = TOp::HostCall;
+  DepSets Call = computeDeps(Mips, H);
+  DepSets Any = computeDeps(Mips, movImm(8, 1));
+  EXPECT_TRUE(DepSets::conflict(Call, Any));
+  EXPECT_TRUE(DepSets::conflict(Any, Call));
+}
+
+TEST(SchedulerTest, HoistsIndependentWorkBetweenLoadAndUse) {
+  Region R;
+  R.Code = {
+      load(8, 20, 0),  // load
+      add(9, 8, 8),    // immediate use (stalls)
+      movImm(10, 1),   // independent
+      movImm(11, 2),   // independent
+      branch(0),
+      bnop(),
+  };
+  scheduleRegion(Mips, R);
+  // The independent moves should now sit between the load and its use.
+  std::vector<TOp> Ops = opsOf(R);
+  ASSERT_EQ(Ops.size(), 6u);
+  EXPECT_EQ(Ops[0], TOp::Load);
+  EXPECT_EQ(Ops[1], TOp::MovImm);
+  // The add comes after at least one filler.
+  size_t AddPos = 0;
+  for (size_t I = 0; I < Ops.size(); ++I)
+    if (Ops[I] == TOp::Add)
+      AddPos = I;
+  EXPECT_GE(AddPos, 2u);
+  // Branch and slot still trail.
+  EXPECT_EQ(Ops[4], TOp::Branch);
+  EXPECT_EQ(Ops[5], TOp::Nop);
+}
+
+TEST(SchedulerTest, PreservesSemanticsOrderForDependencies) {
+  Region R;
+  R.Code = {
+      movImm(8, 1),
+      add(8, 8, 8),
+      add(9, 8, 8),
+      store(9, 20, 0),
+      load(10, 20, 0),
+  };
+  Region Before = R;
+  scheduleRegion(Mips, R);
+  // Dependence chain is total: order must be unchanged.
+  ASSERT_EQ(R.Code.size(), Before.Code.size());
+  for (size_t I = 0; I < R.Code.size(); ++I)
+    EXPECT_EQ(R.Code[I].Op, Before.Code[I].Op) << I;
+}
+
+TEST(DelaySlotTest, FillsFromAbove) {
+  Region R;
+  R.Code = {
+      movImm(8, 1),
+      movImm(9, 2), // candidate
+      branch(0),
+      bnop(),
+  };
+  fillDelaySlot(Mips, R);
+  ASSERT_EQ(R.Code.size(), 3u);
+  EXPECT_EQ(R.Code[0].Op, TOp::MovImm);
+  EXPECT_EQ(R.Code[1].Op, TOp::Branch);
+  EXPECT_EQ(R.Code[2].Op, TOp::MovImm);
+  EXPECT_EQ(R.Code[2].Imm, 2);
+}
+
+TEST(DelaySlotTest, RefusesWhenCandidateFeedsBranch) {
+  TInstr B;
+  B.Op = TOp::CmpBranch;
+  B.Cc = ir::Cond::Ne;
+  B.Rs1 = 9;
+  B.Rs2 = 0;
+  B.Target = 0;
+  Region R;
+  R.Code = {movImm(8, 1), movImm(9, 2) /* feeds branch */, B, bnop()};
+  fillDelaySlot(Mips, R);
+  ASSERT_EQ(R.Code.size(), 4u); // unchanged
+  EXPECT_EQ(R.Code.back().Op, TOp::Nop);
+}
+
+TEST(DelaySlotTest, RefusesCcProducerBeforeCcBranch) {
+  TInstr Cmp;
+  Cmp.Op = TOp::Cmp;
+  Cmp.Rs1 = 8;
+  Cmp.UsesImm = true;
+  Cmp.Imm = 0;
+  TInstr B;
+  B.Op = TOp::BranchCC;
+  B.Cc = ir::Cond::Eq;
+  B.Target = 0;
+  Region R;
+  R.Code = {movImm(8, 1), Cmp, B, bnop()};
+  fillDelaySlot(getTargetInfo(TargetKind::Sparc), R);
+  EXPECT_EQ(R.Code.size(), 4u);
+}
+
+TEST(RecordFormTest, FoldsZeroCompareIntoDefiningAlu) {
+  TInstr Sub;
+  Sub.Op = TOp::Sub;
+  Sub.Rd = 8;
+  Sub.Rs1 = 8;
+  Sub.UsesImm = true;
+  Sub.Imm = 1;
+  TInstr Cmp;
+  Cmp.Op = TOp::Cmp;
+  Cmp.Rs1 = 8;
+  Cmp.UsesImm = true;
+  Cmp.Imm = 0;
+  TInstr B;
+  B.Op = TOp::BranchCC;
+  B.Cc = ir::Cond::Ne;
+  B.Target = 0;
+  Region R;
+  R.Code = {Sub, Cmp, B};
+  foldRecordForms(Ppc, R);
+  ASSERT_EQ(R.Code.size(), 2u);
+  EXPECT_TRUE(R.Code[0].RecordForm);
+  EXPECT_EQ(R.Code[1].Op, TOp::BranchCC);
+}
+
+TEST(RecordFormTest, RefusesUnsignedConsumer) {
+  TInstr Sub;
+  Sub.Op = TOp::Sub;
+  Sub.Rd = 8;
+  Sub.Rs1 = 8;
+  Sub.UsesImm = true;
+  Sub.Imm = 1;
+  TInstr Cmp;
+  Cmp.Op = TOp::Cmp;
+  Cmp.Rs1 = 8;
+  Cmp.UsesImm = true;
+  Cmp.Imm = 0;
+  TInstr B;
+  B.Op = TOp::BranchCC;
+  B.Cc = ir::Cond::GtU; // unsigned: cr0 record semantics don't apply
+  B.Target = 0;
+  Region R;
+  R.Code = {Sub, Cmp, B};
+  foldRecordForms(Ppc, R);
+  EXPECT_EQ(R.Code.size(), 3u);
+}
+
+TEST(RecordFormTest, SearchesPastInterveningCopies) {
+  TInstr Sub;
+  Sub.Op = TOp::Sub;
+  Sub.Rd = 8;
+  Sub.Rs1 = 8;
+  Sub.UsesImm = true;
+  Sub.Imm = 1;
+  TInstr Mv;
+  Mv.Op = TOp::MovReg;
+  Mv.Rd = 9;
+  Mv.Rs1 = 8;
+  TInstr Cmp;
+  Cmp.Op = TOp::Cmp;
+  Cmp.Rs1 = 8;
+  Cmp.UsesImm = true;
+  Cmp.Imm = 0;
+  TInstr B;
+  B.Op = TOp::BranchCC;
+  B.Cc = ir::Cond::Ne;
+  B.Target = 0;
+  Region R;
+  R.Code = {Sub, Mv, Cmp, B};
+  foldRecordForms(Ppc, R);
+  ASSERT_EQ(R.Code.size(), 3u);
+  EXPECT_TRUE(R.Code[0].RecordForm);
+}
+
+TEST(PeepholeTest, RemovesSelfMoves) {
+  TInstr SelfMove;
+  SelfMove.Op = TOp::MovReg;
+  SelfMove.Rd = 8;
+  SelfMove.Rs1 = 8;
+  TInstr RealMove;
+  RealMove.Op = TOp::MovReg;
+  RealMove.Rd = 9;
+  RealMove.Rs1 = 8;
+  Region R;
+  R.Code = {SelfMove, RealMove, SelfMove};
+  peepholeRegion(getTargetInfo(TargetKind::X86), R);
+  ASSERT_EQ(R.Code.size(), 1u);
+  EXPECT_EQ(R.Code[0].Rd, 9);
+}

@@ -1,0 +1,236 @@
+//===- tests/runtime.cpp - host runtime tests -------------------------------===//
+///
+/// The trusted side: loader, host environment (grants, binding, call
+/// gates), heap service, and permission plumbing.
+
+#include "driver/Compiler.h"
+#include "runtime/Run.h"
+#include "vm/Assembler.h"
+#include "vm/Linker.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::runtime;
+
+namespace {
+
+vm::Module asmModule(const std::string &Asm) {
+  DiagnosticEngine Diags;
+  vm::Module Obj;
+  EXPECT_TRUE(vm::assemble(Asm, Obj, Diags)) << Diags.render("t.s");
+  vm::Module Exe;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(vm::link({Obj}, vm::LinkOptions(), Exe, Errors));
+  return Exe;
+}
+
+} // namespace
+
+TEST(Loader, PlacesDataAndBss) {
+  vm::Module Exe = asmModule(R"(
+        .data
+w:      .word 0x11223344
+        .bss
+b:      .space 16
+        .text
+        .global main
+main:   jr ra
+)");
+  vm::AddressSpace Mem;
+  std::string Error;
+  ASSERT_TRUE(loadImage(Exe, Mem, Error)) << Error;
+  uint32_t V = 0;
+  vm::Trap F;
+  ASSERT_TRUE(Mem.read32(Mem.base(), V, F));
+  EXPECT_EQ(V, 0x11223344u);
+  // Bss zeroed after data.
+  ASSERT_TRUE(Mem.read32(Mem.base() + 8, V, F));
+  EXPECT_EQ(V, 0u);
+  EXPECT_EQ(initialHeapBreak(Exe, Mem), Mem.base() + 24);
+}
+
+TEST(Loader, RejectsWrongBase) {
+  vm::Module Exe = asmModule(".text\n.global main\nmain: jr ra\n");
+  Exe.LinkBase = 0x20000000; // linked elsewhere
+  vm::AddressSpace Mem;      // 0x10000000 segment
+  std::string Error;
+  EXPECT_FALSE(loadImage(Exe, Mem, Error));
+  EXPECT_NE(Error.find("linked for base"), std::string::npos);
+}
+
+TEST(Loader, RejectsNonExecutable) {
+  vm::Module M;
+  vm::AddressSpace Mem;
+  std::string Error;
+  EXPECT_FALSE(loadImage(M, Mem, Error));
+}
+
+TEST(Loader, RejectsOversizedImage) {
+  vm::Module Exe = asmModule(".text\n.global main\nmain: jr ra\n");
+  Exe.BssSize = vm::DefaultSegmentSize; // cannot fit with stack reserve
+  vm::AddressSpace Mem;
+  std::string Error;
+  EXPECT_FALSE(loadImage(Exe, Mem, Error));
+  EXPECT_NE(Error.find("does not fit"), std::string::npos);
+}
+
+TEST(HostEnvTest, BindRejectsUngranted) {
+  vm::Module Exe = asmModule(R"(
+        .import known
+        .import unknown
+        .text
+        .global main
+main:   jr ra
+)");
+  HostEnv Env;
+  Env.grant("known", [](vm::HostContext &) { return vm::Trap::none(); });
+  std::string Error;
+  EXPECT_FALSE(Env.bind(Exe, Error));
+  EXPECT_NE(Error.find("unknown"), std::string::npos);
+  Env.grant("unknown", [](vm::HostContext &) { return vm::Trap::none(); });
+  EXPECT_TRUE(Env.bind(Exe, Error));
+}
+
+TEST(HostEnvTest, StdlibOutputCapture) {
+  vm::Module Exe = asmModule(R"(
+        .import print_int
+        .import print_str
+        .import print_f64
+        .data
+msg:    .asciiz " and "
+pi:     .double 3.25
+        .text
+        .global main
+main:   sub sp, sp, 8
+        sw ra, 0(sp)
+        li r0, -5
+        hcall print_int
+        la r0, msg
+        hcall print_str
+        lfd f0, pi
+        hcall print_f64
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+)");
+  RunResult R = runOnInterpreter(Exe);
+  EXPECT_EQ(R.Trap.Kind, vm::TrapKind::Halt);
+  EXPECT_EQ(R.Output, "-5 and 3.25");
+}
+
+TEST(HostEnvTest, SbrkAllocatesAndExhausts) {
+  // First a modest allocation (succeeds, in-segment, usable), then an
+  // absurd one (returns NULL).
+  vm::Module Exe = asmModule(R"(
+        .import host_sbrk
+        .text
+        .global main
+main:   sub sp, sp, 8
+        sw ra, 0(sp)
+        li r0, 64
+        hcall host_sbrk
+        mov r4, r0           ; first block
+        li r1, 7
+        sw r1, 60(r4)        ; block is writable
+        li r0, 0x7ff00000
+        hcall host_sbrk      ; exhausts -> returns 0
+        bne r0, 0, bad
+        lw r0, 60(r4)        ; read back the 7
+        add r0, r0, 10
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+bad:    li r0, -1
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+)");
+  RunResult R = runOnInterpreter(Exe);
+  ASSERT_EQ(R.Trap.Kind, vm::TrapKind::Halt) << printTrap(R.Trap);
+  EXPECT_EQ(R.Trap.Code, 17);
+}
+
+TEST(HostEnvTest, PrintStrRejectsOutOfSegmentPointer) {
+  vm::Module Exe = asmModule(R"(
+        .import print_str
+        .text
+        .global main
+main:   li r0, 0x1000     ; not a segment address
+        hcall print_str
+        jr ra
+)");
+  RunResult R = runOnInterpreter(Exe);
+  EXPECT_EQ(R.Trap.Kind, vm::TrapKind::HostError);
+}
+
+TEST(HostEnvTest, HostExitAndAbort) {
+  vm::Module ExitM = asmModule(R"(
+        .import host_exit
+        .text
+        .global main
+main:   li r0, 9
+        hcall host_exit
+        jr ra
+)");
+  EXPECT_EQ(runOnInterpreter(ExitM).Trap.Code, 9);
+
+  vm::Module AbortM = asmModule(R"(
+        .import host_abort
+        .text
+        .global main
+main:   hcall host_abort
+        jr ra
+)");
+  EXPECT_EQ(runOnInterpreter(AbortM).Trap.Kind, vm::TrapKind::Break);
+}
+
+TEST(RunHelpers, ExtraSetupGrantsCustomFunctions) {
+  vm::Module Exe = asmModule(R"(
+        .import magic
+        .text
+        .global main
+main:   sub sp, sp, 8
+        sw ra, 0(sp)
+        hcall magic
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+)");
+  RunResult R = runOnInterpreter(Exe, 1 << 20, [](HostEnv &Env) {
+    Env.grant("magic", [](vm::HostContext &Ctx) {
+      Ctx.setIntResult(31337);
+      return vm::Trap::none();
+    });
+  });
+  EXPECT_EQ(R.Trap.Code, 31337);
+}
+
+TEST(RunHelpers, TargetsShareTheSameHostBehaviour) {
+  // One module + one custom host function across all engines.
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  ASSERT_TRUE(driver::compileAndLink(R"(
+void print_int(int);
+int secret(void);
+int main() { print_int(secret() * 2); return 0; }
+)",
+                                     Opts, Exe, Error))
+      << Error;
+  auto Grant = [](HostEnv &Env) {
+    Env.grant("secret", [](vm::HostContext &Ctx) {
+      Ctx.setIntResult(21);
+      return vm::Trap::none();
+    });
+  };
+  RunResult Ref = runOnInterpreter(Exe, 1 << 24, Grant);
+  EXPECT_EQ(Ref.Output, "42");
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    auto R = runOnTarget(target::allTargets(T), Exe,
+                         translate::TranslateOptions::mobile(true), 1 << 24,
+                         Grant);
+    EXPECT_EQ(R.Run.Output, "42")
+        << target::getTargetName(target::allTargets(T));
+  }
+}

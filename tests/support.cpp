@@ -1,0 +1,47 @@
+//===- tests/support.cpp - support library tests --------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+
+TEST(Format, Basic) {
+  EXPECT_EQ(formatStr("x=%d", 42), "x=42");
+  EXPECT_EQ(formatStr("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(formatStr("%.2f", 1.5), "1.50");
+}
+
+TEST(Format, Append) {
+  std::string S = "head";
+  appendFormat(S, " %d", 7);
+  EXPECT_EQ(S, "head 7");
+}
+
+TEST(Format, Pad) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(Diagnostics, ErrorsCounted) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning({1, 1}, "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({2, 3}, "boom");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string R = D.render("f.mc");
+  EXPECT_NE(R.find("f.mc:2:3: error: boom"), std::string::npos);
+  EXPECT_NE(R.find("f.mc:1:1: warning: w"), std::string::npos);
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticEngine D;
+  D.error({1, 1}, "x");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}

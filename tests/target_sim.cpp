@@ -1,0 +1,516 @@
+//===- tests/target_sim.cpp - simulator semantics and timing tests ---------===//
+///
+/// Direct tests of the target simulator: instruction semantics on
+/// hand-built native code, the scoreboard timing model (issue width,
+/// pairing rules, latencies, delay slots, branch prediction), and the
+/// VM-register views used by host call gates.
+
+#include "target/Simulator.h"
+#include "vm/Opcode.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::target;
+
+namespace {
+
+/// Builds a TargetCode whose VM register map is the identity into target
+/// registers TargetBase.. (RISC-style), entry 0, and a 1:1 VmToNative map.
+TargetCode makeCode(std::vector<TInstr> Instrs, unsigned TargetBase = 8) {
+  TargetCode C;
+  C.Code = std::move(Instrs);
+  C.VmToNative.resize(C.Code.size() + 1);
+  for (size_t I = 0; I < C.VmToNative.size(); ++I)
+    C.VmToNative[I] = static_cast<uint32_t>(I);
+  for (unsigned R = 0; R < 16; ++R)
+    C.VmIntRegMap[R] = static_cast<int>(TargetBase + R);
+  C.VmIntRegMap[vm::RegSp] = 29;
+  for (unsigned R = 0; R < 16; ++R)
+    C.VmFpRegMap[R] = static_cast<int>(R);
+  return C;
+}
+
+TInstr movImm(unsigned Rd, int32_t V) {
+  TInstr I;
+  I.Op = TOp::MovImm;
+  I.Rd = Rd;
+  I.Imm = V;
+  return I;
+}
+TInstr alu(TOp Op, unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  TInstr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  return I;
+}
+TInstr aluImm(TOp Op, unsigned Rd, unsigned Rs1, int32_t Imm) {
+  TInstr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.UsesImm = true;
+  I.Imm = Imm;
+  return I;
+}
+TInstr halt() {
+  TInstr I;
+  I.Op = TOp::Halt;
+  return I;
+}
+TInstr nop() {
+  TInstr I;
+  I.Op = TOp::Nop;
+  return I;
+}
+
+/// Runs code on a fresh segment; returns the trap.
+vm::Trap runCode(const TargetInfo &TI, const TargetCode &Code,
+                 SimStats *StatsOut = nullptr, Simulator **KeepSim = nullptr,
+                 vm::AddressSpace **KeepMem = nullptr) {
+  static vm::AddressSpace *Mem;
+  static Simulator *Sim;
+  delete Sim;
+  delete Mem;
+  Mem = new vm::AddressSpace();
+  Sim = new Simulator(TI, Code, *Mem);
+  Sim->reset();
+  vm::Trap T = Sim->run(1 << 20);
+  if (StatsOut)
+    *StatsOut = Sim->stats();
+  if (KeepSim)
+    *KeepSim = Sim;
+  if (KeepMem)
+    *KeepMem = Mem;
+  return T;
+}
+
+const TargetInfo &Mips = getTargetInfo(TargetKind::Mips);
+const TargetInfo &Sparc = getTargetInfo(TargetKind::Sparc);
+const TargetInfo &Ppc = getTargetInfo(TargetKind::Ppc);
+const TargetInfo &X86 = getTargetInfo(TargetKind::X86);
+
+} // namespace
+
+TEST(SimSemantics, HaltReturnsVmR0) {
+  // VM r0 maps to target r8.
+  TargetCode C = makeCode({movImm(8, 77), halt()});
+  vm::Trap T = runCode(Mips, C);
+  EXPECT_EQ(T.Kind, vm::TrapKind::Halt);
+  EXPECT_EQ(T.Code, 77);
+}
+
+TEST(SimSemantics, AluOps) {
+  // r8 = 100; r9 = 7; exercise several ops into r8; halt code checks.
+  TargetCode C = makeCode({
+      movImm(8, 100),
+      movImm(9, 7),
+      alu(TOp::Rem, 8, 8, 9), // 2
+      aluImm(TOp::Shl, 8, 8, 4), // 32
+      aluImm(TOp::Xor, 8, 8, 0x31), // 0x20^0x31 = 17
+      halt(),
+  });
+  EXPECT_EQ(runCode(Ppc, C).Code, 17);
+}
+
+TEST(SimSemantics, DivideByZeroTraps) {
+  TargetCode C = makeCode({movImm(8, 5), movImm(9, 0),
+                           alu(TOp::Div, 8, 8, 9), halt()});
+  EXPECT_EQ(runCode(Sparc, C).Kind, vm::TrapKind::DivideByZero);
+}
+
+TEST(SimSemantics, ZeroRegisterReadsZeroAndIgnoresWrites) {
+  // MIPS $0: writing it is a no-op; reading yields 0.
+  TargetCode C = makeCode({
+      movImm(0, 1234),        // attempt to write $0
+      alu(TOp::Add, 8, 0, 0), // r8 = $0 + $0 = 0
+      aluImm(TOp::Add, 8, 8, 9), // 9
+      halt(),
+  });
+  EXPECT_EQ(runCode(Mips, C).Code, 9);
+}
+
+TEST(SimSemantics, MemoryRoundTripAllWidths) {
+  vm::AddressSpace *Mem = nullptr;
+  TargetCode C = makeCode({
+      movImm(8, static_cast<int32_t>(vm::DefaultSegmentBase + 0x1000)),
+      movImm(9, -2),
+      [] { // sb
+        TInstr I;
+        I.Op = TOp::Store;
+        I.Rd = 9;
+        I.Rs1 = 8;
+        I.Mode = AddrMode::BaseImm;
+        I.Imm = 0;
+        I.Width = ir::MemWidth::W8;
+        return I;
+      }(),
+      [] { // lbu -> r10
+        TInstr I;
+        I.Op = TOp::Load;
+        I.Rd = 10;
+        I.Rs1 = 8;
+        I.Mode = AddrMode::BaseImm;
+        I.Imm = 0;
+        I.Width = ir::MemWidth::W8;
+        I.SignedLoad = false;
+        return I;
+      }(),
+      alu(TOp::Add, 8, 10, 0),
+      halt(),
+  });
+  EXPECT_EQ(runCode(Mips, C, nullptr, nullptr, &Mem).Code, 254);
+}
+
+TEST(SimSemantics, IndexedAndAbsoluteAddressing) {
+  uint32_t A = vm::DefaultSegmentBase + 0x2000;
+  TargetCode C = makeCode({
+      movImm(8, static_cast<int32_t>(A)),
+      movImm(9, 8),
+      movImm(10, 4242),
+      [&] { // store [r8 + r9] = r10   (indexed)
+        TInstr I;
+        I.Op = TOp::Store;
+        I.Rd = 10;
+        I.Rs1 = 8;
+        I.Rs2 = 9;
+        I.Mode = AddrMode::BaseIndex;
+        return I;
+      }(),
+      [&] { // load r11 = [abs A+8]
+        TInstr I;
+        I.Op = TOp::Load;
+        I.Rd = 11;
+        I.Mode = AddrMode::Abs;
+        I.Imm = static_cast<int32_t>(A + 8);
+        return I;
+      }(),
+      alu(TOp::Add, 8, 11, 0),
+      halt(),
+  });
+  EXPECT_EQ(runCode(Sparc, C).Code, 4242);
+}
+
+TEST(SimSemantics, CmpBranchAndCondCodes) {
+  // Compare styles: MIPS fused vs cc-based, same outcome.
+  auto Build = [&](bool CcStyle) {
+    std::vector<TInstr> Is;
+    Is.push_back(movImm(8, 5));
+    if (CcStyle) {
+      TInstr Cmp;
+      Cmp.Op = TOp::Cmp;
+      Cmp.Rs1 = 8;
+      Cmp.UsesImm = true;
+      Cmp.Imm = 6;
+      Is.push_back(Cmp);
+      TInstr B;
+      B.Op = TOp::BranchCC;
+      B.Cc = ir::Cond::Lt;
+      B.Target = 4;
+      Is.push_back(B);
+    } else {
+      TInstr B;
+      B.Op = TOp::CmpBranch;
+      B.Cc = ir::Cond::Lt;
+      B.Rs1 = 8;
+      B.UsesImm = true;
+      B.Imm = 6;
+      B.Target = 4;
+      Is.push_back(B);
+      Is.push_back(nop()); // delay slot
+    }
+    Is.push_back(movImm(8, 0)); // skipped when branch taken
+    Is.push_back(halt());
+    return makeCode(Is);
+  };
+  EXPECT_EQ(runCode(Mips, Build(false)).Code, 5);
+  EXPECT_EQ(runCode(Ppc, Build(true)).Code, 5);
+}
+
+TEST(SimSemantics, DelaySlotExecutesBeforeRedirect) {
+  // branch taken; the slot instruction must still execute.
+  TInstr B;
+  B.Op = TOp::Branch;
+  B.Target = 3;
+  TargetCode C = makeCode({
+      movImm(8, 1),
+      B,
+      aluImm(TOp::Add, 8, 8, 10), // delay slot: executes
+      halt(),
+  });
+  EXPECT_EQ(runCode(Mips, C).Code, 11);
+}
+
+TEST(SimSemantics, AnnulledSlotSkippedWhenNotTaken) {
+  TInstr B;
+  B.Op = TOp::CmpBranch;
+  B.Cc = ir::Cond::Eq;
+  B.Rs1 = 8;
+  B.UsesImm = true;
+  B.Imm = 999; // not taken
+  B.Target = 3;
+  B.Annul = true;
+  TargetCode C = makeCode({
+      movImm(8, 1),
+      B,
+      aluImm(TOp::Add, 8, 8, 100), // annulled: skipped
+      aluImm(TOp::Add, 8, 8, 10),
+      halt(),
+  });
+  EXPECT_EQ(runCode(Sparc, C).Code, 11);
+}
+
+TEST(SimSemantics, RecordFormSetsCc) {
+  TInstr Sub = aluImm(TOp::Sub, 8, 8, 1);
+  Sub.RecordForm = true;
+  TInstr B;
+  B.Op = TOp::BranchCC;
+  B.Cc = ir::Cond::Ne;
+  B.Target = 1;
+  TargetCode C = makeCode({
+      movImm(8, 3),
+      Sub, // decrements and sets cc
+      B,   // loops until r8 == 0
+      movImm(9, 42),
+      alu(TOp::Add, 8, 9, 0),
+      halt(),
+  });
+  EXPECT_EQ(runCode(Ppc, C).Code, 42);
+}
+
+TEST(SimSemantics, CallAndReturnThroughVmIndices) {
+  // CallDirect writes VmIndex+1 into the link register; JumpIndirect maps
+  // it back through VmToNative.
+  TInstr Call;
+  Call.Op = TOp::CallDirect;
+  Call.Target = 3; // native index of callee
+  Call.Rd = 8 + vm::RegRa;
+  Call.VmIndex = 1;
+  TInstr Ret;
+  Ret.Op = TOp::JumpIndirect;
+  Ret.Rs1 = 8 + vm::RegRa;
+  TargetCode C = makeCode({
+      movImm(8, 1), // vm idx 0
+      Call,         // vm idx 1 -> link = 2
+      halt(),       // vm idx 2 (return point)
+      aluImm(TOp::Add, 8, 8, 41), // callee
+      Ret,
+  });
+  C.Code[0].VmIndex = 0;
+  C.Code[2].VmIndex = 2;
+  C.Code[3].VmIndex = 3;
+  C.Code[4].VmIndex = 4;
+  EXPECT_EQ(runCode(Ppc, C).Code, 42);
+}
+
+TEST(SimSemantics, BranchDecUsesCtr) {
+  TInstr Mt;
+  Mt.Op = TOp::MoveToCtr;
+  Mt.Rs1 = 9;
+  TInstr Bd;
+  Bd.Op = TOp::BranchDec;
+  Bd.Target = 2;
+  TargetCode C = makeCode({
+      movImm(9, 5),
+      Mt,
+      aluImm(TOp::Add, 8, 8, 1), // body
+      Bd,                        // loops 4 more times
+      halt(),
+  });
+  EXPECT_EQ(runCode(Ppc, C).Code, 5);
+}
+
+//===----------------------------------------------------------------------===//
+// Timing model
+//===----------------------------------------------------------------------===//
+
+TEST(SimTiming, SingleIssueCountsEveryInstruction) {
+  std::vector<TInstr> Is;
+  for (int I = 0; I < 10; ++I)
+    Is.push_back(movImm(8 + (I % 4), I)); // independent
+  Is.push_back(halt());
+  SimStats S;
+  runCode(Mips, makeCode(Is), &S);
+  // Single issue: >= one cycle per instruction.
+  EXPECT_GE(S.Cycles, 11u);
+}
+
+TEST(SimTiming, PpcPairsIntWithFp) {
+  // Alternating independent int and fp ops should dual-issue on PPC.
+  std::vector<TInstr> IntOnly, Mixed;
+  for (int I = 0; I < 20; ++I)
+    IntOnly.push_back(aluImm(TOp::Add, 8 + (I % 4), 12, 1));
+  for (int I = 0; I < 10; ++I) {
+    Mixed.push_back(aluImm(TOp::Add, 8 + (I % 4), 12, 1));
+    TInstr F;
+    F.Op = TOp::FAdd;
+    F.Rd = I % 4;
+    F.Rs1 = 8;
+    F.Rs2 = 9;
+    F.Width = ir::MemWidth::F64;
+    Mixed.push_back(F);
+  }
+  IntOnly.push_back(halt());
+  Mixed.push_back(halt());
+  SimStats SInt, SMix;
+  runCode(Ppc, makeCode(IntOnly), &SInt);
+  runCode(Ppc, makeCode(Mixed), &SMix);
+  // Same instruction count, but the mixed stream pairs.
+  EXPECT_LT(SMix.Cycles, SInt.Cycles + 10);
+  EXPECT_LT(SMix.Cycles, SMix.Instructions);
+}
+
+TEST(SimTiming, PentiumPairsSimpleInstructions) {
+  std::vector<TInstr> Is;
+  for (int I = 0; I < 20; ++I)
+    Is.push_back(movImm(I % 4, I)); // independent, pairable
+  Is.push_back(halt());
+  SimStats S;
+  runCode(X86, makeCode(Is, 0), &S);
+  // Dual issue: roughly half the cycles.
+  EXPECT_LT(S.Cycles, 15u);
+}
+
+TEST(SimTiming, DependentInstructionsDoNotPair) {
+  std::vector<TInstr> Is;
+  Is.push_back(movImm(0, 0));
+  for (int I = 0; I < 20; ++I)
+    Is.push_back(aluImm(TOp::Add, 0, 0, 1)); // serial chain
+  Is.push_back(halt());
+  SimStats S;
+  runCode(X86, makeCode(Is, 0), &S);
+  EXPECT_GE(S.Cycles, 21u);
+}
+
+TEST(SimTiming, LoadUseInterlockStalls) {
+  uint32_t A = vm::DefaultSegmentBase + 64;
+  auto Build = [&](bool UseImmediately) {
+    std::vector<TInstr> Is;
+    Is.push_back(movImm(8, static_cast<int32_t>(A)));
+    TInstr L;
+    L.Op = TOp::Load;
+    L.Rd = 9;
+    L.Rs1 = 8;
+    L.Mode = AddrMode::BaseImm;
+    Is.push_back(L);
+    if (UseImmediately) {
+      Is.push_back(aluImm(TOp::Add, 10, 9, 1)); // load-use
+      Is.push_back(aluImm(TOp::Add, 11, 8, 1));
+    } else {
+      Is.push_back(aluImm(TOp::Add, 11, 8, 1)); // filler first
+      Is.push_back(aluImm(TOp::Add, 10, 9, 1));
+    }
+    Is.push_back(halt());
+    return makeCode(Is);
+  };
+  SimStats Hot, Cold;
+  runCode(Mips, Build(true), &Hot);
+  runCode(Mips, Build(false), &Cold);
+  EXPECT_GT(Hot.Cycles, Cold.Cycles); // scheduling away the use helps
+}
+
+TEST(SimTiming, PpcCompareLatencyStallsBranch) {
+  // cmp immediately followed by bc stalls (CmpLat=3 on the 601); padding
+  // with independent work hides it.
+  auto Build = [&](int Padding) {
+    std::vector<TInstr> Is;
+    Is.push_back(movImm(8, 1));
+    TInstr Cmp;
+    Cmp.Op = TOp::Cmp;
+    Cmp.Rs1 = 8;
+    Cmp.UsesImm = true;
+    Cmp.Imm = 0;
+    Is.push_back(Cmp);
+    for (int I = 0; I < Padding; ++I)
+      Is.push_back(aluImm(TOp::Add, 9 + I, 12, 1));
+    TInstr B;
+    B.Op = TOp::BranchCC;
+    B.Cc = ir::Cond::Ne;
+    B.Target = static_cast<int32_t>(Is.size()) + 1;
+    Is.push_back(B);
+    Is.push_back(halt());
+    return makeCode(Is);
+  };
+  SimStats Tight, Padded;
+  runCode(Ppc, Build(0), &Tight);
+  runCode(Ppc, Build(2), &Padded);
+  // The padded version does MORE work in the SAME or fewer cycles.
+  EXPECT_LE(Padded.Cycles, Tight.Cycles + 1);
+}
+
+TEST(SimTiming, StaticPredictionPenalizesForwardTaken) {
+  // x86 static prediction: forward-taken mispredicts.
+  auto Build = [&](bool Taken) {
+    std::vector<TInstr> Is;
+    Is.push_back(movImm(0, Taken ? 0 : 1));
+    TInstr Cmp;
+    Cmp.Op = TOp::Cmp;
+    Cmp.Rs1 = 0;
+    Cmp.UsesImm = true;
+    Cmp.Imm = 0;
+    Is.push_back(Cmp);
+    TInstr B;
+    B.Op = TOp::BranchCC;
+    B.Cc = ir::Cond::Eq;
+    B.Target = 4; // forward
+    Is.push_back(B);
+    Is.push_back(nop());
+    Is.push_back(halt());
+    return makeCode(Is, 0);
+  };
+  SimStats TakenS, NotTakenS;
+  runCode(X86, Build(true), &TakenS);
+  runCode(X86, Build(false), &NotTakenS);
+  EXPECT_GT(TakenS.Cycles, NotTakenS.Cycles);
+}
+
+TEST(SimTiming, MemOperandCostsExtra) {
+  uint32_t A = vm::DefaultSegmentBase + 128;
+  auto Build = [&](bool MemOp) {
+    std::vector<TInstr> Is;
+    Is.push_back(movImm(0, 5));
+    for (int I = 0; I < 10; ++I) {
+      TInstr Add;
+      Add.Op = TOp::Add;
+      Add.Rd = 1;
+      Add.Rs1 = 1;
+      if (MemOp) {
+        Add.MemOperand = true;
+        Add.Mode = AddrMode::Abs;
+        Add.Imm = static_cast<int32_t>(A);
+      } else {
+        Add.UsesImm = true;
+        Add.Imm = 3;
+      }
+      Is.push_back(Add);
+    }
+    Is.push_back(halt());
+    return makeCode(Is, 0);
+  };
+  SimStats Reg, Mem;
+  runCode(X86, Build(false), &Reg);
+  runCode(X86, Build(true), &Mem);
+  EXPECT_GT(Mem.Cycles, Reg.Cycles);
+}
+
+TEST(SimHostView, X86MemoryMappedRegisters) {
+  // On x86, VM r8 has no physical register; HostContext reads it from the
+  // memory slot area.
+  TargetCode C = makeCode({halt()}, 0);
+  for (int R = 4; R < 13; ++R)
+    C.VmIntRegMap[R] = -1;
+  C.VmIntRegMap[13] = 4;
+  C.IntSlotBase = vm::DefaultSegmentBase + vm::DefaultSegmentSize - 192;
+  vm::AddressSpace Mem;
+  Simulator Sim(X86, C, Mem);
+  Sim.reset();
+  Sim.setIntReg(8, 0xabcd);
+  EXPECT_EQ(Sim.getIntReg(8), 0xabcdu);
+  // Round-trips through memory, not a register.
+  uint32_t V = 0;
+  vm::Trap F;
+  Mem.read32(C.IntSlotBase + 4 * 8, V, F);
+  EXPECT_EQ(V, 0xabcdu);
+}

@@ -1,0 +1,214 @@
+//===- tests/vm_assembler.cpp - assembler unit tests -----------------------===//
+
+#include "vm/Assembler.h"
+#include "vm/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::vm;
+
+namespace {
+
+Module mustAssemble(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Module M;
+  bool Ok = assemble(Src, M, Diags);
+  EXPECT_TRUE(Ok) << Diags.render("t.s");
+  return M;
+}
+
+bool failsToAssemble(const std::string &Src, std::string *FirstError = nullptr) {
+  DiagnosticEngine Diags;
+  Module M;
+  bool Ok = assemble(Src, M, Diags);
+  if (!Ok && FirstError && !Diags.diagnostics().empty())
+    *FirstError = Diags.diagnostics().front().Message;
+  return !Ok;
+}
+
+} // namespace
+
+TEST(Assembler, AllOperandForms) {
+  Module M = mustAssemble(R"(
+        .text
+f:      add r1, r2, r3
+        add r1, r2, -5
+        mov r1, r2
+        li  r1, 0x7fffffff
+        lw  r1, 8(r2)
+        lw  r1, (r2+r3)
+        sw  r1, -4(sp)
+        beq r1, r2, f
+        bne r1, 3, f
+        j   f
+        jal f
+        jr  ra
+        jalr r4
+        nop
+        halt
+)");
+  ASSERT_EQ(M.Code.size(), 15u);
+  EXPECT_EQ(M.Code[0].Op, Opcode::Add);
+  EXPECT_FALSE(M.Code[0].UsesImm);
+  EXPECT_TRUE(M.Code[1].UsesImm);
+  EXPECT_EQ(M.Code[1].Imm, -5);
+  EXPECT_EQ(M.Code[3].Imm, 0x7fffffff);
+  EXPECT_EQ(M.Code[4].Imm, 8);
+  EXPECT_FALSE(M.Code[5].UsesImm);
+  EXPECT_EQ(M.Code[5].Rs2, 3);
+  EXPECT_EQ(M.Code[6].Rs1, RegSp);
+  EXPECT_EQ(M.Code[6].Imm, -4);
+}
+
+TEST(Assembler, RegisterAliases) {
+  Module M = mustAssemble(".text\nf: add sp, fp, ra\n");
+  EXPECT_EQ(M.Code[0].Rd, RegSp);
+  EXPECT_EQ(M.Code[0].Rs1, RegFp);
+  EXPECT_EQ(M.Code[0].Rs2, RegRa);
+}
+
+TEST(Assembler, FpRegisters) {
+  Module M = mustAssemble(".text\nf: fadd.d f1, f2, f15\nlfd f3, 0(r1)\n");
+  EXPECT_EQ(M.Code[0].Rd, 1);
+  EXPECT_EQ(M.Code[0].Rs2, 15);
+  EXPECT_EQ(M.Code[1].Rd, 3);
+}
+
+TEST(Assembler, DataDirectives) {
+  Module M = mustAssemble(R"(
+        .data
+w:      .word 1, 2, -1
+h:      .half 0x1234
+b:      .byte 1, 2
+s:      .asciiz "hi\n"
+        .align 4
+f:      .float 1.0
+d:      .double 2.0
+sp1:    .space 3
+)");
+  // 12 + 2 + 2 + 4 bytes then aligned to 4 -> 20, + 4 + 8 + 3 = 35.
+  EXPECT_EQ(M.Data.size(), 35u);
+  EXPECT_EQ(M.Data[0], 1);
+  EXPECT_EQ(M.Data[8], 0xff);   // -1 LE
+  EXPECT_EQ(M.Data[12], 0x34);  // .half LE
+  EXPECT_EQ(M.Data[16], 'h');
+  EXPECT_EQ(M.Data[18], '\n');
+  EXPECT_EQ(M.Data[19], '\0');
+}
+
+TEST(Assembler, BssSection) {
+  Module M = mustAssemble(R"(
+        .data
+x:      .word 7
+        .bss
+buf:    .space 100
+        .align 8
+buf2:   .space 4
+)");
+  EXPECT_EQ(M.Data.size(), 4u);
+  EXPECT_EQ(M.BssSize, 108u);
+  // bss symbols sit after initialized data.
+  bool FoundBuf = false, FoundBuf2 = false;
+  for (const Symbol &S : M.Symbols) {
+    if (S.Name == "buf") {
+      EXPECT_EQ(S.Value, 4u);
+      FoundBuf = true;
+    }
+    if (S.Name == "buf2") {
+      EXPECT_EQ(S.Value, 4u + 104u);
+      FoundBuf2 = true;
+    }
+  }
+  EXPECT_TRUE(FoundBuf && FoundBuf2);
+}
+
+TEST(Assembler, ImportsAndHcall) {
+  Module M = mustAssemble(R"(
+        .import print_int
+        .import exit
+        .text
+f:      hcall print_int
+        hcall exit
+        hcall 0
+)");
+  ASSERT_EQ(M.Imports.size(), 2u);
+  EXPECT_EQ(M.Imports[0], "print_int");
+  EXPECT_EQ(M.Code[0].Imm, 0);
+  EXPECT_EQ(M.Code[1].Imm, 1);
+  EXPECT_EQ(M.Code[2].Imm, 0);
+}
+
+TEST(Assembler, GlobalSymbolsAndRelocs) {
+  Module M = mustAssemble(R"(
+        .text
+        .global main
+main:   la r1, table
+        lw r2, table+4
+        jal external_fn
+        jr ra
+        .data
+table:  .word 10, external_data, main
+)");
+  // Relocs: la(ImmValue), lw abs(ImmValue), jal(CodeTarget),
+  // .word external_data (DataWord), .word main (DataWord).
+  ASSERT_EQ(M.Relocs.size(), 5u);
+  EXPECT_EQ(M.Relocs[0].Kind, Reloc::ImmValue);
+  EXPECT_EQ(M.Relocs[1].Kind, Reloc::ImmValue);
+  EXPECT_EQ(M.Relocs[1].Addend, 4);
+  EXPECT_EQ(M.Relocs[2].Kind, Reloc::CodeTarget);
+  EXPECT_EQ(M.Relocs[3].Kind, Reloc::DataWord);
+  EXPECT_EQ(M.Relocs[3].Offset, 4u);
+  EXPECT_EQ(M.Relocs[4].Offset, 8u);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyObject(M, Errors)) << Errors.front();
+}
+
+TEST(Assembler, PseudoRet) {
+  Module M = mustAssemble(".text\nf: ret\n");
+  EXPECT_EQ(M.Code[0].Op, Opcode::Jr);
+  EXPECT_EQ(M.Code[0].Rs1, RegRa);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Module M = mustAssemble(R"(
+# full line comment
+        .text
+f:      nop          ; trailing comment
+        nop          # another
+
+)");
+  EXPECT_EQ(M.Code.size(), 2u);
+}
+
+TEST(Assembler, CharLiterals) {
+  Module M = mustAssemble(".text\nf: li r1, 'A'\nli r2, '\\n'\n");
+  EXPECT_EQ(M.Code[0].Imm, 65);
+  EXPECT_EQ(M.Code[1].Imm, 10);
+}
+
+TEST(Assembler, Errors) {
+  std::string Err;
+  EXPECT_TRUE(failsToAssemble(".text\nf: frobnicate r1\n", &Err));
+  EXPECT_NE(Err.find("unknown mnemonic"), std::string::npos);
+  EXPECT_TRUE(failsToAssemble(".text\nf: add r1, r2\n", &Err));
+  EXPECT_TRUE(failsToAssemble(".text\nf: add r99, r2, r3\n", &Err));
+  EXPECT_TRUE(failsToAssemble(".text\nf: hcall nope\n", &Err));
+  EXPECT_NE(Err.find("undeclared import"), std::string::npos);
+  EXPECT_TRUE(failsToAssemble(".text\nx: nop\nx: nop\n", &Err));
+  EXPECT_NE(Err.find("redefinition"), std::string::npos);
+  EXPECT_TRUE(failsToAssemble(".data\nw: .word bad+\n", &Err));
+  EXPECT_TRUE(failsToAssemble(".text\nf: fadd.d f1, f2, 3\n", &Err));
+  EXPECT_TRUE(failsToAssemble(".badsec\n", &Err));
+}
+
+TEST(Assembler, InstructionOutsideText) {
+  EXPECT_TRUE(failsToAssemble(".data\nadd r1, r2, r3\n"));
+}
+
+TEST(Assembler, NumericBranchTargetsForTests) {
+  Module M = mustAssemble(".text\nf: beq r1, r2, @7\nj @0\n");
+  EXPECT_EQ(M.Code[0].Target, 7);
+  EXPECT_EQ(M.Code[1].Target, 0);
+  EXPECT_TRUE(M.Relocs.empty());
+}

@@ -1,0 +1,399 @@
+//===- tests/vm_interpreter.cpp - OmniVM interpreter semantics ------------===//
+
+#include "vm/Assembler.h"
+#include "vm/Interpreter.h"
+#include "vm/Linker.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+using namespace omni;
+using namespace omni::vm;
+
+namespace {
+
+/// Assembles+links one source file and runs it; returns the halt code.
+/// Asserts the program halts normally.
+class VmRunner {
+public:
+  explicit VmRunner(const std::string &Asm) {
+    DiagnosticEngine Diags;
+    Module Obj;
+    if (!assemble(Asm, Obj, Diags)) {
+      ADD_FAILURE() << Diags.render("test.s");
+      return;
+    }
+    std::vector<std::string> Errors;
+    if (!link({Obj}, LinkOptions(), Exe, Errors)) {
+      ADD_FAILURE() << Errors.front();
+      return;
+    }
+    Ok = true;
+  }
+
+  Trap run(HostCallHandler Host = nullptr) {
+    Mem = std::make_unique<AddressSpace>();
+    // Install initialized data the way the loader does.
+    if (!Exe.Data.empty())
+      Mem->hostWrite(Exe.LinkBase, Exe.Data.data(),
+                     static_cast<uint32_t>(Exe.Data.size()));
+    Interp = std::make_unique<Interpreter>(Exe, *Mem);
+    if (Host)
+      Interp->setHostHandler(std::move(Host));
+    Interp->reset(Exe.EntryIndex);
+    return Interp->run(1u << 24);
+  }
+
+  bool Ok = false;
+  Module Exe;
+  std::unique_ptr<AddressSpace> Mem;
+  std::unique_ptr<Interpreter> Interp;
+};
+
+int32_t runExit(const std::string &Asm) {
+  VmRunner R(Asm);
+  EXPECT_TRUE(R.Ok);
+  if (!R.Ok)
+    return -999;
+  Trap T = R.run();
+  EXPECT_EQ(T.Kind, TrapKind::Halt) << printTrap(T);
+  return T.Code;
+}
+
+const char *Prologue = R"(
+        .text
+        .global main
+main:
+)";
+
+std::string prog(const std::string &Body) {
+  return std::string(Prologue) + Body + "\n        jr ra\n";
+}
+
+} // namespace
+
+TEST(Interp, ArithmeticBasics) {
+  EXPECT_EQ(runExit(prog("        li r0, 2\n        add r0, r0, 3")), 5);
+  EXPECT_EQ(runExit(prog("        li r0, 10\n        sub r0, r0, 3")), 7);
+  EXPECT_EQ(runExit(prog("        li r0, -6\n        mul r0, r0, 7")), -42);
+  EXPECT_EQ(runExit(prog("        li r0, -40\n        div r0, r0, 4")), -10);
+  EXPECT_EQ(runExit(prog("        li r0, -7\n        rem r0, r0, 3")), -1);
+  EXPECT_EQ(runExit(prog("        li r0, 0xff\n        and r0, r0, 0x0f")),
+            0x0f);
+  EXPECT_EQ(runExit(prog("        li r0, 1\n        sll r0, r0, 10")), 1024);
+  EXPECT_EQ(runExit(prog("        li r0, -8\n        sra r0, r0, 1")), -4);
+  EXPECT_EQ(runExit(prog("        li r0, -8\n        srl r0, r0, 28")), 15);
+}
+
+TEST(Interp, DivideByZeroTraps) {
+  VmRunner R(prog("        li r0, 1\n        li r1, 0\n"
+                  "        div r0, r0, r1"));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.run().Kind, TrapKind::DivideByZero);
+}
+
+TEST(Interp, DivOverflowWraps) {
+  // INT_MIN / -1 is defined to wrap (no trap, no UB).
+  EXPECT_EQ(runExit(prog("        li r0, -2147483648\n"
+                         "        div r0, r0, -1")),
+            std::numeric_limits<int32_t>::min());
+}
+
+TEST(Interp, UnsignedOps) {
+  EXPECT_EQ(runExit(prog("        li r0, -1\n        li r1, 16\n"
+                         "        divu r0, r0, r1\n        srl r0, r0, 24")),
+            0x0f);
+  EXPECT_EQ(runExit(prog("        li r0, -1\n        remu r0, r0, 10")),
+            static_cast<int32_t>(0xffffffffu % 10));
+}
+
+TEST(Interp, CompareAndBranch) {
+  // Signed: -1 < 1.
+  EXPECT_EQ(runExit(prog(R"(
+        li r0, 0
+        li r1, -1
+        li r2, 1
+        blt r1, r2, yes
+        jr ra
+yes:    li r0, 1)")),
+            1);
+  // Unsigned: 0xffffffff > 1.
+  EXPECT_EQ(runExit(prog(R"(
+        li r0, 0
+        li r1, -1
+        li r2, 1
+        bltu r1, r2, yes
+        li r0, 2
+        jr ra
+yes:    li r0, 1)")),
+            2);
+}
+
+TEST(Interp, BranchAgainstImmediate) {
+  EXPECT_EQ(runExit(prog(R"(
+        li r0, 5
+        beq r0, 5, ok
+        li r0, 0
+        jr ra
+ok:     li r0, 77)")),
+            77);
+}
+
+TEST(Interp, LoopSum) {
+  // Sum 1..10 = 55.
+  EXPECT_EQ(runExit(prog(R"(
+        li r0, 0
+        li r1, 1
+loop:   add r0, r0, r1
+        add r1, r1, 1
+        ble r1, 10, loop)")),
+            55);
+}
+
+TEST(Interp, MemoryLoadsStores) {
+  EXPECT_EQ(runExit(prog(R"(
+        sub sp, sp, 16
+        li r1, 0x12345678
+        sw r1, 0(sp)
+        lb r0, 1(sp)
+        lbu r2, 3(sp)
+        add r0, r0, r2
+        add sp, sp, 16)")),
+            0x56 + 0x12);
+  // Sign extension of lb/lh.
+  EXPECT_EQ(runExit(prog(R"(
+        sub sp, sp, 16
+        li r1, -2
+        sb r1, 0(sp)
+        lb r0, 0(sp)
+        add sp, sp, 16)")),
+            -2);
+  EXPECT_EQ(runExit(prog(R"(
+        sub sp, sp, 16
+        li r1, -300
+        sh r1, 0(sp)
+        lhu r0, 0(sp)
+        add sp, sp, 16)")),
+            65536 - 300);
+}
+
+TEST(Interp, IndexedAddressing) {
+  EXPECT_EQ(runExit(prog(R"(
+        sub sp, sp, 32
+        li r1, 99
+        li r2, 8
+        sw r1, (sp+r2)
+        lw r0, 8(sp)
+        add sp, sp, 32)")),
+            99);
+}
+
+TEST(Interp, GlobalDataAccess) {
+  EXPECT_EQ(runExit(R"(
+        .data
+counter: .word 41
+        .text
+        .global main
+main:   lw r0, counter
+        add r0, r0, 1
+        sw r0, counter
+        lw r0, counter
+        jr ra
+)"),
+            42);
+}
+
+TEST(Interp, BssIsZeroed) {
+  EXPECT_EQ(runExit(R"(
+        .bss
+buf:    .space 64
+        .text
+        .global main
+main:   lw r0, buf+60
+        jr ra
+)"),
+            0);
+}
+
+TEST(Interp, FunctionCallAndReturn) {
+  EXPECT_EQ(runExit(R"(
+        .text
+        .global main
+main:   sub sp, sp, 8
+        sw ra, 0(sp)
+        li r0, 20
+        jal double_it
+        add r0, r0, 2
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+double_it:
+        add r0, r0, r0
+        jr ra
+)"),
+            42);
+}
+
+TEST(Interp, IndirectCallThroughFunctionPointer) {
+  EXPECT_EQ(runExit(R"(
+        .data
+fptr:   .word callee
+        .text
+        .global main
+main:   sub sp, sp, 8
+        sw ra, 0(sp)
+        lw r4, fptr
+        li r0, 5
+        jalr r4
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+callee: mul r0, r0, r0
+        jr ra
+)"),
+            25);
+}
+
+TEST(Interp, FloatArithmetic) {
+  EXPECT_EQ(runExit(R"(
+        .data
+a:      .double 1.5
+b:      .double 2.25
+        .text
+        .global main
+main:   lfd f1, a
+        lfd f2, b
+        fadd.d f3, f1, f2
+        fmul.d f3, f3, f3     ; 3.75^2 = 14.0625
+        cvt.d.w r0, f3        ; truncates to 14
+        jr ra
+)"),
+            14);
+}
+
+TEST(Interp, FloatSinglePrecision) {
+  EXPECT_EQ(runExit(R"(
+        .data
+x:      .float 3.0
+        .text
+        .global main
+main:   lfs f1, x
+        fmul.s f2, f1, f1
+        cvt.s.w r0, f2
+        jr ra
+)"),
+            9);
+}
+
+TEST(Interp, IntToFloatConversions) {
+  EXPECT_EQ(runExit(prog(R"(
+        li r1, -7
+        cvt.w.d f1, r1
+        fneg.d f1, f1
+        cvt.d.w r0, f1)")),
+            7);
+}
+
+TEST(Interp, FloatCompareBranches) {
+  EXPECT_EQ(runExit(R"(
+        .data
+a:      .double 1.0
+b:      .double 2.0
+        .text
+        .global main
+main:   lfd f1, a
+        lfd f2, b
+        li r0, 0
+        bflt.d f1, f2, yes
+        jr ra
+yes:    li r0, 1
+        jr ra
+)"),
+            1);
+}
+
+TEST(Interp, EndianNeutralExtractInsert) {
+  // extb/exth index by value significance, not memory order.
+  EXPECT_EQ(runExit(prog(R"(
+        li r1, 0x12345678
+        extb r0, r1, 2        ; 0x34
+        exth r2, r1, 1        ; 0x1234
+        add r0, r0, r2)")),
+            0x34 + 0x1234);
+  EXPECT_EQ(runExit(prog(R"(
+        li r0, 0
+        li r1, 0xab
+        insb r0, r1, 1
+        srl r0, r0, 8)")),
+            0xab);
+}
+
+TEST(Interp, HostCall) {
+  VmRunner R(R"(
+        .import add_mystery
+        .text
+        .global main
+main:   li r0, 40
+        hcall add_mystery
+        jr ra
+)");
+  ASSERT_TRUE(R.Ok);
+  Trap T = R.run([](unsigned Idx, HostContext &Ctx) {
+    EXPECT_EQ(Idx, 0u);
+    Ctx.setIntResult(Ctx.intArg(0) + 2);
+    return Trap::none();
+  });
+  EXPECT_EQ(T.Kind, TrapKind::Halt);
+  EXPECT_EQ(T.Code, 42);
+}
+
+TEST(Interp, HostCallWithoutHandlerTraps) {
+  VmRunner R(R"(
+        .import f
+        .text
+        .global main
+main:   hcall f
+        jr ra
+)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.run().Kind, TrapKind::HostError);
+}
+
+TEST(Interp, WildStoreTraps) {
+  VmRunner R(prog("        li r1, 0x200\n        sw r0, 0(r1)"));
+  ASSERT_TRUE(R.Ok);
+  Trap T = R.run();
+  EXPECT_EQ(T.Kind, TrapKind::AccessViolation);
+  EXPECT_EQ(T.Addr, 0x200u);
+}
+
+TEST(Interp, WildJumpTraps) {
+  VmRunner R(prog("        li r1, 123456\n        jr r1"));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.run().Kind, TrapKind::BadJump);
+}
+
+TEST(Interp, BreakTraps) {
+  VmRunner R(prog("        break"));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.run().Kind, TrapKind::Break);
+}
+
+TEST(Interp, StepLimit) {
+  VmRunner R(std::string(Prologue) + "loop:   j loop\n");
+  ASSERT_TRUE(R.Ok);
+  R.Mem = std::make_unique<AddressSpace>();
+  Interpreter I(R.Exe, *R.Mem);
+  I.reset(R.Exe.EntryIndex);
+  EXPECT_EQ(I.run(1000).Kind, TrapKind::StepLimit);
+  EXPECT_EQ(I.instrCount(), 1000u);
+}
+
+TEST(Interp, InstrCountCounts) {
+  VmRunner R(prog("        li r0, 0"));
+  ASSERT_TRUE(R.Ok);
+  R.run();
+  // li + jr = 2 instructions.
+  EXPECT_EQ(R.Interp->instrCount(), 2u);
+}

@@ -1,0 +1,169 @@
+//===- tests/vm_isa.cpp - OmniVM ISA structural tests ----------------------===//
+
+#include "vm/AddressSpace.h"
+#include "vm/Instruction.h"
+#include "vm/Module.h"
+#include "vm/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace omni;
+using namespace omni::vm;
+
+TEST(OpcodeInfo, MnemonicsUnique) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < NumOpcodes; ++I) {
+    const char *Mn = getMnemonic(static_cast<Opcode>(I));
+    EXPECT_TRUE(Seen.insert(Mn).second) << "duplicate mnemonic " << Mn;
+  }
+}
+
+TEST(OpcodeInfo, BranchClassification) {
+  EXPECT_TRUE(isCondBranch(Opcode::Beq));
+  EXPECT_TRUE(isCondBranch(Opcode::BfltD));
+  EXPECT_FALSE(isCondBranch(Opcode::J));
+  EXPECT_TRUE(isControlFlow(Opcode::J));
+  EXPECT_TRUE(isControlFlow(Opcode::Jalr));
+  EXPECT_TRUE(isControlFlow(Opcode::Halt));
+  EXPECT_FALSE(isControlFlow(Opcode::Add));
+  EXPECT_TRUE(isLoad(Opcode::Lfd));
+  EXPECT_FALSE(isLoad(Opcode::Sfd));
+  EXPECT_TRUE(isStore(Opcode::Sb));
+}
+
+TEST(OpcodeInfo, InvertBranch) {
+  EXPECT_EQ(invertBranch(Opcode::Beq), Opcode::Bne);
+  EXPECT_EQ(invertBranch(Opcode::Blt), Opcode::Bge);
+  EXPECT_EQ(invertBranch(Opcode::Bgtu), Opcode::Bleu);
+  EXPECT_EQ(invertBranch(invertBranch(Opcode::Ble)), Opcode::Ble);
+}
+
+TEST(InstrPrint, Forms) {
+  EXPECT_EQ(printInstr(makeRRR(Opcode::Add, 1, 2, 3)), "add     r1, r2, r3");
+  EXPECT_EQ(printInstr(makeRRI(Opcode::Add, 1, 2, -7)), "add     r1, r2, -7");
+  EXPECT_EQ(printInstr(makeLi(4, 100)), "li      r4, 100");
+  EXPECT_EQ(printInstr(makeMemImm(Opcode::Lw, 1, 13, 8)), "lw      r1, 8(r13)");
+  EXPECT_EQ(printInstr(makeMemIdx(Opcode::Sw, 1, 2, 3)),
+            "sw      r1, (r2+r3)");
+  EXPECT_EQ(printInstr(makeMemAbs(Opcode::Lw, 1, 0x1000)),
+            "lw      r1, 4096");
+  EXPECT_EQ(printInstr(makeBranchImm(Opcode::Beq, 1, 0, 12)),
+            "beq     r1, 0, @12");
+  EXPECT_EQ(printInstr(makeRRR(Opcode::FAddD, 1, 2, 3)),
+            "fadd.d  f1, f2, f3");
+  EXPECT_EQ(printInstr(makeJump(Opcode::Jal, 5)), "jal     @5");
+}
+
+TEST(AddressSpaceTest, SegmentGeometry) {
+  AddressSpace M;
+  EXPECT_EQ(M.base(), DefaultSegmentBase);
+  EXPECT_TRUE(M.contains(M.base()));
+  EXPECT_TRUE(M.contains(M.base() + M.size() - 1));
+  EXPECT_FALSE(M.contains(M.base() + M.size()));
+  EXPECT_FALSE(M.contains(M.base() - 1));
+  EXPECT_FALSE(M.contains(0));
+  // The SFI masking identity: any 32-bit value masked+tagged lands inside.
+  for (uint32_t Addr : {0u, 0xffffffffu, 0x12345678u, M.base() - 4}) {
+    uint32_t Forced = (Addr & M.offsetMask()) | M.base();
+    EXPECT_TRUE(M.contains(Forced));
+  }
+}
+
+TEST(AddressSpaceTest, ReadWriteRoundTrip) {
+  AddressSpace M;
+  Trap F;
+  uint32_t A = M.base() + 128;
+  ASSERT_TRUE(M.write32(A, 0xdeadbeef, F));
+  uint32_t V = 0;
+  ASSERT_TRUE(M.read32(A, V, F));
+  EXPECT_EQ(V, 0xdeadbeefu);
+  ASSERT_TRUE(M.write8(A, 0x7f, F));
+  ASSERT_TRUE(M.read32(A, V, F));
+  EXPECT_EQ(V, 0xdeadbe7fu); // little-endian inside the segment buffer
+  uint64_t V64 = 0;
+  ASSERT_TRUE(M.write64(A + 8, 0x0123456789abcdefull, F));
+  ASSERT_TRUE(M.read64(A + 8, V64, F));
+  EXPECT_EQ(V64, 0x0123456789abcdefull);
+}
+
+TEST(AddressSpaceTest, OutOfSegmentFaults) {
+  AddressSpace M;
+  Trap F;
+  uint32_t V;
+  EXPECT_FALSE(M.read32(0x1000, V, F));
+  EXPECT_EQ(F.Kind, TrapKind::AccessViolation);
+  EXPECT_EQ(F.Addr, 0x1000u);
+  // Straddling the segment end faults.
+  EXPECT_FALSE(M.write32(M.base() + M.size() - 2, 1, F));
+}
+
+TEST(AddressSpaceTest, PagePermissions) {
+  AddressSpace M;
+  Trap F;
+  uint32_t A = M.base() + 2 * PageSize;
+  M.protect(A, PageSize, PermRead);
+  uint32_t V;
+  EXPECT_TRUE(M.read32(A, V, F));
+  EXPECT_FALSE(M.write32(A, 1, F));
+  EXPECT_EQ(F.Kind, TrapKind::AccessViolation);
+  M.protect(A, PageSize, PermNone);
+  EXPECT_FALSE(M.read32(A, V, F));
+  M.protect(A, PageSize, PermReadWrite);
+  EXPECT_TRUE(M.write32(A, 1, F));
+}
+
+TEST(AddressSpaceTest, HostAccessors) {
+  AddressSpace M;
+  const char *S = "omniware";
+  M.hostWrite(M.base() + 64, S, 9);
+  EXPECT_EQ(M.hostReadCString(M.base() + 64), "omniware");
+  char Buf[9];
+  M.hostRead(M.base() + 64, Buf, 9);
+  EXPECT_STREQ(Buf, "omniware");
+}
+
+TEST(VerifierTest, AcceptsWellFormed) {
+  Module M;
+  M.Code.push_back(makeLi(0, 1));
+  M.Code.push_back(makeBranchImm(Opcode::Beq, 0, 1, 0));
+  M.Code.push_back(makeSimple(Opcode::Halt));
+  M.EntryIndex = 0;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyExecutable(M, Errors)) << Errors[0];
+}
+
+TEST(VerifierTest, RejectsBadBranchTarget) {
+  Module M;
+  M.Code.push_back(makeBranchImm(Opcode::Beq, 0, 1, 99));
+  M.EntryIndex = 0;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyExecutable(M, Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(VerifierTest, RejectsBadHostCall) {
+  Module M;
+  M.Code.push_back(makeHCall(0)); // no imports declared
+  M.EntryIndex = 0;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyExecutable(M, Errors));
+}
+
+TEST(VerifierTest, RejectsBadEntry) {
+  Module M;
+  M.Code.push_back(makeSimple(Opcode::Halt));
+  M.EntryIndex = 7;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyExecutable(M, Errors));
+}
+
+TEST(VerifierTest, RejectsUnresolvedRelocs) {
+  Module M;
+  M.Code.push_back(makeSimple(Opcode::Halt));
+  M.EntryIndex = 0;
+  M.Relocs.push_back({Reloc::CodeTarget, 0, 0, 0});
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyExecutable(M, Errors));
+}

@@ -1,0 +1,227 @@
+//===- tests/vm_linker.cpp - linker unit tests ----------------------------===//
+
+#include "vm/Assembler.h"
+#include "vm/Interpreter.h"
+#include "vm/Linker.h"
+#include "vm/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::vm;
+
+namespace {
+
+Module obj(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Module M;
+  bool Ok = assemble(Src, M, Diags);
+  EXPECT_TRUE(Ok) << Diags.render("t.s");
+  return M;
+}
+
+int32_t runLinked(const std::vector<Module> &Objs) {
+  Module Exe;
+  std::vector<std::string> Errors;
+  bool Ok = link(Objs, LinkOptions(), Exe, Errors);
+  EXPECT_TRUE(Ok) << (Errors.empty() ? "?" : Errors.front());
+  if (!Ok)
+    return -999;
+  std::vector<std::string> VerifyErrors;
+  EXPECT_TRUE(verifyExecutable(Exe, VerifyErrors))
+      << (VerifyErrors.empty() ? "?" : VerifyErrors.front());
+  AddressSpace Mem;
+  if (!Exe.Data.empty())
+    Mem.hostWrite(Exe.LinkBase, Exe.Data.data(),
+                  static_cast<uint32_t>(Exe.Data.size()));
+  Interpreter I(Exe, Mem);
+  I.reset(Exe.EntryIndex);
+  Trap T = I.run(1u << 22);
+  EXPECT_EQ(T.Kind, TrapKind::Halt) << printTrap(T);
+  return T.Code;
+}
+
+} // namespace
+
+TEST(Linker, CrossModuleCall) {
+  Module A = obj(R"(
+        .text
+        .global main
+main:   sub sp, sp, 8
+        sw ra, 0(sp)
+        li r0, 6
+        jal times_seven
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+)");
+  Module B = obj(R"(
+        .text
+        .global times_seven
+times_seven:
+        mul r0, r0, 7
+        jr ra
+)");
+  EXPECT_EQ(runLinked({A, B}), 42);
+}
+
+TEST(Linker, CrossModuleData) {
+  Module A = obj(R"(
+        .text
+        .global main
+main:   lw r0, shared
+        add r0, r0, 1
+        jr ra
+)");
+  Module B = obj(R"(
+        .data
+        .global shared
+shared: .word 100
+)");
+  EXPECT_EQ(runLinked({A, B}), 101);
+}
+
+TEST(Linker, DataWordPointerToOtherModule) {
+  Module A = obj(R"(
+        .data
+ptr:    .word target+4
+        .text
+        .global main
+main:   lw r1, ptr
+        lw r0, 0(r1)
+        jr ra
+)");
+  Module B = obj(R"(
+        .data
+        .global target
+target: .word 11, 22
+)");
+  EXPECT_EQ(runLinked({A, B}), 22);
+}
+
+TEST(Linker, BssPlacedAfterAllData) {
+  Module A = obj(R"(
+        .bss
+zeros:  .space 16
+        .text
+        .global main
+main:   lw r0, zeros+12
+        lw r1, init
+        add r0, r0, r1
+        jr ra
+        .data
+init:   .word 5
+)");
+  Module B = obj(".data\n.global other\nother: .word 9\n");
+  EXPECT_EQ(runLinked({A, B}), 5);
+}
+
+TEST(Linker, ImportMerging) {
+  Module A = obj(R"(
+        .import alpha
+        .import beta
+        .text
+        .global main
+main:   hcall alpha
+        hcall beta
+        jal helper
+        jr ra
+)");
+  Module B = obj(R"(
+        .import beta
+        .import gamma
+        .text
+        .global helper
+helper: hcall beta
+        hcall gamma
+        jr ra
+)");
+  Module Exe;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(link({A, B}, LinkOptions(), Exe, Errors));
+  ASSERT_EQ(Exe.Imports.size(), 3u);
+  EXPECT_EQ(Exe.Imports[0], "alpha");
+  EXPECT_EQ(Exe.Imports[1], "beta");
+  EXPECT_EQ(Exe.Imports[2], "gamma");
+  // Module B's hcall beta must have been remapped to merged index 1.
+  EXPECT_EQ(Exe.Code[4].Imm, 1);
+  EXPECT_EQ(Exe.Code[5].Imm, 2);
+}
+
+TEST(Linker, UndefinedSymbolError) {
+  Module A = obj(".text\n.global main\nmain: jal nowhere\njr ra\n");
+  Module Exe;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(link({A}, LinkOptions(), Exe, Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("undefined symbol 'nowhere'"), std::string::npos);
+}
+
+TEST(Linker, DuplicateSymbolError) {
+  Module A = obj(".text\n.global f\nf: jr ra\n");
+  Module B = obj(".text\n.global f\nf: jr ra\n");
+  Module Exe;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(link({A, B}, LinkOptions(), Exe, Errors));
+  EXPECT_NE(Errors[0].find("duplicate global symbol 'f'"), std::string::npos);
+}
+
+TEST(Linker, MissingEntryError) {
+  Module A = obj(".text\n.global f\nf: jr ra\n");
+  Module Exe;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(link({A}, LinkOptions(), Exe, Errors));
+  EXPECT_NE(Errors[0].find("entry symbol 'main'"), std::string::npos);
+}
+
+TEST(Linker, ExportsResolvedSymbols) {
+  Module A = obj(R"(
+        .text
+        .global main
+main:   jr ra
+        .data
+        .global gvar
+gvar:   .word 1
+)");
+  Module Exe;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(link({A}, LinkOptions(), Exe, Errors));
+  const ExportEntry *Main = Exe.findExport("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(Main->Kind, Symbol::Code);
+  EXPECT_EQ(Main->Value, 0u);
+  const ExportEntry *G = Exe.findExport("gvar");
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->Kind, Symbol::Data);
+  EXPECT_EQ(G->Value, Exe.LinkBase);
+  EXPECT_EQ(Exe.findExport("nope"), nullptr);
+}
+
+TEST(Linker, CustomEntryName) {
+  Module A = obj(".text\n.global start\nstart: li r0, 3\njr ra\n");
+  LinkOptions Opts;
+  Opts.EntryName = "start";
+  Module Exe;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(link({A}, Opts, Exe, Errors));
+  EXPECT_EQ(Exe.EntryIndex, 0u);
+}
+
+TEST(Linker, FunctionPointerToSecondModule) {
+  Module A = obj(R"(
+        .data
+fp1:    .word inc
+        .text
+        .global main
+main:   sub sp, sp, 8
+        sw ra, 0(sp)
+        lw r4, fp1
+        li r0, 41
+        jalr r4
+        lw ra, 0(sp)
+        add sp, sp, 8
+        jr ra
+)");
+  Module B = obj(".text\n.global inc\ninc: add r0, r0, 1\njr ra\n");
+  EXPECT_EQ(runLinked({A, B}), 42);
+}

@@ -1,0 +1,126 @@
+//===- tests/vm_module.cpp - OWX serialization tests -----------------------===//
+
+#include "vm/Assembler.h"
+#include "vm/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using namespace omni::vm;
+
+namespace {
+
+Module sampleModule() {
+  DiagnosticEngine Diags;
+  Module M;
+  bool Ok = assemble(R"(
+        .import print_int
+        .text
+        .global main
+main:   la r1, data
+        lw r0, 0(r1)
+        hcall print_int
+        beq r0, 0, main
+        jr ra
+        .data
+data:   .word 123, main
+str:    .asciiz "abc"
+        .bss
+buf:    .space 32
+)",
+                     M, Diags);
+  EXPECT_TRUE(Ok) << Diags.render("t.s");
+  return M;
+}
+
+} // namespace
+
+TEST(ModuleFormat, RoundTrip) {
+  Module M = sampleModule();
+  std::vector<uint8_t> Bytes = M.serialize();
+  Module M2;
+  std::string Error;
+  ASSERT_TRUE(Module::deserialize(Bytes, M2, Error)) << Error;
+
+  ASSERT_EQ(M2.Code.size(), M.Code.size());
+  for (size_t I = 0; I < M.Code.size(); ++I) {
+    EXPECT_EQ(M2.Code[I].Op, M.Code[I].Op) << I;
+    EXPECT_EQ(M2.Code[I].Rd, M.Code[I].Rd) << I;
+    EXPECT_EQ(M2.Code[I].Rs1, M.Code[I].Rs1) << I;
+    EXPECT_EQ(M2.Code[I].Rs2, M.Code[I].Rs2) << I;
+    EXPECT_EQ(M2.Code[I].UsesImm, M.Code[I].UsesImm) << I;
+    EXPECT_EQ(M2.Code[I].Imm, M.Code[I].Imm) << I;
+    EXPECT_EQ(M2.Code[I].Target, M.Code[I].Target) << I;
+  }
+  EXPECT_EQ(M2.Data, M.Data);
+  EXPECT_EQ(M2.BssSize, M.BssSize);
+  EXPECT_EQ(M2.Imports, M.Imports);
+  ASSERT_EQ(M2.Symbols.size(), M.Symbols.size());
+  for (size_t I = 0; I < M.Symbols.size(); ++I) {
+    EXPECT_EQ(M2.Symbols[I].Name, M.Symbols[I].Name);
+    EXPECT_EQ(M2.Symbols[I].Kind, M.Symbols[I].Kind);
+    EXPECT_EQ(M2.Symbols[I].Value, M.Symbols[I].Value);
+    EXPECT_EQ(M2.Symbols[I].Defined, M.Symbols[I].Defined);
+    EXPECT_EQ(M2.Symbols[I].Global, M.Symbols[I].Global);
+  }
+  ASSERT_EQ(M2.Relocs.size(), M.Relocs.size());
+  for (size_t I = 0; I < M.Relocs.size(); ++I) {
+    EXPECT_EQ(M2.Relocs[I].Kind, M.Relocs[I].Kind);
+    EXPECT_EQ(M2.Relocs[I].Offset, M.Relocs[I].Offset);
+    EXPECT_EQ(M2.Relocs[I].SymbolId, M.Relocs[I].SymbolId);
+    EXPECT_EQ(M2.Relocs[I].Addend, M.Relocs[I].Addend);
+  }
+}
+
+TEST(ModuleFormat, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = {0, 1, 2, 3, 4, 5, 6, 7};
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(Module::deserialize(Bytes, M, Error));
+  EXPECT_NE(Error.find("magic"), std::string::npos);
+}
+
+TEST(ModuleFormat, RejectsTruncation) {
+  Module M = sampleModule();
+  std::vector<uint8_t> Bytes = M.serialize();
+  // Every strict prefix must be rejected cleanly (hostile-input fuzzing in
+  // miniature — this is the wire format for untrusted code).
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Len);
+    Module Out;
+    std::string Error;
+    EXPECT_FALSE(Module::deserialize(Cut, Out, Error)) << "len=" << Len;
+  }
+}
+
+TEST(ModuleFormat, RejectsBadOpcode) {
+  Module M;
+  M.Code.push_back(makeSimple(Opcode::Halt));
+  std::vector<uint8_t> Bytes = M.serialize();
+  // Corrupt the opcode byte of the first instruction (offset 8 = magic +
+  // instruction count).
+  Bytes[8] = 0xee;
+  Module Out;
+  std::string Error;
+  EXPECT_FALSE(Module::deserialize(Bytes, Out, Error));
+  EXPECT_NE(Error.find("opcode"), std::string::npos);
+}
+
+TEST(ModuleFormat, PrintCodeShowsIndices) {
+  Module M;
+  M.Code.push_back(makeLi(1, 5));
+  M.Code.push_back(makeSimple(Opcode::Halt));
+  std::string S = M.printCode();
+  EXPECT_NE(S.find("@0"), std::string::npos);
+  EXPECT_NE(S.find("li      r1, 5"), std::string::npos);
+  EXPECT_NE(S.find("halt"), std::string::npos);
+}
+
+TEST(ModuleFormat, ExecutableFlag) {
+  Module M;
+  EXPECT_FALSE(M.isExecutable());
+  M.EntryIndex = 0;
+  EXPECT_TRUE(M.isExecutable());
+  M.Relocs.push_back({Reloc::CodeTarget, 0, 0, 0});
+  EXPECT_FALSE(M.isExecutable());
+}

@@ -1,0 +1,102 @@
+//===- tests/workloads.cpp - benchmark workload validation ----------------===//
+///
+/// The four SPEC92-miniature workloads must produce their pinned checksums
+/// on the interpreter and on all four targets (SFI on and off) — this is
+/// the correctness floor under every benchmark table.
+
+#include "driver/Compiler.h"
+#include "native/Baseline.h"
+#include "runtime/Run.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using target::TargetKind;
+
+namespace {
+
+vm::Module compileWorkload(const workloads::Workload &W) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(W.Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << W.Name << ": " << Error;
+  return Exe;
+}
+
+} // namespace
+
+class WorkloadTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WorkloadTest, InterpreterMatchesPinnedOutput) {
+  const workloads::Workload &W = workloads::getWorkload(GetParam());
+  vm::Module Exe = compileWorkload(W);
+  runtime::RunResult R = runtime::runOnInterpreter(Exe);
+  ASSERT_EQ(R.Trap.Kind, vm::TrapKind::Halt) << printTrap(R.Trap);
+  EXPECT_EQ(R.Output, W.ExpectedOutput) << W.Name;
+  // Big enough to be a meaningful benchmark.
+  EXPECT_GT(R.InstrCount, 100000u) << W.Name;
+}
+
+TEST_P(WorkloadTest, AllTargetsMatchPinnedOutput) {
+  const workloads::Workload &W = workloads::getWorkload(GetParam());
+  vm::Module Exe = compileWorkload(W);
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    TargetKind Kind = target::allTargets(T);
+    for (bool Sfi : {true, false}) {
+      auto R = runtime::runOnTarget(
+          Kind, Exe, translate::TranslateOptions::mobile(Sfi));
+      ASSERT_EQ(R.Run.Trap.Kind, vm::TrapKind::Halt)
+          << W.Name << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi << ": " << printTrap(R.Run.Trap);
+      EXPECT_EQ(R.Run.Output, W.ExpectedOutput)
+          << W.Name << " on " << getTargetName(Kind);
+    }
+  }
+}
+
+TEST_P(WorkloadTest, NativeBaselinesMatchPinnedOutput) {
+  const workloads::Workload &W = workloads::getWorkload(GetParam());
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    TargetKind Kind = target::allTargets(T);
+    for (native::Profile P : {native::Profile::Cc, native::Profile::Gcc}) {
+      auto R = native::runNativeBaseline(Kind, W.Source, P);
+      ASSERT_EQ(R.Run.Trap.Kind, vm::TrapKind::Halt)
+          << W.Name << " on " << getTargetName(Kind) << ": "
+          << R.Run.Output;
+      EXPECT_EQ(R.Run.Output, W.ExpectedOutput)
+          << W.Name << " on " << getTargetName(Kind);
+    }
+  }
+}
+
+TEST_P(WorkloadTest, FpHeavyFlagMatchesBehaviour) {
+  const workloads::Workload &W = workloads::getWorkload(GetParam());
+  vm::Module Exe = compileWorkload(W);
+  // Count fp instructions in the module; alvinn should dominate.
+  unsigned FpOps = 0;
+  for (const vm::Instr &I : Exe.Code) {
+    const vm::OpcodeInfo &Info = vm::getOpcodeInfo(I.Op);
+    if (Info.RdIsFp || Info.Rs1IsFp)
+      ++FpOps;
+  }
+  if (W.FpHeavy)
+    EXPECT_GT(FpOps, 50u);
+  else
+    EXPECT_LT(FpOps, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest,
+                         ::testing::Range(0u, workloads::NumWorkloads),
+                         [](const ::testing::TestParamInfo<unsigned> &Info) {
+                           return workloads::getWorkload(Info.param).Name;
+                         });
+
+TEST(WorkloadRegistry, LookupByName) {
+  EXPECT_NE(workloads::findWorkload("li"), nullptr);
+  EXPECT_NE(workloads::findWorkload("compress"), nullptr);
+  EXPECT_NE(workloads::findWorkload("alvinn"), nullptr);
+  EXPECT_NE(workloads::findWorkload("eqntott"), nullptr);
+  EXPECT_EQ(workloads::findWorkload("spice"), nullptr);
+}
