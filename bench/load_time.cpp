@@ -1,0 +1,110 @@
+//===- bench/load_time.cpp - hosting-service load-time benchmark ----------===//
+///
+/// Measures the cost the hosting service pays to make a module runnable:
+/// a cold load (content hash + verify + translate) against a warm load
+/// served from the content-addressed translation cache, per workload, and
+/// batch translation of all (workload x target) pairs on 1 vs 4 worker
+/// threads. The paper's load-time translation is the tax every module
+/// pays on arrival; the cache and the worker pool are how a multi-module
+/// host keeps that tax from scaling with traffic.
+
+#include "Harness.h"
+#include "host/ModuleHost.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace omni;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+
+  std::vector<vm::Module> Modules;
+  for (unsigned W = 0; W < workloads::NumWorkloads; ++W)
+    Modules.push_back(bench::compileMobile(workloads::getWorkload(W)));
+
+  bench::printTableHeader("Load time: cold vs warm (all four targets, ms)",
+                          {"cold", "warm", "speedup"});
+  double TotalCold = 0, TotalWarm = 0;
+  for (unsigned W = 0; W < workloads::NumWorkloads; ++W) {
+    host::ModuleHost Host;
+    std::string Err;
+
+    // Cold: verify + translate for each target.
+    auto ColdStart = Clock::now();
+    for (unsigned T = 0; T < target::NumTargets; ++T)
+      if (!Host.load(target::allTargets(T), Modules[W], Opts, Err)) {
+        std::fprintf(stderr, "load failed: %s\n", Err.c_str());
+        return 1;
+      }
+    double ColdMs = msSince(ColdStart);
+
+    // Warm: the same loads again, served from the cache. Averaged over a
+    // few rounds so the numbers are stable.
+    const unsigned Rounds = 10;
+    auto WarmStart = Clock::now();
+    for (unsigned R = 0; R < Rounds; ++R)
+      for (unsigned T = 0; T < target::NumTargets; ++T)
+        Host.load(target::allTargets(T), Modules[W], Opts, Err);
+    double WarmMs = msSince(WarmStart) / Rounds;
+
+    TotalCold += ColdMs;
+    TotalWarm += WarmMs;
+    bench::printTextRow(workloads::getWorkload(W).Name,
+                        {formatStr("%.3f", ColdMs), formatStr("%.3f", WarmMs),
+                         formatStr("%.1fx", ColdMs / WarmMs)});
+  }
+  bench::printTextRow("total", {formatStr("%.3f", TotalCold),
+                                formatStr("%.3f", TotalWarm),
+                                formatStr("%.1fx", TotalCold / TotalWarm)});
+
+  std::printf("\n");
+  bench::printTableHeader("Batch translation: 16 modules x targets (ms)",
+                          {"1 thread", "4 threads", "speedup"});
+  std::vector<host::ModuleHost::LoadRequest> Requests;
+  for (unsigned W = 0; W < workloads::NumWorkloads; ++W)
+    for (unsigned T = 0; T < target::NumTargets; ++T)
+      Requests.push_back({target::allTargets(T), &Modules[W], Opts});
+
+  host::ModuleHost SeqHost, ParHost;
+  auto SeqStart = Clock::now();
+  auto SeqOut = SeqHost.loadBatch(Requests, 1);
+  double SeqMs = msSince(SeqStart);
+  auto ParStart = Clock::now();
+  auto ParOut = ParHost.loadBatch(Requests, 4);
+  double ParMs = msSince(ParStart);
+  for (const auto &O : SeqOut)
+    if (!O.Handle) {
+      std::fprintf(stderr, "batch load failed: %s\n", O.Error.c_str());
+      return 1;
+    }
+  for (const auto &O : ParOut)
+    if (!O.Handle) {
+      std::fprintf(stderr, "batch load failed: %s\n", O.Error.c_str());
+      return 1;
+    }
+  bench::printTextRow("batch", {formatStr("%.3f", SeqMs),
+                                formatStr("%.3f", ParMs),
+                                formatStr("%.1fx", SeqMs / ParMs)});
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::printf("(hardware concurrency: %u%s)\n", Cores,
+              Cores < 2 ? "; single-core machine, no parallel speedup "
+                          "is possible"
+                        : "");
+
+  std::printf("\n%s", ParHost.stats().dump().c_str());
+  return 0;
+}

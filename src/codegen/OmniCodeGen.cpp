@@ -593,7 +593,7 @@ void FunctionEmitter::emitCmpValue(const Inst &I) {
 
 void FunctionEmitter::emitMemAccess(const Inst &I) {
   bool IsLoad = I.K == Op::Load;
-  Opcode Op;
+  Opcode Op = Opcode::Lw;
   switch (I.Width) {
   case MemWidth::W8:
     Op = IsLoad ? (I.SignedLoad ? Opcode::Lb : Opcode::Lbu) : Opcode::Sb;

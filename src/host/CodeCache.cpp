@@ -1,0 +1,161 @@
+//===- host/CodeCache.cpp --------------------------------------------------===//
+
+#include "host/CodeCache.h"
+
+#include "support/Hash.h"
+
+#include <cstring>
+
+using namespace omni;
+using namespace omni::host;
+
+CacheKey omni::host::makeCacheKey(uint64_t ContentHash, target::TargetKind Kind,
+                                  const translate::TranslateOptions &Opts,
+                                  const translate::SegmentLayout &Seg) {
+  CacheKey K;
+  K.ContentHash = ContentHash;
+  K.Target = static_cast<uint8_t>(Kind);
+  support::Hasher H;
+  H.value<uint8_t>(Opts.Sfi);
+  H.value<uint8_t>(Opts.SfiReads);
+  H.value<uint8_t>(Opts.Optimize);
+  H.value<uint8_t>(Opts.NoSchedule);
+  H.value<uint8_t>(Opts.GpAll);
+  H.value<uint8_t>(Opts.CcSelection);
+  H.value<uint32_t>(Seg.Base);
+  H.value<uint32_t>(Seg.Size);
+  K.OptionsHash = H.get();
+  return K;
+}
+
+uint64_t omni::host::hashTargetCode(const target::TargetCode &Code) {
+  // This runs on every cache lookup (integrity gate), so instruction
+  // fields are packed into words and word-folded — never hashed as raw
+  // struct bytes, whose padding is indeterminate.
+  support::Hasher H;
+  H.word(Code.Code.size());
+  for (const target::TInstr &I : Code.Code) {
+    uint64_t Flags = (I.UsesImm ? 1u : 0u) | (I.MemOperand ? 2u : 0u) |
+                     (I.SignedLoad ? 4u : 0u) | (I.FpVal ? 8u : 0u) |
+                     (I.Annul ? 16u : 0u) | (I.RecordForm ? 32u : 0u);
+    H.word(static_cast<uint64_t>(static_cast<uint8_t>(I.Op)) |
+           static_cast<uint64_t>(static_cast<uint8_t>(I.Cat)) << 8 |
+           Flags << 16 |
+           static_cast<uint64_t>(static_cast<uint8_t>(I.Mode)) << 24 |
+           static_cast<uint64_t>(static_cast<uint8_t>(I.Width)) << 32 |
+           static_cast<uint64_t>(static_cast<uint8_t>(I.Cc)) << 40);
+    // Register numbers are always < 2^21.
+    H.word(static_cast<uint64_t>(I.Rd) | static_cast<uint64_t>(I.Rs1) << 21 |
+           static_cast<uint64_t>(I.Rs2) << 42);
+    H.word(static_cast<uint64_t>(static_cast<uint32_t>(I.Imm)) |
+           static_cast<uint64_t>(static_cast<uint32_t>(I.Target)) << 32);
+    H.word(static_cast<uint32_t>(I.VmIndex));
+  }
+  H.word(Code.VmToNative.size());
+  for (size_t I = 0; I + 1 < Code.VmToNative.size(); I += 2)
+    H.word(static_cast<uint64_t>(Code.VmToNative[I]) |
+           static_cast<uint64_t>(Code.VmToNative[I + 1]) << 32);
+  if (Code.VmToNative.size() & 1)
+    H.word(Code.VmToNative.back());
+  for (int M : Code.VmIntRegMap)
+    H.word(static_cast<uint32_t>(M));
+  for (int M : Code.VmFpRegMap)
+    H.word(static_cast<uint32_t>(M));
+  H.word(static_cast<uint64_t>(Code.IntSlotBase) |
+         static_cast<uint64_t>(Code.FpSlotBase) << 32);
+  H.word(Code.Entry);
+  return H.get();
+}
+
+std::shared_ptr<const CachedTranslation> CodeCache::lookup(const CacheKey &K) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(K);
+  if (It == Map.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  // Integrity gate: never execute an entry whose content no longer matches
+  // the hash stored at insert time.
+  if (hashTargetCode(*It->second.Value->Code) != It->second.Value->CodeHash) {
+    ++CorruptRejects;
+    ++Misses;
+    ResidentBytes -= It->second.Value->ByteSize;
+    Lru.erase(It->second.LruPos);
+    Map.erase(It);
+    return nullptr;
+  }
+  ++Hits;
+  Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+  return It->second.Value;
+}
+
+std::shared_ptr<const CachedTranslation>
+CodeCache::insert(const CacheKey &K,
+                  std::shared_ptr<const target::TargetCode> Code,
+                  std::shared_ptr<const vm::Module> Exe) {
+  auto Value = std::make_shared<CachedTranslation>();
+  Value->CodeHash = hashTargetCode(*Code);
+  Value->CodeSize = static_cast<uint32_t>(Code->Code.size());
+  Value->ByteSize = sizeof(CachedTranslation) + sizeof(target::TargetCode) +
+                    Code->Code.size() * sizeof(target::TInstr) +
+                    Code->VmToNative.size() * sizeof(uint32_t) +
+                    Exe->Code.size() * sizeof(vm::Instr) + Exe->Data.size();
+  Value->Exe = std::move(Exe);
+  for (const target::TInstr &I : Code->Code)
+    ++Value->StaticCatCounts[static_cast<unsigned>(I.Cat)];
+  Value->Code = std::move(Code);
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    // Concurrent translators can race to the same key; keep the incumbent
+    // (translation is deterministic, so the values are identical).
+    Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+    return It->second.Value;
+  }
+  Lru.push_front(K);
+  Map[K] = Entry{Value, Lru.begin()};
+  ResidentBytes += Value->ByteSize;
+  evictOverBudgetLocked(&K);
+  return Value;
+}
+
+void CodeCache::evictOverBudgetLocked(const CacheKey *Keep) {
+  while (ResidentBytes > Budget && !Lru.empty()) {
+    CacheKey Victim = Lru.back();
+    if (Keep && Victim == *Keep)
+      break; // never evict the entry just inserted
+    auto It = Map.find(Victim);
+    ResidentBytes -= It->second.Value->ByteSize;
+    Lru.pop_back();
+    Map.erase(It);
+    ++Evictions;
+  }
+}
+
+void CodeCache::setByteBudget(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Budget = Bytes;
+  evictOverBudgetLocked(nullptr);
+}
+
+void CodeCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.clear();
+  Lru.clear();
+  ResidentBytes = 0;
+}
+
+size_t CodeCache::residentEntries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+bool CodeCache::tamperForTesting(const CacheKey &K) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(K);
+  if (It == Map.end())
+    return false;
+  It->second.Value->CodeHash ^= 0xdeadbeefull;
+  return true;
+}

@@ -1,0 +1,134 @@
+//===- host/CodeCache.h - Content-addressed translation cache ---*- C++ -*-===//
+///
+/// \file
+/// The hosting service's translation cache. Entries are content-addressed:
+/// the key is hash(module OWX bytes) x target x a fingerprint of every
+/// translation input that affects the emitted code (TranslateOptions and
+/// the segment layout). Two modules with identical bytes share a
+/// translation; any semantic knob — SFI on stores, SFI on loads,
+/// optimization, scheduling, target — produces a distinct entry, so a hit
+/// can never hand back code translated under different rules.
+///
+/// The cache holds a configurable byte budget and evicts least-recently
+/// used entries when inserts exceed it. Entries are handed out as
+/// shared_ptr, so eviction only drops the cache's reference: code a live
+/// session is still executing stays resident until the last session
+/// releases it.
+///
+/// Each entry stores an FNV-1a hash of its translated code, recomputed and
+/// checked on every lookup; a corrupted entry is discarded (and counted)
+/// instead of executed.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_HOST_CODECACHE_H
+#define OMNI_HOST_CODECACHE_H
+
+#include "target/TargetInfo.h"
+#include "translate/Translator.h"
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace omni {
+namespace host {
+
+/// Identity of one translation: module content x target x options.
+struct CacheKey {
+  uint64_t ContentHash = 0; ///< hash of the module's serialized OWX bytes
+  uint8_t Target = 0;       ///< target::TargetKind
+  uint64_t OptionsHash = 0; ///< TranslateOptions + SegmentLayout fingerprint
+
+  bool operator<(const CacheKey &O) const {
+    if (ContentHash != O.ContentHash)
+      return ContentHash < O.ContentHash;
+    if (Target != O.Target)
+      return Target < O.Target;
+    return OptionsHash < O.OptionsHash;
+  }
+  bool operator==(const CacheKey &O) const {
+    return ContentHash == O.ContentHash && Target == O.Target &&
+           OptionsHash == O.OptionsHash;
+  }
+};
+
+/// Builds the cache key for a translation request. Every field of \p Opts
+/// and \p Seg participates in the fingerprint.
+CacheKey makeCacheKey(uint64_t ContentHash, target::TargetKind Kind,
+                      const translate::TranslateOptions &Opts,
+                      const translate::SegmentLayout &Seg);
+
+/// Stable hash of a translation's full content (code, maps, layout),
+/// hashed field by field so struct padding never participates.
+uint64_t hashTargetCode(const target::TargetCode &Code);
+
+/// One cached translation plus the metadata the host reports on.
+struct CachedTranslation {
+  std::shared_ptr<const target::TargetCode> Code;
+  /// The verified module the translation came from. Shared into warm
+  /// LoadedModules so a hit never copies the module.
+  std::shared_ptr<const vm::Module> Exe;
+  uint64_t CodeHash = 0; ///< integrity hash of *Code (hashTargetCode)
+  size_t ByteSize = 0;   ///< resident-byte estimate, charged to the budget
+  uint32_t CodeSize = 0; ///< native instructions
+  /// Static expansion-category instruction counts of the translation.
+  uint64_t StaticCatCounts[target::NumExpCats] = {};
+};
+
+/// Thread-safe LRU translation cache with a byte budget.
+class CodeCache {
+public:
+  static constexpr size_t DefaultByteBudget = 64u << 20;
+
+  explicit CodeCache(size_t ByteBudget = DefaultByteBudget)
+      : Budget(ByteBudget) {}
+
+  /// Returns the entry for \p K, or nullptr on miss. Verifies the stored
+  /// integrity hash; a mismatch discards the entry and reports a miss.
+  std::shared_ptr<const CachedTranslation> lookup(const CacheKey &K);
+
+  /// Caches \p Code under \p K and returns the resulting entry. Evicts
+  /// least-recently-used entries while over budget (the new entry itself
+  /// is never evicted, so a single hot module works under any budget).
+  std::shared_ptr<const CachedTranslation>
+  insert(const CacheKey &K, std::shared_ptr<const target::TargetCode> Code,
+         std::shared_ptr<const vm::Module> Exe);
+
+  void setByteBudget(size_t Bytes);
+  size_t byteBudget() const { return Budget; }
+
+  void clear();
+
+  // Counters (monotonic) and gauges (current).
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+  uint64_t corruptRejects() const { return CorruptRejects; }
+  size_t residentBytes() const { return ResidentBytes; }
+  size_t residentEntries() const;
+
+  /// Test hook: flips the stored integrity hash of \p K's entry so the
+  /// next lookup sees a corrupted entry. Returns false when absent.
+  bool tamperForTesting(const CacheKey &K);
+
+private:
+  struct Entry {
+    std::shared_ptr<CachedTranslation> Value;
+    std::list<CacheKey>::iterator LruPos;
+  };
+
+  void evictOverBudgetLocked(const CacheKey *Keep);
+
+  mutable std::mutex Mu;
+  std::map<CacheKey, Entry> Map;
+  std::list<CacheKey> Lru; ///< front = most recently used
+  size_t Budget;
+  size_t ResidentBytes = 0;
+  uint64_t Hits = 0, Misses = 0, Evictions = 0, CorruptRejects = 0;
+};
+
+} // namespace host
+} // namespace omni
+
+#endif // OMNI_HOST_CODECACHE_H

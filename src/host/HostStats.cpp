@@ -1,0 +1,39 @@
+//===- host/HostStats.cpp --------------------------------------------------===//
+
+#include "host/HostStats.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+using namespace omni::host;
+
+std::string HostStats::dump() const {
+  std::string S;
+  appendFormat(S, "hosting service stats\n");
+  appendFormat(S, "  loads:    %llu (sessions: %llu)\n",
+                        static_cast<unsigned long long>(LoadCount),
+                        static_cast<unsigned long long>(SessionCount));
+  appendFormat(
+      S, "  verify:   %llu calls, %.3f ms\n",
+      static_cast<unsigned long long>(VerifyCount),
+      static_cast<double>(VerifyNs) / 1e6);
+  appendFormat(
+      S, "  translate:%llu calls, %.3f ms\n",
+      static_cast<unsigned long long>(TranslateCount),
+      static_cast<double>(TranslateNs) / 1e6);
+  appendFormat(
+      S, "  bind:     %llu calls, %.3f ms\n",
+      static_cast<unsigned long long>(BindCount),
+      static_cast<double>(BindNs) / 1e6);
+  appendFormat(
+      S, "  cache:    %llu hits, %llu misses, %llu evictions, %llu corrupt\n",
+      static_cast<unsigned long long>(CacheHits),
+      static_cast<unsigned long long>(CacheMisses),
+      static_cast<unsigned long long>(CacheEvictions),
+      static_cast<unsigned long long>(CacheCorruptRejects));
+  appendFormat(
+      S, "  resident: %llu bytes in %llu entries\n",
+      static_cast<unsigned long long>(ResidentBytes),
+      static_cast<unsigned long long>(ResidentEntries));
+  return S;
+}

@@ -1,0 +1,50 @@
+//===- host/HostStats.h - Hosting service observability ---------*- C++ -*-===//
+///
+/// \file
+/// Plain-struct observability for the hosting service: per-stage load
+/// timing (verify / translate / bind), cache effectiveness counters, and
+/// resident-code gauges. A snapshot is cheap to take and has no behavior;
+/// dump() renders the standard text report.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_HOST_HOSTSTATS_H
+#define OMNI_HOST_HOSTSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace omni {
+namespace host {
+
+/// Snapshot of the hosting service's counters and gauges.
+struct HostStats {
+  // Pipeline stage counters and accumulated wall time.
+  uint64_t VerifyCount = 0;
+  uint64_t TranslateCount = 0;
+  uint64_t BindCount = 0;
+  uint64_t VerifyNs = 0;
+  uint64_t TranslateNs = 0;
+  uint64_t BindNs = 0;
+
+  // Load and session lifecycle.
+  uint64_t LoadCount = 0;    ///< load() calls (cold or warm)
+  uint64_t SessionCount = 0; ///< sessions created
+
+  // Translation cache.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t CacheCorruptRejects = 0;
+
+  // Gauges (state at snapshot time).
+  uint64_t ResidentBytes = 0;
+  uint64_t ResidentEntries = 0;
+
+  /// Multi-line text report.
+  std::string dump() const;
+};
+
+} // namespace host
+} // namespace omni
+
+#endif // OMNI_HOST_HOSTSTATS_H

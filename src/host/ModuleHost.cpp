@@ -1,0 +1,273 @@
+//===- host/ModuleHost.cpp -------------------------------------------------===//
+
+#include "host/ModuleHost.h"
+
+#include "support/Hash.h"
+#include "vm/Verifier.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace omni;
+using namespace omni::host;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t nsSince(Clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Start)
+          .count());
+}
+
+} // namespace
+
+uint64_t ModuleHost::contentHash(const vm::Module &Exe) {
+  // Word-folds the module's canonical OWX content directly from its
+  // in-memory form — same addressing as hashing the serialized image,
+  // without materializing the byte vector on every load.
+  support::Hasher H;
+  H.word(Exe.Code.size());
+  for (const vm::Instr &I : Exe.Code) {
+    H.word(static_cast<uint64_t>(static_cast<uint8_t>(I.Op)) |
+           static_cast<uint64_t>(I.Rd) << 8 |
+           static_cast<uint64_t>(I.Rs1) << 16 |
+           static_cast<uint64_t>(I.Rs2) << 24 |
+           static_cast<uint64_t>(I.UsesImm ? 1 : 0) << 32);
+    H.word(static_cast<uint64_t>(static_cast<uint32_t>(I.Imm)) |
+           static_cast<uint64_t>(static_cast<uint32_t>(I.Target)) << 32);
+  }
+  H.wordBytes(Exe.Data.data(), Exe.Data.size());
+  H.word(static_cast<uint64_t>(Exe.BssSize) |
+         static_cast<uint64_t>(Exe.LinkBase) << 32);
+  H.word(Exe.EntryIndex);
+  H.word(Exe.Imports.size());
+  for (const std::string &S : Exe.Imports)
+    H.wordBytes(S.data(), S.size());
+  H.word(Exe.Exports.size());
+  for (const vm::ExportEntry &E : Exe.Exports) {
+    H.wordBytes(E.Name.data(), E.Name.size());
+    H.word(static_cast<uint64_t>(static_cast<uint8_t>(E.Kind)) |
+           static_cast<uint64_t>(E.Value) << 8);
+  }
+  return H.get();
+}
+
+translate::SegmentLayout ModuleHost::segmentFor(const vm::Module &Exe) {
+  translate::SegmentLayout Seg;
+  Seg.Base = Exe.LinkBase ? Exe.LinkBase : vm::DefaultSegmentBase;
+  Seg.Size = vm::DefaultSegmentSize;
+  return Seg;
+}
+
+ModuleHost &ModuleHost::shared() {
+  static ModuleHost Host;
+  return Host;
+}
+
+std::shared_ptr<const LoadedModule>
+ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
+                 const translate::TranslateOptions &Opts, std::string &Error) {
+  auto LM = std::make_shared<LoadedModule>();
+  LM->Kind = Kind;
+  LM->Seg = segmentFor(Exe);
+  LM->ContentHash = contentHash(Exe);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.LoadCount;
+  }
+
+  CacheKey Key = makeCacheKey(LM->ContentHash, Kind, Opts, LM->Seg);
+  if (auto Cached = Cache.lookup(Key)) {
+    // A hit proves this exact content already passed the verifier when
+    // the entry was translated, so the verify stage is skipped, and the
+    // entry's module (same content) is shared instead of copied.
+    LM->Translation = Cached;
+    LM->WarmLoad = true;
+    LM->Exe = Cached->Exe;
+    return LM;
+  }
+
+  // verify: the translator trusts its input only after the load-time
+  // verifier has accepted it.
+  auto VerifyStart = Clock::now();
+  std::vector<std::string> VerifyErrors;
+  bool Verified = vm::verifyExecutable(Exe, VerifyErrors);
+  uint64_t VerifyTime = nsSince(VerifyStart);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.VerifyCount;
+    Counters.VerifyNs += VerifyTime;
+  }
+  if (!Verified) {
+    Error = "verification failed: " + VerifyErrors.front();
+    return nullptr;
+  }
+
+  // translate
+  auto TranslateStart = Clock::now();
+  auto Code = std::make_shared<target::TargetCode>();
+  std::string TranslateError;
+  bool Translated =
+      translate::translate(Kind, Exe, Opts, LM->Seg, *Code, TranslateError);
+  uint64_t TranslateTime = nsSince(TranslateStart);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.TranslateCount;
+    Counters.TranslateNs += TranslateTime;
+  }
+  if (!Translated) {
+    Error = "translation failed: " + TranslateError;
+    return nullptr;
+  }
+
+  LM->Exe = std::make_shared<vm::Module>(Exe);
+  LM->Translation = Cache.insert(Key, std::move(Code), LM->Exe);
+  return LM;
+}
+
+std::shared_ptr<const LoadedModule>
+ModuleHost::loadForInterpreter(const vm::Module &Exe) {
+  auto LM = std::make_shared<LoadedModule>();
+  LM->Seg = segmentFor(Exe);
+  LM->ContentHash = contentHash(Exe);
+  LM->Exe = std::make_shared<vm::Module>(Exe);
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Counters.LoadCount;
+  return LM;
+}
+
+Session::Session(std::shared_ptr<const LoadedModule> LMIn, ModuleHost &Owner)
+    : LM(std::move(LMIn)), Owner(&Owner), Mem(LM->Seg.Base, LM->Seg.Size) {}
+
+std::unique_ptr<Session> ModuleHost::createSession(
+    std::shared_ptr<const LoadedModule> LM,
+    const std::function<void(runtime::HostEnv &)> &ExtraSetup) {
+  std::unique_ptr<Session> S(new Session(std::move(LM), *this));
+  const vm::Module &Exe = *S->LM->Exe;
+
+  // bind: install the image into the session's private segment and
+  // resolve imports against the granted host functions.
+  auto BindStart = Clock::now();
+  std::string Error;
+  if (!runtime::loadImage(Exe, S->Mem, Error)) {
+    S->Err = Error;
+  } else {
+    S->Env.installStdlib();
+    if (ExtraSetup)
+      ExtraSetup(S->Env);
+    S->Env.HeapBreak = runtime::initialHeapBreak(Exe, S->Mem);
+    S->Env.HeapLimit = S->Mem.base() + S->Mem.size() - runtime::StackReserve;
+    if (!S->Env.bind(Exe, Error))
+      S->Err = Error;
+  }
+  uint64_t BindTime = nsSince(BindStart);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.BindCount;
+    Counters.BindNs += BindTime;
+    ++Counters.SessionCount;
+  }
+  return S;
+}
+
+runtime::RunResult Session::run(uint64_t MaxSteps) {
+  runtime::RunResult R;
+  if (!valid()) {
+    R.Trap.Kind = vm::TrapKind::HostError;
+    R.Output = Err;
+    return R;
+  }
+  if (LM->isInterpreted()) {
+    vm::Interpreter Interp(*LM->Exe, Mem);
+    Interp.setHostHandler(Env.handler());
+    Interp.reset(LM->Exe->EntryIndex);
+    R.Trap = Interp.run(MaxSteps);
+    R.Output = Env.output();
+    R.InstrCount = Interp.instrCount();
+    return R;
+  }
+  target::Simulator Sim(target::getTargetInfo(LM->Kind),
+                        *LM->Translation->Code, Mem);
+  Sim.setHostHandler(Env.handler());
+  Sim.reset();
+  R.Trap = Sim.run(MaxSteps);
+  R.Output = Env.output();
+  R.InstrCount = Sim.stats().Instructions;
+  Stats = Sim.stats();
+  return R;
+}
+
+std::vector<ModuleHost::LoadOutcome>
+ModuleHost::loadBatch(const std::vector<LoadRequest> &Requests,
+                      unsigned Threads) {
+  std::vector<LoadOutcome> Outcomes(Requests.size());
+  auto Work = [&](size_t I) {
+    Outcomes[I].Handle =
+        load(Requests[I].Kind, *Requests[I].Exe, Requests[I].Opts,
+             Outcomes[I].Error);
+  };
+  if (Threads <= 1) {
+    for (size_t I = 0; I < Requests.size(); ++I)
+      Work(I);
+    return Outcomes;
+  }
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Pool;
+  unsigned N = std::min<size_t>(Threads, Requests.size());
+  Pool.reserve(N);
+  for (unsigned T = 0; T < N; ++T)
+    Pool.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1); I < Requests.size();
+           I = Next.fetch_add(1))
+        Work(I);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  return Outcomes;
+}
+
+runtime::RunResult ModuleHost::runInterpreter(
+    const vm::Module &Exe, uint64_t MaxSteps,
+    const std::function<void(runtime::HostEnv &)> &ExtraSetup) {
+  auto LM = loadForInterpreter(Exe);
+  auto S = createSession(std::move(LM), ExtraSetup);
+  return S->run(MaxSteps);
+}
+
+runtime::TargetRunResult ModuleHost::runTarget(
+    target::TargetKind Kind, const vm::Module &Exe,
+    const translate::TranslateOptions &Opts, uint64_t MaxSteps,
+    const std::function<void(runtime::HostEnv &)> &ExtraSetup) {
+  runtime::TargetRunResult R;
+  std::string Error;
+  auto LM = load(Kind, Exe, Opts, Error);
+  if (!LM) {
+    R.Run.Trap.Kind = vm::TrapKind::HostError;
+    R.Run.Output = Error;
+    return R;
+  }
+  R.CodeSize = LM->Translation->CodeSize;
+  auto S = createSession(std::move(LM), ExtraSetup);
+  R.Run = S->run(MaxSteps);
+  R.Stats = S->stats();
+  return R;
+}
+
+HostStats ModuleHost::stats() const {
+  HostStats S;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    S = Counters;
+  }
+  S.CacheHits = Cache.hits();
+  S.CacheMisses = Cache.misses();
+  S.CacheEvictions = Cache.evictions();
+  S.CacheCorruptRejects = Cache.corruptRejects();
+  S.ResidentBytes = Cache.residentBytes();
+  S.ResidentEntries = Cache.residentEntries();
+  return S;
+}

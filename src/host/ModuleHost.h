@@ -1,0 +1,167 @@
+//===- host/ModuleHost.h - Multi-module mobile-code host --------*- C++ -*-===//
+///
+/// \file
+/// The Omniware hosting service: receives untrusted OWX modules, runs the
+/// load pipeline (verify -> translate -> bind) with the translate stage
+/// served from a content-addressed CodeCache, and executes modules in
+/// isolated sessions. One cached translation is immutable and backs any
+/// number of concurrent sessions; each session owns its own sandboxed
+/// address space and host environment, so module instances cannot observe
+/// each other.
+///
+/// Pipeline stages and where they run:
+///   verify    — load(): the load-time verifier accepts the module before
+///               the translator trusts a single instruction of it. Skipped
+///               on a cache hit: a hit proves these exact bytes were
+///               verified when the entry was translated.
+///   translate — load(): cache lookup, miss translates and inserts.
+///   bind      — createSession(): image load, import resolution against
+///               the granted host functions, heap setup.
+///
+/// A batch loader fans translation of pending modules out across a worker
+/// pool; translation is pure per module, so the result is deterministic
+/// and identical to sequential loading.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_HOST_MODULEHOST_H
+#define OMNI_HOST_MODULEHOST_H
+
+#include "host/CodeCache.h"
+#include "host/HostStats.h"
+#include "runtime/Run.h"
+#include "vm/Interpreter.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace host {
+
+class ModuleHost;
+
+/// An immutable loaded module: the verified module plus (for target loads)
+/// its cached translation. Shareable across any number of sessions; keeps
+/// the translation alive even after cache eviction.
+struct LoadedModule {
+  std::shared_ptr<const vm::Module> Exe;
+  /// Null for interpreter loads.
+  std::shared_ptr<const CachedTranslation> Translation;
+  target::TargetKind Kind = target::TargetKind::Mips;
+  translate::SegmentLayout Seg;
+  uint64_t ContentHash = 0;
+  bool WarmLoad = false; ///< translation came from the cache
+
+  bool isInterpreted() const { return Translation == nullptr; }
+};
+
+/// One isolated execution of a loaded module: a private address space and
+/// host environment bound to a shared, immutable translation.
+class Session {
+public:
+  bool valid() const { return Err.empty(); }
+  const std::string &error() const { return Err; }
+
+  runtime::HostEnv &env() { return Env; }
+  vm::AddressSpace &mem() { return Mem; }
+  const LoadedModule &module() const { return *LM; }
+
+  /// Executes the module from its entry point. Invalid sessions report
+  /// their bind/load error as a HostError trap.
+  runtime::RunResult run(uint64_t MaxSteps = 1ull << 33);
+
+  /// Simulator statistics of the last run() (zeros for interpreter
+  /// sessions and before the first run).
+  const target::SimStats &stats() const { return Stats; }
+
+private:
+  friend class ModuleHost;
+  Session(std::shared_ptr<const LoadedModule> LM, ModuleHost &Owner);
+
+  std::shared_ptr<const LoadedModule> LM;
+  ModuleHost *Owner;
+  vm::AddressSpace Mem;
+  runtime::HostEnv Env;
+  target::SimStats Stats;
+  std::string Err;
+};
+
+/// The hosting service. Thread-safe: load() and loadBatch() may be called
+/// concurrently; sessions are independent once created.
+class ModuleHost {
+public:
+  explicit ModuleHost(size_t CacheByteBudget = CodeCache::DefaultByteBudget)
+      : Cache(CacheByteBudget) {}
+
+  /// Stable content address of \p Exe: FNV-1a over its OWX bytes.
+  static uint64_t contentHash(const vm::Module &Exe);
+
+  /// verify -> translate (through the cache). Returns nullptr and fills
+  /// \p Error on verification or translation failure.
+  std::shared_ptr<const LoadedModule>
+  load(target::TargetKind Kind, const vm::Module &Exe,
+       const translate::TranslateOptions &Opts, std::string &Error);
+
+  /// Registers \p Exe for interpreted execution (the trusted reference
+  /// engine; no translation, no cache).
+  std::shared_ptr<const LoadedModule>
+  loadForInterpreter(const vm::Module &Exe);
+
+  /// bind: creates an isolated session. \p ExtraSetup can grant host
+  /// functions beyond the standard library before import resolution.
+  std::unique_ptr<Session> createSession(
+      std::shared_ptr<const LoadedModule> LM,
+      const std::function<void(runtime::HostEnv &)> &ExtraSetup = nullptr);
+
+  /// One pending module of a batch load.
+  struct LoadRequest {
+    target::TargetKind Kind = target::TargetKind::Mips;
+    const vm::Module *Exe = nullptr;
+    translate::TranslateOptions Opts;
+  };
+  struct LoadOutcome {
+    std::shared_ptr<const LoadedModule> Handle; ///< null on failure
+    std::string Error;
+  };
+
+  /// Loads \p Requests across \p Threads workers (1 = inline). Outcome I
+  /// corresponds to request I; results are identical to sequential
+  /// loading because translation is pure per module.
+  std::vector<LoadOutcome> loadBatch(const std::vector<LoadRequest> &Requests,
+                                     unsigned Threads);
+
+  // One-call execution helpers; runtime::runOnInterpreter / runOnTarget
+  // route through these, so the whole test suite exercises the service.
+  runtime::RunResult
+  runInterpreter(const vm::Module &Exe, uint64_t MaxSteps,
+                 const std::function<void(runtime::HostEnv &)> &ExtraSetup);
+  runtime::TargetRunResult
+  runTarget(target::TargetKind Kind, const vm::Module &Exe,
+            const translate::TranslateOptions &Opts, uint64_t MaxSteps,
+            const std::function<void(runtime::HostEnv &)> &ExtraSetup);
+
+  CodeCache &cache() { return Cache; }
+
+  /// Snapshot of counters, timings, and cache gauges.
+  HostStats stats() const;
+
+  /// The process-wide host behind the runtime::run* helpers.
+  static ModuleHost &shared();
+
+  /// Segment layout \p Exe will be loaded at (link base or default).
+  static translate::SegmentLayout segmentFor(const vm::Module &Exe);
+
+private:
+  friend class Session;
+
+  CodeCache Cache;
+
+  mutable std::mutex StatsMu;
+  HostStats Counters; ///< cache fields unused; filled from Cache in stats()
+};
+
+} // namespace host
+} // namespace omni
+
+#endif // OMNI_HOST_MODULEHOST_H

@@ -2,90 +2,25 @@
 
 #include "runtime/Run.h"
 
-#include "vm/Interpreter.h"
-#include "vm/Verifier.h"
+#include "host/ModuleHost.h"
 
 using namespace omni;
 using namespace omni::runtime;
 
+// Both helpers route through the process-wide hosting service, so every
+// caller — tests, benches, examples — exercises the real serve path and
+// repeated runs of the same module hit its translation cache.
+
 RunResult omni::runtime::runOnInterpreter(
     const vm::Module &Exe, uint64_t MaxSteps,
     const std::function<void(HostEnv &)> &ExtraSetup) {
-  RunResult R;
-  vm::AddressSpace Mem(Exe.LinkBase ? Exe.LinkBase : vm::DefaultSegmentBase);
-  std::string Error;
-  if (!loadImage(Exe, Mem, Error)) {
-    R.Trap.Kind = vm::TrapKind::HostError;
-    R.Output = Error;
-    return R;
-  }
-  HostEnv Env;
-  Env.installStdlib();
-  if (ExtraSetup)
-    ExtraSetup(Env);
-  Env.HeapBreak = initialHeapBreak(Exe, Mem);
-  Env.HeapLimit = Mem.base() + Mem.size() - StackReserve;
-  if (!Env.bind(Exe, Error)) {
-    R.Trap.Kind = vm::TrapKind::HostError;
-    R.Output = Error;
-    return R;
-  }
-  vm::Interpreter Interp(Exe, Mem);
-  Interp.setHostHandler(Env.handler());
-  Interp.reset(Exe.EntryIndex);
-  R.Trap = Interp.run(MaxSteps);
-  R.Output = Env.output();
-  R.InstrCount = Interp.instrCount();
-  return R;
+  return host::ModuleHost::shared().runInterpreter(Exe, MaxSteps, ExtraSetup);
 }
 
 TargetRunResult omni::runtime::runOnTarget(
     target::TargetKind Kind, const vm::Module &Exe,
     const translate::TranslateOptions &Opts, uint64_t MaxSteps,
     const std::function<void(HostEnv &)> &ExtraSetup) {
-  TargetRunResult R;
-  // Verify before translating: the translator trusts its input only after
-  // the load-time verifier has accepted it.
-  std::vector<std::string> VerifyErrors;
-  if (!vm::verifyExecutable(Exe, VerifyErrors)) {
-    R.Run.Trap.Kind = vm::TrapKind::HostError;
-    R.Run.Output = "verification failed: " + VerifyErrors.front();
-    return R;
-  }
-  vm::AddressSpace Mem(Exe.LinkBase ? Exe.LinkBase : vm::DefaultSegmentBase);
-  translate::SegmentLayout Seg;
-  Seg.Base = Mem.base();
-  Seg.Size = Mem.size();
-  target::TargetCode Code;
-  std::string Error;
-  if (!translate::translate(Kind, Exe, Opts, Seg, Code, Error)) {
-    R.Run.Trap.Kind = vm::TrapKind::HostError;
-    R.Run.Output = "translation failed: " + Error;
-    return R;
-  }
-  R.CodeSize = static_cast<uint32_t>(Code.Code.size());
-  if (!loadImage(Exe, Mem, Error)) {
-    R.Run.Trap.Kind = vm::TrapKind::HostError;
-    R.Run.Output = Error;
-    return R;
-  }
-  HostEnv Env;
-  Env.installStdlib();
-  if (ExtraSetup)
-    ExtraSetup(Env);
-  Env.HeapBreak = initialHeapBreak(Exe, Mem);
-  Env.HeapLimit = Mem.base() + Mem.size() - StackReserve;
-  if (!Env.bind(Exe, Error)) {
-    R.Run.Trap.Kind = vm::TrapKind::HostError;
-    R.Run.Output = Error;
-    return R;
-  }
-  target::Simulator Sim(target::getTargetInfo(Kind), Code, Mem);
-  Sim.setHostHandler(Env.handler());
-  Sim.reset();
-  R.Run.Trap = Sim.run(MaxSteps);
-  R.Run.Output = Env.output();
-  R.Run.InstrCount = Sim.stats().Instructions;
-  R.Stats = Sim.stats();
-  return R;
+  return host::ModuleHost::shared().runTarget(Kind, Exe, Opts, MaxSteps,
+                                              ExtraSetup);
 }

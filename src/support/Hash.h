@@ -1,0 +1,115 @@
+//===- support/Hash.h - Stable 64-bit content hashing -----------*- C++ -*-===//
+///
+/// \file
+/// FNV-1a 64-bit hashing with an incremental hasher. Used wherever the
+/// system needs a stable content address — notably the hosting service's
+/// translation cache, which keys entries by the hash of a module's OWX
+/// bytes. The function is fixed by the FNV-1a specification, so hashes are
+/// stable across processes, platforms, and library versions (unlike
+/// std::hash, which guarantees nothing).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_SUPPORT_HASH_H
+#define OMNI_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace omni {
+namespace support {
+
+constexpr uint64_t Fnv1a64Offset = 14695981039346656037ull;
+constexpr uint64_t Fnv1a64Prime = 1099511628211ull;
+
+/// Incremental FNV-1a 64-bit hasher. Feed data in any chunking; the result
+/// depends only on the byte sequence.
+class Hasher {
+public:
+  void bytes(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= Fnv1a64Prime;
+    }
+  }
+
+  /// Hashes an integral/enum value by its little-endian byte image of
+  /// fixed width — never a raw struct, whose padding is indeterminate.
+  template <typename T> void value(T V) {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
+                  "hash scalars explicitly; never raw structs");
+    uint64_t U;
+    if constexpr (std::is_enum_v<T>)
+      U = static_cast<uint64_t>(
+          static_cast<std::make_unsigned_t<std::underlying_type_t<T>>>(V));
+    else
+      U = static_cast<uint64_t>(static_cast<std::make_unsigned_t<T>>(V));
+    for (unsigned I = 0; I < sizeof(T); ++I)
+      bytes8(static_cast<uint8_t>(U >> (8 * I)));
+  }
+
+  void str(const std::string &S) {
+    value<uint64_t>(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  /// Mixes one 64-bit word in a single XOR-multiply step (the FNV-1a
+  /// word variant). ~8x faster than bytes() on bulk content; hot paths
+  /// (content addressing, cache integrity checks) pack their fields into
+  /// words and feed them here. Not chunking-compatible with bytes().
+  void word(uint64_t W) {
+    H ^= W;
+    H *= Fnv1a64Prime;
+  }
+
+  /// Word-folds a byte buffer: 8 little-endian bytes per step, with the
+  /// length mixed in so buffers differing only in a zero tail never
+  /// collide.
+  void wordBytes(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    word(Len);
+    size_t N = Len;
+    while (N >= 8) {
+      uint64_t W;
+      std::memcpy(&W, P, 8);
+      word(W);
+      P += 8;
+      N -= 8;
+    }
+    if (N) {
+      uint64_t Tail = 0;
+      std::memcpy(&Tail, P, N);
+      word(Tail);
+    }
+  }
+
+  uint64_t get() const { return H; }
+
+private:
+  void bytes8(uint8_t B) {
+    H ^= B;
+    H *= Fnv1a64Prime;
+  }
+
+  uint64_t H = Fnv1a64Offset;
+};
+
+/// One-shot hash of a byte buffer.
+inline uint64_t fnv1a64(const void *Data, size_t Len) {
+  Hasher H;
+  H.bytes(Data, Len);
+  return H.get();
+}
+
+inline uint64_t fnv1a64(const std::vector<uint8_t> &Bytes) {
+  return fnv1a64(Bytes.data(), Bytes.size());
+}
+
+} // namespace support
+} // namespace omni
+
+#endif // OMNI_SUPPORT_HASH_H

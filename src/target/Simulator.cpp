@@ -1,0 +1,802 @@
+//===- target/Simulator.cpp -----------------------------------------------===//
+
+#include "target/Simulator.h"
+
+#include "vm/Opcode.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+using namespace omni;
+using namespace omni::target;
+
+namespace {
+
+inline float asF32(uint64_t Bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(Bits));
+}
+inline uint64_t fromF32(float V) { return std::bit_cast<uint32_t>(V); }
+inline double asF64(uint64_t Bits) { return std::bit_cast<double>(Bits); }
+inline uint64_t fromF64(double V) { return std::bit_cast<uint64_t>(V); }
+
+/// Division semantics identical to the OmniVM interpreter (wrap on
+/// overflow), so translated code diverges from the reference in nothing.
+inline int32_t sdiv(int32_t A, int32_t B) {
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return A;
+  return A / B;
+}
+inline int32_t srem(int32_t A, int32_t B) {
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return 0;
+  return A % B;
+}
+
+template <typename FloatT> inline int32_t cvtToW(FloatT V) {
+  if (V != V)
+    return 0;
+  if (V >= 2147483647.0)
+    return std::numeric_limits<int32_t>::max();
+  if (V <= -2147483648.0)
+    return std::numeric_limits<int32_t>::min();
+  return static_cast<int32_t>(V);
+}
+
+inline bool evalCond(ir::Cond C, uint32_t A, uint32_t B) {
+  int32_t SA = static_cast<int32_t>(A);
+  int32_t SB = static_cast<int32_t>(B);
+  switch (C) {
+  case ir::Cond::Eq:
+    return A == B;
+  case ir::Cond::Ne:
+    return A != B;
+  case ir::Cond::Lt:
+    return SA < SB;
+  case ir::Cond::Le:
+    return SA <= SB;
+  case ir::Cond::Gt:
+    return SA > SB;
+  case ir::Cond::Ge:
+    return SA >= SB;
+  case ir::Cond::LtU:
+    return A < B;
+  case ir::Cond::LeU:
+    return A <= B;
+  case ir::Cond::GtU:
+    return A > B;
+  case ir::Cond::GeU:
+    return A >= B;
+  }
+  return false;
+}
+
+inline bool evalFCond(ir::Cond C, double A, double B) {
+  switch (C) {
+  case ir::Cond::Eq:
+    return A == B;
+  case ir::Cond::Ne:
+    return A != B;
+  case ir::Cond::Lt:
+    return A < B;
+  case ir::Cond::Le:
+    return A <= B;
+  default:
+    return false;
+  }
+}
+
+/// Pentium U/V pairing: simple one-cycle register-form integer ops.
+inline bool isSimpleOp(const TInstr &I) {
+  if (I.MemOperand)
+    return false;
+  switch (I.Op) {
+  case TOp::Nop:
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+  case TOp::OrImmLo:
+  case TOp::MovReg:
+  case TOp::Lea:
+  case TOp::Add:
+  case TOp::Sub:
+  case TOp::And:
+  case TOp::Or:
+  case TOp::Xor:
+  case TOp::Shl:
+  case TOp::ShrL:
+  case TOp::ShrA:
+  case TOp::SetCond:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+Simulator::Simulator(const TargetInfo &TI, const TargetCode &Code,
+                     vm::AddressSpace &Mem)
+    : TI(TI), Code(Code), Mem(Mem) {
+  reset();
+}
+
+void Simulator::reset() {
+  std::memset(Regs, 0, sizeof(Regs));
+  std::memset(FpRegs, 0, sizeof(FpRegs));
+  std::memset(RegReady, 0, sizeof(RegReady));
+  std::memset(FpReady, 0, sizeof(FpReady));
+  Ctr = 0;
+  CmpA = CmpB = 0;
+  FCmpA = FCmpB = 0;
+  CcReady = FccReady = CtrReady = 0;
+  NextSeq = 0;
+  PairCycle = ~0ull;
+  PairUnit = UnitClass::System;
+  PairSimpleOk = false;
+  Stats = SimStats();
+  Pc = Code.Entry;
+  // Every engine boots with the same VM-visible state: the stack at the
+  // segment top below the engine-reserved area, and a link register whose
+  // value returns to the host.
+  setIntReg(vm::RegSp, Mem.base() + Mem.size() - vm::EngineReservedTop);
+  setIntReg(vm::RegRa, vm::ReturnToHost);
+}
+
+// --- VM register views ----------------------------------------------------
+
+uint32_t Simulator::getIntReg(unsigned VmReg) const {
+  int M = Code.VmIntRegMap[VmReg];
+  if (M >= 0)
+    return readReg(static_cast<unsigned>(M));
+  uint32_t V = 0;
+  Mem.hostRead(Code.IntSlotBase + 4 * VmReg, &V, 4);
+  return V;
+}
+
+void Simulator::setIntReg(unsigned VmReg, uint32_t Val) {
+  int M = Code.VmIntRegMap[VmReg];
+  if (M >= 0) {
+    writeReg(static_cast<unsigned>(M), Val);
+    return;
+  }
+  Mem.hostWrite(Code.IntSlotBase + 4 * VmReg, &Val, 4);
+}
+
+uint64_t Simulator::getFpBits(unsigned VmReg) const {
+  int M = Code.VmFpRegMap[VmReg];
+  if (M >= 0)
+    return FpRegs[M];
+  uint64_t V = 0;
+  Mem.hostRead(Code.FpSlotBase + 8 * VmReg, &V, 8);
+  return V;
+}
+
+void Simulator::setFpBits(unsigned VmReg, uint64_t Bits) {
+  int M = Code.VmFpRegMap[VmReg];
+  if (M >= 0) {
+    FpRegs[M] = Bits;
+    return;
+  }
+  Mem.hostWrite(Code.FpSlotBase + 8 * VmReg, &Bits, 8);
+}
+
+// --- timing ---------------------------------------------------------------
+
+uint64_t Simulator::srcReady(const TInstr &I) const {
+  uint64_t R = 0;
+  auto RInt = [&](unsigned Reg) {
+    if (!(TI.HasZeroReg && Reg == TI.ZeroReg))
+      R = std::max(R, RegReady[Reg]);
+  };
+  auto RFp = [&](unsigned Reg) { R = std::max(R, FpReady[Reg]); };
+  auto RAddr = [&]() {
+    if (I.Mode != AddrMode::Abs) {
+      RInt(I.Rs1);
+      if (I.Mode == AddrMode::BaseIndex || I.Mode == AddrMode::BaseIndexImm)
+        RInt(I.Rs2);
+    }
+  };
+  switch (I.Op) {
+  case TOp::Nop:
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+  case TOp::Branch:
+  case TOp::CallDirect:
+  case TOp::HostCall:
+  case TOp::Trap:
+  case TOp::Halt:
+    break;
+  case TOp::OrImmLo:
+  case TOp::MovReg:
+  case TOp::MoveToCtr:
+    RInt(I.Rs1);
+    break;
+  case TOp::Lea:
+    RAddr();
+    break;
+  case TOp::Load:
+    RAddr();
+    break;
+  case TOp::Store:
+    RAddr();
+    if (I.FpVal)
+      RFp(I.Rd);
+    else
+      RInt(I.Rd);
+    break;
+  case TOp::Cmp:
+    RInt(I.Rs1);
+    if (I.MemOperand)
+      RAddr();
+    else if (!I.UsesImm)
+      RInt(I.Rs2);
+    break;
+  case TOp::SetCond:
+  case TOp::CmpBranch:
+    RInt(I.Rs1);
+    if (!I.UsesImm)
+      RInt(I.Rs2);
+    break;
+  case TOp::FCmp:
+    RFp(I.Rs1);
+    RFp(I.Rs2);
+    break;
+  case TOp::BranchCC:
+    R = std::max(R, CcReady);
+    break;
+  case TOp::FBranchCC:
+    R = std::max(R, FccReady);
+    break;
+  case TOp::BranchDec:
+    R = std::max(R, CtrReady);
+    break;
+  case TOp::CallIndirect:
+  case TOp::JumpIndirect:
+    RInt(I.Rs1);
+    break;
+  case TOp::FMov:
+  case TOp::FNeg:
+  case TOp::CvtFpToFp:
+  case TOp::CvtFpToInt:
+    RFp(I.Rs1);
+    break;
+  case TOp::CvtIntToFp:
+    RInt(I.Rs1);
+    break;
+  case TOp::FAdd:
+  case TOp::FSub:
+  case TOp::FMul:
+  case TOp::FDiv:
+    RFp(I.Rs1);
+    RFp(I.Rs2);
+    break;
+  default: // integer ALU
+    RInt(I.Rs1);
+    if (I.MemOperand)
+      RAddr();
+    else if (!I.UsesImm)
+      RInt(I.Rs2);
+    break;
+  }
+  return R;
+}
+
+void Simulator::account(const TInstr &I, bool Mispredict) {
+  uint64_t Issue = std::max(NextSeq, srcReady(I));
+  UnitClass Unit = instrUnit(I);
+  bool Simple = isSimpleOp(I);
+
+  // Dual-issue pairing: the previous issue cycle may take a second
+  // instruction whose operands were ready, if the units are compatible.
+  bool Paired = false;
+  if (TI.IssueWidth > 1 && PairCycle != ~0ull && srcReady(I) <= PairCycle) {
+    bool UnitsOk = false;
+    if (TI.PairIntFp)
+      UnitsOk = (Unit == UnitClass::Fp) !=
+                (PairUnit == UnitClass::Fp); // exactly one fp op
+    if (TI.PairSimple)
+      UnitsOk = Simple && PairSimpleOk;
+    if (UnitsOk) {
+      Issue = PairCycle;
+      Paired = true;
+    }
+  }
+  if (Paired) {
+    PairCycle = ~0ull; // second slot now used
+  } else {
+    PairCycle = Unit == UnitClass::Branch || Unit == UnitClass::System
+                    ? ~0ull
+                    : Issue;
+    PairUnit = Unit;
+    PairSimpleOk = Simple;
+    NextSeq = Issue + 1;
+  }
+  if (Mispredict) {
+    NextSeq = Issue + 1 + TI.MispredictPenalty;
+    PairCycle = ~0ull;
+  }
+
+  uint64_t Done = Issue + instrLatency(TI, I);
+  switch (I.Op) {
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+  case TOp::OrImmLo:
+  case TOp::MovReg:
+  case TOp::Lea:
+  case TOp::SetCond:
+  case TOp::CvtFpToInt:
+    RegReady[I.Rd] = Done;
+    break;
+  case TOp::Load:
+    if (I.FpVal)
+      FpReady[I.Rd] = Done;
+    else
+      RegReady[I.Rd] = Done;
+    break;
+  case TOp::Store:
+  case TOp::Nop:
+  case TOp::Branch:
+  case TOp::CmpBranch:
+  case TOp::BranchCC:
+  case TOp::FBranchCC:
+  case TOp::JumpIndirect:
+  case TOp::HostCall:
+  case TOp::Trap:
+  case TOp::Halt:
+    break;
+  case TOp::Cmp:
+    CcReady = Done;
+    break;
+  case TOp::FCmp:
+    FccReady = Done;
+    break;
+  case TOp::MoveToCtr:
+  case TOp::BranchDec:
+    CtrReady = Done;
+    break;
+  case TOp::CallDirect:
+  case TOp::CallIndirect:
+    if (!TI.LinkIsMemory)
+      RegReady[I.Rd] = Done;
+    break;
+  case TOp::FMov:
+  case TOp::FNeg:
+  case TOp::CvtFpToFp:
+  case TOp::CvtIntToFp:
+  case TOp::FAdd:
+  case TOp::FSub:
+  case TOp::FMul:
+  case TOp::FDiv:
+    FpReady[I.Rd] = Done;
+    break;
+  default: // integer ALU
+    RegReady[I.Rd] = Done;
+    break;
+  }
+  if (I.RecordForm)
+    CcReady = Issue + TI.CmpLat;
+
+  ++Stats.Instructions;
+  ++Stats.CatCounts[static_cast<unsigned>(I.Cat)];
+  Stats.Cycles = std::max(Stats.Cycles, Issue + 1);
+}
+
+// --- semantics ------------------------------------------------------------
+
+uint32_t Simulator::effectiveAddr(const TInstr &I) const {
+  switch (I.Mode) {
+  case AddrMode::Abs:
+    return static_cast<uint32_t>(I.Imm);
+  case AddrMode::BaseImm:
+    return readReg(I.Rs1) + static_cast<uint32_t>(I.Imm);
+  case AddrMode::BaseIndex:
+    return readReg(I.Rs1) + readReg(I.Rs2);
+  case AddrMode::BaseIndexImm:
+    return readReg(I.Rs1) + readReg(I.Rs2) + static_cast<uint32_t>(I.Imm);
+  }
+  return 0;
+}
+
+bool Simulator::execStraight(const TInstr &I, vm::Trap &T) {
+  account(I);
+  switch (I.Op) {
+  case TOp::Nop:
+    return true;
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+    writeReg(I.Rd, static_cast<uint32_t>(I.Imm));
+    return true;
+  case TOp::OrImmLo:
+    writeReg(I.Rd, readReg(I.Rs1) | static_cast<uint32_t>(I.Imm));
+    return true;
+  case TOp::MovReg:
+    writeReg(I.Rd, readReg(I.Rs1));
+    return true;
+  case TOp::Lea:
+    writeReg(I.Rd, effectiveAddr(I));
+    return true;
+  case TOp::Load: {
+    uint32_t Addr = effectiveAddr(I);
+    switch (I.Width) {
+    case ir::MemWidth::W8: {
+      uint32_t V = 0;
+      if (!Mem.read8(Addr, V, T))
+        return false;
+      writeReg(I.Rd, I.SignedLoad
+                         ? static_cast<uint32_t>(static_cast<int32_t>(
+                               static_cast<int8_t>(V)))
+                         : V);
+      return true;
+    }
+    case ir::MemWidth::W16: {
+      uint32_t V = 0;
+      if (!Mem.read16(Addr, V, T))
+        return false;
+      writeReg(I.Rd, I.SignedLoad
+                         ? static_cast<uint32_t>(static_cast<int32_t>(
+                               static_cast<int16_t>(V)))
+                         : V);
+      return true;
+    }
+    case ir::MemWidth::W32: {
+      uint32_t V = 0;
+      if (!Mem.read32(Addr, V, T))
+        return false;
+      writeReg(I.Rd, V);
+      return true;
+    }
+    case ir::MemWidth::F32: {
+      uint32_t V = 0;
+      if (!Mem.read32(Addr, V, T))
+        return false;
+      FpRegs[I.Rd] = V;
+      return true;
+    }
+    case ir::MemWidth::F64: {
+      uint64_t V = 0;
+      if (!Mem.read64(Addr, V, T))
+        return false;
+      FpRegs[I.Rd] = V;
+      return true;
+    }
+    }
+    return true;
+  }
+  case TOp::Store: {
+    uint32_t Addr = effectiveAddr(I);
+    switch (I.Width) {
+    case ir::MemWidth::W8:
+      return Mem.write8(Addr, readReg(I.Rd), T);
+    case ir::MemWidth::W16:
+      return Mem.write16(Addr, readReg(I.Rd), T);
+    case ir::MemWidth::W32:
+      return Mem.write32(Addr, readReg(I.Rd), T);
+    case ir::MemWidth::F32:
+      return Mem.write32(Addr, static_cast<uint32_t>(FpRegs[I.Rd]), T);
+    case ir::MemWidth::F64:
+      return Mem.write64(Addr, FpRegs[I.Rd], T);
+    }
+    return true;
+  }
+  case TOp::Cmp: {
+    CmpA = readReg(I.Rs1);
+    if (I.MemOperand) {
+      uint32_t V = 0;
+      if (!Mem.read32(effectiveAddr(I), V, T))
+        return false;
+      CmpB = V;
+    } else {
+      CmpB = I.UsesImm ? static_cast<uint32_t>(I.Imm) : readReg(I.Rs2);
+    }
+    return true;
+  }
+  case TOp::SetCond: {
+    uint32_t B = I.UsesImm ? static_cast<uint32_t>(I.Imm) : readReg(I.Rs2);
+    writeReg(I.Rd, evalCond(I.Cc, readReg(I.Rs1), B) ? 1u : 0u);
+    return true;
+  }
+  case TOp::FCmp:
+    if (I.Width == ir::MemWidth::F32) {
+      FCmpA = asF32(FpRegs[I.Rs1]);
+      FCmpB = asF32(FpRegs[I.Rs2]);
+    } else {
+      FCmpA = asF64(FpRegs[I.Rs1]);
+      FCmpB = asF64(FpRegs[I.Rs2]);
+    }
+    return true;
+  case TOp::MoveToCtr:
+    Ctr = readReg(I.Rs1);
+    return true;
+  case TOp::HostCall: {
+    if (!Host) {
+      T.Kind = vm::TrapKind::HostError;
+      T.Code = I.Imm;
+      return false;
+    }
+    vm::Trap R = Host(static_cast<unsigned>(I.Imm), *this);
+    if (R.Kind != vm::TrapKind::None) {
+      T = R;
+      return false;
+    }
+    return true;
+  }
+  case TOp::Trap:
+    T.Kind = vm::TrapKind::Break;
+    return false;
+  case TOp::Halt:
+    T = vm::Trap::halt(static_cast<int32_t>(getIntReg(0)));
+    return false;
+  case TOp::FMov:
+    FpRegs[I.Rd] = FpRegs[I.Rs1];
+    return true;
+  case TOp::FNeg:
+    FpRegs[I.Rd] = I.Width == ir::MemWidth::F32
+                       ? fromF32(-asF32(FpRegs[I.Rs1]))
+                       : fromF64(-asF64(FpRegs[I.Rs1]));
+    return true;
+  case TOp::CvtIntToFp: {
+    int32_t V = static_cast<int32_t>(readReg(I.Rs1));
+    FpRegs[I.Rd] = I.Width == ir::MemWidth::F32
+                       ? fromF32(static_cast<float>(V))
+                       : fromF64(static_cast<double>(V));
+    return true;
+  }
+  case TOp::CvtFpToInt: {
+    int32_t V = I.Width == ir::MemWidth::F64 ? cvtToW(asF64(FpRegs[I.Rs1]))
+                                             : cvtToW(asF32(FpRegs[I.Rs1]));
+    writeReg(I.Rd, static_cast<uint32_t>(V));
+    return true;
+  }
+  case TOp::CvtFpToFp:
+    FpRegs[I.Rd] = I.Width == ir::MemWidth::F64
+                       ? fromF64(static_cast<double>(asF32(FpRegs[I.Rs1])))
+                       : fromF32(static_cast<float>(asF64(FpRegs[I.Rs1])));
+    return true;
+  case TOp::FAdd:
+  case TOp::FSub:
+  case TOp::FMul:
+  case TOp::FDiv:
+    if (I.Width == ir::MemWidth::F32) {
+      float A = asF32(FpRegs[I.Rs1]);
+      float B = asF32(FpRegs[I.Rs2]);
+      float R = I.Op == TOp::FAdd   ? A + B
+                : I.Op == TOp::FSub ? A - B
+                : I.Op == TOp::FMul ? A * B
+                                    : A / B;
+      FpRegs[I.Rd] = fromF32(R);
+    } else {
+      double A = asF64(FpRegs[I.Rs1]);
+      double B = asF64(FpRegs[I.Rs2]);
+      double R = I.Op == TOp::FAdd   ? A + B
+                 : I.Op == TOp::FSub ? A - B
+                 : I.Op == TOp::FMul ? A * B
+                                     : A / B;
+      FpRegs[I.Rd] = fromF64(R);
+    }
+    return true;
+  default:
+    break;
+  }
+
+  // Integer ALU (including fp-free x86 two-address forms).
+  uint32_t A = readReg(I.Rs1);
+  uint32_t B;
+  if (I.MemOperand) {
+    uint32_t V = 0;
+    if (!Mem.read32(effectiveAddr(I), V, T))
+      return false;
+    B = V;
+  } else {
+    B = I.UsesImm ? static_cast<uint32_t>(I.Imm) : readReg(I.Rs2);
+  }
+  uint32_t R = 0;
+  switch (I.Op) {
+  case TOp::Add:
+    R = A + B;
+    break;
+  case TOp::Sub:
+    R = A - B;
+    break;
+  case TOp::Mul:
+    R = A * B;
+    break;
+  case TOp::Div:
+    if (B == 0) {
+      T = vm::Trap::divideByZero();
+      return false;
+    }
+    R = static_cast<uint32_t>(
+        sdiv(static_cast<int32_t>(A), static_cast<int32_t>(B)));
+    break;
+  case TOp::DivU:
+    if (B == 0) {
+      T = vm::Trap::divideByZero();
+      return false;
+    }
+    R = A / B;
+    break;
+  case TOp::Rem:
+    if (B == 0) {
+      T = vm::Trap::divideByZero();
+      return false;
+    }
+    R = static_cast<uint32_t>(
+        srem(static_cast<int32_t>(A), static_cast<int32_t>(B)));
+    break;
+  case TOp::RemU:
+    if (B == 0) {
+      T = vm::Trap::divideByZero();
+      return false;
+    }
+    R = A % B;
+    break;
+  case TOp::And:
+    R = A & B;
+    break;
+  case TOp::Or:
+    R = A | B;
+    break;
+  case TOp::Xor:
+    R = A ^ B;
+    break;
+  case TOp::Shl:
+    R = A << (B & 31);
+    break;
+  case TOp::ShrL:
+    R = A >> (B & 31);
+    break;
+  case TOp::ShrA:
+    R = static_cast<uint32_t>(static_cast<int32_t>(A) >>
+                              static_cast<int32_t>(B & 31));
+    break;
+  default:
+    break;
+  }
+  writeReg(I.Rd, R);
+  if (I.RecordForm) {
+    CmpA = R;
+    CmpB = 0;
+  }
+  return true;
+}
+
+bool Simulator::resolveVmTarget(uint32_t VmIndex, uint32_t &Native,
+                                vm::Trap &T) {
+  if (VmIndex == vm::ReturnToHost) {
+    T = vm::Trap::halt(static_cast<int32_t>(getIntReg(0)));
+    return false;
+  }
+  if (VmIndex >= Code.VmToNative.size()) {
+    T = vm::Trap::badJump(VmIndex);
+    return false;
+  }
+  Native = Code.VmToNative[VmIndex];
+  return true;
+}
+
+void Simulator::writeLink(const TInstr &I) {
+  uint32_t Link = static_cast<uint32_t>(I.VmIndex + 1);
+  if (TI.LinkIsMemory)
+    Mem.hostWrite(Code.IntSlotBase + 4 * vm::RegRa, &Link, 4);
+  else
+    writeReg(I.Rd, Link);
+}
+
+vm::Trap Simulator::run(uint64_t MaxSteps) {
+  const TInstr *Is = Code.Code.data();
+  const uint32_t N = static_cast<uint32_t>(Code.Code.size());
+  uint64_t Steps = 0;
+
+  while (Steps < MaxSteps) {
+    if (Pc >= N) {
+      vm::Trap T = vm::Trap::badJump(Pc);
+      T.FaultPc = Pc;
+      return T;
+    }
+    const TInstr &I = Is[Pc];
+
+    if (!I.isBranch()) {
+      ++Steps;
+      vm::Trap T = vm::Trap::none();
+      if (!execStraight(I, T)) {
+        T.FaultPc = I.VmIndex >= 0 ? static_cast<uint32_t>(I.VmIndex) : Pc;
+        return T;
+      }
+      ++Pc;
+      continue;
+    }
+
+    // Control transfer: evaluate, then account (direction matters for the
+    // static-prediction penalty), then run the delay slot if any.
+    ++Steps;
+    bool Taken = false;
+    uint32_t Target = 0;
+    bool Indirect = false;
+    uint32_t VmTarget = 0;
+    switch (I.Op) {
+    case TOp::Branch:
+      Taken = true;
+      Target = static_cast<uint32_t>(I.Target);
+      break;
+    case TOp::CmpBranch: {
+      uint32_t B = I.UsesImm ? static_cast<uint32_t>(I.Imm) : readReg(I.Rs2);
+      Taken = evalCond(I.Cc, readReg(I.Rs1), B);
+      Target = static_cast<uint32_t>(I.Target);
+      break;
+    }
+    case TOp::BranchCC:
+      Taken = evalCond(I.Cc, CmpA, CmpB);
+      Target = static_cast<uint32_t>(I.Target);
+      break;
+    case TOp::FBranchCC:
+      Taken = evalFCond(I.Cc, FCmpA, FCmpB);
+      Target = static_cast<uint32_t>(I.Target);
+      break;
+    case TOp::BranchDec:
+      --Ctr;
+      Taken = Ctr != 0;
+      Target = static_cast<uint32_t>(I.Target);
+      break;
+    case TOp::CallDirect:
+      writeLink(I);
+      Taken = true;
+      Target = static_cast<uint32_t>(I.Target);
+      break;
+    case TOp::CallIndirect:
+      VmTarget = readReg(I.Rs1); // read before the link clobbers it
+      writeLink(I);
+      Taken = true;
+      Indirect = true;
+      break;
+    case TOp::JumpIndirect:
+      VmTarget = readReg(I.Rs1);
+      Taken = true;
+      Indirect = true;
+      break;
+    default:
+      break;
+    }
+
+    bool Mispredict = TI.MispredictPenalty > 0 && Taken && Target > Pc;
+    account(I, Mispredict);
+
+    // The delay slot executes before control transfers — even when the
+    // transfer turns out to return to the host or jump wild, so an exit
+    // code or store scheduled into the slot still takes effect.
+    if (TI.HasDelaySlot && Pc + 1 < N) {
+      const TInstr &Slot = Is[Pc + 1];
+      bool RunSlot = (Taken || !I.Annul) && !Slot.isBranch();
+      if (RunSlot) {
+        ++Steps;
+        vm::Trap ST = vm::Trap::none();
+        if (!execStraight(Slot, ST)) {
+          ST.FaultPc =
+              Slot.VmIndex >= 0 ? static_cast<uint32_t>(Slot.VmIndex) : Pc + 1;
+          return ST;
+        }
+      }
+      if (Indirect) {
+        vm::Trap T = vm::Trap::none();
+        if (!resolveVmTarget(VmTarget, Target, T)) {
+          T.FaultPc = I.VmIndex >= 0 ? static_cast<uint32_t>(I.VmIndex) : Pc;
+          return T;
+        }
+      }
+      Pc = Taken ? Target : Pc + 2;
+    } else {
+      if (Indirect) {
+        vm::Trap T = vm::Trap::none();
+        if (!resolveVmTarget(VmTarget, Target, T)) {
+          T.FaultPc = I.VmIndex >= 0 ? static_cast<uint32_t>(I.VmIndex) : Pc;
+          return T;
+        }
+      }
+      Pc = Taken ? Target : Pc + 1;
+    }
+  }
+
+  vm::Trap T;
+  T.Kind = vm::TrapKind::StepLimit;
+  T.FaultPc = Pc;
+  return T;
+}

@@ -1,0 +1,121 @@
+//===- target/Simulator.h - Native-target execution engine ------*- C++ -*-===//
+///
+/// \file
+/// Executes translated TargetCode against a sandboxed AddressSpace while
+/// modeling the target pipeline: in-order issue with an operand-ready
+/// scoreboard, dual-issue pairing (PPC int+fp, Pentium simple pairs),
+/// load-use and compare-to-branch latencies, branch delay slots with
+/// annulment, and static branch prediction. The paper's dynamic numbers
+/// (Tables 1-6, Figure 1) come from these cycle and expansion-category
+/// counts.
+///
+/// The simulator implements vm::HostContext, exposing VM-level register
+/// state through the translation's register map (physical registers or
+/// memory slots) so host call gates are engine-independent.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_TARGET_SIMULATOR_H
+#define OMNI_TARGET_SIMULATOR_H
+
+#include "target/TargetInfo.h"
+#include "vm/AddressSpace.h"
+#include "vm/Host.h"
+
+#include <cstdint>
+
+namespace omni {
+namespace target {
+
+/// Dynamic execution statistics, bucketed by expansion category so the
+/// paper's Figure 1 accounting falls out of a run.
+struct SimStats {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t CatCounts[NumExpCats] = {};
+
+  uint64_t catCount(ExpCat Cat) const {
+    return CatCounts[static_cast<unsigned>(Cat)];
+  }
+  /// Executed native instructions that directly image an OmniVM
+  /// instruction; with translator optimizations off this equals the
+  /// interpreter's instruction count.
+  uint64_t baseCount() const { return catCount(ExpCat::Base); }
+};
+
+/// Simulated execution of one translation against one address space. Keeps
+/// references to \p Code and \p Mem; both must outlive the simulator.
+class Simulator final : public vm::HostContext {
+public:
+  Simulator(const TargetInfo &TI, const TargetCode &Code,
+            vm::AddressSpace &Mem);
+
+  void setHostHandler(vm::HostCallHandler Handler) {
+    Host = std::move(Handler);
+  }
+
+  /// Zeroes machine state, points the VM stack pointer at the segment top
+  /// and seeds the link register with the return-to-host sentinel.
+  void reset();
+
+  /// Runs until a trap (including Halt) or \p MaxSteps executed native
+  /// instructions.
+  vm::Trap run(uint64_t MaxSteps);
+
+  const SimStats &stats() const { return Stats; }
+
+  // --- vm::HostContext (VM-level register view) ------------------------
+  uint32_t getIntReg(unsigned VmReg) const override;
+  void setIntReg(unsigned VmReg, uint32_t Val) override;
+  uint64_t getFpBits(unsigned VmReg) const override;
+  void setFpBits(unsigned VmReg, uint64_t Bits) override;
+  vm::AddressSpace &mem() override { return Mem; }
+
+private:
+  static constexpr unsigned NumRegs = 64;
+
+  uint64_t srcReady(const TInstr &I) const;
+  void account(const TInstr &I, bool Mispredict = false);
+  uint32_t effectiveAddr(const TInstr &I) const;
+  bool execStraight(const TInstr &I, vm::Trap &T);
+  bool resolveVmTarget(uint32_t VmIndex, uint32_t &Native, vm::Trap &T);
+  void writeLink(const TInstr &I);
+
+  uint32_t readReg(unsigned R) const {
+    if (TI.HasZeroReg && R == TI.ZeroReg)
+      return 0;
+    return Regs[R];
+  }
+  void writeReg(unsigned R, uint32_t V) {
+    if (TI.HasZeroReg && R == TI.ZeroReg)
+      return;
+    Regs[R] = V;
+  }
+
+  const TargetInfo &TI;
+  const TargetCode &Code;
+  vm::AddressSpace &Mem;
+  vm::HostCallHandler Host;
+
+  uint32_t Regs[NumRegs];
+  uint64_t FpRegs[32];
+  uint32_t Ctr = 0;
+  uint32_t CmpA = 0, CmpB = 0; ///< integer condition-code state
+  double FCmpA = 0, FCmpB = 0; ///< fp condition-code state
+  uint32_t Pc = 0;
+
+  // Scoreboard (cycle each resource becomes available).
+  uint64_t RegReady[NumRegs];
+  uint64_t FpReady[32];
+  uint64_t CcReady = 0, FccReady = 0, CtrReady = 0;
+  uint64_t NextSeq = 0;       ///< earliest cycle for the next sequential issue
+  uint64_t PairCycle = ~0ull; ///< issue cycle with a free second slot
+  UnitClass PairUnit = UnitClass::System;
+  bool PairSimpleOk = false;
+
+  SimStats Stats;
+};
+
+} // namespace target
+} // namespace omni
+
+#endif // OMNI_TARGET_SIMULATOR_H

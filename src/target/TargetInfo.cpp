@@ -1,0 +1,522 @@
+//===- target/TargetInfo.cpp ----------------------------------------------===//
+
+#include "target/TargetInfo.h"
+
+#include "support/Format.h"
+
+using namespace omni;
+using namespace omni::target;
+
+const char *omni::target::getTargetName(TargetKind Kind) {
+  switch (Kind) {
+  case TargetKind::Mips:
+    return "Mips";
+  case TargetKind::Sparc:
+    return "Sparc";
+  case TargetKind::Ppc:
+    return "PPC";
+  case TargetKind::X86:
+    return "x86";
+  }
+  return "?";
+}
+
+const char *omni::target::getExpCatName(ExpCat Cat) {
+  switch (Cat) {
+  case ExpCat::Base:
+    return "base";
+  case ExpCat::Addr:
+    return "addr";
+  case ExpCat::Cmp:
+    return "cmp";
+  case ExpCat::Ldi:
+    return "ldi";
+  case ExpCat::Bnop:
+    return "bnop";
+  case ExpCat::Sfi:
+    return "sfi";
+  case ExpCat::Other:
+    return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+// MIPS R4600: single issue, one delay slot, fused compare-and-branch,
+// hardwired $0. VM registers live in $8..$21/$29/$31; $at and $t9 are
+// scratches; $22-$24 are the dedicated SFI registers; $28 is gp.
+const TargetInfo MipsInfo = {
+    "Mips",
+    /*HasDelaySlot=*/true,
+    /*HasIndexedAddr=*/false,
+    /*HasCmpBranch=*/true,
+    /*HasZeroReg=*/true,
+    /*ZeroReg=*/0,
+    /*TwoAddressAlu=*/false,
+    /*LinkIsMemory=*/false,
+    /*ScratchA=*/1,
+    /*ScratchB=*/25,
+    /*SfiMaskReg=*/22,
+    /*SfiBaseReg=*/23,
+    /*SfiAddrReg=*/24,
+    /*GlobalPtrReg=*/28,
+    /*IssueWidth=*/1,
+    /*PairIntFp=*/false,
+    /*PairSimple=*/false,
+    /*LoadLat=*/2,
+    /*CmpLat=*/1,
+    /*MulLat=*/8,
+    /*DivLat=*/32,
+    /*FpAddLat=*/4,
+    /*FpMulLat=*/8,
+    /*FpDivLat=*/20,
+    /*MemOperandLat=*/0,
+    /*MispredictPenalty=*/0,
+};
+
+// SPARC (SuperSPARC modeled single-issue): delay slot with annulment,
+// indexed addressing, condition codes, %g0 zero. VM registers live in the
+// locals/ins; %o0/%o1 are scratches; %g2-%g4 SFI; %g5 gp.
+const TargetInfo SparcInfo = {
+    "Sparc",
+    /*HasDelaySlot=*/true,
+    /*HasIndexedAddr=*/true,
+    /*HasCmpBranch=*/false,
+    /*HasZeroReg=*/true,
+    /*ZeroReg=*/0,
+    /*TwoAddressAlu=*/false,
+    /*LinkIsMemory=*/false,
+    /*ScratchA=*/8,
+    /*ScratchB=*/9,
+    /*SfiMaskReg=*/2,
+    /*SfiBaseReg=*/3,
+    /*SfiAddrReg=*/4,
+    /*GlobalPtrReg=*/5,
+    /*IssueWidth=*/1,
+    /*PairIntFp=*/false,
+    /*PairSimple=*/false,
+    /*LoadLat=*/2,
+    /*CmpLat=*/1,
+    /*MulLat=*/8,
+    /*DivLat=*/35,
+    /*FpAddLat=*/4,
+    /*FpMulLat=*/5,
+    /*FpDivLat=*/22,
+    /*MemOperandLat=*/0,
+    /*MispredictPenalty=*/0,
+};
+
+// PowerPC 601: dual issue (one integer + one fp per cycle), no delay slot,
+// indexed addressing, cr0 compares with a 3-cycle compare-to-branch
+// latency, CTR loops. VM registers live in r13-r27; r11/r12 scratches;
+// r29-r31 SFI; r2 gp/TOC.
+const TargetInfo PpcInfo = {
+    "PPC",
+    /*HasDelaySlot=*/false,
+    /*HasIndexedAddr=*/true,
+    /*HasCmpBranch=*/false,
+    /*HasZeroReg=*/false,
+    /*ZeroReg=*/0,
+    /*TwoAddressAlu=*/false,
+    /*LinkIsMemory=*/false,
+    /*ScratchA=*/11,
+    /*ScratchB=*/12,
+    /*SfiMaskReg=*/29,
+    /*SfiBaseReg=*/30,
+    /*SfiAddrReg=*/31,
+    /*GlobalPtrReg=*/2,
+    /*IssueWidth=*/2,
+    /*PairIntFp=*/true,
+    /*PairSimple=*/false,
+    /*LoadLat=*/2,
+    /*CmpLat=*/3,
+    /*MulLat=*/5,
+    /*DivLat=*/36,
+    /*FpAddLat=*/4,
+    /*FpMulLat=*/4,
+    /*FpDivLat=*/31,
+    /*MemOperandLat=*/0,
+    /*MispredictPenalty=*/0,
+};
+
+// x86 (Pentium): dual issue of independent simple instructions, two-address
+// ALU with memory operands, eight registers (six hold VM state, esi/edi
+// scratch), memory-mapped VM registers, static not-taken prediction of
+// forward branches. SFI costs nothing (hardware segmentation).
+const TargetInfo X86Info = {
+    "x86",
+    /*HasDelaySlot=*/false,
+    /*HasIndexedAddr=*/true,
+    /*HasCmpBranch=*/false,
+    /*HasZeroReg=*/false,
+    /*ZeroReg=*/0,
+    /*TwoAddressAlu=*/true,
+    /*LinkIsMemory=*/true,
+    /*ScratchA=*/6,
+    /*ScratchB=*/7,
+    /*SfiMaskReg=*/6,
+    /*SfiBaseReg=*/7,
+    /*SfiAddrReg=*/6,
+    /*GlobalPtrReg=*/6,
+    /*IssueWidth=*/2,
+    /*PairIntFp=*/false,
+    /*PairSimple=*/true,
+    /*LoadLat=*/1,
+    /*CmpLat=*/1,
+    /*MulLat=*/10,
+    /*DivLat=*/40,
+    /*FpAddLat=*/3,
+    /*FpMulLat=*/3,
+    /*FpDivLat=*/39,
+    /*MemOperandLat=*/2,
+    /*MispredictPenalty=*/3,
+};
+
+} // namespace
+
+const TargetInfo &omni::target::getTargetInfo(TargetKind Kind) {
+  switch (Kind) {
+  case TargetKind::Mips:
+    return MipsInfo;
+  case TargetKind::Sparc:
+    return SparcInfo;
+  case TargetKind::Ppc:
+    return PpcInfo;
+  case TargetKind::X86:
+    return X86Info;
+  }
+  return MipsInfo;
+}
+
+UnitClass omni::target::instrUnit(const TInstr &I) {
+  switch (I.Op) {
+  case TOp::FAdd:
+  case TOp::FSub:
+  case TOp::FMul:
+  case TOp::FDiv:
+  case TOp::FMov:
+  case TOp::FNeg:
+  case TOp::FCmp:
+  case TOp::CvtIntToFp:
+  case TOp::CvtFpToInt:
+  case TOp::CvtFpToFp:
+    return UnitClass::Fp;
+  case TOp::Load:
+  case TOp::Store:
+    return I.FpVal ? UnitClass::Fp : UnitClass::Mem;
+  case TOp::Branch:
+  case TOp::CmpBranch:
+  case TOp::BranchCC:
+  case TOp::FBranchCC:
+  case TOp::BranchDec:
+  case TOp::CallDirect:
+  case TOp::CallIndirect:
+  case TOp::JumpIndirect:
+    return UnitClass::Branch;
+  case TOp::HostCall:
+  case TOp::Trap:
+  case TOp::Halt:
+    return UnitClass::System;
+  default:
+    return UnitClass::Int;
+  }
+}
+
+unsigned omni::target::instrLatency(const TargetInfo &TI, const TInstr &I) {
+  unsigned Lat;
+  switch (I.Op) {
+  case TOp::Load:
+    Lat = TI.LoadLat;
+    break;
+  case TOp::Cmp:
+  case TOp::FCmp:
+    Lat = TI.CmpLat;
+    break;
+  case TOp::Mul:
+    Lat = TI.MulLat;
+    break;
+  case TOp::Div:
+  case TOp::DivU:
+  case TOp::Rem:
+  case TOp::RemU:
+    Lat = TI.DivLat;
+    break;
+  case TOp::FAdd:
+  case TOp::FSub:
+  case TOp::FNeg:
+  case TOp::CvtIntToFp:
+  case TOp::CvtFpToInt:
+  case TOp::CvtFpToFp:
+    Lat = TI.FpAddLat;
+    break;
+  case TOp::FMul:
+    Lat = TI.FpMulLat;
+    break;
+  case TOp::FDiv:
+    Lat = TI.FpDivLat;
+    break;
+  default:
+    Lat = 1;
+    break;
+  }
+  if (I.MemOperand)
+    Lat += TI.MemOperandLat;
+  return Lat;
+}
+
+namespace {
+
+const char *opName(TOp Op) {
+  switch (Op) {
+  case TOp::Nop:
+    return "nop";
+  case TOp::MovImm:
+    return "li";
+  case TOp::LoadImmHi:
+    return "lih";
+  case TOp::OrImmLo:
+    return "orlo";
+  case TOp::MovReg:
+    return "mov";
+  case TOp::Lea:
+    return "lea";
+  case TOp::Add:
+    return "add";
+  case TOp::Sub:
+    return "sub";
+  case TOp::Mul:
+    return "mul";
+  case TOp::Div:
+    return "div";
+  case TOp::DivU:
+    return "divu";
+  case TOp::Rem:
+    return "rem";
+  case TOp::RemU:
+    return "remu";
+  case TOp::And:
+    return "and";
+  case TOp::Or:
+    return "or";
+  case TOp::Xor:
+    return "xor";
+  case TOp::Shl:
+    return "shl";
+  case TOp::ShrL:
+    return "shrl";
+  case TOp::ShrA:
+    return "shra";
+  case TOp::Load:
+    return "load";
+  case TOp::Store:
+    return "store";
+  case TOp::Cmp:
+    return "cmp";
+  case TOp::SetCond:
+    return "setcc";
+  case TOp::FCmp:
+    return "fcmp";
+  case TOp::CmpBranch:
+    return "cbr";
+  case TOp::BranchCC:
+    return "bcc";
+  case TOp::FBranchCC:
+    return "fbcc";
+  case TOp::Branch:
+    return "b";
+  case TOp::BranchDec:
+    return "bdnz";
+  case TOp::MoveToCtr:
+    return "mtctr";
+  case TOp::CallDirect:
+    return "call";
+  case TOp::CallIndirect:
+    return "callr";
+  case TOp::JumpIndirect:
+    return "jr";
+  case TOp::HostCall:
+    return "hcall";
+  case TOp::Trap:
+    return "trap";
+  case TOp::Halt:
+    return "halt";
+  case TOp::FAdd:
+    return "fadd";
+  case TOp::FSub:
+    return "fsub";
+  case TOp::FMul:
+    return "fmul";
+  case TOp::FDiv:
+    return "fdiv";
+  case TOp::FMov:
+    return "fmov";
+  case TOp::FNeg:
+    return "fneg";
+  case TOp::CvtIntToFp:
+    return "cvtif";
+  case TOp::CvtFpToInt:
+    return "cvtfi";
+  case TOp::CvtFpToFp:
+    return "cvtff";
+  }
+  return "?";
+}
+
+const char *condName(ir::Cond C) {
+  switch (C) {
+  case ir::Cond::Eq:
+    return "eq";
+  case ir::Cond::Ne:
+    return "ne";
+  case ir::Cond::Lt:
+    return "lt";
+  case ir::Cond::Le:
+    return "le";
+  case ir::Cond::Gt:
+    return "gt";
+  case ir::Cond::Ge:
+    return "ge";
+  case ir::Cond::LtU:
+    return "ltu";
+  case ir::Cond::LeU:
+    return "leu";
+  case ir::Cond::GtU:
+    return "gtu";
+  case ir::Cond::GeU:
+    return "geu";
+  }
+  return "?";
+}
+
+void appendAddr(std::string &S, const TInstr &I) {
+  switch (I.Mode) {
+  case AddrMode::Abs:
+    appendFormat(S, "[0x%x]", static_cast<uint32_t>(I.Imm));
+    break;
+  case AddrMode::BaseImm:
+    appendFormat(S, "[r%u%+d]", I.Rs1, I.Imm);
+    break;
+  case AddrMode::BaseIndex:
+    appendFormat(S, "[r%u+r%u]", I.Rs1, I.Rs2);
+    break;
+  case AddrMode::BaseIndexImm:
+    appendFormat(S, "[r%u+r%u%+d]", I.Rs1, I.Rs2, I.Imm);
+    break;
+  }
+}
+
+} // namespace
+
+std::string omni::target::printTInstr(const TargetInfo &TI, const TInstr &I) {
+  (void)TI;
+  std::string S;
+  appendFormat(S, "%-6s", opName(I.Op));
+  const char *FpPrefix = I.FpVal ? "f" : "r";
+  switch (I.Op) {
+  case TOp::Nop:
+  case TOp::Halt:
+  case TOp::Trap:
+    break;
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+    appendFormat(S, "r%u, %d", I.Rd, I.Imm);
+    break;
+  case TOp::OrImmLo:
+    appendFormat(S, "r%u, r%u, %d", I.Rd, I.Rs1, I.Imm);
+    break;
+  case TOp::MovReg:
+    appendFormat(S, "r%u, r%u", I.Rd, I.Rs1);
+    break;
+  case TOp::FMov:
+  case TOp::FNeg:
+  case TOp::CvtFpToFp:
+    appendFormat(S, "f%u, f%u", I.Rd, I.Rs1);
+    break;
+  case TOp::CvtIntToFp:
+    appendFormat(S, "f%u, r%u", I.Rd, I.Rs1);
+    break;
+  case TOp::CvtFpToInt:
+    appendFormat(S, "r%u, f%u", I.Rd, I.Rs1);
+    break;
+  case TOp::Lea:
+    appendFormat(S, "r%u, ", I.Rd);
+    appendAddr(S, I);
+    break;
+  case TOp::Load:
+    appendFormat(S, "%s%u, ", FpPrefix, I.Rd);
+    appendAddr(S, I);
+    break;
+  case TOp::Store:
+    appendAddr(S, I);
+    appendFormat(S, ", %s%u", FpPrefix, I.Rd);
+    break;
+  case TOp::Cmp:
+    if (I.MemOperand) {
+      appendFormat(S, "r%u, ", I.Rs1);
+      appendAddr(S, I);
+    } else if (I.UsesImm) {
+      appendFormat(S, "r%u, %d", I.Rs1, I.Imm);
+    } else {
+      appendFormat(S, "r%u, r%u", I.Rs1, I.Rs2);
+    }
+    break;
+  case TOp::SetCond:
+    if (I.UsesImm)
+      appendFormat(S, "%s r%u, r%u, %d", condName(I.Cc), I.Rd, I.Rs1, I.Imm);
+    else
+      appendFormat(S, "%s r%u, r%u, r%u", condName(I.Cc), I.Rd, I.Rs1,
+                   I.Rs2);
+    break;
+  case TOp::FCmp:
+    appendFormat(S, "f%u, f%u", I.Rs1, I.Rs2);
+    break;
+  case TOp::CmpBranch:
+    if (I.UsesImm)
+      appendFormat(S, "%s r%u, %d, @%d", condName(I.Cc), I.Rs1, I.Imm,
+                   I.Target);
+    else
+      appendFormat(S, "%s r%u, r%u, @%d", condName(I.Cc), I.Rs1, I.Rs2,
+                   I.Target);
+    break;
+  case TOp::BranchCC:
+  case TOp::FBranchCC:
+    appendFormat(S, "%s @%d%s", condName(I.Cc), I.Target,
+                 I.Annul ? ",a" : "");
+    break;
+  case TOp::Branch:
+  case TOp::BranchDec:
+  case TOp::CallDirect:
+    appendFormat(S, "@%d", I.Target);
+    break;
+  case TOp::MoveToCtr:
+  case TOp::JumpIndirect:
+  case TOp::CallIndirect:
+    appendFormat(S, "r%u", I.Rs1);
+    break;
+  case TOp::HostCall:
+    appendFormat(S, "#%d", I.Imm);
+    break;
+  case TOp::FAdd:
+  case TOp::FSub:
+  case TOp::FMul:
+  case TOp::FDiv:
+    appendFormat(S, "f%u, f%u, f%u", I.Rd, I.Rs1, I.Rs2);
+    break;
+  default: // integer ALU
+    if (I.MemOperand) {
+      appendFormat(S, "r%u, r%u, ", I.Rd, I.Rs1);
+      appendAddr(S, I);
+    } else if (I.UsesImm) {
+      appendFormat(S, "r%u, r%u, %d", I.Rd, I.Rs1, I.Imm);
+    } else {
+      appendFormat(S, "r%u, r%u, r%u", I.Rd, I.Rs1, I.Rs2);
+    }
+    break;
+  }
+  if (I.RecordForm)
+    S += " .";
+  if (I.Cat != ExpCat::Base)
+    appendFormat(S, "  ; %s", getExpCatName(I.Cat));
+  return S;
+}

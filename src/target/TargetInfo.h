@@ -1,0 +1,222 @@
+//===- target/TargetInfo.h - Simulated native targets -----------*- C++ -*-===//
+///
+/// \file
+/// The four native processors the paper's Omniware translator targets:
+/// MIPS (R4600), SPARC (SuperSPARC), PowerPC (601) and x86 (Pentium).
+/// Each target is described by a static TargetInfo record: register
+/// conventions (dedicated SFI registers, scratches, a global pointer),
+/// instruction-set shape (delay slots, indexed addressing, fused
+/// compare-and-branch vs condition codes, two-address ALU, memory-mapped
+/// link register) and a simple pipeline timing model (issue width and
+/// pairing rules, load/compare/multiply/divide latencies, static branch
+/// prediction penalty) used both by the translator's list scheduler and by
+/// the cycle-accurate-ish simulator.
+///
+/// Translated code is a vector of TInstr — a generic target instruction
+/// carrying its expansion category (Figure 1 accounting: base / addr /
+/// cmp / ldi / bnop / sfi) and the OmniVM instruction it expands.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_TARGET_TARGETINFO_H
+#define OMNI_TARGET_TARGETINFO_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace target {
+
+/// The four simulated processors, in the paper's table order.
+enum class TargetKind : uint8_t { Mips, Sparc, Ppc, X86 };
+
+constexpr unsigned NumTargets = 4;
+
+/// Iteration helper: the I-th target (I < NumTargets).
+inline TargetKind allTargets(unsigned I) { return static_cast<TargetKind>(I); }
+
+const char *getTargetName(TargetKind Kind);
+
+/// Figure 1 expansion categories: why a native instruction exists.
+enum class ExpCat : uint8_t {
+  Base,  ///< direct image of an OmniVM instruction
+  Addr,  ///< addressing-mode expansion (no indexed mode, large offset)
+  Cmp,   ///< comparison expansion (cc-based targets, MIPS slt)
+  Ldi,   ///< large-immediate synthesis (sethi/lui pairs)
+  Bnop,  ///< unfilled branch delay slot
+  Sfi,   ///< software fault isolation sequence
+  Other, ///< spills, register-map traffic, link moves
+};
+
+constexpr unsigned NumExpCats = 7;
+
+const char *getExpCatName(ExpCat Cat);
+
+/// Addressing modes of Load/Store/Lea and x86 memory operands.
+enum class AddrMode : uint8_t { Abs, BaseImm, BaseIndex, BaseIndexImm };
+
+/// Generic target operations. One enum serves all four targets; TargetInfo
+/// flags restrict which shapes the translator emits for each.
+enum class TOp : uint8_t {
+  Nop,
+  MovImm,    ///< rd = imm
+  LoadImmHi, ///< rd = imm (high part; sethi / lui / addis)
+  OrImmLo,   ///< rd = rs1 | imm (low part)
+  MovReg,    ///< rd = rs1
+  Lea,       ///< rd = effective address
+  Add,
+  Sub,
+  Mul,
+  Div,
+  DivU,
+  Rem,
+  RemU,
+  And,
+  Or,
+  Xor,
+  Shl,
+  ShrL,
+  ShrA,
+  Load,  ///< rd <- [ea]; FpVal selects the fp register file
+  Store, ///< [ea] <- rd
+  Cmp,   ///< set condition codes from rs1 ? (rs2|imm|mem)
+  SetCond,   ///< rd = cond(rs1, rs2|imm) ? 1 : 0 (slt / setcc)
+  FCmp,      ///< set fp condition codes
+  CmpBranch, ///< MIPS fused compare-and-branch
+  BranchCC,  ///< branch on integer condition codes
+  FBranchCC, ///< branch on fp condition codes
+  Branch,    ///< unconditional direct branch
+  BranchDec, ///< PPC bdnz: --ctr, branch if ctr != 0
+  MoveToCtr, ///< PPC mtctr
+  CallDirect,   ///< link = VmIndex+1, branch to Target
+  CallIndirect, ///< link = VmIndex+1, branch through rs1 (a VM index)
+  JumpIndirect, ///< branch through rs1 (a VM index)
+  HostCall,     ///< call gate into the host (import #imm)
+  Trap,         ///< breakpoint
+  Halt,         ///< stop; exit code = VM r0
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FMov,
+  FNeg,
+  CvtIntToFp,
+  CvtFpToInt,
+  CvtFpToFp,
+};
+
+/// One translated native instruction.
+struct TInstr {
+  TOp Op = TOp::Nop;
+  ExpCat Cat = ExpCat::Base;
+  unsigned Rd = 0;
+  unsigned Rs1 = 0;
+  unsigned Rs2 = 0;
+  bool UsesImm = false;
+  bool MemOperand = false; ///< x86 ALU/cmp second operand is memory
+  bool SignedLoad = true;
+  bool FpVal = false;      ///< Load/Store moves an fp value
+  bool Annul = false;      ///< SPARC annulled branch: slot runs only if taken
+  bool RecordForm = false; ///< PPC record form: result also sets cr0
+  AddrMode Mode = AddrMode::BaseImm;
+  ir::MemWidth Width = ir::MemWidth::W32;
+  ir::Cond Cc = ir::Cond::Eq;
+  int32_t Imm = 0;
+  int32_t Target = 0;   ///< branch target (native index after fixup)
+  int32_t VmIndex = -1; ///< OmniVM instruction this expands (-1: prologue)
+
+  bool isBranch() const {
+    switch (Op) {
+    case TOp::Branch:
+    case TOp::CmpBranch:
+    case TOp::BranchCC:
+    case TOp::FBranchCC:
+    case TOp::BranchDec:
+    case TOp::CallDirect:
+    case TOp::CallIndirect:
+    case TOp::JumpIndirect:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+/// Functional-unit class (scheduling and dual-issue pairing).
+enum class UnitClass : uint8_t { Int, Mem, Fp, Branch, System };
+
+UnitClass instrUnit(const TInstr &I);
+
+/// Static description of one target processor.
+struct TargetInfo {
+  const char *Name;
+
+  // --- instruction-set shape ------------------------------------------
+  bool HasDelaySlot;   ///< MIPS, SPARC: one branch delay slot
+  bool HasIndexedAddr; ///< base+index addressing without an explicit add
+  bool HasCmpBranch;   ///< MIPS fused compare-and-branch / slt style
+  bool HasZeroReg;     ///< hardwired zero register
+  unsigned ZeroReg;
+  bool TwoAddressAlu;  ///< x86: dst must equal first source
+  bool LinkIsMemory;   ///< x86: call link goes to the VM ra memory slot
+
+  // --- register conventions -------------------------------------------
+  unsigned ScratchA;
+  unsigned ScratchB;
+  unsigned SfiMaskReg; ///< dedicated: segment offset mask
+  unsigned SfiBaseReg; ///< dedicated: segment base
+  unsigned SfiAddrReg; ///< dedicated: sandboxed address
+  unsigned GlobalPtrReg;
+
+  // --- timing model ----------------------------------------------------
+  unsigned IssueWidth;    ///< 1 or 2
+  bool PairIntFp;         ///< PPC 601: int + fp co-issue
+  bool PairSimple;        ///< Pentium: two independent simple int ops
+  unsigned LoadLat;       ///< load-to-use latency
+  unsigned CmpLat;        ///< compare-to-branch latency
+  unsigned MulLat;
+  unsigned DivLat;
+  unsigned FpAddLat;
+  unsigned FpMulLat;
+  unsigned FpDivLat;
+  unsigned MemOperandLat;    ///< extra latency of an x86 memory operand
+  unsigned MispredictPenalty; ///< static prediction: forward-taken cost
+};
+
+const TargetInfo &getTargetInfo(TargetKind Kind);
+
+/// Result latency of \p I on \p TI (cycles until consumers may issue).
+unsigned instrLatency(const TargetInfo &TI, const TInstr &I);
+
+/// Renders one instruction as target-flavoured assembly (debug).
+std::string printTInstr(const TargetInfo &TI, const TInstr &I);
+
+/// Translated native code for one module on one target.
+struct TargetCode {
+  const char *TargetName = "";
+  std::vector<TInstr> Code;
+  /// OmniVM instruction index -> native index of its region start. Used to
+  /// map VM-level indirect-jump values (and call links) to native code.
+  std::vector<uint32_t> VmToNative;
+  /// VM register -> target register; -1 means a memory slot (x86).
+  int VmIntRegMap[16];
+  int VmFpRegMap[16];
+  /// Segment addresses of the memory-mapped register slots.
+  uint32_t IntSlotBase = 0;
+  uint32_t FpSlotBase = 0;
+  uint32_t Entry = 0; ///< native index of the prologue
+
+  TargetCode() {
+    for (int &M : VmIntRegMap)
+      M = -1;
+    for (int &M : VmFpRegMap)
+      M = -1;
+  }
+};
+
+} // namespace target
+} // namespace omni
+
+#endif // OMNI_TARGET_TARGETINFO_H

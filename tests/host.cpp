@@ -1,0 +1,339 @@
+//===- tests/host.cpp - hosting service: cache, sessions, batch loads -----===//
+///
+/// Lifecycle correctness of the mobile-code hosting service: the
+/// content-addressed translation cache must serve bit-identical code with
+/// identical behaviour, never alias entries across semantic options or
+/// targets, survive eviction and corruption without executing stale or
+/// damaged code, and the parallel batch loader must be indistinguishable
+/// from sequential loading.
+
+#include "host/ModuleHost.h"
+
+#include "driver/Compiler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using host::CachedTranslation;
+using host::LoadedModule;
+using host::ModuleHost;
+using target::TargetKind;
+
+namespace {
+
+vm::Module compile(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Exe;
+}
+
+const char *ProgramA = R"(
+void print_int(int);
+int main() {
+  int i, acc = 0;
+  for (i = 1; i <= 10; i++) acc += i * i;
+  print_int(acc); /* 385 */
+  return 7;
+}
+)";
+
+const char *ProgramB = R"(
+void print_str(char *);
+int main() {
+  print_str("beta");
+  return 0;
+}
+)";
+
+host::CacheKey keyFor(const vm::Module &Exe, TargetKind Kind,
+                      const translate::TranslateOptions &Opts) {
+  return host::makeCacheKey(ModuleHost::contentHash(Exe), Kind, Opts,
+                            ModuleHost::segmentFor(Exe));
+}
+
+} // namespace
+
+TEST(CodeCache, HitIsBitIdenticalAndBehavesIdentically) {
+  ModuleHost Host;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  std::string Err;
+
+  auto Cold = Host.load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Cold) << Err;
+  EXPECT_FALSE(Cold->WarmLoad);
+
+  auto Warm = Host.load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Warm) << Err;
+  EXPECT_TRUE(Warm->WarmLoad);
+
+  // The warm load serves the very same immutable translation object, and
+  // its content hash proves bit-identical code.
+  EXPECT_EQ(Cold->Translation->Code.get(), Warm->Translation->Code.get());
+  EXPECT_EQ(host::hashTargetCode(*Cold->Translation->Code),
+            host::hashTargetCode(*Warm->Translation->Code));
+
+  auto SCold = Host.createSession(Cold);
+  auto SWarm = Host.createSession(Warm);
+  ASSERT_TRUE(SCold->valid()) << SCold->error();
+  ASSERT_TRUE(SWarm->valid()) << SWarm->error();
+  runtime::RunResult RCold = SCold->run();
+  runtime::RunResult RWarm = SWarm->run();
+  EXPECT_EQ(RCold.Trap.Kind, vm::TrapKind::Halt);
+  EXPECT_EQ(RCold.Trap.Kind, RWarm.Trap.Kind);
+  EXPECT_EQ(RCold.Trap.Code, RWarm.Trap.Code);
+  EXPECT_EQ(RCold.Output, RWarm.Output);
+  EXPECT_EQ(RCold.InstrCount, RWarm.InstrCount);
+  EXPECT_EQ(SCold->stats().Cycles, SWarm->stats().Cycles);
+  EXPECT_EQ(RCold.Output, "385");
+  EXPECT_EQ(RCold.Trap.Code, 7);
+
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.LoadCount, 2u);
+  EXPECT_EQ(St.CacheMisses, 1u);
+  EXPECT_EQ(St.CacheHits, 1u);
+  EXPECT_EQ(St.VerifyCount, 1u); // the hit skipped verification
+  EXPECT_EQ(St.TranslateCount, 1u);
+  EXPECT_EQ(St.BindCount, 2u);
+  EXPECT_EQ(St.SessionCount, 2u);
+  EXPECT_EQ(St.ResidentEntries, 1u);
+  EXPECT_GT(St.ResidentBytes, 0u);
+  EXPECT_GT(St.VerifyNs, 0u);
+  EXPECT_GT(St.TranslateNs, 0u);
+  EXPECT_GT(St.BindNs, 0u);
+}
+
+TEST(CodeCache, SemanticOptionsAndTargetNeverAlias) {
+  ModuleHost Host;
+  vm::Module Exe = compile(ProgramA);
+  std::string Err;
+
+  translate::TranslateOptions Base = translate::TranslateOptions::mobile(true);
+  translate::TranslateOptions NoSfi = Base;
+  NoSfi.Sfi = false;
+  translate::TranslateOptions Reads = Base;
+  Reads.SfiReads = true;
+  translate::TranslateOptions NoOpt = Base;
+  NoOpt.Optimize = false;
+  const translate::TranslateOptions Variants[] = {Base, NoSfi, Reads, NoOpt};
+
+  unsigned Loads = 0;
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    for (const translate::TranslateOptions &O : Variants) {
+      auto LM = Host.load(target::allTargets(T), Exe, O, Err);
+      ASSERT_TRUE(LM) << Err;
+      EXPECT_FALSE(LM->WarmLoad)
+          << getTargetName(target::allTargets(T)) << " aliased an entry";
+      ++Loads;
+    }
+  }
+  // Every distinct (target x options) produced its own entry...
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.ResidentEntries, Loads);
+  EXPECT_EQ(St.CacheMisses, Loads);
+  EXPECT_EQ(St.CacheHits, 0u);
+
+  // ...and reloading any of them is a hit, not a retranslation.
+  for (unsigned T = 0; T < target::NumTargets; ++T)
+    for (const translate::TranslateOptions &O : Variants) {
+      auto LM = Host.load(target::allTargets(T), Exe, O, Err);
+      ASSERT_TRUE(LM) << Err;
+      EXPECT_TRUE(LM->WarmLoad);
+    }
+  EXPECT_EQ(Host.stats().CacheHits, Loads);
+}
+
+TEST(CodeCache, TinyBudgetEvictsAndRetranslatesCorrectly) {
+  ModuleHost Host(/*CacheByteBudget=*/1); // every insert evicts the rest
+  vm::Module ExeA = compile(ProgramA);
+  vm::Module ExeB = compile(ProgramB);
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  std::string Err;
+
+  auto A1 = Host.load(TargetKind::X86, ExeA, Opts, Err);
+  ASSERT_TRUE(A1) << Err;
+  auto B1 = Host.load(TargetKind::X86, ExeB, Opts, Err);
+  ASSERT_TRUE(B1) << Err;
+  EXPECT_GE(Host.stats().CacheEvictions, 1u);
+  EXPECT_EQ(Host.stats().ResidentEntries, 1u);
+
+  // A was evicted: loading it again is a cold retranslation with the same
+  // bits and the same behaviour.
+  auto A2 = Host.load(TargetKind::X86, ExeA, Opts, Err);
+  ASSERT_TRUE(A2) << Err;
+  EXPECT_FALSE(A2->WarmLoad);
+  EXPECT_EQ(host::hashTargetCode(*A1->Translation->Code),
+            host::hashTargetCode(*A2->Translation->Code));
+  auto S = Host.createSession(A2);
+  runtime::RunResult R = S->run();
+  EXPECT_EQ(R.Trap.Kind, vm::TrapKind::Halt);
+  EXPECT_EQ(R.Output, "385");
+}
+
+TEST(CodeCache, EvictionNeverFreesCodeALiveSessionExecutes) {
+  ModuleHost Host(/*CacheByteBudget=*/1);
+  vm::Module ExeA = compile(ProgramA);
+  vm::Module ExeB = compile(ProgramB);
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  std::string Err;
+
+  auto A = Host.load(TargetKind::Sparc, ExeA, Opts, Err);
+  ASSERT_TRUE(A) << Err;
+  auto S = Host.createSession(A);
+  ASSERT_TRUE(S->valid());
+
+  // Evict A's entry while the session holds its translation.
+  auto B = Host.load(TargetKind::Sparc, ExeB, Opts, Err);
+  ASSERT_TRUE(B) << Err;
+  EXPECT_GE(Host.stats().CacheEvictions, 1u);
+
+  runtime::RunResult R = S->run();
+  EXPECT_EQ(R.Trap.Kind, vm::TrapKind::Halt);
+  EXPECT_EQ(R.Output, "385");
+  EXPECT_EQ(R.Trap.Code, 7);
+}
+
+TEST(CodeCache, CorruptedEntryIsRejectedAndRetranslated) {
+  ModuleHost Host;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  std::string Err;
+
+  auto Cold = Host.load(TargetKind::Ppc, Exe, Opts, Err);
+  ASSERT_TRUE(Cold) << Err;
+  ASSERT_TRUE(Host.cache().tamperForTesting(keyFor(Exe, TargetKind::Ppc, Opts)));
+
+  // The damaged entry must not be executed: the reload detects the bad
+  // stored hash, discards the entry, and retranslates from scratch.
+  auto Reload = Host.load(TargetKind::Ppc, Exe, Opts, Err);
+  ASSERT_TRUE(Reload) << Err;
+  EXPECT_FALSE(Reload->WarmLoad);
+  EXPECT_EQ(Host.stats().CacheCorruptRejects, 1u);
+  EXPECT_EQ(host::hashTargetCode(*Reload->Translation->Code),
+            Reload->Translation->CodeHash);
+
+  auto S = Host.createSession(Reload);
+  runtime::RunResult R = S->run();
+  EXPECT_EQ(R.Trap.Kind, vm::TrapKind::Halt);
+  EXPECT_EQ(R.Output, "385");
+}
+
+TEST(Sessions, IsolatedStateSharesOneTranslation) {
+  ModuleHost Host;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  std::string Err;
+  auto LM = Host.load(TargetKind::X86, Exe, Opts, Err);
+  ASSERT_TRUE(LM) << Err;
+
+  // Many sessions, one translation object; each session's output and
+  // memory are private.
+  auto S1 = Host.createSession(LM);
+  auto S2 = Host.createSession(LM);
+  runtime::RunResult R1 = S1->run();
+  EXPECT_EQ(R1.Output, "385");
+  EXPECT_EQ(S2->env().output(), ""); // S1's prints never leak into S2
+  runtime::RunResult R2 = S2->run();
+  EXPECT_EQ(R2.Output, "385");
+  EXPECT_EQ(Host.stats().TranslateCount, 1u);
+}
+
+TEST(Sessions, InterpreterSessionMatchesTargetSession) {
+  ModuleHost Host;
+  vm::Module Exe = compile(ProgramA);
+  auto IM = Host.loadForInterpreter(Exe);
+  auto SI = Host.createSession(IM);
+  runtime::RunResult RI = SI->run();
+  EXPECT_EQ(RI.Trap.Kind, vm::TrapKind::Halt);
+  EXPECT_EQ(RI.Output, "385");
+  EXPECT_EQ(RI.Trap.Code, 7);
+
+  std::string Err;
+  auto TM = Host.load(TargetKind::Mips, Exe,
+                      translate::TranslateOptions::mobile(true), Err);
+  ASSERT_TRUE(TM) << Err;
+  auto ST = Host.createSession(TM);
+  runtime::RunResult RT = ST->run();
+  EXPECT_EQ(RT.Trap.Kind, RI.Trap.Kind);
+  EXPECT_EQ(RT.Trap.Code, RI.Trap.Code);
+  EXPECT_EQ(RT.Output, RI.Output);
+}
+
+TEST(BatchLoader, FourThreadsMatchSequentialExactly) {
+  // The four workload modules on all four targets: translation is pure,
+  // so a 4-thread batch must be byte-for-byte the sequential batch.
+  std::vector<vm::Module> Modules;
+  for (unsigned W = 0; W < workloads::NumWorkloads; ++W)
+    Modules.push_back(compile(workloads::getWorkload(W).Source));
+
+  std::vector<ModuleHost::LoadRequest> Requests;
+  for (unsigned W = 0; W < workloads::NumWorkloads; ++W)
+    for (unsigned T = 0; T < target::NumTargets; ++T)
+      Requests.push_back({target::allTargets(T), &Modules[W],
+                          translate::TranslateOptions::mobile(true)});
+
+  ModuleHost Sequential, Parallel;
+  auto SeqOut = Sequential.loadBatch(Requests, 1);
+  auto ParOut = Parallel.loadBatch(Requests, 4);
+  ASSERT_EQ(SeqOut.size(), Requests.size());
+  ASSERT_EQ(ParOut.size(), Requests.size());
+
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    ASSERT_TRUE(SeqOut[I].Handle) << SeqOut[I].Error;
+    ASSERT_TRUE(ParOut[I].Handle) << ParOut[I].Error;
+    const CachedTranslation &S = *SeqOut[I].Handle->Translation;
+    const CachedTranslation &P = *ParOut[I].Handle->Translation;
+    EXPECT_EQ(host::hashTargetCode(*S.Code), host::hashTargetCode(*P.Code))
+        << "request " << I;
+    EXPECT_EQ(S.CodeSize, P.CodeSize);
+    EXPECT_EQ(S.ByteSize, P.ByteSize);
+    for (unsigned C = 0; C < target::NumExpCats; ++C)
+      EXPECT_EQ(S.StaticCatCounts[C], P.StaticCatCounts[C]);
+  }
+
+  host::HostStats SeqSt = Sequential.stats();
+  host::HostStats ParSt = Parallel.stats();
+  EXPECT_EQ(SeqSt.TranslateCount, ParSt.TranslateCount);
+  EXPECT_EQ(SeqSt.VerifyCount, ParSt.VerifyCount);
+  EXPECT_EQ(SeqSt.CacheMisses, ParSt.CacheMisses);
+  EXPECT_EQ(SeqSt.ResidentEntries, ParSt.ResidentEntries);
+  EXPECT_EQ(SeqSt.ResidentBytes, ParSt.ResidentBytes);
+}
+
+TEST(HostStats, DumpReportsAllSections) {
+  ModuleHost Host;
+  vm::Module Exe = compile(ProgramB);
+  std::string Err;
+  auto LM = Host.load(TargetKind::Mips, Exe,
+                      translate::TranslateOptions::mobile(true), Err);
+  ASSERT_TRUE(LM) << Err;
+  Host.createSession(LM);
+
+  std::string Report = Host.stats().dump();
+  EXPECT_NE(Report.find("verify"), std::string::npos);
+  EXPECT_NE(Report.find("translate"), std::string::npos);
+  EXPECT_NE(Report.find("bind"), std::string::npos);
+  EXPECT_NE(Report.find("hits"), std::string::npos);
+  EXPECT_NE(Report.find("resident"), std::string::npos);
+}
+
+TEST(RuntimeReroute, RepeatedRunOnTargetHitsSharedCache) {
+  // runtime::runOnTarget routes through the shared hosting service, so a
+  // second identical run is served warm.
+  vm::Module Exe = compile(ProgramB);
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  host::HostStats Before = ModuleHost::shared().stats();
+  runtime::TargetRunResult R1 =
+      runtime::runOnTarget(TargetKind::Sparc, Exe, Opts);
+  runtime::TargetRunResult R2 =
+      runtime::runOnTarget(TargetKind::Sparc, Exe, Opts);
+  EXPECT_EQ(R1.Run.Output, "beta");
+  EXPECT_EQ(R2.Run.Output, "beta");
+  EXPECT_EQ(R1.Run.InstrCount, R2.Run.InstrCount);
+  host::HostStats After = ModuleHost::shared().stats();
+  EXPECT_GE(After.CacheHits, Before.CacheHits + 1);
+}
