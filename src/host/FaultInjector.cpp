@@ -1,0 +1,18 @@
+//===- host/FaultInjector.cpp ----------------------------------------------===//
+
+#include "host/FaultInjector.h"
+
+using namespace omni;
+using namespace omni::host;
+
+void FaultInjector::apply(runtime::HostEnv &Env) const {
+  if (ExhaustSbrk)
+    Env.grant("host_sbrk", [](vm::HostContext &Ctx) {
+      Ctx.setIntResult(0); // out of memory => NULL
+      return vm::Trap::none();
+    });
+  for (const std::string &Name : FailGates)
+    Env.grant(Name, [](vm::HostContext &) {
+      return vm::Trap::hostError(vm::HostErrInjected);
+    });
+}

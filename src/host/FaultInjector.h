@@ -1,0 +1,43 @@
+//===- host/FaultInjector.h - Host-side fault injection hook ----*- C++ -*-===//
+///
+/// \file
+/// A small, explicit hook for driving host-side failures through the
+/// hosting service, so the containment contract — module-influenced
+/// failures are structured per-module outcomes, never process aborts — can
+/// be exercised end to end. An injector installed on a ModuleHost rewrites
+/// selected host call gates of every subsequently created session:
+/// exhausted sbrk (allocation returns NULL, as a heavily loaded host would
+/// report), and named gates that fail with a HostError trap (as a gate
+/// rejecting a request does). Injection composes with the normal bind
+/// pipeline; nothing else in the serve path knows it exists.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_HOST_FAULTINJECTOR_H
+#define OMNI_HOST_FAULTINJECTOR_H
+
+#include "runtime/HostEnv.h"
+
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace host {
+
+/// Host-gate fault plan applied to sessions at bind time.
+struct FaultInjector {
+  /// host_sbrk reports out-of-memory (returns NULL) on every call.
+  bool ExhaustSbrk = false;
+  /// Each named gate is re-granted as a stub returning
+  /// Trap::hostError(vm::HostErrInjected).
+  std::vector<std::string> FailGates;
+
+  /// Re-grants the configured gates on \p Env. Called by
+  /// ModuleHost::createSession after the stdlib and extra setup are
+  /// granted and before imports are bound.
+  void apply(runtime::HostEnv &Env) const;
+};
+
+} // namespace host
+} // namespace omni
+
+#endif // OMNI_HOST_FAULTINJECTOR_H

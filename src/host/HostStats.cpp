@@ -7,6 +7,41 @@
 using namespace omni;
 using namespace omni::host;
 
+const char *omni::host::getLoadStageName(LoadStage Stage) {
+  switch (Stage) {
+  case LoadStage::None:
+    return "none";
+  case LoadStage::Deserialize:
+    return "deserialize";
+  case LoadStage::Verify:
+    return "verify";
+  case LoadStage::Translate:
+    return "translate";
+  case LoadStage::Resource:
+    return "resource";
+  case LoadStage::Bind:
+    return "bind";
+  }
+  return "unknown";
+}
+
+uint64_t HostStats::totalRejects() const {
+  uint64_t Total = 0;
+  for (uint64_t R : Rejects)
+    Total += R;
+  return Total;
+}
+
+uint64_t HostStats::totalFaults() const {
+  uint64_t Total = 0;
+  for (unsigned K = 0; K < vm::NumTrapKinds; ++K) {
+    vm::TrapKind Kind = static_cast<vm::TrapKind>(K);
+    if (Kind != vm::TrapKind::None && Kind != vm::TrapKind::Halt)
+      Total += Traps[K];
+  }
+  return Total;
+}
+
 std::string HostStats::dump() const {
   std::string S;
   appendFormat(S, "hosting service stats\n");
@@ -31,6 +66,20 @@ std::string HostStats::dump() const {
       static_cast<unsigned long long>(CacheMisses),
       static_cast<unsigned long long>(CacheEvictions),
       static_cast<unsigned long long>(CacheCorruptRejects));
+  appendFormat(S, "  rejects:  %llu total",
+               static_cast<unsigned long long>(totalRejects()));
+  for (unsigned St = 1; St < NumLoadStages; ++St)
+    appendFormat(S, ", %llu %s",
+                 static_cast<unsigned long long>(Rejects[St]),
+                 getLoadStageName(static_cast<LoadStage>(St)));
+  appendFormat(S, "\n");
+  appendFormat(S, "  traps:    %llu faults",
+               static_cast<unsigned long long>(totalFaults()));
+  for (unsigned K = 1; K < vm::NumTrapKinds; ++K)
+    appendFormat(S, ", %llu %s",
+                 static_cast<unsigned long long>(Traps[K]),
+                 vm::getTrapKindName(static_cast<vm::TrapKind>(K)));
+  appendFormat(S, "\n");
   appendFormat(
       S, "  resident: %llu bytes in %llu entries\n",
       static_cast<unsigned long long>(ResidentBytes),

@@ -2,19 +2,38 @@
 ///
 /// \file
 /// Plain-struct observability for the hosting service: per-stage load
-/// timing (verify / translate / bind), cache effectiveness counters, and
-/// resident-code gauges. A snapshot is cheap to take and has no behavior;
-/// dump() renders the standard text report.
+/// timing (verify / translate / bind), cache effectiveness counters,
+/// per-stage structured-reject counters, per-kind contained-trap counters,
+/// and resident-code gauges. A snapshot is cheap to take and has no
+/// behavior; dump() renders the standard text report.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef OMNI_HOST_HOSTSTATS_H
 #define OMNI_HOST_HOSTSTATS_H
+
+#include "vm/Trap.h"
 
 #include <cstdint>
 #include <string>
 
 namespace omni {
 namespace host {
+
+/// Where in the serve pipeline a module was rejected. Indexes the
+/// HostStats reject counters; also the stage field of a LoadError.
+enum class LoadStage : uint8_t {
+  None,        ///< no failure
+  Deserialize, ///< malformed OWX bytes (Module::deserialize)
+  Verify,      ///< load-time verifier rejected the code
+  Translate,   ///< translation failed
+  Resource,    ///< a host resource limit was exceeded
+  Bind,        ///< image install / import resolution failed
+};
+
+constexpr unsigned NumLoadStages = 6;
+
+/// Human-readable name of a load stage.
+const char *getLoadStageName(LoadStage Stage);
 
 /// Snapshot of the hosting service's counters and gauges.
 struct HostStats {
@@ -36,9 +55,30 @@ struct HostStats {
   uint64_t CacheEvictions = 0;
   uint64_t CacheCorruptRejects = 0;
 
+  // Structured rejects, indexed by LoadStage: modules refused with a
+  // LoadError at that pipeline stage. Rejects[LoadStage::None] stays 0.
+  uint64_t Rejects[NumLoadStages] = {};
+
+  // Contained module faults, indexed by vm::TrapKind: how each finished
+  // Session::run ended. Halt counts normal terminations; everything else
+  // is a fault that was delivered as a virtual exception instead of
+  // harming the host.
+  uint64_t Traps[vm::NumTrapKinds] = {};
+
   // Gauges (state at snapshot time).
   uint64_t ResidentBytes = 0;
   uint64_t ResidentEntries = 0;
+
+  uint64_t rejects(LoadStage Stage) const {
+    return Rejects[static_cast<unsigned>(Stage)];
+  }
+  uint64_t traps(vm::TrapKind Kind) const {
+    return Traps[static_cast<unsigned>(Kind)];
+  }
+  /// All structured rejects across stages.
+  uint64_t totalRejects() const;
+  /// All contained faults (every run outcome except None/Halt).
+  uint64_t totalFaults() const;
 
   /// Multi-line text report.
   std::string dump() const;

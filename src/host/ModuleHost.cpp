@@ -2,6 +2,7 @@
 
 #include "host/ModuleHost.h"
 
+#include "support/Format.h"
 #include "support/Hash.h"
 #include "vm/Verifier.h"
 
@@ -24,6 +25,14 @@ uint64_t nsSince(Clock::time_point Start) {
 }
 
 } // namespace
+
+std::string LoadError::str() const {
+  if (ok())
+    return "ok";
+  return formatStr("%s: %s (module %016llx)", getLoadStageName(Stage),
+                   Message.c_str(),
+                   static_cast<unsigned long long>(ContentHash));
+}
 
 uint64_t ModuleHost::contentHash(const vm::Module &Exe) {
   // Word-folds the module's canonical OWX content directly from its
@@ -68,9 +77,55 @@ ModuleHost &ModuleHost::shared() {
   return Host;
 }
 
+void ModuleHost::reject(LoadError &Err, LoadStage Stage, uint64_t ContentHash,
+                        std::string Message) {
+  Err.Stage = Stage;
+  Err.ContentHash = ContentHash;
+  Err.Message = std::move(Message);
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Counters.Rejects[static_cast<unsigned>(Stage)];
+}
+
+void ModuleHost::recordTrap(vm::TrapKind Kind) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Counters.Traps[static_cast<unsigned>(Kind)];
+}
+
+void ModuleHost::setFaultInjector(std::shared_ptr<const FaultInjector> FI) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  Injector = std::move(FI);
+}
+
+/// Resource checks shared by the target and interpreter load paths. The
+/// segment layout is validated before any AddressSpace is constructed: a
+/// hostile LinkBase must surface as a structured reject here, never as a
+/// failed invariant inside the sandbox itself.
+static bool checkResources(const vm::Module &Exe,
+                           const translate::SegmentLayout &Seg,
+                           const HostLimits &Limits, std::string &Message) {
+  if (Exe.Code.size() > Limits.MaxCodeInstrs) {
+    Message = formatStr("module has %zu instructions (limit %u)",
+                        Exe.Code.size(), Limits.MaxCodeInstrs);
+    return false;
+  }
+  if (!vm::AddressSpace::validLayout(Seg.Base, Seg.Size)) {
+    Message = formatStr("module linked at unusable base 0x%08x", Seg.Base);
+    return false;
+  }
+  uint64_t ImageEnd = static_cast<uint64_t>(Exe.Data.size()) + Exe.BssSize;
+  if (ImageEnd + runtime::StackReserve > Seg.Size) {
+    Message = formatStr("image (%llu bytes + stack) exceeds the %u-byte "
+                        "segment",
+                        static_cast<unsigned long long>(ImageEnd), Seg.Size);
+    return false;
+  }
+  return true;
+}
+
 std::shared_ptr<const LoadedModule>
 ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
-                 const translate::TranslateOptions &Opts, std::string &Error) {
+                 const translate::TranslateOptions &Opts, LoadError &Err) {
+  Err = LoadError();
   auto LM = std::make_shared<LoadedModule>();
   LM->Kind = Kind;
   LM->Seg = segmentFor(Exe);
@@ -78,6 +133,12 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
   {
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.LoadCount;
+  }
+
+  std::string Message;
+  if (!checkResources(Exe, LM->Seg, Limits, Message)) {
+    reject(Err, LoadStage::Resource, LM->ContentHash, std::move(Message));
+    return nullptr;
   }
 
   CacheKey Key = makeCacheKey(LM->ContentHash, Kind, Opts, LM->Seg);
@@ -103,7 +164,7 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
     Counters.VerifyNs += VerifyTime;
   }
   if (!Verified) {
-    Error = "verification failed: " + VerifyErrors.front();
+    reject(Err, LoadStage::Verify, LM->ContentHash, VerifyErrors.front());
     return nullptr;
   }
 
@@ -120,7 +181,8 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
     Counters.TranslateNs += TranslateTime;
   }
   if (!Translated) {
-    Error = "translation failed: " + TranslateError;
+    reject(Err, LoadStage::Translate, LM->ContentHash,
+           std::move(TranslateError));
     return nullptr;
   }
 
@@ -130,23 +192,93 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
 }
 
 std::shared_ptr<const LoadedModule>
-ModuleHost::loadForInterpreter(const vm::Module &Exe) {
-  auto LM = std::make_shared<LoadedModule>();
-  LM->Seg = segmentFor(Exe);
-  LM->ContentHash = contentHash(Exe);
-  LM->Exe = std::make_shared<vm::Module>(Exe);
-  std::lock_guard<std::mutex> Lock(StatsMu);
-  ++Counters.LoadCount;
+ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
+                 const translate::TranslateOptions &Opts, std::string &Error) {
+  LoadError Err;
+  auto LM = load(Kind, Exe, Opts, Err);
+  if (!LM)
+    Error = Err.str();
   return LM;
 }
 
+std::shared_ptr<const LoadedModule>
+ModuleHost::loadBytes(target::TargetKind Kind, const std::vector<uint8_t> &Owx,
+                      const translate::TranslateOptions &Opts,
+                      LoadError &Err) {
+  Err = LoadError();
+  if (Owx.size() > Limits.MaxOwxBytes) {
+    reject(Err, LoadStage::Resource, /*ContentHash=*/0,
+           formatStr("image is %zu bytes (limit %u)", Owx.size(),
+                     Limits.MaxOwxBytes));
+    return nullptr;
+  }
+  vm::Module Exe;
+  std::string Message;
+  if (!vm::Module::deserialize(Owx, Exe, Message)) {
+    reject(Err, LoadStage::Deserialize, /*ContentHash=*/0,
+           std::move(Message));
+    return nullptr;
+  }
+  return load(Kind, Exe, Opts, Err);
+}
+
+std::shared_ptr<const LoadedModule>
+ModuleHost::loadForInterpreter(const vm::Module &Exe, LoadError &Err) {
+  Err = LoadError();
+  auto LM = std::make_shared<LoadedModule>();
+  LM->Seg = segmentFor(Exe);
+  LM->ContentHash = contentHash(Exe);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.LoadCount;
+  }
+
+  std::string Message;
+  if (!checkResources(Exe, LM->Seg, Limits, Message)) {
+    reject(Err, LoadStage::Resource, LM->ContentHash, std::move(Message));
+    return nullptr;
+  }
+
+  // The interpreter trusts register indices and branch targets exactly the
+  // way the translator does, so interpreted loads verify too.
+  auto VerifyStart = Clock::now();
+  std::vector<std::string> VerifyErrors;
+  bool Verified = vm::verifyExecutable(Exe, VerifyErrors);
+  uint64_t VerifyTime = nsSince(VerifyStart);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.VerifyCount;
+    Counters.VerifyNs += VerifyTime;
+  }
+  if (!Verified) {
+    reject(Err, LoadStage::Verify, LM->ContentHash, VerifyErrors.front());
+    return nullptr;
+  }
+
+  LM->Exe = std::make_shared<vm::Module>(Exe);
+  return LM;
+}
+
+std::shared_ptr<const LoadedModule>
+ModuleHost::loadForInterpreter(const vm::Module &Exe) {
+  LoadError Err;
+  return loadForInterpreter(Exe, Err);
+}
+
 Session::Session(std::shared_ptr<const LoadedModule> LMIn, ModuleHost &Owner)
-    : LM(std::move(LMIn)), Owner(&Owner), Mem(LM->Seg.Base, LM->Seg.Size) {}
+    : LM(std::move(LMIn)), Owner(&Owner),
+      Mem(LM ? LM->Seg.Base : vm::DefaultSegmentBase,
+          LM ? LM->Seg.Size : vm::DefaultSegmentSize) {}
 
 std::unique_ptr<Session> ModuleHost::createSession(
     std::shared_ptr<const LoadedModule> LM,
     const std::function<void(runtime::HostEnv &)> &ExtraSetup) {
   std::unique_ptr<Session> S(new Session(std::move(LM), *this));
+  if (!S->LM) {
+    reject(S->BindErr, LoadStage::Bind, /*ContentHash=*/0,
+           "null module handle (load was rejected?)");
+    return S;
+  }
   const vm::Module &Exe = *S->LM->Exe;
 
   // bind: install the image into the session's private segment and
@@ -154,15 +286,23 @@ std::unique_ptr<Session> ModuleHost::createSession(
   auto BindStart = Clock::now();
   std::string Error;
   if (!runtime::loadImage(Exe, S->Mem, Error)) {
-    S->Err = Error;
+    reject(S->BindErr, LoadStage::Bind, S->LM->ContentHash, std::move(Error));
   } else {
     S->Env.installStdlib();
     if (ExtraSetup)
       ExtraSetup(S->Env);
+    std::shared_ptr<const FaultInjector> FI;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      FI = Injector;
+    }
+    if (FI)
+      FI->apply(S->Env);
     S->Env.HeapBreak = runtime::initialHeapBreak(Exe, S->Mem);
     S->Env.HeapLimit = S->Mem.base() + S->Mem.size() - runtime::StackReserve;
     if (!S->Env.bind(Exe, Error))
-      S->Err = Error;
+      reject(S->BindErr, LoadStage::Bind, S->LM->ContentHash,
+             std::move(Error));
   }
   uint64_t BindTime = nsSince(BindStart);
   {
@@ -177,8 +317,9 @@ std::unique_ptr<Session> ModuleHost::createSession(
 runtime::RunResult Session::run(uint64_t MaxSteps) {
   runtime::RunResult R;
   if (!valid()) {
-    R.Trap.Kind = vm::TrapKind::HostError;
-    R.Output = Err;
+    R.Trap = vm::Trap::hostError(vm::HostErrInvalidSession);
+    R.Output = BindErr.str();
+    Owner->recordTrap(R.Trap.Kind);
     return R;
   }
   if (LM->isInterpreted()) {
@@ -188,6 +329,7 @@ runtime::RunResult Session::run(uint64_t MaxSteps) {
     R.Trap = Interp.run(MaxSteps);
     R.Output = Env.output();
     R.InstrCount = Interp.instrCount();
+    Owner->recordTrap(R.Trap.Kind);
     return R;
   }
   target::Simulator Sim(target::getTargetInfo(LM->Kind),
@@ -198,6 +340,7 @@ runtime::RunResult Session::run(uint64_t MaxSteps) {
   R.Output = Env.output();
   R.InstrCount = Sim.stats().Instructions;
   Stats = Sim.stats();
+  Owner->recordTrap(R.Trap.Kind);
   return R;
 }
 
@@ -233,7 +376,15 @@ ModuleHost::loadBatch(const std::vector<LoadRequest> &Requests,
 runtime::RunResult ModuleHost::runInterpreter(
     const vm::Module &Exe, uint64_t MaxSteps,
     const std::function<void(runtime::HostEnv &)> &ExtraSetup) {
-  auto LM = loadForInterpreter(Exe);
+  LoadError Err;
+  auto LM = loadForInterpreter(Exe, Err);
+  if (!LM) {
+    runtime::RunResult R;
+    R.Trap = vm::Trap::hostError(vm::HostErrInvalidSession);
+    R.Output = Err.str();
+    recordTrap(R.Trap.Kind);
+    return R;
+  }
   auto S = createSession(std::move(LM), ExtraSetup);
   return S->run(MaxSteps);
 }
@@ -243,11 +394,12 @@ runtime::TargetRunResult ModuleHost::runTarget(
     const translate::TranslateOptions &Opts, uint64_t MaxSteps,
     const std::function<void(runtime::HostEnv &)> &ExtraSetup) {
   runtime::TargetRunResult R;
-  std::string Error;
-  auto LM = load(Kind, Exe, Opts, Error);
+  LoadError Err;
+  auto LM = load(Kind, Exe, Opts, Err);
   if (!LM) {
-    R.Run.Trap.Kind = vm::TrapKind::HostError;
-    R.Run.Output = Error;
+    R.Run.Trap = vm::Trap::hostError(vm::HostErrInvalidSession);
+    R.Run.Output = Err.str();
+    recordTrap(R.Run.Trap.Kind);
     return R;
   }
   R.CodeSize = LM->Translation->CodeSize;

@@ -10,6 +10,8 @@
 /// each other.
 ///
 /// Pipeline stages and where they run:
+///   deserialize — loadBytes(): OWX wire bytes -> vm::Module, rejecting
+///               malformed images before anything trusts a field of them.
 ///   verify    — load(): the load-time verifier accepts the module before
 ///               the translator trusts a single instruction of it. Skipped
 ///               on a cache hit: a hit proves these exact bytes were
@@ -17,6 +19,13 @@
 ///   translate — load(): cache lookup, miss translates and inserts.
 ///   bind      — createSession(): image load, import resolution against
 ///               the granted host functions, heap setup.
+///
+/// Containment contract: every module-influenced failure at any stage is a
+/// structured, per-module outcome — a LoadError naming the stage, the
+/// module's content hash, and a message — or, once executing, a contained
+/// vm::Trap. Nothing a module ships or does can abort the host process;
+/// per-stage reject counters and per-kind trap counters land in HostStats.
+/// A failed load never inserts a cache entry.
 ///
 /// A batch loader fans translation of pending modules out across a worker
 /// pool; translation is pure per module, so the result is deterministic
@@ -27,6 +36,7 @@
 #define OMNI_HOST_MODULEHOST_H
 
 #include "host/CodeCache.h"
+#include "host/FaultInjector.h"
 #include "host/HostStats.h"
 #include "runtime/Run.h"
 #include "vm/Interpreter.h"
@@ -40,6 +50,28 @@ namespace omni {
 namespace host {
 
 class ModuleHost;
+
+/// Structured outcome of a failed load / bind: which pipeline stage
+/// refused the module, the module's content address (0 when the bytes
+/// never parsed), and a human-readable message. The host keeps serving
+/// every other module; the reject is per-module and counted in HostStats.
+struct LoadError {
+  LoadStage Stage = LoadStage::None;
+  uint64_t ContentHash = 0;
+  std::string Message;
+
+  bool ok() const { return Stage == LoadStage::None; }
+  /// "verify: entry point 9 out of range (module 0123456789abcdef)"
+  std::string str() const;
+};
+
+/// Host-imposed ceilings on arriving modules, enforced before the
+/// expensive pipeline stages run. Exceeding one is a Resource-stage
+/// LoadError, not a crash or an unbounded allocation.
+struct HostLimits {
+  uint32_t MaxOwxBytes = 64u << 20;  ///< serialized OWX image size
+  uint32_t MaxCodeInstrs = 1u << 22; ///< OmniVM instructions per module
+};
 
 /// An immutable loaded module: the verified module plus (for target loads)
 /// its cached translation. Shareable across any number of sessions; keeps
@@ -60,16 +92,19 @@ struct LoadedModule {
 /// host environment bound to a shared, immutable translation.
 class Session {
 public:
-  bool valid() const { return Err.empty(); }
-  const std::string &error() const { return Err; }
+  bool valid() const { return BindErr.ok(); }
+  const std::string &error() const { return BindErr.Message; }
+  /// Structured bind/load failure of an invalid session.
+  const LoadError &loadError() const { return BindErr; }
 
   runtime::HostEnv &env() { return Env; }
   vm::AddressSpace &mem() { return Mem; }
   const LoadedModule &module() const { return *LM; }
 
   /// Executes the module from its entry point. Invalid sessions report
-  /// their bind/load error as a HostError trap.
-  runtime::RunResult run(uint64_t MaxSteps = 1ull << 33);
+  /// their bind/load error as a HostError trap. The final trap kind is
+  /// recorded in the owning host's per-kind trap counters.
+  runtime::RunResult run(uint64_t MaxSteps = vm::DefaultStepBudget);
 
   /// Simulator statistics of the last run() (zeros for interpreter
   /// sessions and before the first run).
@@ -79,12 +114,12 @@ private:
   friend class ModuleHost;
   Session(std::shared_ptr<const LoadedModule> LM, ModuleHost &Owner);
 
-  std::shared_ptr<const LoadedModule> LM;
+  std::shared_ptr<const LoadedModule> LM; ///< null only on invalid sessions
   ModuleHost *Owner;
   vm::AddressSpace Mem;
   runtime::HostEnv Env;
   target::SimStats Stats;
-  std::string Err;
+  LoadError BindErr;
 };
 
 /// The hosting service. Thread-safe: load() and loadBatch() may be called
@@ -98,18 +133,37 @@ public:
   static uint64_t contentHash(const vm::Module &Exe);
 
   /// verify -> translate (through the cache). Returns nullptr and fills
-  /// \p Error on verification or translation failure.
+  /// \p Err with the refusing stage on any failure; a failed load never
+  /// inserts a cache entry.
+  std::shared_ptr<const LoadedModule>
+  load(target::TargetKind Kind, const vm::Module &Exe,
+       const translate::TranslateOptions &Opts, LoadError &Err);
+
+  /// Legacy string-error form of load(); Error receives LoadError::str().
   std::shared_ptr<const LoadedModule>
   load(target::TargetKind Kind, const vm::Module &Exe,
        const translate::TranslateOptions &Opts, std::string &Error);
 
+  /// The full untrusted-input path: OWX wire bytes -> deserialize ->
+  /// limits -> load(). This is what a network-facing host calls.
+  std::shared_ptr<const LoadedModule>
+  loadBytes(target::TargetKind Kind, const std::vector<uint8_t> &Owx,
+            const translate::TranslateOptions &Opts, LoadError &Err);
+
   /// Registers \p Exe for interpreted execution (the trusted reference
-  /// engine; no translation, no cache).
+  /// engine; no translation, no cache). The module is verified: the
+  /// interpreter trusts register indices the same way the translator does.
+  std::shared_ptr<const LoadedModule>
+  loadForInterpreter(const vm::Module &Exe, LoadError &Err);
+
+  /// Legacy form; returns nullptr on a rejected module.
   std::shared_ptr<const LoadedModule>
   loadForInterpreter(const vm::Module &Exe);
 
   /// bind: creates an isolated session. \p ExtraSetup can grant host
   /// functions beyond the standard library before import resolution.
+  /// Never returns null: a rejected bind (or a null \p LM) yields an
+  /// invalid session carrying the structured error.
   std::unique_ptr<Session> createSession(
       std::shared_ptr<const LoadedModule> LM,
       const std::function<void(runtime::HostEnv &)> &ExtraSetup = nullptr);
@@ -143,6 +197,14 @@ public:
 
   CodeCache &cache() { return Cache; }
 
+  /// Resource ceilings applied to arriving modules.
+  HostLimits &limits() { return Limits; }
+  const HostLimits &limits() const { return Limits; }
+
+  /// Installs (or clears, with nullptr) a fault-injection plan applied to
+  /// every subsequently created session. Testing hook.
+  void setFaultInjector(std::shared_ptr<const FaultInjector> FI);
+
   /// Snapshot of counters, timings, and cache gauges.
   HostStats stats() const;
 
@@ -155,10 +217,17 @@ public:
 private:
   friend class Session;
 
+  /// Counts a structured reject at \p Stage and fills \p Err.
+  void reject(LoadError &Err, LoadStage Stage, uint64_t ContentHash,
+              std::string Message);
+  void recordTrap(vm::TrapKind Kind);
+
   CodeCache Cache;
+  HostLimits Limits;
 
   mutable std::mutex StatsMu;
   HostStats Counters; ///< cache fields unused; filled from Cache in stats()
+  std::shared_ptr<const FaultInjector> Injector; ///< guarded by StatsMu
 };
 
 } // namespace host

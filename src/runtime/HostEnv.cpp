@@ -28,12 +28,18 @@ void HostEnv::installStdlib() {
   });
   grant("print_str", [this](vm::HostContext &Ctx) {
     uint32_t Ptr = Ctx.intArg(0);
-    if (!Ctx.mem().contains(Ptr)) {
-      Trap T;
-      T.Kind = TrapKind::HostError;
-      return T;
+    // Bounded by the bytes remaining in the segment; an unterminated
+    // string is a structured gate error, never a silent clip.
+    std::string S;
+    switch (Ctx.mem().hostReadCString(Ptr, S, Ctx.mem().size())) {
+    case vm::CStringStatus::BadAddress:
+      return Trap::hostError(vm::HostErrBadPointer);
+    case vm::CStringStatus::Unterminated:
+      return Trap::hostError(vm::HostErrUnterminated);
+    case vm::CStringStatus::Ok:
+      break;
     }
-    Output += Ctx.mem().hostReadCString(Ptr);
+    Output += S;
     return Trap::none();
   });
   grant("print_f64", [this](vm::HostContext &Ctx) {
@@ -77,11 +83,8 @@ bool HostEnv::bind(const vm::Module &M, std::string &Error) {
 
 vm::HostCallHandler HostEnv::handler() {
   return [this](unsigned Idx, vm::HostContext &Ctx) -> Trap {
-    if (Idx >= Bound.size()) {
-      Trap T;
-      T.Kind = TrapKind::HostError;
-      return T;
-    }
+    if (Idx >= Bound.size())
+      return Trap::hostError(vm::HostErrUnboundImport);
     return Bound[Idx](Ctx);
   };
 }
@@ -102,15 +105,21 @@ bool omni::runtime::loadImage(const vm::Module &Exe, vm::AddressSpace &Mem,
     Error = "module image does not fit in the data segment";
     return false;
   }
-  if (!Exe.Data.empty())
-    Mem.hostWrite(Mem.base(), Exe.Data.data(),
-                  static_cast<uint32_t>(Exe.Data.size()));
+  if (!Exe.Data.empty() &&
+      !Mem.hostWrite(Mem.base(), Exe.Data.data(),
+                     static_cast<uint32_t>(Exe.Data.size()))) {
+    Error = "module data image rejected by the segment";
+    return false;
+  }
   // Bss pages are already zero in a fresh segment, but clear them anyway
   // so reloading into a reused segment is sound.
   if (Exe.BssSize) {
     std::vector<uint8_t> Zeros(Exe.BssSize, 0);
-    Mem.hostWrite(Mem.base() + static_cast<uint32_t>(Exe.Data.size()),
-                  Zeros.data(), Exe.BssSize);
+    if (!Mem.hostWrite(Mem.base() + static_cast<uint32_t>(Exe.Data.size()),
+                       Zeros.data(), Exe.BssSize)) {
+      Error = "module bss image rejected by the segment";
+      return false;
+    }
   }
   return true;
 }

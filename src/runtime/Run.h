@@ -32,7 +32,7 @@ struct RunResult {
 /// library granted. \p ExtraSetup, when provided, can grant additional
 /// host functions before binding.
 RunResult runOnInterpreter(
-    const vm::Module &Exe, uint64_t MaxSteps = 1ull << 33,
+    const vm::Module &Exe, uint64_t MaxSteps = vm::DefaultStepBudget,
     const std::function<void(HostEnv &)> &ExtraSetup = nullptr);
 
 /// Outcome of a translated run, with the simulator's cycle accounting.
@@ -48,7 +48,8 @@ struct TargetRunResult {
 /// library granted.
 TargetRunResult runOnTarget(
     target::TargetKind Kind, const vm::Module &Exe,
-    const translate::TranslateOptions &Opts, uint64_t MaxSteps = 1ull << 33,
+    const translate::TranslateOptions &Opts,
+    uint64_t MaxSteps = vm::DefaultStepBudget,
     const std::function<void(HostEnv &)> &ExtraSetup = nullptr);
 
 } // namespace runtime

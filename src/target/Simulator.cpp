@@ -149,7 +149,10 @@ uint32_t Simulator::getIntReg(unsigned VmReg) const {
   if (M >= 0)
     return readReg(static_cast<unsigned>(M));
   uint32_t V = 0;
-  Mem.hostRead(Code.IntSlotBase + 4 * VmReg, &V, 4);
+  // Slot addresses come from the translation's layout for this very
+  // segment, so the checked read can only fail on a host bug; a failed
+  // read yields 0 rather than touching memory out of range.
+  (void)Mem.hostRead(Code.IntSlotBase + 4 * VmReg, &V, 4);
   return V;
 }
 
@@ -159,7 +162,7 @@ void Simulator::setIntReg(unsigned VmReg, uint32_t Val) {
     writeReg(static_cast<unsigned>(M), Val);
     return;
   }
-  Mem.hostWrite(Code.IntSlotBase + 4 * VmReg, &Val, 4);
+  (void)Mem.hostWrite(Code.IntSlotBase + 4 * VmReg, &Val, 4);
 }
 
 uint64_t Simulator::getFpBits(unsigned VmReg) const {
@@ -167,7 +170,7 @@ uint64_t Simulator::getFpBits(unsigned VmReg) const {
   if (M >= 0)
     return FpRegs[M];
   uint64_t V = 0;
-  Mem.hostRead(Code.FpSlotBase + 8 * VmReg, &V, 8);
+  (void)Mem.hostRead(Code.FpSlotBase + 8 * VmReg, &V, 8);
   return V;
 }
 
@@ -177,7 +180,7 @@ void Simulator::setFpBits(unsigned VmReg, uint64_t Bits) {
     FpRegs[M] = Bits;
     return;
   }
-  Mem.hostWrite(Code.FpSlotBase + 8 * VmReg, &Bits, 8);
+  (void)Mem.hostWrite(Code.FpSlotBase + 8 * VmReg, &Bits, 8);
 }
 
 // --- timing ---------------------------------------------------------------
@@ -677,7 +680,7 @@ bool Simulator::resolveVmTarget(uint32_t VmIndex, uint32_t &Native,
 void Simulator::writeLink(const TInstr &I) {
   uint32_t Link = static_cast<uint32_t>(I.VmIndex + 1);
   if (TI.LinkIsMemory)
-    Mem.hostWrite(Code.IntSlotBase + 4 * vm::RegRa, &Link, 4);
+    (void)Mem.hostWrite(Code.IntSlotBase + 4 * vm::RegRa, &Link, 4);
   else
     writeReg(I.Rd, Link);
 }

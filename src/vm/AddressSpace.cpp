@@ -7,26 +7,32 @@ using namespace omni::vm;
 
 static bool isPowerOfTwo(uint32_t X) { return X != 0 && (X & (X - 1)) == 0; }
 
+bool AddressSpace::validLayout(uint32_t Base, uint32_t Size) {
+  return isPowerOfTwo(Size) && Size >= PageSize && (Base & (Size - 1)) == 0;
+}
+
 AddressSpace::AddressSpace(uint32_t Base, uint32_t Size)
     : Base(Base), Size(Size) {
-  assert(isPowerOfTwo(Size) && "segment size must be a power of two");
-  assert((Base & (Size - 1)) == 0 && "segment base must be aligned to size");
-  assert(Size >= PageSize && "segment smaller than a page");
+  assert(validLayout(Base, Size) && "untrusted layout not rejected by caller");
   Mem.resize(Size);
   Perms.assign(Size / PageSize, PermReadWrite);
 }
 
-void AddressSpace::protect(uint32_t Addr, uint32_t Len, PagePerm Perm) {
-  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
+bool AddressSpace::protect(uint32_t Addr, uint32_t Len, PagePerm Perm) {
+  if (!containsRange(Addr, Len))
+    return false;
   uint32_t First = (Addr - Base) / PageSize;
   uint32_t Last = Len == 0 ? First : (Addr - Base + Len - 1) / PageSize;
   for (uint32_t P = First; P <= Last; ++P)
     Perms[P] = Perm;
+  return true;
 }
 
 bool AddressSpace::checkRange(uint32_t Addr, uint32_t Len, bool IsWrite,
                               Trap &Fault) {
-  if (!contains(Addr) || !contains(Addr + Len - 1)) {
+  // Subtraction form: Addr+Len-1 wraps at 2^32 and can land back inside
+  // the segment, so the end address is never materialized.
+  if (!contains(Addr) || Len == 0 || Len > Size - (Addr - Base)) {
     Fault = Trap::accessViolation(Addr);
     return false;
   }
@@ -102,30 +108,39 @@ bool AddressSpace::write64(uint32_t Addr, uint64_t Val, Trap &Fault) {
 }
 
 uint8_t *AddressSpace::hostPtr(uint32_t Addr, uint32_t Len) {
-  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
+  if (!containsRange(Addr, Len))
+    return nullptr;
   return &Mem[Addr - Base];
 }
 
-void AddressSpace::hostWrite(uint32_t Addr, const void *Src, uint32_t Len) {
-  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
-  std::memcpy(&Mem[Addr - Base], Src, Len);
+bool AddressSpace::hostWrite(uint32_t Addr, const void *Src, uint32_t Len) {
+  if (!containsRange(Addr, Len))
+    return false;
+  if (Len)
+    std::memcpy(&Mem[Addr - Base], Src, Len);
+  return true;
 }
 
-void AddressSpace::hostRead(uint32_t Addr, void *Dst, uint32_t Len) const {
-  assert(contains(Addr) && (Len == 0 || contains(Addr + Len - 1)));
-  std::memcpy(Dst, &Mem[Addr - Base], Len);
+bool AddressSpace::hostRead(uint32_t Addr, void *Dst, uint32_t Len) const {
+  if (!containsRange(Addr, Len))
+    return false;
+  if (Len)
+    std::memcpy(Dst, &Mem[Addr - Base], Len);
+  return true;
 }
 
-std::string AddressSpace::hostReadCString(uint32_t Addr,
-                                          uint32_t MaxLen) const {
-  std::string Out;
-  for (uint32_t I = 0; I < MaxLen; ++I) {
-    if (!contains(Addr + I))
-      break;
-    char C = static_cast<char>(Mem[Addr + I - Base]);
+CStringStatus AddressSpace::hostReadCString(uint32_t Addr, std::string &Out,
+                                            uint32_t MaxLen) const {
+  Out.clear();
+  if (!contains(Addr))
+    return CStringStatus::BadAddress;
+  uint32_t Remaining = Size - (Addr - Base);
+  uint32_t Limit = MaxLen < Remaining ? MaxLen : Remaining;
+  for (uint32_t I = 0; I < Limit; ++I) {
+    char C = static_cast<char>(Mem[Addr - Base + I]);
     if (C == '\0')
-      break;
+      return CStringStatus::Ok;
     Out.push_back(C);
   }
-  return Out;
+  return CStringStatus::Unterminated;
 }

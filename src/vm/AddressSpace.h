@@ -12,6 +12,15 @@
 /// execute protections on multi-page segments"; any violation produces an
 /// access-violation trap which the runtime delivers as a virtual exception.
 ///
+/// Containment contract: every accessor — module-facing (read*/write*) and
+/// host-facing (hostPtr/hostWrite/hostRead/hostReadCString) — reports
+/// module-influenced violations as a structured failure (false / nullptr /
+/// a status) instead of asserting, so a hostile module can never abort the
+/// host process, with or without NDEBUG. All range arithmetic is performed
+/// in subtraction form (`Len > Size - (Addr - Base)`) because the naive
+/// `contains(Addr + Len - 1)` wraps at 2^32 and can land back inside the
+/// segment while the copy overruns the host heap.
+///
 //===----------------------------------------------------------------------===//
 #ifndef OMNI_VM_ADDRESSSPACE_H
 #define OMNI_VM_ADDRESSSPACE_H
@@ -45,13 +54,26 @@ constexpr uint32_t PageSize = 4096;
 /// identical across engines.
 constexpr uint32_t EngineReservedTop = 256;
 
+/// Outcome of hostReadCString.
+enum class CStringStatus : uint8_t {
+  Ok,           ///< NUL found inside the bounded range
+  BadAddress,   ///< the start address is outside the segment
+  Unterminated, ///< no NUL before the segment end / length cap
+};
+
 /// A module's sandboxed data segment.
 class AddressSpace {
 public:
   /// Creates a segment of \p Size bytes (power of two) based at \p Base
-  /// (aligned to Size). All pages start ReadWrite.
+  /// (aligned to Size). The layout must satisfy validLayout(); callers
+  /// accepting untrusted layouts (e.g. a module's link base) must check
+  /// before constructing. All pages start ReadWrite.
   AddressSpace(uint32_t Base = DefaultSegmentBase,
                uint32_t Size = DefaultSegmentSize);
+
+  /// True when (Base, Size) is a layout this class can represent: Size a
+  /// power of two >= PageSize and Base aligned to Size.
+  static bool validLayout(uint32_t Base, uint32_t Size);
 
   uint32_t base() const { return Base; }
   uint32_t size() const { return Size; }
@@ -60,12 +82,21 @@ public:
 
   bool contains(uint32_t Addr) const { return (Addr & ~offsetMask()) == Base; }
 
+  /// True iff [Addr, Addr+Len) lies entirely inside the segment. Overflow
+  /// safe for every (Addr, Len) pair, including Len near 2^32.
+  bool containsRange(uint32_t Addr, uint32_t Len) const {
+    if (!contains(Addr))
+      return false;
+    return Len <= Size - (Addr - Base);
+  }
+
   /// Sets host-imposed permissions on [Addr, Addr+Len), page granular.
-  /// Addr must lie in the segment.
-  void protect(uint32_t Addr, uint32_t Len, PagePerm Perm);
+  /// Returns false (and changes nothing) when the range leaves the segment.
+  bool protect(uint32_t Addr, uint32_t Len, PagePerm Perm);
 
   PagePerm pagePerm(uint32_t Addr) const {
-    assert(contains(Addr));
+    if (!contains(Addr))
+      return PermNone;
     return static_cast<PagePerm>(Perms[(Addr - Base) / PageSize]);
   }
 
@@ -81,13 +112,19 @@ public:
   bool write32(uint32_t Addr, uint32_t Val, Trap &Fault);
   bool write64(uint32_t Addr, uint64_t Val, Trap &Fault);
 
-  /// Host-side (trusted) access: ignores page permissions, still bounds
-  /// checked by assertion. Used by the runtime and by host call gates.
+  /// Host-side (trusted caller, untrusted address) access: ignores page
+  /// permissions but stays bounds checked. Out-of-range requests return
+  /// nullptr / false and perform no partial access.
   uint8_t *hostPtr(uint32_t Addr, uint32_t Len);
-  void hostWrite(uint32_t Addr, const void *Src, uint32_t Len);
-  void hostRead(uint32_t Addr, void *Dst, uint32_t Len) const;
-  /// Reads a NUL-terminated string (bounded by segment end).
-  std::string hostReadCString(uint32_t Addr, uint32_t MaxLen = 4096) const;
+  bool hostWrite(uint32_t Addr, const void *Src, uint32_t Len);
+  bool hostRead(uint32_t Addr, void *Dst, uint32_t Len) const;
+
+  /// Reads a NUL-terminated string into \p Out, reading at most \p MaxLen
+  /// bytes and never past the segment end. Distinguishes a bad start
+  /// address and an unterminated (clipped) string from success; \p Out
+  /// holds the bytes read so far in every case.
+  CStringStatus hostReadCString(uint32_t Addr, std::string &Out,
+                                uint32_t MaxLen = 4096) const;
 
 private:
   bool checkRange(uint32_t Addr, uint32_t Len, bool IsWrite, Trap &Fault);

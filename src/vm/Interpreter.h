@@ -32,7 +32,10 @@ public:
   void reset(uint32_t EntryIndex);
 
   /// Runs until a trap or until \p MaxSteps instructions have executed.
-  Trap run(uint64_t MaxSteps = ~0ull);
+  /// The default budget is the same bounded DefaultStepBudget every other
+  /// entry point uses, so even a directly-embedded interpreter turns a
+  /// runaway module into a StepLimit trap instead of spinning forever.
+  Trap run(uint64_t MaxSteps = DefaultStepBudget);
 
   /// Total OmniVM instructions executed across run() calls since reset().
   uint64_t instrCount() const { return InstrCount; }

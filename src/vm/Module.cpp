@@ -92,6 +92,12 @@ public:
     return true;
   }
 
+  /// Bytes left to read. Used to reject table counts that could not
+  /// possibly fit in the image before allocating for them: a hostile
+  /// header claiming 2^24 entries must fail as "truncated", not reserve
+  /// hundreds of megabytes first.
+  size_t remaining() const { return In.size() - Pos; }
+
 private:
   const std::vector<uint8_t> &In;
   size_t Pos = 0;
@@ -160,6 +166,11 @@ bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out,
     Error = "bad instruction count";
     return false;
   }
+  // 13 bytes per serialized instruction.
+  if (R.remaining() < static_cast<uint64_t>(NumInstrs) * 13) {
+    Error = "truncated code section";
+    return false;
+  }
   Out.Code.resize(NumInstrs);
   for (Instr &I : Out.Code) {
     uint8_t Op, Flags;
@@ -181,7 +192,7 @@ bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out,
     return false;
   }
   uint32_t N;
-  if (!R.u32(N) || N > MaxCount) {
+  if (!R.u32(N) || N > MaxCount || R.remaining() < static_cast<uint64_t>(N) * 4) {
     Error = "bad import count";
     return false;
   }
@@ -191,7 +202,9 @@ bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out,
       Error = "truncated import table";
       return false;
     }
-  if (!R.u32(N) || N > MaxCount) {
+  // 10 bytes minimum per symbol (kind + empty name + value + flags).
+  if (!R.u32(N) || N > MaxCount ||
+      R.remaining() < static_cast<uint64_t>(N) * 10) {
     Error = "bad symbol count";
     return false;
   }
@@ -207,7 +220,9 @@ bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out,
     S.Defined = (Flags & 1) != 0;
     S.Global = (Flags & 2) != 0;
   }
-  if (!R.u32(N) || N > MaxCount) {
+  // 13 bytes per relocation.
+  if (!R.u32(N) || N > MaxCount ||
+      R.remaining() < static_cast<uint64_t>(N) * 13) {
     Error = "bad reloc count";
     return false;
   }
@@ -221,7 +236,9 @@ bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out,
     }
     Rl.Kind = static_cast<Reloc::KindTy>(Kind);
   }
-  if (!R.u32(N) || N > MaxCount) {
+  // 9 bytes minimum per export (empty name + kind + value).
+  if (!R.u32(N) || N > MaxCount ||
+      R.remaining() < static_cast<uint64_t>(N) * 9) {
     Error = "bad export count";
     return false;
   }

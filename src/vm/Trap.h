@@ -28,6 +28,25 @@ enum class TrapKind : uint8_t {
   HostError,       ///< a host call gate rejected the request
 };
 
+/// Number of distinct TrapKind values (for per-kind counter arrays).
+constexpr unsigned NumTrapKinds = 8;
+
+/// Default execution budget shared by every engine entry point
+/// (Interpreter::run, Session::run, runtime::runOn*). One bounded default
+/// everywhere: a directly-embedded engine can never spin forever by
+/// omission — a runaway module surfaces as a StepLimit trap.
+constexpr uint64_t DefaultStepBudget = 1ull << 33;
+
+/// Well-known HostError codes (Trap::Code) reported by host call gates.
+enum HostErrorCode : int32_t {
+  HostErrGeneric = 0,        ///< unspecified gate failure
+  HostErrBadPointer = 1,     ///< module passed an out-of-segment pointer
+  HostErrUnterminated = 2,   ///< string ran to the segment end without a NUL
+  HostErrUnboundImport = 3,  ///< hcall index has no bound host function
+  HostErrInjected = 4,       ///< failure injected by host::FaultInjector
+  HostErrInvalidSession = 5, ///< Session::run on an invalid (unbound) session
+};
+
 /// Result of running a module on any execution engine.
 struct Trap {
   TrapKind Kind = TrapKind::None;
@@ -59,6 +78,12 @@ struct Trap {
   static Trap divideByZero() {
     Trap T;
     T.Kind = TrapKind::DivideByZero;
+    return T;
+  }
+  static Trap hostError(int32_t Code = HostErrGeneric) {
+    Trap T;
+    T.Kind = TrapKind::HostError;
+    T.Code = Code;
     return T;
   }
   static Trap none() { return Trap(); }

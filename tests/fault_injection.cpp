@@ -1,0 +1,581 @@
+//===- tests/fault_injection.cpp - hostile-module containment -------------===//
+///
+/// The containment contract under attack: hundreds of byte-mutated OWX
+/// images, every deserialize error branch, hostile resource claims, and
+/// injected host-gate failures are thrown at ModuleHost, and every outcome
+/// must be a structured per-module LoadError or a contained vm::Trap —
+/// never a process abort — while healthy concurrent sessions keep running
+/// and per-kind counts land in HostStats.
+
+#include "host/ModuleHost.h"
+
+#include "driver/Compiler.h"
+#include "vm/Assembler.h"
+#include "vm/Linker.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace omni;
+using host::FaultInjector;
+using host::LoadError;
+using host::LoadStage;
+using host::ModuleHost;
+using target::TargetKind;
+using vm::TrapKind;
+
+namespace {
+
+vm::Module compile(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Exe;
+}
+
+vm::Module asmModule(const std::string &Asm) {
+  DiagnosticEngine Diags;
+  vm::Module Obj;
+  EXPECT_TRUE(vm::assemble(Asm, Obj, Diags)) << Diags.render("t.s");
+  vm::Module Exe;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(vm::link({Obj}, vm::LinkOptions(), Exe, Errors));
+  return Exe;
+}
+
+const char *ProgramA = R"(
+void print_int(int);
+int main() {
+  int i, acc = 0;
+  for (i = 1; i <= 10; i++) acc += i * i;
+  print_int(acc); /* 385 */
+  return 7;
+}
+)";
+
+const char *ProgramB = R"(
+void print_str(char *);
+int main() {
+  print_str("beta");
+  return 0;
+}
+)";
+
+translate::TranslateOptions mobileOpts() {
+  return translate::TranslateOptions::mobile(true);
+}
+
+/// Little-endian byte builder for hand-crafting hostile OWX images.
+struct ImageBuilder {
+  std::vector<uint8_t> Bytes;
+
+  ImageBuilder &u8(uint8_t V) {
+    Bytes.push_back(V);
+    return *this;
+  }
+  ImageBuilder &u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+    return *this;
+  }
+  /// Magic + the given instruction count (no instruction payload).
+  static ImageBuilder header(uint32_t NumInstrs) {
+    ImageBuilder B;
+    B.u32(0x3158574fu).u32(NumInstrs);
+    return B;
+  }
+  /// A well-formed image prefix through the data/bss/entry header:
+  /// one halt instruction, empty data, entry index 0.
+  static ImageBuilder throughHeader() {
+    vm::Module M;
+    M.Code.push_back(vm::makeSimple(vm::Opcode::Halt));
+    M.EntryIndex = 0;
+    ImageBuilder B;
+    B.Bytes = M.serialize();
+    // Drop the trailing empty import/symbol/reloc/export counts (4 u32s)
+    // so tests can append their own hostile tables.
+    B.Bytes.resize(B.Bytes.size() - 16);
+    return B;
+  }
+};
+
+/// Runs hostile bytes through the full untrusted path and expects a
+/// structured Deserialize-stage reject carrying \p ExpectMsg.
+void expectDeserializeReject(ModuleHost &Host, const std::vector<uint8_t> &Owx,
+                             const std::string &ExpectMsg) {
+  LoadError Err;
+  auto LM = Host.loadBytes(TargetKind::Mips, Owx, mobileOpts(), Err);
+  EXPECT_EQ(LM, nullptr);
+  EXPECT_EQ(Err.Stage, LoadStage::Deserialize);
+  EXPECT_EQ(Err.ContentHash, 0u) << "unparsed bytes have no content address";
+  EXPECT_NE(Err.Message.find(ExpectMsg), std::string::npos)
+      << "got: " << Err.Message;
+  EXPECT_NE(Err.str().find("deserialize"), std::string::npos);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Every OWX deserialize error branch, end-to-end through ModuleHost.
+//===----------------------------------------------------------------------===//
+
+TEST(OwxLoadErrors, EveryDeserializeBranchIsAStructuredReject) {
+  ModuleHost Host;
+
+  // Bad magic, and the degenerate empty image.
+  expectDeserializeReject(Host, {0xde, 0xad, 0xbe, 0xef}, "bad magic");
+  expectDeserializeReject(Host, {}, "bad magic");
+
+  // Instruction count above the format ceiling (2^24).
+  expectDeserializeReject(Host, ImageBuilder::header((1u << 24) + 1).Bytes,
+                          "bad instruction count");
+
+  // Claims two instructions but ships thirteen bytes (one instruction).
+  {
+    ImageBuilder B = ImageBuilder::header(2);
+    for (int I = 0; I < 13; ++I)
+      B.u8(0);
+    expectDeserializeReject(Host, B.Bytes, "truncated code section");
+  }
+
+  // Opcode byte outside the ISA: patch a valid image's first opcode.
+  {
+    vm::Module M;
+    M.Code.push_back(vm::makeSimple(vm::Opcode::Halt));
+    M.EntryIndex = 0;
+    std::vector<uint8_t> Owx = M.serialize();
+    Owx[8] = 0xee; // first instruction's opcode byte
+    expectDeserializeReject(Host, Owx, "invalid opcode");
+  }
+
+  // Data section length field larger than the bytes that follow.
+  expectDeserializeReject(Host, ImageBuilder::header(0).u32(100).Bytes,
+                          "truncated data section");
+
+  // Import count whose table cannot fit in the remaining bytes.
+  expectDeserializeReject(Host,
+                          ImageBuilder::throughHeader().u32(1u << 20).Bytes,
+                          "bad import count");
+
+  // Import string whose length field runs past the end.
+  expectDeserializeReject(
+      Host, ImageBuilder::throughHeader().u32(1).u32(100).Bytes,
+      "truncated import table");
+
+  // Symbol count that cannot fit.
+  expectDeserializeReject(
+      Host, ImageBuilder::throughHeader().u32(0).u32(1u << 20).Bytes,
+      "bad symbol count");
+
+  // Symbol with an out-of-range kind tag.
+  expectDeserializeReject(Host,
+                          ImageBuilder::throughHeader()
+                              .u32(0)          // imports
+                              .u32(1)          // one symbol
+                              .u8(7)           // kind: neither Code nor Data
+                              .u32(0)          // empty name
+                              .u32(0)          // value
+                              .u8(0)           // flags
+                              .Bytes,
+                          "truncated symbol table");
+
+  // Reloc count that cannot fit.
+  expectDeserializeReject(
+      Host, ImageBuilder::throughHeader().u32(0).u32(0).u32(1u << 20).Bytes,
+      "bad reloc count");
+
+  // Reloc with an out-of-range kind tag.
+  expectDeserializeReject(Host,
+                          ImageBuilder::throughHeader()
+                              .u32(0) // imports
+                              .u32(0) // symbols
+                              .u32(1) // one reloc
+                              .u8(9)  // kind: out of range
+                              .u32(0)
+                              .u32(0)
+                              .u32(0)
+                              .Bytes,
+                          "truncated reloc table");
+
+  // Export count that cannot fit.
+  expectDeserializeReject(
+      Host,
+      ImageBuilder::throughHeader().u32(0).u32(0).u32(0).u32(1u << 20).Bytes,
+      "bad export count");
+
+  // Export with an out-of-range kind tag.
+  expectDeserializeReject(Host,
+                          ImageBuilder::throughHeader()
+                              .u32(0) // imports
+                              .u32(0) // symbols
+                              .u32(0) // relocs
+                              .u32(1) // one export
+                              .u32(0) // empty name
+                              .u8(9)  // kind: out of range
+                              .u32(0) // value
+                              .Bytes,
+                          "truncated export table");
+
+  // Every reject was counted at the Deserialize stage, and none of the
+  // hostile bytes reached the verifier, the translator, or the cache.
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.rejects(LoadStage::Deserialize), 14u);
+  EXPECT_EQ(St.totalRejects(), 14u);
+  EXPECT_EQ(St.VerifyCount, 0u);
+  EXPECT_EQ(St.TranslateCount, 0u);
+  EXPECT_EQ(St.CacheMisses, 0u);
+  EXPECT_EQ(St.ResidentEntries, 0u);
+  EXPECT_EQ(St.ResidentBytes, 0u);
+}
+
+TEST(OwxLoadErrors, VerifierRejectionIsStructuredAndKeepsCacheClean) {
+  ModuleHost Host;
+  vm::Module M;
+  M.Code.push_back(vm::makeSimple(vm::Opcode::Halt));
+  M.EntryIndex = 9; // out of range
+  LoadError Err;
+  auto LM = Host.loadBytes(TargetKind::Mips, M.serialize(), mobileOpts(), Err);
+  EXPECT_EQ(LM, nullptr);
+  EXPECT_EQ(Err.Stage, LoadStage::Verify);
+  EXPECT_NE(Err.ContentHash, 0u) << "parsed modules are content-addressed";
+  EXPECT_FALSE(Err.Message.empty());
+
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.rejects(LoadStage::Verify), 1u);
+  EXPECT_EQ(St.ResidentEntries, 0u) << "a failed load must not cache";
+  EXPECT_EQ(St.TranslateCount, 0u);
+}
+
+TEST(OwxLoadErrors, ResourceLimitsRejectBeforeExpensiveStages) {
+  ModuleHost Host;
+  LoadError Err;
+
+  // An 8 MB segment cannot hold a ~2 GB bss claim.
+  vm::Module Huge;
+  Huge.Code.push_back(vm::makeSimple(vm::Opcode::Halt));
+  Huge.EntryIndex = 0;
+  Huge.BssSize = 0x7fffffffu;
+  EXPECT_EQ(Host.loadBytes(TargetKind::Mips, Huge.serialize(), mobileOpts(),
+                           Err),
+            nullptr);
+  EXPECT_EQ(Err.Stage, LoadStage::Resource);
+  EXPECT_NE(Err.Message.find("exceeds"), std::string::npos) << Err.Message;
+
+  // A link base the SFI segment layout cannot represent (not aligned to
+  // the segment size) must be refused before any AddressSpace exists.
+  vm::Module Skewed = compile(ProgramA);
+  Skewed.LinkBase = vm::DefaultSegmentBase + 0x1000;
+  EXPECT_EQ(Host.load(TargetKind::Mips, Skewed, mobileOpts(), Err), nullptr);
+  EXPECT_EQ(Err.Stage, LoadStage::Resource);
+  EXPECT_NE(Err.Message.find("unusable base"), std::string::npos)
+      << Err.Message;
+
+  // The same hostile layout is rejected on the interpreter path too.
+  EXPECT_EQ(Host.loadForInterpreter(Skewed, Err), nullptr);
+  EXPECT_EQ(Err.Stage, LoadStage::Resource);
+
+  // Host-configured ceilings: instruction budget and image size.
+  ModuleHost Small;
+  Small.limits().MaxCodeInstrs = 4;
+  vm::Module Exe = compile(ProgramA);
+  EXPECT_EQ(Small.load(TargetKind::Mips, Exe, mobileOpts(), Err), nullptr);
+  EXPECT_EQ(Err.Stage, LoadStage::Resource);
+  EXPECT_NE(Err.Message.find("limit"), std::string::npos) << Err.Message;
+
+  Small.limits().MaxCodeInstrs = 1u << 22;
+  Small.limits().MaxOwxBytes = 8;
+  EXPECT_EQ(Small.loadBytes(TargetKind::Mips, Exe.serialize(), mobileOpts(),
+                            Err),
+            nullptr);
+  EXPECT_EQ(Err.Stage, LoadStage::Resource);
+  EXPECT_EQ(Err.ContentHash, 0u) << "oversized images are not even hashed";
+
+  EXPECT_EQ(Host.stats().rejects(LoadStage::Resource), 3u);
+  EXPECT_EQ(Small.stats().rejects(LoadStage::Resource), 2u);
+}
+
+TEST(OwxLoadErrors, BindRejectAndInvalidSessionAreStructured) {
+  ModuleHost Host;
+  vm::Module Exe = compile(R"(
+void host_format_disk(int);
+int main() { host_format_disk(1); return 0; }
+)");
+  LoadError Err;
+  auto LM = Host.load(TargetKind::Mips, Exe, mobileOpts(), Err);
+  ASSERT_TRUE(LM) << Err.str(); // the code itself is well-formed...
+
+  auto S = Host.createSession(LM); // ...but the import is not granted
+  EXPECT_FALSE(S->valid());
+  EXPECT_EQ(S->loadError().Stage, LoadStage::Bind);
+  EXPECT_EQ(S->loadError().ContentHash, LM->ContentHash);
+  EXPECT_NE(S->error().find("host_format_disk"), std::string::npos)
+      << S->error();
+
+  // Running the invalid session is contained: a HostError trap carrying
+  // the structured message, counted in the trap counters.
+  runtime::RunResult R = S->run();
+  EXPECT_EQ(R.Trap.Kind, TrapKind::HostError);
+  EXPECT_EQ(R.Trap.Code, vm::HostErrInvalidSession);
+  EXPECT_NE(R.Output.find("bind"), std::string::npos);
+
+  // A null handle (a load the caller did not check) also yields an
+  // invalid session instead of a crash.
+  auto SNull = Host.createSession(nullptr);
+  ASSERT_NE(SNull, nullptr);
+  EXPECT_FALSE(SNull->valid());
+  EXPECT_EQ(SNull->loadError().Stage, LoadStage::Bind);
+
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.rejects(LoadStage::Bind), 2u);
+  EXPECT_EQ(St.traps(TrapKind::HostError), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized byte-mutation sweep: >= 500 hostile images, zero aborts.
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, MutatedImagesNeverAbortTheHost) {
+  ModuleHost Host;
+  translate::TranslateOptions Opts = mobileOpts();
+  std::vector<std::vector<uint8_t>> Seeds = {compile(ProgramA).serialize(),
+                                             compile(ProgramB).serialize()};
+  // Keep a known-good module resident: the host must keep serving it no
+  // matter what the mutated images do.
+  vm::Module Good = compile(ProgramA);
+  LoadError GoodErr;
+  auto GoodLM = Host.load(TargetKind::Mips, Good, Opts, GoodErr);
+  ASSERT_TRUE(GoodLM) << GoodErr.str();
+
+  std::mt19937 Rng(0xC0FFEEu); // fixed seed: the sweep is reproducible
+  unsigned Attempts = 0, Rejected = 0, BindFailed = 0, Ran = 0;
+
+  auto Exercise = [&](const std::vector<uint8_t> &Owx) {
+    ++Attempts;
+    LoadError Err;
+    auto LM = Host.loadBytes(TargetKind::Mips, Owx, Opts, Err);
+    if (!LM) {
+      // Structured reject: a stage and a message, never silence.
+      EXPECT_NE(Err.Stage, LoadStage::None);
+      EXPECT_FALSE(Err.Message.empty());
+      ++Rejected;
+      return;
+    }
+    auto S = Host.createSession(LM);
+    if (!S->valid()) {
+      EXPECT_EQ(S->loadError().Stage, LoadStage::Bind);
+      ++BindFailed;
+      return;
+    }
+    // The mutation survived the whole pipeline (e.g. it only touched
+    // data bytes): execution must still be contained.
+    runtime::RunResult R = S->run(2'000'000);
+    EXPECT_TRUE(R.Trap.Kind == TrapKind::Halt || R.Trap.isFault())
+        << "unstructured outcome " << static_cast<int>(R.Trap.Kind);
+    ++Ran;
+  };
+
+  for (const std::vector<uint8_t> &Seed : Seeds) {
+    // Truncations: 100 evenly spaced cut points per seed.
+    for (unsigned I = 0; I < 100; ++I)
+      Exercise(std::vector<uint8_t>(
+          Seed.begin(), Seed.begin() + (Seed.size() * I) / 100));
+
+    // Bit flips: 150 single-bit corruptions per seed.
+    for (unsigned I = 0; I < 150; ++I) {
+      std::vector<uint8_t> Owx = Seed;
+      Owx[Rng() % Owx.size()] ^= 1u << (Rng() % 8);
+      Exercise(Owx);
+    }
+
+    // Splices: 75 random self-copies per seed (duplicated structure,
+    // shifted tables, internally inconsistent counts).
+    for (unsigned I = 0; I < 75; ++I) {
+      std::vector<uint8_t> Owx = Seed;
+      size_t Len = 1 + Rng() % 64;
+      size_t Src = Rng() % Owx.size();
+      size_t Dst = Rng() % Owx.size();
+      Len = std::min(Len, Owx.size() - std::max(Src, Dst));
+      for (size_t J = 0; J < Len; ++J)
+        Owx[Dst + J] = Owx[Src + J];
+      Exercise(Owx);
+    }
+
+    // Interleave a healthy run: damage to hostile modules must never
+    // leak into the resident module's sessions.
+    auto SGood = Host.createSession(GoodLM);
+    ASSERT_TRUE(SGood->valid()) << SGood->error();
+    runtime::RunResult RGood = SGood->run();
+    EXPECT_EQ(RGood.Trap.Kind, TrapKind::Halt);
+    EXPECT_EQ(RGood.Output, "385");
+    EXPECT_EQ(RGood.Trap.Code, 7);
+  }
+
+  EXPECT_GE(Attempts, 500u) << "acceptance floor for the mutation sweep";
+  EXPECT_EQ(Attempts, Rejected + BindFailed + Ran);
+  EXPECT_GT(Rejected, 0u);
+
+  // The outcome census is visible in HostStats, and the text report
+  // carries the reject and trap sections.
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.totalRejects(), Rejected + BindFailed);
+  std::string Dump = St.dump();
+  EXPECT_NE(Dump.find("rejects:"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("traps:"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("deserialize"), std::string::npos) << Dump;
+}
+
+//===----------------------------------------------------------------------===//
+// Host-gate fault injection.
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, SbrkExhaustionIsAResultNotACrash) {
+  // The module asks for heap and must see NULL, not a dead host.
+  const char *Prog = R"(
+int host_sbrk(int);
+void print_int(int);
+int main() {
+  if (host_sbrk(64) == 0) { print_int(-1); return 1; }
+  print_int(1);
+  return 0;
+}
+)";
+  vm::Module Exe = compile(Prog);
+  ModuleHost Host;
+  LoadError Err;
+  auto LM = Host.load(TargetKind::Mips, Exe, mobileOpts(), Err);
+  ASSERT_TRUE(LM) << Err.str();
+
+  // Baseline: the allocation succeeds.
+  auto SOk = Host.createSession(LM);
+  ASSERT_TRUE(SOk->valid()) << SOk->error();
+  runtime::RunResult ROk = SOk->run();
+  EXPECT_EQ(ROk.Trap.Kind, TrapKind::Halt);
+  EXPECT_EQ(ROk.Output, "1");
+
+  // Injected exhaustion: same module, NULL from the gate, clean exit.
+  auto FI = std::make_shared<FaultInjector>();
+  FI->ExhaustSbrk = true;
+  Host.setFaultInjector(FI);
+  auto SOom = Host.createSession(LM);
+  ASSERT_TRUE(SOom->valid()) << SOom->error();
+  runtime::RunResult ROom = SOom->run();
+  EXPECT_EQ(ROom.Trap.Kind, TrapKind::Halt);
+  EXPECT_EQ(ROom.Output, "-1");
+  EXPECT_EQ(ROom.Trap.Code, 1);
+  Host.setFaultInjector(nullptr);
+}
+
+TEST(FaultInjection, FailingGateIsContainedPerSession) {
+  ModuleHost Host;
+  vm::Module Exe = compile(ProgramA);
+  LoadError Err;
+  auto LM = Host.load(TargetKind::Mips, Exe, mobileOpts(), Err);
+  ASSERT_TRUE(LM) << Err.str();
+
+  // A healthy session bound before the injector exists.
+  auto SBefore = Host.createSession(LM);
+  ASSERT_TRUE(SBefore->valid()) << SBefore->error();
+
+  auto FI = std::make_shared<FaultInjector>();
+  FI->FailGates = {"print_int"};
+  Host.setFaultInjector(FI);
+
+  // The injected session traps HostError at the gate — contained, coded.
+  auto SFail = Host.createSession(LM);
+  ASSERT_TRUE(SFail->valid()) << SFail->error();
+  runtime::RunResult RFail = SFail->run();
+  EXPECT_EQ(RFail.Trap.Kind, TrapKind::HostError);
+  EXPECT_EQ(RFail.Trap.Code, vm::HostErrInjected);
+
+  // The pre-existing session is untouched by the injector and the other
+  // session's failure.
+  runtime::RunResult RBefore = SBefore->run();
+  EXPECT_EQ(RBefore.Trap.Kind, TrapKind::Halt);
+  EXPECT_EQ(RBefore.Output, "385");
+
+  // Clearing the injector restores normal service.
+  Host.setFaultInjector(nullptr);
+  auto SAfter = Host.createSession(LM);
+  runtime::RunResult RAfter = SAfter->run();
+  EXPECT_EQ(RAfter.Trap.Kind, TrapKind::Halt);
+  EXPECT_EQ(RAfter.Output, "385");
+
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.traps(TrapKind::HostError), 1u);
+  EXPECT_EQ(St.traps(TrapKind::Halt), 2u);
+  EXPECT_EQ(St.totalFaults(), 1u);
+  EXPECT_NE(St.dump().find("host-error"), std::string::npos);
+}
+
+TEST(FaultInjection, StepLimitTrapSurfacesInStats) {
+  static_assert(vm::DefaultStepBudget == (1ull << 33),
+                "one bounded default budget everywhere");
+  vm::Module Exe = asmModule(R"(
+        .text
+        .global main
+main:   j main
+)");
+  ModuleHost Host;
+  LoadError Err;
+  auto LM = Host.load(TargetKind::Mips, Exe, mobileOpts(), Err);
+  ASSERT_TRUE(LM) << Err.str();
+  auto S = Host.createSession(LM);
+  ASSERT_TRUE(S->valid()) << S->error();
+  runtime::RunResult R = S->run(/*MaxSteps=*/10000);
+  EXPECT_EQ(R.Trap.Kind, TrapKind::StepLimit);
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.traps(TrapKind::StepLimit), 1u);
+  EXPECT_EQ(St.totalFaults(), 1u);
+  EXPECT_NE(St.dump().find("step-limit"), std::string::npos);
+}
+
+TEST(FaultInjection, PrintStrGateRejectsHostilePointers) {
+  ModuleHost Host;
+  LoadError Err;
+
+  // A pointer outside the segment: HostError(BadPointer), not a wild
+  // host-side read.
+  vm::Module Bad = asmModule(R"(
+        .import print_str
+        .text
+        .global main
+main:   li r0, 0x1000
+        hcall print_str
+        halt
+)");
+  auto LMBad = Host.loadForInterpreter(Bad, Err);
+  ASSERT_TRUE(LMBad) << Err.str();
+  auto SBad = Host.createSession(LMBad);
+  ASSERT_TRUE(SBad->valid()) << SBad->error();
+  runtime::RunResult RBad = SBad->run();
+  EXPECT_EQ(RBad.Trap.Kind, TrapKind::HostError);
+  EXPECT_EQ(RBad.Trap.Code, vm::HostErrBadPointer);
+
+  // A string that runs to the segment end without a NUL: the gate stops
+  // at the boundary and reports Unterminated instead of silently
+  // clipping or reading past the sandbox. The module fills the last 8
+  // bytes of its segment with non-NUL bytes and prints from there.
+  vm::Module Unterminated = asmModule(R"(
+        .import print_str
+        .text
+        .global main
+main:   li r0, 0x107ffff8
+        li r1, 0x01010101
+        sw r1, 0(r0)
+        sw r1, 4(r0)
+        hcall print_str
+        halt
+)");
+  auto LMUnt = Host.loadForInterpreter(Unterminated, Err);
+  ASSERT_TRUE(LMUnt) << Err.str();
+  auto SUnt = Host.createSession(LMUnt);
+  ASSERT_TRUE(SUnt->valid()) << SUnt->error();
+  runtime::RunResult RUnt = SUnt->run();
+  EXPECT_EQ(RUnt.Trap.Kind, TrapKind::HostError);
+  EXPECT_EQ(RUnt.Trap.Code, vm::HostErrUnterminated);
+
+  EXPECT_EQ(Host.stats().traps(TrapKind::HostError), 2u);
+}

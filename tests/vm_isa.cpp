@@ -117,11 +117,56 @@ TEST(AddressSpaceTest, PagePermissions) {
 TEST(AddressSpaceTest, HostAccessors) {
   AddressSpace M;
   const char *S = "omniware";
-  M.hostWrite(M.base() + 64, S, 9);
-  EXPECT_EQ(M.hostReadCString(M.base() + 64), "omniware");
+  EXPECT_TRUE(M.hostWrite(M.base() + 64, S, 9));
+  std::string Str;
+  EXPECT_EQ(M.hostReadCString(M.base() + 64, Str), CStringStatus::Ok);
+  EXPECT_EQ(Str, "omniware");
   char Buf[9];
-  M.hostRead(M.base() + 64, Buf, 9);
+  EXPECT_TRUE(M.hostRead(M.base() + 64, Buf, 9));
   EXPECT_STREQ(Buf, "omniware");
+}
+
+TEST(AddressSpaceTest, HostAccessorsRejectOutOfRange) {
+  AddressSpace M;
+  char Buf[16] = {};
+  // Outside the segment entirely.
+  EXPECT_FALSE(M.hostWrite(0x1000, Buf, 4));
+  EXPECT_FALSE(M.hostRead(0x1000, Buf, 4));
+  EXPECT_EQ(M.hostPtr(0x1000, 4), nullptr);
+  // Straddling the segment end.
+  EXPECT_FALSE(M.hostWrite(M.base() + M.size() - 2, Buf, 4));
+  EXPECT_FALSE(M.hostRead(M.base() + M.size() - 2, Buf, 4));
+  EXPECT_EQ(M.hostPtr(M.base() + M.size() - 2, 4), nullptr);
+  std::string Str;
+  EXPECT_EQ(M.hostReadCString(0x1000, Str), CStringStatus::BadAddress);
+  // protect() reports instead of asserting.
+  EXPECT_FALSE(M.protect(0x1000, PageSize, PermRead));
+}
+
+TEST(AddressSpaceTest, RangeCheckSurvivesLengthWraparound) {
+  // Regression: the old check validated `contains(Addr + Len - 1)`, and
+  // `Addr + Len - 1` wraps at 2^32 — with Addr = Base + Size - 1 and
+  // Len = 2^32 - Size + 2 the wrapped end address lands back inside the
+  // segment and the check passed while the copy overran the host heap.
+  // The subtraction form must fault on every such pair.
+  AddressSpace M;
+  Trap F;
+  uint32_t Addr = M.base() + M.size() - 1;
+  uint32_t Len = static_cast<uint32_t>((1ull << 32) - M.size() + 2);
+  ASSERT_TRUE(M.contains(Addr));
+  ASSERT_TRUE(M.contains(Addr + Len - 1)); // the wrapped end looks in-range
+  EXPECT_FALSE(M.containsRange(Addr, Len));
+  EXPECT_EQ(M.hostPtr(Addr, Len), nullptr);
+  std::vector<char> Buf(16);
+  EXPECT_FALSE(M.hostRead(Addr, Buf.data(), Len));
+  EXPECT_FALSE(M.hostWrite(Addr, Buf.data(), Len));
+  EXPECT_FALSE(M.protect(Addr, Len, PermRead));
+  // The largest possible length from the last byte also faults.
+  EXPECT_FALSE(M.hostRead(Addr, Buf.data(), 0xffffffffu));
+  // The legitimate one-byte access at the segment end still works.
+  EXPECT_TRUE(M.hostRead(Addr, Buf.data(), 1));
+  uint32_t V;
+  EXPECT_TRUE(M.read8(Addr, V, F));
 }
 
 TEST(VerifierTest, AcceptsWellFormed) {
