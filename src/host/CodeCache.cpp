@@ -68,24 +68,27 @@ uint64_t omni::host::hashTargetCode(const target::TargetCode &Code) {
 }
 
 std::shared_ptr<const CachedTranslation> CodeCache::lookup(const CacheKey &K) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Map.find(K);
-  if (It == Map.end()) {
-    ++Misses;
+  Shard &S = Shards[shardOf(K)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(K);
+  if (It == S.Map.end()) {
+    ++S.Misses;
     return nullptr;
   }
   // Integrity gate: never execute an entry whose content no longer matches
   // the hash stored at insert time.
   if (hashTargetCode(*It->second.Value->Code) != It->second.Value->CodeHash) {
-    ++CorruptRejects;
-    ++Misses;
-    ResidentBytes -= It->second.Value->ByteSize;
-    Lru.erase(It->second.LruPos);
-    Map.erase(It);
+    ++S.CorruptRejects;
+    ++S.Misses;
+    ResidentBytes.fetch_sub(It->second.Value->ByteSize,
+                            std::memory_order_relaxed);
+    S.Lru.erase(It->second.LruPos);
+    S.Map.erase(It);
     return nullptr;
   }
-  ++Hits;
-  Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+  ++S.Hits;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruPos);
+  It->second.Tick = NextTick.fetch_add(1, std::memory_order_relaxed);
   return It->second.Value;
 }
 
@@ -105,56 +108,133 @@ CodeCache::insert(const CacheKey &K,
     ++Value->StaticCatCounts[static_cast<unsigned>(I.Cat)];
   Value->Code = std::move(Code);
 
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Map.find(K);
-  if (It != Map.end()) {
-    // Concurrent translators can race to the same key; keep the incumbent
-    // (translation is deterministic, so the values are identical).
-    Lru.splice(Lru.begin(), Lru, It->second.LruPos);
-    return It->second.Value;
+  Shard &S = Shards[shardOf(K)];
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(K);
+    if (It != S.Map.end()) {
+      // Concurrent translators can race to the same key; keep the
+      // incumbent (translation is deterministic, so the values are
+      // identical).
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruPos);
+      It->second.Tick = NextTick.fetch_add(1, std::memory_order_relaxed);
+      return It->second.Value;
+    }
+    S.Lru.push_front(K);
+    S.Map[K] = Entry{Value, S.Lru.begin(),
+                     NextTick.fetch_add(1, std::memory_order_relaxed)};
+    ResidentBytes.fetch_add(Value->ByteSize, std::memory_order_relaxed);
   }
-  Lru.push_front(K);
-  Map[K] = Entry{Value, Lru.begin()};
-  ResidentBytes += Value->ByteSize;
-  evictOverBudgetLocked(&K);
+  enforceBudget(&K);
   return Value;
 }
 
-void CodeCache::evictOverBudgetLocked(const CacheKey *Keep) {
-  while (ResidentBytes > Budget && !Lru.empty()) {
-    CacheKey Victim = Lru.back();
-    if (Keep && Victim == *Keep)
-      break; // never evict the entry just inserted
-    auto It = Map.find(Victim);
-    ResidentBytes -= It->second.Value->ByteSize;
-    Lru.pop_back();
-    Map.erase(It);
-    ++Evictions;
+void CodeCache::enforceBudget(const CacheKey *Keep) {
+  if (ResidentBytes.load(std::memory_order_relaxed) <=
+      Budget.load(std::memory_order_relaxed))
+    return;
+  // One evictor at a time; lookups and inserts on other shards proceed
+  // untouched. Never holds two shard locks, so there is no ordering cycle
+  // with the per-shard mutexes.
+  std::lock_guard<std::mutex> EvictLock(EvictMu);
+  while (ResidentBytes.load(std::memory_order_relaxed) >
+         Budget.load(std::memory_order_relaxed)) {
+    // The globally least-recently-used entry is the LRU tail of some
+    // shard, so the oldest evictable shard tail IS the global LRU victim.
+    int BestShard = -1;
+    uint64_t BestTick = ~0ull;
+    for (unsigned I = 0; I < NumShards; ++I) {
+      Shard &S = Shards[I];
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      for (auto It = S.Lru.rbegin(); It != S.Lru.rend(); ++It) {
+        if (Keep && *It == *Keep)
+          continue; // the just-inserted entry is never the victim
+        uint64_t Tick = S.Map.find(*It)->second.Tick;
+        if (Tick < BestTick) {
+          BestTick = Tick;
+          BestShard = static_cast<int>(I);
+        }
+        break; // only the shard's oldest evictable entry can be global LRU
+      }
+    }
+    if (BestShard < 0)
+      return; // nothing evictable (only the protected entry remains)
+    Shard &S = Shards[BestShard];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    // Re-find under the lock: a concurrent lookup may have promoted the
+    // old tail. Evicting the shard's current oldest evictable entry keeps
+    // the policy LRU-exact when quiescent and LRU-approximate under races.
+    for (auto It = S.Lru.rbegin(); It != S.Lru.rend(); ++It) {
+      if (Keep && *It == *Keep)
+        continue;
+      auto MapIt = S.Map.find(*It);
+      ResidentBytes.fetch_sub(MapIt->second.Value->ByteSize,
+                              std::memory_order_relaxed);
+      S.Lru.erase(std::next(It).base());
+      S.Map.erase(MapIt);
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
   }
 }
 
 void CodeCache::setByteBudget(size_t Bytes) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Budget = Bytes;
-  evictOverBudgetLocked(nullptr);
+  Budget.store(Bytes, std::memory_order_relaxed);
+  enforceBudget(nullptr);
 }
 
 void CodeCache::clear() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Map.clear();
-  Lru.clear();
-  ResidentBytes = 0;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &KV : S.Map)
+      ResidentBytes.fetch_sub(KV.second.Value->ByteSize,
+                              std::memory_order_relaxed);
+    S.Map.clear();
+    S.Lru.clear();
+  }
+}
+
+uint64_t CodeCache::hits() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total += S.Hits;
+  }
+  return Total;
+}
+
+uint64_t CodeCache::misses() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total += S.Misses;
+  }
+  return Total;
+}
+
+uint64_t CodeCache::corruptRejects() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total += S.CorruptRejects;
+  }
+  return Total;
 }
 
 size_t CodeCache::residentEntries() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Map.size();
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total += S.Map.size();
+  }
+  return Total;
 }
 
 bool CodeCache::tamperForTesting(const CacheKey &K) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Map.find(K);
-  if (It == Map.end())
+  Shard &S = Shards[shardOf(K)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(K);
+  if (It == S.Map.end())
     return false;
   It->second.Value->CodeHash ^= 0xdeadbeefull;
   return true;

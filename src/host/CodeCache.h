@@ -9,11 +9,15 @@
 /// optimization, scheduling, target — produces a distinct entry, so a hit
 /// can never hand back code translated under different rules.
 ///
-/// The cache holds a configurable byte budget and evicts least-recently
-/// used entries when inserts exceed it. Entries are handed out as
-/// shared_ptr, so eviction only drops the cache's reference: code a live
-/// session is still executing stays resident until the last session
-/// releases it.
+/// The cache is sharded by content hash so concurrent warm hits on
+/// different modules never serialize on one lock: each shard has its own
+/// mutex, key map, and recency list. Byte accounting and the budget are
+/// global (atomics), and eviction is exact LRU across shards: the globally
+/// least-recently-used entry is by construction the LRU tail of some
+/// shard, so the evictor compares shard tails by a global recency tick and
+/// removes the oldest. Entries are handed out as shared_ptr, so eviction
+/// only drops the cache's reference: code a live session is still
+/// executing stays resident until the last session releases it.
 ///
 /// Each entry stores an FNV-1a hash of its translated code, recomputed and
 /// checked on every lookup; a corrupted entry is discarded (and counted)
@@ -26,6 +30,7 @@
 #include "target/TargetInfo.h"
 #include "translate/Translator.h"
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
@@ -76,36 +81,53 @@ struct CachedTranslation {
   uint64_t StaticCatCounts[target::NumExpCats] = {};
 };
 
-/// Thread-safe LRU translation cache with a byte budget.
+/// Thread-safe, lock-sharded LRU translation cache with a global byte
+/// budget.
 class CodeCache {
 public:
   static constexpr size_t DefaultByteBudget = 64u << 20;
+  /// Lock shards. A power of two; content hashes are uniform, so eight
+  /// shards cut warm-hit lock contention by ~8x at any worker count the
+  /// serving layer realistically runs.
+  static constexpr unsigned NumShards = 8;
 
   explicit CodeCache(size_t ByteBudget = DefaultByteBudget)
       : Budget(ByteBudget) {}
+
+  /// Which shard \p K lives in: folded content hash, so entries spread
+  /// independently of target/options.
+  static unsigned shardOf(const CacheKey &K) {
+    return static_cast<unsigned>((K.ContentHash ^ (K.ContentHash >> 32)) %
+                                 NumShards);
+  }
 
   /// Returns the entry for \p K, or nullptr on miss. Verifies the stored
   /// integrity hash; a mismatch discards the entry and reports a miss.
   std::shared_ptr<const CachedTranslation> lookup(const CacheKey &K);
 
   /// Caches \p Code under \p K and returns the resulting entry. Evicts
-  /// least-recently-used entries while over budget (the new entry itself
-  /// is never evicted, so a single hot module works under any budget).
+  /// least-recently-used entries (across all shards) while over budget
+  /// (the new entry itself is never evicted, so a single hot module works
+  /// under any budget).
   std::shared_ptr<const CachedTranslation>
   insert(const CacheKey &K, std::shared_ptr<const target::TargetCode> Code,
          std::shared_ptr<const vm::Module> Exe);
 
   void setByteBudget(size_t Bytes);
-  size_t byteBudget() const { return Budget; }
+  size_t byteBudget() const { return Budget.load(std::memory_order_relaxed); }
 
   void clear();
 
   // Counters (monotonic) and gauges (current).
-  uint64_t hits() const { return Hits; }
-  uint64_t misses() const { return Misses; }
-  uint64_t evictions() const { return Evictions; }
-  uint64_t corruptRejects() const { return CorruptRejects; }
-  size_t residentBytes() const { return ResidentBytes; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  uint64_t corruptRejects() const;
+  size_t residentBytes() const {
+    return ResidentBytes.load(std::memory_order_relaxed);
+  }
   size_t residentEntries() const;
 
   /// Test hook: flips the stored integrity hash of \p K's entry so the
@@ -116,16 +138,30 @@ private:
   struct Entry {
     std::shared_ptr<CachedTranslation> Value;
     std::list<CacheKey>::iterator LruPos;
+    uint64_t Tick = 0; ///< global recency stamp (higher = more recent)
   };
 
-  void evictOverBudgetLocked(const CacheKey *Keep);
+  /// One lock shard: its own mutex, map, and recency list (front = most
+  /// recently used within the shard), plus shard-local counters folded on
+  /// read.
+  struct Shard {
+    mutable std::mutex Mu;
+    std::map<CacheKey, Entry> Map;
+    std::list<CacheKey> Lru;
+    uint64_t Hits = 0, Misses = 0, CorruptRejects = 0;
+  };
 
-  mutable std::mutex Mu;
-  std::map<CacheKey, Entry> Map;
-  std::list<CacheKey> Lru; ///< front = most recently used
-  size_t Budget;
-  size_t ResidentBytes = 0;
-  uint64_t Hits = 0, Misses = 0, Evictions = 0, CorruptRejects = 0;
+  /// Evicts globally-oldest shard tails until resident bytes fit the
+  /// budget. \p Keep (the entry an insert just added) is never evicted.
+  /// Serialized by EvictMu; never holds two shard locks at once.
+  void enforceBudget(const CacheKey *Keep);
+
+  Shard Shards[NumShards];
+  std::atomic<size_t> Budget;
+  std::atomic<size_t> ResidentBytes{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> NextTick{1};
+  std::mutex EvictMu;
 };
 
 } // namespace host

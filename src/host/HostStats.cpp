@@ -4,6 +4,10 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
 using namespace omni;
 using namespace omni::host;
 
@@ -23,6 +27,54 @@ const char *omni::host::getLoadStageName(LoadStage Stage) {
     return "bind";
   }
   return "unknown";
+}
+
+unsigned LatencyHistogram::bucketOf(uint64_t Ns) {
+  if (Ns < 4)
+    return static_cast<unsigned>(Ns);
+  unsigned Msb = std::bit_width(Ns) - 1; // >= 2
+  unsigned Sub = static_cast<unsigned>((Ns >> (Msb - 2)) & 3);
+  unsigned B = 4 + (Msb - 2) * 4 + Sub;
+  return std::min(B, NumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::bucketValueNs(unsigned B) {
+  if (B < 4)
+    return B;
+  unsigned Oct = (B - 4) / 4 + 2;
+  unsigned Sub = (B - 4) % 4;
+  uint64_t Lower = (1ull << Oct) | (static_cast<uint64_t>(Sub) << (Oct - 2));
+  return Lower + (1ull << (Oct - 2)) / 2; // midpoint of the sub-bucket
+}
+
+void LatencyHistogram::record(uint64_t Ns) {
+  ++Buckets[bucketOf(Ns)];
+  ++Count;
+  SumNs += Ns;
+  MaxNs = std::max(MaxNs, Ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram &O) {
+  for (unsigned B = 0; B < NumBuckets; ++B)
+    Buckets[B] += O.Buckets[B];
+  Count += O.Count;
+  SumNs += O.SumNs;
+  MaxNs = std::max(MaxNs, O.MaxNs);
+}
+
+uint64_t LatencyHistogram::quantileNs(double Q) const {
+  if (!Count)
+    return 0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Q * Count));
+  Rank = std::max<uint64_t>(Rank, 1);
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Cum += Buckets[B];
+    if (Cum >= Rank)
+      return std::min(bucketValueNs(B), MaxNs);
+  }
+  return MaxNs;
 }
 
 uint64_t HostStats::totalRejects() const {
@@ -84,5 +136,32 @@ std::string HostStats::dump() const {
       S, "  resident: %llu bytes in %llu entries\n",
       static_cast<unsigned long long>(ResidentBytes),
       static_cast<unsigned long long>(ResidentEntries));
+  if (Serving.active()) {
+    appendFormat(
+        S,
+        "  serving:  %llu submitted, %llu completed (%llu executed, "
+        "%llu load-rejected), %llu rejected-on-full\n",
+        static_cast<unsigned long long>(Serving.Submitted),
+        static_cast<unsigned long long>(Serving.Completed),
+        static_cast<unsigned long long>(Serving.Executed),
+        static_cast<unsigned long long>(Serving.LoadRejected),
+        static_cast<unsigned long long>(Serving.RejectedOnFull));
+    appendFormat(
+        S, "  queue:    high-water %llu, wait p50 %.3f ms, p99 %.3f ms\n",
+        static_cast<unsigned long long>(Serving.QueueHighWater),
+        static_cast<double>(Serving.QueueWait.quantileNs(0.5)) / 1e6,
+        static_cast<double>(Serving.QueueWait.quantileNs(0.99)) / 1e6);
+    appendFormat(
+        S, "  latency:  p50 %.3f ms, p99 %.3f ms, max %.3f ms, mean %.3f ms\n",
+        static_cast<double>(Serving.Latency.quantileNs(0.5)) / 1e6,
+        static_cast<double>(Serving.Latency.quantileNs(0.99)) / 1e6,
+        static_cast<double>(Serving.Latency.MaxNs) / 1e6,
+        static_cast<double>(Serving.Latency.meanNs()) / 1e6);
+    for (size_t W = 0; W < Serving.Workers.size(); ++W)
+      appendFormat(
+          S, "  worker %2zu: %llu requests, %.3f ms busy\n", W,
+          static_cast<unsigned long long>(Serving.Workers[W].Processed),
+          static_cast<double>(Serving.Workers[W].BusyNs) / 1e6);
+  }
   return S;
 }

@@ -4,8 +4,10 @@
 /// Plain-struct observability for the hosting service: per-stage load
 /// timing (verify / translate / bind), cache effectiveness counters,
 /// per-stage structured-reject counters, per-kind contained-trap counters,
-/// and resident-code gauges. A snapshot is cheap to take and has no
-/// behavior; dump() renders the standard text report.
+/// resident-code gauges, and — when a Server is running — serving-layer
+/// accounting (queue depth, backpressure rejections, per-worker load, and
+/// latency histograms with p50/p99 extraction). A snapshot is cheap to
+/// take and has no behavior; dump() renders the standard text report.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef OMNI_HOST_HOSTSTATS_H
@@ -15,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace omni {
 namespace host {
@@ -34,6 +37,55 @@ constexpr unsigned NumLoadStages = 6;
 
 /// Human-readable name of a load stage.
 const char *getLoadStageName(LoadStage Stage);
+
+/// Fixed-footprint latency histogram: exact below 4 ns, then four
+/// sub-buckets per power of two (quantiles resolve within ~25%). Cheap to
+/// record into, mergeable, and quantile extraction needs no stored
+/// samples — the shape a per-request hot path wants.
+struct LatencyHistogram {
+  /// 0..3 exact, then 4 sub-buckets per octave for 2^2..2^39 ns (~18 min).
+  static constexpr unsigned NumBuckets = 4 + 38 * 4;
+
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t SumNs = 0;
+  uint64_t MaxNs = 0;
+
+  static unsigned bucketOf(uint64_t Ns);
+  /// Representative (midpoint) value of bucket \p B in nanoseconds.
+  static uint64_t bucketValueNs(unsigned B);
+
+  void record(uint64_t Ns);
+  void merge(const LatencyHistogram &O);
+
+  /// Latency at quantile \p Q in [0,1] (0 when empty). quantileNs(0.5) is
+  /// p50; quantileNs(0.99) is p99.
+  uint64_t quantileNs(double Q) const;
+  uint64_t meanNs() const { return Count ? SumNs / Count : 0; }
+};
+
+/// One serving worker's share of the request stream.
+struct WorkerStats {
+  uint64_t Processed = 0; ///< requests this worker completed
+  uint64_t BusyNs = 0;    ///< wall time spent executing requests
+};
+
+/// Serving-layer accounting (filled by host::Server). Totals obey
+/// Submitted == Completed after a drain, and Completed == Executed +
+/// LoadRejected: every accepted request is answered exactly once.
+struct ServingStats {
+  uint64_t Submitted = 0;      ///< requests accepted into the queue
+  uint64_t RejectedOnFull = 0; ///< backpressure: queue-full submit refusals
+  uint64_t Completed = 0;      ///< responses delivered
+  uint64_t Executed = 0;       ///< responses that ran a session
+  uint64_t LoadRejected = 0;   ///< responses refused with a LoadError
+  uint64_t QueueHighWater = 0; ///< deepest the request queue ever got
+  LatencyHistogram QueueWait;  ///< submit -> dequeue
+  LatencyHistogram Latency;    ///< submit -> response delivered
+  std::vector<WorkerStats> Workers; ///< per-worker accounting
+
+  bool active() const { return Submitted || RejectedOnFull; }
+};
 
 /// Snapshot of the hosting service's counters and gauges.
 struct HostStats {
@@ -68,6 +120,9 @@ struct HostStats {
   // Gauges (state at snapshot time).
   uint64_t ResidentBytes = 0;
   uint64_t ResidentEntries = 0;
+
+  // Serving layer (empty unless the snapshot came from a Server).
+  ServingStats Serving;
 
   uint64_t rejects(LoadStage Stage) const {
     return Rejects[static_cast<unsigned>(Stage)];

@@ -82,17 +82,17 @@ void ModuleHost::reject(LoadError &Err, LoadStage Stage, uint64_t ContentHash,
   Err.Stage = Stage;
   Err.ContentHash = ContentHash;
   Err.Message = std::move(Message);
-  std::lock_guard<std::mutex> Lock(StatsMu);
-  ++Counters.Rejects[static_cast<unsigned>(Stage)];
+  Counters.Rejects[static_cast<unsigned>(Stage)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ModuleHost::recordTrap(vm::TrapKind Kind) {
-  std::lock_guard<std::mutex> Lock(StatsMu);
-  ++Counters.Traps[static_cast<unsigned>(Kind)];
+  Counters.Traps[static_cast<unsigned>(Kind)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ModuleHost::setFaultInjector(std::shared_ptr<const FaultInjector> FI) {
-  std::lock_guard<std::mutex> Lock(StatsMu);
+  std::lock_guard<std::mutex> Lock(InjectorMu);
   Injector = std::move(FI);
 }
 
@@ -130,10 +130,7 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
   LM->Kind = Kind;
   LM->Seg = segmentFor(Exe);
   LM->ContentHash = contentHash(Exe);
-  {
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    ++Counters.LoadCount;
-  }
+  Counters.LoadCount.fetch_add(1, std::memory_order_relaxed);
 
   std::string Message;
   if (!checkResources(Exe, LM->Seg, Limits, Message)) {
@@ -158,11 +155,8 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
   std::vector<std::string> VerifyErrors;
   bool Verified = vm::verifyExecutable(Exe, VerifyErrors);
   uint64_t VerifyTime = nsSince(VerifyStart);
-  {
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    ++Counters.VerifyCount;
-    Counters.VerifyNs += VerifyTime;
-  }
+  Counters.VerifyCount.fetch_add(1, std::memory_order_relaxed);
+  Counters.VerifyNs.fetch_add(VerifyTime, std::memory_order_relaxed);
   if (!Verified) {
     reject(Err, LoadStage::Verify, LM->ContentHash, VerifyErrors.front());
     return nullptr;
@@ -175,11 +169,8 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
   bool Translated =
       translate::translate(Kind, Exe, Opts, LM->Seg, *Code, TranslateError);
   uint64_t TranslateTime = nsSince(TranslateStart);
-  {
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    ++Counters.TranslateCount;
-    Counters.TranslateNs += TranslateTime;
-  }
+  Counters.TranslateCount.fetch_add(1, std::memory_order_relaxed);
+  Counters.TranslateNs.fetch_add(TranslateTime, std::memory_order_relaxed);
   if (!Translated) {
     reject(Err, LoadStage::Translate, LM->ContentHash,
            std::move(TranslateError));
@@ -228,10 +219,7 @@ ModuleHost::loadForInterpreter(const vm::Module &Exe, LoadError &Err) {
   auto LM = std::make_shared<LoadedModule>();
   LM->Seg = segmentFor(Exe);
   LM->ContentHash = contentHash(Exe);
-  {
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    ++Counters.LoadCount;
-  }
+  Counters.LoadCount.fetch_add(1, std::memory_order_relaxed);
 
   std::string Message;
   if (!checkResources(Exe, LM->Seg, Limits, Message)) {
@@ -245,11 +233,8 @@ ModuleHost::loadForInterpreter(const vm::Module &Exe, LoadError &Err) {
   std::vector<std::string> VerifyErrors;
   bool Verified = vm::verifyExecutable(Exe, VerifyErrors);
   uint64_t VerifyTime = nsSince(VerifyStart);
-  {
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    ++Counters.VerifyCount;
-    Counters.VerifyNs += VerifyTime;
-  }
+  Counters.VerifyCount.fetch_add(1, std::memory_order_relaxed);
+  Counters.VerifyNs.fetch_add(VerifyTime, std::memory_order_relaxed);
   if (!Verified) {
     reject(Err, LoadStage::Verify, LM->ContentHash, VerifyErrors.front());
     return nullptr;
@@ -293,7 +278,7 @@ std::unique_ptr<Session> ModuleHost::createSession(
       ExtraSetup(S->Env);
     std::shared_ptr<const FaultInjector> FI;
     {
-      std::lock_guard<std::mutex> Lock(StatsMu);
+      std::lock_guard<std::mutex> Lock(InjectorMu);
       FI = Injector;
     }
     if (FI)
@@ -305,12 +290,9 @@ std::unique_ptr<Session> ModuleHost::createSession(
              std::move(Error));
   }
   uint64_t BindTime = nsSince(BindStart);
-  {
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    ++Counters.BindCount;
-    Counters.BindNs += BindTime;
-    ++Counters.SessionCount;
-  }
+  Counters.BindCount.fetch_add(1, std::memory_order_relaxed);
+  Counters.BindNs.fetch_add(BindTime, std::memory_order_relaxed);
+  Counters.SessionCount.fetch_add(1, std::memory_order_relaxed);
   return S;
 }
 
@@ -411,10 +393,18 @@ runtime::TargetRunResult ModuleHost::runTarget(
 
 HostStats ModuleHost::stats() const {
   HostStats S;
-  {
-    std::lock_guard<std::mutex> Lock(StatsMu);
-    S = Counters;
-  }
+  S.VerifyCount = Counters.VerifyCount.load(std::memory_order_relaxed);
+  S.TranslateCount = Counters.TranslateCount.load(std::memory_order_relaxed);
+  S.BindCount = Counters.BindCount.load(std::memory_order_relaxed);
+  S.VerifyNs = Counters.VerifyNs.load(std::memory_order_relaxed);
+  S.TranslateNs = Counters.TranslateNs.load(std::memory_order_relaxed);
+  S.BindNs = Counters.BindNs.load(std::memory_order_relaxed);
+  S.LoadCount = Counters.LoadCount.load(std::memory_order_relaxed);
+  S.SessionCount = Counters.SessionCount.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < NumLoadStages; ++I)
+    S.Rejects[I] = Counters.Rejects[I].load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < vm::NumTrapKinds; ++I)
+    S.Traps[I] = Counters.Traps[I].load(std::memory_order_relaxed);
   S.CacheHits = Cache.hits();
   S.CacheMisses = Cache.misses();
   S.CacheEvictions = Cache.evictions();

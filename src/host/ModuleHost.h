@@ -41,8 +41,10 @@
 #include "runtime/Run.h"
 #include "vm/Interpreter.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -225,9 +227,21 @@ private:
   CodeCache Cache;
   HostLimits Limits;
 
-  mutable std::mutex StatsMu;
-  HostStats Counters; ///< cache fields unused; filled from Cache in stats()
-  std::shared_ptr<const FaultInjector> Injector; ///< guarded by StatsMu
+  /// Lock-free lifecycle counters. The serving layer's warm path bumps
+  /// several of these on every request from every worker, so they must
+  /// not serialize on one mutex; cache fields live in CodeCache and are
+  /// folded in by stats().
+  struct AtomicCounters {
+    std::atomic<uint64_t> VerifyCount{0}, TranslateCount{0}, BindCount{0};
+    std::atomic<uint64_t> VerifyNs{0}, TranslateNs{0}, BindNs{0};
+    std::atomic<uint64_t> LoadCount{0}, SessionCount{0};
+    std::atomic<uint64_t> Rejects[NumLoadStages] = {};
+    std::atomic<uint64_t> Traps[vm::NumTrapKinds] = {};
+  };
+  AtomicCounters Counters;
+
+  mutable std::mutex InjectorMu;
+  std::shared_ptr<const FaultInjector> Injector; ///< guarded by InjectorMu
 };
 
 } // namespace host

@@ -1,0 +1,196 @@
+//===- host/Server.cpp -----------------------------------------------------===//
+
+#include "host/Server.h"
+
+#include <algorithm>
+
+using namespace omni;
+using namespace omni::host;
+
+Server::Server(ModuleHost &HostIn, Options Opts) : Host(HostIn), Opt(Opts) {
+  if (Opt.Workers == 0) {
+    unsigned Hw = std::thread::hardware_concurrency();
+    Opt.Workers = Hw ? Hw : 1;
+  }
+  if (Opt.QueueCapacity == 0)
+    Opt.QueueCapacity = 1;
+  if (Opt.MaxStepBudget == 0 || Opt.MaxStepBudget > vm::DefaultStepBudget)
+    Opt.MaxStepBudget = vm::DefaultStepBudget;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Serving.Workers.resize(Opt.Workers);
+  }
+  Pool.reserve(Opt.Workers);
+  for (unsigned I = 0; I < Opt.Workers; ++I)
+    Pool.emplace_back([this, I] { workerMain(I); });
+}
+
+Server::~Server() { shutdown(); }
+
+bool Server::accepting() const {
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  return Accepting;
+}
+
+bool Server::submit(Request Req, Callback Done, bool Wait) {
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  if (Wait)
+    SpaceCv.wait(Lock, [this] {
+      return !Accepting || Queue.size() < Opt.QueueCapacity;
+    });
+  if (!Accepting)
+    return false; // shut down: not a backpressure event
+  if (Queue.size() >= Opt.QueueCapacity) {
+    Lock.unlock();
+    std::lock_guard<std::mutex> SLock(StatsMu);
+    ++Serving.RejectedOnFull;
+    return false;
+  }
+  Queue.push_back(Job{std::move(Req), std::move(Done), Clock::now()});
+  size_t Depth = Queue.size();
+  Lock.unlock();
+  WorkCv.notify_one();
+  std::lock_guard<std::mutex> SLock(StatsMu);
+  ++Serving.Submitted;
+  Serving.QueueHighWater = std::max<uint64_t>(Serving.QueueHighWater, Depth);
+  return true;
+}
+
+Response Server::call(Request Req) {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Ready = false;
+  Response Out;
+  bool Ok = submit(
+      std::move(Req),
+      [&](Response R) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Out = std::move(R);
+        Ready = true;
+        Cv.notify_one();
+      },
+      /*Wait=*/true);
+  if (!Ok) {
+    Out.Load.Stage = LoadStage::Bind;
+    Out.Load.Message = "server is shut down";
+    Out.Run.Trap = vm::Trap::hostError(vm::HostErrInvalidSession);
+    Out.Run.Output = Out.Load.str();
+    return Out;
+  }
+  std::unique_lock<std::mutex> Lock(Mu);
+  Cv.wait(Lock, [&] { return Ready; });
+  return Out;
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Accepting = false;
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  SpaceCv.notify_all();
+  // Serialize joining so concurrent shutdown() calls are safe.
+  std::lock_guard<std::mutex> JoinLock(JoinMu);
+  for (std::thread &T : Pool)
+    if (T.joinable())
+      T.join();
+}
+
+Response Server::execute(Request &Req, unsigned Index) {
+  Response Rsp;
+  Rsp.Worker = Index;
+  std::shared_ptr<const LoadedModule> LM = Req.Module;
+  if (!LM) {
+    LoadError Err;
+    LM = Host.loadBytes(Req.Kind, Req.Owx, Req.Opts, Err);
+    if (!LM) {
+      // Structured per-request refusal; the reject is already counted in
+      // the host's per-stage counters.
+      Rsp.Load = Err;
+      Rsp.Run.Trap = vm::Trap::hostError(vm::HostErrInvalidSession);
+      Rsp.Run.Output = Err.str();
+      return Rsp;
+    }
+  }
+  auto S = Host.createSession(std::move(LM), Req.ExtraSetup);
+  uint64_t Budget = Req.StepBudget ? Req.StepBudget : Opt.MaxStepBudget;
+  Budget = std::min(Budget, Opt.MaxStepBudget);
+  Rsp.Run = S->run(Budget);
+  if (!S->valid())
+    Rsp.Load = S->loadError();
+  else
+    Rsp.Executed = true;
+  return Rsp;
+}
+
+void Server::workerMain(unsigned Index) {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      WorkCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping)
+          return; // graceful drain: exit only once the backlog is empty
+        continue;
+      }
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ++InFlight;
+    }
+    SpaceCv.notify_one();
+
+    auto DequeueTime = Clock::now();
+    Response Rsp = execute(J.Req, Index);
+    auto DoneTime = Clock::now();
+    Rsp.QueueNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(DequeueTime -
+                                                             J.SubmitTime)
+            .count());
+    Rsp.TotalNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(DoneTime -
+                                                             J.SubmitTime)
+            .count());
+    {
+      std::lock_guard<std::mutex> SLock(StatsMu);
+      ++Serving.Completed;
+      if (Rsp.Executed)
+        ++Serving.Executed;
+      else
+        ++Serving.LoadRejected;
+      Serving.QueueWait.record(Rsp.QueueNs);
+      Serving.Latency.record(Rsp.TotalNs);
+      WorkerStats &W = Serving.Workers[Index];
+      ++W.Processed;
+      W.BusyNs += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(DoneTime -
+                                                               DequeueTime)
+              .count());
+    }
+    if (J.Done)
+      J.Done(std::move(Rsp));
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        IdleCv.notify_all();
+    }
+  }
+}
+
+ServingStats Server::servingStats() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  return Serving;
+}
+
+HostStats Server::stats() const {
+  HostStats S = Host.stats();
+  S.Serving = servingStats();
+  return S;
+}

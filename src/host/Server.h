@@ -1,0 +1,163 @@
+//===- host/Server.h - Concurrent mobile-code serving loop ------*- C++ -*-===//
+///
+/// \file
+/// The traffic-facing layer of the hosting service: a bounded MPMC request
+/// queue in front of N worker threads, each executing isolated Sessions
+/// against the shared ModuleHost (and through it the sharded,
+/// content-addressed CodeCache). One Server turns the single-shot host
+/// into a throughput system:
+///
+///   submit -> [bounded queue] -> worker pool -> Session::run -> callback
+///
+/// Queue semantics: submissions are accepted in order; workers dequeue
+/// FIFO. The queue is bounded — when full, a non-waiting submit is refused
+/// immediately (backpressure; counted in ServingStats::RejectedOnFull) so
+/// overload surfaces at the edge instead of growing an unbounded backlog.
+/// A waiting submit blocks until space frees.
+///
+/// Deadlines: every request runs under a step budget clamped to
+/// Options::MaxStepBudget (default vm::DefaultStepBudget), so a runaway
+/// module costs one bounded worker-slice, never a wedged worker.
+///
+/// Shutdown contract: shutdown() (and the destructor) stops accepting new
+/// requests, lets the workers drain every request already accepted —
+/// each accepted request is answered exactly once, even during shutdown —
+/// and joins the pool. drain() waits for the backlog to empty without
+/// stopping the server.
+///
+/// Isolation: each request gets its own Session (private address space and
+/// host environment) bound to the shared immutable translation; a hostile
+/// or trapping request affects nothing but its own response.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_HOST_SERVER_H
+#define OMNI_HOST_SERVER_H
+
+#include "host/ModuleHost.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <thread>
+
+namespace omni {
+namespace host {
+
+/// One unit of work: execute a module once. Either a pre-loaded handle
+/// (the warm path — any number of requests share one translation) or raw
+/// OWX wire bytes, which a worker runs through the full untrusted
+/// deserialize -> verify -> translate pipeline.
+struct Request {
+  /// Pre-loaded module; when null, Owx is loaded on the worker.
+  std::shared_ptr<const LoadedModule> Module;
+  /// OWX wire bytes (used only when Module is null).
+  std::vector<uint8_t> Owx;
+  target::TargetKind Kind = target::TargetKind::Mips;
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  /// Per-request execution deadline in VM/native steps; clamped to the
+  /// server's MaxStepBudget. 0 means the server maximum.
+  uint64_t StepBudget = vm::DefaultStepBudget;
+  /// Extra host-function grants applied before import binding.
+  std::function<void(runtime::HostEnv &)> ExtraSetup;
+};
+
+/// The answer to one Request. Exactly one Response is delivered per
+/// accepted request.
+struct Response {
+  runtime::RunResult Run; ///< trap, captured output, instruction count
+  /// Structured load/bind refusal; ok() when the request executed.
+  LoadError Load;
+  bool Executed = false; ///< a session actually ran
+  unsigned Worker = 0;   ///< which worker served it
+  uint64_t QueueNs = 0;  ///< time spent queued (submit -> dequeue)
+  uint64_t TotalNs = 0;  ///< submit -> response complete
+};
+
+/// Multi-worker serving loop over a ModuleHost. Thread-safe: any number
+/// of threads may submit concurrently with each other and with shutdown.
+class Server {
+public:
+  struct Options {
+    /// Worker threads; 0 means hardware_concurrency (at least 1).
+    unsigned Workers = 0;
+    /// Queue slots before submissions are refused (backpressure).
+    size_t QueueCapacity = 256;
+    /// Ceiling on any request's step budget.
+    uint64_t MaxStepBudget = vm::DefaultStepBudget;
+  };
+
+  using Callback = std::function<void(Response)>;
+
+  explicit Server(ModuleHost &Host) : Server(Host, Options()) {}
+  Server(ModuleHost &Host, Options Opts);
+  ~Server(); ///< shutdown(): drains accepted work, joins workers
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Enqueues \p Req; \p Done runs on a worker thread when the request
+  /// completes. Returns false without enqueueing when the server has
+  /// stopped accepting, or when the queue is full and \p Wait is false
+  /// (counted as a backpressure rejection). With \p Wait true, blocks
+  /// until a slot frees (or the server stops accepting).
+  bool submit(Request Req, Callback Done, bool Wait = false);
+
+  /// Blocking round trip: waiting submit + wait for the response.
+  Response call(Request Req);
+
+  /// Waits until every accepted request has been answered. The server
+  /// keeps accepting; use shutdown() to stop it.
+  void drain();
+
+  /// Stops accepting, drains every accepted request, joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  bool accepting() const;
+  unsigned workers() const { return static_cast<unsigned>(Pool.size()); }
+  ModuleHost &host() { return Host; }
+
+  /// Serving-layer counters and latency histograms.
+  ServingStats servingStats() const;
+
+  /// The owning host's full snapshot with this server's serving section
+  /// folded in.
+  HostStats stats() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Request Req;
+    Callback Done;
+    Clock::time_point SubmitTime;
+  };
+
+  void workerMain(unsigned Index);
+  /// Load (if needed), bind, and run one request on this worker.
+  Response execute(Request &Req, unsigned Index);
+
+  ModuleHost &Host;
+  Options Opt;
+
+  mutable std::mutex QueueMu;
+  std::condition_variable WorkCv;  ///< workers: queue non-empty or stopping
+  std::condition_variable SpaceCv; ///< waiting submitters: a slot freed
+  std::condition_variable IdleCv;  ///< drain(): no queued or in-flight work
+  std::deque<Job> Queue;
+  bool Accepting = true;
+  bool Stopping = false;
+  unsigned InFlight = 0;
+
+  mutable std::mutex StatsMu;
+  ServingStats Serving;
+
+  std::mutex JoinMu; ///< serializes shutdown()'s joins
+  std::vector<std::thread> Pool;
+};
+
+} // namespace host
+} // namespace omni
+
+#endif // OMNI_HOST_SERVER_H

@@ -1,0 +1,260 @@
+//===- tests/cache_property.cpp - sharded CodeCache property tests ---------===//
+///
+/// Randomized concurrent properties of the sharded, content-addressed
+/// translation cache: under hit/miss/evict churn from many threads the
+/// cache (a) never settles above its LRU byte budget, (b) never exceeds
+/// the budget by more than the in-flight insert slack while churning,
+/// (c) never returns an entry whose translated code fails its integrity
+/// hash, and (d) reconciles hits + misses with the number of lookups
+/// performed. All randomness is fixed-seed and the seed is printed on
+/// failure.
+
+#include "host/CodeCache.h"
+#include "host/ModuleHost.h"
+
+#include "driver/Compiler.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+using namespace omni;
+using host::CacheKey;
+using host::CachedTranslation;
+using host::CodeCache;
+using host::ModuleHost;
+
+namespace {
+
+constexpr uint32_t BaseSeed = 0x5EED5EEDu;
+
+/// One pre-translated module the churn threads replay against the cache.
+struct Candidate {
+  CacheKey Key;
+  std::shared_ptr<const target::TargetCode> Code;
+  std::shared_ptr<const vm::Module> Exe;
+  uint64_t ExpectHash = 0;
+  size_t ByteSize = 0;
+};
+
+/// Compiles and translates \p Count distinct modules (each a different
+/// program, so distinct content hashes) for mips/mobile settings.
+std::vector<Candidate> makeCandidates(unsigned Count) {
+  std::vector<Candidate> Out;
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  for (unsigned I = 0; I < Count; ++I) {
+    std::string Source = formatStr(R"(
+void print_int(int);
+int main() {
+  int i, acc = %u;
+  for (i = 0; i < %u; i++) acc += i * %u;
+  print_int(acc);
+  return 0;
+}
+)",
+                                   I + 1, (I % 7) + 3, I + 2);
+    driver::CompileOptions COpts;
+    vm::Module Exe;
+    std::string Error;
+    EXPECT_TRUE(driver::compileAndLink(Source, COpts, Exe, Error)) << Error;
+
+    Candidate C;
+    translate::SegmentLayout Seg = ModuleHost::segmentFor(Exe);
+    uint64_t ContentHash = ModuleHost::contentHash(Exe);
+    C.Key = host::makeCacheKey(ContentHash, target::TargetKind::Mips, Opts,
+                               Seg);
+    auto Code = std::make_shared<target::TargetCode>();
+    EXPECT_TRUE(translate::translate(target::TargetKind::Mips, Exe, Opts, Seg,
+                                     *Code, Error))
+        << Error;
+    C.ExpectHash = host::hashTargetCode(*Code);
+    C.Code = std::move(Code);
+    C.Exe = std::make_shared<vm::Module>(std::move(Exe));
+    Out.push_back(std::move(C));
+  }
+  // Distinct programs must hash to distinct content addresses.
+  for (unsigned I = 0; I < Count; ++I)
+    for (unsigned J = I + 1; J < Count; ++J)
+      EXPECT_FALSE(Out[I].Key == Out[J].Key) << I << " vs " << J;
+  return Out;
+}
+
+/// Probe pass: learn each candidate's charged byte size (and the max)
+/// from a throwaway unbounded cache.
+size_t learnSizes(std::vector<Candidate> &Cands) {
+  CodeCache Probe(size_t(1) << 30);
+  size_t MaxEntry = 0;
+  for (Candidate &C : Cands) {
+    auto E = Probe.insert(C.Key, C.Code, C.Exe);
+    EXPECT_NE(E, nullptr) << "probe insert failed";
+    if (!E)
+      continue;
+    C.ByteSize = E->ByteSize;
+    EXPECT_GT(C.ByteSize, 0u);
+    MaxEntry = std::max(MaxEntry, C.ByteSize);
+  }
+  return MaxEntry;
+}
+
+} // namespace
+
+TEST(CacheProperty, ConcurrentChurnHoldsBudgetAndIntegrity) {
+  constexpr unsigned NumModules = 28;
+  constexpr unsigned Threads = 8;
+  constexpr unsigned OpsPerThread = 2000;
+
+  std::vector<Candidate> Cands = makeCandidates(NumModules);
+  size_t MaxEntry = 0;
+  { SCOPED_TRACE("size probe"); MaxEntry = learnSizes(Cands); }
+  ASSERT_GT(MaxEntry, 0u);
+
+  // Budget about 8 entries' worth: far fewer than 28 modules, so the
+  // churn constantly evicts, and comfortably above MaxEntry, so the
+  // quiescent bound below is exact.
+  const size_t Budget = 8 * MaxEntry;
+  CodeCache Cache(Budget);
+
+  std::atomic<uint64_t> Lookups{0};
+  std::atomic<bool> IntegrityOk{true};
+  std::atomic<bool> Done{false};
+
+  // Monitor: while churning, resident bytes may transiently exceed the
+  // budget only by the in-flight insert slack (each thread can have at
+  // most one insert charged but not yet budget-enforced).
+  const size_t ChurnCeiling = Budget + Threads * MaxEntry;
+  std::atomic<size_t> ResidentHighWater{0};
+  std::thread Monitor([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      size_t R = Cache.residentBytes();
+      size_t Prev = ResidentHighWater.load();
+      while (R > Prev && !ResidentHighWater.compare_exchange_weak(Prev, R))
+        ;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      std::mt19937 Rng(BaseSeed + T);
+      std::uniform_int_distribution<unsigned> Pick(0, NumModules - 1);
+      for (unsigned Op = 0; Op < OpsPerThread; ++Op) {
+        // Skew toward a hot quarter of the modules so the mix has real
+        // warm hits, not just a uniform miss storm.
+        unsigned I = Pick(Rng);
+        if (Rng() % 4 != 0)
+          I %= NumModules / 4;
+        const Candidate &C = Cands[I];
+        std::shared_ptr<const CachedTranslation> E = Cache.lookup(C.Key);
+        Lookups.fetch_add(1, std::memory_order_relaxed);
+        if (!E)
+          E = Cache.insert(C.Key, C.Code, C.Exe);
+        // Every entry handed back must carry this module's translation,
+        // bit-exact: stored hash, recomputed hash, and the expected hash
+        // from translation time all agree.
+        if (!E || E->CodeHash != C.ExpectHash ||
+            host::hashTargetCode(*E->Code) != C.ExpectHash) {
+          IntegrityOk.store(false, std::memory_order_relaxed);
+          ADD_FAILURE() << "integrity violation on module " << I
+                        << " (thread " << T << ", op " << Op << ", seed "
+                        << (BaseSeed + T) << ")";
+          return;
+        }
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Monitor.join();
+
+  EXPECT_TRUE(IntegrityOk.load());
+  EXPECT_LE(ResidentHighWater.load(), ChurnCeiling)
+      << "budget " << Budget << ", max entry " << MaxEntry;
+
+  // Quiescent: the last budget enforcement saw the final resident set.
+  EXPECT_LE(Cache.residentBytes(), Budget);
+  EXPECT_GT(Cache.residentEntries(), 0u);
+  EXPECT_LE(Cache.residentEntries(), NumModules);
+
+  // Accounting reconciles exactly: every lookup was a hit or a miss.
+  EXPECT_EQ(Cache.hits() + Cache.misses(), Lookups.load());
+  EXPECT_GT(Cache.hits(), 0u);
+  EXPECT_GT(Cache.evictions(), 0u)
+      << "28 modules churned through an 8-entry budget must evict";
+  EXPECT_EQ(Cache.corruptRejects(), 0u);
+}
+
+TEST(CacheProperty, ExactLruEvictionAcrossShards) {
+  std::vector<Candidate> Cands = makeCandidates(6);
+  { SCOPED_TRACE("size probe"); (void)learnSizes(Cands); }
+
+  // Budget for exactly the first three entries, so a fourth insert must
+  // evict, starting with the globally least-recently-used entry.
+  const size_t S0 = Cands[0].ByteSize, S1 = Cands[1].ByteSize,
+               S2 = Cands[2].ByteSize, S3 = Cands[3].ByteSize;
+  ASSERT_LE(S3, S1 + S2) << "candidate sizes diverged; adjust the programs";
+  CodeCache Cache(S0 + S1 + S2);
+  for (unsigned I = 0; I < 3; ++I)
+    ASSERT_NE(Cache.insert(Cands[I].Key, Cands[I].Code, Cands[I].Exe),
+              nullptr);
+  ASSERT_EQ(Cache.residentEntries(), 3u);
+
+  // Touch 0 so 1 becomes the globally oldest, then insert 3: the evictor
+  // removes 1 first (exact LRU across shards), and 0 — the freshest of
+  // the old entries — survives.
+  ASSERT_NE(Cache.lookup(Cands[0].Key), nullptr);
+  ASSERT_NE(Cache.insert(Cands[3].Key, Cands[3].Code, Cands[3].Exe), nullptr);
+  EXPECT_EQ(Cache.lookup(Cands[1].Key), nullptr) << "LRU entry must go first";
+  EXPECT_NE(Cache.lookup(Cands[0].Key), nullptr);
+  if (S3 <= S1) { // 3 fits in 1's slot, so 2 keeps its residency too
+    EXPECT_NE(Cache.lookup(Cands[2].Key), nullptr);
+  }
+  EXPECT_NE(Cache.lookup(Cands[3].Key), nullptr);
+  EXPECT_GE(Cache.evictions(), 1u);
+  EXPECT_LE(Cache.residentBytes(), Cache.byteBudget());
+
+  // A just-inserted entry is never its own eviction victim, even under a
+  // budget smaller than the entry.
+  CodeCache Tiny(1);
+  auto E = Tiny.insert(Cands[4].Key, Cands[4].Code, Cands[4].Exe);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(Tiny.residentEntries(), 1u);
+  EXPECT_NE(Tiny.lookup(Cands[4].Key), nullptr);
+  // ... but it is the first victim once a newer insert needs the room.
+  ASSERT_NE(Tiny.insert(Cands[5].Key, Cands[5].Code, Cands[5].Exe), nullptr);
+  EXPECT_EQ(Tiny.lookup(Cands[4].Key), nullptr);
+  EXPECT_NE(Tiny.lookup(Cands[5].Key), nullptr);
+}
+
+TEST(CacheProperty, CorruptedEntriesAreDiscardedNeverServed) {
+  std::vector<Candidate> Cands = makeCandidates(2);
+  CodeCache Cache;
+  ASSERT_NE(Cache.insert(Cands[0].Key, Cands[0].Code, Cands[0].Exe), nullptr);
+  ASSERT_NE(Cache.insert(Cands[1].Key, Cands[1].Code, Cands[1].Exe), nullptr);
+  ASSERT_NE(Cache.lookup(Cands[0].Key), nullptr);
+
+  // Sequential tamper (the hook mutates the shared entry in place, so it
+  // must never race a concurrent phase): the integrity gate turns the
+  // corrupted entry into a counted miss instead of serving it.
+  uint64_t MissesBefore = Cache.misses();
+  ASSERT_TRUE(Cache.tamperForTesting(Cands[0].Key));
+  EXPECT_EQ(Cache.lookup(Cands[0].Key), nullptr);
+  EXPECT_EQ(Cache.corruptRejects(), 1u);
+  EXPECT_EQ(Cache.misses(), MissesBefore + 1);
+  EXPECT_EQ(Cache.residentEntries(), 1u) << "corrupt entry is erased";
+
+  // The untouched entry is unaffected; reinsertion restores service.
+  auto Other = Cache.lookup(Cands[1].Key);
+  ASSERT_NE(Other, nullptr);
+  EXPECT_EQ(Other->CodeHash, Cands[1].ExpectHash);
+  auto Re = Cache.insert(Cands[0].Key, Cands[0].Code, Cands[0].Exe);
+  ASSERT_NE(Re, nullptr);
+  EXPECT_EQ(Re->CodeHash, Cands[0].ExpectHash);
+  auto Hit = Cache.lookup(Cands[0].Key);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(host::hashTargetCode(*Hit->Code), Cands[0].ExpectHash);
+  EXPECT_EQ(Cache.tamperForTesting(host::CacheKey{0xdead, 1, 0xbeef}), false);
+}

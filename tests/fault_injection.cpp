@@ -10,6 +10,7 @@
 #include "host/ModuleHost.h"
 
 #include "driver/Compiler.h"
+#include "support/Format.h"
 #include "vm/Assembler.h"
 #include "vm/Linker.h"
 
@@ -352,8 +353,12 @@ TEST(FaultInjection, MutatedImagesNeverAbortTheHost) {
   std::mt19937 Rng(0xC0FFEEu); // fixed seed: the sweep is reproducible
   unsigned Attempts = 0, Rejected = 0, BindFailed = 0, Ran = 0;
 
+  // Every failure message names the attempt number and the RNG seed, so a
+  // failing mutation is reproducible by replaying the sweep to that point.
   auto Exercise = [&](const std::vector<uint8_t> &Owx) {
     ++Attempts;
+    SCOPED_TRACE(formatStr("mutation attempt %u (rng seed 0xC0FFEE)",
+                           Attempts));
     LoadError Err;
     auto LM = Host.loadBytes(TargetKind::Mips, Owx, Opts, Err);
     if (!LM) {

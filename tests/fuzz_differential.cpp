@@ -7,6 +7,7 @@
 /// engines. Divergence anywhere is a compiler/translator/simulator bug.
 
 #include "driver/Compiler.h"
+#include "host/ModuleHost.h"
 #include "native/Baseline.h"
 #include "runtime/Run.h"
 #include "support/Format.h"
@@ -133,6 +134,134 @@ std::string genProgram(uint32_t Seed) {
   return S;
 }
 
+/// Like genProgram, but biased toward very deep expression trees over a
+/// wider variable set: stresses register allocation and instruction
+/// scheduling on every target.
+std::string genDeepProgram(uint32_t Seed) {
+  Rng R(Seed * 2654435761u + 17u);
+  unsigned NumVars = 6 + R.range(5);
+  std::string S = "void print_int(int);\n";
+  S += "int arr[8];\n";
+  S += "int helper(int a, int b) { return (a * 3) ^ (b - (a >> 2)); }\n";
+  S += "int main() {\n  int hash = 216613;\n";
+  for (unsigned V = 0; V < NumVars; ++V)
+    appendFormat(S, "  int v%u = %d;\n", V,
+                 static_cast<int>(R.range(400)) - 200);
+  for (unsigned I = 0; I < 8; ++I)
+    appendFormat(S, "  arr[%u] = %d;\n", I, static_cast<int>(R.range(97)));
+
+  unsigned NumStmts = 4 + R.range(4);
+  for (unsigned I = 0; I < NumStmts; ++I) {
+    appendFormat(S, "  v%u = %s;\n", R.range(NumVars),
+                 genExpr(R, NumVars, 6).c_str());
+    appendFormat(S, "  arr[(%s) & 7] = helper(v%u, %s);\n",
+                 genExpr(R, NumVars, 2).c_str(), R.range(NumVars),
+                 genExpr(R, NumVars, 4).c_str());
+    appendFormat(S, "  hash = hash * 31 + v%u;\n", R.range(NumVars));
+  }
+  S += "  { int i; for (i = 0; i < 8; i++) hash = hash * 33 + arr[i]; }\n";
+  S += "  print_int(hash);\n  return 0;\n}\n";
+  return S;
+}
+
+/// Programs whose hot path is recursive calls (plus a mutually recursive
+/// pair): stresses the calling convention, stack discipline, and
+/// sp-relative sandboxing on every target.
+std::string genRecursiveProgram(uint32_t Seed) {
+  Rng R(Seed ^ 0xDECAFBADu);
+  std::string S = "void print_int(int);\n";
+  S += "int rec(int n, int acc);\n";
+  S += "int even(int n);\nint odd(int n);\n";
+  appendFormat(S,
+               "int rec(int n, int acc) {\n"
+               "  if (n <= 0) return acc;\n"
+               "  if ((n & 1) == %u) return rec(n - 1, acc * %d + n);\n"
+               "  return rec(n - 2, (acc ^ (n << %u)) - %d);\n}\n",
+               R.range(2), static_cast<int>(R.range(9)) + 2, 1 + R.range(3),
+               static_cast<int>(R.range(50)));
+  appendFormat(S,
+               "int even(int n) { if (n <= 0) return %d; "
+               "return odd(n - 1) + n; }\n"
+               "int odd(int n) { if (n <= 0) return %d; "
+               "return even(n - 1) ^ %d; }\n",
+               static_cast<int>(R.range(20)),
+               static_cast<int>(R.range(20)) - 10,
+               static_cast<int>(R.range(31)) + 1);
+  S += "int main() {\n  int hash = 5381;\n";
+  for (unsigned I = 0; I < 4; ++I)
+    appendFormat(S, "  hash = hash * 31 + rec(%u, %d);\n", 5 + R.range(20),
+                 static_cast<int>(R.range(100)) - 50);
+  appendFormat(S, "  hash = hash * 31 + even(%u);\n", 4 + R.range(16));
+  S += "  print_int(hash);\n  return 0;\n}\n";
+  return S;
+}
+
+/// Cross-checks \p Source on the interpreter and on every target with SFI
+/// on and off: a halting program must produce the same output, exit code,
+/// and trap kind everywhere.
+void expectAllEnginesMatch(const std::string &Source, uint32_t Seed,
+                           const char *Label) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  ASSERT_TRUE(driver::compileAndLink(Source, Opts, Exe, Error))
+      << Label << " seed " << Seed << ": " << Error << "\n"
+      << Source;
+  runtime::RunResult Ref = runtime::runOnInterpreter(Exe);
+  ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::Halt)
+      << Label << " seed " << Seed << ": " << printTrap(Ref.Trap) << "\n"
+      << Source;
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    target::TargetKind Kind = target::allTargets(T);
+    for (bool Sfi : {true, false}) {
+      auto R = runtime::runOnTarget(Kind, Exe,
+                                    translate::TranslateOptions::mobile(Sfi));
+      EXPECT_EQ(R.Run.Trap.Kind, vm::TrapKind::Halt)
+          << Label << " seed " << Seed << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi << ": " << printTrap(R.Run.Trap);
+      EXPECT_EQ(R.Run.Trap.Code, Ref.Trap.Code)
+          << Label << " seed " << Seed << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi;
+      EXPECT_EQ(R.Run.Output, Ref.Output)
+          << Label << " seed " << Seed << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi << "\n"
+          << Source;
+    }
+  }
+}
+
+/// Cross-checks that \p Source traps with kind \p Expect on the
+/// interpreter and on every target x SFI config, with identical
+/// output-before-trap everywhere.
+void expectUniformTrap(const std::string &Source, uint32_t Seed,
+                       vm::TrapKind Expect, uint64_t MaxSteps,
+                       const char *Label) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  ASSERT_TRUE(driver::compileAndLink(Source, Opts, Exe, Error))
+      << Label << " seed " << Seed << ": " << Error << "\n"
+      << Source;
+  runtime::RunResult Ref = runtime::runOnInterpreter(Exe, MaxSteps);
+  ASSERT_EQ(Ref.Trap.Kind, Expect)
+      << Label << " seed " << Seed << ": " << printTrap(Ref.Trap) << "\n"
+      << Source;
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    target::TargetKind Kind = target::allTargets(T);
+    for (bool Sfi : {true, false}) {
+      auto R = runtime::runOnTarget(
+          Kind, Exe, translate::TranslateOptions::mobile(Sfi), MaxSteps);
+      EXPECT_EQ(R.Run.Trap.Kind, Expect)
+          << Label << " seed " << Seed << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi << ": " << printTrap(R.Run.Trap) << "\n"
+          << Source;
+      EXPECT_EQ(R.Run.Output, Ref.Output)
+          << Label << " seed " << Seed << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi << " (output before the trap must match)";
+    }
+  }
+}
+
 } // namespace
 
 class FuzzDifferential : public ::testing::TestWithParam<uint32_t> {};
@@ -193,3 +322,195 @@ TEST_P(FuzzDifferential, AllEnginesAllConfigsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range(1u, 41u));
+
+/// Wider-but-fewer seeds for the heavier generators.
+class FuzzDifferentialDeep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzDifferentialDeep, DeepExpressionProgramsAgree) {
+  uint32_t Seed = GetParam();
+  expectAllEnginesMatch(genDeepProgram(Seed), Seed, "deep");
+}
+
+TEST_P(FuzzDifferentialDeep, RecursiveCallProgramsAgree) {
+  uint32_t Seed = GetParam();
+  expectAllEnginesMatch(genRecursiveProgram(Seed), Seed, "recursive");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialDeep,
+                         ::testing::Range(1u, 13u));
+
+/// Trap-kind agreement: a trap is part of a module's observable behaviour,
+/// so its kind — and the output produced before it — must be identical on
+/// every engine, not just "some failure".
+class FuzzDifferentialTraps : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzDifferentialTraps, DivideByZeroTrapsIdenticallyEverywhere) {
+  uint32_t Seed = GetParam();
+  Rng R(Seed + 0xD17u);
+  int V = static_cast<int>(R.range(50)) + 1;
+  // The zero divisor is materialized through memory so no optimization
+  // level can fold the division away before it traps.
+  std::string S = "void print_int(int);\nint arr[8];\nint main() {\n";
+  appendFormat(S, "  arr[3] = %d;\n  arr[5] = arr[3] - %d;\n", V, V);
+  appendFormat(S, "  print_int(%u);\n", 100 + R.range(900));
+  appendFormat(S, "  print_int((%d + arr[3]) / arr[5]);\n",
+               static_cast<int>(R.range(100)));
+  S += "  return 0;\n}\n";
+  expectUniformTrap(S, Seed, vm::TrapKind::DivideByZero,
+                    vm::DefaultStepBudget, "divzero");
+}
+
+TEST_P(FuzzDifferentialTraps, StepLimitTrapsIdenticallyEverywhere) {
+  uint32_t Seed = GetParam();
+  Rng R(Seed * 31u + 7u);
+  // Far more iterations than the budget allows: every engine must stop at
+  // its deadline with a StepLimit trap, after identical output.
+  std::string S = "void print_int(int);\nint main() {\n";
+  appendFormat(S, "  int x = %d;\n  int i;\n",
+               static_cast<int>(R.range(100)));
+  appendFormat(S, "  print_int(%u);\n", 1 + R.range(999));
+  appendFormat(S,
+               "  for (i = 0; i < 1000000000; i++) x = x * 31 + i;\n"
+               "  print_int(x);\n  return 0;\n}\n");
+  expectUniformTrap(S, Seed, vm::TrapKind::StepLimit, /*MaxSteps=*/50'000,
+                    "steplimit");
+}
+
+TEST_P(FuzzDifferentialTraps, WildAccessWithoutSfiTrapsIdenticallyEverywhere) {
+  uint32_t Seed = GetParam();
+  Rng R(Seed ^ 0xBADACCE5u);
+  // arr + 4*idx lands ~64MB past the segment end without wrapping u32, so
+  // the store is out of segment on every engine.
+  unsigned Idx = 16777216 + R.range(4);
+  std::string S = "void print_int(int);\nint arr[8];\nint main() {\n";
+  appendFormat(S, "  int idx = %u;\n", Idx);
+  appendFormat(S, "  print_int(%u);\n", 1 + R.range(999));
+  S += "  arr[idx] = 77;\n";
+  S += "  print_int(arr[0] + arr[1]);\n  return 0;\n}\n";
+
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  ASSERT_TRUE(driver::compileAndLink(S, Opts, Exe, Error))
+      << "seed " << Seed << ": " << Error;
+
+  // The interpreter bounds-checks every access.
+  runtime::RunResult Ref = runtime::runOnInterpreter(Exe);
+  ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::AccessViolation)
+      << "seed " << Seed << ": " << printTrap(Ref.Trap) << "\n"
+      << S;
+
+  // SFI off: the simulator's MMU backstop catches the wild store on all
+  // four targets, with the interpreter's exact output-before-trap.
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    target::TargetKind Kind = target::allTargets(T);
+    auto R2 = runtime::runOnTarget(Kind, Exe,
+                                   translate::TranslateOptions::mobile(false));
+    EXPECT_EQ(R2.Run.Trap.Kind, vm::TrapKind::AccessViolation)
+        << "seed " << Seed << " on " << getTargetName(Kind) << ": "
+        << printTrap(R2.Run.Trap);
+    EXPECT_EQ(R2.Run.Output, Ref.Output)
+        << "seed " << Seed << " on " << getTargetName(Kind);
+  }
+
+  // SFI on: x86 contains by segmentation (a trap); the RISC targets
+  // contain by masking the store into the segment, and because the mask
+  // is semantic — the same sandboxed address everywhere — all three must
+  // agree with each other on the full observable behaviour.
+  auto X86 = runtime::runOnTarget(target::TargetKind::X86, Exe,
+                                  translate::TranslateOptions::mobile(true));
+  EXPECT_EQ(X86.Run.Trap.Kind, vm::TrapKind::AccessViolation)
+      << "seed " << Seed << ": " << printTrap(X86.Run.Trap);
+
+  std::vector<runtime::TargetRunResult> Risc;
+  for (target::TargetKind Kind :
+       {target::TargetKind::Mips, target::TargetKind::Sparc,
+        target::TargetKind::Ppc})
+    Risc.push_back(runtime::runOnTarget(
+        Kind, Exe, translate::TranslateOptions::mobile(true)));
+  for (size_t I = 1; I < Risc.size(); ++I) {
+    EXPECT_EQ(Risc[I].Run.Trap.Kind, Risc[0].Run.Trap.Kind)
+        << "seed " << Seed << " RISC target " << I;
+    EXPECT_EQ(Risc[I].Run.Output, Risc[0].Run.Output)
+        << "seed " << Seed << " RISC target " << I;
+  }
+  // Masked containment completes the module normally.
+  EXPECT_EQ(Risc[0].Run.Trap.Kind, vm::TrapKind::Halt)
+      << "seed " << Seed << ": " << printTrap(Risc[0].Run.Trap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTraps,
+                         ::testing::Range(1u, 9u));
+
+TEST(FuzzDifferentialWarm, WarmCacheServesBitIdenticalBehavior) {
+  // Seeds chosen outside every parameterized range above so the first run
+  // here is a guaranteed cold translation in the shared host's cache.
+  for (uint32_t Seed : {1001u, 2003u}) {
+    std::string Source = genProgram(Seed);
+    driver::CompileOptions Opts;
+    vm::Module Exe;
+    std::string Error;
+    ASSERT_TRUE(driver::compileAndLink(Source, Opts, Exe, Error))
+        << "seed " << Seed << ": " << Error;
+    runtime::RunResult Ref = runtime::runOnInterpreter(Exe);
+    ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::Halt) << "seed " << Seed;
+
+    host::HostStats Before = host::ModuleHost::shared().stats();
+    auto Mobile = translate::TranslateOptions::mobile(true);
+    auto Cold = runtime::runOnTarget(target::TargetKind::Sparc, Exe, Mobile);
+    auto Warm1 = runtime::runOnTarget(target::TargetKind::Sparc, Exe, Mobile);
+    auto Warm2 = runtime::runOnTarget(target::TargetKind::Sparc, Exe, Mobile);
+    host::HostStats After = host::ModuleHost::shared().stats();
+
+    // Warm service is behaviour-identical to the cold translation and to
+    // the reference interpreter.
+    for (const auto *R : {&Cold, &Warm1, &Warm2}) {
+      EXPECT_EQ(R->Run.Trap.Kind, vm::TrapKind::Halt) << "seed " << Seed;
+      EXPECT_EQ(R->Run.Output, Ref.Output) << "seed " << Seed;
+    }
+    EXPECT_EQ(Warm1.Run.InstrCount, Cold.Run.InstrCount) << "seed " << Seed;
+    EXPECT_EQ(Warm2.CodeSize, Cold.CodeSize) << "seed " << Seed;
+
+    // ... and it really was served from the cache: one translation, two
+    // hits.
+    EXPECT_EQ(After.TranslateCount, Before.TranslateCount + 1)
+        << "seed " << Seed;
+    EXPECT_GE(After.CacheHits, Before.CacheHits + 2) << "seed " << Seed;
+  }
+}
+
+TEST(FuzzDifferentialWire, SerializedRoundTripAgrees) {
+  // A module that crosses the wire must behave identically to the module
+  // that was serialized — and re-serialize to the same bytes.
+  for (uint32_t Seed : {7u, 23u, 31u}) {
+    std::string Source = genProgram(Seed ^ 0x00ABCDEFu);
+    driver::CompileOptions Opts;
+    vm::Module Exe;
+    std::string Error;
+    ASSERT_TRUE(driver::compileAndLink(Source, Opts, Exe, Error))
+        << "seed " << Seed << ": " << Error;
+    std::vector<uint8_t> Wire = Exe.serialize();
+
+    vm::Module Back;
+    ASSERT_TRUE(vm::Module::deserialize(Wire, Back, Error))
+        << "seed " << Seed << ": " << Error;
+    EXPECT_EQ(Back.serialize(), Wire)
+        << "seed " << Seed << ": wire format must round-trip bit-identically";
+
+    runtime::RunResult Ref = runtime::runOnInterpreter(Exe);
+    ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::Halt) << "seed " << Seed;
+    runtime::RunResult R2 = runtime::runOnInterpreter(Back);
+    EXPECT_EQ(R2.Output, Ref.Output) << "seed " << Seed;
+    EXPECT_EQ(R2.Trap.Code, Ref.Trap.Code) << "seed " << Seed;
+
+    for (unsigned T = 0; T < target::NumTargets; ++T) {
+      target::TargetKind Kind = target::allTargets(T);
+      auto R = runtime::runOnTarget(Kind, Back,
+                                    translate::TranslateOptions::mobile(true));
+      EXPECT_EQ(R.Run.Trap.Kind, vm::TrapKind::Halt)
+          << "seed " << Seed << " on " << getTargetName(Kind);
+      EXPECT_EQ(R.Run.Output, Ref.Output)
+          << "seed " << Seed << " on " << getTargetName(Kind);
+    }
+  }
+}

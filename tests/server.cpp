@@ -1,0 +1,497 @@
+//===- tests/server.cpp - concurrent serving layer stress ------------------===//
+///
+/// The traffic-facing contract under concurrent load: many producer
+/// threads submit a mix of valid, hostile, bind-rejected, and
+/// step-limit-trapping requests; every accepted request is answered
+/// exactly once with a structured outcome, requests never observe each
+/// other (per-request isolation), backpressure refuses cleanly at the
+/// bounded queue, shutdown drains everything already accepted, and the
+/// serving totals reconcile with the submission census. Zero process
+/// aborts, ever.
+
+#include "host/Server.h"
+
+#include "driver/Compiler.h"
+#include "vm/Assembler.h"
+#include "vm/Linker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace omni;
+using host::LoadStage;
+using host::ModuleHost;
+using host::Request;
+using host::Response;
+using host::Server;
+using host::ServingStats;
+using target::TargetKind;
+using vm::TrapKind;
+
+namespace {
+
+vm::Module compile(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Exe;
+}
+
+vm::Module asmModule(const std::string &Asm) {
+  DiagnosticEngine Diags;
+  vm::Module Obj;
+  EXPECT_TRUE(vm::assemble(Asm, Obj, Diags)) << Diags.render("t.s");
+  vm::Module Exe;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(vm::link({Obj}, vm::LinkOptions(), Exe, Errors));
+  return Exe;
+}
+
+const char *ProgramA = R"(
+void print_int(int);
+int main() {
+  int i, acc = 0;
+  for (i = 1; i <= 10; i++) acc += i * i;
+  print_int(acc); /* 385 */
+  return 7;
+}
+)";
+
+const char *ProgramB = R"(
+void print_str(char *);
+int main() {
+  print_str("beta");
+  return 0;
+}
+)";
+
+/// Never halts; every run of it must end at its step budget.
+const char *LoopAsm = R"(
+        .text
+        .global main
+main:   j main
+)";
+
+translate::TranslateOptions mobileOpts() {
+  return translate::TranslateOptions::mobile(true);
+}
+
+std::shared_ptr<const host::LoadedModule>
+mustLoad(ModuleHost &Host, const vm::Module &Exe,
+         TargetKind Kind = TargetKind::Mips) {
+  host::LoadError Err;
+  auto LM = Host.load(Kind, Exe, mobileOpts(), Err);
+  EXPECT_TRUE(LM) << Err.str();
+  return LM;
+}
+
+/// Thread-safe response collector.
+struct Collector {
+  std::mutex Mu;
+  std::vector<Response> Responses;
+
+  Server::Callback sink() {
+    return [this](Response R) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Responses.push_back(std::move(R));
+    };
+  }
+  size_t size() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Responses.size();
+  }
+};
+
+} // namespace
+
+TEST(Server, WarmRequestsCompleteOnAllWorkers) {
+  ModuleHost Host;
+  auto LM = mustLoad(Host, compile(ProgramA));
+
+  Server::Options Opts;
+  Opts.Workers = 4;
+  Opts.QueueCapacity = 64;
+  Server Srv(Host, Opts);
+  ASSERT_EQ(Srv.workers(), 4u);
+
+  Collector Got;
+  const unsigned N = 200;
+  for (unsigned I = 0; I < N; ++I) {
+    Request R;
+    R.Module = LM;
+    ASSERT_TRUE(Srv.submit(std::move(R), Got.sink(), /*Wait=*/true));
+  }
+  Srv.drain();
+
+  ASSERT_EQ(Got.size(), N);
+  for (const Response &R : Got.Responses) {
+    EXPECT_TRUE(R.Executed);
+    EXPECT_TRUE(R.Load.ok());
+    EXPECT_EQ(R.Run.Trap.Kind, TrapKind::Halt);
+    EXPECT_EQ(R.Run.Trap.Code, 7);
+    EXPECT_EQ(R.Run.Output, "385");
+    EXPECT_LT(R.Worker, 4u);
+    EXPECT_LE(R.QueueNs, R.TotalNs);
+  }
+
+  ServingStats St = Srv.servingStats();
+  EXPECT_EQ(St.Submitted, N);
+  EXPECT_EQ(St.Completed, N);
+  EXPECT_EQ(St.Executed, N);
+  EXPECT_EQ(St.LoadRejected, 0u);
+  EXPECT_EQ(St.RejectedOnFull, 0u);
+  EXPECT_LE(St.QueueHighWater, Opts.QueueCapacity);
+  EXPECT_EQ(St.Latency.Count, N);
+  EXPECT_EQ(St.QueueWait.Count, N);
+  EXPECT_LE(St.Latency.quantileNs(0.5), St.Latency.quantileNs(0.99));
+  EXPECT_LE(St.Latency.quantileNs(0.99), St.Latency.MaxNs);
+  ASSERT_EQ(St.Workers.size(), 4u);
+  uint64_t PerWorker = 0;
+  for (const host::WorkerStats &W : St.Workers)
+    PerWorker += W.Processed;
+  EXPECT_EQ(PerWorker, N);
+
+  // The serving section folds into the host's standard report.
+  host::HostStats Full = Srv.stats();
+  EXPECT_EQ(Full.Serving.Completed, N);
+  EXPECT_EQ(Full.SessionCount, N);
+  std::string Dump = Full.dump();
+  EXPECT_NE(Dump.find("serving:"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("latency:"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("high-water"), std::string::npos) << Dump;
+}
+
+TEST(Server, MultiProducerMixedTrafficIsFullyAccounted) {
+  ModuleHost Host;
+  auto LMA = mustLoad(Host, compile(ProgramA));
+  auto LMB = mustLoad(Host, compile(ProgramB), TargetKind::Sparc);
+  auto LMLoop = mustLoad(Host, asmModule(LoopAsm), TargetKind::Ppc);
+  auto LMBind = mustLoad(Host, compile(R"(
+void host_format_disk(int);
+int main() { host_format_disk(1); return 0; }
+)"));
+  std::vector<uint8_t> HostileOwx = compile(ProgramA).serialize();
+  HostileOwx.resize(HostileOwx.size() / 2); // truncated image
+
+  Server::Options Opts;
+  Opts.Workers = 4;
+  Opts.QueueCapacity = 32;
+  Server Srv(Host, Opts);
+
+  // Tagged responses: Kind index -> expected outcome. Five traffic
+  // classes, four producer threads, every submission waits for space so
+  // the census is exact.
+  constexpr unsigned Producers = 4, PerProducer = 80;
+  constexpr unsigned Total = Producers * PerProducer;
+  std::mutex Mu;
+  std::vector<std::pair<unsigned, Response>> Got; // (class, response)
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (unsigned I = 0; I < PerProducer; ++I) {
+        unsigned Class = (P * PerProducer + I) % 5;
+        Request R;
+        switch (Class) {
+        case 0:
+          R.Module = LMA;
+          break;
+        case 1:
+          R.Module = LMB;
+          break;
+        case 2:
+          R.Owx = HostileOwx; // full untrusted path, rejected at deserialize
+          break;
+        case 3:
+          R.Module = LMLoop;
+          R.StepBudget = 20'000; // deadline: must surface as StepLimit
+          break;
+        default:
+          R.Module = LMBind; // ungranted import, rejected at bind
+          break;
+        }
+        bool Ok = Srv.submit(
+            std::move(R),
+            [&, Class](Response Rsp) {
+              std::lock_guard<std::mutex> Lock(Mu);
+              Got.emplace_back(Class, std::move(Rsp));
+            },
+            /*Wait=*/true);
+        EXPECT_TRUE(Ok);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Srv.drain();
+
+  ASSERT_EQ(Got.size(), Total);
+  unsigned Census[5] = {};
+  for (const auto &[Class, R] : Got) {
+    ++Census[Class];
+    switch (Class) {
+    case 0: // per-request isolation: the answer matches the module sent
+      EXPECT_TRUE(R.Executed);
+      EXPECT_EQ(R.Run.Trap.Kind, TrapKind::Halt);
+      EXPECT_EQ(R.Run.Output, "385");
+      EXPECT_EQ(R.Run.Trap.Code, 7);
+      break;
+    case 1:
+      EXPECT_TRUE(R.Executed);
+      EXPECT_EQ(R.Run.Trap.Kind, TrapKind::Halt);
+      EXPECT_EQ(R.Run.Output, "beta");
+      break;
+    case 2:
+      EXPECT_FALSE(R.Executed);
+      EXPECT_EQ(R.Load.Stage, LoadStage::Deserialize);
+      EXPECT_EQ(R.Run.Trap.Kind, TrapKind::HostError);
+      break;
+    case 3:
+      EXPECT_TRUE(R.Executed);
+      EXPECT_EQ(R.Run.Trap.Kind, TrapKind::StepLimit);
+      EXPECT_EQ(R.Run.Output, "");
+      break;
+    default:
+      EXPECT_FALSE(R.Executed);
+      EXPECT_EQ(R.Load.Stage, LoadStage::Bind);
+      EXPECT_EQ(R.Run.Trap.Kind, TrapKind::HostError);
+      break;
+    }
+  }
+  for (unsigned C = 0; C < 5; ++C)
+    EXPECT_EQ(Census[C], Total / 5) << "class " << C;
+
+  // Serving totals reconcile exactly with the census.
+  ServingStats St = Srv.servingStats();
+  EXPECT_EQ(St.Submitted, Total);
+  EXPECT_EQ(St.Completed, Total);
+  EXPECT_EQ(St.Executed + St.LoadRejected, St.Completed);
+  EXPECT_EQ(St.Executed, 3 * Total / 5);     // classes 0, 1, 3 ran sessions
+  EXPECT_EQ(St.LoadRejected, 2 * Total / 5); // hostile + bind rejects
+
+  // And with the host's own per-kind containment counters.
+  host::HostStats HostSt = Srv.stats();
+  EXPECT_EQ(HostSt.traps(TrapKind::StepLimit), Total / 5);
+  EXPECT_GE(HostSt.traps(TrapKind::Halt), 2 * Total / 5);
+  EXPECT_EQ(HostSt.rejects(LoadStage::Deserialize), Total / 5);
+  EXPECT_EQ(HostSt.rejects(LoadStage::Bind), Total / 5);
+}
+
+TEST(Server, BackpressureRejectsOnFullQueue) {
+  ModuleHost Host;
+  auto LMLoop = mustLoad(Host, asmModule(LoopAsm));
+
+  Server::Options Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 2;
+  Server Srv(Host, Opts);
+
+  // Saturate the single worker with slow (step-limited) requests, then
+  // spam non-waiting submissions: the bounded queue must refuse cleanly.
+  Collector Got;
+  unsigned Accepted = 0, Refused = 0;
+  for (unsigned I = 0; I < 50; ++I) {
+    Request R;
+    R.Module = LMLoop;
+    R.StepBudget = 2'000'000;
+    if (Srv.submit(std::move(R), Got.sink(), /*Wait=*/false))
+      ++Accepted;
+    else
+      ++Refused;
+  }
+  Srv.drain();
+
+  EXPECT_GT(Refused, 0u) << "a 2-slot queue cannot absorb 50 instant submits";
+  EXPECT_EQ(Accepted + Refused, 50u);
+  EXPECT_EQ(Got.size(), Accepted) << "every accepted request is answered";
+  for (const Response &R : Got.Responses)
+    EXPECT_EQ(R.Run.Trap.Kind, TrapKind::StepLimit);
+
+  ServingStats St = Srv.servingStats();
+  EXPECT_EQ(St.Submitted, Accepted);
+  EXPECT_EQ(St.Completed, Accepted);
+  EXPECT_EQ(St.RejectedOnFull, Refused);
+  EXPECT_LE(St.QueueHighWater, Opts.QueueCapacity);
+}
+
+TEST(Server, GracefulShutdownDrainsAcceptedRequests) {
+  ModuleHost Host;
+  auto LM = mustLoad(Host, compile(ProgramA));
+
+  Server::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = 64;
+  Server Srv(Host, Opts);
+
+  std::atomic<unsigned> Answered{0};
+  const unsigned N = 40;
+  for (unsigned I = 0; I < N; ++I) {
+    Request R;
+    R.Module = LM;
+    ASSERT_TRUE(Srv.submit(
+        std::move(R),
+        [&](Response Rsp) {
+          EXPECT_EQ(Rsp.Run.Output, "385");
+          Answered.fetch_add(1);
+        },
+        /*Wait=*/true));
+  }
+  // Shutdown the instant the backlog is accepted: the contract is that
+  // every accepted request is still answered before shutdown returns.
+  Srv.shutdown();
+  EXPECT_EQ(Answered.load(), N);
+  EXPECT_FALSE(Srv.accepting());
+  EXPECT_EQ(Srv.servingStats().Completed, N);
+
+  // Post-shutdown submissions are refused without being queued (and are
+  // not backpressure events).
+  Request Late;
+  Late.Module = LM;
+  EXPECT_FALSE(Srv.submit(std::move(Late), nullptr, /*Wait=*/true));
+  EXPECT_EQ(Srv.servingStats().Submitted, N);
+  EXPECT_EQ(Srv.servingStats().RejectedOnFull, 0u);
+
+  // shutdown() is idempotent.
+  Srv.shutdown();
+}
+
+TEST(Server, PerRequestStepBudgetsAreIndependent) {
+  ModuleHost Host;
+  auto LMA = mustLoad(Host, compile(ProgramA));
+  auto LMLoop = mustLoad(Host, asmModule(LoopAsm));
+
+  Server::Options Opts;
+  Opts.Workers = 2;
+  Server Srv(Host, Opts);
+
+  // A deadline-bound runaway next to a healthy request: each gets its own
+  // budget, neither observes the other.
+  Request Runaway;
+  Runaway.Module = LMLoop;
+  Runaway.StepBudget = 10'000;
+  Request Healthy;
+  Healthy.Module = LMA;
+  Collector Got;
+  ASSERT_TRUE(Srv.submit(std::move(Runaway), Got.sink(), true));
+  ASSERT_TRUE(Srv.submit(std::move(Healthy), Got.sink(), true));
+  Srv.drain();
+  ASSERT_EQ(Got.size(), 2u);
+  unsigned Halts = 0, StepLimits = 0;
+  for (const Response &R : Got.Responses) {
+    if (R.Run.Trap.Kind == TrapKind::Halt) {
+      ++Halts;
+      EXPECT_EQ(R.Run.Output, "385");
+    } else {
+      EXPECT_EQ(R.Run.Trap.Kind, TrapKind::StepLimit);
+      ++StepLimits;
+    }
+  }
+  EXPECT_EQ(Halts, 1u);
+  EXPECT_EQ(StepLimits, 1u);
+
+  // A request cannot outrun the server's ceiling: with a tiny
+  // MaxStepBudget, even the default request budget is clamped down.
+  Server::Options Small;
+  Small.Workers = 1;
+  Small.MaxStepBudget = 10'000;
+  Server SrvSmall(Host, Small);
+  Request Unbounded;
+  Unbounded.Module = LMLoop;
+  Unbounded.StepBudget = vm::DefaultStepBudget;
+  Response R = SrvSmall.call(std::move(Unbounded));
+  EXPECT_EQ(R.Run.Trap.Kind, TrapKind::StepLimit);
+
+  // StepBudget 0 means "server maximum", not "no budget".
+  Request Zero;
+  Zero.Module = LMLoop;
+  Zero.StepBudget = 0;
+  R = SrvSmall.call(std::move(Zero));
+  EXPECT_EQ(R.Run.Trap.Kind, TrapKind::StepLimit);
+}
+
+TEST(Server, FaultInjectedGatesAreContainedPerRequest) {
+  ModuleHost Host;
+  auto LMA = mustLoad(Host, compile(ProgramA)); // uses print_int
+  auto LMB = mustLoad(Host, compile(ProgramB)); // uses print_str
+
+  Server::Options Opts;
+  Opts.Workers = 2;
+  Server Srv(Host, Opts);
+
+  // Healthy baseline.
+  Request R0;
+  R0.Module = LMA;
+  EXPECT_EQ(Srv.call(std::move(R0)).Run.Output, "385");
+
+  // Inject a failing print_int gate: A-requests trap HostError(Injected),
+  // B-requests (different gate) keep succeeding on the same server.
+  auto FI = std::make_shared<host::FaultInjector>();
+  FI->FailGates = {"print_int"};
+  Host.setFaultInjector(FI);
+  Request RA;
+  RA.Module = LMA;
+  Response RsA = Srv.call(std::move(RA));
+  EXPECT_EQ(RsA.Run.Trap.Kind, TrapKind::HostError);
+  EXPECT_EQ(RsA.Run.Trap.Code, vm::HostErrInjected);
+  Request RB;
+  RB.Module = LMB;
+  Response RsB = Srv.call(std::move(RB));
+  EXPECT_EQ(RsB.Run.Trap.Kind, TrapKind::Halt);
+  EXPECT_EQ(RsB.Run.Output, "beta");
+
+  // Clearing the injector restores service for subsequent requests.
+  Host.setFaultInjector(nullptr);
+  Request R1;
+  R1.Module = LMA;
+  EXPECT_EQ(Srv.call(std::move(R1)).Run.Output, "385");
+}
+
+TEST(Server, BytesRequestsTranslateOnceThenServeWarm) {
+  ModuleHost Host;
+  std::vector<uint8_t> Owx = compile(ProgramA).serialize();
+
+  Server::Options Opts;
+  Opts.Workers = 4;
+  Server Srv(Host, Opts);
+
+  // One cold wire-format request through the full untrusted path warms
+  // the sharded cache; 32 identical requests then race through it as
+  // pure hits, all with identical behaviour. (Cold requests are warmed
+  // sequentially because racing misses may each translate: the cache
+  // keeps the incumbent on an insert race but does not single-flight.)
+  Request Cold;
+  Cold.Owx = Owx;
+  Cold.Kind = TargetKind::X86;
+  Response First = Srv.call(std::move(Cold));
+  EXPECT_EQ(First.Run.Output, "385");
+
+  Collector Got;
+  for (unsigned I = 0; I < 32; ++I) {
+    Request R;
+    R.Owx = Owx;
+    R.Kind = TargetKind::X86;
+    ASSERT_TRUE(Srv.submit(std::move(R), Got.sink(), true));
+  }
+  Srv.drain();
+  ASSERT_EQ(Got.size(), 32u);
+  for (const Response &R : Got.Responses) {
+    EXPECT_EQ(R.Run.Trap.Kind, TrapKind::Halt);
+    EXPECT_EQ(R.Run.Output, "385");
+  }
+  host::HostStats St = Srv.stats();
+  EXPECT_EQ(St.TranslateCount, 1u)
+      << "warm requests must be served from the cache, never retranslated";
+  EXPECT_EQ(St.CacheMisses, 1u);
+  EXPECT_EQ(St.CacheHits, 32u);
+
+  // After shutdown, call() reports a structured refusal, not a hang.
+  Srv.shutdown();
+  Request Late;
+  Late.Owx = Owx;
+  Response R = Srv.call(std::move(Late));
+  EXPECT_FALSE(R.Load.ok());
+  EXPECT_EQ(R.Run.Trap.Kind, TrapKind::HostError);
+  EXPECT_NE(R.Run.Output.find("shut down"), std::string::npos);
+}
