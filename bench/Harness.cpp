@@ -96,3 +96,149 @@ void omni::bench::printComparison(const std::string &Label,
   printRow(Label, Measured);
   printRow("  (paper)", Paper);
 }
+
+// --- serving-layer benchmark helpers ----------------------------------
+
+double omni::bench::secSince(BenchClock::time_point Start) {
+  return std::chrono::duration<double>(BenchClock::now() - Start).count();
+}
+
+double omni::bench::nsToMs(uint64_t Ns) {
+  return static_cast<double>(Ns) / 1e6;
+}
+
+std::string omni::bench::servingWorkSource(unsigned Salt) {
+  return formatStr(R"(
+void print_int(int);
+int main() {
+  int i, acc = %u;
+  for (i = 0; i < 4000; i++) acc = acc * 33 + (i ^ (acc >> 3));
+  print_int(acc);
+  return 0;
+}
+)",
+                   Salt + 1);
+}
+
+vm::Module omni::bench::compileSourceOrDie(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  if (!driver::compileAndLink(Source, Opts, Exe, Error)) {
+    std::fprintf(stderr, "compile failed: %s\n", Error.c_str());
+    std::exit(1);
+  }
+  return Exe;
+}
+
+MixedFixture
+omni::bench::makeMixedFixture(host::ModuleHost &Host, unsigned NumCold,
+                              const translate::TranslateOptions &Opts) {
+  MixedFixture F;
+  host::LoadError Err;
+  F.Warm = Host.load(target::TargetKind::Mips,
+                     compileSourceOrDie(servingWorkSource(0)), Opts, Err);
+  if (!F.Warm) {
+    std::fprintf(stderr, "load failed: %s\n", Err.str().c_str());
+    std::exit(1);
+  }
+  // Cold traffic arrives as OWX wire bytes, each a distinct program so
+  // every one is a fresh verify + translate.
+  for (unsigned I = 0; I < NumCold; ++I)
+    F.ColdOwx.push_back(
+        compileSourceOrDie(servingWorkSource(1000 + I)).serialize());
+  F.Hostile = F.ColdOwx[0];
+  F.Hostile.resize(F.Hostile.size() / 3); // truncated: deserialize reject
+  std::string LoopSrc = "int main() { int x = 1; while (x) x = x | 1; "
+                        "return x; }\n";
+  F.Runaway = Host.load(target::TargetKind::Mips, compileSourceOrDie(LoopSrc),
+                        Opts, Err);
+  if (!F.Runaway) {
+    std::fprintf(stderr, "load failed: %s\n", Err.str().c_str());
+    std::exit(1);
+  }
+  return F;
+}
+
+MixedCensus omni::bench::submitMixedTraffic(host::Server &Srv,
+                                            const MixedFixture &F,
+                                            unsigned Total,
+                                            uint64_t RunawayBudget) {
+  MixedCensus C;
+  for (unsigned I = 0; I < Total; ++I) {
+    host::Request R;
+    switch (I % 8) {
+    case 0: // one cold translation per 8 requests
+      R.Owx = F.ColdOwx[(I / 8) % F.ColdOwx.size()];
+      ++C.Cold;
+      break;
+    case 1: // hostile wire image
+      R.Owx = F.Hostile;
+      ++C.Hostile;
+      break;
+    case 2: // runaway under a tight deadline
+      R.Module = F.Runaway;
+      R.StepBudget = RunawayBudget;
+      ++C.Runaway;
+      break;
+    default: // warm majority
+      R.Module = F.Warm;
+      ++C.Warm;
+      break;
+    }
+    Srv.submit(std::move(R), nullptr, /*Wait=*/true);
+  }
+  Srv.drain();
+  return C;
+}
+
+bool omni::bench::reconcileCensus(const host::HostStats &St,
+                                  const MixedCensus &C, std::string &Why) {
+  if (St.Serving.Completed != C.total()) {
+    Why = formatStr("completed %llu != submitted %u",
+                    (unsigned long long)St.Serving.Completed, C.total());
+    return false;
+  }
+  unsigned Executable = C.Warm + C.Cold + C.Runaway;
+  if (St.Serving.Executed != Executable) {
+    Why = formatStr("executed %llu != warm+cold+runaway %u",
+                    (unsigned long long)St.Serving.Executed, Executable);
+    return false;
+  }
+  if (St.Serving.LoadRejected != C.Hostile) {
+    Why = formatStr("load-rejected %llu != hostile %u",
+                    (unsigned long long)St.Serving.LoadRejected, C.Hostile);
+    return false;
+  }
+  if (St.traps(vm::TrapKind::StepLimit) != C.Runaway) {
+    Why = formatStr("step-limit traps %llu != runaway %u",
+                    (unsigned long long)St.traps(vm::TrapKind::StepLimit),
+                    C.Runaway);
+    return false;
+  }
+  Why.clear();
+  return true;
+}
+
+double omni::bench::measureWarmThroughput(
+    host::Server &Srv, const std::shared_ptr<const host::LoadedModule> &LM,
+    unsigned Warmup, unsigned Requests) {
+  // The warm-up round soaks one-time costs (thread start, first faults)
+  // out of the measured window.
+  for (unsigned I = 0; I < Warmup; ++I) {
+    host::Request R;
+    R.Module = LM;
+    Srv.submit(std::move(R), nullptr, /*Wait=*/true);
+  }
+  Srv.drain();
+
+  auto Start = BenchClock::now();
+  for (unsigned I = 0; I < Requests; ++I) {
+    host::Request R;
+    R.Module = LM;
+    Srv.submit(std::move(R), nullptr, /*Wait=*/true);
+  }
+  Srv.drain();
+  double Sec = secSince(Start);
+  return Sec > 0 ? Requests / Sec : 0;
+}

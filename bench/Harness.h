@@ -12,10 +12,13 @@
 #define OMNI_BENCH_HARNESS_H
 
 #include "driver/Compiler.h"
+#include "host/Server.h"
 #include "native/Baseline.h"
 #include "runtime/Run.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +59,75 @@ void printComparison(const std::string &Label,
 
 /// "x.yz" ratio formatting (negative = unavailable, printed as "-").
 std::string fmtRatio(double V);
+
+// --- serving-layer benchmark helpers ----------------------------------
+//
+// Shared by bench/throughput and bench/trace_overhead so the request
+// census and its reconciliation against HostStats live in exactly one
+// place.
+
+using BenchClock = std::chrono::steady_clock;
+
+/// Seconds elapsed since \p Start.
+double secSince(BenchClock::time_point Start);
+
+/// Milliseconds from nanoseconds (printing helper).
+double nsToMs(uint64_t Ns);
+
+/// The standard serving-bench request body: heavy enough (~tens of
+/// thousands of simulated cycles) that per-request execution, not queue
+/// handoff, dominates. Distinct salts produce distinct modules.
+std::string servingWorkSource(unsigned Salt);
+
+/// Compiles \p Source with default options; exits the process on failure.
+vm::Module compileSourceOrDie(const std::string &Source);
+
+/// The standard mixed-traffic inputs: one warm (pre-loaded) module, a set
+/// of distinct cold OWX images, one hostile (truncated) image, and a
+/// pre-loaded runaway loop for deadline tests.
+struct MixedFixture {
+  std::shared_ptr<const host::LoadedModule> Warm;
+  std::vector<std::vector<uint8_t>> ColdOwx;
+  std::vector<uint8_t> Hostile;
+  std::shared_ptr<const host::LoadedModule> Runaway;
+};
+
+/// Builds a MixedFixture against \p Host (which should be fresh, so the
+/// reconciliation below can use its counters); exits on compile/load
+/// failure.
+MixedFixture makeMixedFixture(host::ModuleHost &Host, unsigned NumCold,
+                              const translate::TranslateOptions &Opts);
+
+/// How many requests of each class a mixed-traffic run submitted.
+struct MixedCensus {
+  unsigned Warm = 0;
+  unsigned Cold = 0;
+  unsigned Hostile = 0;
+  unsigned Runaway = 0;
+
+  unsigned total() const { return Warm + Cold + Hostile + Runaway; }
+};
+
+/// Submits \p Total requests in the standard 8-phase pattern (1 cold, 1
+/// hostile, 1 runaway under \p RunawayBudget steps, 5 warm) and drains
+/// the server. Returns the census of what was submitted.
+MixedCensus submitMixedTraffic(host::Server &Srv, const MixedFixture &F,
+                               unsigned Total,
+                               uint64_t RunawayBudget = 30'000);
+
+/// The census reconciliation both benches gate on: every request answered
+/// exactly once, hostile traffic rejected at deserialize, runaways
+/// stopped at their deadline. \p St must come from the server whose host
+/// served ONLY this mixed run. Fills \p Why on failure.
+bool reconcileCensus(const host::HostStats &St, const MixedCensus &C,
+                     std::string &Why);
+
+/// Requests/sec of \p Requests warm submissions of \p LM against \p Srv,
+/// after \p Warmup unmeasured submissions; drains before and after
+/// timing.
+double measureWarmThroughput(host::Server &Srv,
+                             const std::shared_ptr<const host::LoadedModule> &LM,
+                             unsigned Warmup, unsigned Requests);
 
 } // namespace bench
 } // namespace omni

@@ -14,49 +14,12 @@
 #include "host/Server.h"
 #include "support/Format.h"
 
-#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 using namespace omni;
-using Clock = std::chrono::steady_clock;
-
-namespace {
-
-double secSince(Clock::time_point Start) {
-  return std::chrono::duration<double>(Clock::now() - Start).count();
-}
-
-/// A request body heavy enough (~tens of thousands of simulated cycles)
-/// that per-request execution, not queue handoff, dominates.
-std::string workSource(unsigned Salt) {
-  return formatStr(R"(
-void print_int(int);
-int main() {
-  int i, acc = %u;
-  for (i = 0; i < 4000; i++) acc = acc * 33 + (i ^ (acc >> 3));
-  print_int(acc);
-  return 0;
-}
-)",
-                   Salt + 1);
-}
-
-vm::Module compileOrDie(const std::string &Source) {
-  driver::CompileOptions Opts;
-  vm::Module Exe;
-  std::string Error;
-  if (!driver::compileAndLink(Source, Opts, Exe, Error)) {
-    std::fprintf(stderr, "compile failed: %s\n", Error.c_str());
-    std::exit(1);
-  }
-  return Exe;
-}
-
-double ms(uint64_t Ns) { return static_cast<double>(Ns) / 1e6; }
-
-} // namespace
+using namespace omni::bench;
 
 int main() {
   translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
@@ -67,8 +30,8 @@ int main() {
   // ---- Warm-hit scaling: 1 .. hardware_concurrency workers ------------
   host::ModuleHost Host;
   host::LoadError Err;
-  auto LM = Host.load(target::TargetKind::Mips, compileOrDie(workSource(0)),
-                      Opts, Err);
+  auto LM = Host.load(target::TargetKind::Mips,
+                      compileSourceOrDie(servingWorkSource(0)), Opts, Err);
   if (!LM) {
     std::fprintf(stderr, "load failed: %s\n", Err.str().c_str());
     return 1;
@@ -96,34 +59,17 @@ int main() {
     SrvOpts.QueueCapacity = 512;
     host::Server Srv(Host, SrvOpts);
 
-    // A short warm-up round soaks one-time costs (thread start, first
-    // faults) out of the measured window.
-    for (unsigned I = 0; I < 50; ++I) {
-      host::Request R;
-      R.Module = LM;
-      Srv.submit(std::move(R), nullptr, /*Wait=*/true);
-    }
-    Srv.drain();
-
-    auto Start = Clock::now();
-    for (unsigned I = 0; I < RequestsPerRun; ++I) {
-      host::Request R;
-      R.Module = LM;
-      Srv.submit(std::move(R), nullptr, /*Wait=*/true);
-    }
-    Srv.drain();
-    double Sec = secSince(Start);
-
+    double ReqS = measureWarmThroughput(Srv, LM, /*Warmup=*/50,
+                                        RequestsPerRun);
     host::ServingStats St = Srv.servingStats();
-    double ReqS = RequestsPerRun / Sec;
     if (Workers == 1)
       BaselineReqS = ReqS;
     double Scaling = BaselineReqS > 0 ? ReqS / BaselineReqS : 1.0;
     if (Workers == 4)
       FourWorkerScaling = Scaling;
     std::printf("  %-8u %12.0f %12.3f %12.3f %9.2fx\n", Workers, ReqS,
-                ms(St.Latency.quantileNs(0.5)),
-                ms(St.Latency.quantileNs(0.99)), Scaling);
+                nsToMs(St.Latency.quantileNs(0.5)),
+                nsToMs(St.Latency.quantileNs(0.99)), Scaling);
   }
   if (FourWorkerScaling > 0)
     std::printf("  4-worker warm scaling over 1 worker: %.2fx %s\n",
@@ -135,28 +81,7 @@ int main() {
               "hostile rejects, step-limited runaways\n",
               Hw);
   host::ModuleHost MixedHost;
-  auto WarmLM = MixedHost.load(target::TargetKind::Mips,
-                               compileOrDie(workSource(0)), Opts, Err);
-  if (!WarmLM) {
-    std::fprintf(stderr, "load failed: %s\n", Err.str().c_str());
-    return 1;
-  }
-  // Cold traffic arrives as OWX wire bytes, each a distinct program so
-  // every one is a fresh verify + translate.
-  const unsigned NumCold = 48;
-  std::vector<std::vector<uint8_t>> ColdOwx;
-  for (unsigned I = 0; I < NumCold; ++I)
-    ColdOwx.push_back(compileOrDie(workSource(1000 + I)).serialize());
-  std::vector<uint8_t> Hostile = ColdOwx[0];
-  Hostile.resize(Hostile.size() / 3); // truncated image: deserialize reject
-  std::string LoopSrc = "int main() { int x = 1; while (x) x = x | 1; "
-                        "return x; }\n";
-  auto RunawayLM = MixedHost.load(target::TargetKind::Mips,
-                                  compileOrDie(LoopSrc), Opts, Err);
-  if (!RunawayLM) {
-    std::fprintf(stderr, "load failed: %s\n", Err.str().c_str());
-    return 1;
-  }
+  MixedFixture Fixture = makeMixedFixture(MixedHost, /*NumCold=*/48, Opts);
 
   host::Server::Options MixedOpts;
   MixedOpts.Workers = Hw;
@@ -164,47 +89,22 @@ int main() {
   host::Server Mixed(MixedHost, MixedOpts);
 
   const unsigned MixedTotal = 1200;
-  unsigned Census[4] = {}; // warm, cold, hostile, runaway
-  auto MixedStart = Clock::now();
-  for (unsigned I = 0; I < MixedTotal; ++I) {
-    host::Request R;
-    switch (I % 8) {
-    case 0: // one cold translation per 8 requests
-      R.Owx = ColdOwx[(I / 8) % NumCold];
-      ++Census[1];
-      break;
-    case 1: // hostile wire image
-      R.Owx = Hostile;
-      ++Census[2];
-      break;
-    case 2: // runaway under a tight deadline
-      R.Module = RunawayLM;
-      R.StepBudget = 30'000;
-      ++Census[3];
-      break;
-    default: // warm majority
-      R.Module = WarmLM;
-      ++Census[0];
-      break;
-    }
-    Mixed.submit(std::move(R), nullptr, /*Wait=*/true);
-  }
-  Mixed.drain();
+  auto MixedStart = BenchClock::now();
+  MixedCensus Census = submitMixedTraffic(Mixed, Fixture, MixedTotal);
   double MixedSec = secSince(MixedStart);
 
   host::HostStats St = Mixed.stats();
   std::printf("  submitted: %u (%u warm, %u cold, %u hostile, %u runaway) "
               "in %.2fs = %.0f req/s\n",
-              MixedTotal, Census[0], Census[1], Census[2], Census[3],
-              MixedSec, MixedTotal / MixedSec);
+              MixedTotal, Census.Warm, Census.Cold, Census.Hostile,
+              Census.Runaway, MixedSec, MixedTotal / MixedSec);
   std::printf("%s", St.dump().c_str());
 
   // The census must reconcile: every request answered, hostile traffic
   // rejected at deserialize, runaways stopped at their deadline.
-  bool Ok = St.Serving.Completed == MixedTotal &&
-            St.Serving.Executed == Census[0] + Census[1] + Census[3] &&
-            St.Serving.LoadRejected == Census[2] &&
-            St.traps(vm::TrapKind::StepLimit) == Census[3];
-  std::printf("  census reconciliation: %s\n", Ok ? "pass" : "FAIL");
+  std::string Why;
+  bool Ok = reconcileCensus(St, Census, Why);
+  std::printf("  census reconciliation: %s%s%s\n", Ok ? "pass" : "FAIL",
+              Ok ? "" : " — ", Why.c_str());
   return Ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include "host/CodeCache.h"
 
+#include "obs/Tracer.h"
 #include "support/Hash.h"
 
 #include <cstring>
@@ -73,6 +74,9 @@ std::shared_ptr<const CachedTranslation> CodeCache::lookup(const CacheKey &K) {
   auto It = S.Map.find(K);
   if (It == S.Map.end()) {
     ++S.Misses;
+    if (obs::traceEnabled())
+      obs::Tracer::get().instant("CacheMiss", "cache",
+                                 {{"module", K.ContentHash}});
     return nullptr;
   }
   // Integrity gate: never execute an entry whose content no longer matches
@@ -84,9 +88,16 @@ std::shared_ptr<const CachedTranslation> CodeCache::lookup(const CacheKey &K) {
                             std::memory_order_relaxed);
     S.Lru.erase(It->second.LruPos);
     S.Map.erase(It);
+    if (obs::traceEnabled())
+      obs::Tracer::get().instant("CacheCorrupt", "cache",
+                                 {{"module", K.ContentHash}});
     return nullptr;
   }
   ++S.Hits;
+  if (obs::traceEnabled())
+    obs::Tracer::get().instant(
+        "CacheHit", "cache",
+        {{"module", K.ContentHash}, {"bytes", It->second.Value->ByteSize}});
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruPos);
   It->second.Tick = NextTick.fetch_add(1, std::memory_order_relaxed);
   return It->second.Value;
@@ -168,6 +179,11 @@ void CodeCache::enforceBudget(const CacheKey *Keep) {
       if (Keep && *It == *Keep)
         continue;
       auto MapIt = S.Map.find(*It);
+      if (obs::traceEnabled())
+        obs::Tracer::get().instant(
+            "CacheEvict", "cache",
+            {{"module", It->ContentHash},
+             {"bytes", MapIt->second.Value->ByteSize}});
       ResidentBytes.fetch_sub(MapIt->second.Value->ByteSize,
                               std::memory_order_relaxed);
       S.Lru.erase(std::next(It).base());

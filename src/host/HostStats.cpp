@@ -163,5 +163,14 @@ std::string HostStats::dump() const {
           static_cast<unsigned long long>(Serving.Workers[W].Processed),
           static_cast<double>(Serving.Workers[W].BusyNs) / 1e6);
   }
+  if (Trace.active())
+    appendFormat(
+        S, "  trace:    %s, %llu events (%llu dropped, %llu pending) in "
+           "%llu rings\n",
+        Trace.Enabled ? "enabled" : "disabled",
+        static_cast<unsigned long long>(Trace.Emitted),
+        static_cast<unsigned long long>(Trace.Dropped),
+        static_cast<unsigned long long>(Trace.Pending),
+        static_cast<unsigned long long>(Trace.Rings));
   return S;
 }

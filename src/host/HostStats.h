@@ -13,6 +13,7 @@
 #ifndef OMNI_HOST_HOSTSTATS_H
 #define OMNI_HOST_HOSTSTATS_H
 
+#include "obs/Tracer.h"
 #include "vm/Trap.h"
 
 #include <cstdint>
@@ -123,6 +124,9 @@ struct HostStats {
 
   // Serving layer (empty unless the snapshot came from a Server).
   ServingStats Serving;
+
+  // Tracer accounting (event/drop counts; empty until tracing has run).
+  obs::TraceStats Trace;
 
   uint64_t rejects(LoadStage Stage) const {
     return Rejects[static_cast<unsigned>(Stage)];

@@ -2,6 +2,7 @@
 
 #include "host/ModuleHost.h"
 
+#include "obs/Tracer.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "vm/Verifier.h"
@@ -132,6 +133,9 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
   LM->ContentHash = contentHash(Exe);
   Counters.LoadCount.fetch_add(1, std::memory_order_relaxed);
 
+  obs::ScopedSpan Span("Load", "host");
+  Span.arg("module", LM->ContentHash);
+
   std::string Message;
   if (!checkResources(Exe, LM->Seg, Limits, Message)) {
     reject(Err, LoadStage::Resource, LM->ContentHash, std::move(Message));
@@ -146,14 +150,21 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
     LM->Translation = Cached;
     LM->WarmLoad = true;
     LM->Exe = Cached->Exe;
+    Span.arg("warm", 1);
     return LM;
   }
+  Span.arg("warm", 0);
 
   // verify: the translator trusts its input only after the load-time
   // verifier has accepted it.
   auto VerifyStart = Clock::now();
   std::vector<std::string> VerifyErrors;
-  bool Verified = vm::verifyExecutable(Exe, VerifyErrors);
+  bool Verified;
+  {
+    obs::ScopedSpan VerifySpan("Verify", "host");
+    VerifySpan.arg("instrs", Exe.Code.size());
+    Verified = vm::verifyExecutable(Exe, VerifyErrors);
+  }
   uint64_t VerifyTime = nsSince(VerifyStart);
   Counters.VerifyCount.fetch_add(1, std::memory_order_relaxed);
   Counters.VerifyNs.fetch_add(VerifyTime, std::memory_order_relaxed);
@@ -166,8 +177,13 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
   auto TranslateStart = Clock::now();
   auto Code = std::make_shared<target::TargetCode>();
   std::string TranslateError;
-  bool Translated =
-      translate::translate(Kind, Exe, Opts, LM->Seg, *Code, TranslateError);
+  bool Translated;
+  {
+    obs::ScopedSpan TranslateSpan("Translate", "host");
+    Translated =
+        translate::translate(Kind, Exe, Opts, LM->Seg, *Code, TranslateError);
+    TranslateSpan.arg("native_instrs", Code->Code.size());
+  }
   uint64_t TranslateTime = nsSince(TranslateStart);
   Counters.TranslateCount.fetch_add(1, std::memory_order_relaxed);
   Counters.TranslateNs.fetch_add(TranslateTime, std::memory_order_relaxed);
@@ -197,6 +213,8 @@ ModuleHost::loadBytes(target::TargetKind Kind, const std::vector<uint8_t> &Owx,
                       const translate::TranslateOptions &Opts,
                       LoadError &Err) {
   Err = LoadError();
+  obs::ScopedSpan Span("LoadBytes", "host");
+  Span.arg("bytes", Owx.size());
   if (Owx.size() > Limits.MaxOwxBytes) {
     reject(Err, LoadStage::Resource, /*ContentHash=*/0,
            formatStr("image is %zu bytes (limit %u)", Owx.size(),
@@ -205,7 +223,12 @@ ModuleHost::loadBytes(target::TargetKind Kind, const std::vector<uint8_t> &Owx,
   }
   vm::Module Exe;
   std::string Message;
-  if (!vm::Module::deserialize(Owx, Exe, Message)) {
+  bool Deserialized;
+  {
+    obs::ScopedSpan DeserializeSpan("Deserialize", "host");
+    Deserialized = vm::Module::deserialize(Owx, Exe, Message);
+  }
+  if (!Deserialized) {
     reject(Err, LoadStage::Deserialize, /*ContentHash=*/0,
            std::move(Message));
     return nullptr;
@@ -221,6 +244,10 @@ ModuleHost::loadForInterpreter(const vm::Module &Exe, LoadError &Err) {
   LM->ContentHash = contentHash(Exe);
   Counters.LoadCount.fetch_add(1, std::memory_order_relaxed);
 
+  obs::ScopedSpan Span("Load", "host");
+  Span.arg("module", LM->ContentHash);
+  Span.arg("interpreted", 1);
+
   std::string Message;
   if (!checkResources(Exe, LM->Seg, Limits, Message)) {
     reject(Err, LoadStage::Resource, LM->ContentHash, std::move(Message));
@@ -231,7 +258,12 @@ ModuleHost::loadForInterpreter(const vm::Module &Exe, LoadError &Err) {
   // way the translator does, so interpreted loads verify too.
   auto VerifyStart = Clock::now();
   std::vector<std::string> VerifyErrors;
-  bool Verified = vm::verifyExecutable(Exe, VerifyErrors);
+  bool Verified;
+  {
+    obs::ScopedSpan VerifySpan("Verify", "host");
+    VerifySpan.arg("instrs", Exe.Code.size());
+    Verified = vm::verifyExecutable(Exe, VerifyErrors);
+  }
   uint64_t VerifyTime = nsSince(VerifyStart);
   Counters.VerifyCount.fetch_add(1, std::memory_order_relaxed);
   Counters.VerifyNs.fetch_add(VerifyTime, std::memory_order_relaxed);
@@ -268,6 +300,8 @@ std::unique_ptr<Session> ModuleHost::createSession(
 
   // bind: install the image into the session's private segment and
   // resolve imports against the granted host functions.
+  obs::ScopedSpan Span("Bind", "host");
+  Span.arg("module", S->LM->ContentHash);
   auto BindStart = Clock::now();
   std::string Error;
   if (!runtime::loadImage(Exe, S->Mem, Error)) {
@@ -304,6 +338,10 @@ runtime::RunResult Session::run(uint64_t MaxSteps) {
     Owner->recordTrap(R.Trap.Kind);
     return R;
   }
+  // Coarse engine span: one per execution, closed with the step count and
+  // final trap kind so a drained trace decomposes a request end to end.
+  obs::ScopedSpan Span("Run", "run");
+  Span.arg("module", LM->ContentHash);
   if (LM->isInterpreted()) {
     vm::Interpreter Interp(*LM->Exe, Mem);
     Interp.setHostHandler(Env.handler());
@@ -311,6 +349,9 @@ runtime::RunResult Session::run(uint64_t MaxSteps) {
     R.Trap = Interp.run(MaxSteps);
     R.Output = Env.output();
     R.InstrCount = Interp.instrCount();
+    Span.arg("interpreted", 1);
+    Span.arg("steps", R.InstrCount);
+    Span.arg("trap", static_cast<uint64_t>(R.Trap.Kind));
     Owner->recordTrap(R.Trap.Kind);
     return R;
   }
@@ -322,6 +363,9 @@ runtime::RunResult Session::run(uint64_t MaxSteps) {
   R.Output = Env.output();
   R.InstrCount = Sim.stats().Instructions;
   Stats = Sim.stats();
+  Span.arg("interpreted", 0);
+  Span.arg("steps", R.InstrCount);
+  Span.arg("trap", static_cast<uint64_t>(R.Trap.Kind));
   Owner->recordTrap(R.Trap.Kind);
   return R;
 }
@@ -411,5 +455,6 @@ HostStats ModuleHost::stats() const {
   S.CacheCorruptRejects = Cache.corruptRejects();
   S.ResidentBytes = Cache.residentBytes();
   S.ResidentEntries = Cache.residentEntries();
+  S.Trace = obs::Tracer::get().stats();
   return S;
 }

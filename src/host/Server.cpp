@@ -2,7 +2,11 @@
 
 #include "host/Server.h"
 
+#include "obs/TraceExporter.h"
+#include "obs/Tracer.h"
+
 #include <algorithm>
+#include <cstdio>
 
 using namespace omni;
 using namespace omni::host;
@@ -12,6 +16,8 @@ Server::Server(ModuleHost &HostIn, Options Opts) : Host(HostIn), Opt(Opts) {
     unsigned Hw = std::thread::hardware_concurrency();
     Opt.Workers = Hw ? Hw : 1;
   }
+  if (Opt.Trace)
+    obs::Tracer::get().setEnabled(true);
   if (Opt.QueueCapacity == 0)
     Opt.QueueCapacity = 1;
   if (Opt.MaxStepBudget == 0 || Opt.MaxStepBudget > vm::DefaultStepBudget)
@@ -42,11 +48,17 @@ bool Server::submit(Request Req, Callback Done, bool Wait) {
     return false; // shut down: not a backpressure event
   if (Queue.size() >= Opt.QueueCapacity) {
     Lock.unlock();
+    if (obs::traceEnabled())
+      obs::Tracer::get().instant("RejectFull", "server");
     std::lock_guard<std::mutex> SLock(StatsMu);
     ++Serving.RejectedOnFull;
     return false;
   }
-  Queue.push_back(Job{std::move(Req), std::move(Done), Clock::now()});
+  Job J{std::move(Req), std::move(Done), Clock::now(),
+        NextReqId.fetch_add(1, std::memory_order_relaxed), 0};
+  if (obs::traceEnabled())
+    J.SubmitTraceNs = obs::Tracer::get().nowNs();
+  Queue.push_back(std::move(J));
   size_t Depth = Queue.size();
   Lock.unlock();
   WorkCv.notify_one();
@@ -100,6 +112,20 @@ void Server::shutdown() {
   for (std::thread &T : Pool)
     if (T.joinable())
       T.join();
+  // With the workers quiet, leave the requested trace artifact behind.
+  if (!Opt.TracePath.empty() && !TraceExported) {
+    TraceExported = true;
+    std::vector<obs::TraceEvent> Events;
+    obs::Tracer::get().drain(Events);
+    std::string Error;
+    if (!obs::writeChromeTrace(Opt.TracePath, Events, Error))
+      std::fprintf(stderr, "server: trace export failed: %s\n",
+                   Error.c_str());
+    else
+      std::fprintf(stderr, "%s", obs::textSummary(Events).c_str());
+  }
+  if (Opt.Trace)
+    obs::Tracer::get().setEnabled(false);
 }
 
 Response Server::execute(Request &Req, unsigned Index) {
@@ -147,7 +173,23 @@ void Server::workerMain(unsigned Index) {
     SpaceCv.notify_one();
 
     auto DequeueTime = Clock::now();
-    Response Rsp = execute(J.Req, Index);
+    Response Rsp;
+    {
+      // Every span the request's pipeline emits below here shares the
+      // request id, so a drained trace groups by request.
+      obs::CorrelationScope Corr(J.ReqId);
+      if (J.SubmitTraceNs && obs::traceEnabled()) {
+        obs::Tracer &T = obs::Tracer::get();
+        uint64_t NowNs = T.nowNs();
+        T.complete("QueueWait", "server", J.SubmitTraceNs,
+                   NowNs - J.SubmitTraceNs, {{"request", J.ReqId}});
+      }
+      obs::ScopedSpan Span("Execute", "server");
+      Span.arg("request", J.ReqId);
+      Span.arg("worker", Index);
+      Rsp = execute(J.Req, Index);
+      Span.arg("executed", Rsp.Executed ? 1 : 0);
+    }
     auto DoneTime = Clock::now();
     Rsp.QueueNs = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(DequeueTime -

@@ -85,6 +85,13 @@ public:
     size_t QueueCapacity = 256;
     /// Ceiling on any request's step budget.
     uint64_t MaxStepBudget = vm::DefaultStepBudget;
+    /// Turns the process-wide tracer on for this server's lifetime. Every
+    /// request then leaves a full span timeline (queue wait, load stages,
+    /// execute) keyed by its request id.
+    bool Trace = false;
+    /// When non-empty, shutdown() drains the tracer and writes a
+    /// chrome://tracing JSON file here (and a text summary to stderr).
+    std::string TracePath;
   };
 
   using Callback = std::function<void(Response)>;
@@ -132,6 +139,8 @@ private:
     Request Req;
     Callback Done;
     Clock::time_point SubmitTime;
+    uint64_t ReqId = 0;        ///< correlation id shared by the request's spans
+    uint64_t SubmitTraceNs = 0; ///< tracer clock at submit (0: not tracing)
   };
 
   void workerMain(unsigned Index);
@@ -152,6 +161,9 @@ private:
 
   mutable std::mutex StatsMu;
   ServingStats Serving;
+
+  std::atomic<uint64_t> NextReqId{1};
+  bool TraceExported = false; ///< shutdown() exports at most once
 
   std::mutex JoinMu; ///< serializes shutdown()'s joins
   std::vector<std::thread> Pool;

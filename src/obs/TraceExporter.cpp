@@ -1,0 +1,478 @@
+//===- obs/TraceExporter.cpp -----------------------------------------------===//
+
+#include "obs/TraceExporter.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <numeric>
+
+using namespace omni;
+using namespace omni::obs;
+
+uint64_t SpanNode::arg(const char *N, uint64_t Default) const {
+  for (unsigned I = 0; I < NumArgs; ++I)
+    if (std::strcmp(ArgNames[I], N) == 0)
+      return ArgValues[I];
+  return Default;
+}
+
+bool SpanNode::hasArg(const char *N) const {
+  for (unsigned I = 0; I < NumArgs; ++I)
+    if (std::strcmp(ArgNames[I], N) == 0)
+      return true;
+  return false;
+}
+
+bool omni::obs::buildSpanTree(const std::vector<TraceEvent> &Events,
+                              std::vector<SpanNode> &Nodes,
+                              std::string &Error) {
+  Nodes.clear();
+  // drain() appends each ring's events in program order, so a single
+  // in-order walk with one open-span stack per thread reconstructs the
+  // nesting exactly.
+  std::map<uint32_t, std::vector<int>> Stacks;
+  for (const TraceEvent &E : Events) {
+    std::vector<int> &Stack = Stacks[E.ThreadId];
+    switch (E.Kind) {
+    case EventKind::SpanBegin: {
+      SpanNode N;
+      N.Name = E.Name;
+      N.Category = E.Category;
+      N.Kind = EventKind::SpanBegin;
+      N.ThreadId = E.ThreadId;
+      N.Correlation = E.Correlation;
+      N.BeginNs = E.TimeNs;
+      N.EndNs = E.TimeNs;
+      N.Parent = Stack.empty() ? -1 : Stack.back();
+      Stack.push_back(static_cast<int>(Nodes.size()));
+      Nodes.push_back(N);
+      break;
+    }
+    case EventKind::SpanEnd: {
+      if (Stack.empty()) {
+        Error = formatStr("thread %u: end of span '%s' with no open span",
+                          E.ThreadId, E.Name);
+        return false;
+      }
+      SpanNode &N = Nodes[Stack.back()];
+      if (std::strcmp(N.Name, E.Name) != 0) {
+        Error = formatStr("thread %u: end of span '%s' while '%s' is open",
+                          E.ThreadId, E.Name, N.Name);
+        return false;
+      }
+      N.EndNs = E.TimeNs;
+      for (unsigned I = 0; I < E.NumArgs && N.NumArgs < MaxTraceArgs; ++I) {
+        N.ArgNames[N.NumArgs] = E.ArgNames[I];
+        N.ArgValues[N.NumArgs] = E.ArgValues[I];
+        ++N.NumArgs;
+      }
+      Stack.pop_back();
+      break;
+    }
+    case EventKind::Instant:
+    case EventKind::Complete: {
+      SpanNode N;
+      N.Name = E.Name;
+      N.Category = E.Category;
+      N.Kind = E.Kind;
+      N.ThreadId = E.ThreadId;
+      N.Correlation = E.Correlation;
+      N.BeginNs = E.TimeNs;
+      N.EndNs = E.TimeNs + (E.Kind == EventKind::Complete ? E.DurNs : 0);
+      N.Parent = Stack.empty() ? -1 : Stack.back();
+      for (unsigned I = 0; I < E.NumArgs; ++I) {
+        N.ArgNames[N.NumArgs] = E.ArgNames[I];
+        N.ArgValues[N.NumArgs] = E.ArgValues[I];
+        ++N.NumArgs;
+      }
+      Nodes.push_back(N);
+      break;
+    }
+    }
+  }
+  for (const auto &KV : Stacks)
+    if (!KV.second.empty()) {
+      Error = formatStr("thread %u: span '%s' was never closed", KV.first,
+                        Nodes[KV.second.back()].Name);
+      return false;
+    }
+  Error.clear();
+  return true;
+}
+
+namespace {
+
+void appendJsonString(std::string &S, const char *Text) {
+  S += '"';
+  for (const char *P = Text; *P; ++P) {
+    unsigned char C = static_cast<unsigned char>(*P);
+    switch (C) {
+    case '"':
+      S += "\\\"";
+      break;
+    case '\\':
+      S += "\\\\";
+      break;
+    case '\n':
+      S += "\\n";
+      break;
+    case '\t':
+      S += "\\t";
+      break;
+    case '\r':
+      S += "\\r";
+      break;
+    default:
+      if (C < 0x20)
+        appendFormat(S, "\\u%04x", C);
+      else
+        S += static_cast<char>(C);
+    }
+  }
+  S += '"';
+}
+
+/// Argument values are plain JSON numbers while they are exactly
+/// representable in a double (chrome's viewer parses numbers as doubles);
+/// larger values — content hashes — become hex strings instead of
+/// silently losing bits.
+void appendArgValue(std::string &S, uint64_t V) {
+  if (V <= (1ull << 53))
+    appendFormat(S, "%llu", static_cast<unsigned long long>(V));
+  else
+    appendFormat(S, "\"0x%016llx\"", static_cast<unsigned long long>(V));
+}
+
+void appendArgs(std::string &S, const TraceEvent &E) {
+  S += "\"args\":{\"correlation\":";
+  appendFormat(S, "\"0x%016llx\"",
+               static_cast<unsigned long long>(E.Correlation));
+  for (unsigned I = 0; I < E.NumArgs; ++I) {
+    S += ',';
+    appendJsonString(S, E.ArgNames[I]);
+    S += ':';
+    appendArgValue(S, E.ArgValues[I]);
+  }
+  S += '}';
+}
+
+void appendMicros(std::string &S, uint64_t Ns) {
+  appendFormat(S, "%llu.%03llu", static_cast<unsigned long long>(Ns / 1000),
+               static_cast<unsigned long long>(Ns % 1000));
+}
+
+} // namespace
+
+std::string omni::obs::toChromeJson(const std::vector<TraceEvent> &Events) {
+  // The viewer wants per-tid begin/end in timestamp order; per-thread
+  // order already holds, a stable sort merges threads without breaking
+  // it.
+  std::vector<size_t> Order(Events.size());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Events[A].TimeNs < Events[B].TimeNs;
+  });
+
+  std::string S = "{\"traceEvents\":[";
+  bool First = true;
+  for (size_t Idx : Order) {
+    const TraceEvent &E = Events[Idx];
+    if (!First)
+      S += ',';
+    First = false;
+    S += "{\"name\":";
+    appendJsonString(S, E.Name);
+    S += ",\"cat\":";
+    appendJsonString(S, *E.Category ? E.Category : "trace");
+    const char *Ph = "i";
+    switch (E.Kind) {
+    case EventKind::SpanBegin:
+      Ph = "B";
+      break;
+    case EventKind::SpanEnd:
+      Ph = "E";
+      break;
+    case EventKind::Instant:
+      Ph = "i";
+      break;
+    case EventKind::Complete:
+      Ph = "X";
+      break;
+    }
+    appendFormat(S, ",\"ph\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":", Ph,
+                 E.ThreadId);
+    appendMicros(S, E.TimeNs);
+    if (E.Kind == EventKind::Complete) {
+      S += ",\"dur\":";
+      appendMicros(S, E.DurNs);
+    }
+    if (E.Kind == EventKind::Instant)
+      S += ",\"s\":\"t\"";
+    S += ',';
+    appendArgs(S, E);
+    S += '}';
+  }
+  S += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":"
+       "\"omniware-obs\"}}";
+  return S;
+}
+
+bool omni::obs::writeChromeTrace(const std::string &Path,
+                                 const std::vector<TraceEvent> &Events,
+                                 std::string &Error) {
+  std::string Json = toChromeJson(Events);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = formatStr("cannot open %s for writing", Path.c_str());
+    return false;
+  }
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Closed = std::fclose(F) == 0;
+  if (Written != Json.size() || !Closed) {
+    Error = formatStr("short write to %s", Path.c_str());
+    return false;
+  }
+  Error.clear();
+  return true;
+}
+
+std::string omni::obs::textSummary(const std::vector<TraceEvent> &Events) {
+  std::string S;
+  std::vector<SpanNode> Nodes;
+  std::string TreeError;
+  bool TreeOk = buildSpanTree(Events, Nodes, TreeError);
+  std::map<uint32_t, bool> Threads;
+  for (const TraceEvent &E : Events)
+    Threads[E.ThreadId] = true;
+  appendFormat(S, "trace summary: %zu events across %zu threads\n",
+               Events.size(), Threads.size());
+  if (!TreeOk) {
+    appendFormat(S, "  MALFORMED TRACE: %s\n", TreeError.c_str());
+    return S;
+  }
+  struct Agg {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0;
+    uint64_t MaxNs = 0;
+  };
+  std::map<std::string, Agg> Spans, Instants;
+  for (const SpanNode &N : Nodes) {
+    if (N.Kind == EventKind::Instant) {
+      ++Instants[N.Name].Count;
+      continue;
+    }
+    Agg &A = Spans[N.Name];
+    ++A.Count;
+    A.TotalNs += N.durNs();
+    A.MaxNs = std::max(A.MaxNs, N.durNs());
+  }
+  if (!Spans.empty())
+    appendFormat(S, "  %-16s %8s %12s %12s %12s\n", "span", "count",
+                 "total ms", "mean ms", "max ms");
+  for (const auto &KV : Spans)
+    appendFormat(S, "  %-16s %8llu %12.3f %12.3f %12.3f\n",
+                 KV.first.c_str(),
+                 static_cast<unsigned long long>(KV.second.Count),
+                 static_cast<double>(KV.second.TotalNs) / 1e6,
+                 static_cast<double>(KV.second.TotalNs) / 1e6 /
+                     static_cast<double>(KV.second.Count),
+                 static_cast<double>(KV.second.MaxNs) / 1e6);
+  if (!Instants.empty())
+    appendFormat(S, "  %-16s %8s\n", "instant", "count");
+  for (const auto &KV : Instants)
+    appendFormat(S, "  %-16s %8llu\n", KV.first.c_str(),
+                 static_cast<unsigned long long>(KV.second.Count));
+  return S;
+}
+
+// --- strict JSON acceptor -------------------------------------------------
+
+namespace {
+
+struct JsonParser {
+  const char *P;
+  const char *End;
+  std::string &Error;
+
+  bool fail(const char *Msg, const char *At) {
+    Error = formatStr("%s at byte %zu", Msg, static_cast<size_t>(At - Start));
+    return false;
+  }
+  const char *Start;
+
+  void skipWs() {
+    while (P < End &&
+           (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool value(unsigned Depth) {
+    if (Depth > 256)
+      return fail("nesting too deep", P);
+    skipWs();
+    if (P >= End)
+      return fail("unexpected end of input", P);
+    switch (*P) {
+    case '{':
+      return object(Depth);
+    case '[':
+      return array(Depth);
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool literal(const char *Lit) {
+    size_t Len = std::strlen(Lit);
+    if (static_cast<size_t>(End - P) < Len ||
+        std::strncmp(P, Lit, Len) != 0)
+      return fail("invalid literal", P);
+    P += Len;
+    return true;
+  }
+
+  bool string() {
+    const char *At = P;
+    ++P; // opening quote
+    while (P < End) {
+      unsigned char C = static_cast<unsigned char>(*P);
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (C == '\\') {
+        ++P;
+        if (P >= End)
+          break;
+        char E = *P;
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++P;
+            if (P >= End || !std::isxdigit(static_cast<unsigned char>(*P)))
+              return fail("bad \\u escape", P);
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return fail("bad escape", P);
+        }
+        ++P;
+        continue;
+      }
+      if (C < 0x20)
+        return fail("control character in string", P);
+      ++P;
+    }
+    return fail("unterminated string", At);
+  }
+
+  bool number() {
+    const char *At = P;
+    if (P < End && *P == '-')
+      ++P;
+    if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+      return fail("invalid number", At);
+    if (*P == '0')
+      ++P;
+    else
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    if (P < End && *P == '.') {
+      ++P;
+      if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return fail("invalid fraction", At);
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    if (P < End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P < End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return fail("invalid exponent", At);
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    return true;
+  }
+
+  bool object(unsigned Depth) {
+    ++P; // '{'
+    skipWs();
+    if (P < End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (P >= End || *P != '"')
+        return fail("expected object key", P);
+      if (!string())
+        return false;
+      skipWs();
+      if (P >= End || *P != ':')
+        return fail("expected ':'", P);
+      ++P;
+      if (!value(Depth + 1))
+        return false;
+      skipWs();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}'", P);
+    }
+  }
+
+  bool array(unsigned Depth) {
+    ++P; // '['
+    skipWs();
+    if (P < End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      if (!value(Depth + 1))
+        return false;
+      skipWs();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']'", P);
+    }
+  }
+};
+
+} // namespace
+
+bool omni::obs::validateJson(const std::string &Text, std::string &Error) {
+  JsonParser Parser{Text.data(), Text.data() + Text.size(), Error,
+                    Text.data()};
+  if (!Parser.value(0))
+    return false;
+  Parser.skipWs();
+  if (Parser.P != Parser.End)
+    return Parser.fail("trailing content", Parser.P);
+  Error.clear();
+  return true;
+}

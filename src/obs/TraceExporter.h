@@ -1,0 +1,86 @@
+//===- obs/TraceExporter.h - chrome://tracing + summary export --*- C++ -*-===//
+///
+/// \file
+/// Turns drained TraceEvents into inspectable artifacts:
+///
+///  - toChromeJson / writeChromeTrace: Trace Event Format JSON (the
+///    chrome://tracing / Perfetto legacy format) — span begin/end become
+///    "B"/"E" phase events, instants "i", externally-timed spans "X",
+///    with timestamps in microseconds and the correlation id and all
+///    name/value arguments in "args".
+///  - buildSpanTree: reconstructs the per-thread span nesting (begins and
+///    ends matched by name, instants and complete events attached to the
+///    enclosing span) and *fails* on malformed traces — an end without a
+///    begin, a name mismatch, or an unclosed span. The golden-trace test
+///    is built on this.
+///  - textSummary: per-span-name count/total/mean table plus instant
+///    counts — the compact form for logs and HostStats-style reports.
+///  - validateJson: a strict little JSON acceptor used by the tests and
+///    the trace_overhead gate to prove exported traces parse.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_OBS_TRACEEXPORTER_H
+#define OMNI_OBS_TRACEEXPORTER_H
+
+#include "obs/Tracer.h"
+
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace obs {
+
+/// One node of a reconstructed span tree. Spans get [BeginNs, EndNs];
+/// instants are zero-length; complete events use their recorded duration.
+struct SpanNode {
+  const char *Name = "";
+  const char *Category = "";
+  EventKind Kind = EventKind::SpanBegin; ///< SpanBegin, Instant or Complete
+  uint32_t ThreadId = 0;
+  uint64_t Correlation = 0;
+  uint64_t BeginNs = 0;
+  uint64_t EndNs = 0;
+  int Parent = -1; ///< index into the node vector; -1 = thread root
+  uint8_t NumArgs = 0;
+  const char *ArgNames[MaxTraceArgs] = {};
+  uint64_t ArgValues[MaxTraceArgs] = {};
+
+  uint64_t durNs() const { return EndNs - BeginNs; }
+  bool isSpan() const { return Kind == EventKind::SpanBegin; }
+  uint64_t arg(const char *N, uint64_t Default = 0) const;
+  bool hasArg(const char *N) const;
+};
+
+/// Rebuilds span nesting from \p Events (per-thread program order, as
+/// drain() produces). Returns false and sets \p Error on any structural
+/// defect: SpanEnd without an open span, SpanEnd whose name differs from
+/// the innermost open begin, or a span still open when its thread's
+/// events are exhausted. On success every begin is matched to exactly one
+/// end and \p Nodes holds spans, instants, and completes with parent
+/// links.
+bool buildSpanTree(const std::vector<TraceEvent> &Events,
+                   std::vector<SpanNode> &Nodes, std::string &Error);
+
+/// Renders \p Events as a Trace Event Format JSON object. Always a
+/// complete, valid JSON document, whatever the events.
+std::string toChromeJson(const std::vector<TraceEvent> &Events);
+
+/// Writes toChromeJson(\p Events) to \p Path. Returns false and sets
+/// \p Error on I/O failure.
+bool writeChromeTrace(const std::string &Path,
+                      const std::vector<TraceEvent> &Events,
+                      std::string &Error);
+
+/// Compact text report: span count/total/mean per name, instant counts,
+/// and a malformed-trace note when the span tree does not reconstruct.
+std::string textSummary(const std::vector<TraceEvent> &Events);
+
+/// Strict JSON acceptor (RFC 8259 value grammar, UTF-8 agnostic: bytes
+/// above 0x1f pass through). Returns false and sets \p Error with a byte
+/// offset on the first defect.
+bool validateJson(const std::string &Text, std::string &Error);
+
+} // namespace obs
+} // namespace omni
+
+#endif // OMNI_OBS_TRACEEXPORTER_H

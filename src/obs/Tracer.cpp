@@ -1,0 +1,219 @@
+//===- obs/Tracer.cpp ------------------------------------------------------===//
+
+#include "obs/Tracer.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace omni;
+using namespace omni::obs;
+
+std::atomic<bool> omni::obs::detail::Enabled{false};
+
+namespace {
+thread_local uint64_t TlCorrelation = 0;
+} // namespace
+
+uint64_t TraceEvent::arg(const char *N, uint64_t Default) const {
+  for (unsigned I = 0; I < NumArgs; ++I)
+    if (std::strcmp(ArgNames[I], N) == 0)
+      return ArgValues[I];
+  return Default;
+}
+
+bool TraceEvent::hasArg(const char *N) const {
+  for (unsigned I = 0; I < NumArgs; ++I)
+    if (std::strcmp(ArgNames[I], N) == 0)
+      return true;
+  return false;
+}
+
+/// One thread's event ring. Strict SPSC: the owning thread is the only
+/// producer; drain() (serialized by DrainMu) is the only consumer. The
+/// producer publishes a slot with a release store of Head; the consumer
+/// releases reusable slots with a release store of Tail.
+struct Tracer::Ring {
+  std::atomic<uint64_t> Head{0};    ///< total events produced
+  std::atomic<uint64_t> Tail{0};    ///< total events consumed
+  std::atomic<uint64_t> Dropped{0}; ///< overflow: newest event discarded
+  /// Emitted/dropped totals at the last clearForTesting(), subtracted
+  /// from the monotone counters when reporting stats.
+  std::atomic<uint64_t> EmittedBase{0};
+  std::atomic<uint64_t> DroppedBase{0};
+  uint32_t Id = 0;
+  std::vector<TraceEvent> Slots;
+
+  Ring() : Slots(RingCapacity) {}
+};
+
+thread_local Tracer::Ring *Tracer::TlRing = nullptr;
+
+Tracer::Tracer()
+    : EpochNs(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+Tracer &Tracer::get() {
+  // Intentionally leaked: instrumented threads may emit until process
+  // exit, and rings must stay valid for them.
+  static Tracer *T = new Tracer;
+  return *T;
+}
+
+uint64_t Tracer::nowNs() const {
+  uint64_t Now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return Now - EpochNs;
+}
+
+uint64_t Tracer::correlation() { return TlCorrelation; }
+void Tracer::setCorrelation(uint64_t C) { TlCorrelation = C; }
+
+Tracer::Ring &Tracer::localRing() {
+  if (TlRing)
+    return *TlRing;
+  std::lock_guard<std::mutex> Lock(RingsMu);
+  Rings.push_back(std::make_unique<Ring>());
+  Rings.back()->Id = static_cast<uint32_t>(Rings.size() - 1);
+  TlRing = Rings.back().get();
+  return *TlRing;
+}
+
+void Tracer::emit(const TraceEvent &E) {
+  Ring &R = localRing();
+  uint64_t Head = R.Head.load(std::memory_order_relaxed);
+  // Acquire pairs with drain()'s release store of Tail: a slot is reused
+  // only after the consumer has fully copied it out.
+  if (Head - R.Tail.load(std::memory_order_acquire) >= RingCapacity) {
+    R.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  R.Slots[Head & (RingCapacity - 1)] = E;
+  // Release publishes the slot contents to the draining thread.
+  R.Head.store(Head + 1, std::memory_order_release);
+}
+
+void Tracer::begin(const char *Name, const char *Category) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Kind = EventKind::SpanBegin;
+  E.TimeNs = nowNs();
+  E.Correlation = TlCorrelation;
+  emit(E);
+}
+
+void Tracer::end(const char *Name, const char *Category, const TraceArg *Args,
+                 unsigned NumArgs) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Kind = EventKind::SpanEnd;
+  E.TimeNs = nowNs();
+  E.Correlation = TlCorrelation;
+  E.NumArgs = static_cast<uint8_t>(NumArgs < MaxTraceArgs ? NumArgs
+                                                          : MaxTraceArgs);
+  for (unsigned I = 0; I < E.NumArgs; ++I) {
+    E.ArgNames[I] = Args[I].Name;
+    E.ArgValues[I] = Args[I].Value;
+  }
+  emit(E);
+}
+
+void Tracer::instant(const char *Name, const char *Category,
+                     std::initializer_list<TraceArg> Args) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Kind = EventKind::Instant;
+  E.TimeNs = nowNs();
+  E.Correlation = TlCorrelation;
+  for (const TraceArg &A : Args) {
+    if (E.NumArgs >= MaxTraceArgs)
+      break;
+    E.ArgNames[E.NumArgs] = A.Name;
+    E.ArgValues[E.NumArgs] = A.Value;
+    ++E.NumArgs;
+  }
+  emit(E);
+}
+
+void Tracer::complete(const char *Name, const char *Category, uint64_t StartNs,
+                      uint64_t DurNs, std::initializer_list<TraceArg> Args) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Kind = EventKind::Complete;
+  E.TimeNs = StartNs;
+  E.DurNs = DurNs;
+  E.Correlation = TlCorrelation;
+  for (const TraceArg &A : Args) {
+    if (E.NumArgs >= MaxTraceArgs)
+      break;
+    E.ArgNames[E.NumArgs] = A.Name;
+    E.ArgValues[E.NumArgs] = A.Value;
+    ++E.NumArgs;
+  }
+  emit(E);
+}
+
+size_t Tracer::drain(std::vector<TraceEvent> &Out) {
+  std::lock_guard<std::mutex> DrainLock(DrainMu);
+  size_t NumRings;
+  {
+    std::lock_guard<std::mutex> Lock(RingsMu);
+    NumRings = Rings.size();
+  }
+  size_t Drained = 0;
+  for (size_t I = 0; I < NumRings; ++I) {
+    Ring *R;
+    {
+      std::lock_guard<std::mutex> Lock(RingsMu);
+      R = Rings[I].get();
+    }
+    uint64_t Tail = R->Tail.load(std::memory_order_relaxed);
+    // Acquire pairs with the producer's release store of Head: the slots
+    // below Head are fully written.
+    uint64_t Head = R->Head.load(std::memory_order_acquire);
+    for (; Tail < Head; ++Tail) {
+      TraceEvent E = R->Slots[Tail & (RingCapacity - 1)];
+      E.ThreadId = R->Id;
+      Out.push_back(E);
+      ++Drained;
+    }
+    // Release hands the consumed slots back to the producer for reuse.
+    R->Tail.store(Tail, std::memory_order_release);
+  }
+  return Drained;
+}
+
+TraceStats Tracer::stats() const {
+  TraceStats S;
+  S.Enabled = traceEnabled();
+  std::lock_guard<std::mutex> Lock(RingsMu);
+  S.Rings = Rings.size();
+  for (const auto &R : Rings) {
+    uint64_t Head = R->Head.load(std::memory_order_relaxed);
+    uint64_t Tail = R->Tail.load(std::memory_order_relaxed);
+    S.Emitted += Head - R->EmittedBase.load(std::memory_order_relaxed);
+    S.Dropped += R->Dropped.load(std::memory_order_relaxed) -
+                 R->DroppedBase.load(std::memory_order_relaxed);
+    S.Pending += Head - Tail;
+  }
+  return S;
+}
+
+void Tracer::clearForTesting() {
+  std::lock_guard<std::mutex> DrainLock(DrainMu);
+  std::lock_guard<std::mutex> Lock(RingsMu);
+  for (const auto &R : Rings) {
+    uint64_t Head = R->Head.load(std::memory_order_acquire);
+    R->Tail.store(Head, std::memory_order_release);
+    R->EmittedBase.store(Head, std::memory_order_relaxed);
+    R->DroppedBase.store(R->Dropped.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+}

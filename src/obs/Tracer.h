@@ -1,0 +1,229 @@
+//===- obs/Tracer.h - Pipeline tracing with per-thread rings ----*- C++ -*-===//
+///
+/// \file
+/// First-class tracing for the serve pipeline. The paper's argument is
+/// about *where* mobile-code time goes (compiler vs translator, and the
+/// per-component expansion of Figure 1); the tracer makes that question
+/// answerable per request instead of only in aggregate: every pipeline
+/// stage emits span begin/end (or instant) events carrying monotonic
+/// timestamps, a request/module correlation id, and up to eight
+/// name/value arguments (step counts, cache bytes, expansion-category
+/// counters).
+///
+/// Design contract:
+///  - Compiled in, switched at runtime. The disabled fast path is ONE
+///    relaxed atomic load per call site — no singleton guard, no TLS
+///    access, no allocation. `bench/trace_overhead` enforces this with a
+///    2% throughput gate.
+///  - Per-thread lock-free SPSC rings. Each emitting thread owns a ring
+///    (created on first enabled emit, never freed); a drainer reads all
+///    rings under a drain mutex. Producer and drainer synchronize only
+///    through the ring's head/tail atomics, so emission never blocks and
+///    never takes a lock.
+///  - Overflow drops the newest event and counts it (TraceStats::Dropped);
+///    events are never torn and never block the emitting thread.
+///
+/// Event names and categories must be string literals (or otherwise
+/// immortal): the ring stores the pointers, not copies.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_OBS_TRACER_H
+#define OMNI_OBS_TRACER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace omni {
+namespace obs {
+
+/// Maximum name/value arguments one event can carry. Eight fits the run
+/// span's payload: steps + cycles + the Figure 1 expansion categories.
+constexpr unsigned MaxTraceArgs = 8;
+
+enum class EventKind : uint8_t {
+  SpanBegin, ///< opens a nested span on the emitting thread
+  SpanEnd,   ///< closes the innermost open span (must match its name)
+  Instant,   ///< a point event (cache hit, eviction, backpressure reject)
+  Complete,  ///< a span with an externally measured [TimeNs, TimeNs+DurNs]
+};
+
+/// One name/value event argument. Names are static strings.
+struct TraceArg {
+  const char *Name;
+  uint64_t Value;
+};
+
+/// One trace event as stored in a ring and returned by drain().
+struct TraceEvent {
+  const char *Name = "";
+  const char *Category = "";
+  EventKind Kind = EventKind::Instant;
+  uint8_t NumArgs = 0;
+  uint32_t ThreadId = 0;    ///< ring index; filled in by drain()
+  uint64_t TimeNs = 0;      ///< monotonic, one clock across all threads
+  uint64_t DurNs = 0;       ///< Complete events only
+  uint64_t Correlation = 0; ///< request id / module hash (0 = none)
+  const char *ArgNames[MaxTraceArgs] = {};
+  uint64_t ArgValues[MaxTraceArgs] = {};
+
+  /// Value of argument \p N, or \p Default when absent.
+  uint64_t arg(const char *N, uint64_t Default = 0) const;
+  bool hasArg(const char *N) const;
+};
+
+/// Tracer accounting, snapshot by Tracer::stats() and folded into
+/// HostStats so dump() surfaces drop counts next to the serving numbers.
+struct TraceStats {
+  bool Enabled = false;
+  uint64_t Emitted = 0; ///< events accepted into rings
+  uint64_t Dropped = 0; ///< events lost to ring overflow
+  uint64_t Pending = 0; ///< emitted, not yet drained
+  uint64_t Rings = 0;   ///< per-thread rings created so far
+
+  bool active() const { return Enabled || Emitted || Dropped; }
+};
+
+namespace detail {
+/// The runtime kill switch lives outside the Tracer object so the
+/// disabled path needs no lazily-initialized singleton: exactly one
+/// relaxed atomic load.
+extern std::atomic<bool> Enabled;
+} // namespace detail
+
+/// The per-call-site fast-path check. Relaxed is correct: enabling
+/// tracing mid-flight only needs eventual visibility, not ordering.
+inline bool traceEnabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide tracer. All methods are thread-safe; emit paths are
+/// lock-free (per-thread SPSC rings), drain paths serialize on a mutex.
+class Tracer {
+public:
+  /// Events per thread ring. Power of two; ~8k events absorbs thousands
+  /// of requests between drains at ~10 events per warm request.
+  static constexpr size_t RingCapacity = 1u << 13;
+
+  /// The process singleton (never destroyed: rings must outlive any
+  /// late-exiting instrumented thread).
+  static Tracer &get();
+
+  void setEnabled(bool On) {
+    detail::Enabled.store(On, std::memory_order_relaxed);
+  }
+  bool enabled() const { return traceEnabled(); }
+
+  /// Nanoseconds on the tracer's monotonic clock (one epoch for every
+  /// thread, so cross-thread timestamps are comparable).
+  uint64_t nowNs() const;
+
+  /// Ambient correlation id of the calling thread; every event emitted by
+  /// this thread carries it. Use CorrelationScope for RAII.
+  static uint64_t correlation();
+  static void setCorrelation(uint64_t C);
+
+  // --- emission (callers must have seen traceEnabled() true) -----------
+  void begin(const char *Name, const char *Category);
+  void end(const char *Name, const char *Category, const TraceArg *Args,
+           unsigned NumArgs);
+  void instant(const char *Name, const char *Category,
+               std::initializer_list<TraceArg> Args = {});
+  void complete(const char *Name, const char *Category, uint64_t StartNs,
+                uint64_t DurNs, std::initializer_list<TraceArg> Args = {});
+
+  /// Moves every pending event from every ring into \p Out (appending),
+  /// in per-thread program order. Returns the number of events drained.
+  size_t drain(std::vector<TraceEvent> &Out);
+
+  TraceStats stats() const;
+
+  /// Discards pending events and zeroes the emitted/dropped accounting.
+  /// For tests; racing producers may lose in-flight events, nothing else.
+  void clearForTesting();
+
+private:
+  struct Ring;
+  static thread_local Ring *TlRing; ///< the calling thread's ring (lazy)
+
+  Tracer();
+  Ring &localRing();
+  void emit(const TraceEvent &E);
+
+  uint64_t EpochNs; ///< steady_clock value at construction
+
+  mutable std::mutex RingsMu; ///< guards Rings growth
+  std::vector<std::unique_ptr<Ring>> Rings;
+  std::mutex DrainMu; ///< serializes drain()/clearForTesting()
+
+  friend class ScopedSpan;
+};
+
+/// RAII span: emits SpanBegin on construction when tracing is enabled and
+/// the matching SpanEnd (with any collected args) on destruction. When
+/// tracing is disabled at construction the whole object is one relaxed
+/// load and a null check in the destructor.
+class ScopedSpan {
+public:
+  ScopedSpan(const char *Name, const char *Category) {
+    if (traceEnabled()) {
+      this->Name = Name;
+      this->Category = Category;
+      Tracer::get().begin(Name, Category);
+    }
+  }
+  ~ScopedSpan() {
+    if (Name)
+      Tracer::get().end(Name, Category, Args, NumArgs);
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  /// Attaches an argument to the span's end event (no-op when the span is
+  /// not recording). Use for values only known at stage exit — step
+  /// counts, byte sizes, expansion counters.
+  void arg(const char *N, uint64_t V) {
+    if (Name && NumArgs < MaxTraceArgs) {
+      Args[NumArgs].Name = N;
+      Args[NumArgs].Value = V;
+      ++NumArgs;
+    }
+  }
+  bool recording() const { return Name != nullptr; }
+
+private:
+  const char *Name = nullptr;
+  const char *Category = nullptr;
+  TraceArg Args[MaxTraceArgs];
+  uint8_t NumArgs = 0;
+};
+
+/// RAII ambient-correlation scope (request id on a worker, module hash in
+/// a load). Does nothing when tracing is disabled at entry.
+class CorrelationScope {
+public:
+  explicit CorrelationScope(uint64_t C) {
+    if (traceEnabled()) {
+      Active = true;
+      Prev = Tracer::correlation();
+      Tracer::setCorrelation(C);
+    }
+  }
+  ~CorrelationScope() {
+    if (Active)
+      Tracer::setCorrelation(Prev);
+  }
+  CorrelationScope(const CorrelationScope &) = delete;
+  CorrelationScope &operator=(const CorrelationScope &) = delete;
+
+private:
+  uint64_t Prev = 0;
+  bool Active = false;
+};
+
+} // namespace obs
+} // namespace omni
+
+#endif // OMNI_OBS_TRACER_H

@@ -3,17 +3,21 @@
 #include "runtime/Run.h"
 
 #include "host/ModuleHost.h"
+#include "obs/Tracer.h"
 
 using namespace omni;
 using namespace omni::runtime;
 
 // Both helpers route through the process-wide hosting service, so every
 // caller — tests, benches, examples — exercises the real serve path and
-// repeated runs of the same module hit its translation cache.
+// repeated runs of the same module hit its translation cache. The
+// top-level spans bracket the whole load -> bind -> run round trip for
+// callers outside the serving layer.
 
 RunResult omni::runtime::runOnInterpreter(
     const vm::Module &Exe, uint64_t MaxSteps,
     const std::function<void(HostEnv &)> &ExtraSetup) {
+  obs::ScopedSpan Span("RunOnInterpreter", "runtime");
   return host::ModuleHost::shared().runInterpreter(Exe, MaxSteps, ExtraSetup);
 }
 
@@ -21,6 +25,7 @@ TargetRunResult omni::runtime::runOnTarget(
     target::TargetKind Kind, const vm::Module &Exe,
     const translate::TranslateOptions &Opts, uint64_t MaxSteps,
     const std::function<void(HostEnv &)> &ExtraSetup) {
+  obs::ScopedSpan Span("RunOnTarget", "runtime");
   return host::ModuleHost::shared().runTarget(Kind, Exe, Opts, MaxSteps,
                                               ExtraSetup);
 }

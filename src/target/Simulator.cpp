@@ -2,6 +2,7 @@
 
 #include "target/Simulator.h"
 
+#include "obs/Tracer.h"
 #include "vm/Opcode.h"
 
 #include <bit>
@@ -686,6 +687,24 @@ void Simulator::writeLink(const TInstr &I) {
 }
 
 vm::Trap Simulator::run(uint64_t MaxSteps) {
+  obs::ScopedSpan Span("Simulate", "target");
+  vm::Trap T = runLoop(MaxSteps);
+  if (Span.recording()) {
+    // The paper's Figure 1 decomposition, per run: how many executed
+    // native instructions exist because of each expansion component.
+    Span.arg("instrs", Stats.Instructions);
+    Span.arg("cycles", Stats.Cycles);
+    Span.arg("addr", Stats.catCount(ExpCat::Addr));
+    Span.arg("cmp", Stats.catCount(ExpCat::Cmp));
+    Span.arg("ldi", Stats.catCount(ExpCat::Ldi));
+    Span.arg("bnop", Stats.catCount(ExpCat::Bnop));
+    Span.arg("sfi", Stats.catCount(ExpCat::Sfi));
+    Span.arg("base", Stats.baseCount());
+  }
+  return T;
+}
+
+vm::Trap Simulator::runLoop(uint64_t MaxSteps) {
   const TInstr *Is = Code.Code.data();
   const uint32_t N = static_cast<uint32_t>(Code.Code.size());
   uint64_t Steps = 0;

@@ -58,7 +58,9 @@ public:
   void reset();
 
   /// Runs until a trap (including Halt) or \p MaxSteps executed native
-  /// instructions.
+  /// instructions. Emits a coarse "Simulate" trace span carrying the
+  /// run's instruction/cycle counts and the Figure 1 per-category
+  /// expansion counters when tracing is enabled.
   vm::Trap run(uint64_t MaxSteps);
 
   const SimStats &stats() const { return Stats; }
@@ -73,6 +75,7 @@ public:
 private:
   static constexpr unsigned NumRegs = 64;
 
+  vm::Trap runLoop(uint64_t MaxSteps);
   uint64_t srcReady(const TInstr &I) const;
   void account(const TInstr &I, bool Mispredict = false);
   uint32_t effectiveAddr(const TInstr &I) const;

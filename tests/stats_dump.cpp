@@ -1,0 +1,235 @@
+//===- tests/stats_dump.cpp - HostStats::dump() snapshot contract ---------===//
+///
+/// The text report is an interface: operators grep it, the benches print
+/// it, and the trace section was bolted onto it — so its shape is pinned
+/// here. A hand-filled snapshot must render its sections byte-for-byte,
+/// optional sections (serving, trace) must appear exactly when their
+/// stats are active, and a real mixed workload (warm / cold / hostile /
+/// runaway) through a Server must produce a dump whose serving, reject,
+/// and trap lines reconcile with the submission census.
+
+#include "host/HostStats.h"
+
+#include "driver/Compiler.h"
+#include "host/Server.h"
+#include "vm/Assembler.h"
+#include "vm/Linker.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using host::HostStats;
+using host::LoadStage;
+
+namespace {
+
+bool contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+vm::Module compile(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Exe;
+}
+
+vm::Module loopModule() {
+  DiagnosticEngine Diags;
+  vm::Module Obj;
+  EXPECT_TRUE(vm::assemble(R"(
+        .text
+        .global main
+main:   j main
+)",
+                           Obj, Diags))
+      << Diags.render("loop.s");
+  vm::Module Exe;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(vm::link({Obj}, vm::LinkOptions(), Exe, Errors));
+  return Exe;
+}
+
+const char *Program = R"(
+void print_int(int);
+int main() {
+  int i, acc = 0;
+  for (i = 0; i < 50; i++) acc += i;
+  print_int(acc);
+  return 0;
+}
+)";
+
+} // namespace
+
+TEST(HostStatsDump, DeterministicSections) {
+  HostStats St;
+  St.LoadCount = 5;
+  St.SessionCount = 3;
+  St.VerifyCount = 2;
+  St.VerifyNs = 1'500'000; // 1.500 ms
+  St.TranslateCount = 2;
+  St.TranslateNs = 250'000; // 0.250 ms
+  St.BindCount = 3;
+  St.BindNs = 42'000; // 0.042 ms
+  St.CacheHits = 7;
+  St.CacheMisses = 2;
+  St.CacheEvictions = 1;
+  St.CacheCorruptRejects = 0;
+  St.Rejects[static_cast<unsigned>(LoadStage::Deserialize)] = 3;
+  St.Rejects[static_cast<unsigned>(LoadStage::Verify)] = 1;
+  St.Traps[static_cast<unsigned>(vm::TrapKind::Halt)] = 3;
+  St.Traps[static_cast<unsigned>(vm::TrapKind::StepLimit)] = 2;
+  St.Traps[static_cast<unsigned>(vm::TrapKind::AccessViolation)] = 1;
+  St.ResidentBytes = 4096;
+  St.ResidentEntries = 2;
+
+  std::string D = St.dump();
+  EXPECT_TRUE(contains(D, "hosting service stats\n")) << D;
+  EXPECT_TRUE(contains(D, "  loads:    5 (sessions: 3)\n")) << D;
+  EXPECT_TRUE(contains(D, "  verify:   2 calls, 1.500 ms\n")) << D;
+  EXPECT_TRUE(contains(D, "  translate:2 calls, 0.250 ms\n")) << D;
+  EXPECT_TRUE(contains(D, "  bind:     3 calls, 0.042 ms\n")) << D;
+  EXPECT_TRUE(
+      contains(D, "  cache:    7 hits, 2 misses, 1 evictions, 0 corrupt\n"))
+      << D;
+  EXPECT_TRUE(contains(D, "  rejects:  4 total, 3 deserialize, 1 verify, "
+                          "0 translate, 0 resource, 0 bind\n"))
+      << D;
+  EXPECT_TRUE(contains(D, "  traps:    3 faults, 3 halt, 1 access-violation, "
+                          "0 bad-jump, 0 divide-by-zero, 0 break, "
+                          "2 step-limit, 0 host-error\n"))
+      << D;
+  EXPECT_TRUE(contains(D, "  resident: 4096 bytes in 2 entries\n")) << D;
+
+  // The optional sections stay out of an inactive snapshot.
+  EXPECT_FALSE(contains(D, "serving:")) << D;
+  EXPECT_FALSE(contains(D, "latency:")) << D;
+  EXPECT_FALSE(contains(D, "trace:")) << D;
+
+  // Serving section appears once serving stats are active, with exact
+  // accounting and one line per worker.
+  St.Serving.Submitted = 20;
+  St.Serving.Completed = 20;
+  St.Serving.Executed = 18;
+  St.Serving.LoadRejected = 2;
+  St.Serving.RejectedOnFull = 5;
+  St.Serving.QueueHighWater = 9;
+  St.Serving.Latency.record(1'000'000);
+  St.Serving.Latency.record(2'000'000);
+  St.Serving.QueueWait.record(10'000);
+  St.Serving.Workers.resize(2);
+  St.Serving.Workers[0].Processed = 12;
+  St.Serving.Workers[1].Processed = 8;
+
+  D = St.dump();
+  EXPECT_TRUE(contains(D, "  serving:  20 submitted, 20 completed "
+                          "(18 executed, 2 load-rejected), "
+                          "5 rejected-on-full\n"))
+      << D;
+  EXPECT_TRUE(contains(D, "  queue:    high-water 9,")) << D;
+  EXPECT_TRUE(contains(D, "  latency:  p50 ")) << D;
+  EXPECT_TRUE(contains(D, "  worker  0: 12 requests,")) << D;
+  EXPECT_TRUE(contains(D, "  worker  1: 8 requests,")) << D;
+}
+
+TEST(HostStatsDump, TraceSectionAppearsWhenActive) {
+  HostStats St;
+  EXPECT_FALSE(contains(St.dump(), "trace:"));
+
+  St.Trace.Enabled = true;
+  St.Trace.Emitted = 7;
+  St.Trace.Dropped = 1;
+  St.Trace.Pending = 2;
+  St.Trace.Rings = 3;
+  EXPECT_TRUE(contains(
+      St.dump(),
+      "  trace:    enabled, 7 events (1 dropped, 2 pending) in 3 rings\n"))
+      << St.dump();
+
+  // Disabled-but-used tracing still reports (you want to see the drops),
+  // labeled disabled.
+  St.Trace.Enabled = false;
+  EXPECT_TRUE(contains(St.dump(), "  trace:    disabled, 7 events"))
+      << St.dump();
+}
+
+TEST(HostStatsDump, MixedWorkloadSnapshot) {
+  host::ModuleHost Host;
+  host::LoadError Err;
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+
+  auto WarmLM = Host.load(target::TargetKind::Mips, compile(Program), Opts,
+                          Err);
+  ASSERT_TRUE(WarmLM) << Err.str();
+  auto RunawayLM = Host.load(target::TargetKind::Mips, loopModule(), Opts,
+                             Err);
+  ASSERT_TRUE(RunawayLM) << Err.str();
+  std::vector<uint8_t> ColdOwx =
+      compile("int main() { return 41; }\n").serialize();
+  std::vector<uint8_t> ColdOwx2 =
+      compile("int main() { return 43; }\n").serialize();
+  std::vector<uint8_t> Hostile = ColdOwx;
+  Hostile.resize(Hostile.size() / 3);
+
+  // A known census: 8 warm, 2 cold, 3 hostile, 2 runaway = 15 requests.
+  host::HostStats St;
+  {
+    host::Server::Options SrvOpts;
+    SrvOpts.Workers = 2;
+    SrvOpts.QueueCapacity = 32;
+    host::Server Srv(Host, SrvOpts);
+    auto submit = [&](host::Request R) {
+      ASSERT_TRUE(Srv.submit(std::move(R), nullptr, /*Wait=*/true));
+    };
+    for (unsigned I = 0; I < 8; ++I) {
+      host::Request R;
+      R.Module = WarmLM;
+      submit(std::move(R));
+    }
+    for (const std::vector<uint8_t> *Owx : {&ColdOwx, &ColdOwx2}) {
+      host::Request R;
+      R.Owx = *Owx;
+      submit(std::move(R));
+    }
+    for (unsigned I = 0; I < 3; ++I) {
+      host::Request R;
+      R.Owx = Hostile;
+      submit(std::move(R));
+    }
+    for (unsigned I = 0; I < 2; ++I) {
+      host::Request R;
+      R.Module = RunawayLM;
+      R.StepBudget = 20'000;
+      submit(std::move(R));
+    }
+    Srv.drain();
+    St = Srv.stats();
+  }
+
+  std::string D = St.dump();
+  EXPECT_TRUE(contains(D, "  serving:  15 submitted, 15 completed "
+                          "(12 executed, 3 load-rejected), "
+                          "0 rejected-on-full\n"))
+      << D;
+  EXPECT_EQ(St.rejects(LoadStage::Deserialize), 3u);
+  EXPECT_EQ(St.traps(vm::TrapKind::StepLimit), 2u);
+  EXPECT_EQ(St.traps(vm::TrapKind::Halt), 10u);
+  EXPECT_TRUE(contains(D, ", 3 deserialize,")) << D;
+  EXPECT_TRUE(contains(D, ", 2 step-limit,")) << D;
+  EXPECT_TRUE(contains(D, "  latency:  p50 ")) << D;
+
+  // The histogram's quantiles are ordered and bounded by the max.
+  const host::LatencyHistogram &L = St.Serving.Latency;
+  EXPECT_EQ(L.Count, 15u);
+  EXPECT_LE(L.quantileNs(0.5), L.quantileNs(0.99));
+  EXPECT_LE(L.quantileNs(0.99), L.MaxNs);
+  EXPECT_GT(L.MaxNs, 0u);
+
+  // Two workers, and between them they processed everything.
+  ASSERT_EQ(St.Serving.Workers.size(), 2u);
+  EXPECT_EQ(St.Serving.Workers[0].Processed + St.Serving.Workers[1].Processed,
+            15u);
+}

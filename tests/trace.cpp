@@ -1,0 +1,465 @@
+//===- tests/trace.cpp - golden traces, tracer concurrency, exporter ------===//
+///
+/// Three contracts of the observability layer:
+///
+///  - Golden traces: a cold request produces exactly the pipeline the
+///    design doc promises — Deserialize, Verify, Translate, Bind spans
+///    and a CacheMiss — while a warm request of the same bytes shows a
+///    CacheHit and *no* Verify/Translate; all spans reconstruct into a
+///    well-formed tree (every end matches its begin). The cold/warm trace
+///    is exported as trace_sample.json, the CI artifact.
+///  - Tracer concurrency: N producer threads emitting through their
+///    per-thread rings against one concurrent drainer lose nothing except
+///    counted overflow drops, and never tear an event.
+///  - Exporter: chrome-trace JSON always validates, the strict validator
+///    rejects malformed JSON, and buildSpanTree rejects malformed traces.
+
+#include "obs/TraceExporter.h"
+#include "obs/Tracer.h"
+
+#include "driver/Compiler.h"
+#include "host/ModuleHost.h"
+#include "host/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <thread>
+
+using namespace omni;
+using obs::EventKind;
+using obs::SpanNode;
+using obs::TraceEvent;
+using obs::Tracer;
+
+namespace {
+
+vm::Module compile(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Exe;
+}
+
+const char *Program = R"(
+void print_int(int);
+int main() {
+  int i, acc = 0;
+  for (i = 1; i <= 10; i++) acc += i * i;
+  print_int(acc);
+  return 0;
+}
+)";
+
+/// Every test starts from a clean, enabled tracer and leaves it disabled
+/// and empty, whatever happens in between.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Tracer::get().setEnabled(false);
+    Tracer::get().clearForTesting();
+    Tracer::get().setEnabled(true);
+  }
+  void TearDown() override {
+    Tracer::get().setEnabled(false);
+    Tracer::get().clearForTesting();
+  }
+};
+
+size_t countSpans(const std::vector<SpanNode> &Nodes, const char *Name) {
+  return std::count_if(Nodes.begin(), Nodes.end(), [&](const SpanNode &N) {
+    return N.isSpan() && std::string(N.Name) == Name;
+  });
+}
+
+size_t countInstants(const std::vector<SpanNode> &Nodes, const char *Name) {
+  return std::count_if(Nodes.begin(), Nodes.end(), [&](const SpanNode &N) {
+    return N.Kind == EventKind::Instant && std::string(N.Name) == Name;
+  });
+}
+
+const SpanNode *findSpan(const std::vector<SpanNode> &Nodes,
+                         const char *Name) {
+  for (const SpanNode &N : Nodes)
+    if (N.isSpan() && std::string(N.Name) == Name)
+      return &N;
+  return nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Golden traces
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, GoldenColdThenWarm) {
+  host::ModuleHost Host;
+  std::vector<uint8_t> Owx = compile(Program).serialize();
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+
+  // ---- Cold: full pipeline ----------------------------------------------
+  host::LoadError Err;
+  auto LM = Host.loadBytes(target::TargetKind::Mips, Owx, Opts, Err);
+  ASSERT_TRUE(LM) << Err.str();
+  auto S = Host.createSession(LM);
+  ASSERT_TRUE(S->valid());
+  runtime::RunResult R = S->run();
+  EXPECT_EQ(R.Trap.Kind, vm::TrapKind::Halt);
+
+  std::vector<TraceEvent> ColdEvents;
+  Tracer::get().drain(ColdEvents);
+  ASSERT_FALSE(ColdEvents.empty());
+
+  std::vector<SpanNode> Cold;
+  std::string TreeErr;
+  ASSERT_TRUE(obs::buildSpanTree(ColdEvents, Cold, TreeErr)) << TreeErr;
+
+  // The full cold pipeline, each stage exactly once.
+  EXPECT_EQ(countSpans(Cold, "LoadBytes"), 1u);
+  EXPECT_EQ(countSpans(Cold, "Deserialize"), 1u);
+  EXPECT_EQ(countSpans(Cold, "Load"), 1u);
+  EXPECT_EQ(countSpans(Cold, "Verify"), 1u);
+  EXPECT_EQ(countSpans(Cold, "Translate"), 1u);
+  EXPECT_EQ(countSpans(Cold, "Bind"), 1u);
+  EXPECT_EQ(countSpans(Cold, "Run"), 1u);
+  EXPECT_EQ(countSpans(Cold, "Simulate"), 1u);
+  EXPECT_EQ(countInstants(Cold, "CacheMiss"), 1u);
+  EXPECT_EQ(countInstants(Cold, "CacheHit"), 0u);
+
+  // Nesting: the stage spans sit inside their callers.
+  const SpanNode *LoadBytes = findSpan(Cold, "LoadBytes");
+  const SpanNode *Load = findSpan(Cold, "Load");
+  const SpanNode *Verify = findSpan(Cold, "Verify");
+  const SpanNode *Translate = findSpan(Cold, "Translate");
+  const SpanNode *Deser = findSpan(Cold, "Deserialize");
+  ASSERT_TRUE(LoadBytes && Load && Verify && Translate && Deser);
+  auto indexOf = [&](const SpanNode *N) {
+    return static_cast<int>(N - Cold.data());
+  };
+  EXPECT_EQ(Deser->Parent, indexOf(LoadBytes));
+  EXPECT_EQ(Load->Parent, indexOf(LoadBytes));
+  EXPECT_EQ(Verify->Parent, indexOf(Load));
+  EXPECT_EQ(Translate->Parent, indexOf(Load));
+  EXPECT_EQ(Load->arg("warm", 99), 0u);
+  EXPECT_GT(Verify->arg("instrs"), 0u);
+
+  // Timestamps are sane: a parent brackets its children.
+  EXPECT_LE(LoadBytes->BeginNs, Load->BeginNs);
+  EXPECT_GE(LoadBytes->EndNs, Load->EndNs);
+  EXPECT_LE(Load->BeginNs, Translate->BeginNs);
+  EXPECT_GE(Load->EndNs, Translate->EndNs);
+
+  // The run span carries the Figure 1 expansion counters.
+  const SpanNode *Sim = findSpan(Cold, "Simulate");
+  ASSERT_TRUE(Sim);
+  EXPECT_GT(Sim->arg("instrs"), 0u);
+  EXPECT_TRUE(Sim->hasArg("addr"));
+  EXPECT_TRUE(Sim->hasArg("sfi"));
+  EXPECT_TRUE(Sim->hasArg("base"));
+
+  // ---- Warm: same bytes again — cache hit, no verify/translate ----------
+  auto LM2 = Host.loadBytes(target::TargetKind::Mips, Owx, Opts, Err);
+  ASSERT_TRUE(LM2) << Err.str();
+  EXPECT_TRUE(LM2->WarmLoad);
+
+  std::vector<TraceEvent> WarmEvents;
+  Tracer::get().drain(WarmEvents);
+  std::vector<SpanNode> Warm;
+  ASSERT_TRUE(obs::buildSpanTree(WarmEvents, Warm, TreeErr)) << TreeErr;
+
+  EXPECT_EQ(countSpans(Warm, "Deserialize"), 1u);
+  EXPECT_EQ(countSpans(Warm, "Load"), 1u);
+  EXPECT_EQ(countSpans(Warm, "Translate"), 0u);
+  EXPECT_EQ(countSpans(Warm, "Verify"), 0u);
+  EXPECT_EQ(countInstants(Warm, "CacheHit"), 1u);
+  EXPECT_EQ(countInstants(Warm, "CacheMiss"), 0u);
+  const SpanNode *WarmLoad = findSpan(Warm, "Load");
+  ASSERT_TRUE(WarmLoad);
+  EXPECT_EQ(WarmLoad->arg("warm", 99), 1u);
+
+  // ---- Export the whole story as the CI trace artifact ------------------
+  std::vector<TraceEvent> All = ColdEvents;
+  All.insert(All.end(), WarmEvents.begin(), WarmEvents.end());
+  std::string WriteErr;
+  ASSERT_TRUE(obs::writeChromeTrace("trace_sample.json", All, WriteErr))
+      << WriteErr;
+  std::string Json = obs::toChromeJson(All);
+  std::string JsonErr;
+  EXPECT_TRUE(obs::validateJson(Json, JsonErr)) << JsonErr;
+}
+
+TEST_F(TraceTest, GoldenServerWarmRequests) {
+  host::ModuleHost Host;
+  host::LoadError Err;
+  auto LM = Host.load(target::TargetKind::Mips, compile(Program),
+                      translate::TranslateOptions::mobile(true), Err);
+  ASSERT_TRUE(LM) << Err.str();
+
+  const unsigned N = 3;
+  {
+    host::Server::Options Opts;
+    Opts.Workers = 1;
+    Opts.QueueCapacity = 16;
+    host::Server Srv(Host, Opts);
+    // The load above already traced; keep only the serving events.
+    Tracer::get().clearForTesting();
+    for (unsigned I = 0; I < N; ++I) {
+      host::Request R;
+      R.Module = LM;
+      Srv.submit(std::move(R), nullptr, /*Wait=*/true);
+    }
+    Srv.drain();
+  }
+
+  std::vector<TraceEvent> Events;
+  Tracer::get().drain(Events);
+  std::vector<SpanNode> Nodes;
+  std::string TreeErr;
+  ASSERT_TRUE(obs::buildSpanTree(Events, Nodes, TreeErr)) << TreeErr;
+
+  EXPECT_EQ(countSpans(Nodes, "Execute"), N);
+  EXPECT_EQ(countSpans(Nodes, "Run"), N);
+
+  // Every request shows its queue wait, correlated to its Execute span by
+  // the request id, and request ids are distinct and nonzero.
+  std::set<uint64_t> ExecuteIds, WaitIds;
+  for (const SpanNode &Node : Nodes) {
+    if (std::string(Node.Name) == "Execute" && Node.isSpan()) {
+      EXPECT_NE(Node.Correlation, 0u);
+      EXPECT_EQ(Node.Correlation, Node.arg("request"));
+      EXPECT_EQ(Node.arg("executed", 99), 1u);
+      ExecuteIds.insert(Node.Correlation);
+    }
+    if (std::string(Node.Name) == "QueueWait") {
+      EXPECT_EQ(Node.Kind, EventKind::Complete);
+      WaitIds.insert(Node.Correlation);
+    }
+  }
+  EXPECT_EQ(ExecuteIds.size(), N);
+  EXPECT_EQ(WaitIds, ExecuteIds);
+
+  // The serving spans land inside the worker's Execute on its thread:
+  // every Run span has an Execute ancestor.
+  for (const SpanNode &Node : Nodes) {
+    if (!Node.isSpan() || std::string(Node.Name) != "Run")
+      continue;
+    bool UnderExecute = false;
+    for (int P = Node.Parent; P != -1; P = Nodes[P].Parent)
+      if (std::string(Nodes[P].Name) == "Execute")
+        UnderExecute = true;
+    EXPECT_TRUE(UnderExecute);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer concurrency
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, ProducersAndConcurrentDrainerLoseNothing) {
+  const unsigned NumProducers = 4;
+  const uint64_t PerProducer = 20'000;
+  static const char *ProducerNames[NumProducers] = {"p0", "p1", "p2", "p3"};
+
+  std::atomic<bool> Done{false};
+  std::vector<TraceEvent> Collected;
+  std::thread Drainer([&] {
+    while (!Done.load(std::memory_order_acquire))
+      Tracer::get().drain(Collected);
+    Tracer::get().drain(Collected); // final sweep
+  });
+
+  std::vector<std::thread> Producers;
+  for (unsigned P = 0; P < NumProducers; ++P)
+    Producers.emplace_back([P] {
+      for (uint64_t Seq = 0; Seq < PerProducer; ++Seq)
+        Tracer::get().instant(ProducerNames[P], "test",
+                              {{"producer", P}, {"seq", Seq}});
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Drainer.join();
+
+  obs::TraceStats St = Tracer::get().stats();
+  EXPECT_EQ(St.Emitted, Collected.size());
+  EXPECT_EQ(St.Emitted + St.Dropped, NumProducers * PerProducer);
+  EXPECT_EQ(St.Pending, 0u);
+
+  // No torn events: every collected event is exactly what some producer
+  // wrote, and each producer's stream arrives in order (drops leave gaps,
+  // never reorderings or duplicates).
+  uint64_t LastSeq[NumProducers];
+  uint64_t Got[NumProducers] = {};
+  std::fill(LastSeq, LastSeq + NumProducers, ~0ull);
+  for (const TraceEvent &E : Collected) {
+    ASSERT_EQ(E.Kind, EventKind::Instant);
+    ASSERT_EQ(E.NumArgs, 2u);
+    uint64_t P = E.arg("producer", ~0ull);
+    uint64_t Seq = E.arg("seq", ~0ull);
+    ASSERT_LT(P, NumProducers);
+    ASSERT_STREQ(E.Name, ProducerNames[P]);
+    ASSERT_LT(Seq, PerProducer);
+    ASSERT_TRUE(LastSeq[P] == ~0ull || Seq > LastSeq[P])
+        << "producer " << P << " went backwards: " << Seq << " after "
+        << LastSeq[P];
+    LastSeq[P] = Seq;
+    ++Got[P];
+  }
+  uint64_t Total = 0;
+  for (unsigned P = 0; P < NumProducers; ++P)
+    Total += Got[P];
+  EXPECT_EQ(Total, Collected.size());
+}
+
+TEST_F(TraceTest, OverflowDropsNewestAndCounts) {
+  const uint64_t Cap = Tracer::RingCapacity;
+  for (uint64_t I = 0; I < 3 * Cap; ++I)
+    Tracer::get().instant("Tick", "test", {{"seq", I}});
+
+  obs::TraceStats St = Tracer::get().stats();
+  EXPECT_EQ(St.Pending, Cap);
+  EXPECT_EQ(St.Emitted, Cap);
+  EXPECT_EQ(St.Dropped, 2 * Cap);
+
+  // Drop-new: the ring keeps the *oldest* events.
+  std::vector<TraceEvent> Events;
+  Tracer::get().drain(Events);
+  ASSERT_EQ(Events.size(), Cap);
+  for (uint64_t I = 0; I < Cap; ++I)
+    EXPECT_EQ(Events[I].arg("seq", ~0ull), I);
+  EXPECT_EQ(Tracer::get().stats().Pending, 0u);
+}
+
+TEST_F(TraceTest, DisabledEmitsNothingAndRecordsNothing) {
+  Tracer::get().setEnabled(false);
+  {
+    obs::ScopedSpan Span("Ghost", "test");
+    EXPECT_FALSE(Span.recording());
+    Span.arg("ignored", 1); // must be a no-op, not a crash
+    obs::CorrelationScope Corr(1234);
+    EXPECT_EQ(Tracer::correlation(), 0u);
+  }
+  obs::TraceStats St = Tracer::get().stats();
+  EXPECT_FALSE(St.Enabled);
+  EXPECT_EQ(St.Emitted, 0u);
+  EXPECT_EQ(St.Dropped, 0u);
+  std::vector<TraceEvent> Events;
+  EXPECT_EQ(Tracer::get().drain(Events), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TraceEvent makeEvent(const char *Name, EventKind Kind, uint64_t TimeNs,
+                     uint32_t Tid = 0) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = "test";
+  E.Kind = Kind;
+  E.TimeNs = TimeNs;
+  E.ThreadId = Tid;
+  return E;
+}
+
+} // namespace
+
+TEST_F(TraceTest, ChromeJsonValidatesAndEscapes) {
+  std::vector<TraceEvent> Events;
+  TraceEvent B = makeEvent("He said \"hi\"\\\n", EventKind::SpanBegin, 100);
+  B.Correlation = ~0ull; // forces the hex-string rendering path
+  Events.push_back(B);
+  TraceEvent I = makeEvent("i", EventKind::Instant, 150);
+  I.NumArgs = 1;
+  I.ArgNames[0] = "big";
+  I.ArgValues[0] = (1ull << 53) + 1; // not exactly representable as double
+  Events.push_back(I);
+  TraceEvent E = makeEvent("He said \"hi\"\\\n", EventKind::SpanEnd, 200);
+  Events.push_back(E);
+  TraceEvent X = makeEvent("x", EventKind::Complete, 50);
+  X.DurNs = 1000;
+  Events.push_back(X);
+
+  std::string Json = obs::toChromeJson(Events);
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson(Json, Err)) << Err << "\n" << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+
+  // The empty trace is still a valid document.
+  std::string Empty = obs::toChromeJson({});
+  EXPECT_TRUE(obs::validateJson(Empty, Err)) << Err;
+}
+
+TEST_F(TraceTest, ValidatorRejectsBrokenJson) {
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson("[1, 2.5e3, \"a\\n\", true, null]", Err));
+  EXPECT_TRUE(obs::validateJson("{\"a\": {\"b\": []}}", Err));
+  EXPECT_FALSE(obs::validateJson("", Err));
+  EXPECT_FALSE(obs::validateJson("{", Err));
+  EXPECT_FALSE(obs::validateJson("{\"a\":1,}", Err));
+  EXPECT_FALSE(obs::validateJson("[1 2]", Err));
+  EXPECT_FALSE(obs::validateJson("\"\\x\"", Err));
+  EXPECT_FALSE(obs::validateJson("{} trailing", Err));
+  EXPECT_FALSE(obs::validateJson("01", Err));
+  EXPECT_FALSE(obs::validateJson("\"unterminated", Err));
+}
+
+TEST_F(TraceTest, SpanTreeRejectsMalformedTraces) {
+  std::vector<SpanNode> Nodes;
+  std::string Err;
+
+  // End without begin.
+  std::vector<TraceEvent> E1{makeEvent("A", EventKind::SpanEnd, 10)};
+  EXPECT_FALSE(obs::buildSpanTree(E1, Nodes, Err));
+  EXPECT_FALSE(Err.empty());
+
+  // Name mismatch.
+  std::vector<TraceEvent> E2{makeEvent("A", EventKind::SpanBegin, 10),
+                             makeEvent("B", EventKind::SpanEnd, 20)};
+  EXPECT_FALSE(obs::buildSpanTree(E2, Nodes, Err));
+
+  // Unclosed span.
+  std::vector<TraceEvent> E3{makeEvent("A", EventKind::SpanBegin, 10)};
+  EXPECT_FALSE(obs::buildSpanTree(E3, Nodes, Err));
+
+  // Well-formed nesting, including across threads, reconstructs.
+  std::vector<TraceEvent> E4{
+      makeEvent("A", EventKind::SpanBegin, 10, /*Tid=*/0),
+      makeEvent("A", EventKind::SpanBegin, 11, /*Tid=*/1),
+      makeEvent("B", EventKind::SpanBegin, 12, /*Tid=*/0),
+      makeEvent("B", EventKind::SpanEnd, 13, /*Tid=*/0),
+      makeEvent("A", EventKind::SpanEnd, 14, /*Tid=*/1),
+      makeEvent("A", EventKind::SpanEnd, 15, /*Tid=*/0),
+  };
+  ASSERT_TRUE(obs::buildSpanTree(E4, Nodes, Err)) << Err;
+  ASSERT_EQ(Nodes.size(), 3u);
+  const SpanNode *B = findSpan(Nodes, "B");
+  ASSERT_TRUE(B);
+  ASSERT_GE(B->Parent, 0);
+  EXPECT_EQ(Nodes[B->Parent].ThreadId, 0u);
+}
+
+TEST_F(TraceTest, TextSummaryAggregates) {
+  std::vector<TraceEvent> Events{
+      makeEvent("Work", EventKind::SpanBegin, 1'000'000),
+      makeEvent("Work", EventKind::SpanEnd, 3'000'000),
+      makeEvent("Work", EventKind::SpanBegin, 4'000'000),
+      makeEvent("Work", EventKind::SpanEnd, 8'000'000),
+      makeEvent("Blip", EventKind::Instant, 5'000'000),
+  };
+  std::string Summary = obs::textSummary(Events);
+  EXPECT_NE(Summary.find("Work"), std::string::npos);
+  EXPECT_NE(Summary.find("Blip"), std::string::npos);
+  // Two Work spans totalling 6 ms.
+  EXPECT_NE(Summary.find("2"), std::string::npos);
+}
