@@ -10,6 +10,8 @@
 #ifndef OMNI_BENCH_PAPERDATA_H
 #define OMNI_BENCH_PAPERDATA_H
 
+#include <vector>
+
 namespace omni {
 namespace bench {
 
@@ -76,6 +78,32 @@ constexpr double PaperT6Avg[4] = {1.14, 1.01, 1.27, 1.16};
 /// 16 registers is the Table 3 Sparc average.
 constexpr unsigned PaperT2Sizes[5] = {8, 10, 12, 14, 16};
 constexpr double PaperT2[5] = {1.11, 1.11, 1.08, 1.06, 1.05};
+
+/// Documented fidelity tolerance bands for the report gate
+/// (bench/Report.h): a table cell fails when |measured - paper| exceeds
+/// the band. The bands are sized from the known, explained deviations in
+/// EXPERIMENTS.md ("Known deviations": magnitudes compress because the
+/// mobile path and the native baselines share one backend) with ~50%
+/// headroom, so they catch a mechanism breaking — SFI cost vanishing or
+/// exploding, scheduling regressing — without flagging the documented
+/// compression.
+///
+/// Largest current deviations: Tables 1/3 0.34 (eqntott/PPC), Table 2
+/// 0.02, Table 4 0.45 (alvinn/PPC, a paper outlier cell), Table 5 0.76
+/// (alvinn/x86, paper outlier 1.79), Table 6 0.20 (PPC average).
+constexpr double TolVsCc = 0.50;     ///< Tables 1 and 3 (vs native cc)
+constexpr double TolRegisters = 0.10;///< Table 2 (near-exact match)
+constexpr double TolVsGcc = 0.60;    ///< Table 4 (vs native gcc)
+constexpr double TolNoOpt = 0.90;    ///< Table 5 (unoptimized translation)
+constexpr double TolGccVsCc = 0.35;  ///< Table 6 (gcc vs cc)
+
+/// PaperData rows are C arrays; report rows are vectors.
+inline std::vector<double> rowVec(const double (&A)[4]) {
+  return {A[0], A[1], A[2], A[3]};
+}
+inline std::vector<double> rowVec5(const double (&A)[5]) {
+  return {A[0], A[1], A[2], A[3], A[4]};
+}
 
 } // namespace bench
 } // namespace omni

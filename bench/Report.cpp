@@ -1,0 +1,1011 @@
+//===- bench/Report.cpp ----------------------------------------------------===//
+
+#include "bench/Report.h"
+
+#include "obs/TraceExporter.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace omni;
+using namespace omni::bench::report;
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+Json Json::object() {
+  Json J;
+  J.K = Kind::Object;
+  return J;
+}
+
+Json Json::array() {
+  Json J;
+  J.K = Kind::Array;
+  return J;
+}
+
+Json Json::number(double V) {
+  Json J;
+  J.K = Kind::Number;
+  J.NumV = V;
+  return J;
+}
+
+Json Json::string(std::string V) {
+  Json J;
+  J.K = Kind::String;
+  J.StrV = std::move(V);
+  return J;
+}
+
+Json Json::boolean(bool V) {
+  Json J;
+  J.K = Kind::Bool;
+  J.BoolV = V;
+  return J;
+}
+
+const Json *Json::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Obj)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+double Json::num(const std::string &Key, double Default) const {
+  const Json *V = find(Key);
+  return V && V->K == Kind::Number ? V->NumV : Default;
+}
+
+std::string Json::str(const std::string &Key,
+                      const std::string &Default) const {
+  const Json *V = find(Key);
+  return V && V->K == Kind::String ? V->StrV : Default;
+}
+
+bool Json::flag(const std::string &Key, bool Default) const {
+  const Json *V = find(Key);
+  return V && V->K == Kind::Bool ? V->BoolV : Default;
+}
+
+Json &Json::set(const std::string &Key, Json V) {
+  Obj.emplace_back(Key, std::move(V));
+  return *this;
+}
+Json &Json::set(const std::string &Key, double V) {
+  return set(Key, number(V));
+}
+Json &Json::set(const std::string &Key, const char *V) {
+  return set(Key, string(V));
+}
+Json &Json::set(const std::string &Key, const std::string &V) {
+  return set(Key, string(V));
+}
+Json &Json::set(const std::string &Key, bool V) {
+  return set(Key, boolean(V));
+}
+Json &Json::push(Json V) {
+  Arr.push_back(std::move(V));
+  return *this;
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20)
+        appendFormat(Out, "\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  Out += '"';
+}
+
+void appendNumber(std::string &Out, double V) {
+  if (!std::isfinite(V)) { // JSON has no NaN/Inf; 0 keeps the doc valid
+    Out += '0';
+    return;
+  }
+  if (V == static_cast<long long>(V) && std::fabs(V) < 1e15) {
+    appendFormat(Out, "%lld", static_cast<long long>(V));
+    return;
+  }
+  appendFormat(Out, "%.10g", V);
+}
+
+void dumpValue(const Json &J, std::string &Out, unsigned Indent,
+               unsigned Depth) {
+  auto Newline = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  switch (J.K) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += J.BoolV ? "true" : "false";
+    break;
+  case Json::Kind::Number:
+    appendNumber(Out, J.NumV);
+    break;
+  case Json::Kind::String:
+    appendEscaped(Out, J.StrV);
+    break;
+  case Json::Kind::Array: {
+    if (J.Arr.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I < J.Arr.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      dumpValue(J.Arr[I], Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  }
+  case Json::Kind::Object: {
+    if (J.Obj.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I < J.Obj.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      appendEscaped(Out, J.Obj[I].first);
+      Out += Indent ? ": " : ":";
+      dumpValue(J.Obj[I].second, Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+/// Recursive-descent parser building the DOM. Grammar-strict (RFC 8259
+/// value grammar) like obs::validateJson, with a depth limit.
+struct DomParser {
+  const char *P;
+  const char *End;
+  const char *Begin;
+  std::string &Error;
+
+  bool fail(const char *Msg, const char *At) {
+    Error = formatStr("%s at byte %zu", Msg, static_cast<size_t>(At - Begin));
+    return false;
+  }
+
+  void skipWs() {
+    while (P < End &&
+           (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool value(Json &Out, unsigned Depth) {
+    if (Depth > 64)
+      return fail("nesting too deep", P);
+    skipWs();
+    if (P >= End)
+      return fail("unexpected end of input", P);
+    switch (*P) {
+    case '{':
+      return object(Out, Depth);
+    case '[':
+      return array(Out, Depth);
+    case '"':
+      Out.K = Json::Kind::String;
+      return string(Out.StrV);
+    case 't':
+      Out = Json::boolean(true);
+      return literal("true");
+    case 'f':
+      Out = Json::boolean(false);
+      return literal("false");
+    case 'n':
+      Out = Json();
+      return literal("null");
+    default:
+      Out.K = Json::Kind::Number;
+      return number(Out.NumV);
+    }
+  }
+
+  bool literal(const char *Lit) {
+    size_t Len = std::strlen(Lit);
+    if (static_cast<size_t>(End - P) < Len || std::strncmp(P, Lit, Len) != 0)
+      return fail("invalid literal", P);
+    P += Len;
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xc0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xe0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  bool string(std::string &Out) {
+    const char *At = P;
+    ++P; // opening quote
+    Out.clear();
+    while (P < End) {
+      unsigned char C = static_cast<unsigned char>(*P);
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (C == '\\') {
+        ++P;
+        if (P >= End)
+          break;
+        char E = *P;
+        switch (E) {
+        case '"':
+        case '\\':
+        case '/':
+          Out += E;
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            ++P;
+            if (P >= End || !std::isxdigit(static_cast<unsigned char>(*P)))
+              return fail("bad \\u escape", P);
+            char H = *P;
+            Code = Code * 16 +
+                   (H <= '9' ? H - '0' : (H | 0x20) - 'a' + 10);
+          }
+          appendUtf8(Out, Code);
+          break;
+        }
+        default:
+          return fail("bad escape", P);
+        }
+        ++P;
+        continue;
+      }
+      if (C < 0x20)
+        return fail("control character in string", P);
+      Out += static_cast<char>(C);
+      ++P;
+    }
+    return fail("unterminated string", At);
+  }
+
+  bool number(double &Out) {
+    const char *At = P;
+    if (P < End && *P == '-')
+      ++P;
+    if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+      return fail("invalid number", At);
+    if (*P == '0')
+      ++P;
+    else
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    if (P < End && *P == '.') {
+      ++P;
+      if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return fail("invalid fraction", At);
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    if (P < End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P < End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return fail("invalid exponent", At);
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    Out = std::strtod(std::string(At, P).c_str(), nullptr);
+    return true;
+  }
+
+  bool object(Json &Out, unsigned Depth) {
+    Out = Json::object();
+    ++P; // '{'
+    skipWs();
+    if (P < End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (P >= End || *P != '"')
+        return fail("expected object key", P);
+      std::string Key;
+      if (!string(Key))
+        return false;
+      skipWs();
+      if (P >= End || *P != ':')
+        return fail("expected ':'", P);
+      ++P;
+      Json Member;
+      if (!value(Member, Depth + 1))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Member));
+      skipWs();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}'", P);
+    }
+  }
+
+  bool array(Json &Out, unsigned Depth) {
+    Out = Json::array();
+    ++P; // '['
+    skipWs();
+    if (P < End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      Json Element;
+      if (!value(Element, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(Element));
+      skipWs();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']'", P);
+    }
+  }
+};
+
+} // namespace
+
+std::string Json::dump(unsigned Indent) const {
+  std::string Out;
+  dumpValue(*this, Out, Indent, 0);
+  return Out;
+}
+
+bool Json::parse(const std::string &Text, Json &Out, std::string &Error) {
+  DomParser Parser{Text.data(), Text.data() + Text.size(), Text.data(),
+                   Error};
+  if (!Parser.value(Out, 0))
+    return false;
+  Parser.skipWs();
+  if (Parser.P != Parser.End)
+    return Parser.fail("trailing content", Parser.P);
+  Error.clear();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Report model
+//===----------------------------------------------------------------------===//
+
+Row &Table::addRow(const std::string &Label,
+                   const std::vector<double> &Measured) {
+  return addRow(Label, Measured, {});
+}
+
+Row &Table::addRow(const std::string &Label,
+                   const std::vector<double> &Measured,
+                   const std::vector<double> &Paper) {
+  Row R;
+  R.Label = Label;
+  for (size_t I = 0; I < Measured.size(); ++I) {
+    Cell C;
+    C.Measured = Measured[I];
+    C.Paper = I < Paper.size() ? Paper[I] : -1;
+    R.Cells.push_back(C);
+  }
+  Rows.push_back(std::move(R));
+  return Rows.back();
+}
+
+double Table::measured(const std::string &RowLabel, unsigned Col) const {
+  for (const Row &R : Rows)
+    if (R.Label == RowLabel && Col < R.Cells.size())
+      return R.Cells[Col].Measured;
+  return std::nan("");
+}
+
+namespace {
+
+std::string fmtCell(double V) {
+  if (V < 0)
+    return "-";
+  return formatStr("%.2f", V);
+}
+
+} // namespace
+
+void Table::print() const {
+  std::printf("\n%s\n", Title.c_str());
+  for (size_t I = 0; I < Title.size(); ++I)
+    std::printf("=");
+  std::printf("\n%-22s", "");
+  for (const std::string &C : Columns)
+    std::printf("%10s", C.c_str());
+  std::printf("\n");
+  for (const Row &R : Rows) {
+    std::printf("%-22s", R.Label.c_str());
+    for (const Cell &C : R.Cells)
+      std::printf("%10s", fmtCell(C.Measured).c_str());
+    std::printf("\n");
+    bool HasPaper = false;
+    for (const Cell &C : R.Cells)
+      HasPaper |= C.Paper >= 0;
+    if (HasPaper) {
+      std::printf("%-22s", "  (paper)");
+      for (const Cell &C : R.Cells)
+        std::printf("%10s", fmtCell(C.Paper).c_str());
+      std::printf("\n");
+    }
+  }
+}
+
+Metric &Metric::withMin(double V) {
+  HasMin = true;
+  Min = V;
+  return *this;
+}
+
+Metric &Metric::withMax(double V) {
+  HasMax = true;
+  Max = V;
+  return *this;
+}
+
+Metric &Metric::withRegressRatio(double Ratio) {
+  RegressRatio = Ratio;
+  return *this;
+}
+
+Report::Report(std::string Bench, std::string Title)
+    : Bench(std::move(Bench)), Title(std::move(Title)) {}
+
+Table &Report::addTable(std::string Id, std::string Title,
+                        std::vector<std::string> Columns, double Tolerance,
+                        bool Volatile) {
+  Table T;
+  T.Id = std::move(Id);
+  T.Title = std::move(Title);
+  T.Columns = std::move(Columns);
+  T.Tolerance = Tolerance;
+  T.Volatile = Volatile;
+  Tables.push_back(std::move(T));
+  return Tables.back();
+}
+
+Metric &Report::addMetric(std::string Id, std::string Name, double Value,
+                          std::string Unit, Direction Dir) {
+  Metric M;
+  M.Id = std::move(Id);
+  M.Name = std::move(Name);
+  M.Value = Value;
+  M.Unit = std::move(Unit);
+  M.Dir = Dir;
+  Metrics.push_back(std::move(M));
+  return Metrics.back();
+}
+
+Check &Report::addCheck(std::string Id, bool Ok, std::string Detail) {
+  Check C;
+  C.Id = std::move(Id);
+  C.Ok = Ok;
+  C.Detail = std::move(Detail);
+  Checks.push_back(std::move(C));
+  return Checks.back();
+}
+
+namespace {
+
+const char *directionName(Direction D) {
+  switch (D) {
+  case Direction::Higher:
+    return "higher";
+  case Direction::Lower:
+    return "lower";
+  case Direction::Info:
+    return "info";
+  }
+  return "info";
+}
+
+} // namespace
+
+Json Report::toJson() const {
+  Json Doc = Json::object();
+  Doc.set("schema", double(SchemaVersion));
+  Doc.set("kind", "bench-report");
+  Doc.set("bench", Bench);
+  Doc.set("title", Title);
+
+  Json TablesJson = Json::array();
+  for (const Table &T : Tables) {
+    Json TJ = Json::object();
+    TJ.set("id", T.Id);
+    TJ.set("title", T.Title);
+    Json Cols = Json::array();
+    for (const std::string &C : T.Columns)
+      Cols.push(Json::string(C));
+    TJ.set("columns", std::move(Cols));
+    TJ.set("tolerance", T.Tolerance);
+    if (T.Volatile)
+      TJ.set("volatile", true);
+    Json RowsJson = Json::array();
+    for (const Row &R : T.Rows) {
+      Json RJ = Json::object();
+      RJ.set("label", R.Label);
+      Json CellsJson = Json::array();
+      for (const Cell &C : R.Cells) {
+        Json CJ = Json::object();
+        CJ.set("measured", C.Measured);
+        if (C.Paper >= 0)
+          CJ.set("paper", C.Paper);
+        CellsJson.push(std::move(CJ));
+      }
+      RJ.set("cells", std::move(CellsJson));
+      RowsJson.push(std::move(RJ));
+    }
+    TJ.set("rows", std::move(RowsJson));
+    TablesJson.push(std::move(TJ));
+  }
+  Doc.set("tables", std::move(TablesJson));
+
+  Json MetricsJson = Json::array();
+  for (const Metric &M : Metrics) {
+    Json MJ = Json::object();
+    MJ.set("id", M.Id);
+    MJ.set("name", M.Name);
+    MJ.set("unit", M.Unit);
+    MJ.set("value", M.Value);
+    MJ.set("direction", directionName(M.Dir));
+    if (M.RegressRatio > 0)
+      MJ.set("regress_ratio", M.RegressRatio);
+    if (M.HasMin)
+      MJ.set("min", M.Min);
+    if (M.HasMax)
+      MJ.set("max", M.Max);
+    MetricsJson.push(std::move(MJ));
+  }
+  Doc.set("metrics", std::move(MetricsJson));
+
+  Json ChecksJson = Json::array();
+  for (const Check &C : Checks) {
+    Json CJ = Json::object();
+    CJ.set("id", C.Id);
+    CJ.set("ok", C.Ok);
+    CJ.set("detail", C.Detail);
+    ChecksJson.push(std::move(CJ));
+  }
+  Doc.set("checks", std::move(ChecksJson));
+  return Doc;
+}
+
+std::vector<std::string> Report::violations() const {
+  return gateViolations(toJson());
+}
+
+int omni::bench::report::finish(const Report &R, int Argc, char **Argv) {
+  std::string Path;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--report-json" && I + 1 < Argc) {
+      Path = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--report-json <path>]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  bool WriteOk = true;
+  if (!Path.empty()) {
+    std::string Error;
+    WriteOk = writeJsonFile(Path, R.toJson(), Error);
+    if (!WriteOk)
+      std::fprintf(stderr, "%s: writing report failed: %s\n",
+                   R.bench().c_str(), Error.c_str());
+  }
+
+  std::vector<std::string> V = R.violations();
+  if (V.empty()) {
+    std::printf("\n%s: report ok (%u gated cells)\n", R.bench().c_str(),
+                gatedCellCount(R.toJson()));
+  } else {
+    std::printf("\n%s: %zu violation(s)\n", R.bench().c_str(), V.size());
+    for (const std::string &S : V)
+      std::printf("  FAIL %s\n", S.c_str());
+  }
+  return V.empty() && WriteOk ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Document-level gates
+//===----------------------------------------------------------------------===//
+
+bool omni::bench::report::loadJsonFile(const std::string &Path, Json &Out,
+                                       std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+  if (!obs::validateJson(Text, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  if (!Json::parse(Text, Out, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  return true;
+}
+
+bool omni::bench::report::writeJsonFile(const std::string &Path,
+                                        const Json &Doc,
+                                        std::string &Error) {
+  std::string Text = Doc.dump(2);
+  Text += '\n';
+  if (!obs::validateJson(Text, Error)) {
+    Error = "emitted JSON invalid: " + Error;
+    return false;
+  }
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  Out << Text;
+  Out.flush();
+  if (!Out.good()) {
+    Error = "write to " + Path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool omni::bench::report::checkSchema(const Json &Doc, std::string &Error) {
+  double Schema = Doc.num("schema", -1);
+  if (Schema != double(SchemaVersion)) {
+    Error = formatStr("schema version %g != expected %u", Schema,
+                      SchemaVersion);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Applies \p Fn to the document itself (bench-report) or to each entry
+/// of "benches" (bench-aggregate).
+template <typename Fn> void forEachBench(const Json &Doc, Fn Apply) {
+  if (Doc.str("kind") == "bench-aggregate") {
+    if (const Json *Benches = Doc.find("benches"))
+      for (const Json &B : Benches->Arr)
+        Apply(B);
+    return;
+  }
+  Apply(Doc);
+}
+
+} // namespace
+
+std::vector<std::string>
+omni::bench::report::fidelityViolations(const Json &Doc) {
+  std::vector<std::string> Out;
+  forEachBench(Doc, [&](const Json &B) {
+    std::string Bench = B.str("bench", "?");
+    const Json *Tables = B.find("tables");
+    if (!Tables)
+      return;
+    for (const Json &T : Tables->Arr) {
+      double Tol = T.num("tolerance", 0);
+      if (Tol <= 0)
+        continue;
+      const Json *Cols = T.find("columns");
+      const Json *Rows = T.find("rows");
+      if (!Rows)
+        continue;
+      for (const Json &R : Rows->Arr) {
+        const Json *Cells = R.find("cells");
+        if (!Cells)
+          continue;
+        for (size_t I = 0; I < Cells->Arr.size(); ++I) {
+          const Json &C = Cells->Arr[I];
+          const Json *Paper = C.find("paper");
+          if (!Paper || Paper->K != Json::Kind::Number)
+            continue;
+          double M = C.num("measured", 0);
+          double Dev = std::fabs(M - Paper->NumV);
+          if (Dev > Tol) {
+            std::string Col = Cols && I < Cols->Arr.size()
+                                  ? Cols->Arr[I].StrV
+                                  : formatStr("col%zu", I);
+            Out.push_back(formatStr(
+                "%s/%s[%s][%s]: measured %.3f vs paper %.3f deviates %.3f "
+                "(band +/-%.2f)",
+                Bench.c_str(), T.str("id", "?").c_str(),
+                R.str("label", "?").c_str(), Col.c_str(), M, Paper->NumV,
+                Dev, Tol));
+          }
+        }
+      }
+    }
+  });
+  return Out;
+}
+
+std::vector<std::string>
+omni::bench::report::boundViolations(const Json &Doc) {
+  std::vector<std::string> Out;
+  forEachBench(Doc, [&](const Json &B) {
+    std::string Bench = B.str("bench", "?");
+    const Json *Metrics = B.find("metrics");
+    if (!Metrics)
+      return;
+    for (const Json &M : Metrics->Arr) {
+      double V = M.num("value", 0);
+      const Json *Min = M.find("min");
+      const Json *Max = M.find("max");
+      if (Min && Min->K == Json::Kind::Number && V < Min->NumV)
+        Out.push_back(formatStr("%s/%s: value %.3f below minimum %.3f %s",
+                                Bench.c_str(), M.str("id", "?").c_str(), V,
+                                Min->NumV, M.str("unit").c_str()));
+      if (Max && Max->K == Json::Kind::Number && V > Max->NumV)
+        Out.push_back(formatStr("%s/%s: value %.3f above maximum %.3f %s",
+                                Bench.c_str(), M.str("id", "?").c_str(), V,
+                                Max->NumV, M.str("unit").c_str()));
+    }
+  });
+  return Out;
+}
+
+std::vector<std::string>
+omni::bench::report::checkViolations(const Json &Doc) {
+  std::vector<std::string> Out;
+  forEachBench(Doc, [&](const Json &B) {
+    const Json *Checks = B.find("checks");
+    if (!Checks)
+      return;
+    for (const Json &C : Checks->Arr)
+      if (!C.flag("ok", true))
+        Out.push_back(formatStr("%s/%s: check failed%s%s",
+                                B.str("bench", "?").c_str(),
+                                C.str("id", "?").c_str(),
+                                C.str("detail").empty() ? "" : " — ",
+                                C.str("detail").c_str()));
+  });
+  return Out;
+}
+
+std::vector<std::string>
+omni::bench::report::gateViolations(const Json &Doc) {
+  std::vector<std::string> Out = fidelityViolations(Doc);
+  for (std::string &S : boundViolations(Doc))
+    Out.push_back(std::move(S));
+  for (std::string &S : checkViolations(Doc))
+    Out.push_back(std::move(S));
+  return Out;
+}
+
+unsigned omni::bench::report::gatedCellCount(const Json &Doc) {
+  unsigned Count = 0;
+  forEachBench(Doc, [&](const Json &B) {
+    const Json *Tables = B.find("tables");
+    if (!Tables)
+      return;
+    for (const Json &T : Tables->Arr) {
+      if (T.num("tolerance", 0) <= 0)
+        continue;
+      const Json *Rows = T.find("rows");
+      if (!Rows)
+        continue;
+      for (const Json &R : Rows->Arr)
+        if (const Json *Cells = R.find("cells"))
+          for (const Json &C : Cells->Arr)
+            if (C.find("paper"))
+              ++Count;
+    }
+  });
+  return Count;
+}
+
+namespace {
+
+const Json *findByKey(const Json *ArrayJson, const std::string &Key,
+                      const std::string &Value) {
+  if (!ArrayJson)
+    return nullptr;
+  for (const Json &E : ArrayJson->Arr)
+    if (E.str(Key) == Value)
+      return &E;
+  return nullptr;
+}
+
+void diffBench(const Json &Cur, const Json &Prev, double CellEps,
+               DiffResult &Out) {
+  std::string Bench = Cur.str("bench", "?");
+
+  // Metric regressions (the cross-run gate).
+  const Json *PrevMetrics = Prev.find("metrics");
+  if (const Json *Metrics = Cur.find("metrics")) {
+    for (const Json &M : Metrics->Arr) {
+      double Ratio = M.num("regress_ratio", 0);
+      std::string Dir = M.str("direction", "info");
+      if (Ratio <= 0 || Dir == "info")
+        continue;
+      const Json *PrevM = findByKey(PrevMetrics, "id", M.str("id"));
+      if (!PrevM) {
+        Out.Notes.push_back(formatStr("%s/%s: no previous value",
+                                      Bench.c_str(),
+                                      M.str("id", "?").c_str()));
+        continue;
+      }
+      double V = M.num("value", 0), P = PrevM->num("value", 0);
+      bool Regressed = Dir == "higher" ? V < P * Ratio
+                                       : (Ratio > 0 && V > P / Ratio);
+      if (Regressed)
+        Out.Regressions.push_back(formatStr(
+            "%s/%s: %.3f vs previous %.3f %s (allowed ratio %.2f, %s is "
+            "better)",
+            Bench.c_str(), M.str("id", "?").c_str(), V, P,
+            M.str("unit").c_str(), Ratio, Dir.c_str()));
+    }
+  }
+
+  // Informational cell drift on deterministic tables.
+  const Json *PrevTables = Prev.find("tables");
+  if (const Json *Tables = Cur.find("tables")) {
+    for (const Json &T : Tables->Arr) {
+      if (T.flag("volatile", false))
+        continue;
+      const Json *PrevT = findByKey(PrevTables, "id", T.str("id"));
+      if (!PrevT) {
+        Out.Notes.push_back(formatStr("%s/%s: table not in previous run",
+                                      Bench.c_str(),
+                                      T.str("id", "?").c_str()));
+        continue;
+      }
+      const Json *Cols = T.find("columns");
+      const Json *Rows = T.find("rows");
+      const Json *PrevRows = PrevT->find("rows");
+      if (!Rows)
+        continue;
+      for (const Json &R : Rows->Arr) {
+        const Json *PrevR = findByKey(PrevRows, "label", R.str("label"));
+        const Json *Cells = R.find("cells");
+        if (!PrevR || !Cells)
+          continue;
+        const Json *PrevCells = PrevR->find("cells");
+        if (!PrevCells)
+          continue;
+        for (size_t I = 0;
+             I < Cells->Arr.size() && I < PrevCells->Arr.size(); ++I) {
+          double V = Cells->Arr[I].num("measured", 0);
+          double P = PrevCells->Arr[I].num("measured", 0);
+          if (std::fabs(V - P) > CellEps) {
+            std::string Col = Cols && I < Cols->Arr.size()
+                                  ? Cols->Arr[I].StrV
+                                  : formatStr("col%zu", I);
+            Out.CellChanges.push_back(
+                formatStr("%s/%s[%s][%s]: %.3f -> %.3f", Bench.c_str(),
+                          T.str("id", "?").c_str(),
+                          R.str("label", "?").c_str(), Col.c_str(), P, V));
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+DiffResult omni::bench::report::diffAggregates(const Json &Current,
+                                               const Json &Previous,
+                                               double CellEps) {
+  DiffResult Out;
+  std::vector<const Json *> CurBenches, PrevBenches;
+  forEachBench(Current, [&](const Json &B) { CurBenches.push_back(&B); });
+  forEachBench(Previous, [&](const Json &B) { PrevBenches.push_back(&B); });
+
+  auto FindPrev = [&](const std::string &Name) -> const Json * {
+    for (const Json *B : PrevBenches)
+      if (B->str("bench") == Name)
+        return B;
+    return nullptr;
+  };
+
+  for (const Json *B : CurBenches) {
+    std::string Name = B->str("bench", "?");
+    if (const Json *PrevB = FindPrev(Name))
+      diffBench(*B, *PrevB, CellEps, Out);
+    else
+      Out.Notes.push_back(Name + ": new bench (not in previous run)");
+  }
+  for (const Json *B : PrevBenches) {
+    std::string Name = B->str("bench", "?");
+    bool Found = false;
+    for (const Json *C : CurBenches)
+      Found |= C->str("bench") == Name;
+    if (!Found)
+      Out.Notes.push_back(Name + ": bench missing (was in previous run)");
+  }
+  return Out;
+}

@@ -1,0 +1,243 @@
+//===- bench/Report.h - machine-readable benchmark reports ------*- C++ -*-===//
+///
+/// \file
+/// One reporting path for every benchmark binary. A bench registers its
+/// results in a report::Report — tables of measured-vs-paper cells with a
+/// documented tolerance band, scalar metrics with optional hard bounds
+/// and cross-run regression ratios, and named pass/fail checks — then
+/// calls report::finish(), which prints the human verdict, optionally
+/// writes a schema-versioned JSON document (--report-json <path>), and
+/// turns any violation into a nonzero exit code.
+///
+/// bench/run_all aggregates the per-bench documents into one
+/// BENCH_<label>.json, gates it against the paper-expected values
+/// (fidelityViolations), metric bounds (boundViolations), failed internal
+/// checks (checkViolations), and the previous BENCH_*.json
+/// (diffAggregates), so a table cell leaving its band or a
+/// serving-throughput collapse fails the build. bench/render_experiments
+/// regenerates EXPERIMENTS.md from the same document.
+///
+/// The emitted JSON always passes obs::validateJson (the strict RFC 8259
+/// acceptor); tests/report.cpp holds the schema to that.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_BENCH_REPORT_H
+#define OMNI_BENCH_REPORT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omni {
+namespace bench {
+namespace report {
+
+/// Version stamped into every document as "schema"; consumers refuse
+/// documents with a different major version (checkSchema).
+constexpr unsigned SchemaVersion = 1;
+
+//===----------------------------------------------------------------------===//
+// Json: a minimal ordered DOM with a strict parser and writer.
+//===----------------------------------------------------------------------===//
+
+/// JSON value. Object member order is preserved so emitted documents are
+/// stable across runs (the cross-PR diff is a text diff too).
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool BoolV = false;
+  double NumV = 0;
+  std::string StrV;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+
+  Json() = default;
+  static Json object();
+  static Json array();
+  static Json number(double V);
+  static Json string(std::string V);
+  static Json boolean(bool V);
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Json *find(const std::string &Key) const;
+  /// Convenience getters with defaults for absent/mistyped members.
+  double num(const std::string &Key, double Default = 0) const;
+  std::string str(const std::string &Key,
+                  const std::string &Default = "") const;
+  bool flag(const std::string &Key, bool Default = false) const;
+
+  /// Appends a member (objects) or element (arrays).
+  Json &set(const std::string &Key, Json V);
+  Json &set(const std::string &Key, double V);
+  Json &set(const std::string &Key, const char *V);
+  Json &set(const std::string &Key, const std::string &V);
+  Json &set(const std::string &Key, bool V);
+  Json &push(Json V);
+
+  /// Serializes as strict RFC 8259 text; \p Indent > 0 pretty-prints.
+  /// Non-finite numbers are emitted as 0 (JSON has no NaN/Inf).
+  std::string dump(unsigned Indent = 0) const;
+
+  /// Strict parse of a complete document. Returns false and sets \p Error
+  /// (with a byte offset) on the first defect.
+  static bool parse(const std::string &Text, Json &Out, std::string &Error);
+};
+
+//===----------------------------------------------------------------------===//
+// Report model.
+//===----------------------------------------------------------------------===//
+
+/// One table cell. Paper < 0 means the paper has no (legible) value for
+/// this cell; such cells are never gated.
+struct Cell {
+  double Measured = 0;
+  double Paper = -1;
+};
+
+struct Row {
+  std::string Label;
+  std::vector<Cell> Cells;
+};
+
+/// Which way a metric is allowed to move across runs.
+enum class Direction {
+  Higher, ///< bigger is better (throughput)
+  Lower,  ///< smaller is better (latency, overhead)
+  Info,   ///< recorded, never gated
+};
+
+/// A measured-vs-paper table (one per paper table/figure panel).
+struct Table {
+  std::string Id;    ///< stable machine name, e.g. "sfi_vs_cc"
+  std::string Title; ///< the human table title
+  std::vector<std::string> Columns;
+  std::vector<Row> Rows;
+  /// Documented fidelity band: a cell with a paper value fails the gate
+  /// when |measured - paper| > Tolerance. 0 disables gating.
+  double Tolerance = 0;
+  /// Wall-clock tables: excluded from cross-run cell diffs.
+  bool Volatile = false;
+
+  Row &addRow(const std::string &Label, const std::vector<double> &Measured);
+  Row &addRow(const std::string &Label, const std::vector<double> &Measured,
+              const std::vector<double> &Paper);
+  /// Measured value at (\p RowLabel, \p Col); NaN when absent.
+  double measured(const std::string &RowLabel, unsigned Col) const;
+  /// Prints the table in the established bench style (header, measured
+  /// row, "(paper)" row when the row carries paper values).
+  void print() const;
+};
+
+/// A scalar result with optional hard bounds (checked every run) and an
+/// optional cross-run regression ratio (checked against the previous
+/// BENCH_*.json by run_all).
+struct Metric {
+  std::string Id;
+  std::string Name;
+  std::string Unit;
+  double Value = 0;
+  Direction Dir = Direction::Info;
+  /// Cross-run gate: with Dir == Higher the run regresses when
+  /// value < previous * RegressRatio; with Dir == Lower when
+  /// value > previous / RegressRatio. 0 disables the cross-run gate.
+  double RegressRatio = 0;
+  bool HasMin = false;
+  double Min = 0;
+  bool HasMax = false;
+  double Max = 0;
+
+  Metric &withMin(double V);
+  Metric &withMax(double V);
+  Metric &withRegressRatio(double Ratio);
+};
+
+/// A named internal consistency check (census reconciliation, shape
+/// observations). A false check fails the bench and the aggregate gate.
+struct Check {
+  std::string Id;
+  bool Ok = true;
+  std::string Detail;
+};
+
+class Report {
+public:
+  explicit Report(std::string Bench, std::string Title = "");
+
+  Table &addTable(std::string Id, std::string Title,
+                  std::vector<std::string> Columns, double Tolerance = 0,
+                  bool Volatile = false);
+  Metric &addMetric(std::string Id, std::string Name, double Value,
+                    std::string Unit, Direction Dir = Direction::Info);
+  Check &addCheck(std::string Id, bool Ok, std::string Detail = "");
+
+  const std::string &bench() const { return Bench; }
+  Json toJson() const;
+  /// All in-process violations: fidelity + bounds + failed checks.
+  std::vector<std::string> violations() const;
+
+private:
+  std::string Bench;
+  std::string Title;
+  std::vector<Table> Tables;
+  std::vector<Metric> Metrics;
+  std::vector<Check> Checks;
+};
+
+/// Standard bench epilogue: parses the shared bench arguments
+/// (--report-json <path>), writes the (validated) JSON document when
+/// requested, prints the verdict with any violations, and returns the
+/// process exit code (0 clean, 1 violation or I/O failure, 2 usage).
+int finish(const Report &R, int Argc, char **Argv);
+
+//===----------------------------------------------------------------------===//
+// Document-level gates (shared by run_all and tests/report.cpp). Every
+// function accepts either a single bench-report document or a
+// bench-aggregate (gating each element of "benches").
+//===----------------------------------------------------------------------===//
+
+/// Reads \p Path, insists the bytes pass the strict JSON validator, and
+/// parses them. Returns false and sets \p Error otherwise.
+bool loadJsonFile(const std::string &Path, Json &Out, std::string &Error);
+
+/// Writes dump(2) of \p Doc (plus trailing newline) to \p Path after
+/// re-validating it. Returns false and sets \p Error on failure.
+bool writeJsonFile(const std::string &Path, const Json &Doc,
+                   std::string &Error);
+
+/// Verifies "schema" == SchemaVersion.
+bool checkSchema(const Json &Doc, std::string &Error);
+
+/// Cells outside their table's documented tolerance band.
+std::vector<std::string> fidelityViolations(const Json &Doc);
+/// Metrics outside their hard min/max bounds.
+std::vector<std::string> boundViolations(const Json &Doc);
+/// Internal checks that reported ok == false.
+std::vector<std::string> checkViolations(const Json &Doc);
+/// fidelity + bounds + checks.
+std::vector<std::string> gateViolations(const Json &Doc);
+/// Count of cells covered by a tolerance band (gate surface, for the
+/// run_all summary).
+unsigned gatedCellCount(const Json &Doc);
+
+/// Cross-run comparison of two documents.
+struct DiffResult {
+  /// Gate: metrics whose value worsened past their regression ratio.
+  std::vector<std::string> Regressions;
+  /// Informational: non-volatile table cells that moved more than Eps.
+  std::vector<std::string> CellChanges;
+  /// Informational: benches/tables/metrics present on one side only.
+  std::vector<std::string> Notes;
+};
+DiffResult diffAggregates(const Json &Current, const Json &Previous,
+                          double CellEps = 0.005);
+
+} // namespace report
+} // namespace bench
+} // namespace omni
+
+#endif // OMNI_BENCH_REPORT_H

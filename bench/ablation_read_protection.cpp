@@ -9,16 +9,22 @@
 
 #include "bench/Harness.h"
 #include "bench/PaperData.h"
+#include "bench/Report.h"
+#include "support/Format.h"
 
 #include <cstdio>
 
 using namespace omni;
 using namespace omni::bench;
 
-int main() {
-  printTableHeader("SFI ablation: cycles relative to no-SFI translation "
-                   "(averaged over the four workloads)",
-                   {"Mips", "Sparc", "PPC", "x86"});
+int main(int argc, char **argv) {
+  report::Report R("ablation_read_protection",
+                   "SFI ablation: read protection and sandboxing cost");
+  report::Table &TC = R.addTable(
+      "cost_vs_nosfi",
+      "SFI ablation: cycles relative to no-SFI translation (averaged over "
+      "the four workloads)",
+      {"Mips", "Sparc", "PPC", "x86"});
 
   double StoreOnly[4] = {}, WithReads[4] = {};
   for (unsigned W = 0; W < 4; ++W) {
@@ -40,10 +46,23 @@ int main() {
           double(Reads.Stats.Cycles) / double(Base.Stats.Cycles) / 4.0;
     }
   }
-  printRow("write+execute (paper)",
-           {StoreOnly[0], StoreOnly[1], StoreOnly[2], StoreOnly[3]});
-  printRow("+ read protection",
-           {WithReads[0], WithReads[1], WithReads[2], WithReads[3]});
+  TC.addRow("write+execute (paper)",
+            {StoreOnly[0], StoreOnly[1], StoreOnly[2], StoreOnly[3]});
+  TC.addRow("+ read protection",
+            {WithReads[0], WithReads[1], WithReads[2], WithReads[3]});
+  TC.print();
+
+  // Loads outnumber stores, so read protection must cost extra on every
+  // RISC target; x86 rides hardware segmentation either way.
+  for (unsigned T = 0; T < 3; ++T)
+    R.addCheck(formatStr("reads_cost_more_%s", TargetNames[T]),
+               WithReads[T] > StoreOnly[T],
+               formatStr("with reads %.3f vs store-only %.3f", WithReads[T],
+                         StoreOnly[T]));
+  R.addCheck("x86_segmentation_free",
+             WithReads[3] < 1.02 && StoreOnly[3] < 1.02,
+             formatStr("x86 store-only %.3f, with reads %.3f", StoreOnly[3],
+                       WithReads[3]));
 
   std::printf("\nRead protection roughly doubles-to-triples the check "
               "count (loads outnumber\nstores), which is why the paper "
@@ -52,8 +71,9 @@ int main() {
 
   // Second ablation: dynamic SFI instruction fraction per workload on
   // MIPS, store-only vs with reads.
-  printTableHeader("Dynamic sfi-instruction fraction on Mips",
-                   {"stores", "+reads"});
+  report::Table &TF = R.addTable(
+      "sfi_fraction_mips", "Dynamic sfi-instruction fraction on Mips",
+      {"stores", "+reads"});
   for (unsigned W = 0; W < 4; ++W) {
     const workloads::Workload &Wl = workloads::getWorkload(W);
     vm::Module Exe = compileMobile(Wl);
@@ -65,11 +85,12 @@ int main() {
     Full.SfiReads = true;
     auto Reads =
         measureMobile(target::TargetKind::Mips, Exe, Full, Wl);
-    printRow(WorkloadNames[W],
-             {double(Stores.Stats.catCount(target::ExpCat::Sfi)) /
-                  double(Stores.Stats.baseCount()),
-              double(Reads.Stats.catCount(target::ExpCat::Sfi)) /
-                  double(Reads.Stats.baseCount())});
+    TF.addRow(WorkloadNames[W],
+              {double(Stores.Stats.catCount(target::ExpCat::Sfi)) /
+                   double(Stores.Stats.baseCount()),
+               double(Reads.Stats.catCount(target::ExpCat::Sfi)) /
+                   double(Reads.Stats.baseCount())});
   }
-  return 0;
+  TF.print();
+  return report::finish(R, argc, argv);
 }

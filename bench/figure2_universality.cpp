@@ -10,6 +10,8 @@
 
 #include "bench/Harness.h"
 #include "bench/PaperData.h"
+#include "bench/Report.h"
+#include "support/Format.h"
 #include "vm/Assembler.h"
 #include "vm/Linker.h"
 
@@ -46,7 +48,15 @@ loop:   add r2, r2, r1
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  report::Report R("figure2_universality",
+                   "Figure 2: one mobile module, every processor");
+  report::Table &Exp = R.addTable(
+      "static_expansion",
+      "Figure 2: static code expansion during translation (x native size)",
+      {"Mips", "Sparc", "PPC", "x86"});
+  bool AllOk = true;
+
   std::printf("Figure 2: one mobile module, identical semantics on every "
               "processor\n");
   std::printf("%-12s", "module");
@@ -59,14 +69,17 @@ int main() {
     const workloads::Workload &Wl = workloads::getWorkload(W);
     vm::Module Exe = compileMobile(Wl);
     std::printf("%-12s", Wl.Name);
+    std::vector<double> Row;
     for (unsigned T = 0; T < 4; ++T) {
       target::TargetKind Kind = target::allTargets(T);
-      auto R = measureMobile(Kind, Exe,
-                             translate::TranslateOptions::mobile(true), Wl);
+      auto Res = measureMobile(Kind, Exe,
+                               translate::TranslateOptions::mobile(true), Wl);
       // measureMobile aborts on divergence, so reaching here means OK.
-      double Expansion = double(R.CodeSize) / double(Exe.Code.size());
+      double Expansion = double(Res.CodeSize) / double(Exe.Code.size());
+      Row.push_back(Expansion);
       std::printf("   ok x%5.2f", Expansion);
     }
+    Exp.addRow(Wl.Name, Row);
     std::printf("\n");
   }
 
@@ -85,18 +98,24 @@ int main() {
       return 1;
     }
     std::printf("%-12s", "asm-module");
-    std::string Ref;
+    std::vector<double> Row;
     for (unsigned T = 0; T < 4; ++T) {
       target::TargetKind Kind = target::allTargets(T);
-      auto R = runtime::runOnTarget(Kind, Exe,
-                                    translate::TranslateOptions::mobile(true));
-      bool Ok = R.Run.Trap.Kind == vm::TrapKind::Halt &&
-                R.Run.Output == "500500\n";
-      double Expansion = double(R.CodeSize) / double(Exe.Code.size());
+      auto Res = runtime::runOnTarget(
+          Kind, Exe, translate::TranslateOptions::mobile(true));
+      bool Ok = Res.Run.Trap.Kind == vm::TrapKind::Halt &&
+                Res.Run.Output == "500500\n";
+      AllOk &= Ok;
+      double Expansion = double(Res.CodeSize) / double(Exe.Code.size());
+      Row.push_back(Expansion);
       std::printf("   %s x%5.2f", Ok ? "ok" : "XX", Expansion);
     }
+    Exp.addRow("asm-module", Row);
     std::printf("\n");
   }
+  R.addCheck("identical_semantics", AllOk,
+             "every module produced the reference interpreter's output on "
+             "all four targets");
 
   // Load-time translation throughput (the design goal: fast translation).
   std::printf("\nLoad-time translation throughput (OmniVM instructions per "
@@ -116,6 +135,11 @@ int main() {
     auto End = std::chrono::steady_clock::now();
     double Secs = std::chrono::duration<double>(End - Start).count();
     double Rate = double(Big.Code.size()) * Reps / Secs;
+    R.addMetric(formatStr("translate_minstr_s_%s", TargetNames[T]),
+                formatStr("load-time translation throughput, %s",
+                          getTargetName(Kind)),
+                Rate / 1e6, "M instr/s", report::Direction::Higher)
+        .withRegressRatio(0.2);
     std::printf("  %-6s %10.2f M instrs/sec (%zu-instruction module in "
                 "%.2f ms)\n",
                 getTargetName(Kind), Rate / 1e6, Big.Code.size(),
@@ -123,5 +147,5 @@ int main() {
   }
   std::printf("\n'ok' = output identical to the reference interpreter; "
               "xN.NN = static\ncode expansion during translation.\n");
-  return 0;
+  return report::finish(R, argc, argv);
 }

@@ -9,6 +9,7 @@
 /// host keeps that tax from scaling with traffic.
 
 #include "Harness.h"
+#include "bench/Report.h"
 #include "host/ModuleHost.h"
 #include "support/Format.h"
 
@@ -18,6 +19,7 @@
 #include <vector>
 
 using namespace omni;
+using namespace omni::bench;
 using Clock = std::chrono::steady_clock;
 
 namespace {
@@ -29,12 +31,22 @@ double msSince(Clock::time_point Start) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  report::Report R("load_time", "Hosting service: cold vs warm load time");
   translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
 
   std::vector<vm::Module> Modules;
   for (unsigned W = 0; W < workloads::NumWorkloads; ++W)
     Modules.push_back(bench::compileMobile(workloads::getWorkload(W)));
+
+  // Wall-clock milliseconds vary run to run, so the table is marked
+  // volatile: recorded for the archive, excluded from cross-run cell
+  // diffs. The gates live in the metrics below.
+  report::Table &T = R.addTable("cold_warm_ms",
+                                "Load time: cold vs warm (all four targets, "
+                                "ms)",
+                                {"cold", "warm", "speedup"});
+  T.Volatile = true;
 
   bench::printTableHeader("Load time: cold vs warm (all four targets, ms)",
                           {"cold", "warm", "speedup"});
@@ -45,8 +57,8 @@ int main() {
 
     // Cold: verify + translate for each target.
     auto ColdStart = Clock::now();
-    for (unsigned T = 0; T < target::NumTargets; ++T)
-      if (!Host.load(target::allTargets(T), Modules[W], Opts, Err)) {
+    for (unsigned Tg = 0; Tg < target::NumTargets; ++Tg)
+      if (!Host.load(target::allTargets(Tg), Modules[W], Opts, Err)) {
         std::fprintf(stderr, "load failed: %s\n", Err.c_str());
         return 1;
       }
@@ -56,17 +68,21 @@ int main() {
     // few rounds so the numbers are stable.
     const unsigned Rounds = 10;
     auto WarmStart = Clock::now();
-    for (unsigned R = 0; R < Rounds; ++R)
-      for (unsigned T = 0; T < target::NumTargets; ++T)
-        Host.load(target::allTargets(T), Modules[W], Opts, Err);
+    for (unsigned Rd = 0; Rd < Rounds; ++Rd)
+      for (unsigned Tg = 0; Tg < target::NumTargets; ++Tg)
+        Host.load(target::allTargets(Tg), Modules[W], Opts, Err);
     double WarmMs = msSince(WarmStart) / Rounds;
 
     TotalCold += ColdMs;
     TotalWarm += WarmMs;
+    T.addRow(workloads::getWorkload(W).Name,
+             {ColdMs, WarmMs, ColdMs / WarmMs});
     bench::printTextRow(workloads::getWorkload(W).Name,
                         {formatStr("%.3f", ColdMs), formatStr("%.3f", WarmMs),
                          formatStr("%.1fx", ColdMs / WarmMs)});
   }
+  T.addRow("total",
+           {TotalCold, TotalWarm, TotalCold / TotalWarm});
   bench::printTextRow("total", {formatStr("%.3f", TotalCold),
                                 formatStr("%.3f", TotalWarm),
                                 formatStr("%.1fx", TotalCold / TotalWarm)});
@@ -76,8 +92,8 @@ int main() {
                           {"1 thread", "4 threads", "speedup"});
   std::vector<host::ModuleHost::LoadRequest> Requests;
   for (unsigned W = 0; W < workloads::NumWorkloads; ++W)
-    for (unsigned T = 0; T < target::NumTargets; ++T)
-      Requests.push_back({target::allTargets(T), &Modules[W], Opts});
+    for (unsigned Tg = 0; Tg < target::NumTargets; ++Tg)
+      Requests.push_back({target::allTargets(Tg), &Modules[W], Opts});
 
   host::ModuleHost SeqHost, ParHost;
   auto SeqStart = Clock::now();
@@ -105,6 +121,22 @@ int main() {
                           "is possible"
                         : "");
 
+  R.addMetric("total_cold_ms", "total cold load time, 4 workloads x 4 targets",
+              TotalCold, "ms", report::Direction::Lower)
+      .withRegressRatio(0.2);
+  R.addMetric("total_warm_ms", "total warm load time (cache hits)", TotalWarm,
+              "ms", report::Direction::Lower)
+      .withRegressRatio(0.2);
+  // Serving a cached translation must beat re-translating by a wide
+  // margin, or the content-addressed cache is not earning its keep.
+  R.addMetric("warm_speedup", "cold/warm load speedup from the cache",
+              TotalCold / TotalWarm, "x", report::Direction::Higher)
+      .withMin(2.0)
+      .withRegressRatio(0.25);
+  // Batch scaling depends on core count (1 on this box), so record only.
+  R.addMetric("batch_speedup", "1-thread/4-thread batch translation speedup",
+              SeqMs / ParMs, "x", report::Direction::Info);
+
   std::printf("\n%s", ParHost.stats().dump().c_str());
-  return 0;
+  return report::finish(R, argc, argv);
 }

@@ -1,0 +1,626 @@
+//===- bench/render_experiments.cpp - EXPERIMENTS.md generator -------------===//
+///
+/// Regenerates EXPERIMENTS.md from a BENCH_<label>.json aggregate written
+/// by bench/run_all, so the committed fidelity discussion can never drift
+/// from the committed numbers. Every markdown table and code-block chart
+/// is rendered from the JSON; prose embeds only deterministic
+/// (simulated-cycle) values — wall-clock results stay in the JSON metrics
+/// and are referenced by id.
+///
+/// Usage:
+///   render_experiments <BENCH.json>                   # markdown on stdout
+///   render_experiments <BENCH.json> --out <path>      # write the file
+///   render_experiments <BENCH.json> --diff-tables <path>
+///     Renders in memory and compares the table/code-block lines against
+///     an existing markdown file; exits 1 on any difference (the CI check
+///     that EXPERIMENTS.md matches the committed BENCH_*.json).
+
+#include "bench/Report.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace omni;
+using namespace omni::bench::report;
+
+namespace {
+
+const Json *benchDoc(const Json &Agg, const std::string &Name) {
+  const Json *Benches = Agg.find("benches");
+  if (!Benches)
+    return nullptr;
+  for (const Json &B : Benches->Arr)
+    if (B.str("bench") == Name)
+      return &B;
+  return nullptr;
+}
+
+const Json *tableById(const Json *B, const std::string &Id) {
+  if (!B)
+    return nullptr;
+  const Json *Tables = B->find("tables");
+  if (!Tables)
+    return nullptr;
+  for (const Json &T : Tables->Arr)
+    if (T.str("id") == Id)
+      return &T;
+  return nullptr;
+}
+
+const Json *rowByLabel(const Json *T, const std::string &Label) {
+  if (!T)
+    return nullptr;
+  const Json *Rows = T->find("rows");
+  if (!Rows)
+    return nullptr;
+  for (const Json &R : Rows->Arr)
+    if (R.str("label") == Label)
+      return &R;
+  return nullptr;
+}
+
+double cellValue(const Json *T, const std::string &Label, size_t Col,
+                 bool Paper) {
+  const Json *R = rowByLabel(T, Label);
+  if (!R)
+    return std::nan("");
+  const Json *Cells = R->find("cells");
+  if (!Cells || Col >= Cells->Arr.size())
+    return std::nan("");
+  const Json &C = Cells->Arr[Col];
+  if (Paper) {
+    const Json *P = C.find("paper");
+    return P && P->K == Json::Kind::Number ? P->NumV : std::nan("");
+  }
+  return C.num("measured", std::nan(""));
+}
+
+double metricValue(const Json *B, const std::string &Id) {
+  if (!B)
+    return std::nan("");
+  const Json *Metrics = B->find("metrics");
+  if (!Metrics)
+    return std::nan("");
+  for (const Json &M : Metrics->Arr)
+    if (M.str("id") == Id)
+      return M.num("value", std::nan(""));
+  return std::nan("");
+}
+
+/// "1.04/1.05/1.04/1.02" for a whole row (measured or paper side).
+std::string rowSlash(const Json *T, const std::string &Label, bool Paper) {
+  const Json *R = rowByLabel(T, Label);
+  if (!R)
+    return "?";
+  const Json *Cells = R->find("cells");
+  if (!Cells)
+    return "?";
+  std::string Out;
+  for (size_t I = 0; I < Cells->Arr.size(); ++I) {
+    double V = cellValue(T, Label, I, Paper);
+    if (I)
+      Out += '/';
+    Out += std::isnan(V) ? std::string("-") : formatStr("%.2f", V);
+  }
+  return Out;
+}
+
+/// Renders one report table as a markdown table in the established
+/// EXPERIMENTS.md style: a "<label> measured" line per row plus a
+/// "<label> paper" line when the row carries paper values; rows labeled
+/// "average*" are bolded.
+void mdTable(std::string &Out, const Json *T) {
+  if (!T)
+    return;
+  const Json *Cols = T->find("columns");
+  const Json *Rows = T->find("rows");
+  if (!Cols || !Rows)
+    return;
+  Out += "| |";
+  for (const Json &C : Cols->Arr)
+    Out += " " + C.StrV + " |";
+  Out += "\n|---|";
+  for (size_t I = 0; I < Cols->Arr.size(); ++I)
+    Out += "---|";
+  Out += "\n";
+  for (const Json &R : Rows->Arr) {
+    std::string Label = R.str("label", "?");
+    bool Bold = Label.rfind("average", 0) == 0;
+    const Json *Cells = R.find("cells");
+    if (!Cells)
+      continue;
+    auto Line = [&](const char *Suffix, bool Paper) {
+      Out += Bold ? "| **" : "| ";
+      Out += Label + " " + Suffix;
+      Out += Bold ? "** |" : " |";
+      for (const Json &C : Cells->Arr) {
+        double V;
+        if (Paper) {
+          const Json *P = C.find("paper");
+          V = P && P->K == Json::Kind::Number ? P->NumV : std::nan("");
+        } else {
+          V = C.num("measured", std::nan(""));
+        }
+        std::string Text =
+            std::isnan(V) ? std::string("-") : formatStr("%.2f", V);
+        Out += Bold ? " **" + Text + "** |" : " " + Text + " |";
+      }
+      Out += "\n";
+    };
+    Line("measured", false);
+    bool HasPaper = false;
+    for (const Json &C : Cells->Arr)
+      HasPaper |= C.find("paper") != nullptr;
+    if (HasPaper)
+      Line("paper", true);
+  }
+}
+
+/// Renders an expansion table as the fixed-width chart used for Figure 1.
+void codeChart(std::string &Out, const char *Heading, const Json *T) {
+  if (!T)
+    return;
+  const Json *Cols = T->find("columns");
+  const Json *Rows = T->find("rows");
+  if (!Cols || !Rows)
+    return;
+  appendFormat(Out, "%-10s", Heading);
+  for (const Json &C : Cols->Arr)
+    appendFormat(Out, "%8s", C.StrV.c_str());
+  Out += "\n";
+  for (const Json &R : Rows->Arr) {
+    appendFormat(Out, "%-10s", R.str("label", "?").c_str());
+    if (const Json *Cells = R.find("cells"))
+      for (const Json &C : Cells->Arr)
+        appendFormat(Out, "%8.3f", C.num("measured", 0));
+    Out += "\n";
+  }
+}
+
+/// Min/max of one column (by index) over all rows, measured side.
+void columnRange(const Json *T, size_t Col, double &Min, double &Max) {
+  Min = 1e30;
+  Max = -1e30;
+  const Json *Rows = T ? T->find("rows") : nullptr;
+  if (!Rows)
+    return;
+  for (const Json &R : Rows->Arr)
+    if (const Json *Cells = R.find("cells"))
+      if (Col < Cells->Arr.size()) {
+        double V = Cells->Arr[Col].num("measured", 0);
+        Min = std::min(Min, V);
+        Max = std::max(Max, V);
+      }
+}
+
+/// Min/max over every measured cell of a table.
+void tableRange(const Json *T, double &Min, double &Max) {
+  Min = 1e30;
+  Max = -1e30;
+  const Json *Rows = T ? T->find("rows") : nullptr;
+  if (!Rows)
+    return;
+  for (const Json &R : Rows->Arr)
+    if (const Json *Cells = R.find("cells"))
+      for (const Json &C : Cells->Arr) {
+        double V = C.num("measured", 0);
+        Min = std::min(Min, V);
+        Max = std::max(Max, V);
+      }
+}
+
+std::string render(const Json &Agg) {
+  std::string Label = Agg.str("label", "local");
+  const Json *T1 = benchDoc(Agg, "table1_overview");
+  const Json *T2 = benchDoc(Agg, "table2_registers");
+  const Json *T3 = benchDoc(Agg, "table3_vs_cc");
+  const Json *T4 = benchDoc(Agg, "table4_vs_gcc");
+  const Json *T5 = benchDoc(Agg, "table5_no_translator_opt");
+  const Json *T6 = benchDoc(Agg, "table6_gcc_vs_cc");
+  const Json *F1 = benchDoc(Agg, "figure1_expansion");
+  const Json *F2 = benchDoc(Agg, "figure2_universality");
+  const Json *Interp = benchDoc(Agg, "interp_vs_translated");
+  const Json *Abl = benchDoc(Agg, "ablation_read_protection");
+
+  std::string Out;
+  appendFormat(Out,
+               "<!-- GENERATED FILE — do not edit by hand.\n"
+               "     Rendered from BENCH_%s.json. Refresh with:\n"
+               "       ./build/bench/run_all --label %s\n"
+               "       ./build/bench/render_experiments BENCH_%s.json "
+               "--out EXPERIMENTS.md -->\n\n",
+               Label.c_str(), Label.c_str(), Label.c_str());
+  Out += "# EXPERIMENTS — paper vs. measured\n\n";
+  appendFormat(
+      Out,
+      "Every table and figure in the paper's evaluation (§4) is "
+      "regenerated by one\nbinary in `bench/`; each binary prints its "
+      "measured values next to the\npaper's and emits a machine-readable "
+      "report (`--report-json`). The numbers\nbelow are rendered from "
+      "`BENCH_%s.json`, the aggregate written by\n`bench/run_all`, which "
+      "also gates every cell against its documented\ntolerance band "
+      "(DESIGN.md §9). Fidelity is discussed per experiment.\n\n",
+      Label.c_str());
+  Out += "Workloads: SPEC92 miniatures (see `src/workloads/` and "
+         "DESIGN.md §2) —\n`li` (lisp interpreter), `compress` (LZW), "
+         "`alvinn` (NN backprop, double\nfp), `eqntott` (bit-vector "
+         "sort). Targets: simulated MIPS R4400, SPARC,\nPPC601, Pentium. "
+         "All table values are cycle ratios on one simulated\nmachine and "
+         "are fully deterministic; wall-clock results live in the\n"
+         "JSON metrics, not in tables.\n\n";
+
+  // ---- Table 1 ---------------------------------------------------------
+  Out += "## Headline claim (Table 1)  — `bench/table1_overview`\n\n";
+  Out += "Translated + SFI, relative to native vendor-cc:\n\n";
+  const Json *T1Tab = tableById(T1, "sfi_vs_cc");
+  mdTable(Out, T1Tab);
+  double WorstM = 0, WorstP = 0;
+  for (size_t C = 0; C < 4; ++C) {
+    WorstM = std::max(WorstM, cellValue(T1Tab, "average", C, false));
+    WorstP = std::max(WorstP, cellValue(T1Tab, "average", C, true));
+  }
+  appendFormat(Out,
+               "\nVerdict: safe mobile code within %.0f%% of unsafe "
+               "native code on the worst\ntarget average (paper: within "
+               "%.0f%%). Direction and per-benchmark ordering\nhold (li "
+               "worst on integer targets, compress near parity); "
+               "magnitudes are\n**compressed** — see \"Known "
+               "deviations\" below.\n\n",
+               (WorstM - 1) * 100, (WorstP - 1) * 100);
+
+  // ---- Table 2 ---------------------------------------------------------
+  Out += "## Table 2 (register file size)  — `bench/table2_registers`\n\n";
+  Out += "Average vs native Sparc cc, by OmniVM register file size:\n\n";
+  mdTable(Out, tableById(T2, "registers"));
+  Out += "\nVerdict: **near-exact** match. The knee is in the same "
+         "place; the paper's\nconclusion (16 virtual registers suffice; "
+         "beyond that, diminishing\nreturns) reproduces directly from "
+         "linear-scan spill behaviour.\n\n";
+
+  // ---- Table 3 ---------------------------------------------------------
+  Out += "## Table 3 (vs cc, SFI and no-SFI)  — `bench/table3_vs_cc`\n\n";
+  const Json *T3S = tableById(T3, "sfi");
+  const Json *T3N = tableById(T3, "no_sfi");
+  appendFormat(Out,
+               "SFI averages %s (paper %s); no-SFI\naverages %s (paper "
+               "%s). Checked shapes:\n\n",
+               rowSlash(T3S, "average", false).c_str(),
+               rowSlash(T3S, "average", true).c_str(),
+               rowSlash(T3N, "average", false).c_str(),
+               rowSlash(T3N, "average", true).c_str());
+  Out += "* SFI adds measurable cost on the three RISC targets and none "
+         "on x86\n  (hardware segmentation), exactly as in the paper;\n"
+         "* the per-store sandboxing sequence is 1 instruction shorter "
+         "on PPC\n  (indexed store through the segment-base register);\n"
+         "* SFI cost is partially hidden in pipeline interlocks and "
+         "delay slots —\n  the paper's own §4.2 observation, amplified "
+         "by our in-order scoreboard.\n\n";
+
+  // ---- Table 4 ---------------------------------------------------------
+  Out += "## Table 4 (vs gcc)  — `bench/table4_vs_gcc`\n\n";
+  const Json *T4S = tableById(T4, "sfi");
+  const Json *T4N = tableById(T4, "no_sfi");
+  appendFormat(Out,
+               "Measured averages: SFI %s, no-SFI %s\n(paper: %s and "
+               "%s). Verdict: **good\nmatch** — mobile code is at parity "
+               "with gcc-quality native code and beats\nit without SFI "
+               "on MIPS/PPC, for the paper's own reason: the translator\n"
+               "schedules for the exact chip and gcc (2.x era, modeled "
+               "by the `Gcc`\nprofile) does not. The paper's outlier "
+               "cells (0.66/0.78) are single-cell\nanomalies we do not "
+               "reproduce.\n\n",
+               rowSlash(T4S, "average", false).c_str(),
+               rowSlash(T4N, "average", false).c_str(),
+               rowSlash(T4S, "average", true).c_str(),
+               rowSlash(T4N, "average", true).c_str());
+
+  // ---- Table 5 ---------------------------------------------------------
+  Out += "## Table 5 (no translator optimizations)  — "
+         "`bench/table5_no_translator_opt`\n\n";
+  const Json *T5S = tableById(T5, "sfi_unopt");
+  const Json *T5B = tableById(T5, "benefit");
+  appendFormat(Out,
+               "Unoptimized SFI averages %s vs optimized\n%s (paper: %s "
+               "vs %s). Checked shapes:\n\n",
+               rowSlash(T5S, "average", false).c_str(),
+               rowSlash(T5B, "optimized", false).c_str(),
+               rowSlash(T5S, "average", true).c_str(),
+               rowSlash(T1Tab, "average", true).c_str());
+  Out += "* translator optimizations recover a large share of the "
+         "mobile-code gap\n  (most on MIPS, exactly the paper's "
+         "\"benefit greatly\" targets);\n"
+         "* the Mips/PPC gains come from scheduling + delay slots; the "
+         "SPARC gain\n  (smaller) from the global pointer, as the paper "
+         "reports;\n"
+         "* optimization helps SFI code more than unsafe code "
+         "(interlock hiding).\n\n";
+
+  // ---- Table 6 ---------------------------------------------------------
+  Out += "## Table 6 (gcc vs cc)  — `bench/table6_gcc_vs_cc`\n\n";
+  const Json *T6Tab = tableById(T6, "gcc_vs_cc");
+  Out += "Native gcc relative to native cc (only the li row and the "
+         "averages are\nlegible in the source text; unannotated rows are "
+         "measured-only and\nnever gated):\n\n";
+  mdTable(Out, T6Tab);
+  appendFormat(Out,
+               "\nVerdict: ordering matches (SPARC at parity — paper "
+               "%.2f, measured %.2f;\ngaps on Mips/PPC/x86 from "
+               "scheduling, record forms and selection),\nmagnitudes "
+               "compressed — especially PPC, where the paper credits "
+               "XLC's\nglobal scheduling and branch-and-count "
+               "instructions, which we did not\nimplement (see "
+               "deviations).\n\n",
+               cellValue(T6Tab, "average", 1, true),
+               cellValue(T6Tab, "average", 1, false));
+
+  // ---- Figure 1 --------------------------------------------------------
+  Out += "## Figure 1 (instruction expansion)  — "
+         "`bench/figure1_expansion`\n\n";
+  Out += "Dynamic extra instructions per OmniVM instruction executed:\n\n";
+  Out += "```\n";
+  codeChart(Out, "Mips", tableById(F1, "mips_expansion"));
+  Out += "\n";
+  codeChart(Out, "PPC", tableById(F1, "ppc_expansion"));
+  Out += "```\n\n";
+  double LiCmpPpc = cellValue(tableById(F1, "ppc_expansion"), "li", 1, false);
+  double LiCmpMips =
+      cellValue(tableById(F1, "mips_expansion"), "li", 1, false);
+  Out += "All four of the paper's Figure-1 observations reproduce "
+         "mechanically:\n\n";
+  appendFormat(Out,
+               "1. PPC executes **more cmp** (explicit compare for every "
+               "branch; MIPS\n   fuses compares against zero) — e.g. li "
+               "%.3f vs %.3f;\n",
+               LiCmpPpc, LiCmpMips);
+  Out += "2. PPC executes **fewer sfi** (indexed addressing shortens "
+         "the check);\n"
+         "3. **bnop** exists only on the delay-slot target, even after "
+         "filling;\n"
+         "4. both pay **addr/ldi** for addressing modes and 32-bit "
+         "immediates\n   (OmniVM's indexed mode maps 1:1 on PPC, +1 add "
+         "on MIPS — visible as\n   PPC addr = 0).\n\n";
+  double TotMin, TotMax, TotMin2, TotMax2;
+  columnRange(tableById(F1, "mips_expansion"), 5, TotMin, TotMax);
+  columnRange(tableById(F1, "ppc_expansion"), 5, TotMin2, TotMax2);
+  appendFormat(Out,
+               "Totals (%.2f–%.2f extra per VM instruction) bracket the "
+               "paper's chart\n(~0.1–0.7).\n\n",
+               std::min(TotMin, TotMin2), std::max(TotMax, TotMax2));
+
+  // ---- Figure 2 --------------------------------------------------------
+  Out += "## Figure 2 (universal substrate)  — "
+         "`bench/figure2_universality`\n\n";
+  double ExpMin, ExpMax;
+  tableRange(tableById(F2, "static_expansion"), ExpMin, ExpMax);
+  appendFormat(
+      Out,
+      "Four MiniC modules plus a hand-written OmniVM assembly module "
+      "(and, in\n`examples/forth_frontend`, a Forth module) all run with "
+      "byte-identical\noutput on all four targets; the bench checks the "
+      "ok-matrix\n(`identical_semantics`) and records per-target static "
+      "expansion\n(×%.1f–×%.1f). Load-time translation throughput is "
+      "wall-clock and\nmachine-dependent, so it is recorded as the "
+      "`translate_minstr_s_<target>`\nmetrics in the JSON report "
+      "(millions of OmniVM instructions per second,\ngated only against "
+      "collapse across runs).\n\n",
+      ExpMin, ExpMax);
+
+  // ---- Interpretation --------------------------------------------------
+  Out += "## §4.4 claim (vs interpretation)  — "
+         "`bench/interp_vs_translated`\n\n";
+  appendFormat(
+      Out,
+      "With an abstract-machine interpreter modeled at 12/16/24 native "
+      "cycles per\nVM instruction (a threaded interpreter of the era), "
+      "translated code is\n**%.1f×–%.1f× faster** across the workload × "
+      "target matrix (median ≈ %.0f×) —\nconsistent with the paper's "
+      "\"an order of magnitude\".\n\n",
+      metricValue(Interp, "worst_speedup_k12"),
+      metricValue(Interp, "best_speedup_k24"),
+      metricValue(Interp, "median_speedup_k16"));
+
+  // ---- Ablation --------------------------------------------------------
+  Out += "## Extension ablation  — `bench/ablation_read_protection`\n\n";
+  const Json *AblCost = tableById(Abl, "cost_vs_nosfi");
+  const Json *AblFrac = tableById(Abl, "sfi_fraction_mips");
+  double StMin, StMax, RdMin, RdMax;
+  columnRange(AblFrac, 0, StMin, StMax);
+  columnRange(AblFrac, 1, RdMin, RdMax);
+  appendFormat(
+      Out,
+      "The paper notes (§1) that SFI \"can also support efficient read "
+      "protection\"\nbut that Omniware had not incorporated it. We "
+      "implemented it\n(`TranslateOptions::SfiReads`) and measured: "
+      "store-only sandboxing costs\n%s over no-SFI; adding read "
+      "protection costs\n%s — the dynamic sfi-instruction fraction on "
+      "MIPS rises\nfrom %.0f–%.0f%% to %.0f–%.0f%% of OmniVM "
+      "instructions because loads outnumber\nstores. This quantifies "
+      "why the shipped system protects writes+execution\nonly. The same "
+      "bench exercises the dedicated stack-pointer discipline that\n"
+      "keeps the base overhead near the paper's ~10%%.\n\n",
+      rowSlash(AblCost, "write+execute (paper)", false).c_str(),
+      rowSlash(AblCost, "+ read protection", false).c_str(), StMin * 100,
+      StMax * 100, RdMin * 100, RdMax * 100);
+
+  // ---- Serving / hosting benches --------------------------------------
+  Out += "## Hosting-service benches  — `bench/load_time`, "
+         "`bench/throughput`, `bench/trace_overhead`\n\n";
+  Out += "These measure the repo's hosting extension (DESIGN.md §6–§8) "
+         "rather than\na paper table, and they are wall-clock: their "
+         "tables are marked volatile\nin the report (archived, not "
+         "diffed) and their gates are metric-based:\n\n"
+         "* `load_time` — cold vs warm (content-addressed cache) load "
+         "cost;\n  gates `warm_speedup` ≥ 2× and regression ratios on "
+         "the totals;\n"
+         "* `throughput` — warm req/s by worker count plus a "
+         "mixed-traffic census\n  (warm/cold/hostile/runaway) that must "
+         "reconcile exactly;\n"
+         "* `trace_overhead` — the §8 observability contract: disabled "
+         "tracing\n  ≤ 2% of a warm request (hard bound), exported "
+         "chrome traces strictly\n  valid JSON, census unchanged with "
+         "tracing on.\n\n"
+         "Numbers land in the JSON metrics (`total_cold_ms`, "
+         "`warm_req_s_1w`,\n`overhead_pct`, ...); cross-run regressions "
+         "past the documented ratios\nfail `run_all`.\n\n";
+
+  // ---- translation_speed ----------------------------------------------
+  Out += "## Load-time cost  — `bench/translation_speed` "
+         "(google-benchmark)\n\n";
+  Out += "Microbenchmarks for verify / translate (per target, ±SFI, "
+         "±opt) /\nOWX deserialize / full source compile, demonstrating "
+         "the design split the\npaper argues for: translation is orders "
+         "of magnitude cheaper than\ncompilation because optimization "
+         "happened before shipping. (Own output\nformat; not part of "
+         "the report aggregate.)\n\n";
+
+  // ---- Known deviations ------------------------------------------------
+  Out += "## Known deviations (and why)\n\n";
+  Out +=
+      "1. **Compressed magnitudes.** The mobile path and the native "
+      "baselines\n   share one backend and differ only in the paper's "
+      "four factors (§4.1):\n   SFI, instruction-set expansion, IR "
+      "optimization level, and\n   machine-dependent optimization "
+      "knobs. Real vendor compilers differed\n   from the shipped "
+      "gcc-translator pipeline in a thousand uncontrolled\n   ways; our "
+      "controlled construction reproduces each *mechanism* but adds\n   "
+      "no unmodeled noise, so ratios sit closer to 1. The orderings —\n "
+      "  cc ≤ mobile-no-SFI ≤ mobile-SFI, gcc ≈ mobile — all hold. The\n"
+      "   per-table tolerance bands in `bench/PaperData.h` encode "
+      "exactly how\n   much compression is accepted before the gate "
+      "fails.\n"
+      "2. **alvinn ≈ 1.00 on RISC.** Its inner products are "
+      "fp-latency-bound in\n   our scoreboard model, so extra integer "
+      "instructions (SFI, addressing)\n   issue for free during "
+      "fadd/fmul stalls. The paper itself reports this\n   hiding "
+      "effect; on the real R4400 it was weaker than our model makes "
+      "it.\n"
+      "3. **PPC cc advantage partially modeled.** Record-form compares "
+      "and\n   scheduling are implemented; XLC's global scheduling and\n"
+      "   branch-on-count (`bdnz`) are not — they account for most of "
+      "the\n   paper's extra PPC gap (their §4.1 says exactly this, and "
+      "promises the\n   same fix for their translator as future work). "
+      "Tracked in ROADMAP.md.\n"
+      "4. **SFI on indirect jumps** is cost-modeled by emitting the "
+      "and/or\n   sandboxing pair into the dedicated register while "
+      "containment itself is\n   enforced by the code-map bounds check "
+      "— dynamic cost faithful,\n   mechanics simplified "
+      "(`tests/translate.cpp` proves containment).\n"
+      "5. **Table 6 cells for compress/alvinn/eqntott** are illegible "
+      "in the\n   available paper text; they are recorded measured-only "
+      "in the report\n   (no `paper` field) and never gated.\n"
+      "6. Cycle models are plausible early-90s values (documented in\n  "
+      " `src/target/TargetInfo.cpp`), not die-verified; all claims are "
+      "about\n   ratios within one model.\n";
+  return Out;
+}
+
+/// The lines the CI gate compares: markdown table lines and the contents
+/// of fenced code blocks (the deterministic, data-derived parts).
+std::vector<std::string> gatedLines(const std::string &Text) {
+  std::vector<std::string> Out;
+  bool InFence = false;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("```", 0) == 0) {
+      InFence = !InFence;
+      Out.push_back(Line);
+      continue;
+    }
+    if (InFence || (!Line.empty() && Line[0] == '|'))
+      Out.push_back(Line);
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath, OutPath, DiffPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--out" && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (Arg == "--diff-tables" && I + 1 < argc)
+      DiffPath = argv[++I];
+    else if (!Arg.empty() && Arg[0] != '-' && JsonPath.empty())
+      JsonPath = Arg;
+    else {
+      std::fprintf(stderr,
+                   "usage: render_experiments <BENCH.json> [--out <path>] "
+                   "[--diff-tables <path>]\n");
+      return Arg == "--help" || Arg == "-h" ? 0 : 2;
+    }
+  }
+  if (JsonPath.empty()) {
+    std::fprintf(stderr, "render_experiments: need a BENCH_*.json path\n");
+    return 2;
+  }
+
+  Json Agg;
+  std::string Error;
+  if (!loadJsonFile(JsonPath, Agg, Error) || !checkSchema(Agg, Error)) {
+    std::fprintf(stderr, "render_experiments: %s\n", Error.c_str());
+    return 1;
+  }
+  std::string Markdown = render(Agg);
+
+  if (!DiffPath.empty()) {
+    std::ifstream In(DiffPath, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "render_experiments: cannot open %s\n",
+                   DiffPath.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::vector<std::string> Want = gatedLines(Markdown);
+    std::vector<std::string> Got = gatedLines(Buf.str());
+    unsigned Mismatches = 0;
+    for (size_t I = 0; I < Want.size() || I < Got.size(); ++I) {
+      const std::string *W = I < Want.size() ? &Want[I] : nullptr;
+      const std::string *G = I < Got.size() ? &Got[I] : nullptr;
+      if (W && G && *W == *G)
+        continue;
+      ++Mismatches;
+      if (Mismatches <= 10) {
+        std::fprintf(stderr, "line %zu differs:\n  rendered: %s\n  file:     %s\n",
+                     I + 1, W ? W->c_str() : "<absent>",
+                     G ? G->c_str() : "<absent>");
+      }
+    }
+    if (Mismatches) {
+      std::fprintf(stderr,
+                   "render_experiments: %u table/chart line(s) in %s do "
+                   "not match %s —\nregenerate with: render_experiments "
+                   "%s --out %s\n",
+                   Mismatches, DiffPath.c_str(), JsonPath.c_str(),
+                   JsonPath.c_str(), DiffPath.c_str());
+      return 1;
+    }
+    std::printf("render_experiments: %zu table/chart lines match %s\n",
+                Want.size(), DiffPath.c_str());
+    return 0;
+  }
+
+  if (!OutPath.empty()) {
+    std::ofstream OutFile(OutPath, std::ios::binary | std::ios::trunc);
+    OutFile << Markdown;
+    OutFile.flush();
+    if (!OutFile.good()) {
+      std::fprintf(stderr, "render_experiments: write to %s failed\n",
+                   OutPath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", OutPath.c_str(), Markdown.size());
+    return 0;
+  }
+  std::fputs(Markdown.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,247 @@
+//===- bench/run_all.cpp - benchmark suite driver and fidelity gate --------===//
+///
+/// Runs every report-emitting bench binary (its siblings in the build
+/// tree), aggregates the per-bench JSON documents into one
+/// BENCH_<label>.json at the repo root, and gates the result:
+///
+///   * a bench exiting nonzero fails the run;
+///   * a table cell leaving its documented tolerance band vs the paper
+///     fails the run (fidelityViolations);
+///   * a metric outside its hard min/max bound fails the run
+///     (boundViolations), as does a failed internal check;
+///   * a gated metric regressing past its ratio vs the previous
+///     BENCH_*.json found at the root fails the run (diffAggregates).
+///
+/// Non-volatile cell drift vs the previous aggregate is reported but does
+/// not fail the run — determinism changes show up in the committed
+/// BENCH_*.json diff at review time.
+///
+/// Usage: run_all [--label <name>] [--root <dir>] [--out <dir>]
+///                [--skip <bench>]...
+
+#include "bench/Report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace omni::bench::report;
+
+namespace {
+
+/// Every binary that speaks --report-json. translation_speed is excluded:
+/// it is a google-benchmark binary with its own output format.
+const char *Benches[] = {
+    "table1_overview",   "table2_registers",
+    "table3_vs_cc",      "table4_vs_gcc",
+    "table5_no_translator_opt", "table6_gcc_vs_cc",
+    "figure1_expansion", "figure2_universality",
+    "interp_vs_translated", "ablation_read_protection",
+    "load_time",         "throughput",
+    "trace_overhead",
+};
+
+void tailFile(const std::string &Path, unsigned MaxLines) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  size_t Start = Lines.size() > MaxLines ? Lines.size() - MaxLines : 0;
+  for (size_t I = Start; I < Lines.size(); ++I)
+    std::fprintf(stderr, "    | %s\n", Lines[I].c_str());
+}
+
+/// Latest (by write time) BENCH_*.json under \p Root, excluding \p Self.
+std::string findPrevious(const fs::path &Root, const fs::path &Self) {
+  std::string Best;
+  fs::file_time_type BestTime{};
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Root, Ec)) {
+    if (!Entry.is_regular_file(Ec))
+      continue;
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind("BENCH_", 0) != 0 || Name.size() < 12 ||
+        Name.substr(Name.size() - 5) != ".json")
+      continue;
+    if (fs::equivalent(Entry.path(), Self, Ec))
+      continue;
+    auto T = Entry.last_write_time(Ec);
+    if (Ec)
+      continue;
+    if (Best.empty() || T > BestTime) {
+      Best = Entry.path().string();
+      BestTime = T;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Label = "local";
+  std::string Root = ".";
+  std::string OutDir;
+  std::vector<std::string> Skip;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](const char *Flag) -> std::string {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "run_all: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--label")
+      Label = Value("--label");
+    else if (Arg == "--root")
+      Root = Value("--root");
+    else if (Arg == "--out")
+      OutDir = Value("--out");
+    else if (Arg == "--skip")
+      Skip.push_back(Value("--skip"));
+    else {
+      std::fprintf(stderr,
+                   "usage: run_all [--label <name>] [--root <dir>] "
+                   "[--out <dir>] [--skip <bench>]...\n");
+      return Arg == "--help" || Arg == "-h" ? 0 : 2;
+    }
+  }
+
+  fs::path BinDir = fs::path(argv[0]).parent_path();
+  if (BinDir.empty())
+    BinDir = ".";
+  fs::path Out = OutDir.empty() ? fs::path(Root) / "bench_reports"
+                                : fs::path(OutDir);
+  std::error_code Ec;
+  fs::create_directories(Out, Ec);
+  if (Ec) {
+    std::fprintf(stderr, "run_all: cannot create %s: %s\n",
+                 Out.string().c_str(), Ec.message().c_str());
+    return 1;
+  }
+
+  Json Aggregate = Json::object();
+  Aggregate.set("schema", double(SchemaVersion));
+  Aggregate.set("kind", "bench-aggregate");
+  Aggregate.set("label", Label);
+  Json BenchDocs = Json::array();
+
+  std::vector<std::string> Failures;
+  unsigned Ran = 0;
+  for (const char *Bench : Benches) {
+    if (std::find(Skip.begin(), Skip.end(), Bench) != Skip.end()) {
+      std::printf("  %-26s SKIPPED\n", Bench);
+      continue;
+    }
+    fs::path Bin = BinDir / Bench;
+    fs::path JsonPath = Out / (std::string(Bench) + ".json");
+    fs::path LogPath = Out / (std::string(Bench) + ".txt");
+    std::string Cmd = "\"" + Bin.string() + "\" --report-json \"" +
+                      JsonPath.string() + "\" > \"" + LogPath.string() +
+                      "\" 2>&1";
+    std::fflush(stdout);
+    int Rc = std::system(Cmd.c_str());
+    ++Ran;
+    bool Failed = Rc != 0;
+
+    Json Doc;
+    std::string Error;
+    if (!loadJsonFile(JsonPath.string(), Doc, Error) ||
+        !checkSchema(Doc, Error)) {
+      Failures.push_back(std::string(Bench) + ": bad report: " + Error);
+      std::printf("  %-26s FAIL (no valid report)\n", Bench);
+      tailFile(LogPath.string(), 15);
+      continue;
+    }
+    std::vector<std::string> Gate = gateViolations(Doc);
+    if (Failed && Gate.empty())
+      Failures.push_back(std::string(Bench) + ": exited with code " +
+                         std::to_string(Rc));
+    for (const std::string &V : Gate)
+      Failures.push_back(V);
+    std::printf("  %-26s %s  (%u gated cells)\n", Bench,
+                Failed || !Gate.empty() ? "FAIL" : "ok",
+                gatedCellCount(Doc));
+    if (Failed)
+      tailFile(LogPath.string(), 15);
+    BenchDocs.push(std::move(Doc));
+  }
+  Aggregate.set("benches", std::move(BenchDocs));
+
+  // Locate the previous aggregate BEFORE writing the new one, so a rerun
+  // with the same label diffs against the committed baseline, not itself.
+  fs::path AggPath = fs::path(Root) / ("BENCH_" + Label + ".json");
+  Json Prev;
+  bool HavePrev = false;
+  std::string PrevPath, PrevError;
+  // Prefer the committed baseline with the same label; otherwise the
+  // newest other aggregate at the root.
+  if (fs::exists(AggPath) &&
+      loadJsonFile(AggPath.string(), Prev, PrevError)) {
+    HavePrev = true;
+    PrevPath = AggPath.string();
+  } else {
+    PrevPath = findPrevious(Root, AggPath);
+    if (!PrevPath.empty())
+      HavePrev = loadJsonFile(PrevPath, Prev, PrevError);
+  }
+
+  std::string WriteError;
+  if (!writeJsonFile(AggPath.string(), Aggregate, WriteError)) {
+    std::fprintf(stderr, "run_all: cannot write %s: %s\n",
+                 AggPath.string().c_str(), WriteError.c_str());
+    return 1;
+  }
+
+  std::printf("\n%u benches -> %s (%u gated cells total)\n", Ran,
+              AggPath.string().c_str(), gatedCellCount(Aggregate));
+
+  if (HavePrev) {
+    DiffResult Diff = diffAggregates(Aggregate, Prev);
+    std::printf("diff vs %s:\n", PrevPath.c_str());
+    if (Diff.Regressions.empty() && Diff.CellChanges.empty() &&
+        Diff.Notes.empty())
+      std::printf("  no changes\n");
+    for (const std::string &N : Diff.Notes)
+      std::printf("  note: %s\n", N.c_str());
+    for (const std::string &C : Diff.CellChanges)
+      std::printf("  cell: %s\n", C.c_str());
+    for (const std::string &Rg : Diff.Regressions) {
+      std::printf("  REGRESSION: %s\n", Rg.c_str());
+      Failures.push_back(Rg);
+    }
+  } else {
+    std::printf("no previous BENCH_*.json found under %s; skipping "
+                "cross-run diff\n",
+                Root.c_str());
+  }
+
+  if (!Failures.empty()) {
+    std::printf("\nFAIL: %zu violation(s)\n", Failures.size());
+    for (const std::string &F : Failures)
+      std::printf("  %s\n", F.c_str());
+    return 1;
+  }
+  std::printf("\nPASS: paper fidelity, metric bounds, internal checks, "
+              "cross-run gates all green\n");
+  return 0;
+}

@@ -22,9 +22,11 @@
 /// throughput is also measured and printed, informationally.
 
 #include "Harness.h"
+#include "bench/Report.h"
 #include "host/Server.h"
 #include "obs/TraceExporter.h"
 #include "obs/Tracer.h"
+#include "support/Format.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -66,7 +68,8 @@ double measureDisabledSiteNs() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  report::Report R("trace_overhead", "Tracing overhead gate");
   translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
   obs::Tracer &T = obs::Tracer::get();
   T.setEnabled(false);
@@ -131,11 +134,11 @@ int main() {
               "requests, %llu dropped)\n",
               EventsPerReq, Events.size(), Requests,
               (unsigned long long)TS.Dropped);
-  if (TS.Dropped) {
-    std::fprintf(stderr, "FAIL: calibration run overflowed a trace ring; "
-                         "events-per-request would undercount\n");
-    return 1;
-  }
+  R.addCheck("no_ring_drops", TS.Dropped == 0,
+             TS.Dropped == 0
+                 ? "calibration run fit in the trace rings"
+                 : "calibration run overflowed a trace ring; "
+                   "events-per-request would undercount");
 
   // ---- The gate -------------------------------------------------------
   double OverheadPct =
@@ -143,7 +146,6 @@ int main() {
   std::printf("  disabled-mode overhead: %7.3f%% of a warm request "
               "(gate: <= 2%%)\n",
               OverheadPct);
-  bool GateOk = OverheadPct <= 2.0;
 
   // ---- Exported trace must be valid chrome-trace JSON -----------------
   std::string Json = obs::toChromeJson(Events);
@@ -152,6 +154,8 @@ int main() {
   std::printf("  chrome-trace JSON:      %zu bytes, %s%s%s\n", Json.size(),
               JsonOk ? "valid" : "INVALID", JsonOk ? "" : " — ",
               JsonErr.c_str());
+  R.addCheck("chrome_json_valid", JsonOk,
+             JsonOk ? "drained events export as strict JSON" : JsonErr);
   std::string WriteErr;
   if (!obs::writeChromeTrace("trace_overhead.json", Events, WriteErr))
     std::fprintf(stderr, "warning: could not write trace_overhead.json: %s\n",
@@ -180,6 +184,9 @@ int main() {
   std::printf("  traced mixed census:    %u requests, %s%s%s\n",
               Census.total(), CensusOk ? "reconciled" : "FAIL",
               CensusOk ? "" : " — ", Why.c_str());
+  R.addCheck("traced_census_reconciles", CensusOk,
+             CensusOk ? formatStr("%u requests accounted for", Census.total())
+                      : Why);
 
   // The server-exported file must parse too.
   std::ifstream In(MixedPath, std::ios::binary);
@@ -190,8 +197,22 @@ int main() {
       In.good() && obs::validateJson(Buf.str(), MixedJsonErr);
   std::printf("  server-exported trace:  %s (%s)\n", MixedPath,
               MixedJsonOk ? "valid JSON" : "INVALID");
+  R.addCheck("server_export_valid", MixedJsonOk,
+             MixedJsonOk ? "shutdown-exported trace file is strict JSON"
+                         : MixedJsonErr);
 
-  bool Ok = GateOk && JsonOk && CensusOk && MixedJsonOk;
+  R.addMetric("disabled_site_ns", "disabled instrumentation site cost",
+              SiteNs, "ns", report::Direction::Lower)
+      .withRegressRatio(0.1);
+  R.addMetric("overhead_pct", "computed disabled-mode overhead per warm "
+                              "request",
+              OverheadPct, "%", report::Direction::Lower)
+      .withMax(2.0);
+  R.addMetric("events_per_warm_req", "trace events emitted per warm request",
+              EventsPerReq, "events", report::Direction::Lower)
+      .withMax(30.0);
+
+  bool Ok = R.violations().empty();
   std::printf("  trace overhead gate:    %s\n", Ok ? "pass" : "FAIL");
-  return Ok ? 0 : 1;
+  return report::finish(R, argc, argv);
 }

@@ -1,0 +1,336 @@
+//===- tests/report.cpp - bench report schema and gate contract -----------===//
+///
+/// The machine-readable bench report is an interface: run_all gates CI on
+/// it, render_experiments regenerates EXPERIMENTS.md from it, and the
+/// committed BENCH_*.json is reviewed as a diff. This pins the contract:
+/// every emitted document passes the strict RFC 8259 validator and
+/// round-trips through the DOM parser; tolerance bands, metric bounds,
+/// and failed checks each turn into gate violations (including on a
+/// perturbed on-disk fixture, the "cell leaves its band" scenario);
+/// cross-run diffs flag metric regressions in both directions while
+/// ignoring volatile tables.
+
+#include "bench/Report.h"
+
+#include "obs/TraceExporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+using namespace omni;
+using namespace omni::bench::report;
+
+namespace {
+
+/// Tests mutate parsed fixtures in place; find() is const by design.
+Json *mut(const Json *J) { return const_cast<Json *>(J); }
+
+/// A representative report: one gated table (tolerance 0.5) with a
+/// paperless cell, one bounded metric, one regress-gated metric, one
+/// volatile table, and one check.
+Report makeReport(double LiMips = 1.15) {
+  Report R("unit_bench", "Unit fixture");
+  Table &T = R.addTable("fidelity", "Fidelity table",
+                        {"Mips", "Sparc"}, /*Tolerance=*/0.5);
+  T.addRow("li", {LiMips, 1.12}, {1.10, 1.05});
+  T.addRow("compress", {1.02, 1.03}); // measured-only: never gated
+  Table &V = R.addTable("wall_clock", "Volatile table", {"ms"});
+  V.Volatile = true;
+  V.addRow("total", {12.5});
+  R.addMetric("speedup", "cache speedup", 6.0, "x", Direction::Higher)
+      .withMin(2.0)
+      .withRegressRatio(0.5);
+  R.addMetric("overhead", "tracing overhead", 0.4, "%", Direction::Lower)
+      .withMax(2.0)
+      .withRegressRatio(0.25);
+  R.addCheck("census", true, "all requests accounted for");
+  return R;
+}
+
+Json aggregateOf(const Report &R, const char *Label = "test") {
+  Json Agg = Json::object();
+  Agg.set("schema", double(SchemaVersion));
+  Agg.set("kind", "bench-aggregate");
+  Agg.set("label", Label);
+  Json Benches = Json::array();
+  Benches.push(R.toJson());
+  Agg.set("benches", std::move(Benches));
+  return Agg;
+}
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Emission: strict validity and round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(ReportJson, EmittedDocumentPassesStrictValidator) {
+  Json Doc = makeReport().toJson();
+  std::string Error;
+  EXPECT_TRUE(obs::validateJson(Doc.dump(0), Error)) << Error;
+  EXPECT_TRUE(obs::validateJson(Doc.dump(2), Error)) << Error;
+  EXPECT_TRUE(obs::validateJson(aggregateOf(makeReport()).dump(2), Error))
+      << Error;
+}
+
+TEST(ReportJson, EscapedStringsStayValid) {
+  Json Doc = Json::object();
+  Doc.set("nasty", "quote\" backslash\\ tab\t newline\n ctrl\x01 end");
+  std::string Error;
+  ASSERT_TRUE(obs::validateJson(Doc.dump(0), Error)) << Error;
+  Json Back;
+  ASSERT_TRUE(Json::parse(Doc.dump(0), Back, Error)) << Error;
+  EXPECT_EQ(Back.str("nasty"),
+            "quote\" backslash\\ tab\t newline\n ctrl\x01 end");
+}
+
+TEST(ReportJson, RoundTripPreservesStructure) {
+  Json Doc = makeReport().toJson();
+  Json Back;
+  std::string Error;
+  ASSERT_TRUE(Json::parse(Doc.dump(2), Back, Error)) << Error;
+  // Re-dumping the parsed DOM reproduces the original byte-for-byte
+  // (member order is preserved) — the property the committed
+  // BENCH_*.json diff relies on.
+  EXPECT_EQ(Back.dump(2), Doc.dump(2));
+  EXPECT_EQ(Back.str("bench"), "unit_bench");
+  EXPECT_EQ(Back.num("schema", -1), double(SchemaVersion));
+}
+
+TEST(ReportJson, ParserRejectsDefects) {
+  Json Out;
+  std::string Error;
+  EXPECT_FALSE(Json::parse("{", Out, Error));
+  EXPECT_FALSE(Json::parse("{\"a\":1,}", Out, Error));
+  EXPECT_FALSE(Json::parse("[1 2]", Out, Error));
+  EXPECT_FALSE(Json::parse("{\"a\":01}", Out, Error));
+  EXPECT_FALSE(Json::parse("\"unterminated", Out, Error));
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", Out, Error));
+  EXPECT_FALSE(Json::parse("nul", Out, Error));
+}
+
+TEST(ReportJson, NonFiniteNumbersEmitAsZero) {
+  Json Doc = Json::object();
+  Doc.set("nan", std::nan(""));
+  std::string Error;
+  EXPECT_TRUE(obs::validateJson(Doc.dump(0), Error)) << Error;
+  EXPECT_NE(Doc.dump(0).find("\"nan\":0"), std::string::npos);
+}
+
+TEST(ReportJson, SchemaCheck) {
+  Json Doc = makeReport().toJson();
+  std::string Error;
+  EXPECT_TRUE(checkSchema(Doc, Error)) << Error;
+  Json Wrong = Json::object();
+  Wrong.set("schema", double(SchemaVersion + 1));
+  EXPECT_FALSE(checkSchema(Wrong, Error));
+  EXPECT_FALSE(checkSchema(Json::object(), Error)); // absent
+}
+
+//===----------------------------------------------------------------------===//
+// Gates: tolerance bands, bounds, checks
+//===----------------------------------------------------------------------===//
+
+TEST(ReportGate, CleanReportHasNoViolations) {
+  EXPECT_TRUE(makeReport().violations().empty());
+}
+
+TEST(ReportGate, CellLeavingBandFails) {
+  // 1.15 vs paper 1.10 is inside the 0.5 band; 1.75 is outside it.
+  Report Bad = makeReport(/*LiMips=*/1.75);
+  std::vector<std::string> V = Bad.violations();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_NE(V[0].find("fidelity"), std::string::npos);
+  EXPECT_NE(V[0].find("li"), std::string::npos);
+  EXPECT_NE(V[0].find("Mips"), std::string::npos);
+  // The same evaluation through the document-level gate.
+  EXPECT_EQ(fidelityViolations(Bad.toJson()).size(), 1u);
+  EXPECT_EQ(fidelityViolations(aggregateOf(Bad)).size(), 1u);
+}
+
+TEST(ReportGate, MeasuredOnlyCellsAreNeverGated) {
+  Report R("t", "");
+  Table &T = R.addTable("x", "", {"a"}, /*Tolerance=*/0.01);
+  T.addRow("huge", {999.0}); // no paper value -> not gated
+  EXPECT_TRUE(R.violations().empty());
+  EXPECT_EQ(gatedCellCount(R.toJson()), 0u);
+}
+
+TEST(ReportGate, ZeroToleranceDisablesGating) {
+  Report R("t", "");
+  Table &T = R.addTable("x", "", {"a"}); // tolerance 0
+  T.addRow("far", {10.0}, {1.0});
+  EXPECT_TRUE(R.violations().empty());
+  EXPECT_EQ(gatedCellCount(R.toJson()), 0u);
+}
+
+TEST(ReportGate, GatedCellCountCountsPaperCellsInToleratedTables) {
+  EXPECT_EQ(gatedCellCount(makeReport().toJson()), 2u); // li row only
+  EXPECT_EQ(gatedCellCount(aggregateOf(makeReport())), 2u);
+}
+
+TEST(ReportGate, MetricBounds) {
+  Report R("t", "");
+  R.addMetric("low", "", 1.0, "x", Direction::Higher).withMin(2.0);
+  R.addMetric("high", "", 3.0, "%", Direction::Lower).withMax(2.0);
+  R.addMetric("fine", "", 1.0, "x", Direction::Info);
+  std::vector<std::string> V = boundViolations(R.toJson());
+  ASSERT_EQ(V.size(), 2u);
+  EXPECT_NE(V[0].find("below minimum"), std::string::npos);
+  EXPECT_NE(V[1].find("above maximum"), std::string::npos);
+}
+
+TEST(ReportGate, FailedCheckFails) {
+  Report R("t", "");
+  R.addCheck("good", true, "fine");
+  R.addCheck("bad", false, "census drifted");
+  std::vector<std::string> V = checkViolations(R.toJson());
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_NE(V[0].find("bad"), std::string::npos);
+  EXPECT_NE(V[0].find("census drifted"), std::string::npos);
+  EXPECT_EQ(gateViolations(R.toJson()).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fixture files: write, perturb, reload, gate
+//===----------------------------------------------------------------------===//
+
+TEST(ReportFile, WriteLoadRoundTrip) {
+  std::string Path = tempPath("report_roundtrip.json");
+  Json Doc = aggregateOf(makeReport());
+  std::string Error;
+  ASSERT_TRUE(writeJsonFile(Path, Doc, Error)) << Error;
+  Json Back;
+  ASSERT_TRUE(loadJsonFile(Path, Back, Error)) << Error;
+  EXPECT_EQ(Back.dump(2), Doc.dump(2));
+  std::remove(Path.c_str());
+}
+
+TEST(ReportFile, LoadRejectsInvalidBytes) {
+  std::string Path = tempPath("report_invalid.json");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("{\"schema\": 1,}", F); // trailing comma
+  std::fclose(F);
+  Json Out;
+  std::string Error;
+  EXPECT_FALSE(loadJsonFile(Path, Out, Error));
+  EXPECT_FALSE(Error.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(ReportFile, PerturbedFixtureFailsTheGate) {
+  // The acceptance scenario: a committed BENCH_*.json whose measured cell
+  // drifts out of its band must fail the aggregate gate on reload.
+  std::string Path = tempPath("report_perturbed.json");
+  Json Doc = aggregateOf(makeReport());
+  std::string Error;
+  ASSERT_TRUE(writeJsonFile(Path, Doc, Error)) << Error;
+
+  Json Loaded;
+  ASSERT_TRUE(loadJsonFile(Path, Loaded, Error)) << Error;
+  ASSERT_TRUE(gateViolations(Loaded).empty());
+
+  // Perturb li/Mips measured far outside the 0.5 band and rewrite.
+  Json *Benches = mut(Loaded.find("benches"));
+  ASSERT_NE(Benches, nullptr);
+  Json *Tables = mut(Benches->Arr[0].find("tables"));
+  ASSERT_NE(Tables, nullptr);
+  Json *Rows = mut(Tables->Arr[0].find("rows"));
+  Json *Cells = mut(Rows->Arr[0].find("cells"));
+  mut(Cells->Arr[0].find("measured"))->NumV = 2.5;
+  ASSERT_TRUE(writeJsonFile(Path, Loaded, Error)) << Error;
+
+  Json Reloaded;
+  ASSERT_TRUE(loadJsonFile(Path, Reloaded, Error)) << Error;
+  std::vector<std::string> V = gateViolations(Reloaded);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_NE(V[0].find("deviates"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-run diff
+//===----------------------------------------------------------------------===//
+
+TEST(ReportDiff, IdenticalRunsDiffClean) {
+  Json Cur = aggregateOf(makeReport());
+  DiffResult D = diffAggregates(Cur, Cur);
+  EXPECT_TRUE(D.Regressions.empty());
+  EXPECT_TRUE(D.CellChanges.empty());
+  EXPECT_TRUE(D.Notes.empty());
+}
+
+TEST(ReportDiff, HigherBetterMetricRegresses) {
+  Json Prev = aggregateOf(makeReport());
+  Report Slow = makeReport();
+  // speedup 6.0 -> 2.0 is below prev * 0.5: a regression. (It is still
+  // above the hard minimum, so only the cross-run gate sees it.)
+  Json Cur = aggregateOf(Slow);
+  Json *M = mut(mut(Cur.find("benches"))->Arr[0].find("metrics"));
+  mut(M->Arr[0].find("value"))->NumV = 2.0;
+  DiffResult D = diffAggregates(Cur, Prev);
+  ASSERT_EQ(D.Regressions.size(), 1u);
+  EXPECT_NE(D.Regressions[0].find("speedup"), std::string::npos);
+  // The other direction (improvement) is not a regression.
+  EXPECT_TRUE(diffAggregates(Prev, Cur).Regressions.empty());
+}
+
+TEST(ReportDiff, LowerBetterMetricRegresses) {
+  Json Prev = aggregateOf(makeReport());
+  Json Cur = aggregateOf(makeReport());
+  // overhead 0.4 -> 1.8 exceeds prev / 0.25 = 1.6: a regression.
+  Json *M = mut(mut(Cur.find("benches"))->Arr[0].find("metrics"));
+  mut(M->Arr[1].find("value"))->NumV = 1.8;
+  DiffResult D = diffAggregates(Cur, Prev);
+  ASSERT_EQ(D.Regressions.size(), 1u);
+  EXPECT_NE(D.Regressions[0].find("overhead"), std::string::npos);
+}
+
+TEST(ReportDiff, DeterministicCellDriftIsReportedNotGated) {
+  Json Prev = aggregateOf(makeReport(1.15));
+  Json Cur = aggregateOf(makeReport(1.17));
+  DiffResult D = diffAggregates(Cur, Prev);
+  EXPECT_TRUE(D.Regressions.empty());
+  ASSERT_EQ(D.CellChanges.size(), 1u);
+  EXPECT_NE(D.CellChanges[0].find("fidelity"), std::string::npos);
+  // Sub-epsilon drift is ignored.
+  EXPECT_TRUE(
+      diffAggregates(aggregateOf(makeReport(1.151)), Prev).CellChanges.empty());
+}
+
+TEST(ReportDiff, VolatileTablesAreExcludedFromCellDiffs) {
+  Json Prev = aggregateOf(makeReport());
+  Json Cur = aggregateOf(makeReport());
+  // Change the volatile wall-clock cell massively: no cell change.
+  Json *Tables = mut(mut(Cur.find("benches"))->Arr[0].find("tables"));
+  Json *Rows = mut(Tables->Arr[1].find("rows"));
+  Json *Cells = mut(Rows->Arr[0].find("cells"));
+  mut(Cells->Arr[0].find("measured"))->NumV = 9999.0;
+  DiffResult D = diffAggregates(Cur, Prev);
+  EXPECT_TRUE(D.CellChanges.empty());
+  EXPECT_TRUE(D.Regressions.empty());
+}
+
+TEST(ReportDiff, MissingCounterpartsBecomeNotes) {
+  Json Prev = aggregateOf(makeReport());
+  Json Cur = Json::object();
+  Cur.set("schema", double(SchemaVersion));
+  Cur.set("kind", "bench-aggregate");
+  Cur.set("label", "test");
+  Json Benches = Json::array();
+  Report Other("other_bench", "");
+  Benches.push(Other.toJson());
+  Cur.set("benches", std::move(Benches));
+  DiffResult D = diffAggregates(Cur, Prev);
+  ASSERT_EQ(D.Notes.size(), 2u);
+  EXPECT_NE(D.Notes[0].find("new bench"), std::string::npos);
+  EXPECT_NE(D.Notes[1].find("missing"), std::string::npos);
+}
