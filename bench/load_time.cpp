@@ -137,6 +137,36 @@ int main(int argc, char **argv) {
   R.addMetric("batch_speedup", "1-thread/4-thread batch translation speedup",
               SeqMs / ParMs, "x", report::Direction::Info);
 
+  // The SFI proof checker rides along on every cold translation
+  // (Options::SfiCheck defaults on). Its price must stay a small fraction
+  // of translation itself, or verify-don't-trust turns into a second
+  // translator; the single-threaded batch gives the cleanest sample.
+  host::HostStats SeqStats = SeqHost.stats();
+  double CheckRatio =
+      SeqStats.TranslateNs
+          ? static_cast<double>(SeqStats.SfiCheck.Ns) /
+                static_cast<double>(SeqStats.TranslateNs)
+          : 0.0;
+  R.addMetric("sficheck_ratio",
+              "SFI proof checker time / translate time (cold batch)",
+              CheckRatio, "x", report::Direction::Lower)
+      .withMax(0.25);
+  R.addCheck("sficheck_covers_all_translations",
+             SeqStats.SfiCheck.totalChecked() == SeqStats.TranslateCount &&
+                 SeqStats.SfiCheck.totalRejected() == 0,
+             formatStr("%llu translated, %llu checked, %llu rejected",
+                       static_cast<unsigned long long>(SeqStats.TranslateCount),
+                       static_cast<unsigned long long>(
+                           SeqStats.SfiCheck.totalChecked()),
+                       static_cast<unsigned long long>(
+                           SeqStats.SfiCheck.totalRejected())));
+  std::printf("sficheck: %.3f ms over %llu translations (%.1f%% of "
+              "translate time)\n",
+              SeqStats.SfiCheck.Ns / 1e6,
+              static_cast<unsigned long long>(
+                  SeqStats.SfiCheck.totalChecked()),
+              CheckRatio * 100.0);
+
   std::printf("\n%s", ParHost.stats().dump().c_str());
   return report::finish(R, argc, argv);
 }

@@ -140,6 +140,43 @@ int main(int argc, char **argv) {
                  : "calibration run overflowed a trace ring; "
                    "events-per-request would undercount");
 
+  // ---- Per-request sampling: 1-in-N tracing under load ----------------
+  // Server::Options::TraceSampleEvery records every Nth request and
+  // suppresses the rest (obs::SuppressScope), so production tracing costs
+  // 1/N of full tracing. The gate: event volume must actually shrink to
+  // ~1/N, within generous slack for span boundaries.
+  const unsigned SampleN = 8;
+  double SampledReqS;
+  T.clearForTesting();
+  T.setEnabled(true);
+  {
+    host::Server::Options SrvOpts;
+    SrvOpts.Workers = 1;
+    SrvOpts.QueueCapacity = 128;
+    SrvOpts.TraceSampleEvery = SampleN;
+    host::Server Srv(Host, SrvOpts);
+    SampledReqS = measureWarmThroughput(Srv, LM, /*Warmup=*/0, Requests);
+  }
+  std::vector<obs::TraceEvent> Sampled;
+  T.drain(Sampled);
+  T.setEnabled(false);
+  double SampledPerReq = static_cast<double>(Sampled.size()) / Requests;
+  std::printf("  warm request (1-in-%u): %7.0f req/s, %.1f events/request "
+              "(full tracing: %.1f)\n",
+              SampleN, SampledReqS, SampledPerReq, EventsPerReq);
+  R.addCheck("sampling_reduces_events",
+             Sampled.size() > 0 &&
+                 SampledPerReq <= EventsPerReq / SampleN * 1.5,
+             formatStr("1-in-%u sampling: %.2f events/request vs %.2f "
+                       "unsampled (expect <= %.2f)",
+                       SampleN, SampledPerReq, EventsPerReq,
+                       EventsPerReq / SampleN * 1.5));
+  R.addMetric("sampled_events_per_req",
+              formatStr("trace events per warm request at 1-in-%u sampling",
+                        SampleN),
+              SampledPerReq, "events", report::Direction::Lower)
+      .withMax(30.0 / SampleN * 1.5);
+
   // ---- The gate -------------------------------------------------------
   double OverheadPct =
       WarmReqNs > 0 ? EventsPerReq * SiteNs / WarmReqNs * 100 : 100;

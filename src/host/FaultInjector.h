@@ -11,12 +11,19 @@
 /// rejecting a request does). Injection composes with the normal bind
 /// pipeline; nothing else in the serve path knows it exists.
 ///
+/// The injector can also mutate translator output before the SFI proof
+/// checker sees it, modeling a buggy or compromised translator: the
+/// checker is the oracle that must reject (or prove still-safe) every
+/// mutated image before it reaches the code cache.
+///
 //===----------------------------------------------------------------------===//
 #ifndef OMNI_HOST_FAULTINJECTOR_H
 #define OMNI_HOST_FAULTINJECTOR_H
 
 #include "runtime/HostEnv.h"
+#include "target/TargetInfo.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +37,12 @@ struct FaultInjector {
   /// Each named gate is re-granted as a stub returning
   /// Trap::hostError(vm::HostErrInjected).
   std::vector<std::string> FailGates;
+
+  /// Mutates a freshly translated image. Called by ModuleHost::load
+  /// between translation and the SFI proof check, so whatever this
+  /// produces must still get past the checker to be served (and cached).
+  /// Testing hook for translator-output bit-flip sweeps.
+  std::function<void(target::TargetCode &)> MutateTranslation;
 
   /// Re-grants the configured gates on \p Env. Called by
   /// ModuleHost::createSession after the stdlib and extra setup are

@@ -25,6 +25,8 @@ const char *omni::host::getLoadStageName(LoadStage Stage) {
     return "resource";
   case LoadStage::Bind:
     return "bind";
+  case LoadStage::Check:
+    return "check";
   }
   return "unknown";
 }
@@ -118,6 +120,23 @@ std::string HostStats::dump() const {
       static_cast<unsigned long long>(CacheMisses),
       static_cast<unsigned long long>(CacheEvictions),
       static_cast<unsigned long long>(CacheCorruptRejects));
+  if (SfiCheck.active()) {
+    appendFormat(
+        S, "  sficheck: %llu checked, %llu passed, %llu rejected, %.3f ms (",
+        static_cast<unsigned long long>(SfiCheck.totalChecked()),
+        static_cast<unsigned long long>(SfiCheck.totalPassed()),
+        static_cast<unsigned long long>(SfiCheck.totalRejected()),
+        static_cast<double>(SfiCheck.Ns) / 1e6);
+    for (unsigned T = 0; T < target::NumTargets; ++T)
+      appendFormat(S, "%s%s %llu/%llu/%llu", T ? ", " : "",
+                   target::getTargetName(target::allTargets(T)),
+                   static_cast<unsigned long long>(SfiCheck.Checked[T]),
+                   static_cast<unsigned long long>(SfiCheck.Passed[T]),
+                   static_cast<unsigned long long>(SfiCheck.Rejected[T]));
+    appendFormat(S, "), obligations: %llu proved, %llu assumed\n",
+                 static_cast<unsigned long long>(SfiCheck.Proved),
+                 static_cast<unsigned long long>(SfiCheck.Assumed));
+  }
   appendFormat(S, "  rejects:  %llu total",
                static_cast<unsigned long long>(totalRejects()));
   for (unsigned St = 1; St < NumLoadStages; ++St)

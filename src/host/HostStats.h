@@ -14,6 +14,7 @@
 #define OMNI_HOST_HOSTSTATS_H
 
 #include "obs/Tracer.h"
+#include "target/TargetInfo.h"
 #include "vm/Trap.h"
 
 #include <cstdint>
@@ -32,9 +33,10 @@ enum class LoadStage : uint8_t {
   Translate,   ///< translation failed
   Resource,    ///< a host resource limit was exceeded
   Bind,        ///< image install / import resolution failed
+  Check,       ///< the SFI proof checker rejected the translation
 };
 
-constexpr unsigned NumLoadStages = 6;
+constexpr unsigned NumLoadStages = 7;
 
 /// Human-readable name of a load stage.
 const char *getLoadStageName(LoadStage Stage);
@@ -88,6 +90,38 @@ struct ServingStats {
   bool active() const { return Submitted || RejectedOnFull; }
 };
 
+/// SFI proof-checker accounting: how many translations each target had
+/// checked / accepted / rejected at cache-insert time, and the obligation
+/// totals across all checks. Rejected translations never reach the cache.
+struct SfiCheckStats {
+  uint64_t Checked[target::NumTargets] = {};
+  uint64_t Passed[target::NumTargets] = {};
+  uint64_t Rejected[target::NumTargets] = {};
+  uint64_t Proved = 0;  ///< obligations statically discharged
+  uint64_t Assumed = 0; ///< obligations resting on a runtime mechanism
+  uint64_t Ns = 0;      ///< accumulated checker wall time
+
+  uint64_t totalChecked() const {
+    uint64_t T = 0;
+    for (uint64_t C : Checked)
+      T += C;
+    return T;
+  }
+  uint64_t totalPassed() const {
+    uint64_t T = 0;
+    for (uint64_t C : Passed)
+      T += C;
+    return T;
+  }
+  uint64_t totalRejected() const {
+    uint64_t T = 0;
+    for (uint64_t C : Rejected)
+      T += C;
+    return T;
+  }
+  bool active() const { return totalChecked() != 0; }
+};
+
 /// Snapshot of the hosting service's counters and gauges.
 struct HostStats {
   // Pipeline stage counters and accumulated wall time.
@@ -121,6 +155,9 @@ struct HostStats {
   // Gauges (state at snapshot time).
   uint64_t ResidentBytes = 0;
   uint64_t ResidentEntries = 0;
+
+  // SFI proof checker (empty until a translation has been checked).
+  SfiCheckStats SfiCheck;
 
   // Serving layer (empty unless the snapshot came from a Server).
   ServingStats Serving;

@@ -3,6 +3,7 @@
 #include "host/ModuleHost.h"
 
 #include "obs/Tracer.h"
+#include "sficheck/SfiChecker.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "vm/Verifier.h"
@@ -191,6 +192,50 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
     reject(Err, LoadStage::Translate, LM->ContentHash,
            std::move(TranslateError));
     return nullptr;
+  }
+
+  // Fault injection: a translator-output mutator models a buggy or
+  // compromised translator. It runs before the check on purpose — the
+  // checker is the oracle that must catch what it produces.
+  {
+    std::shared_ptr<const FaultInjector> FI;
+    {
+      std::lock_guard<std::mutex> Lock(InjectorMu);
+      FI = Injector;
+    }
+    if (FI && FI->MutateTranslation)
+      FI->MutateTranslation(*Code);
+  }
+
+  // check: the SFI proof checker verifies the sandbox before anything is
+  // cached or served; the translator is not trusted to have gotten it
+  // right. A failed proof is a structured Check-stage reject.
+  if (HostOpts.SfiCheck) {
+    auto CheckStart = Clock::now();
+    sficheck::CheckOptions CheckOpts;
+    CheckOpts.Sfi = Opts.Sfi;
+    CheckOpts.SfiReads = Opts.SfiReads;
+    sficheck::CheckResult CR;
+    {
+      obs::ScopedSpan CheckSpan("SfiCheck", "host");
+      CheckSpan.arg("module", LM->ContentHash);
+      CR = sficheck::checkTranslation(Kind, *Code, LM->Seg, CheckOpts);
+      CheckSpan.arg("obligations", CR.Proved + CR.Assumed + CR.Failed);
+      CheckSpan.arg("failed", CR.Failed);
+    }
+    unsigned T = static_cast<unsigned>(Kind);
+    Counters.SfiCheckNs.fetch_add(nsSince(CheckStart),
+                                  std::memory_order_relaxed);
+    Counters.SfiChecked[T].fetch_add(1, std::memory_order_relaxed);
+    Counters.SfiProved.fetch_add(CR.Proved, std::memory_order_relaxed);
+    Counters.SfiAssumed.fetch_add(CR.Assumed, std::memory_order_relaxed);
+    if (!CR.Ok) {
+      Counters.SfiRejected[T].fetch_add(1, std::memory_order_relaxed);
+      reject(Err, LoadStage::Check, LM->ContentHash,
+             std::move(CR.FirstFailure));
+      return nullptr;
+    }
+    Counters.SfiPassed[T].fetch_add(1, std::memory_order_relaxed);
   }
 
   LM->Exe = std::make_shared<vm::Module>(Exe);
@@ -449,6 +494,17 @@ HostStats ModuleHost::stats() const {
     S.Rejects[I] = Counters.Rejects[I].load(std::memory_order_relaxed);
   for (unsigned I = 0; I < vm::NumTrapKinds; ++I)
     S.Traps[I] = Counters.Traps[I].load(std::memory_order_relaxed);
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    S.SfiCheck.Checked[T] =
+        Counters.SfiChecked[T].load(std::memory_order_relaxed);
+    S.SfiCheck.Passed[T] =
+        Counters.SfiPassed[T].load(std::memory_order_relaxed);
+    S.SfiCheck.Rejected[T] =
+        Counters.SfiRejected[T].load(std::memory_order_relaxed);
+  }
+  S.SfiCheck.Proved = Counters.SfiProved.load(std::memory_order_relaxed);
+  S.SfiCheck.Assumed = Counters.SfiAssumed.load(std::memory_order_relaxed);
+  S.SfiCheck.Ns = Counters.SfiCheckNs.load(std::memory_order_relaxed);
   S.CacheHits = Cache.hits();
   S.CacheMisses = Cache.misses();
   S.CacheEvictions = Cache.evictions();

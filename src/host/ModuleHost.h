@@ -17,6 +17,11 @@
 ///               on a cache hit: a hit proves these exact bytes were
 ///               verified when the entry was translated.
 ///   translate — load(): cache lookup, miss translates and inserts.
+///   check     — load(): the SFI proof checker verifies the translation
+///               (sandboxed stores and jumps) before the cache insert, so
+///               the translator itself is not a trusted component. Warm
+///               hits skip it: an entry can only have been inserted
+///               checked.
 ///   bind      — createSession(): image load, import resolution against
 ///               the granted host functions, heap setup.
 ///
@@ -128,8 +133,19 @@ private:
 /// concurrently; sessions are independent once created.
 class ModuleHost {
 public:
+  /// Per-host behavior toggles.
+  struct Options {
+    /// Run the SFI proof checker over every translation before it enters
+    /// the code cache; a failed proof is a Check-stage LoadError. Default
+    /// on: the translator is not trusted to sandbox correctly.
+    bool SfiCheck = true;
+  };
+
   explicit ModuleHost(size_t CacheByteBudget = CodeCache::DefaultByteBudget)
       : Cache(CacheByteBudget) {}
+
+  Options &options() { return HostOpts; }
+  const Options &options() const { return HostOpts; }
 
   /// Stable content address of \p Exe: FNV-1a over its OWX bytes.
   static uint64_t contentHash(const vm::Module &Exe);
@@ -237,8 +253,15 @@ private:
     std::atomic<uint64_t> LoadCount{0}, SessionCount{0};
     std::atomic<uint64_t> Rejects[NumLoadStages] = {};
     std::atomic<uint64_t> Traps[vm::NumTrapKinds] = {};
+    // SFI proof checker, per target plus obligation totals.
+    std::atomic<uint64_t> SfiChecked[target::NumTargets] = {};
+    std::atomic<uint64_t> SfiPassed[target::NumTargets] = {};
+    std::atomic<uint64_t> SfiRejected[target::NumTargets] = {};
+    std::atomic<uint64_t> SfiProved{0}, SfiAssumed{0}, SfiCheckNs{0};
   };
   AtomicCounters Counters;
+
+  Options HostOpts;
 
   mutable std::mutex InjectorMu;
   std::shared_ptr<const FaultInjector> Injector; ///< guarded by InjectorMu

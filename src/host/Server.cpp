@@ -56,7 +56,7 @@ bool Server::submit(Request Req, Callback Done, bool Wait) {
   }
   Job J{std::move(Req), std::move(Done), Clock::now(),
         NextReqId.fetch_add(1, std::memory_order_relaxed), 0};
-  if (obs::traceEnabled())
+  if (obs::traceEnabled() && sampled(J.ReqId))
     J.SubmitTraceNs = obs::Tracer::get().nowNs();
   Queue.push_back(std::move(J));
   size_t Depth = Queue.size();
@@ -174,7 +174,7 @@ void Server::workerMain(unsigned Index) {
 
     auto DequeueTime = Clock::now();
     Response Rsp;
-    {
+    if (sampled(J.ReqId)) {
       // Every span the request's pipeline emits below here shares the
       // request id, so a drained trace groups by request.
       obs::CorrelationScope Corr(J.ReqId);
@@ -189,6 +189,12 @@ void Server::workerMain(unsigned Index) {
       Span.arg("worker", Index);
       Rsp = execute(J.Req, Index);
       Span.arg("executed", Rsp.Executed ? 1 : 0);
+    } else {
+      // Unsampled request: suppress everything its pipeline would emit
+      // (including spans deep in the host) instead of toggling the
+      // process-wide tracer, which other workers are still using.
+      obs::SuppressScope Quiet;
+      Rsp = execute(J.Req, Index);
     }
     auto DoneTime = Clock::now();
     Rsp.QueueNs = static_cast<uint64_t>(

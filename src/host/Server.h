@@ -89,6 +89,11 @@ public:
     /// request then leaves a full span timeline (queue wait, load stages,
     /// execute) keyed by its request id.
     bool Trace = false;
+    /// Per-request trace sampling: record every Nth request and suppress
+    /// the rest (1 = record everything). Sampling keeps tracing — and the
+    /// SfiCheck span with it — affordable under production load; the
+    /// sampled requests still carry their complete span timeline.
+    unsigned TraceSampleEvery = 1;
     /// When non-empty, shutdown() drains the tracer and writes a
     /// chrome://tracing JSON file here (and a text summary to stderr).
     std::string TracePath;
@@ -146,6 +151,10 @@ private:
   void workerMain(unsigned Index);
   /// Load (if needed), bind, and run one request on this worker.
   Response execute(Request &Req, unsigned Index);
+  /// Whether request \p ReqId is in the 1-in-N trace sample.
+  bool sampled(uint64_t ReqId) const {
+    return Opt.TraceSampleEvery <= 1 || ReqId % Opt.TraceSampleEvery == 0;
+  }
 
   ModuleHost &Host;
   Options Opt;

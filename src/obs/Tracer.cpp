@@ -9,6 +9,7 @@ using namespace omni;
 using namespace omni::obs;
 
 std::atomic<bool> omni::obs::detail::Enabled{false};
+thread_local uint32_t omni::obs::detail::Suppressed = 0;
 
 namespace {
 thread_local uint64_t TlCorrelation = 0;
@@ -97,6 +98,8 @@ void Tracer::emit(const TraceEvent &E) {
 }
 
 void Tracer::begin(const char *Name, const char *Category) {
+  if (detail::Suppressed)
+    return;
   TraceEvent E;
   E.Name = Name;
   E.Category = Category;
@@ -108,6 +111,8 @@ void Tracer::begin(const char *Name, const char *Category) {
 
 void Tracer::end(const char *Name, const char *Category, const TraceArg *Args,
                  unsigned NumArgs) {
+  if (detail::Suppressed)
+    return;
   TraceEvent E;
   E.Name = Name;
   E.Category = Category;
@@ -125,6 +130,8 @@ void Tracer::end(const char *Name, const char *Category, const TraceArg *Args,
 
 void Tracer::instant(const char *Name, const char *Category,
                      std::initializer_list<TraceArg> Args) {
+  if (detail::Suppressed)
+    return;
   TraceEvent E;
   E.Name = Name;
   E.Category = Category;
@@ -143,6 +150,8 @@ void Tracer::instant(const char *Name, const char *Category,
 
 void Tracer::complete(const char *Name, const char *Category, uint64_t StartNs,
                       uint64_t DurNs, std::initializer_list<TraceArg> Args) {
+  if (detail::Suppressed)
+    return;
   TraceEvent E;
   E.Name = Name;
   E.Category = Category;

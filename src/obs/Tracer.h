@@ -91,6 +91,13 @@ namespace detail {
 /// disabled path needs no lazily-initialized singleton: exactly one
 /// relaxed atomic load.
 extern std::atomic<bool> Enabled;
+/// Per-thread suppression depth for sampled tracing: while nonzero, this
+/// thread's emissions are discarded at the emit methods. Plain (non-
+/// atomic) because it is only ever touched by its own thread. The
+/// traceEnabled() fast path deliberately does NOT consult it — the
+/// disabled path stays one relaxed load; suppression costs a TLS read
+/// only on the already-enabled slow path.
+extern thread_local uint32_t Suppressed;
 } // namespace detail
 
 /// The per-call-site fast-path check. Relaxed is correct: enabling
@@ -198,6 +205,19 @@ private:
   const char *Category = nullptr;
   TraceArg Args[MaxTraceArgs];
   uint8_t NumArgs = 0;
+};
+
+/// RAII suppression scope for per-request trace sampling: everything the
+/// current thread emits while the scope is alive is discarded, so a
+/// server can keep tracing enabled under production load and record only
+/// every Nth request. Nests; spans opened and closed inside the scope
+/// stay balanced (both ends are dropped).
+class SuppressScope {
+public:
+  SuppressScope() { ++detail::Suppressed; }
+  ~SuppressScope() { --detail::Suppressed; }
+  SuppressScope(const SuppressScope &) = delete;
+  SuppressScope &operator=(const SuppressScope &) = delete;
 };
 
 /// RAII ambient-correlation scope (request id on a worker, module hash in

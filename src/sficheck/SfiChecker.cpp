@@ -1,0 +1,782 @@
+//===- sficheck/SfiChecker.cpp ---------------------------------------------===//
+
+#include "sficheck/SfiChecker.h"
+
+#include "support/Format.h"
+#include "vm/AddressSpace.h"
+#include "vm/Opcode.h"
+
+#include <algorithm>
+#include <type_traits>
+
+using namespace omni;
+using namespace omni::sficheck;
+using target::AddrMode;
+using target::TargetKind;
+using target::TInstr;
+using target::TOp;
+
+const char *omni::sficheck::getObKindName(ObKind K) {
+  switch (K) {
+  case ObKind::Store:
+    return "store";
+  case ObKind::Load:
+    return "load";
+  case ObKind::JumpIndirect:
+    return "jump-indirect";
+  case ObKind::BranchDirect:
+    return "branch-direct";
+  case ObKind::SpExit:
+    return "sp-exit";
+  case ObKind::Layout:
+    return "layout";
+  }
+  return "?";
+}
+
+const char *omni::sficheck::getVerdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Proved:
+    return "proved";
+  case Verdict::Assumed:
+    return "assumed";
+  case Verdict::Failed:
+    return "FAILED";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All four targets address at most 32 integer registers.
+constexpr unsigned NumRegs = 32;
+
+/// Abstract value of one register. Masked/InSeg carry provenance: the
+/// register they are the sandboxed image of, and that register's
+/// def-generation when the mask was applied — redefining either side
+/// makes the generation counters disagree and the provenance dies.
+struct AbsVal {
+  enum Kind : uint8_t { Unknown, Const, Masked, InSeg } K = Unknown;
+  uint32_t C = 0; ///< constant value (K == Const)
+  int From = -1;  ///< provenance register (K == Masked/InSeg), -1 none
+  uint32_t Gen = 0;
+
+  static AbsVal unknown() { return AbsVal(); }
+  static AbsVal cst(uint32_t V) {
+    AbsVal A;
+    A.K = Const;
+    A.C = V;
+    return A;
+  }
+  static AbsVal masked(int From, uint32_t Gen) {
+    AbsVal A;
+    A.K = Masked;
+    A.From = From;
+    A.Gen = Gen;
+    return A;
+  }
+  static AbsVal inseg(int From, uint32_t Gen) {
+    AbsVal A;
+    A.K = InSeg;
+    A.From = From;
+    A.Gen = Gen;
+    return A;
+  }
+};
+
+/// Per-block dataflow state: abstract values plus def-generation
+/// counters. Generations are block-local; provenance never crosses a
+/// block boundary (block entry states carry none).
+struct RegState {
+  AbsVal V[NumRegs];
+  uint32_t Gen[NumRegs] = {};
+};
+
+/// One recovered basic block: body instructions up to and including an
+/// optional trailing branch, plus the branch's delay slot.
+struct Block {
+  uint32_t Start = 0;
+  uint32_t End = 0;    ///< one past the last body instruction (incl. branch)
+  int32_t Branch = -1; ///< trailing branch index, -1 for fallthrough end
+  int32_t Slot = -1;   ///< delay-slot index, -1 none
+};
+
+/// The integer register \p I defines, or -1. Loads of fp values and the
+/// memory-linked x86 call write no integer register.
+int intDef(const target::TargetInfo &TI, const TInstr &I) {
+  switch (I.Op) {
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+  case TOp::OrImmLo:
+  case TOp::MovReg:
+  case TOp::Lea:
+  case TOp::Add:
+  case TOp::Sub:
+  case TOp::Mul:
+  case TOp::Div:
+  case TOp::DivU:
+  case TOp::Rem:
+  case TOp::RemU:
+  case TOp::And:
+  case TOp::Or:
+  case TOp::Xor:
+  case TOp::Shl:
+  case TOp::ShrL:
+  case TOp::ShrA:
+  case TOp::SetCond:
+  case TOp::CvtFpToInt:
+    return static_cast<int>(I.Rd);
+  case TOp::Load:
+    return I.FpVal ? -1 : static_cast<int>(I.Rd);
+  case TOp::CallDirect:
+  case TOp::CallIndirect:
+    return TI.LinkIsMemory ? -1 : static_cast<int>(I.Rd);
+  default:
+    return -1;
+  }
+}
+
+class Checker {
+public:
+  Checker(TargetKind Kind, const target::TargetCode &Code,
+          const translate::SegmentLayout &Seg, const CheckOptions &Opts)
+      : Kind(Kind), TI(target::getTargetInfo(Kind)), Code(Code), Seg(Seg),
+        Opts(Opts), N(static_cast<uint32_t>(Code.Code.size())) {
+    // Stores and indirect jumps are enforced exactly where the translator
+    // claims to sandbox them: SFI on and not x86, where hardware
+    // segmentation replaces the instruction sequences.
+    EnforceSfi = Opts.Sfi && Kind != TargetKind::X86;
+    SpReg = Code.VmIntRegMap[vm::RegSp];
+    if (SpReg < 0 || SpReg >= static_cast<int>(NumRegs))
+      SpReg = -1;
+  }
+
+  CheckResult run() {
+    if (!vm::AddressSpace::validLayout(Seg.Base, Seg.Size)) {
+      record(ObKind::Layout, Verdict::Failed, 0,
+             formatStr("segment base 0x%08x / size 0x%x is not a valid "
+                       "sandbox layout; nothing is provable",
+                       Seg.Base, Seg.Size));
+      return std::move(Res);
+    }
+    if (N == 0)
+      return std::move(Res);
+    if (Code.Entry >= N) {
+      record(ObKind::Layout, Verdict::Failed, 0,
+             formatStr("entry %u outside the %u-instruction image",
+                       Code.Entry, N));
+      return std::move(Res);
+    }
+    // Indirect jumps resolve VM-level targets through this map, so map
+    // soundness is itself an obligation: every entry must land inside
+    // the image or the map is a way out of it.
+    for (size_t V = 0; V < Code.VmToNative.size(); ++V)
+      if (Code.VmToNative[V] >= N)
+        record(ObKind::Layout, Verdict::Failed, 0,
+               formatStr("vm target map entry %zu -> native %u outside "
+                         "the %u-instruction image",
+                         V, Code.VmToNative[V], N));
+    if (!Res.Ok)
+      return std::move(Res);
+    findLeaders();
+    buildBlocks();
+    deriveInvariants();
+    for (const Block &B : Blocks)
+      checkBlock(B);
+    return std::move(Res);
+  }
+
+private:
+  /// containsRange against the segment, overflow safe (Base is aligned to
+  /// the power-of-two Size — checked up front).
+  bool inSegment(uint32_t Addr, uint32_t Len) const {
+    if ((Addr & ~(Seg.Size - 1)) != Seg.Base)
+      return false;
+    return Len <= Seg.Size - (Addr - Seg.Base);
+  }
+
+  AbsVal val(const RegState &S, unsigned R) const {
+    if (TI.HasZeroReg && R == TI.ZeroReg)
+      return AbsVal::cst(0); // hardwired, mirrors the simulator
+    if (R >= NumRegs)
+      return AbsVal::unknown();
+    return S.V[R];
+  }
+
+  void def(RegState &S, unsigned R, AbsVal A) const {
+    if (R >= NumRegs || (TI.HasZeroReg && R == TI.ZeroReg))
+      return; // writes to the hardwired zero register are discarded
+    ++S.Gen[R];
+    S.V[R] = A;
+  }
+
+  void count(Verdict V) {
+    switch (V) {
+    case Verdict::Proved:
+      ++Res.Proved;
+      break;
+    case Verdict::Assumed:
+      ++Res.Assumed;
+      break;
+    case Verdict::Failed:
+      ++Res.Failed;
+      Res.Ok = false;
+      break;
+    }
+  }
+
+  /// Whether the detail string for verdict \p V is kept anywhere: a
+  /// failure always is (FirstFailure), the rest only when the caller asked
+  /// for the full obligation list.
+  bool wantDetail(Verdict V) const {
+    return V == Verdict::Failed || Opts.RecordObligations;
+  }
+
+  void push(ObKind K, Verdict V, uint32_t Native, std::string Detail) {
+    Obligation Ob;
+    Ob.Kind = K;
+    Ob.V = V;
+    Ob.NativeIndex = Native;
+    Ob.VmIndex = Native < N ? Code.Code[Native].VmIndex : -1;
+    Ob.Detail = std::move(Detail);
+    if (V == Verdict::Failed && Res.FirstFailure.empty())
+      Res.FirstFailure =
+          formatStr("sfi proof failed: %s at native #%u (vm %d): %s",
+                    getObKindName(K), Native, Ob.VmIndex, Ob.Detail.c_str());
+    Res.Obligations.push_back(std::move(Ob));
+  }
+
+  void record(ObKind K, Verdict V, uint32_t Native, std::string Detail) {
+    count(V);
+    if (wantDetail(V))
+      push(K, V, Native, std::move(Detail));
+  }
+
+  void record(ObKind K, Verdict V, uint32_t Native, const char *Detail) {
+    count(V);
+    if (wantDetail(V))
+      push(K, V, Native, std::string(Detail));
+  }
+
+  /// Lazy variant for the hot path: the checker runs on every load with
+  /// RecordObligations off, where detail strings for non-failures are
+  /// dropped on the floor — so their formatting must not happen at all.
+  template <typename DetailFn,
+            typename = std::enable_if_t<std::is_invocable_v<DetailFn &>>>
+  void record(ObKind K, Verdict V, uint32_t Native, DetailFn &&MakeDetail) {
+    count(V);
+    if (wantDetail(V))
+      push(K, V, Native, MakeDetail());
+  }
+
+  Verdict unproven(bool Enforced) const {
+    return Enforced ? Verdict::Failed : Verdict::Assumed;
+  }
+
+  /// Leaders: the entry, every indirect-jump landing site (every
+  /// VmToNative entry — the simulator routes any VM-level jump value
+  /// through that table), every direct branch target, and the
+  /// fall-through point after each branch (plus its delay slot).
+  void findLeaders() {
+    Leader.assign(N, false);
+    auto mark = [&](uint32_t Idx) {
+      if (Idx < N)
+        Leader[Idx] = true;
+    };
+    mark(Code.Entry);
+    for (uint32_t Native : Code.VmToNative)
+      mark(Native);
+    for (uint32_t I = 0; I < N; ++I) {
+      const TInstr &T = Code.Code[I];
+      if (!T.isBranch())
+        continue;
+      if (T.Op != TOp::CallIndirect && T.Op != TOp::JumpIndirect &&
+          T.Target >= 0)
+        mark(static_cast<uint32_t>(T.Target));
+      mark(I + (TI.HasDelaySlot ? 2 : 1));
+    }
+  }
+
+  /// Blocks run from a leader to the first branch (which owns its delay
+  /// slot) or to the next leader. A leader landing inside a branch+slot
+  /// pair still gets its own (overlapping) block — conservative for
+  /// hostile images; the translator never produces such a target.
+  void buildBlocks() {
+    Blocks.clear();
+    for (uint32_t Start = 0; Start < N; ++Start) {
+      if (!Leader[Start])
+        continue;
+      Block B;
+      B.Start = Start;
+      uint32_t I = Start;
+      for (; I < N; ++I) {
+        if (Code.Code[I].isBranch()) {
+          B.Branch = static_cast<int32_t>(I);
+          if (TI.HasDelaySlot && I + 1 < N)
+            B.Slot = static_cast<int32_t>(I + 1);
+          break;
+        }
+        if (I + 1 >= N || Leader[I + 1])
+          break;
+      }
+      B.End = std::min<uint32_t>(I + 1, N);
+      Blocks.push_back(B);
+    }
+  }
+
+  /// Derives the invariant register set from the entry block itself
+  /// instead of trusting the target's register conventions: a register is
+  /// invariant iff the entry block leaves a constant in it, nothing else
+  /// in the image defines it, and the module cannot reach it through the
+  /// VM register map (host calls write VM-mapped registers). A
+  /// bit-flipped prologue constant yields a different (or no) invariant
+  /// and the downstream mask/base obligations fail naturally.
+  void deriveInvariants() {
+    const Block *Entry = nullptr;
+    for (const Block &B : Blocks)
+      if (B.Start == Code.Entry) {
+        Entry = &B;
+        break;
+      }
+    if (!Entry)
+      return;
+    uint32_t EntryEnd = Entry->Slot >= 0
+                            ? static_cast<uint32_t>(Entry->Slot) + 1
+                            : Entry->End;
+
+    // Indirect control flow into the middle of the entry block could skip
+    // the constant setup; derive nothing in that case. The translator
+    // never emits such a mapping (VmToNative points past the prologue).
+    for (uint32_t Native : Code.VmToNative)
+      if (Native > Entry->Start && Native < EntryEnd)
+        return;
+
+    RegState S;
+    for (uint32_t I = Entry->Start; I < EntryEnd && I < N; ++I)
+      transfer(S, Code.Code[I], I, /*Check=*/false);
+
+    bool DefinedOutside[NumRegs] = {};
+    for (uint32_t I = 0; I < N; ++I) {
+      if (I >= Entry->Start && I < EntryEnd)
+        continue;
+      int Rd = intDef(TI, Code.Code[I]);
+      if (Rd >= 0 && Rd < static_cast<int>(NumRegs))
+        DefinedOutside[Rd] = true;
+    }
+    bool VmMapped[NumRegs] = {};
+    for (int M : Code.VmIntRegMap)
+      if (M >= 0 && M < static_cast<int>(NumRegs))
+        VmMapped[M] = true;
+
+    for (unsigned R = 0; R < NumRegs; ++R)
+      if (S.V[R].K == AbsVal::Const && !DefinedOutside[R] && !VmMapped[R]) {
+        Invariant[R] = true;
+        InvariantVal[R] = S.V[R].C;
+      }
+  }
+
+  /// Conservative entry state. Every non-entry block start is potentially
+  /// reachable through an indirect jump, so all of them get the same
+  /// state: derived invariants plus the inductive sp assumption (the
+  /// runtime reset puts sp in the segment; every checked block exit keeps
+  /// it there). The entry block runs before the prologue has established
+  /// anything, so it starts from sp only.
+  RegState entryState(uint32_t BlockStart) const {
+    RegState S;
+    if (BlockStart != Code.Entry)
+      for (unsigned R = 0; R < NumRegs; ++R)
+        if (Invariant[R])
+          S.V[R] = AbsVal::cst(InvariantVal[R]);
+    if (SpReg >= 0)
+      S.V[SpReg] = AbsVal::inseg(-1, 0);
+    return S;
+  }
+
+  /// Constant folding for the simple ALU shapes that appear in address
+  /// and sandbox sequences. Anything else degrades to Unknown.
+  AbsVal evalAlu(const RegState &S, const TInstr &I) const {
+    if (I.MemOperand)
+      return AbsVal::unknown(); // x86 memory-operand source
+    AbsVal A = val(S, I.Rs1);
+    if (A.K != AbsVal::Const)
+      return AbsVal::unknown();
+    uint32_t B;
+    if (I.UsesImm) {
+      B = static_cast<uint32_t>(I.Imm);
+    } else {
+      AbsVal Bv = val(S, I.Rs2);
+      if (Bv.K != AbsVal::Const)
+        return AbsVal::unknown();
+      B = Bv.C;
+    }
+    switch (I.Op) {
+    case TOp::Add:
+      return AbsVal::cst(A.C + B);
+    case TOp::Sub:
+      return AbsVal::cst(A.C - B);
+    case TOp::Xor:
+      return AbsVal::cst(A.C ^ B);
+    case TOp::Shl:
+      return AbsVal::cst(A.C << (B & 31));
+    case TOp::ShrL:
+      return AbsVal::cst(A.C >> (B & 31));
+    case TOp::ShrA:
+      return AbsVal::cst(static_cast<uint32_t>(
+          static_cast<int32_t>(A.C) >> (B & 31)));
+    default:
+      return AbsVal::unknown();
+    }
+  }
+
+  AbsVal evalAnd(const RegState &S, const TInstr &I) const {
+    if (I.MemOperand)
+      return AbsVal::unknown();
+    uint32_t Mask = Seg.Size - 1;
+    AbsVal A = val(S, I.Rs1);
+    if (I.UsesImm) {
+      if (A.K == AbsVal::Const)
+        return AbsVal::cst(A.C & static_cast<uint32_t>(I.Imm));
+      if (static_cast<uint32_t>(I.Imm) == Mask && I.Rs1 < NumRegs)
+        return AbsVal::masked(static_cast<int>(I.Rs1), S.Gen[I.Rs1]);
+      return AbsVal::unknown();
+    }
+    AbsVal B = val(S, I.Rs2);
+    if (A.K == AbsVal::Const && B.K == AbsVal::Const)
+      return AbsVal::cst(A.C & B.C);
+    // `and x, mask` in either operand order; the result is the masked
+    // image of the other register.
+    if (B.K == AbsVal::Const && B.C == Mask && I.Rs1 < NumRegs)
+      return AbsVal::masked(static_cast<int>(I.Rs1), S.Gen[I.Rs1]);
+    if (A.K == AbsVal::Const && A.C == Mask && I.Rs2 < NumRegs)
+      return AbsVal::masked(static_cast<int>(I.Rs2), S.Gen[I.Rs2]);
+    return AbsVal::unknown();
+  }
+
+  AbsVal evalOr(const RegState &S, const TInstr &I) const {
+    if (I.MemOperand)
+      return AbsVal::unknown();
+    AbsVal A = val(S, I.Rs1);
+    if (I.UsesImm) {
+      if (A.K == AbsVal::Const)
+        return AbsVal::cst(A.C | static_cast<uint32_t>(I.Imm));
+      if (A.K == AbsVal::Masked && static_cast<uint32_t>(I.Imm) == Seg.Base)
+        return AbsVal::inseg(A.From, A.Gen);
+      return AbsVal::unknown();
+    }
+    AbsVal B = val(S, I.Rs2);
+    if (A.K == AbsVal::Const && B.K == AbsVal::Const)
+      return AbsVal::cst(A.C | B.C);
+    // `or masked, base`: sound because the base is aligned to the
+    // power-of-two size, so masked | base == base + masked.
+    if (A.K == AbsVal::Masked && B.K == AbsVal::Const && B.C == Seg.Base)
+      return AbsVal::inseg(A.From, A.Gen);
+    if (B.K == AbsVal::Masked && A.K == AbsVal::Const && A.C == Seg.Base)
+      return AbsVal::inseg(B.From, B.Gen);
+    return AbsVal::unknown();
+  }
+
+  /// Memory obligation: the access at \p Idx is confined to the segment.
+  void checkMemory(const RegState &S, const TInstr &I, uint32_t Idx) {
+    bool IsStore = I.Op == TOp::Store;
+    bool Enforced = EnforceSfi && (IsStore || Opts.SfiReads);
+    ObKind K = IsStore ? ObKind::Store : ObKind::Load;
+    unsigned W = ir::memWidthBytes(I.Width);
+
+    auto resolved = [&](uint32_t Addr) {
+      if (inSegment(Addr, W))
+        record(K, Verdict::Proved, Idx, [&] {
+          return formatStr("address 0x%08x statically in segment", Addr);
+        });
+      else
+        record(K, unproven(Enforced), Idx, [&] {
+          return formatStr("address 0x%08x statically outside segment", Addr);
+        });
+    };
+
+    switch (I.Mode) {
+    case AddrMode::Abs:
+      resolved(static_cast<uint32_t>(I.Imm));
+      return;
+    case AddrMode::BaseImm: {
+      AbsVal B = val(S, I.Rs1);
+      if (B.K == AbsVal::Const) {
+        resolved(B.C + static_cast<uint32_t>(I.Imm));
+        return;
+      }
+      if (B.K == AbsVal::InSeg) {
+        if (I.Imm == 0) {
+          record(K, Verdict::Proved, Idx, "sandboxed base, zero offset");
+          return;
+        }
+        if (I.Imm >= 0 && static_cast<uint32_t>(I.Imm) < vm::PageSize) {
+          // The translator's sp guard-zone exemption: a small positive
+          // offset from an in-segment pointer at worst lands in the guard
+          // area, which the runtime bounds check contains.
+          record(K, Verdict::Assumed, Idx, [&] {
+            return formatStr("in-segment base + %d within the guard zone",
+                             I.Imm);
+          });
+          return;
+        }
+      }
+      record(K, unproven(Enforced), Idx, [&] {
+        return formatStr("base r%u not provably sandboxed", I.Rs1);
+      });
+      return;
+    }
+    case AddrMode::BaseIndex: {
+      AbsVal A = val(S, I.Rs1);
+      AbsVal B = val(S, I.Rs2);
+      if (A.K == AbsVal::Const && B.K == AbsVal::Const) {
+        resolved(A.C + B.C);
+        return;
+      }
+      // The PPC sandbox idiom: [masked + base] in one indexed access.
+      if ((A.K == AbsVal::Masked && B.K == AbsVal::Const &&
+           B.C == Seg.Base) ||
+          (B.K == AbsVal::Masked && A.K == AbsVal::Const &&
+           A.C == Seg.Base)) {
+        record(K, Verdict::Proved, Idx, "masked index + segment base");
+        return;
+      }
+      record(K, unproven(Enforced), Idx, [&] {
+        return formatStr("indexed address r%u + r%u not provably sandboxed",
+                         I.Rs1, I.Rs2);
+      });
+      return;
+    }
+    case AddrMode::BaseIndexImm: {
+      AbsVal A = val(S, I.Rs1);
+      AbsVal B = val(S, I.Rs2);
+      if (A.K == AbsVal::Const && B.K == AbsVal::Const) {
+        resolved(A.C + B.C + static_cast<uint32_t>(I.Imm));
+        return;
+      }
+      record(K, unproven(Enforced), Idx,
+             "base+index+imm address not provably sandboxed");
+      return;
+    }
+    }
+  }
+
+  /// Control obligations. Direct branch targets are always enforced: the
+  /// target is static, so there is no sandbox to fall back on and every
+  /// target (x86 included) can be held to it. Indirect jumps require a
+  /// live sandboxed image of the jump register.
+  void checkBranch(const RegState &S, const TInstr &I, uint32_t Idx) {
+    switch (I.Op) {
+    case TOp::Branch:
+    case TOp::CmpBranch:
+    case TOp::BranchCC:
+    case TOp::FBranchCC:
+    case TOp::BranchDec:
+    case TOp::CallDirect: {
+      bool InBounds = I.Target >= 0 && static_cast<uint32_t>(I.Target) < N;
+      record(ObKind::BranchDirect,
+             InBounds ? Verdict::Proved : Verdict::Failed, Idx, [&] {
+               return InBounds
+                          ? formatStr("target %d in [0, %u)", I.Target, N)
+                          : formatStr("target %d outside the "
+                                      "%u-instruction image",
+                                      I.Target, N);
+             });
+      return;
+    }
+    case TOp::CallIndirect:
+    case TOp::JumpIndirect: {
+      // The jump goes through the original register; the sandbox computes
+      // the masked image into a dedicated register just before it (the
+      // `or` half may sit in the delay slot, so Masked suffices). Accept
+      // any register holding a fresh Masked/InSeg image of the operand.
+      bool Found = false;
+      if (I.Rs1 < NumRegs) {
+        AbsVal T = val(S, I.Rs1);
+        // A constant target is statically resolved: the VM target map
+        // (whose entries are all proved in-image up front) either maps it
+        // into the image or the resolution deterministically traps. Either
+        // way execution cannot leave the translation.
+        if (T.K == AbsVal::Const) {
+          record(ObKind::JumpIndirect, Verdict::Proved, Idx, [&] {
+            return T.C < Code.VmToNative.size()
+                       ? formatStr("constant vm target %u resolves in the "
+                                   "target map",
+                                   T.C)
+                       : formatStr("constant vm target 0x%08x provably "
+                                   "traps",
+                                   T.C);
+          });
+          return;
+        }
+        Found = T.K == AbsVal::Masked || T.K == AbsVal::InSeg;
+        for (unsigned R = 0; !Found && R < NumRegs; ++R) {
+          const AbsVal &V = S.V[R];
+          Found = (V.K == AbsVal::Masked || V.K == AbsVal::InSeg) &&
+                  V.From == static_cast<int>(I.Rs1) && V.Gen == S.Gen[I.Rs1];
+        }
+      }
+      record(ObKind::JumpIndirect,
+             Found ? Verdict::Proved : unproven(EnforceSfi), Idx, [&] {
+               return Found ? formatStr("fresh sandboxed image of r%u is "
+                                        "live",
+                                        I.Rs1)
+                            : formatStr("no live sandboxed image of r%u",
+                                        I.Rs1);
+             });
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  /// Abstract effect of one instruction; obligations are evaluated first
+  /// against the pre-state when \p Check is set.
+  void transfer(RegState &S, const TInstr &I, uint32_t Idx, bool Check) {
+    if (Check) {
+      if (I.Op == TOp::Load || I.Op == TOp::Store || I.MemOperand)
+        checkMemory(S, I, Idx);
+      if (I.isBranch())
+        checkBranch(S, I, Idx);
+    }
+    switch (I.Op) {
+    case TOp::MovImm:
+    case TOp::LoadImmHi:
+      def(S, I.Rd, AbsVal::cst(static_cast<uint32_t>(I.Imm)));
+      break;
+    case TOp::OrImmLo: {
+      AbsVal A = val(S, I.Rs1);
+      def(S, I.Rd,
+          A.K == AbsVal::Const
+              ? AbsVal::cst(A.C | static_cast<uint32_t>(I.Imm))
+              : AbsVal::unknown());
+      break;
+    }
+    case TOp::MovReg:
+      def(S, I.Rd, val(S, I.Rs1));
+      break;
+    case TOp::And:
+      def(S, I.Rd, evalAnd(S, I));
+      break;
+    case TOp::Or:
+      def(S, I.Rd, evalOr(S, I));
+      break;
+    case TOp::Add:
+    case TOp::Sub:
+    case TOp::Xor:
+    case TOp::Shl:
+    case TOp::ShrL:
+    case TOp::ShrA:
+      def(S, I.Rd, evalAlu(S, I));
+      break;
+    case TOp::Lea:
+    case TOp::Mul:
+    case TOp::Div:
+    case TOp::DivU:
+    case TOp::Rem:
+    case TOp::RemU:
+    case TOp::SetCond:
+    case TOp::CvtFpToInt:
+      def(S, I.Rd, AbsVal::unknown());
+      break;
+    case TOp::Load:
+      if (!I.FpVal)
+        def(S, I.Rd, AbsVal::unknown());
+      break;
+    case TOp::CallDirect:
+    case TOp::CallIndirect:
+      if (!TI.LinkIsMemory)
+        def(S, I.Rd, AbsVal::unknown());
+      break;
+    case TOp::HostCall:
+      // The host writes VM registers through the register map; nothing
+      // else is reachable from a gate. Conservatively clobber everything
+      // non-invariant, but keep the inductive sp fact: no standard gate
+      // moves the stack pointer, and the host is trusted code anyway.
+      for (unsigned R = 0; R < NumRegs; ++R) {
+        if (Invariant[R])
+          continue;
+        def(S, R, static_cast<int>(R) == SpReg ? AbsVal::inseg(-1, 0)
+                                               : AbsVal::unknown());
+      }
+      break;
+    default:
+      break; // stores, compares, fp ops, traps: no integer defs
+    }
+  }
+
+  /// The sp discipline: on every edge into another block the sp-mapped
+  /// register must still be provably inside the segment — that is the
+  /// induction step behind the guard-zone exemption for sp-relative
+  /// accesses. Violations are recorded; healthy exits add no obligation
+  /// noise.
+  void checkSpExit(const RegState &S, uint32_t AtIdx, const char *Why) {
+    if (SpReg < 0 || !EnforceSfi)
+      return;
+    const AbsVal &V = S.V[SpReg];
+    if (V.K == AbsVal::InSeg ||
+        (V.K == AbsVal::Const && inSegment(V.C, 1)))
+      return;
+    record(ObKind::SpExit, Verdict::Failed, AtIdx,
+           formatStr("stack pointer not provably in segment at %s", Why));
+  }
+
+  void checkBlock(const Block &B) {
+    RegState S = entryState(B.Start);
+    for (uint32_t I = B.Start; I < B.End; ++I)
+      transfer(S, Code.Code[I], I, /*Check=*/true);
+
+    if (B.Branch < 0) {
+      // Fallthrough into the next leader; falling off the end of the
+      // image faults in the simulator (contained), no edge to check.
+      if (B.End < N)
+        checkSpExit(S, B.End - 1, "block fall-through");
+      return;
+    }
+
+    const TInstr &Br = Code.Code[B.Branch];
+    RegState Taken = S;
+    RegState Fall = S;
+    if (B.Slot >= 0) {
+      const TInstr &Sl = Code.Code[B.Slot];
+      // A branch in a delay slot never executes in the simulator.
+      if (!Sl.isBranch()) {
+        transfer(Taken, Sl, static_cast<uint32_t>(B.Slot), /*Check=*/true);
+        if (!Br.Annul)
+          Fall = Taken; // slot also runs on the fall-through path
+      }
+    }
+
+    bool HasFall = Br.Op == TOp::CmpBranch || Br.Op == TOp::BranchCC ||
+                   Br.Op == TOp::FBranchCC || Br.Op == TOp::BranchDec;
+    checkSpExit(Taken, static_cast<uint32_t>(B.Branch), "branch taken");
+    if (HasFall)
+      checkSpExit(Fall, static_cast<uint32_t>(B.Branch),
+                  "branch fall-through");
+  }
+
+  TargetKind Kind;
+  const target::TargetInfo &TI;
+  const target::TargetCode &Code;
+  const translate::SegmentLayout &Seg;
+  CheckOptions Opts;
+  uint32_t N;
+  bool EnforceSfi = false;
+  int SpReg = -1;
+
+  std::vector<bool> Leader;
+  std::vector<Block> Blocks;
+  bool Invariant[NumRegs] = {};
+  uint32_t InvariantVal[NumRegs] = {};
+
+  CheckResult Res;
+};
+
+} // namespace
+
+CheckResult omni::sficheck::checkTranslation(TargetKind Kind,
+                                             const target::TargetCode &Code,
+                                             const translate::SegmentLayout &Seg,
+                                             const CheckOptions &Opts) {
+  Checker C(Kind, Code, Seg, Opts);
+  return C.run();
+}

@@ -1,0 +1,119 @@
+//===- sficheck/SfiChecker.h - SFI proof checker ----------------*- C++ -*-===//
+///
+/// \file
+/// A standalone static checker for translated images: proves, without
+/// trusting the translator, that every store and every indirect/computed
+/// jump in a TargetCode is either sandboxed to the module's segment or
+/// statically in-bounds. The translator is the single most complex trusted
+/// component of the hosting pipeline; this checker shrinks the trusted
+/// computing base to itself (a few hundred lines of abstract
+/// interpretation) plus the simulator's last-line bounds checks.
+///
+/// The proof works on recovered basic blocks. Block leaders are the
+/// prologue entry, every native index reachable by a VM-level indirect
+/// jump (every VmToNative entry — the simulator maps any live VM index
+/// through that table), and every direct branch target. Because any block
+/// start may be reached through an indirect jump, every block is analyzed
+/// from a conservative entry state; the dataflow therefore converges in a
+/// single pass per block and no cross-block fixpoint iteration is needed.
+///
+/// Per-register abstract values (the mask lattice):
+///   Unknown < {Const(c), Masked(from), InSeg(from)}
+///   Masked  — value is in [0, Size):   produced by `and r, mask`
+///   InSeg   — value is in [Base, Base+Size): `or masked, base`
+/// Masked/InSeg carry provenance: which register they sandbox and that
+/// register's def-generation, so a mask of the wrong register or a
+/// clobbered mask can never discharge a jump obligation.
+///
+/// The segment's invariant registers (mask, base, global pointer) are not
+/// hard-coded: a register qualifies as invariant only if the entry block
+/// computes a constant into it, no other instruction in the image defines
+/// it, and it is not addressable by the module through the VM register
+/// map. A bit-flipped prologue constant therefore fails obligations
+/// naturally instead of being "trusted back in".
+///
+/// Verdicts: Proved (statically safe), Assumed (safe by a documented
+/// runtime mechanism: x86 hardware segmentation, the stack guard zone,
+/// SFI disabled by configuration), Failed (an enforced obligation could
+/// not be discharged). A check succeeds iff nothing Failed.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_SFICHECK_SFICHECKER_H
+#define OMNI_SFICHECK_SFICHECKER_H
+
+#include "target/TargetInfo.h"
+#include "translate/Translator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace sficheck {
+
+/// What a single proof obligation is about.
+enum class ObKind : uint8_t {
+  Store,        ///< a store's effective address is confined to the segment
+  Load,         ///< a load's effective address (enforced when SfiReads)
+  JumpIndirect, ///< an indirect/computed jump went through the sandbox
+  BranchDirect, ///< a direct branch target is statically in-bounds
+  SpExit,       ///< stack pointer leaves a block inside the segment
+  Layout,       ///< the image/segment shape itself is unusable
+};
+
+const char *getObKindName(ObKind K);
+
+/// Outcome of one obligation.
+enum class Verdict : uint8_t {
+  Proved,  ///< statically discharged by the dataflow
+  Assumed, ///< safe by a documented runtime mechanism, not by this proof
+  Failed,  ///< enforced and not dischargeable
+};
+
+const char *getVerdictName(Verdict V);
+
+/// One obligation with its verdict, for per-obligation reporting.
+struct Obligation {
+  ObKind Kind = ObKind::Store;
+  Verdict V = Verdict::Proved;
+  uint32_t NativeIndex = 0; ///< instruction index in TargetCode::Code
+  int32_t VmIndex = -1;     ///< OmniVM instruction it expands (-1 prologue)
+  std::string Detail;       ///< human-readable justification
+};
+
+/// Checker configuration. Sfi/SfiReads mirror the TranslateOptions the
+/// image was produced with: they select which obligations are *enforced*
+/// (must be Proved or guard-zone Assumed) versus merely reported.
+struct CheckOptions {
+  bool Sfi = true;       ///< stores and indirect jumps are enforced
+  bool SfiReads = false; ///< loads are enforced too
+  /// Keep a record for every obligation (the CLI's verbose mode). Failed
+  /// obligations are always recorded.
+  bool RecordObligations = false;
+};
+
+/// Result of checking one translated image.
+struct CheckResult {
+  bool Ok = true; ///< no enforced obligation failed
+  uint64_t Proved = 0;
+  uint64_t Assumed = 0;
+  uint64_t Failed = 0;
+  /// Failed obligations; every obligation when RecordObligations.
+  std::vector<Obligation> Obligations;
+  /// First failure, pre-formatted for a LoadError message.
+  std::string FirstFailure;
+};
+
+/// Checks translated image \p Code (produced for \p Kind against segment
+/// \p Seg) against the SFI safety policy. Never trusts the image: any
+/// malformed shape (bad layout, out-of-range entry) fails obligations
+/// instead of crashing.
+CheckResult checkTranslation(target::TargetKind Kind,
+                             const target::TargetCode &Code,
+                             const translate::SegmentLayout &Seg,
+                             const CheckOptions &Opts = CheckOptions());
+
+} // namespace sficheck
+} // namespace omni
+
+#endif // OMNI_SFICHECK_SFICHECKER_H

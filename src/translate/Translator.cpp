@@ -242,6 +242,7 @@ void TranslatorImpl::expandSetCondIdiom(uint32_t Idx) {
   }
   emit(Set);
   writeInt(Dest, D);
+  emitSpSandbox(Dest);
 }
 
 void TranslatorImpl::setupRegisterMaps() {
@@ -537,6 +538,7 @@ void TranslatorImpl::expandAlu(const vm::Instr &I) {
     SubI.Rs2 = TI.ScratchA;
     emit(SubI);
     writeInt(I.Rd, D);
+    emitSpSandbox(I.Rd);
     return;
   }
 
@@ -579,6 +581,7 @@ void TranslatorImpl::expandAlu(const vm::Instr &I) {
     }
     emit(AluI);
     writeInt(I.Rd, D);
+    emitSpSandbox(I.Rd);
     return;
   }
 
@@ -1130,6 +1133,10 @@ void TranslatorImpl::expandExtIns(const vm::Instr &I) {
     AndI.Imm = static_cast<int32_t>(Mask);
     emit(AndI);
     writeInt(I.Rd, D);
+    // An extract can target the stack pointer (verifier-legal even if
+    // unidiomatic); its bounded result still lands outside the segment,
+    // so the dedicated-register discipline applies here too.
+    emitSpSandbox(I.Rd);
     return;
   }
 
@@ -1184,6 +1191,7 @@ void TranslatorImpl::expandExtIns(const vm::Instr &I) {
   OrI.Rs2 = Tmp;
   emit(OrI);
   writeInt(I.Rd, DVal);
+  emitSpSandbox(I.Rd);
 }
 
 void TranslatorImpl::expand(uint32_t VmIdx, const vm::Instr &I) {
@@ -1344,6 +1352,7 @@ void TranslatorImpl::expand(uint32_t VmIdx, const vm::Instr &I) {
       emit(make(TOp::Nop, ExpCat::Other));
     }
     writeInt(I.Rd, D);
+    emitSpSandbox(I.Rd);
     return;
   }
   case Opcode::CvtSToD:

@@ -430,6 +430,112 @@ TEST(FaultInjection, MutatedImagesNeverAbortTheHost) {
   EXPECT_NE(Dump.find("rejects:"), std::string::npos) << Dump;
   EXPECT_NE(Dump.find("traps:"), std::string::npos) << Dump;
   EXPECT_NE(Dump.find("deserialize"), std::string::npos) << Dump;
+
+  // The SFI proof checker rode along on every translation the sweep
+  // caused (SfiCheck defaults on): byte-mutated images that survive
+  // deserialize and verify still translate to provable code, so the
+  // checker confirms the translator rather than vetoing it.
+  EXPECT_GT(St.SfiCheck.totalChecked(), 0u);
+  EXPECT_EQ(St.SfiCheck.totalRejected(), 0u);
+  EXPECT_EQ(St.SfiCheck.totalChecked(), St.SfiCheck.totalPassed());
+  EXPECT_EQ(St.rejects(LoadStage::Check), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Translator-output bit flips: the SFI proof checker as the oracle.
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, TranslatorBitFlipsAreRejectedOrProvablySafe) {
+  // A buggy or compromised translator is modeled by flipping one field of
+  // one translated instruction (or one target-map entry) after
+  // translation. The contract: ModuleHost must never serve the flipped
+  // image unchecked — every load either fails the proof with a
+  // Check-stage reject or passes it, and everything that passes must
+  // still run contained.
+  translate::TranslateOptions Opts = mobileOpts();
+  vm::Module Exe = compile(ProgramA);
+  std::mt19937 Rng(0x51CC0DEu); // fixed seed: reproducible sweep
+  unsigned Attempts = 0, CheckRejected = 0, Survived = 0;
+
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    TargetKind Kind = target::allTargets(T);
+    for (unsigned I = 0; I < 40; ++I) {
+      ++Attempts;
+      SCOPED_TRACE(formatStr("%s flip %u (rng seed 0x51CC0DE)",
+                             target::getTargetName(Kind), Attempts));
+      // Fresh host per flip: the cache must never carry a mutant over.
+      ModuleHost Host;
+      auto FI = std::make_shared<FaultInjector>();
+      FI->MutateTranslation = [&Rng](target::TargetCode &Code) {
+        if (Code.Code.empty())
+          return;
+        // Structured field flips. Register fields stay below 32 (inside
+        // every register file); enum fields stay inside their enums —
+        // the sweep models translator bugs, not memory corruption of the
+        // host's own data structures.
+        target::TInstr &In = Code.Code[Rng() % Code.Code.size()];
+        switch (Rng() % 8) {
+        case 0:
+          In.Rd = static_cast<uint8_t>(Rng() % 32);
+          break;
+        case 1:
+          In.Rs1 = static_cast<uint8_t>(Rng() % 32);
+          break;
+        case 2:
+          In.Rs2 = static_cast<uint8_t>(Rng() % 32);
+          break;
+        case 3:
+          In.Imm ^= 1 << (Rng() % 24);
+          break;
+        case 4:
+          In.Target ^= 1 << (Rng() % 20);
+          break;
+        case 5:
+          In.UsesImm = !In.UsesImm;
+          break;
+        case 6:
+          In.Mode = static_cast<target::AddrMode>(Rng() % 4);
+          break;
+        case 7:
+          if (!Code.VmToNative.empty())
+            Code.VmToNative[Rng() % Code.VmToNative.size()] ^=
+                1u << (Rng() % 16);
+          break;
+        }
+      };
+      Host.setFaultInjector(FI);
+
+      LoadError Err;
+      auto LM = Host.load(Kind, Exe, Opts, Err);
+      host::HostStats St = Host.stats();
+      EXPECT_EQ(St.SfiCheck.totalChecked(), 1u)
+          << "every flipped translation must pass through the checker";
+      if (!LM) {
+        // The proof failed: a structured Check-stage reject, counted.
+        EXPECT_EQ(Err.Stage, LoadStage::Check);
+        EXPECT_FALSE(Err.Message.empty());
+        EXPECT_EQ(St.rejects(LoadStage::Check), 1u);
+        EXPECT_EQ(St.SfiCheck.totalRejected(), 1u);
+        ++CheckRejected;
+        continue;
+      }
+      // The proof held: the flip was harmless (or unreachable) and the
+      // image must still execute contained.
+      EXPECT_EQ(St.SfiCheck.totalPassed(), 1u);
+      auto S = Host.createSession(LM);
+      ASSERT_TRUE(S->valid()) << S->error();
+      runtime::RunResult R = S->run(2'000'000);
+      EXPECT_TRUE(R.Trap.Kind == TrapKind::Halt || R.Trap.isFault())
+          << "unstructured outcome " << static_cast<int>(R.Trap.Kind);
+      ++Survived;
+    }
+  }
+
+  EXPECT_EQ(Attempts, CheckRejected + Survived);
+  EXPECT_GT(CheckRejected, 0u)
+      << "a sweep that rejects nothing is not exercising the checker";
+  EXPECT_GT(Survived, 0u)
+      << "a sweep that proves nothing is flipping only live fields";
 }
 
 //===----------------------------------------------------------------------===//

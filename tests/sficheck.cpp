@@ -1,0 +1,332 @@
+//===- tests/sficheck.cpp - SFI proof checker: verify, don't trust --------===//
+///
+/// The checker's contract from both sides. Soundness: hand-crafted unsafe
+/// images — an unmasked store, a clobbered mask, a jump past the region
+/// end, a mask of the wrong register — must fail the proof on every
+/// target that relies on the instruction-level sandbox, and a ModuleHost
+/// with the check enabled (the default) must refuse them with a
+/// Check-stage LoadError before anything reaches the code cache.
+/// Completeness: everything the translator actually emits must pass, or
+/// the checker would reject honest translations in production.
+
+#include "sficheck/SfiChecker.h"
+
+#include "driver/Compiler.h"
+#include "host/ModuleHost.h"
+#include "obs/Tracer.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+using namespace omni;
+using sficheck::CheckOptions;
+using sficheck::CheckResult;
+using sficheck::ObKind;
+using sficheck::Verdict;
+using target::ExpCat;
+using target::TargetCode;
+using target::TargetKind;
+using target::TInstr;
+using target::TOp;
+
+namespace {
+
+vm::Module compile(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Exe;
+}
+
+/// A function call (so returns translate to indirect jumps) plus a global
+/// array store (so non-sp stores get the full sandbox sequence).
+const char *Program = R"(
+void print_int(int);
+int g[8];
+int f(int x) { g[x & 7] = x * 3; return x + 1; }
+int main() {
+  int i, acc = 0;
+  for (i = 0; i < 6; i++) acc += f(i);
+  print_int(acc);
+  return 0;
+}
+)";
+
+TargetCode translated(TargetKind Kind, const vm::Module &Exe) {
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+  translate::SegmentLayout Seg;
+  TargetCode Code;
+  std::string Error;
+  EXPECT_TRUE(translate::translate(Kind, Exe, Opts, Seg, Code, Error))
+      << Error;
+  return Code;
+}
+
+CheckResult check(TargetKind Kind, const TargetCode &Code) {
+  CheckOptions CO;
+  CO.RecordObligations = true;
+  return sficheck::checkTranslation(Kind, Code, translate::SegmentLayout(),
+                                    CO);
+}
+
+bool hasFailedKind(const CheckResult &R, ObKind K) {
+  for (const sficheck::Obligation &Ob : R.Obligations)
+    if (Ob.V == Verdict::Failed && Ob.Kind == K)
+      return true;
+  return false;
+}
+
+/// First sandbox-sequence `and` (the mask half). -1 when absent (x86).
+int findSfiAnd(const TargetCode &Code) {
+  for (size_t I = 0; I < Code.Code.size(); ++I)
+    if (Code.Code[I].Cat == ExpCat::Sfi && Code.Code[I].Op == TOp::And)
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// First integer store through a base register (the sandboxed-store shape
+/// on every RISC target; sp-relative stores share it).
+int findBaseStore(const TargetCode &Code) {
+  for (size_t I = 0; I < Code.Code.size(); ++I) {
+    const TInstr &T = Code.Code[I];
+    if (T.Op == TOp::Store && !T.FpVal &&
+        (T.Mode == target::AddrMode::BaseImm ||
+         T.Mode == target::AddrMode::BaseIndex))
+      return static_cast<int>(I);
+  }
+  return -1;
+}
+
+/// First indirect jump/call together with the sandbox `and` of its
+/// operand register in the instructions just before it.
+bool findSandboxedJump(const TargetCode &Code, int &Jump, int &MaskAnd) {
+  for (size_t I = 0; I < Code.Code.size(); ++I) {
+    const TInstr &T = Code.Code[I];
+    if (T.Op != TOp::JumpIndirect && T.Op != TOp::CallIndirect)
+      continue;
+    for (size_t B = I; B > 0 && I - B < 8; --B) {
+      const TInstr &M = Code.Code[B - 1];
+      if (M.Cat == ExpCat::Sfi && M.Op == TOp::And && M.Rs1 == T.Rs1) {
+        Jump = static_cast<int>(I);
+        MaskAnd = static_cast<int>(B - 1);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+class SfiCheckerTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  TargetKind kind() const { return target::allTargets(GetParam()); }
+  bool risc() const { return kind() != TargetKind::X86; }
+};
+
+} // namespace
+
+// --- completeness: honest translations prove ----------------------------
+
+TEST_P(SfiCheckerTest, CleanTranslationPasses) {
+  TargetCode Code = translated(kind(), compile(Program));
+  CheckResult R = check(kind(), Code);
+  EXPECT_TRUE(R.Ok) << R.FirstFailure;
+  EXPECT_EQ(R.Failed, 0u) << R.FirstFailure;
+  EXPECT_GT(R.Proved, 0u);
+}
+
+// --- soundness: hand-crafted unsafe images are rejected ------------------
+
+TEST_P(SfiCheckerTest, UnmaskedStoreIsRejected) {
+  if (!risc())
+    GTEST_SKIP() << "x86 stores are contained by hardware segmentation";
+  TargetCode Code = translated(kind(), compile(Program));
+  int S = findBaseStore(Code);
+  ASSERT_GE(S, 0);
+  // Redirect the store's base through a module-controlled (VM-mapped)
+  // register: no masked image exists for it, so the proof must fail.
+  int Attacker = Code.VmIntRegMap[4];
+  ASSERT_GE(Attacker, 0);
+  Code.Code[S].Rs1 = static_cast<uint8_t>(Attacker);
+  Code.Code[S].Mode = target::AddrMode::BaseImm;
+  Code.Code[S].Imm = vm::PageSize; // past the sp guard-zone exemption
+  CheckResult R = check(kind(), Code);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(hasFailedKind(R, ObKind::Store)) << R.FirstFailure;
+}
+
+TEST_P(SfiCheckerTest, MaskThenClobberIsRejected) {
+  if (!risc())
+    GTEST_SKIP() << "x86 emits no mask sequences";
+  TargetCode Code = translated(kind(), compile(Program));
+  int A = findSfiAnd(Code);
+  ASSERT_GE(A, 0);
+  // The sandbox register is clobbered with an attacker constant after the
+  // mask was supposed to pin it: the dependent access escapes the segment.
+  TInstr &M = Code.Code[A];
+  M.Op = TOp::MovImm;
+  M.UsesImm = true;
+  // Wider than the segment mask, so even or-ing the segment base over it
+  // cannot pull the address back inside.
+  M.Imm = 0x66600000;
+  CheckResult R = check(kind(), Code);
+  EXPECT_FALSE(R.Ok) << "clobbered mask register must not prove";
+}
+
+TEST_P(SfiCheckerTest, JumpPastRegionEndIsRejected) {
+  // Direct branch targets are static, so this obligation binds on every
+  // target — x86 included, where it is the only enforced control check.
+  TargetCode Code = translated(kind(), compile(Program));
+  int B = -1;
+  for (size_t I = 0; I < Code.Code.size(); ++I)
+    if (Code.Code[I].isBranch() && Code.Code[I].Op != TOp::JumpIndirect &&
+        Code.Code[I].Op != TOp::CallIndirect) {
+      B = static_cast<int>(I);
+      break;
+    }
+  ASSERT_GE(B, 0);
+  Code.Code[B].Target =
+      static_cast<int32_t>(Code.Code.size()) + 10; // past the region end
+  CheckResult R = check(kind(), Code);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(hasFailedKind(R, ObKind::BranchDirect)) << R.FirstFailure;
+}
+
+TEST_P(SfiCheckerTest, MaskOfWrongRegisterIsRejected) {
+  if (!risc())
+    GTEST_SKIP() << "x86 jumps resolve through the target map unenforced";
+  TargetCode Code = translated(kind(), compile(Program));
+  int Jump = -1, MaskAnd = -1;
+  ASSERT_TRUE(findSandboxedJump(Code, Jump, MaskAnd));
+  // The mask runs — but over the wrong register: the jump operand itself
+  // never gains a sandboxed image, and provenance tracking must notice.
+  int Wrong = Code.VmIntRegMap[4];
+  ASSERT_GE(Wrong, 0);
+  ASSERT_NE(Wrong, static_cast<int>(Code.Code[Jump].Rs1));
+  Code.Code[MaskAnd].Rs1 = static_cast<uint8_t>(Wrong);
+  CheckResult R = check(kind(), Code);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(hasFailedKind(R, ObKind::JumpIndirect)) << R.FirstFailure;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, SfiCheckerTest,
+                         ::testing::Range(0u, target::NumTargets),
+                         [](const auto &Info) {
+                           return target::getTargetName(
+                               target::allTargets(Info.param));
+                         });
+
+// --- host integration: the check gates the cache insert ------------------
+
+namespace {
+
+/// Nops out the first sandbox `and`: the canonical "buggy translator"
+/// mutation the checker exists to catch.
+void dropFirstSfiAnd(TargetCode &Code) {
+  int A = findSfiAnd(Code);
+  if (A >= 0)
+    Code.Code[A] = TInstr(); // TOp::Nop
+}
+
+} // namespace
+
+TEST(SfiCheckHost, MutatedTranslationRejectedAtCheckStage) {
+  host::ModuleHost Host;
+  auto FI = std::make_shared<host::FaultInjector>();
+  FI->MutateTranslation = dropFirstSfiAnd;
+  Host.setFaultInjector(FI);
+
+  vm::Module Exe = compile(Program);
+  host::LoadError Err;
+  auto LM = Host.load(TargetKind::Mips, Exe,
+                      translate::TranslateOptions::mobile(true), Err);
+  EXPECT_EQ(LM, nullptr);
+  EXPECT_EQ(Err.Stage, host::LoadStage::Check);
+  EXPECT_FALSE(Err.Message.empty());
+
+  host::HostStats St = Host.stats();
+  EXPECT_EQ(St.rejects(host::LoadStage::Check), 1u);
+  EXPECT_EQ(St.SfiCheck.totalChecked(), 1u);
+  EXPECT_EQ(St.SfiCheck.totalRejected(), 1u);
+  EXPECT_EQ(St.SfiCheck.totalPassed(), 0u);
+  unsigned Mips = static_cast<unsigned>(TargetKind::Mips);
+  EXPECT_EQ(St.SfiCheck.Rejected[Mips], 1u);
+  // A failed check never inserts: the retry misses the cache and gets
+  // rejected again rather than serving the unproved translation.
+  host::LoadError Err2;
+  EXPECT_EQ(Host.load(TargetKind::Mips, Exe,
+                      translate::TranslateOptions::mobile(true), Err2),
+            nullptr);
+  EXPECT_EQ(Host.stats().rejects(host::LoadStage::Check), 2u);
+}
+
+TEST(SfiCheckHost, CleanLoadIsCheckedOncePerTranslation) {
+  host::ModuleHost Host;
+  vm::Module Exe = compile(Program);
+  host::LoadError Err;
+  auto LM = Host.load(TargetKind::Sparc, Exe,
+                      translate::TranslateOptions::mobile(true), Err);
+  ASSERT_NE(LM, nullptr) << Err.str();
+  // Warm hit: the cached entry was proved at insert, no re-check.
+  auto LM2 = Host.load(TargetKind::Sparc, Exe,
+                       translate::TranslateOptions::mobile(true), Err);
+  ASSERT_NE(LM2, nullptr);
+  host::HostStats St = Host.stats();
+  unsigned Sparc = static_cast<unsigned>(TargetKind::Sparc);
+  EXPECT_EQ(St.SfiCheck.Checked[Sparc], 1u);
+  EXPECT_EQ(St.SfiCheck.Passed[Sparc], 1u);
+  EXPECT_EQ(St.SfiCheck.totalRejected(), 0u);
+  EXPECT_GT(St.SfiCheck.Proved, 0u);
+  EXPECT_TRUE(
+      St.dump().find("sficheck: 1 checked, 1 passed, 0 rejected") !=
+      std::string::npos)
+      << St.dump();
+}
+
+TEST(SfiCheckHost, OptionsCanDisableTheCheck) {
+  host::ModuleHost Host;
+  Host.options().SfiCheck = false;
+  auto FI = std::make_shared<host::FaultInjector>();
+  FI->MutateTranslation = dropFirstSfiAnd;
+  Host.setFaultInjector(FI);
+  host::LoadError Err;
+  // With the check off the mutated translation loads unchecked — the
+  // trust-the-translator mode the option exists to measure against.
+  auto LM = Host.load(TargetKind::Mips, compile(Program),
+                      translate::TranslateOptions::mobile(true), Err);
+  EXPECT_NE(LM, nullptr) << Err.str();
+  EXPECT_EQ(Host.stats().SfiCheck.totalChecked(), 0u);
+}
+
+TEST(SfiCheckHost, CheckSpanAppearsInTrace) {
+  obs::Tracer &T = obs::Tracer::get();
+  T.clearForTesting();
+  T.setEnabled(true);
+  {
+    host::ModuleHost Host;
+    host::LoadError Err;
+    EXPECT_NE(Host.load(TargetKind::Mips, compile(Program),
+                        translate::TranslateOptions::mobile(true), Err),
+              nullptr)
+        << Err.str();
+  }
+  T.setEnabled(false);
+  std::vector<obs::TraceEvent> Events;
+  T.drain(Events);
+  bool SawBegin = false, SawEnd = false;
+  for (const obs::TraceEvent &E : Events) {
+    if (std::string(E.Name) != "SfiCheck")
+      continue;
+    if (E.Kind == obs::EventKind::SpanBegin)
+      SawBegin = true;
+    if (E.Kind == obs::EventKind::SpanEnd) {
+      SawEnd = true;
+      EXPECT_TRUE(E.hasArg("obligations"));
+      EXPECT_GT(E.arg("obligations"), 0u);
+      EXPECT_EQ(E.arg("failed", 999), 0u);
+    }
+  }
+  EXPECT_TRUE(SawBegin);
+  EXPECT_TRUE(SawEnd);
+}

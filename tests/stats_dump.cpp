@@ -96,7 +96,7 @@ TEST(HostStatsDump, DeterministicSections) {
       contains(D, "  cache:    7 hits, 2 misses, 1 evictions, 0 corrupt\n"))
       << D;
   EXPECT_TRUE(contains(D, "  rejects:  4 total, 3 deserialize, 1 verify, "
-                          "0 translate, 0 resource, 0 bind\n"))
+                          "0 translate, 0 resource, 0 bind, 0 check\n"))
       << D;
   EXPECT_TRUE(contains(D, "  traps:    3 faults, 3 halt, 1 access-violation, "
                           "0 bad-jump, 0 divide-by-zero, 0 break, "
@@ -108,6 +108,25 @@ TEST(HostStatsDump, DeterministicSections) {
   EXPECT_FALSE(contains(D, "serving:")) << D;
   EXPECT_FALSE(contains(D, "latency:")) << D;
   EXPECT_FALSE(contains(D, "trace:")) << D;
+  EXPECT_FALSE(contains(D, "sficheck:")) << D;
+
+  // The sficheck section appears once a translation has been checked,
+  // with per-target checked/passed/rejected triples and obligation
+  // totals.
+  St.SfiCheck.Checked[0] = 3; // Mips
+  St.SfiCheck.Passed[0] = 2;
+  St.SfiCheck.Rejected[0] = 1;
+  St.SfiCheck.Checked[3] = 1; // x86
+  St.SfiCheck.Passed[3] = 1;
+  St.SfiCheck.Proved = 120;
+  St.SfiCheck.Assumed = 45;
+  St.SfiCheck.Ns = 2'500'000; // 2.500 ms
+  D = St.dump();
+  EXPECT_TRUE(contains(D, "  sficheck: 4 checked, 3 passed, 1 rejected, "
+                          "2.500 ms (Mips 3/2/1, Sparc 0/0/0, PPC 0/0/0, "
+                          "x86 1/1/0), obligations: 120 proved, 45 assumed\n"))
+      << D;
+  St.SfiCheck = host::SfiCheckStats();
 
   // Serving section appears once serving stats are active, with exact
   // accounting and one line per worker.

@@ -1,0 +1,199 @@
+//===- tools/sficheck.cpp - Offline SFI proof checker ----------------------===//
+///
+/// Checks translations offline, independently of the hosting service:
+/// deserializes OWX modules (or compiles the built-in benchmark
+/// workloads), translates them for the requested targets, and runs the
+/// SFI proof checker over the emitted code, printing per-obligation
+/// verdicts. Exit status is nonzero when any enforced obligation fails —
+/// the shape CI wants: `sficheck --workloads` gates every translation the
+/// test workloads produce.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sficheck/SfiChecker.h"
+
+#include "driver/Compiler.h"
+#include "translate/Translator.h"
+#include "vm/Module.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace omni;
+
+namespace {
+
+struct CliOptions {
+  std::vector<target::TargetKind> Targets;
+  bool Workloads = false;
+  bool Verbose = false;
+  translate::TranslateOptions TOpts = translate::TranslateOptions::mobile(true);
+  std::vector<std::string> Files;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sficheck [options] <module.owx>...\n"
+               "       sficheck [options] --workloads\n"
+               "\n"
+               "Proves SFI safety obligations over translated images.\n"
+               "\n"
+               "options:\n"
+               "  --workloads      check the built-in benchmark workloads\n"
+               "  --target <t>     mips|sparc|ppc|x86|all (default all)\n"
+               "  --no-sfi         image is translated without SFI "
+               "(obligations become assumptions)\n"
+               "  --sfi-reads      sandbox and enforce loads too\n"
+               "  --no-opt         translate without optimizations\n"
+               "  --verbose        print every obligation, not just "
+               "failures\n");
+}
+
+bool parseTarget(const char *Name, std::vector<target::TargetKind> &Out) {
+  if (!std::strcmp(Name, "all")) {
+    for (unsigned I = 0; I < target::NumTargets; ++I)
+      Out.push_back(target::allTargets(I));
+    return true;
+  }
+  if (!std::strcmp(Name, "mips"))
+    Out.push_back(target::TargetKind::Mips);
+  else if (!std::strcmp(Name, "sparc"))
+    Out.push_back(target::TargetKind::Sparc);
+  else if (!std::strcmp(Name, "ppc"))
+    Out.push_back(target::TargetKind::Ppc);
+  else if (!std::strcmp(Name, "x86"))
+    Out.push_back(target::TargetKind::X86);
+  else
+    return false;
+  return true;
+}
+
+/// Checks one module on one target; prints the verdict line (and, when
+/// verbose, every obligation). Returns true when nothing failed.
+bool checkOne(const std::string &Label, const vm::Module &Exe,
+              target::TargetKind Kind, const CliOptions &Cli) {
+  translate::SegmentLayout Seg;
+  Seg.Base = Exe.LinkBase ? Exe.LinkBase : vm::DefaultSegmentBase;
+  Seg.Size = vm::DefaultSegmentSize;
+
+  target::TargetCode Code;
+  std::string Error;
+  if (!translate::translate(Kind, Exe, Cli.TOpts, Seg, Code, Error)) {
+    std::printf("%s @ %s: translation failed: %s\n", Label.c_str(),
+                target::getTargetName(Kind), Error.c_str());
+    return false;
+  }
+
+  sficheck::CheckOptions CO;
+  CO.Sfi = Cli.TOpts.Sfi;
+  CO.SfiReads = Cli.TOpts.SfiReads;
+  CO.RecordObligations = Cli.Verbose;
+  sficheck::CheckResult R = sficheck::checkTranslation(Kind, Code, Seg, CO);
+
+  std::printf("%s @ %-5s: %llu obligations: %llu proved, %llu assumed, "
+              "%llu failed — %s\n",
+              Label.c_str(), target::getTargetName(Kind),
+              static_cast<unsigned long long>(R.Proved + R.Assumed +
+                                              R.Failed),
+              static_cast<unsigned long long>(R.Proved),
+              static_cast<unsigned long long>(R.Assumed),
+              static_cast<unsigned long long>(R.Failed),
+              R.Ok ? "OK" : "REJECTED");
+  for (const sficheck::Obligation &Ob : R.Obligations) {
+    if (!Cli.Verbose && Ob.V != sficheck::Verdict::Failed)
+      continue;
+    std::printf("  #%-6u vm %-5d %-13s %-7s %s\n", Ob.NativeIndex, Ob.VmIndex,
+                sficheck::getObKindName(Ob.Kind),
+                sficheck::getVerdictName(Ob.V), Ob.Detail.c_str());
+  }
+  return R.Ok;
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Cli;
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (!std::strcmp(A, "--workloads")) {
+      Cli.Workloads = true;
+    } else if (!std::strcmp(A, "--verbose")) {
+      Cli.Verbose = true;
+    } else if (!std::strcmp(A, "--no-sfi")) {
+      Cli.TOpts.Sfi = false;
+    } else if (!std::strcmp(A, "--sfi-reads")) {
+      Cli.TOpts.SfiReads = true;
+    } else if (!std::strcmp(A, "--no-opt")) {
+      Cli.TOpts.Optimize = false;
+    } else if (!std::strcmp(A, "--target")) {
+      if (++I >= argc || !parseTarget(argv[I], Cli.Targets)) {
+        usage();
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
+      usage();
+      return 0;
+    } else if (A[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      Cli.Files.push_back(A);
+    }
+  }
+  if (Cli.Targets.empty())
+    for (unsigned I = 0; I < target::NumTargets; ++I)
+      Cli.Targets.push_back(target::allTargets(I));
+  if (!Cli.Workloads && Cli.Files.empty()) {
+    usage();
+    return 2;
+  }
+
+  bool AllOk = true;
+  if (Cli.Workloads) {
+    for (unsigned W = 0; W < workloads::NumWorkloads; ++W) {
+      const workloads::Workload &WL = workloads::getWorkload(W);
+      driver::CompileOptions COpts;
+      vm::Module Exe;
+      std::string Error;
+      if (!driver::compileAndLink(WL.Source, COpts, Exe, Error)) {
+        std::printf("%s: compile failed: %s\n", WL.Name, Error.c_str());
+        AllOk = false;
+        continue;
+      }
+      for (target::TargetKind Kind : Cli.Targets)
+        AllOk &= checkOne(WL.Name, Exe, Kind, Cli);
+    }
+  }
+  for (const std::string &Path : Cli.Files) {
+    std::vector<uint8_t> Owx;
+    if (!readFile(Path, Owx)) {
+      std::printf("%s: cannot read file\n", Path.c_str());
+      AllOk = false;
+      continue;
+    }
+    vm::Module Exe;
+    std::string Error;
+    if (!vm::Module::deserialize(Owx, Exe, Error)) {
+      std::printf("%s: not a valid OWX module: %s\n", Path.c_str(),
+                  Error.c_str());
+      AllOk = false;
+      continue;
+    }
+    for (target::TargetKind Kind : Cli.Targets)
+      AllOk &= checkOne(Path, Exe, Kind, Cli);
+  }
+  return AllOk ? 0 : 1;
+}
