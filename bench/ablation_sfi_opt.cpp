@@ -1,0 +1,241 @@
+//===- bench/ablation_sfi_opt.cpp - SFI optimizer ablation ------------------===//
+///
+/// Ablation of the SFI optimizer (translate/SfiOpt): guard sharing,
+/// SPARC or-elision, and loop-invariant sandbox hoisting, all proved per
+/// translation by the sficheck oracle. Measures the dynamic ExpCat::Sfi
+/// instruction reduction of `mobileSfiOpt()` over the naive expansion on
+/// the three instruction-sandbox targets, for the four paper workloads
+/// plus a loop-heavy fill kernel (the shape the paper's store-dominated
+/// inner loops take, where the optimizer has real leverage).
+///
+/// Gates:
+///   * the loop workload drops >= 20% of dynamic sfi instructions on at
+///     least two non-x86 targets;
+///   * every optimized translation passes sficheck with no Assumed store
+///     or indirect-jump obligation (elisions are proofs, not trust);
+///   * observable behaviour (output, trap) is identical naive vs
+///     optimized for every cell — in-segment programs cannot tell the
+///     sandboxes apart;
+///   * x86 is untouched (hardware segmentation: the optimizer no-ops).
+
+#include "bench/Harness.h"
+#include "bench/PaperData.h"
+#include "bench/Report.h"
+#include "sficheck/SfiChecker.h"
+#include "support/Format.h"
+#include "translate/SfiOpt.h"
+#include "translate/Translator.h"
+
+#include <cstdio>
+
+using namespace omni;
+using namespace omni::bench;
+
+namespace {
+
+/// Self-loops storing through loop-invariant struct pointers: guard
+/// sharing coalesces the four field stores and hoisting moves the
+/// sandbox of `p` into a preheader, so the in-loop sfi count collapses.
+const char *LoopFillSource = R"(
+void print_int(int);
+struct quad { int a; int b; int c; int d; };
+struct quad cells[64];
+int fill(struct quad *p, int n) {
+  int i = 0;
+  int acc = 0;
+  do {
+    p->a = i;
+    p->b = i + 1;
+    p->c = i * 2;
+    p->d = acc;
+    acc = acc + p->a + p->c;
+    i = i + 1;
+  } while (i < n);
+  return acc;
+}
+int main() {
+  int total = 0;
+  int r = 0;
+  do {
+    total = total + fill(&cells[r & 63], 500);
+    r = r + 1;
+  } while (r < 20);
+  print_int(total);
+  return 0;
+}
+)";
+
+struct CellResult {
+  double NaiveSfi = 0, OptSfi = 0;
+  double ReductionPct = 0; ///< 100 * (naive - opt) / naive
+  bool OutputsMatch = false;
+  uint64_t NaiveCycles = 0, OptCycles = 0;
+};
+
+CellResult measureCell(target::TargetKind Kind, const vm::Module &Exe) {
+  CellResult C;
+  auto Naive = runtime::runOnTarget(Kind, Exe,
+                                    translate::TranslateOptions::mobile(true));
+  auto Opt = runtime::runOnTarget(
+      Kind, Exe, translate::TranslateOptions::mobileSfiOpt());
+  C.NaiveSfi = double(Naive.Stats.catCount(target::ExpCat::Sfi));
+  C.OptSfi = double(Opt.Stats.catCount(target::ExpCat::Sfi));
+  C.ReductionPct =
+      C.NaiveSfi > 0 ? 100.0 * (C.NaiveSfi - C.OptSfi) / C.NaiveSfi : 0.0;
+  C.OutputsMatch = Naive.Run.Output == Opt.Run.Output &&
+                   Naive.Run.Trap.Kind == Opt.Run.Trap.Kind &&
+                   Naive.Run.Trap.Code == Opt.Run.Trap.Code;
+  C.NaiveCycles = Naive.Stats.Cycles;
+  C.OptCycles = Opt.Stats.Cycles;
+  return C;
+}
+
+/// Re-translates with the optimizer on and runs the proof checker the
+/// way the host's load gate does, but with obligations recorded so the
+/// verdicts themselves can be gated: no store or indirect jump may lean
+/// on an assumption on an instruction-sandbox target.
+bool optimizedTranslationProves(target::TargetKind Kind,
+                                const vm::Module &Exe, std::string &Why) {
+  translate::SegmentLayout Seg;
+  target::TargetCode Code;
+  std::string Error;
+  if (!translate::translate(Kind, Exe,
+                            translate::TranslateOptions::mobileSfiOpt(), Seg,
+                            Code, Error)) {
+    Why = "translate failed: " + Error;
+    return false;
+  }
+  sficheck::CheckOptions CO;
+  CO.RecordObligations = true;
+  sficheck::CheckResult R =
+      sficheck::checkTranslation(Kind, Code, Seg, CO);
+  if (!R.Ok) {
+    Why = "proof failed: " + R.FirstFailure;
+    return false;
+  }
+  for (const sficheck::Obligation &Ob : R.Obligations)
+    if (Ob.V == sficheck::Verdict::Assumed &&
+        (Ob.Kind == sficheck::ObKind::Store ||
+         Ob.Kind == sficheck::ObKind::JumpIndirect)) {
+      Why = formatStr("assumed (not proved) %s obligation at %u",
+                      sficheck::getObKindName(Ob.Kind), Ob.NativeIndex);
+      return false;
+    }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  report::Report R("ablation_sfi_opt",
+                   "SFI optimizer: dynamic sfi-instruction reduction, "
+                   "proved by the sficheck oracle");
+
+  // Rows: 4 paper workloads + the loop-heavy fill kernel. Columns: the
+  // three instruction-sandbox targets (x86 has nothing to elide).
+  report::Table &T = R.addTable(
+      "sfi_reduction_pct",
+      "Dynamic ExpCat::Sfi reduction of mobileSfiOpt vs naive (%)",
+      {"Mips", "Sparc", "PPC"});
+
+  driver::CompileOptions LoopOpts;
+  vm::Module LoopExe;
+  std::string Error;
+  if (!driver::compileAndLink(LoopFillSource, LoopOpts, LoopExe, Error)) {
+    std::fprintf(stderr, "loopfill compile failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const target::TargetKind Risc[3] = {target::TargetKind::Mips,
+                                      target::TargetKind::Sparc,
+                                      target::TargetKind::Ppc};
+
+  double LoopReduction[3] = {};
+  for (unsigned W = 0; W < 5; ++W) {
+    bool IsLoop = W == 4;
+    const char *Name = IsLoop ? "loopfill" : WorkloadNames[W];
+    vm::Module Exe =
+        IsLoop ? LoopExe : compileMobile(workloads::getWorkload(W));
+    std::vector<double> RowVals;
+    for (unsigned T2 = 0; T2 < 3; ++T2) {
+      CellResult C = measureCell(Risc[T2], Exe);
+      RowVals.push_back(C.ReductionPct);
+      if (IsLoop)
+        LoopReduction[T2] = C.ReductionPct;
+      R.addCheck(formatStr("behaviour_identical_%s_%s", Name,
+                           TargetNames[T2]),
+                 C.OutputsMatch,
+                 "optimized sandbox must be observation-equivalent");
+      R.addCheck(
+          formatStr("no_dynamic_regression_%s_%s", Name, TargetNames[T2]),
+          C.OptSfi <= C.NaiveSfi,
+          formatStr("opt %g vs naive %g dynamic sfi", C.OptSfi, C.NaiveSfi));
+      std::string Why;
+      R.addCheck(formatStr("proved_%s_%s", Name, TargetNames[T2]),
+                 optimizedTranslationProves(Risc[T2], Exe, Why), Why);
+    }
+    T.addRow(Name, RowVals);
+  }
+  T.print();
+
+  // The headline gate: on the loop-heavy shape at least two of the three
+  // instruction-sandbox targets drop >= 20% of dynamic sfi instructions.
+  unsigned Passing = 0;
+  for (double Pct : LoopReduction)
+    if (Pct >= 20.0)
+      ++Passing;
+  R.addCheck("loopfill_reduction_20pct_on_2_targets", Passing >= 2,
+             formatStr("Mips %.1f%%, Sparc %.1f%%, PPC %.1f%%",
+                       LoopReduction[0], LoopReduction[1],
+                       LoopReduction[2]));
+  R.addMetric("loopfill_reduction_mips_pct",
+              "loopfill dynamic sfi reduction on Mips", LoopReduction[0],
+              "%", report::Direction::Higher)
+      .withMin(20.0);
+  R.addMetric("loopfill_reduction_sparc_pct",
+              "loopfill dynamic sfi reduction on Sparc", LoopReduction[1],
+              "%", report::Direction::Higher)
+      .withMin(20.0);
+
+  // x86 control: the optimizer must be a no-op under hardware
+  // segmentation — bit-identical code, so identical cycle counts.
+  {
+    CellResult C = measureCell(target::TargetKind::X86, LoopExe);
+    R.addCheck("x86_untouched",
+               C.OutputsMatch && C.NaiveCycles == C.OptCycles &&
+                   C.NaiveSfi == 0 && C.OptSfi == 0,
+               formatStr("cycles naive %llu vs opt %llu",
+                         (unsigned long long)C.NaiveCycles,
+                         (unsigned long long)C.OptCycles));
+  }
+
+  // Static story for the curious: what the optimizer actually did to the
+  // loop kernel on each target.
+  std::printf("\nStatic transforms on loopfill:\n");
+  for (unsigned T2 = 0; T2 < 3; ++T2) {
+    translate::SegmentLayout Seg;
+    target::TargetCode Code;
+    translate::SfiOptStats St;
+    if (!translate::translate(Risc[T2], LoopExe,
+                              translate::TranslateOptions::mobileSfiOpt(),
+                              Seg, Code, Error, &St))
+      continue;
+    std::printf("  %-6s groups=%u coalesced=%u or-elisions=%u "
+                "loops-hoisted=%u units-hoisted=%u sfi-instrs-removed=%d\n",
+                TargetNames[T2], St.GroupsFormed, St.UnitsCoalesced,
+                St.OrElisions, St.LoopsHoisted, St.UnitsHoisted,
+                St.SfiInstrsRemoved);
+    R.addMetric(formatStr("static_sfi_removed_%s", TargetNames[T2]),
+                formatStr("static sfi instrs removed on %s loopfill",
+                          TargetNames[T2]),
+                St.SfiInstrsRemoved, "instrs", report::Direction::Higher);
+  }
+
+  std::printf("\nThe optimizer only fires under TranslateOptions::"
+              "SfiOptimize (opt-in): for wild\naddresses the naive form "
+              "wraps into the segment while shared/hoisted guards\ntrap "
+              "in the guard zone — containment either way, but the "
+              "paper-fidelity\nconfigurations keep the naive expansion "
+              "(see DESIGN.md).\n");
+  return report::finish(R, argc, argv);
+}

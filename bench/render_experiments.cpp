@@ -227,6 +227,7 @@ std::string render(const Json &Agg) {
   const Json *F2 = benchDoc(Agg, "figure2_universality");
   const Json *Interp = benchDoc(Agg, "interp_vs_translated");
   const Json *Abl = benchDoc(Agg, "ablation_read_protection");
+  const Json *AblOpt = benchDoc(Agg, "ablation_sfi_opt");
 
   std::string Out;
   appendFormat(Out,
@@ -447,6 +448,35 @@ std::string render(const Json &Agg) {
       rowSlash(AblCost, "write+execute (paper)", false).c_str(),
       rowSlash(AblCost, "+ read protection", false).c_str(), StMin * 100,
       StMax * 100, RdMin * 100, RdMax * 100);
+
+  // ---- SFI optimizer ablation ------------------------------------------
+  Out += "## SFI optimizer ablation  — `bench/ablation_sfi_opt`\n\n";
+  const Json *OptTab = tableById(AblOpt, "sfi_reduction_pct");
+  appendFormat(
+      Out,
+      "The naive sandbox re-masks every store; the SFI optimizer\n"
+      "(`translate/SfiOpt`, opt-in via `TranslateOptions::SfiOptimize`) "
+      "shares\nguards across same-base accesses, folds the SPARC `or` "
+      "into indexed\naddressing, and hoists loop-invariant sandboxes "
+      "into a preheader — every\ntransform proved per translation by "
+      "the sficheck oracle, never trusted.\nDynamic `ExpCat::Sfi` "
+      "reduction vs the naive expansion (%%):\n\n");
+  mdTable(Out, OptTab);
+  appendFormat(
+      Out,
+      "\nOn the loop-heavy fill kernel the in-loop sandbox collapses "
+      "almost\nentirely (Mips %.1f%%, Sparc %.1f%%; gated at >= 20%% on "
+      "two targets); on the\npaper workloads the win is "
+      "SPARC-dominated (or-elision applies to every\nstore and "
+      "indirect jump). The bench also gates that optimized and "
+      "naive\ntranslations are observation-equivalent and that no "
+      "store or indirect\njump obligation is merely Assumed. The "
+      "paper-fidelity tables above keep\nthe naive expansion: for "
+      "wild addresses naive wraps while optimized\ntraps in the "
+      "guard zone, so the optimizer is a measured extension, not\n"
+      "part of the reproduction.\n\n",
+      metricValue(AblOpt, "loopfill_reduction_mips_pct"),
+      metricValue(AblOpt, "loopfill_reduction_sparc_pct"));
 
   // ---- Serving / hosting benches --------------------------------------
   Out += "## Hosting-service benches  — `bench/load_time`, "

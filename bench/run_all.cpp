@@ -41,7 +41,7 @@ const char *Benches[] = {
     "table5_no_translator_opt", "table6_gcc_vs_cc",
     "figure1_expansion", "figure2_universality",
     "interp_vs_translated", "ablation_read_protection",
-    "load_time",         "throughput",
+    "ablation_sfi_opt",  "load_time",         "throughput",
     "trace_overhead",
 };
 

@@ -23,6 +23,8 @@ CacheKey omni::host::makeCacheKey(uint64_t ContentHash, target::TargetKind Kind,
   H.value<uint8_t>(Opts.NoSchedule);
   H.value<uint8_t>(Opts.GpAll);
   H.value<uint8_t>(Opts.CcSelection);
+  H.value<uint8_t>(Opts.SfiOptimize);
+  H.value<uint32_t>(Opts.LoopAlign);
   H.value<uint32_t>(Seg.Base);
   H.value<uint32_t>(Seg.Size);
   K.OptionsHash = H.get();

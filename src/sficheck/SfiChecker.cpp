@@ -28,6 +28,8 @@ const char *omni::sficheck::getObKindName(ObKind K) {
     return "branch-direct";
   case ObKind::SpExit:
     return "sp-exit";
+  case ObKind::HoldExit:
+    return "hold-exit";
   case ObKind::Layout:
     return "layout";
   }
@@ -102,7 +104,13 @@ struct Block {
 };
 
 /// The integer register \p I defines, or -1. Loads of fp values and the
-/// memory-linked x86 call write no integer register.
+/// memory-linked x86 call write no integer register. Getting this exactly
+/// right is itself a soundness obligation: an fp load (or the sp-sandbox
+/// sequence around one) must NOT count as defining integer Rd — a stale
+/// abstract value would survive an instruction that does clobber the fp
+/// file, and conversely treating it as an integer def would bump Rd's
+/// generation and spuriously kill live provenance. tests/sficheck.cpp
+/// pins both directions.
 int intDef(const target::TargetInfo &TI, const TInstr &I) {
   switch (I.Op) {
   case TOp::MovImm:
@@ -373,6 +381,20 @@ private:
         Invariant[R] = true;
         InvariantVal[R] = S.V[R].C;
       }
+
+    // Held registers — the sp induction generalized to the SFI
+    // optimizer's hold register. A register the prologue leaves at an
+    // in-segment constant, that the module cannot reach through the VM
+    // register map, but that later code *does* redefine (the hoisted
+    // preheaders re-sandbox it) is "held": every block may assume it
+    // in-segment on entry, and in exchange every block exit owes a
+    // HoldExit obligation that it still is. The prologue constant is the
+    // induction base, the exits are the induction step.
+    for (unsigned R = 0; R < NumRegs; ++R)
+      if (S.V[R].K == AbsVal::Const && inSegment(S.V[R].C, 1) &&
+          DefinedOutside[R] && !VmMapped[R] &&
+          static_cast<int>(R) != SpReg)
+        Held[R] = true;
   }
 
   /// Conservative entry state. Every non-entry block start is potentially
@@ -384,9 +406,12 @@ private:
   RegState entryState(uint32_t BlockStart) const {
     RegState S;
     if (BlockStart != Code.Entry)
-      for (unsigned R = 0; R < NumRegs; ++R)
+      for (unsigned R = 0; R < NumRegs; ++R) {
         if (Invariant[R])
           S.V[R] = AbsVal::cst(InvariantVal[R]);
+        else if (Held[R])
+          S.V[R] = AbsVal::inseg(-1, 0); // inductive, like sp below
+      }
     if (SpReg >= 0)
       S.V[SpReg] = AbsVal::inseg(-1, 0);
     return S;
@@ -508,13 +533,19 @@ private:
           record(K, Verdict::Proved, Idx, "sandboxed base, zero offset");
           return;
         }
-        if (I.Imm >= 0 && static_cast<uint32_t>(I.Imm) < vm::PageSize) {
-          // The translator's sp guard-zone exemption: a small positive
-          // offset from an in-segment pointer at worst lands in the guard
-          // area, which the runtime bounds check contains.
-          record(K, Verdict::Assumed, Idx, [&] {
-            return formatStr("in-segment base + %d within the guard zone",
-                             I.Imm);
+        if (I.Imm >= 0 &&
+            static_cast<uint32_t>(I.Imm) + W <= vm::GuardZoneSize) {
+          // In-segment base + small positive offset: the whole access
+          // lands in the segment or in the guard zone immediately above
+          // it, which the address space leaves unmapped
+          // (vm::GuardZoneSize) so the runtime bounds check traps it.
+          // Contained either way — a proof, not an assumption. The
+          // translator's sp guard-zone elision and the SFI optimizer's
+          // shared guards both rest on exactly this bound.
+          record(K, Verdict::Proved, Idx, [&] {
+            return formatStr("in-segment base + %d rides the guard zone "
+                             "(width %u)",
+                             I.Imm, W);
           });
           return;
         }
@@ -613,6 +644,26 @@ private:
           Found = (V.K == AbsVal::Masked || V.K == AbsVal::InSeg) &&
                   V.From == static_cast<int>(I.Rs1) && V.Gen == S.Gen[I.Rs1];
         }
+        if (!Found && CurSlot >= 0 &&
+            static_cast<uint32_t>(CurSlot) != Idx &&
+            !Code.Code[CurSlot].isBranch()) {
+          // The delay slot executes before the transfer completes, so a
+          // sandbox established there still covers this jump (the
+          // scheduler may move the whole mask into the slot once the
+          // optimizer elides the `or`). Soundness rides on provenance:
+          // only images of the operand value the branch reads — the
+          // pre-slot generation of Rs1 — are accepted, so a slot that
+          // redefines the operand can never discharge the obligation.
+          RegState S2 = S;
+          transfer(S2, Code.Code[CurSlot], static_cast<uint32_t>(CurSlot),
+                   /*Check=*/false);
+          for (unsigned R = 0; !Found && R < NumRegs; ++R) {
+            const AbsVal &V = S2.V[R];
+            Found = (V.K == AbsVal::Masked || V.K == AbsVal::InSeg) &&
+                    V.From == static_cast<int>(I.Rs1) &&
+                    V.Gen == S.Gen[I.Rs1];
+          }
+        }
       }
       record(ObKind::JumpIndirect,
              Found ? Verdict::Proved : unproven(EnforceSfi), Idx, [&] {
@@ -690,13 +741,15 @@ private:
     case TOp::HostCall:
       // The host writes VM registers through the register map; nothing
       // else is reachable from a gate. Conservatively clobber everything
-      // non-invariant, but keep the inductive sp fact: no standard gate
-      // moves the stack pointer, and the host is trusted code anyway.
+      // non-invariant, but keep the inductive sp fact (no standard gate
+      // moves the stack pointer) and the held registers (not VM-mapped,
+      // so the gate cannot reach them either).
       for (unsigned R = 0; R < NumRegs; ++R) {
         if (Invariant[R])
           continue;
-        def(S, R, static_cast<int>(R) == SpReg ? AbsVal::inseg(-1, 0)
-                                               : AbsVal::unknown());
+        def(S, R, (static_cast<int>(R) == SpReg || Held[R])
+                      ? AbsVal::inseg(-1, 0)
+                      : AbsVal::unknown());
       }
       break;
     default:
@@ -720,16 +773,39 @@ private:
            formatStr("stack pointer not provably in segment at %s", Why));
   }
 
+  /// The induction step for held registers: every edge into another block
+  /// must leave each held register provably in-segment, or the blanket
+  /// in-segment entry assumption would be unsound.
+  void checkHeldExit(const RegState &S, uint32_t AtIdx, const char *Why) {
+    if (!EnforceSfi)
+      return;
+    for (unsigned R = 0; R < NumRegs; ++R) {
+      if (!Held[R])
+        continue;
+      const AbsVal &V = S.V[R];
+      if (V.K == AbsVal::InSeg ||
+          (V.K == AbsVal::Const && inSegment(V.C, 1)))
+        continue;
+      record(ObKind::HoldExit, Verdict::Failed, AtIdx,
+             formatStr("held register r%u not provably in segment at %s", R,
+                       Why));
+    }
+  }
+
   void checkBlock(const Block &B) {
+    CurSlot = B.Slot;
     RegState S = entryState(B.Start);
     for (uint32_t I = B.Start; I < B.End; ++I)
       transfer(S, Code.Code[I], I, /*Check=*/true);
+    CurSlot = -1;
 
     if (B.Branch < 0) {
       // Fallthrough into the next leader; falling off the end of the
       // image faults in the simulator (contained), no edge to check.
-      if (B.End < N)
+      if (B.End < N) {
         checkSpExit(S, B.End - 1, "block fall-through");
+        checkHeldExit(S, B.End - 1, "block fall-through");
+      }
       return;
     }
 
@@ -749,9 +825,13 @@ private:
     bool HasFall = Br.Op == TOp::CmpBranch || Br.Op == TOp::BranchCC ||
                    Br.Op == TOp::FBranchCC || Br.Op == TOp::BranchDec;
     checkSpExit(Taken, static_cast<uint32_t>(B.Branch), "branch taken");
-    if (HasFall)
+    checkHeldExit(Taken, static_cast<uint32_t>(B.Branch), "branch taken");
+    if (HasFall) {
       checkSpExit(Fall, static_cast<uint32_t>(B.Branch),
                   "branch fall-through");
+      checkHeldExit(Fall, static_cast<uint32_t>(B.Branch),
+                    "branch fall-through");
+    }
   }
 
   TargetKind Kind;
@@ -767,6 +847,11 @@ private:
   std::vector<Block> Blocks;
   bool Invariant[NumRegs] = {};
   uint32_t InvariantVal[NumRegs] = {};
+  bool Held[NumRegs] = {};
+  /// Delay slot of the block being checked (-1 none): checkBranch may
+  /// credit a sandbox the slot establishes, since the slot executes
+  /// before an indirect transfer completes.
+  int32_t CurSlot = -1;
 
   CheckResult Res;
 };

@@ -32,10 +32,19 @@
 /// map. A bit-flipped prologue constant therefore fails obligations
 /// naturally instead of being "trusted back in".
 ///
-/// Verdicts: Proved (statically safe), Assumed (safe by a documented
-/// runtime mechanism: x86 hardware segmentation, the stack guard zone,
-/// SFI disabled by configuration), Failed (an enforced obligation could
-/// not be discharged). A check succeeds iff nothing Failed.
+/// Verdicts: Proved (statically safe — including accesses that ride the
+/// guard zone above an in-segment base, a proof grounded in
+/// vm::GuardZoneSize), Assumed (safe by a documented runtime mechanism:
+/// x86 hardware segmentation, SFI disabled by configuration), Failed (an
+/// enforced obligation could not be discharged). A check succeeds iff
+/// nothing Failed.
+///
+/// Two inductive facts extend the per-block analysis across indirect
+/// control flow: the sp discipline (sp enters every block in-segment;
+/// every block exit re-proves it) and, symmetrically, "held" registers —
+/// prologue-initialized, non-VM-mapped registers the SFI optimizer's
+/// hoisted preheaders re-sandbox (ObKind::HoldExit is the induction
+/// step's obligation).
 ///
 //===----------------------------------------------------------------------===//
 #ifndef OMNI_SFICHECK_SFICHECKER_H
@@ -58,6 +67,7 @@ enum class ObKind : uint8_t {
   JumpIndirect, ///< an indirect/computed jump went through the sandbox
   BranchDirect, ///< a direct branch target is statically in-bounds
   SpExit,       ///< stack pointer leaves a block inside the segment
+  HoldExit,     ///< a held (hoisted-base) register leaves a block in-segment
   Layout,       ///< the image/segment shape itself is unusable
 };
 

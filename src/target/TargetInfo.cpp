@@ -61,6 +61,7 @@ const TargetInfo MipsInfo = {
     /*SfiBaseReg=*/23,
     /*SfiAddrReg=*/24,
     /*GlobalPtrReg=*/28,
+    /*SfiHoldReg=*/26,
     /*IssueWidth=*/1,
     /*PairIntFp=*/false,
     /*PairSimple=*/false,
@@ -93,6 +94,7 @@ const TargetInfo SparcInfo = {
     /*SfiBaseReg=*/3,
     /*SfiAddrReg=*/4,
     /*GlobalPtrReg=*/5,
+    /*SfiHoldReg=*/6,
     /*IssueWidth=*/1,
     /*PairIntFp=*/false,
     /*PairSimple=*/false,
@@ -126,6 +128,7 @@ const TargetInfo PpcInfo = {
     /*SfiBaseReg=*/30,
     /*SfiAddrReg=*/31,
     /*GlobalPtrReg=*/2,
+    /*SfiHoldReg=*/28,
     /*IssueWidth=*/2,
     /*PairIntFp=*/true,
     /*PairSimple=*/false,
@@ -159,6 +162,7 @@ const TargetInfo X86Info = {
     /*SfiBaseReg=*/7,
     /*SfiAddrReg=*/6,
     /*GlobalPtrReg=*/6,
+    /*SfiHoldReg=*/-1,
     /*IssueWidth=*/2,
     /*PairIntFp=*/false,
     /*PairSimple=*/true,

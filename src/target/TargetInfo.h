@@ -169,6 +169,7 @@ struct TargetInfo {
   unsigned SfiBaseReg; ///< dedicated: segment base
   unsigned SfiAddrReg; ///< dedicated: sandboxed address
   unsigned GlobalPtrReg;
+  int SfiHoldReg; ///< free reg for hoisted sandboxed bases (-1: none)
 
   // --- timing model ----------------------------------------------------
   unsigned IssueWidth;    ///< 1 or 2

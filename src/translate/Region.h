@@ -22,6 +22,18 @@ namespace translate {
 struct Region {
   uint32_t VmStart = 0; ///< OmniVM index of the label starting this region
   std::vector<target::TInstr> Code;
+
+  /// SFI-optimizer loop preheaders (synthetic regions, VmStart == ~0u):
+  /// when != ~0u, this region re-establishes the hold register for the
+  /// self-loop region that immediately follows, and the translator routes
+  /// every VmToNative entry of that loop's VM range through it — so any
+  /// mapped entry (return, indirect jump, direct branch from elsewhere)
+  /// re-sandboxes the hoisted base. Only the loop's own back edge
+  /// bypasses the preheader.
+  uint32_t PreheaderFor = ~0u;
+  /// Set on a self-loop region whose preheader precedes it: its back
+  /// edge resolves to the region's own start, not through VmToNative.
+  bool HasPreheader = false;
 };
 
 /// Register/resource read-write sets used by the scheduler and the

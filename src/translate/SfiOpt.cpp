@@ -1,0 +1,513 @@
+//===- translate/SfiOpt.cpp - SFI guard elimination & hoisting ------------===//
+///
+/// \file
+/// Pattern-directed SFI optimizer. It re-parses the naive sandbox
+/// sequences the expansion phase emits ("units"), then rewrites them:
+/// guard sharing across contiguous same-base accesses, SPARC or-elision
+/// into indexed addressing, and loop-invariant base hoisting into the
+/// dedicated hold register via a synthetic preheader region. Runs before
+/// the generic region optimizations, while branch targets are still VM
+/// indices, so control flow is easy to reason about. Everything here is
+/// untrusted: the sficheck oracle re-proves each optimized translation.
+///
+//===----------------------------------------------------------------------===//
+#include "translate/SfiOpt.h"
+
+#include "vm/AddressSpace.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace omni;
+using namespace omni::translate;
+using namespace omni::target;
+
+namespace {
+
+/// Integer register defined by \p I, or -1. Mirrors the sficheck notion:
+/// fp loads define an fp register, calls define their link register.
+int defInt(const TInstr &I) {
+  switch (I.Op) {
+  case TOp::MovImm:
+  case TOp::LoadImmHi:
+  case TOp::OrImmLo:
+  case TOp::MovReg:
+  case TOp::Lea:
+  case TOp::Add:
+  case TOp::Sub:
+  case TOp::Mul:
+  case TOp::Div:
+  case TOp::DivU:
+  case TOp::Rem:
+  case TOp::RemU:
+  case TOp::And:
+  case TOp::Or:
+  case TOp::Xor:
+  case TOp::Shl:
+  case TOp::ShrL:
+  case TOp::ShrA:
+  case TOp::SetCond:
+  case TOp::CvtFpToInt:
+    return static_cast<int>(I.Rd);
+  case TOp::Load:
+    return I.FpVal ? -1 : static_cast<int>(I.Rd);
+  case TOp::CallDirect:
+  case TOp::CallIndirect:
+    return static_cast<int>(I.Rd);
+  default:
+    return -1;
+  }
+}
+
+bool isDirectBranch(TOp Op) {
+  switch (Op) {
+  case TOp::Branch:
+  case TOp::CmpBranch:
+  case TOp::BranchCC:
+  case TOp::FBranchCC:
+  case TOp::BranchDec:
+  case TOp::CallDirect:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// One naive sandbox sequence as emitted by the expansion phase:
+///   [Add S,B,(#k|X)] ; And S,Ea,mask ; [Or S,S,base] ; access
+/// or the jump form `And S,T,mask ; Or S,S,base ; jump T`. Instruction
+/// indices are positions in the owning region's Code.
+struct Unit {
+  size_t Begin = 0;   ///< Add or And
+  size_t AndIdx = 0;
+  int OrIdx = -1;     ///< -1 on PPC memory units
+  size_t Last = 0;    ///< access instruction, or the indirect jump
+  unsigned Base = 0;  ///< effective base register (pre-sandbox)
+  bool Indexed = false;
+  int32_t Imm = 0;    ///< constant offset (0 when folded away)
+  unsigned SfiCost = 0;
+  bool IsJump = false;
+};
+
+class SfiOptimizer {
+public:
+  SfiOptimizer(const TargetInfo &TI, TargetKind Kind,
+               const SegmentLayout &Seg, std::vector<Region> &Regions,
+               SfiOptStats &St)
+      : TI(TI), Kind(Kind), Seg(Seg), Regions(Regions), St(St),
+        S(TI.SfiAddrReg), M(TI.SfiMaskReg), Bse(TI.SfiBaseReg),
+        H(TI.SfiHoldReg) {}
+
+  void run() {
+    // The mask/base invariants every rewrite leans on must actually be
+    // invariant: bail out entirely if anything after the prologue writes
+    // them (never true for translator output; hand-crafted regions
+    // exercise this). A write to the hold register only disables
+    // hoisting.
+    bool HoldOk = H >= 0;
+    for (const Region &R : Regions) {
+      if (R.VmStart == ~0u)
+        continue;
+      for (const TInstr &I : R.Code) {
+        int D = defInt(I);
+        if (D == static_cast<int>(M) || D == static_cast<int>(Bse))
+          return;
+        if (D == H)
+          HoldOk = false;
+      }
+    }
+    if (HoldOk)
+      hoistLoops();
+    for (Region &R : Regions)
+      if (R.VmStart != ~0u)
+        rewriteRegion(R);
+  }
+
+private:
+  const TargetInfo &TI;
+  TargetKind Kind;
+  const SegmentLayout &Seg;
+  std::vector<Region> &Regions;
+  SfiOptStats &St;
+  unsigned S, M, Bse;
+  int H;
+
+  // Per-region rewrite plan.
+  std::vector<uint8_t> Del;
+  std::map<size_t, TInstr> Repl;
+  std::map<size_t, TInstr> InsertAfter;
+
+  void planReset(size_t N) {
+    Del.assign(N, 0);
+    Repl.clear();
+    InsertAfter.clear();
+  }
+
+  void planApply(Region &R) {
+    std::vector<TInstr> Out;
+    Out.reserve(R.Code.size());
+    for (size_t I = 0; I < R.Code.size(); ++I) {
+      auto RIt = Repl.find(I);
+      if (RIt != Repl.end())
+        Out.push_back(RIt->second);
+      else if (!Del[I])
+        Out.push_back(R.Code[I]);
+      auto AIt = InsertAfter.find(I);
+      if (AIt != InsertAfter.end() && !Del[I])
+        Out.push_back(AIt->second);
+    }
+    R.Code = std::move(Out);
+  }
+
+  bool guardOk(const Region &R, const Unit &U) const {
+    return !U.IsJump && !U.Indexed && U.Imm >= 0 &&
+           static_cast<uint32_t>(U.Imm) +
+                   ir::memWidthBytes(R.Code[U.Last].Width) <=
+               vm::GuardZoneSize;
+  }
+
+  /// Re-parses the naive sandbox sequences in \p R.
+  std::vector<Unit> scanUnits(const Region &R) const {
+    const std::vector<TInstr> &C = R.Code;
+    std::vector<Unit> Units;
+    for (size_t I = 0; I < C.size(); ++I) {
+      Unit U;
+      U.Begin = I;
+      size_t J = I;
+      // Optional address add into the sandbox register.
+      if (J < C.size() && C[J].Op == TOp::Add && C[J].Rd == S) {
+        U.Base = C[J].Rs1;
+        if (C[J].UsesImm)
+          U.Imm = C[J].Imm;
+        else
+          U.Indexed = true;
+        if (C[J].Cat == ExpCat::Sfi)
+          U.SfiCost++;
+        ++J;
+        if (!(J < C.size() && C[J].Op == TOp::And && C[J].Rs1 == S))
+          continue;
+      }
+      // The mask.
+      if (!(J < C.size() && C[J].Op == TOp::And && !C[J].UsesImm &&
+            C[J].Rd == S && C[J].Rs2 == M))
+        continue;
+      if (J == U.Begin)
+        U.Base = C[J].Rs1;
+      U.AndIdx = J;
+      U.SfiCost++;
+      ++J;
+      if (Kind == TargetKind::Ppc) {
+        // PPC memory form: indexed access through the segment base.
+        if (J < C.size() && (C[J].Op == TOp::Load || C[J].Op == TOp::Store) &&
+            C[J].Mode == AddrMode::BaseIndex && C[J].Rs1 == S &&
+            C[J].Rs2 == Bse) {
+          U.Last = J;
+          Units.push_back(U);
+          I = J;
+        }
+        continue;
+      }
+      // The base or.
+      if (!(J < C.size() && C[J].Op == TOp::Or && !C[J].UsesImm &&
+            C[J].Rd == S && C[J].Rs1 == S && C[J].Rs2 == Bse))
+        continue;
+      U.OrIdx = static_cast<int>(J);
+      U.SfiCost++;
+      ++J;
+      if (J < C.size() && (C[J].Op == TOp::Load || C[J].Op == TOp::Store) &&
+          C[J].Mode == AddrMode::BaseImm && C[J].Rs1 == S && C[J].Imm == 0) {
+        U.Last = J;
+        Units.push_back(U);
+        I = J;
+        continue;
+      }
+      // Jump sandbox: the transfer goes through the original register;
+      // the masked copy in S is what the checker certifies.
+      if (U.Begin == U.AndIdx && J < C.size() &&
+          (C[J].Op == TOp::JumpIndirect || C[J].Op == TOp::CallIndirect) &&
+          C[J].Rs1 == U.Base) {
+        U.Last = J;
+        U.IsJump = true;
+        Units.push_back(U);
+        I = J;
+      }
+    }
+    return Units;
+  }
+
+  /// True when the access of \p Prev or any instruction strictly between
+  /// the two units defines one of the registers a shared guard depends on.
+  bool gapBreaks(const Region &R, const Unit &Prev, const Unit &Cur,
+                 unsigned Base) const {
+    for (size_t I = Prev.Last; I < Cur.Begin; ++I) {
+      int D = defInt(R.Code[I]);
+      if (D >= 0) {
+        unsigned U = static_cast<unsigned>(D);
+        if (U == Base || U == S || U == M || U == Bse)
+          return true;
+      }
+      // Barriers (host calls write VM-mapped registers).
+      if (R.Code[I].Op == TOp::HostCall || R.Code[I].Op == TOp::Trap)
+        return true;
+    }
+    return false;
+  }
+
+  /// SPARC or-elision on one memory unit: `(x & mask) | base` equals
+  /// `(x & mask) + base` bit-exactly (masked < Size, base Size-aligned),
+  /// so the store folds the or into indexed addressing.
+  void orElide(Region &R, const Unit &U) {
+    if (Kind != TargetKind::Sparc || U.OrIdx < 0)
+      return;
+    Del[static_cast<size_t>(U.OrIdx)] = 1;
+    TInstr A = R.Code[U.Last];
+    A.Mode = AddrMode::BaseIndex;
+    A.Rs1 = S;
+    A.Rs2 = Bse;
+    A.Imm = 0;
+    Repl[U.Last] = A;
+    St.OrElisions++;
+  }
+
+  void rewriteRegion(Region &R) {
+    std::vector<Unit> Units = scanUnits(R);
+    if (Units.empty())
+      return;
+    planReset(R.Code.size());
+    size_t UI = 0;
+    while (UI < Units.size()) {
+      const Unit &U = Units[UI];
+      if (U.IsJump) {
+        // The jump itself reads the original register; only the masked
+        // copy matters for the proof, so the or is pure overhead.
+        if (Kind == TargetKind::Sparc && U.OrIdx >= 0) {
+          Del[static_cast<size_t>(U.OrIdx)] = 1;
+          St.OrElisions++;
+        }
+        ++UI;
+        continue;
+      }
+      bool Elig = !U.Indexed && guardOk(R, U) && U.Base != S &&
+                  U.Base != M && U.Base != Bse &&
+                  (H < 0 || U.Base != static_cast<unsigned>(H));
+      if (!Elig) {
+        orElide(R, U);
+        ++UI;
+        continue;
+      }
+      // Extend the run of shareable same-base units.
+      size_t VE = UI + 1;
+      while (VE < Units.size()) {
+        const Unit &W = Units[VE];
+        if (W.IsJump || W.Indexed || !guardOk(R, W) || W.Base != U.Base ||
+            gapBreaks(R, Units[VE - 1], W, U.Base))
+          break;
+        ++VE;
+      }
+      unsigned N = static_cast<unsigned>(VE - UI);
+      unsigned Naive = 0;
+      for (size_t W = UI; W < VE; ++W)
+        Naive += Units[W].SfiCost;
+      unsigned Group = 2;
+      unsigned Orel = Kind == TargetKind::Sparc ? Naive - N : ~0u;
+      if (Naive <= Group && Naive <= Orel) {
+        ++UI; // already minimal (e.g. a lone unoffset access)
+        continue;
+      }
+      if (Orel <= Group) {
+        for (size_t W = UI; W < VE; ++W)
+          orElide(R, Units[W]);
+        UI = VE;
+        continue;
+      }
+      // Shared guard: the leader masks the base once; every access rides
+      // the guard zone as [S + k] exactly like sp-relative accesses.
+      const Unit &L = Units[UI];
+      if (L.Begin != L.AndIdx) {
+        Del[L.Begin] = 1;
+        TInstr A = R.Code[L.AndIdx];
+        A.Rs1 = U.Base;
+        Repl[L.AndIdx] = A;
+      }
+      if (Kind == TargetKind::Ppc) {
+        TInstr O;
+        O.Op = TOp::Or;
+        O.Cat = ExpCat::Sfi;
+        O.Rd = S;
+        O.Rs1 = S;
+        O.Rs2 = Bse;
+        O.VmIndex = R.Code[L.AndIdx].VmIndex;
+        InsertAfter[L.AndIdx] = O;
+      }
+      for (size_t W = UI; W < VE; ++W) {
+        const Unit &X = Units[W];
+        if (W != UI) {
+          for (size_t I = X.Begin; I < X.Last; ++I)
+            Del[I] = 1;
+        }
+        TInstr A = R.Code[X.Last];
+        A.Mode = AddrMode::BaseImm;
+        A.Rs1 = S;
+        A.Rs2 = 0;
+        A.Imm = X.Imm;
+        Repl[X.Last] = A;
+      }
+      St.GroupsFormed++;
+      St.UnitsCoalesced += N;
+      UI = VE;
+    }
+    planApply(R);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Loop-invariant hoisting
+  //===--------------------------------------------------------------------===//
+
+  /// A single-region self-loop: the trailing branch is conditional and
+  /// targets the region's own start, and nothing else transfers control.
+  bool isSelfLoop(const Region &R) const {
+    const std::vector<TInstr> &C = R.Code;
+    int BI = -1;
+    for (size_t I = 0; I < C.size(); ++I) {
+      if (C[I].isBranch()) {
+        if (BI >= 0)
+          return false;
+        BI = static_cast<int>(I);
+      } else if (BI >= 0 && C[I].Op != TOp::Nop) {
+        return false; // only a delay-slot nop may follow the branch
+      }
+    }
+    if (BI < 0)
+      return false;
+    const TInstr &B = C[static_cast<size_t>(BI)];
+    switch (B.Op) {
+    case TOp::CmpBranch:
+    case TOp::BranchCC:
+    case TOp::FBranchCC:
+    case TOp::BranchDec:
+      break;
+    default:
+      return false;
+    }
+    return static_cast<uint32_t>(B.Target) == R.VmStart;
+  }
+
+  /// Entry-path safety needs no global scan: the translator routes every
+  /// VmToNative entry of the loop's VM range through the preheader
+  /// (Region::PreheaderFor), and direct branches resolve through
+  /// VmToNative too — so returns, indirect jumps, and branches from other
+  /// regions all re-run the And/Or before entering the body. The only
+  /// transfer that bypasses the preheader is the loop's own back edge
+  /// (Region::HasPreheader), which is exactly the point of the hoist.
+  void hoistLoops() {
+    std::vector<Region> NewRegions;
+    NewRegions.reserve(Regions.size());
+    for (size_t RI = 0; RI < Regions.size(); ++RI) {
+      Region &R = Regions[RI];
+      if (R.VmStart != ~0u && isSelfLoop(R)) {
+        Region Pre;
+        if (hoistOne(R, Pre))
+          NewRegions.push_back(std::move(Pre));
+      }
+      NewRegions.push_back(std::move(R));
+    }
+    Regions = std::move(NewRegions);
+  }
+
+  /// Hoists the most profitable invariant base of self-loop \p R into the
+  /// hold register; fills \p Pre with the preheader region. Returns false
+  /// when no unit qualifies.
+  bool hoistOne(Region &R, Region &Pre) {
+    for (const TInstr &I : R.Code)
+      if (I.Op == TOp::HostCall || I.Op == TOp::Trap || I.Op == TOp::Halt)
+        return false;
+    std::vector<Unit> Units = scanUnits(R);
+    if (Units.empty())
+      return false;
+    // Cost per candidate base; a base written anywhere in the loop is not
+    // invariant (this includes a sandboxed load clobbering its own base).
+    std::map<unsigned, unsigned> BaseCost;
+    for (const Unit &U : Units) {
+      if (U.IsJump || U.Indexed || !guardOk(R, U))
+        continue;
+      if (U.Base == S || U.Base == M || U.Base == Bse ||
+          U.Base == static_cast<unsigned>(H))
+        continue;
+      bool Written = false;
+      for (const TInstr &I : R.Code)
+        if (defInt(I) == static_cast<int>(U.Base))
+          Written = true;
+      if (!Written)
+        BaseCost[U.Base] += U.SfiCost;
+    }
+    if (BaseCost.empty())
+      return false;
+    unsigned Best = BaseCost.begin()->first;
+    for (const auto &[B, C] : BaseCost)
+      if (C > BaseCost[Best])
+        Best = B;
+
+    planReset(R.Code.size());
+    for (const Unit &U : Units) {
+      if (U.IsJump || U.Indexed || !guardOk(R, U) || U.Base != Best)
+        continue;
+      for (size_t I = U.Begin; I < U.Last; ++I)
+        Del[I] = 1;
+      TInstr A = R.Code[U.Last];
+      A.Mode = AddrMode::BaseImm;
+      A.Rs1 = static_cast<unsigned>(H);
+      A.Rs2 = 0;
+      A.Imm = U.Imm;
+      Repl[U.Last] = A;
+      St.UnitsHoisted++;
+    }
+    planApply(R);
+
+    Pre.VmStart = ~0u; // synthetic: owns no label of its own
+    Pre.PreheaderFor = R.VmStart;
+    R.HasPreheader = true;
+    TInstr A;
+    A.Op = TOp::And;
+    A.Cat = ExpCat::Sfi;
+    A.Rd = static_cast<unsigned>(H);
+    A.Rs1 = Best;
+    A.Rs2 = M;
+    A.VmIndex = -1;
+    Pre.Code.push_back(A);
+    TInstr O;
+    O.Op = TOp::Or;
+    O.Cat = ExpCat::Sfi;
+    O.Rd = static_cast<unsigned>(H);
+    O.Rs1 = static_cast<unsigned>(H);
+    O.Rs2 = Bse;
+    O.VmIndex = -1;
+    Pre.Code.push_back(O);
+    St.LoopsHoisted++;
+    return true;
+  }
+};
+
+} // namespace
+
+SfiOptStats omni::translate::optimizeSfiRegions(const TargetInfo &TI,
+                                                TargetKind Kind,
+                                                const TranslateOptions &Opts,
+                                                const SegmentLayout &Seg,
+                                                std::vector<Region> &Regions) {
+  SfiOptStats St;
+  if (!Opts.Sfi || !Opts.SfiOptimize || Kind == TargetKind::X86)
+    return St;
+  int Before = 0, After = 0;
+  for (const Region &R : Regions)
+    for (const TInstr &I : R.Code)
+      if (I.Cat == ExpCat::Sfi)
+        ++Before;
+  SfiOptimizer Opt(TI, Kind, Seg, Regions, St);
+  Opt.run();
+  for (const Region &R : Regions)
+    for (const TInstr &I : R.Code)
+      if (I.Cat == ExpCat::Sfi)
+        ++After;
+  St.SfiInstrsRemoved = Before - After;
+  return St;
+}

@@ -1,0 +1,68 @@
+//===- translate/SfiOpt.h - SFI guard elimination & hoisting ----*- C++ -*-===//
+///
+/// \file
+/// The SFI optimizer: a range/provenance analysis over translation regions
+/// that removes redundant sandboxing sequences from the naive expansion.
+/// Three transforms, all proposed here and *proved* sound per translation
+/// by the sficheck oracle (the optimizer is untrusted):
+///
+///  * guard sharing — contiguous accesses off one base register share a
+///    single mask+or, each access riding the guard zone as `[S + k]`
+///    (small constant offsets, like sp-relative accesses already do);
+///  * SPARC or-elision — `(x & mask) | base == (x & mask) + base` because
+///    the masked value is below the segment size and the base is aligned
+///    to it, so a store can fold the `or` into indexed addressing
+///    `[S + base]` (bit-exact in all cases, even for wild addresses); the
+///    same applies to the jump-sandbox `or`;
+///  * loop-invariant hoisting — a self-loop region whose accesses go
+///    through a base never written in the loop gets a preheader that
+///    sandboxes the base once into the dedicated hold register
+///    (TargetInfo::SfiHoldReg); in-loop accesses become `[hold + k]`.
+///
+/// Semantics note: for in-segment addresses the optimized and naive forms
+/// compute identical addresses. For *wild* addresses the naive form wraps
+/// them into the segment while the shared/hoisted form traps in the guard
+/// zone — containment is preserved either way, but trap behaviour of
+/// hostile modules differs, which is why TranslateOptions::SfiOptimize is
+/// opt-in (the paper-fidelity configurations keep the naive expansion).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_TRANSLATE_SFIOPT_H
+#define OMNI_TRANSLATE_SFIOPT_H
+
+#include "translate/Region.h"
+#include "translate/Translator.h"
+
+#include <vector>
+
+namespace omni {
+namespace translate {
+
+/// What the optimizer did to one translation (asserted by tests and
+/// reported by tools/sficheck --sfi-opt --verbose).
+struct SfiOptStats {
+  unsigned GroupsFormed = 0;   ///< shared-guard groups (>= 2 accesses)
+  unsigned UnitsCoalesced = 0; ///< accesses folded into a shared guard
+  unsigned OrElisions = 0;     ///< SPARC store/jump or -> indexed folds
+  unsigned LoopsHoisted = 0;   ///< preheaders created
+  unsigned UnitsHoisted = 0;   ///< in-loop accesses rewritten to [hold+k]
+  int SfiInstrsRemoved = 0;    ///< net static ExpCat::Sfi delta (removed-added)
+};
+
+/// Runs the SFI optimizer over \p Regions in place (between emission and
+/// the generic region optimizations; branch targets are still VM indices).
+/// Hoisting marks preheaders via Region::PreheaderFor /
+/// Region::HasPreheader; the translator's concatenation honors them by
+/// routing every VmToNative entry of the loop range through the preheader
+/// while the back edge bypasses it. No-op on x86 (hardware segmentation)
+/// or when SFI is off.
+SfiOptStats optimizeSfiRegions(const target::TargetInfo &TI,
+                               target::TargetKind Kind,
+                               const TranslateOptions &Opts,
+                               const SegmentLayout &Seg,
+                               std::vector<Region> &Regions);
+
+} // namespace translate
+} // namespace omni
+
+#endif // OMNI_TRANSLATE_SFIOPT_H

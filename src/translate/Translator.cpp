@@ -4,6 +4,8 @@
 
 #include "support/Format.h"
 #include "translate/Region.h"
+#include "translate/SfiOpt.h"
+#include "vm/AddressSpace.h"
 #include "vm/Opcode.h"
 
 #include <cassert>
@@ -31,6 +33,8 @@ public:
         Out(Out) {}
 
   bool run(std::string &Error);
+
+  SfiOptStats OptStats; ///< what the SFI optimizer did (zeros if off)
 
 private:
   // --- emission ------------------------------------------------------------
@@ -60,7 +64,8 @@ private:
   bool fitsImm(int64_t V, bool Logical) const;
   /// Materializes \p V into \p Reg. First instruction gets \p FirstCat,
   /// later ones Ldi.
-  void synthImm(uint32_t V, unsigned Reg, ExpCat FirstCat);
+  void synthImm(uint32_t V, unsigned Reg, ExpCat FirstCat,
+                ExpCat LoCat = ExpCat::Ldi);
   /// hi/lo split for "LoadImmHi + signed lo offset" addressing.
   void hiLoSplit(uint32_t V, uint32_t &Hi, int32_t &Lo) const;
 
@@ -328,7 +333,8 @@ void TranslatorImpl::hiLoSplit(uint32_t V, uint32_t &Hi, int32_t &Lo) const {
   Lo = static_cast<int32_t>(V - Hi);
 }
 
-void TranslatorImpl::synthImm(uint32_t V, unsigned Reg, ExpCat FirstCat) {
+void TranslatorImpl::synthImm(uint32_t V, unsigned Reg, ExpCat FirstCat,
+                              ExpCat LoCat) {
   if (Kind == TargetKind::X86 ||
       fitsImm(static_cast<int32_t>(V), /*Logical=*/false)) {
     TInstr I = make(TOp::MovImm, FirstCat);
@@ -351,7 +357,7 @@ void TranslatorImpl::synthImm(uint32_t V, unsigned Reg, ExpCat FirstCat) {
   HiI.Imm = static_cast<int32_t>(Hi);
   emit(HiI);
   if (Lo != 0) {
-    TInstr LoI = make(TOp::OrImmLo, ExpCat::Ldi);
+    TInstr LoI = make(TOp::OrImmLo, LoCat);
     LoI.Rd = Reg;
     LoI.Rs1 = Reg;
     LoI.Imm = Lo;
@@ -422,6 +428,12 @@ void TranslatorImpl::emitPrologue() {
   if (Opts.Sfi && Kind != TargetKind::X86) {
     synthImm(Seg.Size - 1, TI.SfiMaskReg, ExpCat::Other);
     synthImm(Seg.Base, TI.SfiBaseReg, ExpCat::Other);
+    // SFI optimizer hold register: start it at the segment base so it is
+    // in-segment on every path, even ones that never reach a preheader.
+    // This is the sficheck Held discipline's induction base.
+    if (Opts.SfiOptimize && TI.SfiHoldReg >= 0)
+      synthImm(Seg.Base, static_cast<unsigned>(TI.SfiHoldReg),
+               ExpCat::Other);
   }
   if (UseGp)
     synthImm(Seg.Base, TI.GlobalPtrReg, ExpCat::Other);
@@ -667,7 +679,8 @@ void TranslatorImpl::expandMem(const vm::Instr &I) {
   // expandAlu), so small sp-relative accesses need no per-access check —
   // a guard zone covers the offset. This is what keeps SFI near 10%.
   if (NeedSfi && !Indexed && I.Rs1 == vm::RegSp && I.Imm >= 0 &&
-      static_cast<uint32_t>(I.Imm) < vm::PageSize)
+      static_cast<uint32_t>(I.Imm) + ir::memWidthBytes(Width) <=
+          vm::GuardZoneSize)
     NeedSfi = false;
 
   // On x86, a store whose value, base and index all live in memory slots
@@ -821,6 +834,10 @@ void TranslatorImpl::expandMem(const vm::Instr &I) {
   // SFI-sandboxed access (MIPS/SPARC/PPC).
   unsigned Ea = Base;
   if (Indexed) {
+    // Category audit: on MIPS this add exists with SFI off too (no
+    // indexed addressing -> "addr" expansion); on SPARC/PPC the hardware
+    // addressing mode would have absorbed it, so the add only exists to
+    // feed the mask -> "sfi". The ternary is attribution, not a bug.
     TInstr AddI = make(TOp::Add,
                        TI.HasIndexedAddr ? ExpCat::Sfi : ExpCat::Addr);
     AddI.Rd = TI.SfiAddrReg;
@@ -837,7 +854,12 @@ void TranslatorImpl::expandMem(const vm::Instr &I) {
       AddI.Imm = I.Imm;
       emit(AddI);
     } else {
-      synthImm(static_cast<uint32_t>(I.Imm), TI.ScratchA, ExpCat::Ldi);
+      // The non-SFI path folds the low half into the access itself; with
+      // SFI the access must be [S+0], so the extra OrImmLo materializing
+      // the low half exists only because of sandboxing -> tag it Sfi
+      // (the LoadImmHi is needed either way and stays Ldi).
+      synthImm(static_cast<uint32_t>(I.Imm), TI.ScratchA, ExpCat::Ldi,
+               ExpCat::Sfi);
       TInstr AddI = make(TOp::Add, ExpCat::Addr);
       AddI.Rd = TI.SfiAddrReg;
       AddI.Rs1 = Base;
@@ -1456,6 +1478,11 @@ bool TranslatorImpl::run(std::string &Error) {
     expand(Idx, Exe.Code[Idx]);
   }
 
+  // SFI optimizer: rewrite naive sandbox sequences while branch targets
+  // are still VM indices. Untrusted — sficheck re-proves the result.
+  if (Opts.Sfi && Opts.SfiOptimize && Kind != TargetKind::X86)
+    OptStats = optimizeSfiRegions(TI, Kind, Opts, Seg, Regions);
+
   // Optimize regions.
   if (Opts.Optimize) {
     for (Region &R : Regions) {
@@ -1483,11 +1510,47 @@ bool TranslatorImpl::run(std::string &Error) {
     }
   }
 
+  // Alignment/padding layout knob: pad so that regions entered by a
+  // backward branch (loop headers) start on a LoopAlign boundary. The
+  // pads are honest cost — they execute on fall-through entry — and this
+  // timing model gives alignment itself no fetch benefit, so the knob
+  // measures pure padding overhead (cf. the padding study in PAPERS.md).
+  std::vector<uint8_t> AlignBefore(Regions.size(), 0);
+  if (Opts.LoopAlign >= 2 &&
+      (Opts.LoopAlign & (Opts.LoopAlign - 1)) == 0) {
+    std::map<uint32_t, size_t> StartToRegion;
+    for (size_t RI = 0; RI < Regions.size(); ++RI)
+      if (Regions[RI].VmStart != ~0u)
+        StartToRegion[Regions[RI].VmStart] = RI;
+    for (size_t RI = 0; RI < Regions.size(); ++RI)
+      for (const TInstr &I : Regions[RI].Code) {
+        switch (I.Op) {
+        case TOp::Branch:
+        case TOp::CmpBranch:
+        case TOp::BranchCC:
+        case TOp::FBranchCC:
+        case TOp::BranchDec:
+          break;
+        default:
+          continue;
+        }
+        auto It = StartToRegion.find(static_cast<uint32_t>(I.Target));
+        if (It != StartToRegion.end() && It->second <= RI)
+          AlignBefore[It->second] = 1;
+      }
+  }
+
   // Concatenate regions; build the VM->native map.
   Out.VmToNative.assign(Exe.Code.size(), 0);
   Out.Code.clear();
   std::vector<uint32_t> RegionStart(Regions.size());
   for (size_t RI = 0; RI < Regions.size(); ++RI) {
+    if (AlignBefore[RI])
+      while (Out.Code.size() % Opts.LoopAlign != 0) {
+        TInstr Pad = make(TOp::Nop, ExpCat::Other);
+        Pad.VmIndex = -1;
+        Out.Code.push_back(Pad);
+      }
     RegionStart[RI] = static_cast<uint32_t>(Out.Code.size());
     Out.Code.insert(Out.Code.end(), Regions[RI].Code.begin(),
                     Regions[RI].Code.end());
@@ -1502,26 +1565,54 @@ bool TranslatorImpl::run(std::string &Error) {
     for (uint32_t V = From; V < To && V < Exe.Code.size(); ++V)
       Out.VmToNative[V] = RegionStart[RI];
   }
-
-  // Fix branch targets (currently VM indices) to native indices.
-  for (TInstr &I : Out.Code) {
-    switch (I.Op) {
-    case TOp::Branch:
-    case TOp::CmpBranch:
-    case TOp::BranchCC:
-    case TOp::FBranchCC:
-    case TOp::BranchDec:
-    case TOp::CallDirect: {
-      uint32_t VmTarget = static_cast<uint32_t>(I.Target);
-      if (VmTarget >= Exe.Code.size()) {
-        Error = formatStr("branch target %u out of range", VmTarget);
-        return false;
+  // SFI-optimizer preheaders intercept every mapped entry into their
+  // loop's VM range: returns, indirect jumps, and direct branches from
+  // other regions (all resolved through VmToNative) then re-establish the
+  // hold register before falling into the body. The loop's own back edge
+  // bypasses this below.
+  for (size_t RI = 0; RI < Regions.size(); ++RI) {
+    if (Regions[RI].PreheaderFor == ~0u)
+      continue;
+    uint32_t From = Regions[RI].PreheaderFor;
+    uint32_t To = From;
+    for (size_t J = RI + 1; J < Regions.size(); ++J)
+      if (Regions[J].VmStart != ~0u && Regions[J].VmStart != From) {
+        To = Regions[J].VmStart;
+        break;
       }
-      I.Target = static_cast<int32_t>(Out.VmToNative[VmTarget]);
-      break;
-    }
-    default:
-      break;
+    if (To == From)
+      To = static_cast<uint32_t>(Exe.Code.size());
+    for (uint32_t V = From; V < To && V < Exe.Code.size(); ++V)
+      Out.VmToNative[V] = RegionStart[RI];
+  }
+
+  // Fix branch targets (currently VM indices) to native indices. A
+  // self-loop back edge resolves to its own region start so it does not
+  // re-run the preheader the map would route it through.
+  for (size_t RI = 0; RI < Regions.size(); ++RI) {
+    for (size_t O = 0; O < Regions[RI].Code.size(); ++O) {
+      TInstr &I = Out.Code[RegionStart[RI] + O];
+      switch (I.Op) {
+      case TOp::Branch:
+      case TOp::CmpBranch:
+      case TOp::BranchCC:
+      case TOp::FBranchCC:
+      case TOp::BranchDec:
+      case TOp::CallDirect: {
+        uint32_t VmTarget = static_cast<uint32_t>(I.Target);
+        if (VmTarget >= Exe.Code.size()) {
+          Error = formatStr("branch target %u out of range", VmTarget);
+          return false;
+        }
+        if (Regions[RI].HasPreheader && VmTarget == Regions[RI].VmStart)
+          I.Target = static_cast<int32_t>(RegionStart[RI]);
+        else
+          I.Target = static_cast<int32_t>(Out.VmToNative[VmTarget]);
+        break;
+      }
+      default:
+        break;
+      }
     }
   }
 
@@ -1534,10 +1625,13 @@ bool TranslatorImpl::run(std::string &Error) {
 bool omni::translate::translate(TargetKind Kind, const vm::Module &Exe,
                                 const TranslateOptions &Opts,
                                 const SegmentLayout &Seg, TargetCode &Out,
-                                std::string &Error) {
+                                std::string &Error, SfiOptStats *OptStats) {
   Out = TargetCode();
   TranslatorImpl Impl(Kind, Exe, Opts, Seg, Out);
-  return Impl.run(Error);
+  bool Ok = Impl.run(Error);
+  if (OptStats)
+    *OptStats = Impl.OptStats;
+  return Ok;
 }
 
 std::string omni::translate::printTargetCode(TargetKind Kind,

@@ -47,6 +47,20 @@ struct TranslateOptions {
   /// (MIPS/PPC/x86), delay-slot filling (MIPS/SPARC), SPARC global
   /// pointer.
   bool Optimize = true;
+  /// Run the SFI optimizer (src/translate/SfiOpt.*): guard sharing and
+  /// immediate folding across contiguous accesses off one sandboxed base,
+  /// SPARC or-elision via indexed addressing, and loop-invariant
+  /// mask/base hoisting. Off by default: the optimized form traps wild
+  /// accesses in the guard zone where naive SFI wraps them into the
+  /// segment — containment is identical, but trap behaviour of hostile
+  /// modules differs, so the paper-fidelity configurations keep the naive
+  /// expansion. Every optimized translation must still pass sficheck.
+  bool SfiOptimize = false;
+  /// Align region starts that are backward-branch targets to this power
+  /// of two by padding with nops (0 = off). A layout knob only: in this
+  /// timing model alignment itself is free, so the knob measures pure
+  /// padding cost (cf. the instruction-padding study in PAPERS.md).
+  unsigned LoopAlign = 0;
 
   // --- native-profile knobs (off for mobile code) ------------------------
   /// Suppress the instruction scheduler even when Optimize is set; models
@@ -66,6 +80,12 @@ struct TranslateOptions {
     TranslateOptions O;
     O.Sfi = WithSfi;
     O.Optimize = WithOptimize;
+    return O;
+  }
+  /// Mobile-code translation with the SFI optimizer on (ablation mode).
+  static TranslateOptions mobileSfiOpt() {
+    TranslateOptions O = mobile(true);
+    O.SfiOptimize = true;
     return O;
   }
   /// Vendor-cc native baseline: everything on, no SFI.
@@ -92,12 +112,16 @@ struct SegmentLayout {
   uint32_t Size = vm::DefaultSegmentSize;
 };
 
+struct SfiOptStats; // translate/SfiOpt.h
+
 /// Translates linked executable \p Exe for target \p Kind. The module must
 /// already be verified. Returns false and fills \p Error on unsupported
-/// input.
+/// input. \p OptStats, when non-null, receives what the SFI optimizer did
+/// (all zeros unless Opts.SfiOptimize).
 bool translate(target::TargetKind Kind, const vm::Module &Exe,
                const TranslateOptions &Opts, const SegmentLayout &Seg,
-               target::TargetCode &Out, std::string &Error);
+               target::TargetCode &Out, std::string &Error,
+               SfiOptStats *OptStats = nullptr);
 
 /// Renders translated code as target-flavoured assembly (debug).
 std::string printTargetCode(target::TargetKind Kind,

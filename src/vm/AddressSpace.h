@@ -48,6 +48,18 @@ constexpr uint32_t DefaultSegmentBase = 0x10000000u;
 constexpr uint32_t DefaultSegmentSize = 8u << 20;
 constexpr uint32_t PageSize = 4096;
 
+/// Width of the *guard zone* directly above the segment end. The SFI
+/// containment axiom: any access in [Base+Size, Base+Size+GuardZoneSize)
+/// faults. AddressSpace enforces it structurally — Mem holds exactly Size
+/// bytes and every accessor bounds-checks and traps out-of-segment — which
+/// models an OS-level unmapped guard page placed after the sandbox. The
+/// translator (sp-relative and optimizer-elided accesses) and the sficheck
+/// prover both derive their "small constant offset needs no re-sandboxing"
+/// bound from this one constant: a sandboxed base plus any offset with
+/// Imm + accessWidth <= GuardZoneSize either stays in the segment or lands
+/// in the guard zone and faults.
+constexpr uint32_t GuardZoneSize = PageSize;
+
 /// Bytes at the top of the segment reserved for engine-private state
 /// (memory-mapped OmniVM registers on x86). Every execution engine places
 /// the initial stack pointer just below this area so that addresses are

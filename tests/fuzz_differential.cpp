@@ -514,3 +514,87 @@ TEST(FuzzDifferentialWire, SerializedRoundTripAgrees) {
     }
   }
 }
+
+/// The SFI optimizer must be behaviour-preserving for in-segment programs:
+/// shared guards, elided ors, and hoisted loop sandboxes compute the same
+/// addresses as the naive expansion whenever the address is inside the
+/// segment — and every generated program here is in-bounds by
+/// construction. (Wild accesses are excluded deliberately: there the
+/// naive form wraps into the segment while the optimized form traps in
+/// the guard zone, the documented semantic difference that keeps
+/// TranslateOptions::SfiOptimize opt-in.)
+class FuzzDifferentialSfiOpt : public ::testing::TestWithParam<uint32_t> {};
+
+namespace {
+
+/// Loop-heavy programs storing through a loop-invariant struct pointer:
+/// the shape guard sharing and loop hoisting both rewrite, so the
+/// differential actually exercises the optimized forms.
+std::string genLoopStoreProgram(uint32_t Seed) {
+  Rng R(Seed * 2246822519u + 97u);
+  unsigned Trip = 3 + R.range(20);
+  int M1 = static_cast<int>(R.range(9)) + 1;
+  int M2 = static_cast<int>(R.range(7)) - 3;
+  std::string S = "void print_int(int);\n";
+  S += "struct cell { int a; int b; int c; int d; };\n";
+  S += "struct cell grid[8];\n";
+  S += "int arr[8];\n";
+  S += "int fill(struct cell *p, int n) {\n  int i = 0;\n  int acc = 0;\n"
+       "  do {\n";
+  appendFormat(S, "    p->a = i * %d;\n    p->b = acc + %d;\n", M1, M2);
+  S += "    p->c = p->a ^ p->b;\n    p->d = acc;\n";
+  S += "    acc = acc + p->c + i;\n    i = i + 1;\n  } while (i < n);\n"
+       "  return acc;\n}\n";
+  S += "int main() {\n  int hash = 5381;\n  int k = 0;\n  do {\n";
+  appendFormat(S, "    hash = hash * 31 + fill(&grid[k & 7], %u);\n", Trip);
+  appendFormat(S, "    arr[k & 7] = hash >> %u;\n", 1 + R.range(5));
+  S += "    k = k + 1;\n  } while (k < 6);\n";
+  S += "  { int i; for (i = 0; i < 8; i++) hash = hash * 33 + arr[i]; }\n";
+  S += "  print_int(hash);\n  return 0;\n}\n";
+  return S;
+}
+
+} // namespace
+
+TEST_P(FuzzDifferentialSfiOpt, OptimizedSandboxAgreesWithNaive) {
+  uint32_t Seed = GetParam();
+  for (const std::string &Source :
+       {genProgram(Seed ^ 0x5F10u), genLoopStoreProgram(Seed)}) {
+    driver::CompileOptions Opts;
+    vm::Module Exe;
+    std::string Error;
+    ASSERT_TRUE(driver::compileAndLink(Source, Opts, Exe, Error))
+        << "seed " << Seed << ": " << Error << "\n"
+        << Source;
+    runtime::RunResult Ref = runtime::runOnInterpreter(Exe);
+    ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::Halt)
+        << "seed " << Seed << ": " << printTrap(Ref.Trap) << "\n"
+        << Source;
+    for (unsigned T = 0; T < target::NumTargets; ++T) {
+      target::TargetKind Kind = target::allTargets(T);
+      auto Naive = runtime::runOnTarget(
+          Kind, Exe, translate::TranslateOptions::mobile(true));
+      auto Opt = runtime::runOnTarget(
+          Kind, Exe, translate::TranslateOptions::mobileSfiOpt());
+      // Both must halt with the interpreter's exact output (the optimized
+      // load also passed the sficheck gate inside the host, or it would
+      // have been refused before running at all).
+      EXPECT_EQ(Naive.Run.Trap.Kind, vm::TrapKind::Halt)
+          << "seed " << Seed << " on " << getTargetName(Kind);
+      EXPECT_EQ(Opt.Run.Trap.Kind, vm::TrapKind::Halt)
+          << "seed " << Seed << " on " << getTargetName(Kind) << " (sfi-opt)";
+      EXPECT_EQ(Opt.Run.Trap.Code, Naive.Run.Trap.Code)
+          << "seed " << Seed << " on " << getTargetName(Kind);
+      EXPECT_EQ(Naive.Run.Output, Ref.Output)
+          << "seed " << Seed << " on " << getTargetName(Kind) << "\n"
+          << Source;
+      EXPECT_EQ(Opt.Run.Output, Naive.Run.Output)
+          << "seed " << Seed << " on " << getTargetName(Kind)
+          << ": optimized sandbox diverged from naive\n"
+          << Source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialSfiOpt,
+                         ::testing::Range(1u, 9u));

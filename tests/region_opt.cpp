@@ -1,9 +1,13 @@
 //===- tests/region_opt.cpp - translator optimizer unit tests --------------===//
 ///
 /// Unit tests for the region-level machinery: dependence sets, the list
-/// scheduler, delay-slot filling, record-form folding, and peephole.
+/// scheduler, delay-slot filling, record-form folding, peephole, and the
+/// SFI optimizer (guard sharing, or-elision, loop hoisting) on
+/// hand-crafted regions.
 
 #include "translate/Region.h"
+#include "translate/SfiOpt.h"
+#include "vm/AddressSpace.h"
 
 #include <gtest/gtest.h>
 
@@ -284,4 +288,356 @@ TEST(PeepholeTest, RemovesSelfMoves) {
   peepholeRegion(getTargetInfo(TargetKind::X86), R);
   ASSERT_EQ(R.Code.size(), 1u);
   EXPECT_EQ(R.Code[0].Rd, 9);
+}
+
+//===----------------------------------------------------------------------===//
+// SFI optimizer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// MIPS SFI convention: mask $22, base $23, addr $24, hold $26.
+// SPARC: mask %g2, base %g3, addr %g4, hold %g6.
+// PPC:   mask r29, base r30, addr r31, hold r28.
+
+TInstr sfiCat(TInstr I) {
+  I.Cat = ExpCat::Sfi;
+  return I;
+}
+TInstr andReg(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  TInstr I;
+  I.Op = TOp::And;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  return sfiCat(I);
+}
+TInstr orReg(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  TInstr I;
+  I.Op = TOp::Or;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  return sfiCat(I);
+}
+TInstr addImmSfi(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  TInstr I;
+  I.Op = TOp::Add;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.UsesImm = true;
+  I.Imm = Imm;
+  return sfiCat(I);
+}
+TInstr addImm(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  TInstr I;
+  I.Op = TOp::Add;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.UsesImm = true;
+  I.Imm = Imm;
+  return I;
+}
+TInstr storeIdx(unsigned Val, unsigned Rs1, unsigned Rs2) {
+  TInstr I;
+  I.Op = TOp::Store;
+  I.Rd = Val;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  I.Mode = AddrMode::BaseIndex;
+  return I;
+}
+TInstr cmpBranch(int32_t Target) {
+  TInstr I;
+  I.Op = TOp::CmpBranch;
+  I.Cc = ir::Cond::Ne;
+  I.Rs1 = 9;
+  I.Rs2 = 0;
+  I.Target = Target;
+  return I;
+}
+TInstr jumpInd(unsigned Rs1) {
+  TInstr I;
+  I.Op = TOp::JumpIndirect;
+  I.Rs1 = Rs1;
+  return I;
+}
+
+/// One naive MIPS-shaped store unit: [add S,B,#k;] and S,*,M; or S,S,Bse;
+/// st val,[S+0].
+void naiveUnitMips(Region &R, unsigned Base, int32_t Imm, unsigned Val) {
+  if (Imm != 0) {
+    R.Code.push_back(addImmSfi(24, Base, Imm));
+    R.Code.push_back(andReg(24, 24, 22));
+  } else {
+    R.Code.push_back(andReg(24, Base, 22));
+  }
+  R.Code.push_back(orReg(24, 24, 23));
+  R.Code.push_back(store(Val, 24, 0));
+}
+
+void naiveUnitSparc(Region &R, unsigned Base, int32_t Imm, unsigned Val) {
+  if (Imm != 0) {
+    R.Code.push_back(addImmSfi(4, Base, Imm));
+    R.Code.push_back(andReg(4, 4, 2));
+  } else {
+    R.Code.push_back(andReg(4, Base, 2));
+  }
+  R.Code.push_back(orReg(4, 4, 3));
+  R.Code.push_back(store(Val, 4, 0));
+}
+
+/// PPC folds the or into indexed addressing: and S,*,M; st val,[S+Bse].
+void naiveUnitPpc(Region &R, unsigned Base, int32_t Imm, unsigned Val) {
+  if (Imm != 0) {
+    R.Code.push_back(addImmSfi(31, Base, Imm));
+    R.Code.push_back(andReg(31, 31, 29));
+  } else {
+    R.Code.push_back(andReg(31, Base, 29));
+  }
+  R.Code.push_back(storeIdx(Val, 31, 30));
+}
+
+unsigned sfiCount(const std::vector<Region> &Rs) {
+  unsigned N = 0;
+  for (const Region &R : Rs)
+    for (const TInstr &I : R.Code)
+      if (I.Cat == ExpCat::Sfi)
+        ++N;
+  return N;
+}
+
+SfiOptStats runSfiOpt(TargetKind K, std::vector<Region> &Rs) {
+  return optimizeSfiRegions(getTargetInfo(K), K,
+                            TranslateOptions::mobileSfiOpt(), SegmentLayout(),
+                            Rs);
+}
+
+} // namespace
+
+TEST(SfiOptTest, GroupsContiguousSameBaseStores) {
+  Region R;
+  R.VmStart = 1;
+  naiveUnitMips(R, 8, 0, 10);
+  naiveUnitMips(R, 8, 4, 11);
+  naiveUnitMips(R, 8, 8, 12);
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.GroupsFormed, 1u);
+  EXPECT_EQ(St.UnitsCoalesced, 3u);
+  EXPECT_EQ(St.SfiInstrsRemoved, 6); // 8 naive sfi instrs -> shared and+or
+  ASSERT_EQ(Rs.size(), 1u);
+  const std::vector<TInstr> &C = Rs[0].Code;
+  ASSERT_EQ(C.size(), 5u);
+  EXPECT_EQ(C[0].Op, TOp::And);
+  EXPECT_EQ(C[0].Rs1, 8u); // leader masks the base directly
+  EXPECT_EQ(C[1].Op, TOp::Or);
+  EXPECT_EQ(C[2].Imm, 0);
+  EXPECT_EQ(C[3].Imm, 4);
+  EXPECT_EQ(C[4].Imm, 8);
+  for (size_t I = 2; I < 5; ++I) {
+    EXPECT_EQ(C[I].Op, TOp::Store);
+    EXPECT_EQ(C[I].Rs1, 24u);
+    EXPECT_EQ(C[I].Mode, AddrMode::BaseImm);
+  }
+  EXPECT_EQ(sfiCount(Rs), 2u);
+}
+
+TEST(SfiOptTest, SingletonOffsetFoldsAddIntoSharedGuard) {
+  Region R;
+  R.VmStart = 1;
+  naiveUnitMips(R, 8, 4, 10); // add+and+or = 3 sfi instrs
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.SfiInstrsRemoved, 1); // 3 -> and+or riding the guard zone
+  ASSERT_EQ(Rs[0].Code.size(), 3u);
+  EXPECT_EQ(Rs[0].Code[0].Op, TOp::And);
+  EXPECT_EQ(Rs[0].Code[0].Rs1, 8u);
+  EXPECT_EQ(Rs[0].Code[2].Imm, 4);
+}
+
+TEST(SfiOptTest, OffsetPastGuardZoneIsNotElided) {
+  // Offset + access width crosses the guard zone: the naive sequence is
+  // the only sound form, so nothing may change.
+  Region R;
+  R.VmStart = 1;
+  naiveUnitMips(R, 8, static_cast<int32_t>(vm::GuardZoneSize) - 2, 10);
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.GroupsFormed, 0u);
+  EXPECT_EQ(St.SfiInstrsRemoved, 0);
+  EXPECT_EQ(Rs[0].Code.size(), 4u);
+}
+
+TEST(SfiOptTest, DifferentBasesDoNotGroup) {
+  Region R;
+  R.VmStart = 1;
+  naiveUnitMips(R, 8, 0, 10);
+  naiveUnitMips(R, 9, 0, 11);
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.GroupsFormed, 0u);
+  EXPECT_EQ(St.SfiInstrsRemoved, 0);
+}
+
+TEST(SfiOptTest, InterveningBaseWriteBreaksTheRun) {
+  // A redefinition of the shared base between two accesses makes a shared
+  // guard unsound; the optimizer must split the run (and the resulting
+  // singletons are already minimal).
+  Region R;
+  R.VmStart = 1;
+  naiveUnitMips(R, 8, 0, 10);
+  R.Code.push_back(addImm(8, 8, 64));
+  naiveUnitMips(R, 8, 0, 11);
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.GroupsFormed, 0u);
+  EXPECT_EQ(Rs[0].Code.size(), 7u);
+}
+
+TEST(SfiOptTest, MaskRedefinitionDisablesTheOptimizer) {
+  // If anything beyond the prologue writes the mask register the global
+  // invariants are gone and every transform must stand down.
+  Region R;
+  R.VmStart = 1;
+  naiveUnitMips(R, 8, 0, 10);
+  naiveUnitMips(R, 8, 4, 11);
+  R.Code.push_back(addImm(22, 22, 0)); // clobbers the mask
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.GroupsFormed, 0u);
+  EXPECT_EQ(St.OrElisions, 0u);
+  EXPECT_EQ(St.LoopsHoisted, 0u);
+  EXPECT_EQ(St.SfiInstrsRemoved, 0);
+  EXPECT_EQ(Rs[0].Code.size(), 8u);
+}
+
+TEST(SfiOptTest, PpcGroupInsertsTheMissingOr) {
+  Region R;
+  R.VmStart = 1;
+  naiveUnitPpc(R, 8, 0, 10);
+  naiveUnitPpc(R, 8, 4, 11);
+  naiveUnitPpc(R, 8, 8, 12);
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Ppc, Rs);
+  EXPECT_EQ(St.GroupsFormed, 1u);
+  const std::vector<TInstr> &C = Rs[0].Code;
+  ASSERT_EQ(C.size(), 5u);
+  EXPECT_EQ(C[0].Op, TOp::And);
+  EXPECT_EQ(C[1].Op, TOp::Or); // synthesized: PPC's naive form has none
+  EXPECT_EQ(C[1].Rs2, 30u);
+  for (size_t I = 2; I < 5; ++I) {
+    EXPECT_EQ(C[I].Mode, AddrMode::BaseImm);
+    EXPECT_EQ(C[I].Rs1, 31u);
+  }
+  EXPECT_EQ(sfiCount(Rs), 2u);
+}
+
+TEST(SfiOptTest, SparcStoreOrElision) {
+  Region R;
+  R.VmStart = 1;
+  naiveUnitSparc(R, 8, 0, 10);
+  naiveUnitSparc(R, 9, 0, 11);
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Sparc, Rs);
+  EXPECT_EQ(St.OrElisions, 2u);
+  EXPECT_EQ(St.SfiInstrsRemoved, 2);
+  const std::vector<TInstr> &C = Rs[0].Code;
+  ASSERT_EQ(C.size(), 4u);
+  for (size_t I : {1u, 3u}) {
+    EXPECT_EQ(C[I].Op, TOp::Store);
+    EXPECT_EQ(C[I].Mode, AddrMode::BaseIndex);
+    EXPECT_EQ(C[I].Rs1, 4u);
+    EXPECT_EQ(C[I].Rs2, 3u);
+  }
+}
+
+TEST(SfiOptTest, SparcJumpOrElision) {
+  Region R;
+  R.VmStart = 1;
+  R.Code.push_back(andReg(4, 15, 2));
+  R.Code.push_back(orReg(4, 4, 3));
+  R.Code.push_back(jumpInd(15));
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Sparc, Rs);
+  EXPECT_EQ(St.OrElisions, 1u);
+  ASSERT_EQ(Rs[0].Code.size(), 2u);
+  EXPECT_EQ(Rs[0].Code[0].Op, TOp::And);
+  EXPECT_EQ(Rs[0].Code[1].Op, TOp::JumpIndirect);
+}
+
+TEST(SfiOptTest, HoistsInvariantBaseOutOfSelfLoop) {
+  Region R;
+  R.VmStart = 7;
+  naiveUnitMips(R, 8, 0, 10);
+  naiveUnitMips(R, 8, 4, 11);
+  R.Code.push_back(cmpBranch(7)); // back edge to own start
+  R.Code.push_back(bnop());
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.LoopsHoisted, 1u);
+  EXPECT_EQ(St.UnitsHoisted, 2u);
+  ASSERT_EQ(Rs.size(), 2u);
+  // Preheader: sandboxes the invariant base into the hold register.
+  const Region &Pre = Rs[0];
+  EXPECT_EQ(Pre.VmStart, ~0u);
+  EXPECT_EQ(Pre.PreheaderFor, 7u);
+  ASSERT_EQ(Pre.Code.size(), 2u);
+  EXPECT_EQ(Pre.Code[0].Op, TOp::And);
+  EXPECT_EQ(Pre.Code[0].Rd, 26u);
+  EXPECT_EQ(Pre.Code[0].Rs1, 8u);
+  EXPECT_EQ(Pre.Code[1].Op, TOp::Or);
+  // Loop body: bare accesses through the hold register.
+  const Region &Loop = Rs[1];
+  EXPECT_TRUE(Loop.HasPreheader);
+  ASSERT_EQ(Loop.Code.size(), 4u);
+  EXPECT_EQ(Loop.Code[0].Op, TOp::Store);
+  EXPECT_EQ(Loop.Code[0].Rs1, 26u);
+  EXPECT_EQ(Loop.Code[0].Imm, 0);
+  EXPECT_EQ(Loop.Code[1].Rs1, 26u);
+  EXPECT_EQ(Loop.Code[1].Imm, 4);
+  EXPECT_EQ(St.SfiInstrsRemoved, 3); // 5 in-loop sfi -> 2 in the preheader
+}
+
+TEST(SfiOptTest, BaseWrittenInLoopIsNotHoisted) {
+  Region R;
+  R.VmStart = 7;
+  naiveUnitMips(R, 8, 0, 10);
+  naiveUnitMips(R, 8, 4, 11);
+  R.Code.push_back(addImm(8, 8, 16)); // induction: base moves every trip
+  R.Code.push_back(cmpBranch(7));
+  R.Code.push_back(bnop());
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.LoopsHoisted, 0u);
+  ASSERT_EQ(Rs.size(), 1u);
+  // Guard sharing within the iteration is still sound and fires.
+  EXPECT_EQ(St.GroupsFormed, 1u);
+}
+
+TEST(SfiOptTest, HoldRegisterWriteDisablesHoistingOnly) {
+  Region R;
+  R.VmStart = 7;
+  naiveUnitMips(R, 8, 0, 10);
+  naiveUnitMips(R, 8, 4, 11);
+  R.Code.push_back(addImm(26, 26, 0)); // module code owns the hold reg
+  R.Code.push_back(cmpBranch(7));
+  R.Code.push_back(bnop());
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.LoopsHoisted, 0u);
+  EXPECT_EQ(St.GroupsFormed, 1u); // sharing does not need the hold reg
+}
+
+TEST(SfiOptTest, BranchElsewhereIsNotASelfLoop) {
+  Region R;
+  R.VmStart = 7;
+  naiveUnitMips(R, 8, 0, 10);
+  naiveUnitMips(R, 8, 4, 11);
+  R.Code.push_back(cmpBranch(9)); // exits, never loops
+  R.Code.push_back(bnop());
+  std::vector<Region> Rs = {R};
+  SfiOptStats St = runSfiOpt(TargetKind::Mips, Rs);
+  EXPECT_EQ(St.LoopsHoisted, 0u);
+  ASSERT_EQ(Rs.size(), 1u);
 }

@@ -14,7 +14,10 @@
 #include "driver/Compiler.h"
 #include "host/ModuleHost.h"
 #include "obs/Tracer.h"
+#include "translate/SfiOpt.h"
 #include "translate/Translator.h"
+#include "vm/AddressSpace.h"
+#include "vm/Opcode.h"
 
 #include <gtest/gtest.h>
 
@@ -329,4 +332,217 @@ TEST(SfiCheckHost, CheckSpanAppearsInTrace) {
   }
   EXPECT_TRUE(SawBegin);
   EXPECT_TRUE(SawEnd);
+}
+
+// --- SFI optimizer: elisions must *prove*, never assume ------------------
+
+namespace {
+
+/// Self-loop with four stores through a loop-invariant struct pointer:
+/// the shape the optimizer's guard sharing and loop hoisting both fire on.
+const char *LoopProgram = R"(
+void print_int(int);
+struct quad { int a; int b; int c; int d; };
+struct quad cells[8];
+int fill(struct quad *p, int n) {
+  int i = 0;
+  int acc = 0;
+  do {
+    p->a = i;
+    p->b = i + 1;
+    p->c = i * 2;
+    p->d = acc;
+    acc = acc + p->a + p->c;
+    i = i + 1;
+  } while (i < n);
+  return acc;
+}
+int main() {
+  print_int(fill(&cells[2], 6));
+  return 0;
+}
+)";
+
+/// Two computed-address stores back to back (constant global addresses
+/// are link-resolved and need no sandbox): gives the checker two complete
+/// sandbox units in one region to mutate.
+const char *TwoStores = R"(
+void print_int(int);
+int ga[8];
+int gb[8];
+int f(int x) { ga[x & 7] = 5; gb[x & 7] = 7; return ga[x & 7] + gb[x & 7]; }
+int main() { print_int(f(3)); return 0; }
+)";
+
+TargetCode translatedOpt(TargetKind Kind, const vm::Module &Exe,
+                         translate::SfiOptStats *St = nullptr) {
+  translate::TranslateOptions Opts =
+      translate::TranslateOptions::mobileSfiOpt();
+  translate::SegmentLayout Seg;
+  TargetCode Code;
+  std::string Error;
+  EXPECT_TRUE(translate::translate(Kind, Exe, Opts, Seg, Code, Error, St))
+      << Error;
+  return Code;
+}
+
+bool hasAssumedKind(const CheckResult &R, ObKind K) {
+  for (const sficheck::Obligation &Ob : R.Obligations)
+    if (Ob.V == Verdict::Assumed && Ob.Kind == K)
+      return true;
+  return false;
+}
+
+/// A complete naive store unit: and S,*,M ... or S,S,* ... st *,[S+0],
+/// with no intervening redefinition of S.
+struct StoreUnit {
+  int AndIdx = -1, OrIdx = -1, StIdx = -1;
+  unsigned S = 0;
+};
+
+std::vector<StoreUnit> findStoreUnits(const TargetCode &Code) {
+  std::vector<StoreUnit> Units;
+  const std::vector<TInstr> &C = Code.Code;
+  for (size_t I = 0; I < C.size(); ++I) {
+    if (C[I].Cat != ExpCat::Sfi || C[I].Op != TOp::And)
+      continue;
+    StoreUnit U;
+    U.AndIdx = static_cast<int>(I);
+    U.S = C[I].Rd;
+    for (size_t J = I + 1; J < C.size() && U.StIdx < 0; ++J) {
+      const TInstr &T = C[J];
+      if (U.OrIdx < 0) {
+        if (T.Op == TOp::Or && T.Rd == U.S && T.Rs1 == U.S)
+          U.OrIdx = static_cast<int>(J);
+        else if (T.Rd == U.S && T.Op != TOp::Store)
+          break; // S redefined before the or: not a store unit
+      } else {
+        if (T.Op == TOp::Store && !T.FpVal &&
+            T.Mode == target::AddrMode::BaseImm && T.Rs1 == U.S && T.Imm == 0)
+          U.StIdx = static_cast<int>(J);
+        else if (T.Rd == U.S && T.Op != TOp::Store)
+          break;
+      }
+    }
+    if (U.StIdx >= 0)
+      Units.push_back(U);
+  }
+  return Units;
+}
+
+} // namespace
+
+TEST_P(SfiCheckerTest, OptimizedTranslationProves) {
+  for (const char *Src : {Program, LoopProgram}) {
+    TargetCode Code = translatedOpt(kind(), compile(Src));
+    CheckResult R = check(kind(), Code);
+    EXPECT_TRUE(R.Ok) << R.FirstFailure;
+    if (risc()) {
+      // The elided/hoisted forms must carry real proofs: on targets with
+      // an instruction-level sandbox no store or indirect jump may lean
+      // on an assumption.
+      EXPECT_FALSE(hasAssumedKind(R, ObKind::Store));
+      EXPECT_FALSE(hasAssumedKind(R, ObKind::JumpIndirect));
+    }
+  }
+}
+
+TEST(SfiCheckOpt, HoistedLoopProvesAndDroppedPreheaderOrIsRejected) {
+  vm::Module Exe = compile(LoopProgram);
+  translate::SfiOptStats St;
+  TargetCode Code = translatedOpt(TargetKind::Mips, Exe, &St);
+  ASSERT_GE(St.LoopsHoisted, 1u) << "loop program must trigger hoisting";
+  ASSERT_GE(St.UnitsHoisted, 2u);
+  CheckResult Clean = check(TargetKind::Mips, Code);
+  EXPECT_TRUE(Clean.Ok) << Clean.FirstFailure;
+
+  // Drop the preheader's `or hold,hold,base`: the hold register never
+  // reaches the segment, so every in-loop access through it — and the
+  // hold-register discipline at block exits — must fail the proof.
+  const target::TargetInfo &TI = target::getTargetInfo(TargetKind::Mips);
+  int PreOr = -1;
+  for (size_t I = 0; I < Code.Code.size(); ++I)
+    if (Code.Code[I].Op == TOp::Or && Code.Code[I].Cat == ExpCat::Sfi &&
+        Code.Code[I].Rd == static_cast<unsigned>(TI.SfiHoldReg)) {
+      PreOr = static_cast<int>(I);
+      break;
+    }
+  ASSERT_GE(PreOr, 0);
+  Code.Code[PreOr] = TInstr(); // nop
+  CheckResult R = check(TargetKind::Mips, Code);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SfiCheckOpt, GuardZoneVerdictIsWidthAware) {
+  vm::Module Exe = compile(TwoStores);
+  TargetCode Code = translated(TargetKind::Mips, Exe);
+  std::vector<StoreUnit> Units = findStoreUnits(Code);
+  ASSERT_GE(Units.size(), 2u);
+
+  // Offset + access width exactly reaching the guard-zone end is still
+  // contained and must be Proved.
+  TargetCode Within = Code;
+  Within.Code[Units[0].StIdx].Imm =
+      static_cast<int32_t>(vm::GuardZoneSize) - 4;
+  CheckResult ROk = check(TargetKind::Mips, Within);
+  EXPECT_TRUE(ROk.Ok) << ROk.FirstFailure;
+
+  // One word later the last two bytes land past the guard zone: the
+  // width-aware bound must reject what an offset-only bound would pass.
+  TargetCode Past = Code;
+  Past.Code[Units[0].StIdx].Imm = static_cast<int32_t>(vm::GuardZoneSize) - 2;
+  CheckResult RBad = check(TargetKind::Mips, Past);
+  EXPECT_FALSE(RBad.Ok);
+  EXPECT_TRUE(hasFailedKind(RBad, ObKind::Store)) << RBad.FirstFailure;
+}
+
+// The fp/int load distinction in the checker's def model (the bugfix this
+// suite pins): a floating-point load writes an fp register, so it must
+// neither kill a live sandboxed image that happens to share the register
+// *number* (completeness) nor may an integer load be allowed to keep one
+// (soundness).
+
+TEST(SfiCheckOpt, FpLoadDoesNotKillIntProvenance) {
+  TargetCode Code = translated(TargetKind::Mips, compile(TwoStores));
+  std::vector<StoreUnit> Units = findStoreUnits(Code);
+  ASSERT_GE(Units.size(), 2u);
+  const StoreUnit &U = Units[1];
+  // Second unit becomes: fp-load into "S" (an fp register that merely
+  // shares the number), no or — its store now leans entirely on the
+  // in-segment image S kept from the first unit.
+  TInstr L;
+  L.Op = TOp::Load;
+  L.FpVal = true;
+  L.Rd = U.S;
+  L.Rs1 = static_cast<uint8_t>(Code.VmIntRegMap[vm::RegSp]);
+  L.Mode = target::AddrMode::BaseImm;
+  L.Imm = 0;
+  L.Width = ir::MemWidth::F32;
+  Code.Code[U.AndIdx] = L;
+  Code.Code[U.OrIdx] = TInstr(); // nop
+  CheckResult R = check(TargetKind::Mips, Code);
+  EXPECT_TRUE(R.Ok) << "fp load must not invalidate int provenance: "
+                    << R.FirstFailure;
+}
+
+TEST(SfiCheckOpt, IntLoadKillsIntProvenance) {
+  TargetCode Code = translated(TargetKind::Mips, compile(TwoStores));
+  std::vector<StoreUnit> Units = findStoreUnits(Code);
+  ASSERT_GE(Units.size(), 2u);
+  const StoreUnit &U = Units[1];
+  // Same mutation with an *integer* load: S is genuinely clobbered with
+  // module-controlled memory, so the dependent store must fail.
+  TInstr L;
+  L.Op = TOp::Load;
+  L.FpVal = false;
+  L.Rd = U.S;
+  L.Rs1 = static_cast<uint8_t>(Code.VmIntRegMap[vm::RegSp]);
+  L.Mode = target::AddrMode::BaseImm;
+  L.Imm = 0;
+  L.Width = ir::MemWidth::W32;
+  Code.Code[U.AndIdx] = L;
+  Code.Code[U.OrIdx] = TInstr(); // nop
+  CheckResult R = check(TargetKind::Mips, Code);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(hasFailedKind(R, ObKind::Store)) << R.FirstFailure;
 }

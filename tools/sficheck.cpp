@@ -13,6 +13,7 @@
 #include "sficheck/SfiChecker.h"
 
 #include "driver/Compiler.h"
+#include "translate/SfiOpt.h"
 #include "translate/Translator.h"
 #include "vm/Module.h"
 #include "workloads/Workloads.h"
@@ -49,6 +50,9 @@ void usage() {
                "(obligations become assumptions)\n"
                "  --sfi-reads      sandbox and enforce loads too\n"
                "  --no-opt         translate without optimizations\n"
+               "  --sfi-opt        run the SFI optimizer (guard sharing, "
+               "or-elision,\n                   loop hoisting); its output "
+               "must still prove\n"
                "  --verbose        print every obligation, not just "
                "failures\n");
 }
@@ -82,11 +86,21 @@ bool checkOne(const std::string &Label, const vm::Module &Exe,
 
   target::TargetCode Code;
   std::string Error;
-  if (!translate::translate(Kind, Exe, Cli.TOpts, Seg, Code, Error)) {
+  translate::SfiOptStats OptStats;
+  if (!translate::translate(Kind, Exe, Cli.TOpts, Seg, Code, Error,
+                            &OptStats)) {
     std::printf("%s @ %s: translation failed: %s\n", Label.c_str(),
                 target::getTargetName(Kind), Error.c_str());
     return false;
   }
+  if (Cli.TOpts.SfiOptimize && Cli.Verbose)
+    std::printf("%s @ %-5s: sfi-opt: %u groups (%u accesses), %u "
+                "or-elisions, %u loops hoisted (%u accesses), %d sfi "
+                "instrs removed\n",
+                Label.c_str(), target::getTargetName(Kind),
+                OptStats.GroupsFormed, OptStats.UnitsCoalesced,
+                OptStats.OrElisions, OptStats.LoopsHoisted,
+                OptStats.UnitsHoisted, OptStats.SfiInstrsRemoved);
 
   sficheck::CheckOptions CO;
   CO.Sfi = Cli.TOpts.Sfi;
@@ -138,6 +152,8 @@ int main(int argc, char **argv) {
       Cli.TOpts.SfiReads = true;
     } else if (!std::strcmp(A, "--no-opt")) {
       Cli.TOpts.Optimize = false;
+    } else if (!std::strcmp(A, "--sfi-opt")) {
+      Cli.TOpts.SfiOptimize = true;
     } else if (!std::strcmp(A, "--target")) {
       if (++I >= argc || !parseTarget(argv[I], Cli.Targets)) {
         usage();
