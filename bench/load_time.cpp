@@ -15,6 +15,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -28,6 +30,22 @@ double msSince(Clock::time_point Start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - Start)
       .count();
 }
+
+/// Scratch directory for the persistent L2, removed on exit.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/omni_bench_l2_XXXXXX";
+    if (char *P = ::mkdtemp(Buf))
+      Path = P;
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      std::filesystem::remove_all(Path, Ec);
+    }
+  }
+};
 
 } // namespace
 
@@ -43,19 +61,36 @@ int main(int argc, char **argv) {
   // volatile: recorded for the archive, excluded from cross-run cell
   // diffs. The gates live in the metrics below.
   report::Table &T = R.addTable("cold_warm_ms",
-                                "Load time: cold vs warm (all four targets, "
-                                "ms)",
-                                {"cold", "warm", "speedup"});
+                                "Load time: cold vs warm vs restart-warm "
+                                "(all four targets, ms)",
+                                {"cold", "warm", "restart", "warmx", "l2x"});
   T.Volatile = true;
 
-  bench::printTableHeader("Load time: cold vs warm (all four targets, ms)",
-                          {"cold", "warm", "speedup"});
-  double TotalCold = 0, TotalWarm = 0;
+  TempDir L2Dir;
+  if (L2Dir.Path.empty()) {
+    std::fprintf(stderr, "mkdtemp failed for the L2 cache directory\n");
+    return 1;
+  }
+
+  bench::printTableHeader("Load time: cold vs warm vs restart-warm (all four "
+                          "targets, ms)",
+                          {"cold", "warm", "restart", "warmx", "l2x"});
+  double TotalCold = 0, TotalWarm = 0, TotalRestart = 0;
+  // Restart-warm census, accumulated over every fresh host below: the L2
+  // path must serve every load from disk (no retranslation) while still
+  // verifying the module and re-proving the translation.
+  uint64_t L2Loads = 0, L2Hits = 0, L2Translates = 0, L2Checked = 0,
+           L2Verifies = 0;
   for (unsigned W = 0; W < workloads::NumWorkloads; ++W) {
+    // The host under test runs the full tiered configuration: cold loads
+    // pay verify + translate + SFI check + the L2 store-back, exactly
+    // what a production tiered host pays — and thereby seed the L2 the
+    // restart-warm hosts below read.
     host::ModuleHost Host;
+    Host.options().CacheDir = L2Dir.Path;
     std::string Err;
 
-    // Cold: verify + translate for each target.
+    // Cold: verify + translate + store-back for each target.
     auto ColdStart = Clock::now();
     for (unsigned Tg = 0; Tg < target::NumTargets; ++Tg)
       if (!Host.load(target::allTargets(Tg), Modules[W], Opts, Err)) {
@@ -73,19 +108,50 @@ int main(int argc, char **argv) {
         Host.load(target::allTargets(Tg), Modules[W], Opts, Err);
     double WarmMs = msSince(WarmStart) / Rounds;
 
+    // Restart-warm: the cold loads above seeded the persistent L2; time
+    // brand-new hosts (a simulated process restart: empty L1) loading
+    // the same module. Every load is an L1 miss served from disk —
+    // read, decode, content re-hash, SFI re-proof — with zero
+    // retranslation.
+    double RestartMs = 0;
+    for (unsigned Rd = 0; Rd < Rounds; ++Rd) {
+      host::ModuleHost Fresh;
+      Fresh.options().CacheDir = L2Dir.Path;
+      auto RestartStart = Clock::now();
+      for (unsigned Tg = 0; Tg < target::NumTargets; ++Tg)
+        if (!Fresh.load(target::allTargets(Tg), Modules[W], Opts, Err)) {
+          std::fprintf(stderr, "restart-warm load failed: %s\n", Err.c_str());
+          return 1;
+        }
+      RestartMs += msSince(RestartStart);
+      host::HostStats St = Fresh.stats();
+      L2Loads += target::NumTargets;
+      L2Hits += St.Disk.Hits;
+      L2Translates += St.TranslateCount;
+      L2Checked += St.SfiCheck.totalChecked();
+      L2Verifies += St.VerifyCount;
+    }
+    RestartMs /= Rounds;
+
     TotalCold += ColdMs;
     TotalWarm += WarmMs;
+    TotalRestart += RestartMs;
     T.addRow(workloads::getWorkload(W).Name,
-             {ColdMs, WarmMs, ColdMs / WarmMs});
+             {ColdMs, WarmMs, RestartMs, ColdMs / WarmMs,
+              ColdMs / RestartMs});
     bench::printTextRow(workloads::getWorkload(W).Name,
                         {formatStr("%.3f", ColdMs), formatStr("%.3f", WarmMs),
-                         formatStr("%.1fx", ColdMs / WarmMs)});
+                         formatStr("%.3f", RestartMs),
+                         formatStr("%.1fx", ColdMs / WarmMs),
+                         formatStr("%.1fx", ColdMs / RestartMs)});
   }
-  T.addRow("total",
-           {TotalCold, TotalWarm, TotalCold / TotalWarm});
+  T.addRow("total", {TotalCold, TotalWarm, TotalRestart, TotalCold / TotalWarm,
+                     TotalCold / TotalRestart});
   bench::printTextRow("total", {formatStr("%.3f", TotalCold),
                                 formatStr("%.3f", TotalWarm),
-                                formatStr("%.1fx", TotalCold / TotalWarm)});
+                                formatStr("%.3f", TotalRestart),
+                                formatStr("%.1fx", TotalCold / TotalWarm),
+                                formatStr("%.1fx", TotalCold / TotalRestart)});
 
   std::printf("\n");
   bench::printTableHeader("Batch translation: 16 modules x targets (ms)",
@@ -133,6 +199,29 @@ int main(int argc, char **argv) {
               TotalCold / TotalWarm, "x", report::Direction::Higher)
       .withMin(2.0)
       .withRegressRatio(0.25);
+  // The persistent L2 pays disk read + decode + content re-hash + SFI
+  // re-proof instead of translation. That bundle must still beat cold
+  // translation by a wide margin, or a restart saves nothing.
+  R.addMetric("total_restart_ms",
+              "total restart-warm load time (persistent L2 hits)",
+              TotalRestart, "ms", report::Direction::Lower)
+      .withRegressRatio(0.25);
+  R.addMetric("l2_warm_speedup",
+              "cold/restart-warm load speedup from the persistent L2",
+              TotalCold / TotalRestart, "x", report::Direction::Higher)
+      .withMin(5.0)
+      .withRegressRatio(0.25);
+  R.addCheck(
+      "l2_hits_rehash_reproved",
+      L2Hits == L2Loads && L2Translates == 0 && L2Checked == L2Hits &&
+          L2Verifies == L2Loads,
+      formatStr("%llu restart loads: %llu L2 hits, %llu translations, "
+                "%llu sfi re-proofs, %llu verifies",
+                static_cast<unsigned long long>(L2Loads),
+                static_cast<unsigned long long>(L2Hits),
+                static_cast<unsigned long long>(L2Translates),
+                static_cast<unsigned long long>(L2Checked),
+                static_cast<unsigned long long>(L2Verifies)));
   // Batch scaling depends on core count (1 on this box), so record only.
   R.addMetric("batch_speedup", "1-thread/4-thread batch translation speedup",
               SeqMs / ParMs, "x", report::Direction::Info);

@@ -1,0 +1,508 @@
+//===- host/DiskCache.cpp --------------------------------------------------===//
+
+#include "host/DiskCache.h"
+
+#include "obs/Tracer.h"
+#include "support/Format.h"
+#include "support/Hash.h"
+#include "vm/Module.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+using namespace omni;
+using namespace omni::host;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Payload codec: little-endian byte stream, no struct images on the wire.
+//===----------------------------------------------------------------------===//
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+/// Bounds-checked little-endian reader over a payload.
+struct Reader {
+  const uint8_t *P;
+  size_t N;
+  bool Ok = true;
+
+  bool u8(uint8_t &V) {
+    if (N < 1)
+      return Ok = false;
+    V = *P++;
+    --N;
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (N < 4)
+      return Ok = false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(P[I]) << (8 * I);
+    P += 4;
+    N -= 4;
+    return true;
+  }
+  bool i32(int32_t &V) {
+    uint32_t U;
+    if (!u32(U))
+      return false;
+    V = static_cast<int32_t>(U);
+    return true;
+  }
+};
+
+/// Unchecked little-endian u32 read for spans whose length was validated
+/// up front (compiles to a single load on little-endian hosts).
+uint32_t loadU32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | static_cast<uint32_t>(P[1]) << 8 |
+         static_cast<uint32_t>(P[2]) << 16 | static_cast<uint32_t>(P[3]) << 24;
+}
+
+// Wire ceilings mirroring the OWX format's own: a count field above these
+// is hostile (or torn) bytes, not a big module.
+constexpr uint32_t MaxWireInstrs = 1u << 24;
+constexpr uint32_t MaxWireMapEntries = 1u << 24;
+
+constexpr uint8_t MaxTOp = static_cast<uint8_t>(target::TOp::CvtFpToFp);
+constexpr uint8_t MaxAddrMode =
+    static_cast<uint8_t>(target::AddrMode::BaseIndexImm);
+constexpr uint8_t MaxMemWidth = static_cast<uint8_t>(ir::MemWidth::F64);
+constexpr uint8_t MaxCond = static_cast<uint8_t>(ir::Cond::GeU);
+// Register numbers are always < 2^21 (the same packing invariant
+// hashTargetCode relies on).
+constexpr uint32_t MaxRegField = 1u << 21;
+
+uint64_t nowTempSuffix() {
+  return static_cast<uint64_t>(::getpid());
+}
+
+/// Is \p Name a cache entry file (as opposed to a temp or a stray)?
+bool isEntryName(const std::string &Name) {
+  return Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".owt") == 0;
+}
+
+bool isTempName(const std::string &Name) {
+  return Name.find(".tmp.") != std::string::npos;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+omni::host::encodeTranslationImage(const vm::Module &Exe,
+                                   const target::TargetCode &Code) {
+  std::vector<uint8_t> Out;
+  std::vector<uint8_t> Owx = Exe.serialize();
+  putU32(Out, static_cast<uint32_t>(Owx.size()));
+  Out.insert(Out.end(), Owx.begin(), Owx.end());
+
+  putU32(Out, static_cast<uint32_t>(Code.Code.size()));
+  for (const target::TInstr &I : Code.Code) {
+    Out.push_back(static_cast<uint8_t>(I.Op));
+    Out.push_back(static_cast<uint8_t>(I.Cat));
+    Out.push_back(static_cast<uint8_t>(I.Mode));
+    Out.push_back(static_cast<uint8_t>(I.Width));
+    Out.push_back(static_cast<uint8_t>(I.Cc));
+    Out.push_back(static_cast<uint8_t>(
+        (I.UsesImm ? 1u : 0u) | (I.MemOperand ? 2u : 0u) |
+        (I.SignedLoad ? 4u : 0u) | (I.FpVal ? 8u : 0u) |
+        (I.Annul ? 16u : 0u) | (I.RecordForm ? 32u : 0u)));
+    putU32(Out, I.Rd);
+    putU32(Out, I.Rs1);
+    putU32(Out, I.Rs2);
+    putU32(Out, static_cast<uint32_t>(I.Imm));
+    putU32(Out, static_cast<uint32_t>(I.Target));
+    putU32(Out, static_cast<uint32_t>(I.VmIndex));
+  }
+
+  putU32(Out, static_cast<uint32_t>(Code.VmToNative.size()));
+  for (uint32_t V : Code.VmToNative)
+    putU32(Out, V);
+  for (int M : Code.VmIntRegMap)
+    putU32(Out, static_cast<uint32_t>(M));
+  for (int M : Code.VmFpRegMap)
+    putU32(Out, static_cast<uint32_t>(M));
+  putU32(Out, Code.IntSlotBase);
+  putU32(Out, Code.FpSlotBase);
+  putU32(Out, Code.Entry);
+  return Out;
+}
+
+bool omni::host::decodeTranslationImage(const std::vector<uint8_t> &Payload,
+                                        target::TargetKind Kind,
+                                        vm::Module &Exe,
+                                        target::TargetCode &Code,
+                                        std::string &Error) {
+  Reader R{Payload.data(), Payload.size()};
+
+  uint32_t OwxSize;
+  if (!R.u32(OwxSize) || OwxSize > R.N) {
+    Error = "truncated module section";
+    return false;
+  }
+  std::vector<uint8_t> Owx(R.P, R.P + OwxSize);
+  R.P += OwxSize;
+  R.N -= OwxSize;
+  if (!vm::Module::deserialize(Owx, Exe, Error))
+    return false;
+
+  uint32_t NumInstrs;
+  if (!R.u32(NumInstrs) || NumInstrs > MaxWireInstrs ||
+      static_cast<uint64_t>(NumInstrs) * 30 > R.N) {
+    Error = "bad native instruction count";
+    return false;
+  }
+  Code = target::TargetCode();
+  Code.TargetName = target::getTargetName(Kind);
+  Code.Code.resize(NumInstrs);
+  // The count pre-check above proved NumInstrs * 30 bytes are present, so
+  // the record loop parses through a raw pointer with no per-field bounds
+  // checks. Every field range validation stays: the bytes are still
+  // untrusted, only their availability is settled.
+  const uint8_t *Rec = R.P;
+  for (target::TInstr &I : Code.Code) {
+    uint8_t Op = Rec[0], Cat = Rec[1], Mode = Rec[2], Width = Rec[3],
+            Cc = Rec[4], Flags = Rec[5];
+    uint32_t Rd = loadU32(Rec + 6), Rs1 = loadU32(Rec + 10),
+             Rs2 = loadU32(Rec + 14);
+    if (Op > MaxTOp || Cat >= target::NumExpCats || Mode > MaxAddrMode ||
+        Width > MaxMemWidth || Cc > MaxCond || Flags >= 64 ||
+        Rd >= MaxRegField || Rs1 >= MaxRegField || Rs2 >= MaxRegField) {
+      Error = "native instruction field out of range";
+      return false;
+    }
+    I.Op = static_cast<target::TOp>(Op);
+    I.Cat = static_cast<target::ExpCat>(Cat);
+    I.Mode = static_cast<target::AddrMode>(Mode);
+    I.Width = static_cast<ir::MemWidth>(Width);
+    I.Cc = static_cast<ir::Cond>(Cc);
+    I.UsesImm = Flags & 1;
+    I.MemOperand = Flags & 2;
+    I.SignedLoad = Flags & 4;
+    I.FpVal = Flags & 8;
+    I.Annul = Flags & 16;
+    I.RecordForm = Flags & 32;
+    I.Rd = Rd;
+    I.Rs1 = Rs1;
+    I.Rs2 = Rs2;
+    I.Imm = static_cast<int32_t>(loadU32(Rec + 18));
+    I.Target = static_cast<int32_t>(loadU32(Rec + 22));
+    I.VmIndex = static_cast<int32_t>(loadU32(Rec + 26));
+    Rec += 30;
+  }
+  R.P = Rec;
+  R.N -= static_cast<size_t>(NumInstrs) * 30;
+
+  uint32_t NumMap;
+  if (!R.u32(NumMap) || NumMap > MaxWireMapEntries ||
+      static_cast<uint64_t>(NumMap) * 4 > R.N) {
+    Error = "bad target-map count";
+    return false;
+  }
+  Code.VmToNative.resize(NumMap);
+  for (uint32_t &V : Code.VmToNative) {
+    V = loadU32(R.P);
+    R.P += 4;
+    R.N -= 4;
+  }
+  for (int &M : Code.VmIntRegMap) {
+    int32_t V;
+    if (!R.i32(V)) {
+      Error = "truncated register map";
+      return false;
+    }
+    M = V;
+  }
+  for (int &M : Code.VmFpRegMap) {
+    int32_t V;
+    if (!R.i32(V)) {
+      Error = "truncated register map";
+      return false;
+    }
+    M = V;
+  }
+  if (!R.u32(Code.IntSlotBase) || !R.u32(Code.FpSlotBase) ||
+      !R.u32(Code.Entry)) {
+    Error = "truncated layout section";
+    return false;
+  }
+  if (R.N != 0) {
+    Error = formatStr("%zu trailing bytes after the image", R.N);
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// DiskCache
+//===----------------------------------------------------------------------===//
+
+DiskCache::DiskCache(std::string Dir, size_t ByteBudget)
+    : Root(std::move(Dir)), Budget(ByteBudget) {
+  std::error_code Ec;
+  fs::create_directories(Root, Ec);
+}
+
+std::string DiskCache::entryPath(const CacheKey &K) const {
+  return (fs::path(Root) /
+          formatStr("%016llx-%02x-%016llx.owt",
+                    static_cast<unsigned long long>(K.ContentHash),
+                    static_cast<unsigned>(K.Target),
+                    static_cast<unsigned long long>(K.OptionsHash)))
+      .string();
+}
+
+void DiskCache::removeEntry(const std::string &Path) {
+  std::error_code Ec;
+  fs::remove(Path, Ec);
+}
+
+DiskCache::Probe
+DiskCache::load(const CacheKey &K, std::vector<uint8_t> &Payload,
+                const std::function<void(std::vector<uint8_t> &)> &Mutate) {
+  std::string Path = entryPath(K);
+  std::vector<uint8_t> Bytes;
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      if (obs::traceEnabled())
+        obs::Tracer::get().instant("DiskMiss", "cache",
+                                   {{"module", K.ContentHash}});
+      return Probe::Miss;
+    }
+    std::fseek(F, 0, SEEK_END);
+    long Size = std::ftell(F);
+    std::fseek(F, 0, SEEK_SET);
+    if (Size > 0) {
+      Bytes.resize(static_cast<size_t>(Size));
+      if (std::fread(Bytes.data(), 1, Bytes.size(), F) != Bytes.size())
+        Bytes.clear(); // short read: treat as torn
+    }
+    std::fclose(F);
+  }
+
+  // Fault injection first: the hook models damage that happened on disk,
+  // so nothing — not even the magic — is read before it runs.
+  if (Mutate)
+    Mutate(Bytes);
+
+  auto CorruptReject = [&](const char *Why) {
+    CorruptRejects.fetch_add(1, std::memory_order_relaxed);
+    removeEntry(Path);
+    if (obs::traceEnabled())
+      obs::Tracer::get().instant("DiskCorrupt", "cache",
+                                 {{"module", K.ContentHash}});
+    (void)Why;
+    return Probe::Corrupt;
+  };
+
+  if (Bytes.size() < HeaderBytes)
+    return CorruptReject("short header");
+  auto rdU32 = [&](size_t Off) {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Bytes[Off + I]) << (8 * I);
+    return V;
+  };
+  auto rdU64 = [&](size_t Off) {
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Bytes[Off + I]) << (8 * I);
+    return V;
+  };
+  if (rdU32(0) != Magic)
+    return CorruptReject("bad magic");
+  if (rdU32(4) != SchemaVersion) {
+    // A different (older or newer) writer's entry: not damage, just not
+    // ours to read. A miss — the retranslated store replaces it.
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    removeEntry(Path);
+    if (obs::traceEnabled())
+      obs::Tracer::get().instant("DiskMiss", "cache",
+                                 {{"module", K.ContentHash}});
+    return Probe::Miss;
+  }
+  if (rdU32(8) != K.Target)
+    return CorruptReject("target mismatch");
+  uint64_t PayLen = rdU64(12);
+  if (PayLen != Bytes.size() - HeaderBytes)
+    return CorruptReject("torn payload");
+  uint64_t StoredHash = rdU64(20);
+  if (support::fnv1a64Wide(Bytes.data() + HeaderBytes, PayLen) != StoredHash)
+    return CorruptReject("payload hash mismatch");
+
+  Payload.assign(Bytes.begin() + HeaderBytes, Bytes.end());
+  return Probe::Hit;
+}
+
+bool DiskCache::store(const CacheKey &K, const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Bytes;
+  Bytes.reserve(HeaderBytes + Payload.size());
+  putU32(Bytes, Magic);
+  putU32(Bytes, SchemaVersion);
+  putU32(Bytes, K.Target);
+  putU64(Bytes, Payload.size());
+  putU64(Bytes, support::fnv1a64Wide(Payload));
+  Bytes.insert(Bytes.end(), Payload.begin(), Payload.end());
+
+  std::string Final = entryPath(K);
+  std::string Tmp =
+      formatStr("%s.tmp.%llu.%llu", Final.c_str(),
+                static_cast<unsigned long long>(nowTempSuffix()),
+                static_cast<unsigned long long>(
+                    TempSeq.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+    if (!F)
+      return false;
+    size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+    bool Flushed = std::fclose(F) == 0;
+    if (Written != Bytes.size() || !Flushed) {
+      removeEntry(Tmp);
+      return false;
+    }
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, Final, Ec); // atomic: readers see old bytes or new, never a mix
+  if (Ec) {
+    removeEntry(Tmp);
+    return false;
+  }
+  Stores.fetch_add(1, std::memory_order_relaxed);
+  sweep(Final);
+  return true;
+}
+
+void DiskCache::noteHit(const CacheKey &K) {
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  // Touch: LRU-by-mtime must see the use, or a hot entry that predates
+  // the process would be the sweep's first victim.
+  std::error_code Ec;
+  fs::last_write_time(entryPath(K), fs::file_time_type::clock::now(), Ec);
+  if (obs::traceEnabled())
+    obs::Tracer::get().instant("DiskHit", "cache",
+                               {{"module", K.ContentHash}});
+}
+
+void DiskCache::noteCorrupt(const CacheKey &K) {
+  CorruptRejects.fetch_add(1, std::memory_order_relaxed);
+  removeEntry(entryPath(K));
+  if (obs::traceEnabled())
+    obs::Tracer::get().instant("DiskCorrupt", "cache",
+                               {{"module", K.ContentHash}});
+}
+
+void DiskCache::noteRejected(const CacheKey &K) {
+  Rejected.fetch_add(1, std::memory_order_relaxed);
+  removeEntry(entryPath(K));
+}
+
+struct DiskCache::Scanned {
+  std::string Path;
+  size_t Size = 0;
+  fs::file_time_type Mtime;
+};
+
+size_t DiskCache::diskBytes() const {
+  size_t Total = 0;
+  std::error_code Ec;
+  for (const auto &E : fs::directory_iterator(Root, Ec)) {
+    if (!isEntryName(E.path().filename().string()))
+      continue;
+    std::error_code SEc;
+    uintmax_t Sz = fs::file_size(E.path(), SEc);
+    if (!SEc)
+      Total += static_cast<size_t>(Sz);
+  }
+  return Total;
+}
+
+size_t DiskCache::entryCount() const {
+  size_t Count = 0;
+  std::error_code Ec;
+  for (const auto &E : fs::directory_iterator(Root, Ec))
+    if (isEntryName(E.path().filename().string()))
+      ++Count;
+  return Count;
+}
+
+void DiskCache::sweep(const std::string &Keep) {
+  std::lock_guard<std::mutex> Lock(SweepMu);
+  std::vector<Scanned> Entries;
+  size_t Total = 0;
+  std::error_code Ec;
+  for (const auto &E : fs::directory_iterator(Root, Ec)) {
+    std::string Name = E.path().filename().string();
+    std::error_code SEc;
+    if (isTempName(Name)) {
+      // A temp file is invisible to readers; one older than a minute is
+      // the residue of a crashed store, not an in-flight one.
+      auto Age = fs::file_time_type::clock::now() -
+                 fs::last_write_time(E.path(), SEc);
+      if (!SEc && Age > std::chrono::minutes(1))
+        fs::remove(E.path(), SEc);
+      continue;
+    }
+    if (!isEntryName(Name))
+      continue;
+    Scanned S;
+    S.Path = E.path().string();
+    uintmax_t Sz = fs::file_size(E.path(), SEc);
+    if (SEc)
+      continue; // raced a concurrent removal
+    S.Size = static_cast<size_t>(Sz);
+    S.Mtime = fs::last_write_time(E.path(), SEc);
+    if (SEc)
+      continue;
+    Total += S.Size;
+    Entries.push_back(std::move(S));
+  }
+  size_t Limit = Budget.load(std::memory_order_relaxed);
+  if (Total <= Limit)
+    return;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Scanned &A, const Scanned &B) {
+              return A.Mtime < B.Mtime;
+            });
+  for (const Scanned &S : Entries) {
+    if (Total <= Limit)
+      break;
+    if (!Keep.empty() && S.Path == Keep)
+      continue; // never evict the entry this sweep is protecting
+    std::error_code REc;
+    if (fs::remove(S.Path, REc) && !REc) {
+      Total -= S.Size;
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+      if (obs::traceEnabled())
+        obs::Tracer::get().instant("DiskEvict", "cache",
+                                   {{"bytes", S.Size}});
+    }
+  }
+}
+
+DiskCacheCounters DiskCache::counters() const {
+  DiskCacheCounters C;
+  C.Hits = Hits.load(std::memory_order_relaxed);
+  C.Misses = Misses.load(std::memory_order_relaxed);
+  C.CorruptRejects = CorruptRejects.load(std::memory_order_relaxed);
+  C.Rejected = Rejected.load(std::memory_order_relaxed);
+  C.Evictions = Evictions.load(std::memory_order_relaxed);
+  C.Stores = Stores.load(std::memory_order_relaxed);
+  return C;
+}

@@ -1,0 +1,160 @@
+//===- host/DiskCache.h - Persistent L2 translation cache ------*- C++ -*-===//
+///
+/// \file
+/// The on-disk, content-addressed L2 beneath the sharded in-memory
+/// CodeCache. One entry is one file named by the full cache key — module
+/// content hash x target x TranslateOptions fingerprint — holding a
+/// self-describing header (magic, schema version, target, payload length,
+/// payload checksum: lane-interleaved FNV-1a, re-checked on every read)
+/// followed by a serialized translation image (the
+/// module's OWX bytes plus the translated target code). Entries are
+/// written atomically: the image is staged in a temp file in the cache
+/// directory and rename(2)'d into place, so a reader never observes a
+/// half-written entry and a crash mid-store leaves only a stale temp file
+/// (removed by the next sweep). A byte-budget LRU sweep by mtime runs
+/// after every store; hits refresh an entry's mtime so recency survives
+/// restarts.
+///
+/// Trust boundary: DISK IS UNTRUSTED INPUT. The L2 holds translated code
+/// — exactly the bytes SFI exists to distrust — shared across processes
+/// and exposed to torn writes, bit rot, and hostile tampering. This layer
+/// proves only storage integrity (magic/version/length checks and a
+/// payload re-hash on every read); a corrupted entry is deleted and
+/// reported, never handed out. The trust decision stays with the caller:
+/// ModuleHost re-hashes the decoded module against the key's content
+/// address and re-runs the SFI proof checker over the decoded translation
+/// before anything from disk can back a Session — verifying the cache's
+/// output rather than trusting its producer, the same posture PR 6 took
+/// toward the translator.
+///
+/// Accounting contract: every load() probe resolves to exactly one of
+/// hit / miss / corrupt / rejected. load() itself counts misses (absent
+/// entry, stale schema) and corrupt entries (bad header, torn payload,
+/// failed re-hash); the caller settles header-valid probes with
+/// noteHit(), noteCorrupt() (decode or content re-hash failure), or
+/// noteRejected() (SFI proof failure), the latter two deleting the entry
+/// so the retranslated image can replace it.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_HOST_DISKCACHE_H
+#define OMNI_HOST_DISKCACHE_H
+
+#include "host/CodeCache.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace host {
+
+/// Serializes a translation image — the module's OWX bytes plus the
+/// translated target code — into the L2 payload format (little-endian,
+/// no struct padding on the wire).
+std::vector<uint8_t> encodeTranslationImage(const vm::Module &Exe,
+                                            const target::TargetCode &Code);
+
+/// Parses an L2 payload back into a module and its translation. Hostile
+/// input: every count is bounded, every enum field range-checked, and the
+/// byte stream must be consumed exactly. Returns false and sets \p Error
+/// on malformed bytes; never crashes.
+bool decodeTranslationImage(const std::vector<uint8_t> &Payload,
+                            target::TargetKind Kind, vm::Module &Exe,
+                            target::TargetCode &Code, std::string &Error);
+
+/// Monotonic counters of one DiskCache (folded into HostStats::Disk).
+struct DiskCacheCounters {
+  uint64_t Hits = 0;           ///< entries served (and accepted upstream)
+  uint64_t Misses = 0;         ///< absent entries + stale-schema versions
+  uint64_t CorruptRejects = 0; ///< bad header / torn payload / failed hash
+  uint64_t Rejected = 0;       ///< decoded fine, failed the SFI re-proof
+  uint64_t Evictions = 0;      ///< entries removed by the byte-budget sweep
+  uint64_t Stores = 0;         ///< entries written (atomically) to disk
+};
+
+/// Persistent, content-addressed, process-shared L2 translation cache.
+/// Thread-safe; cross-process safe through rename-atomic stores.
+class DiskCache {
+public:
+  static constexpr uint32_t Magic = 0x3154574fu; ///< "OWT1", little-endian
+  static constexpr uint32_t SchemaVersion = 1;
+  /// magic + version + target + payload length + payload checksum (the
+  /// lane-interleaved fnv1a64Wide digest).
+  static constexpr size_t HeaderBytes = 4 + 4 + 4 + 8 + 8;
+  static constexpr size_t DefaultByteBudget = 256u << 20;
+
+  /// Opens (creating if needed) the cache rooted at \p Dir.
+  explicit DiskCache(std::string Dir,
+                     size_t ByteBudget = DefaultByteBudget);
+
+  /// Outcome of a load() probe. Hit hands back a payload whose header and
+  /// re-hash checked out; the caller must settle it with noteHit /
+  /// noteCorrupt / noteRejected after deciding whether to trust it.
+  enum class Probe { Hit, Miss, Corrupt };
+
+  /// Probes the entry for \p K. On Hit, \p Payload receives the
+  /// integrity-checked image bytes. \p Mutate (a fault-injection hook)
+  /// runs over the raw file bytes before any header field is believed,
+  /// modeling torn writes and bit rot between store and load. Miss and
+  /// Corrupt are counted here; corrupt and stale-schema entries are
+  /// deleted so a fresh store can replace them.
+  Probe load(const CacheKey &K, std::vector<uint8_t> &Payload,
+             const std::function<void(std::vector<uint8_t> &)> &Mutate =
+                 nullptr);
+
+  /// Atomically writes the entry for \p K (temp file + rename), then
+  /// sweeps the directory back under the byte budget, never evicting the
+  /// entry just stored. Returns false when the directory is unusable.
+  bool store(const CacheKey &K, const std::vector<uint8_t> &Payload);
+
+  /// Settles a Hit the caller accepted: counts it and refreshes the
+  /// entry's mtime so the LRU sweep sees the use.
+  void noteHit(const CacheKey &K);
+  /// Settles a Hit whose payload failed to decode or re-hash to the key's
+  /// content address: counts a corrupt reject and deletes the entry.
+  void noteCorrupt(const CacheKey &K);
+  /// Settles a Hit whose decoded translation failed the SFI re-proof:
+  /// counts a rejected entry and deletes it.
+  void noteRejected(const CacheKey &K);
+
+  /// Entry file path for \p K (tests craft hostile entries through this).
+  std::string entryPath(const CacheKey &K) const;
+  const std::string &dir() const { return Root; }
+
+  void setByteBudget(size_t Bytes) {
+    Budget.store(Bytes, std::memory_order_relaxed);
+  }
+  size_t byteBudget() const { return Budget.load(std::memory_order_relaxed); }
+
+  /// Bytes currently held in entry files (directory scan: exact even when
+  /// other processes share the cache).
+  size_t diskBytes() const;
+  /// Entry files currently on disk.
+  size_t entryCount() const;
+
+  /// Removes entries (oldest mtime first) until the directory fits the
+  /// budget, plus any stale temp files from crashed stores. \p Keep (the
+  /// path of a just-stored entry) is never evicted.
+  void sweep(const std::string &Keep = std::string());
+
+  DiskCacheCounters counters() const;
+
+private:
+  struct Scanned; // one directory entry during a sweep
+
+  void removeEntry(const std::string &Path);
+
+  std::string Root;
+  std::atomic<size_t> Budget;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, CorruptRejects{0}, Rejected{0},
+      Evictions{0}, Stores{0};
+  std::atomic<uint64_t> TempSeq{0}; ///< unique temp-file names per cache
+  std::mutex SweepMu;               ///< one sweeper at a time per cache
+};
+
+} // namespace host
+} // namespace omni
+
+#endif // OMNI_HOST_DISKCACHE_H

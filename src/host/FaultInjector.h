@@ -44,6 +44,13 @@ struct FaultInjector {
   /// Testing hook for translator-output bit-flip sweeps.
   std::function<void(target::TargetCode &)> MutateTranslation;
 
+  /// Mutates the raw bytes of an L2 disk-cache entry as they are read,
+  /// before any header field is believed — modeling torn writes, bit rot,
+  /// and hostile tampering between store and load. Every mutation must be
+  /// rejected (corrupt) or survive the full re-hash + SFI re-proof;
+  /// nothing it produces may execute otherwise.
+  std::function<void(std::vector<uint8_t> &)> MutateDiskEntry;
+
   /// Re-grants the configured gates on \p Env. Called by
   /// ModuleHost::createSession after the stdlib and extra setup are
   /// granted and before imports are bound.

@@ -120,6 +120,17 @@ std::string HostStats::dump() const {
       static_cast<unsigned long long>(CacheMisses),
       static_cast<unsigned long long>(CacheEvictions),
       static_cast<unsigned long long>(CacheCorruptRejects));
+  if (Disk.active())
+    appendFormat(
+        S,
+        "  l2:       %llu hits, %llu misses, %llu corrupt, %llu evicted, "
+        "%llu rejected, %llu stores\n",
+        static_cast<unsigned long long>(Disk.Hits),
+        static_cast<unsigned long long>(Disk.Misses),
+        static_cast<unsigned long long>(Disk.CorruptRejects),
+        static_cast<unsigned long long>(Disk.Evictions),
+        static_cast<unsigned long long>(Disk.Rejected),
+        static_cast<unsigned long long>(Disk.Stores));
   if (SfiCheck.active()) {
     appendFormat(
         S, "  sficheck: %llu checked, %llu passed, %llu rejected, %.3f ms (",

@@ -122,6 +122,22 @@ struct SfiCheckStats {
   bool active() const { return totalChecked() != 0; }
 };
 
+/// Persistent (L2) disk-cache accounting. Every probe resolves to exactly
+/// one of hit / miss / corrupt / rejected, so Hits + Misses +
+/// CorruptRejects + Rejected equals the number of L1-miss probes. Empty
+/// (and absent from dump()) unless an Options::CacheDir is configured.
+struct DiskCacheStats {
+  bool Configured = false; ///< an L2 directory is attached
+  uint64_t Hits = 0;           ///< entries served, re-hashed, and re-proved
+  uint64_t Misses = 0;         ///< absent entries + stale-schema versions
+  uint64_t CorruptRejects = 0; ///< header/payload damage or decode failure
+  uint64_t Rejected = 0;       ///< decoded fine, failed the SFI re-proof
+  uint64_t Evictions = 0;      ///< removed by the byte-budget LRU sweep
+  uint64_t Stores = 0;         ///< entries written to disk
+
+  bool active() const { return Configured; }
+};
+
 /// Snapshot of the hosting service's counters and gauges.
 struct HostStats {
   // Pipeline stage counters and accumulated wall time.
@@ -141,6 +157,9 @@ struct HostStats {
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
   uint64_t CacheCorruptRejects = 0;
+
+  // Persistent L2 cache (empty unless Options::CacheDir is configured).
+  DiskCacheStats Disk;
 
   // Structured rejects, indexed by LoadStage: modules refused with a
   // LoadError at that pipeline stage. Rejects[LoadStage::None] stays 0.

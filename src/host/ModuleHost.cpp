@@ -98,6 +98,101 @@ void ModuleHost::setFaultInjector(std::shared_ptr<const FaultInjector> FI) {
   Injector = std::move(FI);
 }
 
+std::shared_ptr<DiskCache> ModuleHost::diskCache() const {
+  std::lock_guard<std::mutex> Lock(DiskMu);
+  if (HostOpts.CacheDir.empty()) {
+    Disk = nullptr;
+    return nullptr;
+  }
+  if (!Disk || Disk->dir() != HostOpts.CacheDir)
+    Disk = std::make_shared<DiskCache>(HostOpts.CacheDir,
+                                       HostOpts.DiskByteBudget);
+  else
+    Disk->setByteBudget(HostOpts.DiskByteBudget);
+  return Disk;
+}
+
+bool ModuleHost::checkSfi(target::TargetKind Kind,
+                          const target::TargetCode &Code,
+                          const translate::SegmentLayout &Seg,
+                          const translate::TranslateOptions &Opts,
+                          uint64_t ContentHash, std::string &FirstFailure) {
+  auto CheckStart = Clock::now();
+  sficheck::CheckOptions CheckOpts;
+  CheckOpts.Sfi = Opts.Sfi;
+  CheckOpts.SfiReads = Opts.SfiReads;
+  sficheck::CheckResult CR;
+  {
+    obs::ScopedSpan CheckSpan("SfiCheck", "host");
+    CheckSpan.arg("module", ContentHash);
+    CR = sficheck::checkTranslation(Kind, Code, Seg, CheckOpts);
+    CheckSpan.arg("obligations", CR.Proved + CR.Assumed + CR.Failed);
+    CheckSpan.arg("failed", CR.Failed);
+  }
+  unsigned T = static_cast<unsigned>(Kind);
+  Counters.SfiCheckNs.fetch_add(nsSince(CheckStart),
+                                std::memory_order_relaxed);
+  Counters.SfiChecked[T].fetch_add(1, std::memory_order_relaxed);
+  Counters.SfiProved.fetch_add(CR.Proved, std::memory_order_relaxed);
+  Counters.SfiAssumed.fetch_add(CR.Assumed, std::memory_order_relaxed);
+  if (!CR.Ok) {
+    Counters.SfiRejected[T].fetch_add(1, std::memory_order_relaxed);
+    FirstFailure = std::move(CR.FirstFailure);
+    return false;
+  }
+  Counters.SfiPassed[T].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::shared_ptr<const LoadedModule>
+ModuleHost::loadFromDisk(DiskCache &Disk, const CacheKey &Key,
+                         target::TargetKind Kind,
+                         const translate::TranslateOptions &Opts,
+                         std::shared_ptr<LoadedModule> LM) {
+  std::function<void(std::vector<uint8_t> &)> Mutate;
+  {
+    std::lock_guard<std::mutex> Lock(InjectorMu);
+    if (Injector && Injector->MutateDiskEntry)
+      Mutate = Injector->MutateDiskEntry;
+  }
+  std::vector<uint8_t> Payload;
+  if (Disk.load(Key, Payload, Mutate) != DiskCache::Probe::Hit)
+    return nullptr; // miss / corrupt already settled and counted
+
+  // The header and payload checksum checked out, but the image is still
+  // untrusted bytes: decode defensively, then prove the decoded module is
+  // the module we were asked for by re-hashing it against the key's
+  // content address. A forged or wrong-keyed entry dies here.
+  auto DecodedExe = std::make_shared<vm::Module>();
+  auto DecodedCode = std::make_shared<target::TargetCode>();
+  std::string DecodeError;
+  if (!decodeTranslationImage(Payload, Kind, *DecodedExe, *DecodedCode,
+                              DecodeError) ||
+      contentHash(*DecodedExe) != Key.ContentHash) {
+    Disk.noteCorrupt(Key);
+    return nullptr;
+  }
+
+  // Re-prove the sandbox: the disk (like the translator before it) is not
+  // trusted to have preserved the SFI invariants. A failed re-proof is
+  // not a load failure — the entry is discarded and the module
+  // retranslated cold, exactly as if the entry had never existed.
+  if (HostOpts.SfiCheck) {
+    std::string FirstFailure;
+    if (!checkSfi(Kind, *DecodedCode, LM->Seg, Opts, Key.ContentHash,
+                  FirstFailure)) {
+      Disk.noteRejected(Key);
+      return nullptr;
+    }
+  }
+
+  Disk.noteHit(Key);
+  LM->Exe = std::move(DecodedExe);
+  LM->Translation = Cache.insert(Key, std::move(DecodedCode), LM->Exe);
+  LM->DiskWarm = true;
+  return LM;
+}
+
 /// Resource checks shared by the target and interpreter load paths. The
 /// segment layout is validated before any AddressSpace is constructed: a
 /// hostile LinkBase must surface as a structured reject here, never as a
@@ -174,6 +269,19 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
     return nullptr;
   }
 
+  // L2 probe: a persistent entry that survives the integrity re-hash, the
+  // content re-hash, and the SFI re-proof is served without translating.
+  // The probe runs after verify on purpose — the entry proves only that
+  // this content was translated before, never that the caller's module is
+  // acceptable; behavior must be bit-identical to a cold load.
+  std::shared_ptr<DiskCache> Disk = diskCache();
+  if (Disk) {
+    if (auto FromDisk = loadFromDisk(*Disk, Key, Kind, Opts, LM)) {
+      Span.arg("l2", 1);
+      return FromDisk;
+    }
+  }
+
   // translate
   auto TranslateStart = Clock::now();
   auto Code = std::make_shared<target::TargetCode>();
@@ -211,32 +319,18 @@ ModuleHost::load(target::TargetKind Kind, const vm::Module &Exe,
   // cached or served; the translator is not trusted to have gotten it
   // right. A failed proof is a structured Check-stage reject.
   if (HostOpts.SfiCheck) {
-    auto CheckStart = Clock::now();
-    sficheck::CheckOptions CheckOpts;
-    CheckOpts.Sfi = Opts.Sfi;
-    CheckOpts.SfiReads = Opts.SfiReads;
-    sficheck::CheckResult CR;
-    {
-      obs::ScopedSpan CheckSpan("SfiCheck", "host");
-      CheckSpan.arg("module", LM->ContentHash);
-      CR = sficheck::checkTranslation(Kind, *Code, LM->Seg, CheckOpts);
-      CheckSpan.arg("obligations", CR.Proved + CR.Assumed + CR.Failed);
-      CheckSpan.arg("failed", CR.Failed);
-    }
-    unsigned T = static_cast<unsigned>(Kind);
-    Counters.SfiCheckNs.fetch_add(nsSince(CheckStart),
-                                  std::memory_order_relaxed);
-    Counters.SfiChecked[T].fetch_add(1, std::memory_order_relaxed);
-    Counters.SfiProved.fetch_add(CR.Proved, std::memory_order_relaxed);
-    Counters.SfiAssumed.fetch_add(CR.Assumed, std::memory_order_relaxed);
-    if (!CR.Ok) {
-      Counters.SfiRejected[T].fetch_add(1, std::memory_order_relaxed);
-      reject(Err, LoadStage::Check, LM->ContentHash,
-             std::move(CR.FirstFailure));
+    std::string FirstFailure;
+    if (!checkSfi(Kind, *Code, LM->Seg, Opts, LM->ContentHash,
+                  FirstFailure)) {
+      reject(Err, LoadStage::Check, LM->ContentHash, std::move(FirstFailure));
       return nullptr;
     }
-    Counters.SfiPassed[T].fetch_add(1, std::memory_order_relaxed);
   }
+
+  // Persist the checked translation before the in-memory insert consumes
+  // it: the stored image is exactly what this process is about to serve.
+  if (Disk)
+    Disk->store(Key, encodeTranslationImage(Exe, *Code));
 
   LM->Exe = std::make_shared<vm::Module>(Exe);
   LM->Translation = Cache.insert(Key, std::move(Code), LM->Exe);
@@ -511,6 +605,16 @@ HostStats ModuleHost::stats() const {
   S.CacheCorruptRejects = Cache.corruptRejects();
   S.ResidentBytes = Cache.residentBytes();
   S.ResidentEntries = Cache.residentEntries();
+  if (std::shared_ptr<DiskCache> D = diskCache()) {
+    DiskCacheCounters DC = D->counters();
+    S.Disk.Configured = true;
+    S.Disk.Hits = DC.Hits;
+    S.Disk.Misses = DC.Misses;
+    S.Disk.CorruptRejects = DC.CorruptRejects;
+    S.Disk.Rejected = DC.Rejected;
+    S.Disk.Evictions = DC.Evictions;
+    S.Disk.Stores = DC.Stores;
+  }
   S.Trace = obs::Tracer::get().stats();
   return S;
 }

@@ -41,6 +41,7 @@
 #define OMNI_HOST_MODULEHOST_H
 
 #include "host/CodeCache.h"
+#include "host/DiskCache.h"
 #include "host/FaultInjector.h"
 #include "host/HostStats.h"
 #include "runtime/Run.h"
@@ -90,7 +91,8 @@ struct LoadedModule {
   target::TargetKind Kind = target::TargetKind::Mips;
   translate::SegmentLayout Seg;
   uint64_t ContentHash = 0;
-  bool WarmLoad = false; ///< translation came from the cache
+  bool WarmLoad = false; ///< translation came from the in-memory cache
+  bool DiskWarm = false; ///< translation came from the persistent L2
 
   bool isInterpreted() const { return Translation == nullptr; }
 };
@@ -139,6 +141,13 @@ public:
     /// the code cache; a failed proof is a Check-stage LoadError. Default
     /// on: the translator is not trusted to sandbox correctly.
     bool SfiCheck = true;
+    /// Directory of the persistent L2 translation cache; empty (the
+    /// default) disables the L2. Entries loaded from it are treated as
+    /// untrusted input: re-hashed against the key's content address and
+    /// re-proved by the SFI checker before anything from disk is served.
+    std::string CacheDir;
+    /// Byte budget of the L2 directory (LRU-swept after every store).
+    size_t DiskByteBudget = DiskCache::DefaultByteBudget;
   };
 
   explicit ModuleHost(size_t CacheByteBudget = CodeCache::DefaultByteBudget)
@@ -215,6 +224,12 @@ public:
 
   CodeCache &cache() { return Cache; }
 
+  /// The persistent L2 behind Options::CacheDir, created lazily on first
+  /// use (null while no CacheDir is configured). Reconfiguring CacheDir
+  /// attaches a fresh DiskCache on the next access; the byte budget
+  /// follows Options::DiskByteBudget.
+  std::shared_ptr<DiskCache> diskCache() const;
+
   /// Resource ceilings applied to arriving modules.
   HostLimits &limits() { return Limits; }
   const HostLimits &limits() const { return Limits; }
@@ -239,6 +254,24 @@ private:
   void reject(LoadError &Err, LoadStage Stage, uint64_t ContentHash,
               std::string Message);
   void recordTrap(vm::TrapKind Kind);
+
+  /// Runs the SFI proof checker over \p Code and records the per-target
+  /// and obligation counters. Returns the checker's verdict and fills
+  /// \p FirstFailure on a failed proof. Shared by the cold translate path
+  /// and the L2 re-proof path so both count identically.
+  bool checkSfi(target::TargetKind Kind, const target::TargetCode &Code,
+                const translate::SegmentLayout &Seg,
+                const translate::TranslateOptions &Opts, uint64_t ContentHash,
+                std::string &FirstFailure);
+
+  /// Probes the L2 for \p Key and, when an entry survives decode, the
+  /// content re-hash, and the SFI re-proof, installs it into the L1 and
+  /// returns the loaded module. Returns null (falling back to cold
+  /// translation) on miss or on any rejected entry.
+  std::shared_ptr<const LoadedModule>
+  loadFromDisk(DiskCache &Disk, const CacheKey &Key, target::TargetKind Kind,
+               const translate::TranslateOptions &Opts,
+               std::shared_ptr<LoadedModule> LM);
 
   CodeCache Cache;
   HostLimits Limits;
@@ -265,6 +298,9 @@ private:
 
   mutable std::mutex InjectorMu;
   std::shared_ptr<const FaultInjector> Injector; ///< guarded by InjectorMu
+
+  mutable std::mutex DiskMu;
+  mutable std::shared_ptr<DiskCache> Disk; ///< guarded by DiskMu; lazy
 };
 
 } // namespace host

@@ -109,6 +109,47 @@ inline uint64_t fnv1a64(const std::vector<uint8_t> &Bytes) {
   return fnv1a64(Bytes.data(), Bytes.size());
 }
 
+/// Lane-interleaved, word-at-a-time FNV-1a: four independent FNV-1a
+/// streams, each folding 64-bit little-endian words (stride 32 bytes),
+/// merged into one digest at the end. The same xor-multiply mixing as
+/// fnv1a64 but without its byte-serial multiply dependency, so it runs
+/// more than an order of magnitude faster on large buffers — used where
+/// whole-file checksums sit on a hot path (the persistent translation
+/// cache re-checks every entry it reads). Any single-bit change still
+/// changes the digest with overwhelming probability: the xor feeds every
+/// flipped bit into an odd-multiplier chain, exactly as in fnv1a64. NOT
+/// interchangeable with fnv1a64: different digests for the same bytes.
+inline uint64_t fnv1a64Wide(const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t L0 = Fnv1a64Offset ^ 0, L1 = Fnv1a64Offset ^ 1,
+           L2 = Fnv1a64Offset ^ 2, L3 = Fnv1a64Offset ^ 3;
+  size_t I = 0;
+  for (; I + 32 <= Len; I += 32) {
+    uint64_t W0, W1, W2, W3;
+    std::memcpy(&W0, P + I, 8);
+    std::memcpy(&W1, P + I + 8, 8);
+    std::memcpy(&W2, P + I + 16, 8);
+    std::memcpy(&W3, P + I + 24, 8);
+    L0 = (L0 ^ W0) * Fnv1a64Prime;
+    L1 = (L1 ^ W1) * Fnv1a64Prime;
+    L2 = (L2 ^ W2) * Fnv1a64Prime;
+    L3 = (L3 ^ W3) * Fnv1a64Prime;
+  }
+  // Tail: classic byte-serial FNV-1a into the first lane.
+  for (; I < Len; ++I)
+    L0 = (L0 ^ P[I]) * Fnv1a64Prime;
+  uint64_t H = Fnv1a64Offset ^ Len;
+  H = (H ^ L0) * Fnv1a64Prime;
+  H = (H ^ L1) * Fnv1a64Prime;
+  H = (H ^ L2) * Fnv1a64Prime;
+  H = (H ^ L3) * Fnv1a64Prime;
+  return H;
+}
+
+inline uint64_t fnv1a64Wide(const std::vector<uint8_t> &Bytes) {
+  return fnv1a64Wide(Bytes.data(), Bytes.size());
+}
+
 } // namespace support
 } // namespace omni
 

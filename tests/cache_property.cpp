@@ -18,6 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <random>
 #include <thread>
 
@@ -98,6 +101,23 @@ size_t learnSizes(std::vector<Candidate> &Cands) {
   }
   return MaxEntry;
 }
+
+/// Unique on-disk cache directory, removed (recursively) on scope exit.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/omni_cp_XXXXXX";
+    char *P = ::mkdtemp(Buf);
+    EXPECT_NE(P, nullptr);
+    Path = P ? P : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      std::filesystem::remove_all(Path, Ec);
+    }
+  }
+};
 
 } // namespace
 
@@ -257,4 +277,144 @@ TEST(CacheProperty, CorruptedEntriesAreDiscardedNeverServed) {
   ASSERT_NE(Hit, nullptr);
   EXPECT_EQ(host::hashTargetCode(*Hit->Code), Cands[0].ExpectHash);
   EXPECT_EQ(Cache.tamperForTesting(host::CacheKey{0xdead, 1, 0xbeef}), false);
+}
+
+/// L1+L2 composition: eight threads churn ModuleHost::load over both
+/// tiers at once — an in-memory budget far below the working set (so the
+/// L1 constantly evicts into L2-served reloads) and a disk budget far
+/// below it too (so the L2 sweep runs against concurrent stores). The
+/// composed system must (a) hold both byte budgets, (b) serve every load
+/// with the bit-exact translation, and (c) reconcile exactly: every load
+/// is an L1 hit or miss, every L1 miss becomes exactly one settled L2
+/// probe, and every L2 miss becomes exactly one translation and one
+/// store-back.
+TEST(CacheProperty, TieredL1L2CompositionReconciles) {
+  constexpr unsigned NumModules = 28;
+  constexpr unsigned Threads = 8;
+  constexpr unsigned OpsPerThread = 400;
+
+  std::vector<Candidate> Cands = makeCandidates(NumModules);
+  size_t MaxEntry = 0;
+  { SCOPED_TRACE("size probe"); MaxEntry = learnSizes(Cands); }
+  ASSERT_GT(MaxEntry, 0u);
+
+  // Learn each candidate's on-disk footprint from the wire encoder, the
+  // same way learnSizes probes the in-memory charge.
+  size_t MaxDiskEntry = 0;
+  for (const Candidate &C : Cands)
+    MaxDiskEntry = std::max(MaxDiskEntry,
+                            host::encodeTranslationImage(*C.Exe, *C.Code)
+                                    .size() +
+                                host::DiskCache::HeaderBytes);
+  ASSERT_GT(MaxDiskEntry, host::DiskCache::HeaderBytes);
+
+  // Both tiers get about eight entries' worth for 28 modules: each tier
+  // individually churns, and an L1 miss regularly finds its key either
+  // resident in L2 (restart-warm path) or swept (full cold path).
+  const size_t L1Budget = 8 * MaxEntry;
+  const size_t L2Budget = 8 * MaxDiskEntry;
+
+  TempDir CacheDir;
+  ModuleHost Host(L1Budget);
+  Host.options().CacheDir = CacheDir.Path;
+  Host.options().DiskByteBudget = L2Budget;
+  translate::TranslateOptions Opts = translate::TranslateOptions::mobile(true);
+
+  std::atomic<bool> IntegrityOk{true};
+  std::atomic<bool> Done{false};
+
+  // Monitor both tiers while churning. The L1 may transiently exceed its
+  // budget by one in-flight insert per thread; the L2 by one in-flight
+  // store per thread (rename lands before that store's own sweep runs).
+  const size_t L1Ceiling = L1Budget + Threads * MaxEntry;
+  const size_t L2Ceiling = L2Budget + Threads * MaxDiskEntry;
+  std::atomic<size_t> L1HighWater{0}, L2HighWater{0};
+  std::thread Monitor([&] {
+    std::shared_ptr<host::DiskCache> Disk = Host.diskCache();
+    ASSERT_NE(Disk, nullptr);
+    auto Raise = [](std::atomic<size_t> &HW, size_t V) {
+      size_t Prev = HW.load();
+      while (V > Prev && !HW.compare_exchange_weak(Prev, V))
+        ;
+    };
+    while (!Done.load(std::memory_order_acquire)) {
+      Raise(L1HighWater, Host.cache().residentBytes());
+      Raise(L2HighWater, Disk->diskBytes());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      std::mt19937 Rng(BaseSeed + 77 + T);
+      std::uniform_int_distribution<unsigned> Pick(0, NumModules - 1);
+      for (unsigned Op = 0; Op < OpsPerThread; ++Op) {
+        unsigned I = Pick(Rng);
+        if (Rng() % 4 != 0)
+          I %= NumModules / 4; // hot quarter: real warm hits in the mix
+        const Candidate &C = Cands[I];
+        host::LoadError Err;
+        std::shared_ptr<const host::LoadedModule> LM =
+            Host.load(target::TargetKind::Mips, *C.Exe, Opts, Err);
+        // Whichever tier (or cold translation) served the load, the
+        // translation must be bit-identical to translating from scratch.
+        if (!LM || !LM->Translation ||
+            LM->Translation->CodeHash != C.ExpectHash ||
+            host::hashTargetCode(*LM->Translation->Code) != C.ExpectHash) {
+          IntegrityOk.store(false, std::memory_order_relaxed);
+          ADD_FAILURE() << "tiered integrity violation on module " << I
+                        << " (thread " << T << ", op " << Op << ", seed "
+                        << (BaseSeed + 77 + T) << "): "
+                        << (LM ? "wrong code hash" : Err.str());
+          return;
+        }
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Monitor.join();
+  ASSERT_TRUE(IntegrityOk.load());
+
+  std::shared_ptr<host::DiskCache> Disk = Host.diskCache();
+  ASSERT_NE(Disk, nullptr);
+  host::HostStats St = Host.stats();
+  const uint64_t Loads = uint64_t(Threads) * OpsPerThread;
+
+  // Tier-by-tier reconciliation. Every load resolved in exactly one way.
+  EXPECT_EQ(St.LoadCount, Loads);
+  EXPECT_EQ(St.CacheHits + St.CacheMisses, Loads);
+  ASSERT_TRUE(St.Disk.active());
+  EXPECT_EQ(St.Disk.Hits + St.Disk.Misses + St.Disk.CorruptRejects +
+                St.Disk.Rejected,
+            St.CacheMisses)
+      << "every L1 miss must become exactly one settled L2 probe";
+  EXPECT_EQ(St.Disk.CorruptRejects, 0u) << "nothing corrupted this run";
+  EXPECT_EQ(St.Disk.Rejected, 0u) << "nothing failed the re-proof";
+  EXPECT_EQ(St.Disk.Stores, St.Disk.Misses)
+      << "every L2 miss retranslates and stores back, nothing else does";
+  EXPECT_EQ(St.TranslateCount, St.Disk.Stores);
+  // The churn genuinely exercised every path of the composition.
+  EXPECT_GT(St.CacheHits, 0u);
+  EXPECT_GT(St.Disk.Hits, 0u) << "L1 evictions must re-serve from L2";
+  EXPECT_GT(St.Disk.Misses, 0u);
+  EXPECT_GT(St.CacheEvictions, 0u);
+  EXPECT_GT(St.Disk.Evictions, 0u)
+      << "28 modules through an 8-entry disk budget must sweep";
+  // Disk-served translations were all re-proved, never trusted.
+  if (Host.options().SfiCheck) {
+    EXPECT_EQ(St.SfiCheck.totalChecked(), St.TranslateCount + St.Disk.Hits);
+  }
+
+  // Budgets: bounded (with in-flight slack) while churning, exact once
+  // quiescent. The final sweep mirrors what the next store would do.
+  EXPECT_LE(L1HighWater.load(), L1Ceiling)
+      << "L1 budget " << L1Budget << ", max entry " << MaxEntry;
+  EXPECT_LE(L2HighWater.load(), L2Ceiling)
+      << "L2 budget " << L2Budget << ", max entry " << MaxDiskEntry;
+  EXPECT_LE(Host.cache().residentBytes(), L1Budget);
+  Disk->sweep();
+  EXPECT_LE(Disk->diskBytes(), L2Budget);
+  EXPECT_GT(Disk->entryCount(), 0u);
 }

@@ -1,0 +1,1033 @@
+//===- tests/disk_cache.cpp - persistent L2 cache crash/corruption battery ===//
+///
+/// Safety proof of the persistent translation cache: the L2 must survive
+/// torn writes, truncation, bit rot, stale schemas, hostile tampering,
+/// and concurrent multi-host churn without ever letting a damaged image
+/// execute. Every corruption is rejected-and-retranslated — behavior
+/// after any disk fault is bit-identical to a cold load — and two hosts
+/// sharing a directory translate each module exactly once.
+
+#include "host/DiskCache.h"
+#include "host/ModuleHost.h"
+
+#include "driver/Compiler.h"
+#include "obs/Tracer.h"
+#include "sficheck/SfiChecker.h"
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+using namespace omni;
+using host::CacheKey;
+using host::DiskCache;
+using host::LoadedModule;
+using host::ModuleHost;
+using target::TargetKind;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+vm::Module compile(const std::string &Source) {
+  driver::CompileOptions Opts;
+  vm::Module Exe;
+  std::string Error;
+  bool Ok = driver::compileAndLink(Source, Opts, Exe, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Exe;
+}
+
+const char *ProgramA = R"(
+void print_int(int);
+int main() {
+  int i, acc = 0;
+  for (i = 1; i <= 10; i++) acc += i * i;
+  print_int(acc); /* 385 */
+  return 7;
+}
+)";
+
+const char *ProgramB = R"(
+void print_str(char *);
+int main() {
+  print_str("beta");
+  return 0;
+}
+)";
+
+/// A distinct module per index: the constant lands in the image, so each
+/// variant has its own content hash (and its own L2 entry).
+vm::Module variantModule(unsigned I) {
+  std::string Src = "void print_int(int);\n"
+                    "int main() { print_int(" +
+                    std::to_string(1000 + I) + "); return 0; }\n";
+  return compile(Src);
+}
+
+/// Private scratch directory, recursively removed on destruction.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Template[] = "/tmp/omni_l2_XXXXXX";
+    char *D = ::mkdtemp(Template);
+    EXPECT_NE(D, nullptr);
+    Path = D ? D : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      fs::remove_all(Path, Ec);
+    }
+  }
+};
+
+host::CacheKey keyFor(const vm::Module &Exe, TargetKind Kind,
+                      const translate::TranslateOptions &Opts) {
+  return host::makeCacheKey(ModuleHost::contentHash(Exe), Kind, Opts,
+                            ModuleHost::segmentFor(Exe));
+}
+
+translate::TranslateOptions mobileOpts() {
+  return translate::TranslateOptions::mobile(true);
+}
+
+std::unique_ptr<ModuleHost> hostWithDir(const std::string &Dir) {
+  auto Host = std::make_unique<ModuleHost>();
+  Host->options().CacheDir = Dir;
+  return Host;
+}
+
+runtime::RunResult runModule(ModuleHost &Host,
+                             std::shared_ptr<const LoadedModule> LM) {
+  auto S = Host.createSession(std::move(LM));
+  EXPECT_TRUE(S->valid()) << S->error();
+  return S->run();
+}
+
+std::vector<uint8_t> readFile(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  if (!F)
+    return Bytes;
+  std::fseek(F, 0, SEEK_END);
+  Bytes.resize(static_cast<size_t>(std::ftell(F)));
+  std::fseek(F, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  std::fclose(F);
+  return Bytes;
+}
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << Path;
+  ASSERT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  std::fclose(F);
+}
+
+void putU64At(std::vector<uint8_t> &Bytes, size_t Off, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Bytes[Off + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+/// Rewrites the entry at \p Path with \p Payload under a valid header, the
+/// forgery a tamperer with disk access (and the format spec) can produce:
+/// the self-describing integrity checks all pass, so only the downstream
+/// re-hash + re-proof stand between these bytes and a Session.
+void writeForgedEntry(const std::string &Path, uint8_t Target,
+                      const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Bytes(DiskCache::HeaderBytes);
+  Bytes[0] = DiskCache::Magic & 0xff;
+  Bytes[1] = (DiskCache::Magic >> 8) & 0xff;
+  Bytes[2] = (DiskCache::Magic >> 16) & 0xff;
+  Bytes[3] = (DiskCache::Magic >> 24) & 0xff;
+  Bytes[4] = DiskCache::SchemaVersion & 0xff;
+  Bytes[8] = Target;
+  putU64At(Bytes, 12, Payload.size());
+  putU64At(Bytes, 20, support::fnv1a64Wide(Payload));
+  Bytes.insert(Bytes.end(), Payload.begin(), Payload.end());
+  writeFile(Path, Bytes);
+}
+
+/// First integer store through a base register (the sandboxed-store shape
+/// on every RISC target).
+int findBaseStore(const target::TargetCode &Code) {
+  for (size_t I = 0; I < Code.Code.size(); ++I) {
+    const target::TInstr &T = Code.Code[I];
+    if (T.Op == target::TOp::Store && !T.FpVal &&
+        (T.Mode == target::AddrMode::BaseImm ||
+         T.Mode == target::AddrMode::BaseIndex))
+      return static_cast<int>(I);
+  }
+  return -1;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Image codec
+//===----------------------------------------------------------------------===//
+
+TEST(DiskImageCodec, RoundTripsModuleAndTranslationExactly) {
+  vm::Module Exe = compile(ProgramA);
+  ModuleHost Host;
+  std::string Err;
+  auto LM = Host.load(TargetKind::Mips, Exe, mobileOpts(), Err);
+  ASSERT_TRUE(LM) << Err;
+
+  std::vector<uint8_t> Payload =
+      host::encodeTranslationImage(*LM->Exe, *LM->Translation->Code);
+  vm::Module DecExe;
+  target::TargetCode DecCode;
+  std::string Error;
+  ASSERT_TRUE(host::decodeTranslationImage(Payload, TargetKind::Mips, DecExe,
+                                           DecCode, Error))
+      << Error;
+  EXPECT_EQ(ModuleHost::contentHash(DecExe), ModuleHost::contentHash(Exe));
+  EXPECT_EQ(host::hashTargetCode(DecCode),
+            host::hashTargetCode(*LM->Translation->Code));
+  EXPECT_STREQ(DecCode.TargetName, LM->Translation->Code->TargetName);
+  EXPECT_EQ(DecCode.Entry, LM->Translation->Code->Entry);
+}
+
+TEST(DiskImageCodec, EveryTruncationIsRejectedNotCrashed) {
+  vm::Module Exe = compile(ProgramB);
+  ModuleHost Host;
+  std::string Err;
+  auto LM = Host.load(TargetKind::Sparc, Exe, mobileOpts(), Err);
+  ASSERT_TRUE(LM) << Err;
+  std::vector<uint8_t> Payload =
+      host::encodeTranslationImage(*LM->Exe, *LM->Translation->Code);
+
+  for (size_t Len = 0; Len < Payload.size(); ++Len) {
+    std::vector<uint8_t> Cut(Payload.begin(), Payload.begin() + Len);
+    vm::Module DecExe;
+    target::TargetCode DecCode;
+    std::string Error;
+    EXPECT_FALSE(host::decodeTranslationImage(Cut, TargetKind::Sparc, DecExe,
+                                              DecCode, Error))
+        << "prefix of " << Len << " bytes decoded";
+  }
+}
+
+TEST(DiskImageCodec, HostileFieldsAndTrailingBytesAreRejected) {
+  vm::Module Exe = compile(ProgramA);
+  ModuleHost Host;
+  std::string Err;
+  auto LM = Host.load(TargetKind::X86, Exe, mobileOpts(), Err);
+  ASSERT_TRUE(LM) << Err;
+  std::vector<uint8_t> Good =
+      host::encodeTranslationImage(*LM->Exe, *LM->Translation->Code);
+  vm::Module DecExe;
+  target::TargetCode DecCode;
+  std::string Error;
+
+  // Hostile native-instruction count: claims more records than bytes.
+  std::vector<uint8_t> Bad = Good;
+  size_t OwxSize = static_cast<size_t>(Bad[0]) | (Bad[1] << 8) |
+                   (Bad[2] << 16) | (static_cast<size_t>(Bad[3]) << 24);
+  size_t CountOff = 4 + OwxSize;
+  ASSERT_LT(CountOff + 4, Bad.size());
+  Bad[CountOff + 0] = 0xff;
+  Bad[CountOff + 1] = 0xff;
+  Bad[CountOff + 2] = 0xff;
+  Bad[CountOff + 3] = 0x00;
+  EXPECT_FALSE(host::decodeTranslationImage(Bad, TargetKind::X86, DecExe,
+                                            DecCode, Error));
+
+  // Out-of-range opcode in the first instruction record.
+  Bad = Good;
+  Bad[CountOff + 4] = 0xff;
+  EXPECT_FALSE(host::decodeTranslationImage(Bad, TargetKind::X86, DecExe,
+                                            DecCode, Error));
+
+  // Trailing garbage: the stream must be consumed exactly.
+  Bad = Good;
+  Bad.push_back(0);
+  EXPECT_FALSE(host::decodeTranslationImage(Bad, TargetKind::X86, DecExe,
+                                            DecCode, Error));
+  EXPECT_NE(Error.find("trailing"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// DiskCache storage layer
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCacheStore, StoreLoadRoundTripAndAccounting) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey K{0x1111222233334444ull, 2, 0x5555666677778888ull};
+  std::vector<uint8_t> Payload = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(Cache.load(K, Out), DiskCache::Probe::Miss);
+  ASSERT_TRUE(Cache.store(K, Payload));
+  EXPECT_EQ(Cache.entryCount(), 1u);
+  EXPECT_EQ(Cache.load(K, Out), DiskCache::Probe::Hit);
+  EXPECT_EQ(Out, Payload);
+  Cache.noteHit(K);
+
+  host::DiskCacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Stores, 1u);
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.Hits, 1u);
+  EXPECT_EQ(C.CorruptRejects, 0u);
+  // Probe accounting: every probe resolved to exactly one outcome.
+  EXPECT_EQ(C.Hits + C.Misses + C.CorruptRejects + C.Rejected, 2u);
+}
+
+TEST(DiskCacheStore, DifferentOptionsFingerprintIsADifferentEntry) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey A{42, 0, 100};
+  CacheKey B{42, 0, 200}; // same module, different options fingerprint
+  CacheKey C{42, 1, 100}; // same module, different target
+  EXPECT_NE(Cache.entryPath(A), Cache.entryPath(B));
+  EXPECT_NE(Cache.entryPath(A), Cache.entryPath(C));
+
+  ASSERT_TRUE(Cache.store(A, {1, 2, 3}));
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(Cache.load(B, Out), DiskCache::Probe::Miss);
+  EXPECT_EQ(Cache.load(C, Out), DiskCache::Probe::Miss);
+  EXPECT_EQ(Cache.load(A, Out), DiskCache::Probe::Hit);
+}
+
+TEST(DiskCacheStore, StaleSchemaVersionIsAMissAndTheFileIsReplaced) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey K{7, 1, 9};
+  ASSERT_TRUE(Cache.store(K, {9, 9, 9}));
+
+  // A future (or ancient) writer's schema: not damage, just not readable.
+  std::vector<uint8_t> Bytes = readFile(Cache.entryPath(K));
+  Bytes[4] = DiskCache::SchemaVersion + 1;
+  writeFile(Cache.entryPath(K), Bytes);
+
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(Cache.load(K, Out), DiskCache::Probe::Miss);
+  EXPECT_FALSE(fs::exists(Cache.entryPath(K)))
+      << "stale entry must be deleted so a fresh store replaces it";
+  host::DiskCacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.CorruptRejects, 0u);
+
+  ASSERT_TRUE(Cache.store(K, {9, 9, 9}));
+  EXPECT_EQ(Cache.load(K, Out), DiskCache::Probe::Hit);
+}
+
+TEST(DiskCacheStore, TornAndTruncatedEntriesAreCorruptAndDeleted) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey K{11, 3, 13};
+  std::vector<uint8_t> Payload(64, 0xab);
+
+  // A torn write can stop at any byte; every prefix must read as corrupt.
+  size_t Full = DiskCache::HeaderBytes + Payload.size();
+  for (size_t Len : {size_t(0), size_t(1), DiskCache::HeaderBytes - 1,
+                     DiskCache::HeaderBytes, DiskCache::HeaderBytes + 5,
+                     Full - 1}) {
+    ASSERT_TRUE(Cache.store(K, Payload));
+    std::vector<uint8_t> Bytes = readFile(Cache.entryPath(K));
+    Bytes.resize(Len);
+    writeFile(Cache.entryPath(K), Bytes);
+
+    std::vector<uint8_t> Out;
+    EXPECT_EQ(Cache.load(K, Out), DiskCache::Probe::Corrupt)
+        << "torn at " << Len << " bytes";
+    EXPECT_FALSE(fs::exists(Cache.entryPath(K)));
+  }
+  EXPECT_EQ(Cache.counters().CorruptRejects, 6u);
+}
+
+TEST(DiskCacheStore, EveryBitFlipIsDetected) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey K{17, 2, 19};
+  std::vector<uint8_t> Payload(48);
+  for (size_t I = 0; I < Payload.size(); ++I)
+    Payload[I] = static_cast<uint8_t>(I * 37);
+  ASSERT_TRUE(Cache.store(K, Payload));
+  std::vector<uint8_t> Good = readFile(Cache.entryPath(K));
+
+  // One flipped bit per byte position, across header and payload alike:
+  // no flip may ever read back as a hit with those bytes believed.
+  for (size_t Byte = 0; Byte < Good.size(); ++Byte) {
+    std::vector<uint8_t> Bad = Good;
+    Bad[Byte] ^= 1u << (Byte % 8);
+    writeFile(Cache.entryPath(K), Bad);
+    std::vector<uint8_t> Out;
+    DiskCache::Probe P = Cache.load(K, Out);
+    EXPECT_NE(P, DiskCache::Probe::Hit) << "flip in byte " << Byte;
+  }
+}
+
+TEST(DiskCacheStore, MutateHookDamageIsCaughtBeforeAnyFieldIsBelieved) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey K{23, 0, 29};
+  ASSERT_TRUE(Cache.store(K, std::vector<uint8_t>(32, 0x5a)));
+
+  // The injected mutation models damage after the file was written; the
+  // re-hash must catch it even though the on-disk bytes are pristine.
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(Cache.load(K, Out,
+                       [](std::vector<uint8_t> &B) { B[B.size() - 1] ^= 4; }),
+            DiskCache::Probe::Corrupt);
+  // The corrupt probe deleted the entry; restore it for the next shape.
+  ASSERT_TRUE(Cache.store(K, std::vector<uint8_t>(32, 0x5a)));
+  EXPECT_EQ(Cache.load(K, Out, [](std::vector<uint8_t> &B) { B.clear(); }),
+            DiskCache::Probe::Corrupt);
+}
+
+TEST(DiskCacheStore, ConcurrentStoresAndLoadsNeverObserveATornEntry) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey K{31, 1, 37};
+  std::vector<uint8_t> Payload(4096);
+  for (size_t I = 0; I < Payload.size(); ++I)
+    Payload[I] = static_cast<uint8_t>(I);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> TornReads{0}, ExactHits{0};
+  std::thread Writer([&] {
+    for (int I = 0; I < 200; ++I)
+      ASSERT_TRUE(Cache.store(K, Payload));
+    Stop.store(true);
+  });
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 4; ++R)
+    Readers.emplace_back([&] {
+      while (!Stop.load()) {
+        std::vector<uint8_t> Out;
+        DiskCache::Probe P = Cache.load(K, Out);
+        if (P == DiskCache::Probe::Corrupt)
+          TornReads.fetch_add(1);
+        else if (P == DiskCache::Probe::Hit) {
+          if (Out == Payload)
+            ExactHits.fetch_add(1);
+          else
+            TornReads.fetch_add(1);
+        }
+      }
+    });
+  Writer.join();
+  for (std::thread &T : Readers)
+    T.join();
+  // rename(2) is atomic: a reader sees the complete entry or nothing.
+  EXPECT_EQ(TornReads.load(), 0u);
+  EXPECT_GT(ExactHits.load(), 0u);
+}
+
+TEST(DiskCacheStore, CrashedStoreResidueIsInvisibleAndSweptAway) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  CacheKey K{41, 2, 43};
+  ASSERT_TRUE(Cache.store(K, {1, 2, 3}));
+
+  // A crash between temp write and rename leaves only a temp file.
+  std::string Stale = Cache.entryPath(K) + ".tmp.999.0";
+  writeFile(Stale, std::vector<uint8_t>(100, 0xcc));
+  fs::last_write_time(Stale,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::minutes(5));
+
+  EXPECT_EQ(Cache.entryCount(), 1u) << "temp residue must not count";
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(Cache.load(K, Out), DiskCache::Probe::Hit);
+
+  Cache.sweep();
+  EXPECT_FALSE(fs::exists(Stale)) << "stale temp survived the sweep";
+  EXPECT_TRUE(fs::exists(Cache.entryPath(K)));
+}
+
+TEST(DiskCacheStore, LruSweepEvictsOldestFirstAndHoldsTheBudget) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  std::vector<uint8_t> Payload(1000, 0x77);
+  size_t EntryBytes = DiskCache::HeaderBytes + Payload.size();
+
+  std::vector<CacheKey> Keys;
+  for (uint64_t I = 0; I < 6; ++I) {
+    CacheKey K{100 + I, 0, 1};
+    Keys.push_back(K);
+    ASSERT_TRUE(Cache.store(K, Payload));
+    // Deterministic recency: entry I is I minutes stale.
+    fs::last_write_time(Cache.entryPath(K),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::minutes(6 - I));
+  }
+  Cache.setByteBudget(3 * EntryBytes);
+  Cache.sweep();
+
+  EXPECT_LE(Cache.diskBytes(), 3 * EntryBytes);
+  EXPECT_EQ(Cache.entryCount(), 3u);
+  for (uint64_t I = 0; I < 3; ++I)
+    EXPECT_FALSE(fs::exists(Cache.entryPath(Keys[I]))) << "oldest " << I;
+  for (uint64_t I = 3; I < 6; ++I)
+    EXPECT_TRUE(fs::exists(Cache.entryPath(Keys[I]))) << "newest " << I;
+  EXPECT_EQ(Cache.counters().Evictions, 3u);
+}
+
+TEST(DiskCacheStore, HitRecencyProtectsAnEntryFromTheSweep) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  std::vector<uint8_t> Payload(1000, 0x11);
+  size_t EntryBytes = DiskCache::HeaderBytes + Payload.size();
+  CacheKey Old{1, 0, 1}, Mid{2, 0, 1}, New{3, 0, 1};
+  for (const CacheKey &K : {Old, Mid, New})
+    ASSERT_TRUE(Cache.store(K, Payload));
+  fs::last_write_time(Cache.entryPath(Old), fs::file_time_type::clock::now() -
+                                                std::chrono::minutes(30));
+  fs::last_write_time(Cache.entryPath(Mid), fs::file_time_type::clock::now() -
+                                                std::chrono::minutes(20));
+
+  // The hit refreshes Old's mtime, so Mid is now the eviction victim.
+  Cache.noteHit(Old);
+  Cache.setByteBudget(2 * EntryBytes);
+  Cache.sweep();
+
+  EXPECT_TRUE(fs::exists(Cache.entryPath(Old)));
+  EXPECT_FALSE(fs::exists(Cache.entryPath(Mid)));
+  EXPECT_TRUE(fs::exists(Cache.entryPath(New)));
+}
+
+TEST(DiskCacheStore, StoreNeverEvictsTheEntryItJustWrote) {
+  TempDir Dir;
+  // A budget smaller than one entry: the sweep after the store must spare
+  // the entry just written, or the cache could never serve anything.
+  DiskCache Cache(Dir.Path, /*ByteBudget=*/8);
+  CacheKey K{5, 0, 5};
+  ASSERT_TRUE(Cache.store(K, std::vector<uint8_t>(100, 0x3c)));
+  EXPECT_TRUE(fs::exists(Cache.entryPath(K)));
+}
+
+//===----------------------------------------------------------------------===//
+// ModuleHost integration: the L2 miss path
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCacheHost, ColdWarmRestartWarmRoundTrip) {
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  // Cold: translate, prove, store to the L2.
+  auto Host1 = hostWithDir(Dir.Path);
+  auto Cold = Host1->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Cold) << Err;
+  EXPECT_FALSE(Cold->WarmLoad);
+  EXPECT_FALSE(Cold->DiskWarm);
+  host::HostStats St1 = Host1->stats();
+  EXPECT_EQ(St1.TranslateCount, 1u);
+  EXPECT_EQ(St1.Disk.Misses, 1u);
+  EXPECT_EQ(St1.Disk.Stores, 1u);
+
+  // Warm: the L1 answers; the disk is not even probed.
+  auto Warm = Host1->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Warm) << Err;
+  EXPECT_TRUE(Warm->WarmLoad);
+  EXPECT_EQ(Host1->stats().Disk.Hits, 0u);
+
+  // Restart-warm: a fresh host (fresh L1) over the same directory serves
+  // from disk — no translation, but the proof checker still runs.
+  auto Host2 = hostWithDir(Dir.Path);
+  auto Restart = Host2->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Restart) << Err;
+  EXPECT_TRUE(Restart->DiskWarm);
+  EXPECT_FALSE(Restart->WarmLoad);
+  host::HostStats St2 = Host2->stats();
+  EXPECT_EQ(St2.TranslateCount, 0u);
+  EXPECT_EQ(St2.Disk.Hits, 1u);
+  EXPECT_EQ(St2.SfiCheck.totalChecked(), 1u)
+      << "a disk image must be re-proved before it is served";
+
+  // Bit-identical translation, bit-identical behavior.
+  EXPECT_EQ(host::hashTargetCode(*Restart->Translation->Code),
+            host::hashTargetCode(*Cold->Translation->Code));
+  runtime::RunResult R1 = runModule(*Host1, Cold);
+  runtime::RunResult R2 = runModule(*Host2, Restart);
+  EXPECT_EQ(R1.Output, "385");
+  EXPECT_EQ(R1.Output, R2.Output);
+  EXPECT_EQ(R1.Trap.Code, R2.Trap.Code);
+  EXPECT_EQ(R1.InstrCount, R2.InstrCount);
+
+  // The restart hit installed the entry into Host2's L1: the next load is
+  // an in-memory warm hit with no further disk traffic.
+  auto Again = Host2->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Again) << Err;
+  EXPECT_TRUE(Again->WarmLoad);
+  EXPECT_EQ(Host2->stats().Disk.Hits, 1u);
+}
+
+TEST(DiskCacheHost, SecondHostTranslatesNothingOnAnyTarget) {
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  auto Host1 = hostWithDir(Dir.Path);
+  std::vector<uint64_t> ColdHashes;
+  std::vector<std::string> ColdOutputs;
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    auto LM = Host1->load(target::allTargets(T), Exe, Opts, Err);
+    ASSERT_TRUE(LM) << Err;
+    ColdHashes.push_back(host::hashTargetCode(*LM->Translation->Code));
+    ColdOutputs.push_back(runModule(*Host1, LM).Output);
+  }
+
+  // Zero Translate spans on the second host: assert through the tracer,
+  // not just the counters.
+  obs::Tracer::get().setEnabled(true);
+  obs::Tracer::get().clearForTesting();
+  auto Host2 = hostWithDir(Dir.Path);
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    auto LM = Host2->load(target::allTargets(T), Exe, Opts, Err);
+    ASSERT_TRUE(LM) << Err;
+    EXPECT_TRUE(LM->DiskWarm);
+    EXPECT_EQ(host::hashTargetCode(*LM->Translation->Code), ColdHashes[T]);
+    EXPECT_EQ(runModule(*Host2, LM).Output, ColdOutputs[T]);
+  }
+  std::vector<obs::TraceEvent> Events;
+  obs::Tracer::get().drain(Events);
+  obs::Tracer::get().setEnabled(false);
+  unsigned TranslateSpans = 0, DiskHits = 0;
+  for (const obs::TraceEvent &E : Events) {
+    if (std::string(E.Name) == "Translate")
+      ++TranslateSpans;
+    if (std::string(E.Name) == "DiskHit")
+      ++DiskHits;
+  }
+  EXPECT_EQ(TranslateSpans, 0u);
+  EXPECT_EQ(DiskHits, target::NumTargets);
+
+  host::HostStats St2 = Host2->stats();
+  EXPECT_EQ(St2.TranslateCount, 0u);
+  EXPECT_EQ(St2.VerifyCount, target::NumTargets)
+      << "the L2 path must still verify the arriving module";
+  EXPECT_EQ(St2.Disk.Hits, target::NumTargets);
+  EXPECT_EQ(St2.SfiCheck.totalChecked(), target::NumTargets);
+  EXPECT_EQ(St2.SfiCheck.totalPassed(), target::NumTargets);
+}
+
+TEST(DiskCacheHost, DifferentSemanticOptionsMissOnDisk) {
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramB);
+  std::string Err;
+  translate::TranslateOptions Base = mobileOpts();
+  translate::TranslateOptions Reads = Base;
+  Reads.SfiReads = true;
+
+  auto Host1 = hostWithDir(Dir.Path);
+  ASSERT_TRUE(Host1->load(TargetKind::Mips, Exe, Base, Err)) << Err;
+
+  auto Host2 = hostWithDir(Dir.Path);
+  auto LM = Host2->load(TargetKind::Mips, Exe, Reads, Err);
+  ASSERT_TRUE(LM) << Err;
+  EXPECT_FALSE(LM->DiskWarm) << "a different fingerprint may not alias";
+  host::HostStats St = Host2->stats();
+  EXPECT_EQ(St.Disk.Misses, 1u);
+  EXPECT_EQ(St.TranslateCount, 1u);
+
+  // Same fingerprint from yet another host now hits the Reads entry.
+  auto Host3 = hostWithDir(Dir.Path);
+  auto Again = Host3->load(TargetKind::Mips, Exe, Reads, Err);
+  ASSERT_TRUE(Again) << Err;
+  EXPECT_TRUE(Again->DiskWarm);
+}
+
+TEST(DiskCacheHost, CorruptEntryIsRejectedAndRetranslated) {
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  auto Host1 = hostWithDir(Dir.Path);
+  auto Cold = Host1->load(TargetKind::Ppc, Exe, Opts, Err);
+  ASSERT_TRUE(Cold) << Err;
+  uint64_t GoodHash = host::hashTargetCode(*Cold->Translation->Code);
+
+  // Rot a payload byte on disk (past the FNV field).
+  CacheKey Key = keyFor(Exe, TargetKind::Ppc, Opts);
+  std::string Path = Host1->diskCache()->entryPath(Key);
+  std::vector<uint8_t> Bytes = readFile(Path);
+  Bytes[DiskCache::HeaderBytes + 10] ^= 0x40;
+  writeFile(Path, Bytes);
+
+  auto Host2 = hostWithDir(Dir.Path);
+  auto LM = Host2->load(TargetKind::Ppc, Exe, Opts, Err);
+  ASSERT_TRUE(LM) << Err << " (corruption must fall back, not fail)";
+  EXPECT_FALSE(LM->DiskWarm);
+  EXPECT_EQ(host::hashTargetCode(*LM->Translation->Code), GoodHash);
+  EXPECT_EQ(runModule(*Host2, LM).Output, "385");
+
+  host::HostStats St = Host2->stats();
+  EXPECT_EQ(St.Disk.CorruptRejects, 1u);
+  EXPECT_EQ(St.TranslateCount, 1u) << "rejected-and-retranslated";
+  EXPECT_EQ(St.Disk.Stores, 1u) << "the clean image must replace the rot";
+
+  // The replacement entry is healthy: a third host restart-warms from it.
+  auto Host3 = hostWithDir(Dir.Path);
+  auto Healed = Host3->load(TargetKind::Ppc, Exe, Opts, Err);
+  ASSERT_TRUE(Healed) << Err;
+  EXPECT_TRUE(Healed->DiskWarm);
+}
+
+TEST(DiskCacheHost, ForgedEntryWithWrongModuleContentIsCorrupt) {
+  TempDir Dir;
+  vm::Module ExeA = compile(ProgramA);
+  vm::Module ExeB = compile(ProgramB);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  auto Host1 = hostWithDir(Dir.Path);
+  ASSERT_TRUE(Host1->load(TargetKind::Mips, ExeA, Opts, Err)) << Err;
+  auto LMB = Host1->load(TargetKind::Mips, ExeB, Opts, Err);
+  ASSERT_TRUE(LMB) << Err;
+
+  // Forge: module B's whole image, valid header and FNV, parked under
+  // module A's key. Storage integrity passes; the content re-hash is the
+  // check that must kill it.
+  CacheKey KeyA = keyFor(ExeA, TargetKind::Mips, Opts);
+  writeForgedEntry(Host1->diskCache()->entryPath(KeyA),
+                   static_cast<uint8_t>(TargetKind::Mips),
+                   host::encodeTranslationImage(*LMB->Exe,
+                                                *LMB->Translation->Code));
+
+  auto Host2 = hostWithDir(Dir.Path);
+  auto LM = Host2->load(TargetKind::Mips, ExeA, Opts, Err);
+  ASSERT_TRUE(LM) << Err;
+  EXPECT_FALSE(LM->DiskWarm);
+  EXPECT_EQ(runModule(*Host2, LM).Output, "385") << "must behave as A";
+  host::HostStats St = Host2->stats();
+  EXPECT_EQ(St.Disk.CorruptRejects, 1u);
+  EXPECT_EQ(St.TranslateCount, 1u);
+}
+
+TEST(DiskCacheHost, PoisonedTranslationFailsTheReProofAndNeverRuns) {
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  auto Host1 = hostWithDir(Dir.Path);
+  auto Cold = Host1->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Cold) << Err;
+  uint64_t GoodHash = host::hashTargetCode(*Cold->Translation->Code);
+
+  // The strongest forgery the format admits: the right module, a valid
+  // header, a valid payload FNV — but the translation's sandbox has been
+  // broken (a store redirected through an unmasked, module-controlled
+  // register). Storage integrity and the content re-hash both pass; only
+  // the SFI re-proof stands between this image and a Session.
+  target::TargetCode Poisoned = *Cold->Translation->Code;
+  int S = findBaseStore(Poisoned);
+  ASSERT_GE(S, 0);
+  int Attacker = Poisoned.VmIntRegMap[4];
+  ASSERT_GE(Attacker, 0);
+  Poisoned.Code[S].Rs1 = static_cast<unsigned>(Attacker);
+  Poisoned.Code[S].Mode = target::AddrMode::BaseImm;
+  Poisoned.Code[S].Imm = vm::PageSize;
+
+  CacheKey Key = keyFor(Exe, TargetKind::Mips, Opts);
+  writeForgedEntry(Host1->diskCache()->entryPath(Key),
+                   static_cast<uint8_t>(TargetKind::Mips),
+                   host::encodeTranslationImage(*Cold->Exe, Poisoned));
+
+  auto Host2 = hostWithDir(Dir.Path);
+  auto LM = Host2->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(LM) << Err << " (a poisoned entry must not fail the load)";
+  EXPECT_FALSE(LM->DiskWarm);
+  EXPECT_EQ(host::hashTargetCode(*LM->Translation->Code), GoodHash)
+      << "the poisoned image must never be served";
+  EXPECT_EQ(runModule(*Host2, LM).Output, "385");
+
+  host::HostStats St = Host2->stats();
+  EXPECT_EQ(St.Disk.Rejected, 1u);
+  EXPECT_EQ(St.Disk.CorruptRejects, 0u);
+  EXPECT_EQ(St.SfiCheck.totalRejected(), 1u);
+  EXPECT_EQ(St.TranslateCount, 1u) << "rejected-and-retranslated";
+  EXPECT_EQ(St.totalRejects(), 0u)
+      << "disk poison is recovered, never a structured load failure";
+}
+
+TEST(DiskCacheHost, SafeTamperIsAcceptedTheDocumentedResidualTrust) {
+  // The boundary of the L2's proof obligations, pinned so it stays
+  // documented rather than assumed: the content re-hash proves the
+  // stored *module* is the one asked for, and the SFI re-proof proves
+  // the stored *translation* is contained — neither proves the
+  // translation is what the translator would emit today. A tampered
+  // image that is well-formed AND still provably sandboxed is accepted
+  // (same residual trust the in-memory cache places in its entries; an
+  // authenticity guarantee would need a MAC, out of scope).
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  auto Host1 = hostWithDir(Dir.Path);
+  auto Cold = Host1->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(Cold) << Err;
+  uint64_t GoodHash = host::hashTargetCode(*Cold->Translation->Code);
+  translate::SegmentLayout Seg = ModuleHost::segmentFor(Exe);
+  sficheck::CheckOptions CheckOpts;
+  CheckOpts.Sfi = Opts.Sfi;
+  CheckOpts.SfiReads = Opts.SfiReads;
+
+  // Find a semantic-but-safe tamper: nudge the immediate of a plain ALU
+  // instruction and keep the first variant the proof checker still
+  // accepts. The checker itself is the filter, so the test never bakes
+  // in assumptions about which instruction is "safe" to corrupt.
+  target::TargetCode Tampered;
+  bool Found = false;
+  for (size_t I = 0; I < Cold->Translation->Code->Code.size() && !Found;
+       ++I) {
+    const target::TInstr &T = Cold->Translation->Code->Code[I];
+    if (!T.UsesImm || T.MemOperand || T.FpVal)
+      continue;
+    target::TargetCode Candidate = *Cold->Translation->Code;
+    Candidate.Code[I].Imm += 1;
+    if (sficheck::checkTranslation(TargetKind::Mips, Candidate, Seg,
+                                   CheckOpts)
+            .Ok) {
+      Tampered = std::move(Candidate);
+      Found = true;
+    }
+  }
+  ASSERT_TRUE(Found) << "no provably-safe tamper found in the image";
+  ASSERT_NE(host::hashTargetCode(Tampered), GoodHash);
+
+  CacheKey Key = keyFor(Exe, TargetKind::Mips, Opts);
+  writeForgedEntry(Host1->diskCache()->entryPath(Key),
+                   static_cast<uint8_t>(TargetKind::Mips),
+                   host::encodeTranslationImage(*Cold->Exe, Tampered));
+
+  auto Host2 = hostWithDir(Dir.Path);
+  auto LM = Host2->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(LM) << Err;
+  EXPECT_TRUE(LM->DiskWarm) << "a safe tamper passes every check we claim";
+  EXPECT_EQ(host::hashTargetCode(*LM->Translation->Code),
+            host::hashTargetCode(Tampered));
+  host::HostStats St = Host2->stats();
+  EXPECT_EQ(St.Disk.Hits, 1u);
+  EXPECT_EQ(St.TranslateCount, 0u);
+  EXPECT_EQ(St.SfiCheck.totalChecked(), 1u) << "accepted only via re-proof";
+}
+
+TEST(DiskCacheHost, MutateDiskEntrySweepNeverServesDamage) {
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  auto Host1 = hostWithDir(Dir.Path);
+  auto Cold = Host1->load(TargetKind::Sparc, Exe, Opts, Err);
+  ASSERT_TRUE(Cold) << Err;
+  uint64_t GoodHash = host::hashTargetCode(*Cold->Translation->Code);
+  CacheKey Key = keyFor(Exe, TargetKind::Sparc, Opts);
+  std::vector<uint8_t> GoodEntry =
+      readFile(Host1->diskCache()->entryPath(Key));
+
+  uint64_t Rng = 0x51CC0DEull;
+  auto Next = [&Rng] {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+  for (unsigned Case = 0; Case < 64; ++Case) {
+    auto Host2 = hostWithDir(Dir.Path);
+    auto FI = std::make_shared<host::FaultInjector>();
+    unsigned Mode = Case % 4;
+    uint64_t R1 = Next(), R2 = Next();
+    FI->MutateDiskEntry = [Mode, R1, R2](std::vector<uint8_t> &B) {
+      if (B.empty())
+        return;
+      switch (Mode) {
+      case 0: // single bit flip anywhere
+        B[R1 % B.size()] ^= 1u << (R2 % 8);
+        break;
+      case 1: // truncation
+        B.resize(R1 % B.size());
+        break;
+      case 2: // splice: swap two bytes
+        std::swap(B[R1 % B.size()], B[R2 % B.size()]);
+        break;
+      case 3: // garbage extension
+        B.insert(B.end(), 1 + R1 % 16, static_cast<uint8_t>(R2));
+        break;
+      }
+    };
+    Host2->setFaultInjector(FI);
+    auto LM = Host2->load(TargetKind::Sparc, Exe, Opts, Err);
+    ASSERT_TRUE(LM) << "case " << Case << ": " << Err;
+    EXPECT_EQ(host::hashTargetCode(*LM->Translation->Code), GoodHash)
+        << "case " << Case << " served a damaged image";
+    host::HostStats St = Host2->stats();
+    // Either the mutation was caught — corrupt, or a miss when it landed
+    // in the schema-version field — and retranslated, or it was a no-op
+    // swap of equal bytes (hit); nothing else is acceptable.
+    EXPECT_EQ(St.Disk.Hits + St.Disk.CorruptRejects + St.Disk.Misses, 1u)
+        << "case " << Case;
+    EXPECT_EQ(St.Disk.Hits + St.TranslateCount, 1u) << "case " << Case;
+
+    // Restore the pristine entry (a corrupt probe deletes it, and the
+    // fallback store then re-writes it post-mutation-free — but keep the
+    // sweep deterministic by resetting explicitly).
+    writeFile(Host1->diskCache()->entryPath(Key), GoodEntry);
+  }
+}
+
+TEST(DiskCacheHost, SharedDirectoryChurnHoldsTheBudgetAndReconciles) {
+  TempDir Dir;
+  translate::TranslateOptions Opts = mobileOpts();
+  constexpr unsigned NumModules = 10;
+  std::vector<vm::Module> Modules;
+  for (unsigned I = 0; I < NumModules; ++I)
+    Modules.push_back(variantModule(I));
+
+  // Two hosts over one directory, four threads each, with an L2 budget
+  // too small for every entry: eviction churn under concurrency.
+  auto HostA = hostWithDir(Dir.Path);
+  auto HostB = hostWithDir(Dir.Path);
+  HostA->options().DiskByteBudget = 64 << 10;
+  HostB->options().DiskByteBudget = 64 << 10;
+
+  std::atomic<uint64_t> Failures{0};
+  auto Churn = [&](ModuleHost &Host, unsigned Seed) {
+    uint64_t Rng = 0x5EED5EEDull + Seed;
+    for (unsigned I = 0; I < 40; ++I) {
+      Rng ^= Rng << 13;
+      Rng ^= Rng >> 7;
+      Rng ^= Rng << 17;
+      const vm::Module &Exe = Modules[Rng % NumModules];
+      TargetKind Kind = target::allTargets((Rng >> 8) % target::NumTargets);
+      std::string Err;
+      auto LM = Host.load(Kind, Exe, Opts, Err);
+      if (!LM)
+        Failures.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 4; ++T) {
+    Threads.emplace_back([&, T] { Churn(*HostA, T); });
+    Threads.emplace_back([&, T] { Churn(*HostB, 100 + T); });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+
+  for (ModuleHost *H : {HostA.get(), HostB.get()}) {
+    host::HostStats St = H->stats();
+    // Probe accounting: every L1 miss probed the disk and resolved to
+    // exactly one outcome.
+    EXPECT_EQ(St.Disk.Hits + St.Disk.Misses + St.Disk.CorruptRejects +
+                  St.Disk.Rejected,
+              St.CacheMisses);
+    EXPECT_EQ(St.Disk.CorruptRejects, 0u);
+    EXPECT_EQ(St.Disk.Rejected, 0u);
+    EXPECT_EQ(St.totalRejects(), 0u);
+  }
+  // The shared directory ends within budget once the last sweep settles.
+  HostA->diskCache()->sweep();
+  EXPECT_LE(HostA->diskCache()->diskBytes(),
+            HostA->diskCache()->byteBudget());
+}
+
+TEST(DiskCacheHost, StatsDumpGainsTheL2LineOnlyWhenConfigured) {
+  vm::Module Exe = compile(ProgramB);
+  std::string Err;
+
+  ModuleHost Bare;
+  ASSERT_TRUE(Bare.load(TargetKind::Mips, Exe, mobileOpts(), Err)) << Err;
+  EXPECT_EQ(Bare.stats().dump().find("l2:"), std::string::npos);
+  EXPECT_FALSE(Bare.stats().Disk.Configured);
+  EXPECT_EQ(Bare.diskCache(), nullptr);
+
+  TempDir Dir;
+  auto Host = hostWithDir(Dir.Path);
+  ASSERT_TRUE(Host->load(TargetKind::Mips, Exe, mobileOpts(), Err)) << Err;
+  std::string Dump = Host->stats().dump();
+  EXPECT_NE(Dump.find("l2:       0 hits, 1 misses, 0 corrupt, 0 evicted, "
+                      "0 rejected, 1 stores"),
+            std::string::npos)
+      << Dump;
+}
+
+TEST(DiskCacheHost, TraceInstantsCoverHitMissAndCorrupt) {
+  TempDir Dir;
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  std::string Err;
+
+  obs::Tracer::get().setEnabled(true);
+  obs::Tracer::get().clearForTesting();
+
+  auto Host1 = hostWithDir(Dir.Path);
+  ASSERT_TRUE(Host1->load(TargetKind::X86, Exe, Opts, Err)) << Err; // miss
+
+  auto Host2 = hostWithDir(Dir.Path);
+  ASSERT_TRUE(Host2->load(TargetKind::X86, Exe, Opts, Err)) << Err; // hit
+
+  CacheKey Key = keyFor(Exe, TargetKind::X86, Opts);
+  std::string Path = Host1->diskCache()->entryPath(Key);
+  std::vector<uint8_t> Bytes = readFile(Path);
+  Bytes.back() ^= 1;
+  writeFile(Path, Bytes);
+  auto Host3 = hostWithDir(Dir.Path);
+  ASSERT_TRUE(Host3->load(TargetKind::X86, Exe, Opts, Err)) << Err; // corrupt
+
+  std::vector<obs::TraceEvent> Events;
+  obs::Tracer::get().drain(Events);
+  obs::Tracer::get().setEnabled(false);
+  unsigned Hit = 0, Miss = 0, Corrupt = 0;
+  for (const obs::TraceEvent &E : Events) {
+    std::string Name = E.Name;
+    Hit += Name == "DiskHit";
+    Miss += Name == "DiskMiss";
+    Corrupt += Name == "DiskCorrupt";
+  }
+  EXPECT_EQ(Hit, 1u);
+  EXPECT_GE(Miss, 1u);
+  EXPECT_EQ(Corrupt, 1u);
+}
+
+// CI hook: when OMNI_DISK_CACHE_DIR names a shared directory, run the
+// suite twice against it — the second run must serve this module from the
+// L2 without translating, and says so in greppable form.
+TEST(DiskCacheHost, SharedEnvDirectoryServesPrechargedEntries) {
+  const char *EnvDir = std::getenv("OMNI_DISK_CACHE_DIR");
+  TempDir Fallback;
+  std::string Dir = EnvDir ? EnvDir : Fallback.Path;
+
+  vm::Module Exe = compile(ProgramA);
+  translate::TranslateOptions Opts = mobileOpts();
+  CacheKey Key = keyFor(Exe, TargetKind::Mips, Opts);
+  DiskCache Probe(Dir);
+  bool Precharged = fs::exists(Probe.entryPath(Key));
+
+  auto Host = hostWithDir(Dir);
+  std::string Err;
+  auto LM = Host->load(TargetKind::Mips, Exe, Opts, Err);
+  ASSERT_TRUE(LM) << Err;
+  EXPECT_EQ(runModule(*Host, LM).Output, "385");
+
+  host::HostStats St = Host->stats();
+  if (Precharged) {
+    EXPECT_TRUE(LM->DiskWarm);
+    EXPECT_EQ(St.TranslateCount, 0u);
+    EXPECT_EQ(St.SfiCheck.totalChecked(), 1u);
+    printf("L2-PRECHARGED-HIT hits=%llu\n",
+           static_cast<unsigned long long>(St.Disk.Hits));
+  } else {
+    EXPECT_EQ(St.Disk.Stores, 1u);
+    printf("L2-COLD-STORE stores=%llu\n",
+           static_cast<unsigned long long>(St.Disk.Stores));
+  }
+}

@@ -7,15 +7,20 @@
 /// never a process abort — while healthy concurrent sessions keep running
 /// and per-kind counts land in HostStats.
 
+#include "host/DiskCache.h"
 #include "host/ModuleHost.h"
 
 #include "driver/Compiler.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 #include "vm/Assembler.h"
 #include "vm/Linker.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <random>
 
 using namespace omni;
@@ -102,6 +107,63 @@ struct ImageBuilder {
     return B;
   }
 };
+
+/// Private scratch directory for L2 cache tests, removed on destruction.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Template[] = "/tmp/omni_fi_XXXXXX";
+    char *D = ::mkdtemp(Template);
+    EXPECT_NE(D, nullptr);
+    Path = D ? D : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      std::filesystem::remove_all(Path, Ec);
+    }
+  }
+};
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << Path;
+  ASSERT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  std::fclose(F);
+}
+
+/// Writes \p Payload under a fully valid L2 header — the forgery a
+/// tamperer with disk access can produce. Storage integrity passes, so
+/// only the content re-hash and the SFI re-proof guard the serve path.
+void writeForgedEntry(const std::string &Path, uint8_t Target,
+                      const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Bytes(host::DiskCache::HeaderBytes, 0);
+  uint32_t Magic = host::DiskCache::Magic;
+  for (int I = 0; I < 4; ++I)
+    Bytes[I] = static_cast<uint8_t>(Magic >> (8 * I));
+  Bytes[4] = host::DiskCache::SchemaVersion;
+  Bytes[8] = Target;
+  uint64_t Len = Payload.size(), Fnv = support::fnv1a64Wide(Payload);
+  for (int I = 0; I < 8; ++I) {
+    Bytes[12 + I] = static_cast<uint8_t>(Len >> (8 * I));
+    Bytes[20 + I] = static_cast<uint8_t>(Fnv >> (8 * I));
+  }
+  Bytes.insert(Bytes.end(), Payload.begin(), Payload.end());
+  writeFile(Path, Bytes);
+}
+
+/// First integer store through a base register (the sandboxed-store shape
+/// on every RISC target).
+int findBaseStore(const target::TargetCode &Code) {
+  for (size_t I = 0; I < Code.Code.size(); ++I) {
+    const target::TInstr &T = Code.Code[I];
+    if (T.Op == target::TOp::Store && !T.FpVal &&
+        (T.Mode == target::AddrMode::BaseImm ||
+         T.Mode == target::AddrMode::BaseIndex))
+      return static_cast<int>(I);
+  }
+  return -1;
+}
 
 /// Runs hostile bytes through the full untrusted path and expects a
 /// structured Deserialize-stage reject carrying \p ExpectMsg.
@@ -339,7 +401,12 @@ int main() { host_format_disk(1); return 0; }
 //===----------------------------------------------------------------------===//
 
 TEST(FaultInjection, MutatedImagesNeverAbortTheHost) {
+  // The whole sweep runs with a persistent L2 attached: every mutated
+  // image that survives the pipeline is also stored to and probed from
+  // disk, so the hostile-input battery covers the cache's serve path too.
+  TempDir CacheDir;
   ModuleHost Host;
+  Host.options().CacheDir = CacheDir.Path;
   translate::TranslateOptions Opts = mobileOpts();
   std::vector<std::vector<uint8_t>> Seeds = {compile(ProgramA).serialize(),
                                              compile(ProgramB).serialize()};
@@ -439,6 +506,90 @@ TEST(FaultInjection, MutatedImagesNeverAbortTheHost) {
   EXPECT_EQ(St.SfiCheck.totalRejected(), 0u);
   EXPECT_EQ(St.SfiCheck.totalChecked(), St.SfiCheck.totalPassed());
   EXPECT_EQ(St.rejects(LoadStage::Check), 0u);
+
+  // L2 state stayed clean across all ~650 hostile images: every L1 miss
+  // that survived the verifier probed the disk and resolved to exactly
+  // one outcome, nothing on disk was damaged, and each translated
+  // survivor was persisted.
+  EXPECT_TRUE(St.Disk.Configured);
+  EXPECT_EQ(St.Disk.Hits + St.Disk.Misses + St.Disk.CorruptRejects +
+                St.Disk.Rejected,
+            St.CacheMisses - St.rejects(LoadStage::Verify));
+  EXPECT_EQ(St.Disk.CorruptRejects, 0u);
+  EXPECT_EQ(St.Disk.Rejected, 0u);
+  EXPECT_GT(St.Disk.Stores, 0u);
+  EXPECT_EQ(St.Disk.Stores, St.TranslateCount)
+      << "every successful translation must reach the L2";
+}
+
+TEST(FaultInjection, PoisonedL2EntriesAreCheckRejectedWithCleanState) {
+  // Per target, a disk entry whose translation has had its sandbox broken
+  // (a store redirected through an unmasked, module-controlled register)
+  // under an otherwise perfectly valid header and payload hash. The SFI
+  // re-proof must reject it, the module must be retranslated cold, and
+  // both cache tiers must end the case holding only the healthy image.
+  translate::TranslateOptions Opts = mobileOpts();
+  vm::Module Exe = compile(ProgramA);
+
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    TargetKind Kind = target::allTargets(T);
+    if (Kind == TargetKind::X86)
+      continue; // x86 stores are contained by hardware segmentation
+    SCOPED_TRACE(target::getTargetName(Kind));
+    TempDir Dir; // fresh cache dir per case: no cross-target leakage
+
+    ModuleHost Seeder;
+    Seeder.options().CacheDir = Dir.Path;
+    LoadError Err;
+    auto Cold = Seeder.load(Kind, Exe, Opts, Err);
+    ASSERT_TRUE(Cold) << Err.str();
+    uint64_t GoodHash = host::hashTargetCode(*Cold->Translation->Code);
+
+    target::TargetCode Poisoned = *Cold->Translation->Code;
+    int S = findBaseStore(Poisoned);
+    ASSERT_GE(S, 0);
+    int Attacker = Poisoned.VmIntRegMap[4];
+    ASSERT_GE(Attacker, 0);
+    Poisoned.Code[S].Rs1 = static_cast<unsigned>(Attacker);
+    Poisoned.Code[S].Mode = target::AddrMode::BaseImm;
+    Poisoned.Code[S].Imm = vm::PageSize;
+
+    host::CacheKey Key = host::makeCacheKey(
+        ModuleHost::contentHash(Exe), Kind, Opts, ModuleHost::segmentFor(Exe));
+    writeForgedEntry(Seeder.diskCache()->entryPath(Key),
+                     static_cast<uint8_t>(Kind),
+                     host::encodeTranslationImage(*Cold->Exe, Poisoned));
+
+    ModuleHost Victim;
+    Victim.options().CacheDir = Dir.Path;
+    auto LM = Victim.load(Kind, Exe, Opts, Err);
+    ASSERT_TRUE(LM) << Err.str() << " (poison must fall back, not fail)";
+    EXPECT_FALSE(LM->DiskWarm);
+    EXPECT_EQ(host::hashTargetCode(*LM->Translation->Code), GoodHash)
+        << "the poisoned image must never be served";
+
+    host::HostStats St = Victim.stats();
+    EXPECT_EQ(St.Disk.Rejected, 1u);
+    EXPECT_EQ(St.SfiCheck.totalRejected(), 1u) << "Check-rejected";
+    EXPECT_EQ(St.totalRejects(), 0u) << "recovered, not a LoadError";
+    EXPECT_EQ(St.TranslateCount, 1u) << "rejected-and-retranslated";
+
+    // Clean L1 afterward: the resident entry is the healthy translation.
+    auto Warm = Victim.load(Kind, Exe, Opts, Err);
+    ASSERT_TRUE(Warm) << Err.str();
+    EXPECT_TRUE(Warm->WarmLoad);
+    EXPECT_EQ(host::hashTargetCode(*Warm->Translation->Code), GoodHash);
+
+    // Clean L2 afterward: the retranslated store replaced the poison, so
+    // a fresh host restart-warms from a proof-passing entry.
+    ModuleHost After;
+    After.options().CacheDir = Dir.Path;
+    auto Healed = After.load(Kind, Exe, Opts, Err);
+    ASSERT_TRUE(Healed) << Err.str();
+    EXPECT_TRUE(Healed->DiskWarm);
+    EXPECT_EQ(host::hashTargetCode(*Healed->Translation->Code), GoodHash);
+    EXPECT_EQ(After.stats().SfiCheck.totalPassed(), 1u);
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -104,11 +104,39 @@ TEST(HostStatsDump, DeterministicSections) {
       << D;
   EXPECT_TRUE(contains(D, "  resident: 4096 bytes in 2 entries\n")) << D;
 
-  // The optional sections stay out of an inactive snapshot.
+  // The optional sections stay out of an inactive snapshot. The l2 line
+  // in particular must not appear on a host with no CacheDir configured,
+  // even if stray counters are nonzero — active() keys on Configured.
   EXPECT_FALSE(contains(D, "serving:")) << D;
   EXPECT_FALSE(contains(D, "latency:")) << D;
   EXPECT_FALSE(contains(D, "trace:")) << D;
   EXPECT_FALSE(contains(D, "sficheck:")) << D;
+  EXPECT_FALSE(contains(D, "l2:")) << D;
+
+  // The l2 section appears exactly when a persistent cache directory is
+  // attached, rendered byte-for-byte from the disk counters.
+  St.Disk.Configured = true;
+  St.Disk.Hits = 11;
+  St.Disk.Misses = 4;
+  St.Disk.CorruptRejects = 2;
+  St.Disk.Rejected = 1;
+  St.Disk.Evictions = 3;
+  St.Disk.Stores = 6;
+  D = St.dump();
+  EXPECT_TRUE(contains(D, "  l2:       11 hits, 4 misses, 2 corrupt, "
+                          "3 evicted, 1 rejected, 6 stores\n"))
+      << D;
+  // A configured-but-untouched L2 still reports (all zeros is a signal:
+  // the cache is attached but nothing has gone through it).
+  St.Disk = host::DiskCacheStats();
+  St.Disk.Configured = true;
+  D = St.dump();
+  EXPECT_TRUE(contains(D, "  l2:       0 hits, 0 misses, 0 corrupt, "
+                          "0 evicted, 0 rejected, 0 stores\n"))
+      << D;
+  St.Disk = host::DiskCacheStats();
+  D = St.dump();
+  EXPECT_FALSE(contains(D, "l2:")) << D;
 
   // The sficheck section appears once a translation has been checked,
   // with per-target checked/passed/rejected triples and obligation
