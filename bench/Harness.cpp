@@ -25,6 +25,26 @@ vm::Module omni::bench::compileMobile(const workloads::Workload &W,
   return Exe;
 }
 
+vm::Module omni::bench::compileMobilePascal(const workloads::Workload &W,
+                                            unsigned NumRegs) {
+  if (!W.PascalSource) {
+    std::fprintf(stderr, "fatal: workload %s has no Pascal port\n", W.Name);
+    std::exit(1);
+  }
+  driver::CompileOptions Opts;
+  Opts.Lang = driver::Language::Pascal;
+  Opts.CodeGen.NumIntRegs = NumRegs;
+  Opts.CodeGen.NumFpRegs = NumRegs;
+  vm::Module Exe;
+  std::string Error;
+  if (!driver::compileAndLink(W.PascalSource, Opts, Exe, Error)) {
+    std::fprintf(stderr, "fatal: compiling %s.pas failed: %s\n", W.Name,
+                 Error.c_str());
+    std::exit(1);
+  }
+  return Exe;
+}
+
 runtime::TargetRunResult
 omni::bench::measureMobile(target::TargetKind Kind, const vm::Module &Exe,
                            const translate::TranslateOptions &O,
@@ -120,8 +140,24 @@ int main() {
                    Salt + 1);
 }
 
-vm::Module omni::bench::compileSourceOrDie(const std::string &Source) {
+std::string omni::bench::servingWorkSourcePascal(unsigned Salt) {
+  return formatStr(R"(
+program serve;
+var i, acc: integer;
+begin
+  acc := %u;
+  for i := 0 to 3999 do
+    acc := acc * 33 + (i xor ((acc and $7fffffff) shr 3));
+  write(acc)
+end.
+)",
+                   Salt + 1);
+}
+
+vm::Module omni::bench::compileSourceOrDie(const std::string &Source,
+                                           driver::Language Lang) {
   driver::CompileOptions Opts;
+  Opts.Lang = Lang;
   vm::Module Exe;
   std::string Error;
   if (!driver::compileAndLink(Source, Opts, Exe, Error)) {
@@ -142,11 +178,24 @@ omni::bench::makeMixedFixture(host::ModuleHost &Host, unsigned NumCold,
     std::fprintf(stderr, "load failed: %s\n", Err.str().c_str());
     std::exit(1);
   }
+  F.WarmPas = Host.load(target::TargetKind::Mips,
+                        compileSourceOrDie(servingWorkSourcePascal(0),
+                                           driver::Language::Pascal),
+                        Opts, Err);
+  if (!F.WarmPas) {
+    std::fprintf(stderr, "load failed: %s\n", Err.str().c_str());
+    std::exit(1);
+  }
   // Cold traffic arrives as OWX wire bytes, each a distinct program so
-  // every one is a fresh verify + translate.
+  // every one is a fresh verify + translate. MiniC- and Pascal-compiled
+  // images interleave: past the frontend the host cannot tell them apart.
   for (unsigned I = 0; I < NumCold; ++I)
     F.ColdOwx.push_back(
-        compileSourceOrDie(servingWorkSource(1000 + I)).serialize());
+        I % 2 == 0
+            ? compileSourceOrDie(servingWorkSource(1000 + I)).serialize()
+            : compileSourceOrDie(servingWorkSourcePascal(1000 + I),
+                                 driver::Language::Pascal)
+                  .serialize());
   F.Hostile = F.ColdOwx[0];
   F.Hostile.resize(F.Hostile.size() / 3); // truncated: deserialize reject
   std::string LoopSrc = "int main() { int x = 1; while (x) x = x | 1; "
@@ -181,8 +230,8 @@ MixedCensus omni::bench::submitMixedTraffic(host::Server &Srv,
       R.StepBudget = RunawayBudget;
       ++C.Runaway;
       break;
-    default: // warm majority
-      R.Module = F.Warm;
+    default: // warm majority, alternating source languages
+      R.Module = (I % 2 == 0 || !F.WarmPas) ? F.Warm : F.WarmPas;
       ++C.Warm;
       break;
     }

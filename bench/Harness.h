@@ -31,6 +31,13 @@ namespace bench {
 vm::Module compileMobile(const workloads::Workload &W,
                          unsigned NumRegs = 16);
 
+/// Compiles workload \p W's Pascal port (W.PascalSource; aborts when the
+/// workload has none). The resulting module flows through the identical
+/// verify/translate/serve pipeline — the benches use it to put numbers on
+/// the language-independence claim.
+vm::Module compileMobilePascal(const workloads::Workload &W,
+                               unsigned NumRegs = 16);
+
 /// Cycles of \p Exe translated with \p Opts on \p Kind. Verifies the
 /// output against the workload's pinned checksum.
 runtime::TargetRunResult measureMobile(target::TargetKind Kind,
@@ -79,14 +86,22 @@ double nsToMs(uint64_t Ns);
 /// handoff, dominates. Distinct salts produce distinct modules.
 std::string servingWorkSource(unsigned Salt);
 
-/// Compiles \p Source with default options; exits the process on failure.
-vm::Module compileSourceOrDie(const std::string &Source);
+/// The same request body authored in Pascal. The serving layer cannot
+/// tell: after the frontend, a Pascal module is bytes like any other.
+std::string servingWorkSourcePascal(unsigned Salt);
 
-/// The standard mixed-traffic inputs: one warm (pre-loaded) module, a set
-/// of distinct cold OWX images, one hostile (truncated) image, and a
-/// pre-loaded runaway loop for deadline tests.
+/// Compiles \p Source with default options (and \p Lang); exits the
+/// process on failure.
+vm::Module compileSourceOrDie(const std::string &Source,
+                              driver::Language Lang = driver::Language::MiniC);
+
+/// The standard mixed-traffic inputs: warm (pre-loaded) modules in both
+/// source languages, a set of distinct cold OWX images with MiniC- and
+/// Pascal-compiled modules interleaved, one hostile (truncated) image,
+/// and a pre-loaded runaway loop for deadline tests.
 struct MixedFixture {
   std::shared_ptr<const host::LoadedModule> Warm;
+  std::shared_ptr<const host::LoadedModule> WarmPas;
   std::vector<std::vector<uint8_t>> ColdOwx;
   std::vector<uint8_t> Hostile;
   std::shared_ptr<const host::LoadedModule> Runaway;
@@ -109,8 +124,9 @@ struct MixedCensus {
 };
 
 /// Submits \p Total requests in the standard 8-phase pattern (1 cold, 1
-/// hostile, 1 runaway under \p RunawayBudget steps, 5 warm) and drains
-/// the server. Returns the census of what was submitted.
+/// hostile, 1 runaway under \p RunawayBudget steps, 5 warm — alternating
+/// between the MiniC and Pascal warm modules) and drains the server.
+/// Returns the census of what was submitted.
 MixedCensus submitMixedTraffic(host::Server &Srv, const MixedFixture &F,
                                unsigned Total,
                                uint64_t RunawayBudget = 30'000);

@@ -92,6 +92,18 @@ constexpr double PaperT2[5] = {1.11, 1.11, 1.08, 1.06, 1.05};
 /// 0.02, Table 4 0.45 (alvinn/PPC, a paper outlier cell), Table 5 0.76
 /// (alvinn/x86, paper outlier 1.79), Table 6 0.20 (PPC average).
 constexpr double TolVsCc = 0.50;     ///< Tables 1 and 3 (vs native cc)
+/// Figure 2 extension: Pascal/MiniC cycle ratio for the same algorithm.
+/// The expected value is 1.0 — the claim under test is that the substrate
+/// prices the algorithm, not the source language. The band absorbs
+/// frontend idiom differences (for-loop bound registers, scan flags in
+/// place of break, writeln's result-register traffic), which measure
+/// within ~0.20 (worst cell: 1.19 on x86, where two-address codegen
+/// amplifies the extra moves); anything past the band means one frontend
+/// started compiling the shared IR worse. Note the ports keep hot
+/// scalars in procedure locals, as the MiniC sources keep them in main's
+/// locals — program-level Pascal variables are globals in memory, and an
+/// early draft that left counters there measured 1.2-1.9x.
+constexpr double TolCrossLang = 0.30;
 constexpr double TolRegisters = 0.10;///< Table 2 (near-exact match)
 constexpr double TolVsGcc = 0.60;    ///< Table 4 (vs native gcc)
 constexpr double TolNoOpt = 0.90;    ///< Table 5 (unoptimized translation)

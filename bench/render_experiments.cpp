@@ -15,6 +15,7 @@
 ///     an existing markdown file; exits 1 on any difference (the CI check
 ///     that EXPERIMENTS.md matches the committed BENCH_*.json).
 
+#include "bench/PaperData.h"
 #include "bench/Report.h"
 #include "support/Format.h"
 
@@ -401,16 +402,36 @@ std::string render(const Json &Agg) {
   tableRange(tableById(F2, "static_expansion"), ExpMin, ExpMax);
   appendFormat(
       Out,
-      "Four MiniC modules plus a hand-written OmniVM assembly module "
-      "(and, in\n`examples/forth_frontend`, a Forth module) all run with "
-      "byte-identical\noutput on all four targets; the bench checks the "
-      "ok-matrix\n(`identical_semantics`) and records per-target static "
-      "expansion\n(×%.1f–×%.1f). Load-time translation throughput is "
-      "wall-clock and\nmachine-dependent, so it is recorded as the "
-      "`translate_minstr_s_<target>`\nmetrics in the JSON report "
-      "(millions of OmniVM instructions per second,\ngated only against "
-      "collapse across runs).\n\n",
+      "Four MiniC modules, three Pascal ports of the same workloads, "
+      "and a\nhand-written OmniVM assembly module (plus, in "
+      "`examples/forth_frontend`, a\nForth module) all run with "
+      "byte-identical output on all four targets; the\nbench checks the "
+      "ok-matrix (`identical_semantics`), pins every Pascal port\nto its "
+      "MiniC twin's checksum (`cross_language_bit_equal`), and records\n"
+      "per-target static expansion (×%.1f–×%.1f). Load-time translation "
+      "throughput\nis wall-clock and machine-dependent, so it is "
+      "recorded as the\n`translate_minstr_s_<target>` metrics in the "
+      "JSON report (millions of OmniVM\ninstructions per second, gated "
+      "only against collapse across runs).\n\n",
       ExpMin, ExpMax);
+
+  // ---- Figure 2 extension: cross-language cost -------------------------
+  Out += "### Cross-language cost (Figure 2 extension)\n\n";
+  double XMin, XMax;
+  tableRange(tableById(F2, "cross_language"), XMin, XMax);
+  appendFormat(
+      Out,
+      "The language-independence claim has a price axis too: the same "
+      "algorithm,\nauthored in Pascal and in MiniC, should cost the "
+      "same cycles once both\nreach the shared IR. The gated "
+      "`cross_language` table holds the\nPascal/MiniC cycle ratio per "
+      "workload per target to 1.0 ± %.2f\n(`TolCrossLang`); this run "
+      "measures %.2f–%.2f. The residue is frontend\nidiom, not "
+      "substrate bias — Pascal scan flags in place of C's `break`,\n"
+      "for-loop bound registers — and the ports keep hot scalars in "
+      "procedure\nlocals exactly as the C sources keep them in `main`'s "
+      "locals (see the\nplacement note in FRONTENDS.md §4).\n\n",
+      bench::TolCrossLang, XMin, XMax);
 
   // ---- Interpretation --------------------------------------------------
   Out += "## §4.4 claim (vs interpretation)  — "

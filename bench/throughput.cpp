@@ -93,8 +93,13 @@ int main(int argc, char **argv) {
                 FourWorkerScaling >= 2.0 ? "(>= 2x: pass)" : "(< 2x)");
 
   // ---- Mixed traffic: warm + cold + hostile + runaway -----------------
-  std::printf("\nMixed traffic (%u workers): warm hits, cold translations, "
-              "hostile rejects, step-limited runaways\n",
+  // The warm stream alternates between a MiniC- and a Pascal-compiled
+  // module, and the cold OWX images interleave both frontends: past the
+  // frontend every request is the same bytes-in/verify/translate path,
+  // so the census must reconcile regardless of source language.
+  std::printf("\nMixed traffic (%u workers): warm hits (MiniC and Pascal "
+              "alternating), cold translations (both frontends "
+              "interleaved), hostile rejects, step-limited runaways\n",
               Hw);
   host::ModuleHost MixedHost;
   MixedFixture Fixture = makeMixedFixture(MixedHost, /*NumCold=*/48, Opts);

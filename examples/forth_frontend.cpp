@@ -8,166 +8,17 @@
 /// exactly as safe and exactly as portable as one compiled from C — the
 /// substrate neither knows nor cares.
 
+#include "frontend/forth/ForthCompiler.h"
 #include "runtime/Run.h"
-#include "support/Format.h"
 #include "vm/Assembler.h"
 #include "vm/Linker.h"
 #include "vm/Verifier.h"
 
 #include <cstdio>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
 using namespace omni;
-
-namespace {
-
-/// Compiles a Forth-dialect program to OmniVM assembly.
-///
-/// Supported words: integer literals, + - * / mod, dup swap drop over,
-/// . (print top + space), cr, colon definitions `: name ... ;`.
-/// The data stack lives in the module's bss, addressed by r1; r2/r3 are
-/// working registers. Word definitions are OmniVM functions.
-class ForthCompiler {
-public:
-  bool compile(const std::string &Source, std::string &AsmOut,
-               std::string &Error) {
-    Out = "        .import print_int\n"
-          "        .import print_char\n"
-          "        .bss\n"
-          "dstack: .space 4096\n"
-          "        .text\n";
-    Main = "        .global main\n"
-           "main:   sub sp, sp, 8\n"
-           "        sw ra, 0(sp)\n"
-           "        la r1, dstack\n";
-
-    std::istringstream In(Source);
-    std::string Tok;
-    while (In >> Tok) {
-      if (Tok == ":") {
-        if (InDef) {
-          Error = "nested definitions are not supported";
-          return false;
-        }
-        if (!(In >> CurName)) {
-          Error = "missing name after ':'";
-          return false;
-        }
-        InDef = true;
-        Def = formatStr("f_%s:\n", CurName.c_str());
-        Def += "        sub sp, sp, 8\n        sw ra, 0(sp)\n";
-        continue;
-      }
-      if (Tok == ";") {
-        if (!InDef) {
-          Error = "';' outside a definition";
-          return false;
-        }
-        Def += "        lw ra, 0(sp)\n        add sp, sp, 8\n"
-               "        jr ra\n";
-        Out += Def;
-        Words[CurName] = "f_" + CurName;
-        InDef = false;
-        continue;
-      }
-      if (!emitWord(Tok, Error))
-        return false;
-    }
-    if (InDef) {
-      Error = "unterminated definition '" + CurName + "'";
-      return false;
-    }
-    Main += "        li r0, 0\n        lw ra, 0(sp)\n"
-            "        add sp, sp, 8\n        jr ra\n";
-    AsmOut = Out + Main;
-    return true;
-  }
-
-private:
-  std::string &sink() { return InDef ? Def : Main; }
-
-  void push(const char *Reg) {
-    appendFormat(sink(), "        sw %s, 0(r1)\n        add r1, r1, 4\n",
-                 Reg);
-  }
-  void pop(const char *Reg) {
-    appendFormat(sink(), "        sub r1, r1, 4\n        lw %s, 0(r1)\n",
-                 Reg);
-  }
-
-  bool emitWord(const std::string &Tok, std::string &Error) {
-    // Integer literal?
-    char *End = nullptr;
-    long V = std::strtol(Tok.c_str(), &End, 10);
-    if (End && *End == '\0' && End != Tok.c_str()) {
-      appendFormat(sink(), "        li r2, %ld\n", V);
-      push("r2");
-      return true;
-    }
-    static const std::map<std::string, const char *> BinOps = {
-        {"+", "add"}, {"-", "sub"}, {"*", "mul"}, {"/", "div"},
-        {"mod", "rem"}};
-    auto BO = BinOps.find(Tok);
-    if (BO != BinOps.end()) {
-      pop("r3");
-      pop("r2");
-      appendFormat(sink(), "        %s r2, r2, r3\n", BO->second);
-      push("r2");
-      return true;
-    }
-    if (Tok == "dup") {
-      pop("r2");
-      push("r2");
-      push("r2");
-      return true;
-    }
-    if (Tok == "swap") {
-      pop("r3");
-      pop("r2");
-      push("r3");
-      push("r2");
-      return true;
-    }
-    if (Tok == "over") {
-      pop("r3");
-      pop("r2");
-      push("r2");
-      push("r3");
-      push("r2");
-      return true;
-    }
-    if (Tok == "drop") {
-      pop("r2");
-      return true;
-    }
-    if (Tok == ".") {
-      pop("r0");
-      sink() += "        hcall print_int\n"
-                "        li r0, ' '\n        hcall print_char\n";
-      return true;
-    }
-    if (Tok == "cr") {
-      sink() += "        li r0, '\\n'\n        hcall print_char\n";
-      return true;
-    }
-    auto W = Words.find(Tok);
-    if (W != Words.end()) {
-      appendFormat(sink(), "        jal %s\n", W->second.c_str());
-      return true;
-    }
-    Error = "unknown word '" + Tok + "'";
-    return false;
-  }
-
-  std::string Out, Main, Def, CurName;
-  std::map<std::string, std::string> Words;
-  bool InDef = false;
-};
-
-} // namespace
 
 int main() {
   const char *Program = R"(
@@ -185,7 +36,7 @@ int main() {
   std::printf("a new language arrives on the substrate: Forth\n");
   std::printf("----------------------------------------------%s\n", Program);
 
-  ForthCompiler FC;
+  forth::ForthCompiler FC;
   std::string Asm, Error;
   if (!FC.compile(Program, Asm, Error)) {
     std::fprintf(stderr, "forth error: %s\n", Error.c_str());

@@ -4,25 +4,72 @@
 
 #include "frontend/AST.h"
 #include "frontend/Lowering.h"
+#include "frontend/pascal/PascalFrontend.h"
 #include "vm/Linker.h"
 #include "vm/Verifier.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
 using namespace omni;
 using namespace omni::driver;
+
+Language omni::driver::languageForFile(const std::string &Path) {
+  size_t Dot = Path.rfind('.');
+  if (Dot == std::string::npos)
+    return Language::MiniC;
+  std::string Ext = Path.substr(Dot + 1);
+  for (char &C : Ext)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (Ext == "pas" || Ext == "p")
+    return Language::Pascal;
+  return Language::MiniC;
+}
+
+bool omni::driver::parseLanguageName(const std::string &Name,
+                                     Language &Out) {
+  std::string N = Name;
+  for (char &C : N)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (N == "minic" || N == "c") {
+    Out = Language::MiniC;
+    return true;
+  }
+  if (N == "pascal" || N == "pas") {
+    Out = Language::Pascal;
+    return true;
+  }
+  return false;
+}
+
+const char *omni::driver::languageName(Language L) {
+  return L == Language::Pascal ? "pascal" : "minic";
+}
 
 bool omni::driver::compileToIR(const std::string &Source,
                                const CompileOptions &Opts, ir::Program &Out,
                                std::string &Error) {
   DiagnosticEngine Diags;
-  std::unique_ptr<minic::TranslationUnit> TU = minic::parse(Source, Diags);
-  if (!TU) {
-    Error = Diags.render("<source>");
-    return false;
-  }
   Out = ir::Program();
-  if (!minic::lowerToIR(*TU, Out, Diags)) {
-    Error = Diags.render("<source>");
-    return false;
+  // The only language-specific step: everything below the IR is shared.
+  switch (Opts.Lang) {
+  case Language::MiniC: {
+    std::unique_ptr<minic::TranslationUnit> TU = minic::parse(Source, Diags);
+    if (!TU || !minic::lowerToIR(*TU, Out, Diags)) {
+      Error = Diags.render("<source>");
+      return false;
+    }
+    break;
+  }
+  case Language::Pascal:
+    if (!pascal::compileToIR(Source, Out, Diags)) {
+      Error = Diags.render("<source>");
+      return false;
+    }
+    break;
   }
   std::vector<std::string> VerifyErrors;
   if (!ir::verifyProgram(Out, VerifyErrors)) {
@@ -73,4 +120,117 @@ bool omni::driver::compileAndLink(const std::string &Source,
     return false;
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// omnicc command line
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void printUsage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: omnicc [options] <source-file>\n"
+      "\n"
+      "Compiles one source file into a verified OmniVM executable. The\n"
+      "module is target-independent: the serving host translates it to\n"
+      "native code at load time (MIPS, SPARC, PowerPC, or x86).\n"
+      "\n"
+      "options:\n"
+      "  --lang=<name>  source language: 'minic' (default) or 'pascal'.\n"
+      "                 Without this flag the language is chosen by file\n"
+      "                 extension: .pas/.p compile as Pascal, everything\n"
+      "                 else as MiniC. Both frontends lower to the same\n"
+      "                 IR, so the rest of the pipeline is identical —\n"
+      "                 see FRONTENDS.md for the contract.\n"
+      "  -o <file>      write the linked executable in wire format\n"
+      "  -O0            disable machine-independent optimization\n"
+      "  --help         show this help\n");
+}
+
+} // namespace
+
+int omni::driver::compilerMain(int argc, char **argv) {
+  CompileOptions Opts;
+  bool LangForced = false;
+  std::string InputPath, OutputPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout);
+      return 0;
+    }
+    if (Arg.rfind("--lang=", 0) == 0) {
+      if (!parseLanguageName(Arg.substr(7), Opts.Lang)) {
+        std::fprintf(stderr,
+                     "omnicc: unknown language '%s' (try 'minic' or "
+                     "'pascal')\n",
+                     Arg.substr(7).c_str());
+        return 1;
+      }
+      LangForced = true;
+      continue;
+    }
+    if (Arg == "-o") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "omnicc: -o needs a file name\n");
+        return 1;
+      }
+      OutputPath = argv[++I];
+      continue;
+    }
+    if (Arg == "-O0") {
+      Opts.Opt = ir::OptOptions::none();
+      continue;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "omnicc: unknown option '%s'\n", Arg.c_str());
+      printUsage(stderr);
+      return 1;
+    }
+    if (!InputPath.empty()) {
+      std::fprintf(stderr, "omnicc: multiple input files\n");
+      return 1;
+    }
+    InputPath = Arg;
+  }
+
+  if (InputPath.empty()) {
+    printUsage(stderr);
+    return 1;
+  }
+  if (!LangForced)
+    Opts.Lang = languageForFile(InputPath);
+
+  std::ifstream In(InputPath, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "omnicc: cannot open '%s'\n", InputPath.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  vm::Module Exe;
+  std::string Error;
+  if (!compileAndLink(Buf.str(), Opts, Exe, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  if (!OutputPath.empty()) {
+    std::vector<uint8_t> Bytes = Exe.serialize();
+    std::ofstream OutF(OutputPath, std::ios::binary);
+    if (!OutF ||
+        !OutF.write(reinterpret_cast<const char *>(Bytes.data()),
+                    static_cast<std::streamsize>(Bytes.size()))) {
+      std::fprintf(stderr, "omnicc: cannot write '%s'\n",
+                   OutputPath.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stdout, "%s: %s: %zu instructions, verified\n",
+               InputPath.c_str(), languageName(Opts.Lang), Exe.Code.size());
+  return 0;
 }

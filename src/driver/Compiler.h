@@ -1,11 +1,13 @@
-//===- driver/Compiler.h - MiniC -> OmniVM compilation pipeline -*- C++ -*-===//
+//===- driver/Compiler.h - source -> OmniVM compilation pipeline -*- C++ -*-===//
 ///
 /// \file
-/// Facade over the full compile pipeline: MiniC source -> typed AST ->
-/// IR -> machine-independent optimization -> OmniVM object module ->
-/// linked executable. This is the "compile once, ship anywhere" half of
-/// the Omniware system; translation to native code happens at load time on
-/// the host (see translate/).
+/// Facade over the full compile pipeline: source (MiniC or Pascal) ->
+/// typed AST -> shared IR -> machine-independent optimization -> OmniVM
+/// object module -> linked executable. This is the "compile once, ship
+/// anywhere" half of the Omniware system; translation to native code
+/// happens at load time on the host (see translate/). The frontends are
+/// interchangeable above the IR — see FRONTENDS.md for the contract a
+/// new language must satisfy.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef OMNI_DRIVER_COMPILER_H
@@ -20,24 +22,46 @@
 namespace omni {
 namespace driver {
 
+/// Source languages with a frontend on the substrate. (OmniVM assembly is
+/// handled separately by vm::assemble.)
+enum class Language { MiniC, Pascal };
+
 /// Compilation configuration.
 struct CompileOptions {
+  Language Lang = Language::MiniC;
   ir::OptOptions Opt = ir::OptOptions::standard();
   codegen::CodeGenOptions CodeGen;
 };
 
-/// Compiles MiniC source to IR (exposed for the native backends and for
+/// Language selection by file extension: `.pas`/`.p` -> Pascal,
+/// everything else -> MiniC.
+Language languageForFile(const std::string &Path);
+
+/// Parses a `--lang=` value ("minic" or "pascal", case-insensitive).
+/// Returns false on an unknown name.
+bool parseLanguageName(const std::string &Name, Language &Out);
+
+/// Printable language name.
+const char *languageName(Language L);
+
+/// Compiles source to IR (exposed for the native backends and for
 /// tests). Returns false and fills \p Error with rendered diagnostics.
 bool compileToIR(const std::string &Source, const CompileOptions &Opts,
                  ir::Program &Out, std::string &Error);
 
-/// Compiles MiniC source to a relocatable OmniVM object module.
+/// Compiles source to a relocatable OmniVM object module.
 bool compileToObject(const std::string &Source, const CompileOptions &Opts,
                      vm::Module &Out, std::string &Error);
 
-/// Compiles and links a single MiniC source into a verified executable.
+/// Compiles and links a single source into a verified executable.
 bool compileAndLink(const std::string &Source, const CompileOptions &Opts,
                     vm::Module &Out, std::string &Error);
+
+/// Entry point of the `omnicc` command-line compiler (thin wrapper in
+/// tools/omnicc.cpp). Compiles one source file to a verified OmniVM
+/// executable; `--help` documents the flags, including language
+/// selection via `--lang=` or file extension.
+int compilerMain(int argc, char **argv);
 
 } // namespace driver
 } // namespace omni

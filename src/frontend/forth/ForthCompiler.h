@@ -1,0 +1,50 @@
+//===- frontend/forth/ForthCompiler.h - Forth -> OmniVM asm -----*- C++ -*-===//
+///
+/// \file
+/// A deliberately tiny third frontend: a Forth dialect compiled straight
+/// to OmniVM assembly text. It exists to make the paper's §2 argument
+/// concrete — the substrate enforces safety with SFI, so even a stack
+/// language with no type system at all produces modules exactly as safe
+/// and as portable as MiniC or Pascal output. FRONTENDS.md walks through
+/// this compiler as the minimal worked example of the frontend contract.
+///
+/// Supported words: integer literals, `+ - * / mod`, `dup swap drop
+/// over`, `.` (print top + space), `cr`, and colon definitions
+/// `: name ... ;`. The data stack lives in the module's bss, addressed by
+/// r1; r2/r3 are working registers; each colon definition becomes an
+/// OmniVM function.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_FORTH_FORTHCOMPILER_H
+#define OMNI_FRONTEND_FORTH_FORTHCOMPILER_H
+
+#include <map>
+#include <string>
+
+namespace omni {
+namespace forth {
+
+/// Compiles a Forth-dialect program to OmniVM assembly text (assemble it
+/// with vm::assemble, then link/verify/translate like any other module).
+class ForthCompiler {
+public:
+  /// Returns false and sets \p Error on malformed input; on success
+  /// \p AsmOut holds a complete assembly module exporting `main`.
+  bool compile(const std::string &Source, std::string &AsmOut,
+               std::string &Error);
+
+private:
+  std::string &sink();
+  void push(const char *Reg);
+  void pop(const char *Reg);
+  bool emitWord(const std::string &Tok, std::string &Error);
+
+  std::string Out, Main, Def, CurName;
+  std::map<std::string, std::string> Words;
+  bool InDef = false;
+};
+
+} // namespace forth
+} // namespace omni
+
+#endif // OMNI_FRONTEND_FORTH_FORTHCOMPILER_H

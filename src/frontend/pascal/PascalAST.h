@@ -1,0 +1,199 @@
+//===- frontend/pascal/PascalAST.h - Pascal AST and types -------*- C++ -*-===//
+///
+/// \file
+/// Typed AST for the Pascal frontend. The shapes deliberately mirror the
+/// MiniC frontend's: a one-pass parser interleaves type checking with
+/// parsing and produces a fully-typed tree that the lowering walks to emit
+/// the shared machine-independent IR. Nothing downstream of `lowerToIR`
+/// knows which language the module came from — that is the point.
+///
+/// Supported subset (enough to port the SPEC-miniature workloads):
+/// programs, procedures and functions with value and `var` parameters,
+/// `integer`/`boolean`/`char`/`real`, multi-dimensional arrays with
+/// arbitrary constant index ranges, `if`/`while`/`for`/`repeat`,
+/// `write`/`writeln` over the standard host imports.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_PASCAL_PASCALAST_H
+#define OMNI_FRONTEND_PASCAL_PASCALAST_H
+
+#include "frontend/pascal/PascalLexer.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace pascal {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+enum class PTypeKind : uint8_t { Integer, Real, Boolean, Char, Array };
+
+/// A Pascal type; interned in the module's TypeArena so types compare by
+/// pointer.
+struct PType {
+  PTypeKind K = PTypeKind::Integer;
+  const PType *Elem = nullptr; ///< Array element type
+  int32_t Lo = 0, Hi = 0;      ///< Array index range (inclusive)
+
+  bool isArray() const { return K == PTypeKind::Array; }
+  bool isScalar() const { return K != PTypeKind::Array; }
+  uint32_t count() const {
+    return static_cast<uint32_t>(static_cast<int64_t>(Hi) - Lo + 1);
+  }
+};
+
+/// Byte size of \p T in the module's data segment (OmniVM layout:
+/// integer 4, real 8, boolean/char 1).
+uint32_t typeSize(const PType *T);
+/// Alignment of \p T.
+uint32_t typeAlign(const PType *T);
+/// Printable type name for diagnostics.
+std::string typeName(const PType *T);
+
+/// Owns and interns the types of one module.
+class TypeArena {
+public:
+  const PType *integerTy() const { return &IntegerT; }
+  const PType *realTy() const { return &RealT; }
+  const PType *booleanTy() const { return &BooleanT; }
+  const PType *charTy() const { return &CharT; }
+  const PType *getArray(const PType *Elem, int32_t Lo, int32_t Hi) {
+    for (const PType &T : Arrays)
+      if (T.Elem == Elem && T.Lo == Lo && T.Hi == Hi)
+        return &T;
+    Arrays.push_back(PType{PTypeKind::Array, Elem, Lo, Hi});
+    return &Arrays.back();
+  }
+
+private:
+  PType IntegerT{PTypeKind::Integer, nullptr, 0, 0};
+  PType RealT{PTypeKind::Real, nullptr, 0, 0};
+  PType BooleanT{PTypeKind::Boolean, nullptr, 0, 0};
+  PType CharT{PTypeKind::Char, nullptr, 0, 0};
+  std::deque<PType> Arrays; ///< deque: interned pointers stay stable
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct VarDecl {
+  std::string Name; ///< lowercased
+  const PType *Ty = nullptr;
+  SourceLoc Loc;
+  bool IsGlobal = false;
+  bool IsParam = false;
+  bool VarParam = false;      ///< pass-by-reference parameter
+  /// Scalar local/value-param whose address escapes (bound to a `var`
+  /// parameter): lowered to a frame slot instead of a register.
+  bool AddressTaken = false;
+};
+
+struct Stmt;
+struct Expr;
+
+struct FuncDecl {
+  std::string Name; ///< lowercased
+  SourceLoc Loc;
+  std::vector<VarDecl *> Params;        ///< owned by Locals
+  const PType *RetTy = nullptr;         ///< null => procedure
+  std::vector<std::unique_ptr<VarDecl>> Locals; ///< params then locals
+  std::unique_ptr<Stmt> Body;
+
+  bool isFunction() const { return RetTy != nullptr; }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  RealLit,
+  CharLit,
+  BoolLit,
+  StrLit,   ///< only as a write/writeln argument
+  VarRef,
+  Index,    ///< L[R], one dimension per node
+  Binary,   ///< Op over L, R
+  Unary,    ///< Op over L (Minus, KwNot)
+  Call,     ///< user function call
+  Ord,      ///< ord(L): char/boolean -> integer
+  Chr,      ///< chr(L): integer -> char
+  Trunc,    ///< trunc(L): real -> integer (toward zero)
+  IntToReal ///< implicit widening inserted by the checker
+};
+
+struct Expr {
+  ExprKind K;
+  const PType *Ty = nullptr;
+  SourceLoc Loc;
+  PTok Op = PTok::End;
+  std::unique_ptr<Expr> L, R;
+  std::vector<std::unique_ptr<Expr>> Args;
+  VarDecl *Var = nullptr;
+  FuncDecl *Fn = nullptr;
+  int64_t IntVal = 0;
+  double RealVal = 0;
+  std::string Str;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Compound,
+  Assign,   ///< LHS := E (LHS may be the enclosing function's name)
+  AssignResult, ///< function result := E
+  If,       ///< if E then S1 [else S2]
+  While,    ///< while E do S1
+  Repeat,   ///< repeat Body until E
+  For,      ///< for Var := E to/downto E2 do S1
+  Call,     ///< procedure call
+  Write,    ///< write/writeln(Args...); Newline from writeln
+  Empty
+};
+
+struct Stmt {
+  StmtKind K;
+  SourceLoc Loc;
+  std::vector<std::unique_ptr<Stmt>> Body; ///< Compound / Repeat
+  std::unique_ptr<Expr> LHS;               ///< Assign target / For variable
+  std::unique_ptr<Expr> E;                 ///< condition / RHS / For lo
+  std::unique_ptr<Expr> E2;                ///< For hi
+  std::unique_ptr<Stmt> S1, S2;
+  std::vector<std::unique_ptr<Expr>> Args; ///< Call / Write arguments
+  FuncDecl *Callee = nullptr;              ///< Call
+  bool Down = false;                       ///< For: downto
+  bool Newline = false;                    ///< Write: writeln
+};
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+struct Module {
+  std::string Name;
+  TypeArena Types;
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+  std::unique_ptr<Stmt> MainBody;
+  bool UsesPrintInt = false;
+  bool UsesPrintChar = false;
+};
+
+/// Parses and type-checks \p Source. Returns null when \p Diags received
+/// errors.
+std::unique_ptr<Module> parse(const std::string &Source,
+                              DiagnosticEngine &Diags);
+
+} // namespace pascal
+} // namespace omni
+
+#endif // OMNI_FRONTEND_PASCAL_PASCALAST_H

@@ -1,0 +1,36 @@
+//===- frontend/pascal/PascalFrontend.h - Pascal entry points ---*- C++ -*-===//
+///
+/// \file
+/// Public entry points of the Pascal frontend: parse + type check
+/// (`parse`, declared in PascalAST.h), AST -> IR lowering (`lowerToIR`),
+/// and the one-call convenience used by the driver (`compileToIR`). The
+/// produced `ir::Program` is indistinguishable from MiniC output and
+/// flows through the shared optimizer, codegen, verifier, and target
+/// translators unchanged (see FRONTENDS.md).
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_PASCAL_PASCALFRONTEND_H
+#define OMNI_FRONTEND_PASCAL_PASCALFRONTEND_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace omni {
+namespace pascal {
+
+struct Module;
+
+/// Lowers a parsed, type-checked module onto the shared mid-level IR.
+bool lowerToIR(const Module &M, ir::Program &Out, DiagnosticEngine &Diags);
+
+/// Parses, checks, and lowers \p Source in one step. Returns false with
+/// diagnostics in \p Diags on any error.
+bool compileToIR(const std::string &Source, ir::Program &Out,
+                 DiagnosticEngine &Diags);
+
+} // namespace pascal
+} // namespace omni
+
+#endif // OMNI_FRONTEND_PASCAL_PASCALFRONTEND_H

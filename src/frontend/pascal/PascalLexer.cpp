@@ -1,0 +1,328 @@
+//===- frontend/pascal/PascalLexer.cpp ------------------------------------===//
+
+#include "frontend/pascal/PascalLexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace omni;
+using namespace omni::pascal;
+
+namespace {
+
+const std::map<std::string, PTok> &keywordTable() {
+  static const std::map<std::string, PTok> Table = {
+      {"program", PTok::KwProgram}, {"const", PTok::KwConst},
+      {"var", PTok::KwVar},         {"procedure", PTok::KwProcedure},
+      {"function", PTok::KwFunction}, {"begin", PTok::KwBegin},
+      {"end", PTok::KwEnd},         {"if", PTok::KwIf},
+      {"then", PTok::KwThen},       {"else", PTok::KwElse},
+      {"while", PTok::KwWhile},     {"do", PTok::KwDo},
+      {"for", PTok::KwFor},         {"to", PTok::KwTo},
+      {"downto", PTok::KwDownto},   {"repeat", PTok::KwRepeat},
+      {"until", PTok::KwUntil},     {"div", PTok::KwDiv},
+      {"mod", PTok::KwMod},         {"and", PTok::KwAnd},
+      {"or", PTok::KwOr},           {"xor", PTok::KwXor},
+      {"not", PTok::KwNot},         {"shl", PTok::KwShl},
+      {"shr", PTok::KwShr},         {"array", PTok::KwArray},
+      {"of", PTok::KwOf},           {"integer", PTok::KwInteger},
+      {"real", PTok::KwReal},       {"boolean", PTok::KwBoolean},
+      {"char", PTok::KwChar},       {"true", PTok::KwTrue},
+      {"false", PTok::KwFalse},
+  };
+  return Table;
+}
+
+class Lexer {
+public:
+  Lexer(const std::string &Source, DiagnosticEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<PToken> run() {
+    std::vector<PToken> Out;
+    for (;;) {
+      skipTrivia();
+      PToken T;
+      T.Loc = loc();
+      if (atEnd()) {
+        T.Kind = PTok::End;
+        Out.push_back(T);
+        return Out;
+      }
+      lexOne(T);
+      Out.push_back(std::move(T));
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char take() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  SourceLoc loc() const { return SourceLoc{Line, Col}; }
+
+  void skipTrivia() {
+    for (;;) {
+      if (atEnd())
+        return;
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        take();
+        continue;
+      }
+      if (C == '{') {
+        SourceLoc Start = loc();
+        take();
+        while (!atEnd() && peek() != '}')
+          take();
+        if (atEnd()) {
+          Diags.error(Start, "unterminated '{' comment");
+          return;
+        }
+        take();
+        continue;
+      }
+      if (C == '(' && peek(1) == '*') {
+        SourceLoc Start = loc();
+        take();
+        take();
+        while (!atEnd() && !(peek() == '*' && peek(1) == ')'))
+          take();
+        if (atEnd()) {
+          Diags.error(Start, "unterminated '(*' comment");
+          return;
+        }
+        take();
+        take();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void lexOne(PToken &T) {
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word;
+      while (!atEnd() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_'))
+        Word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(take()))));
+      auto It = keywordTable().find(Word);
+      if (It != keywordTable().end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = PTok::Ident;
+        T.Text = std::move(Word);
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      lexNumber(T);
+      return;
+    }
+    switch (C) {
+    case '$': { // hex integer literal
+      take();
+      if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+        Diags.error(T.Loc, "expected hex digits after '$'");
+        T.Kind = PTok::IntLit;
+        return;
+      }
+      uint64_t V = 0;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = take();
+        V = V * 16 + (std::isdigit(static_cast<unsigned char>(D))
+                          ? D - '0'
+                          : std::tolower(static_cast<unsigned char>(D)) -
+                                'a' + 10);
+      }
+      T.Kind = PTok::IntLit;
+      T.IntValue = static_cast<int64_t>(static_cast<int32_t>(V));
+      return;
+    }
+    case '\'':
+      lexCharOrString(T);
+      return;
+    case '+': take(); T.Kind = PTok::Plus; return;
+    case '-': take(); T.Kind = PTok::Minus; return;
+    case '*': take(); T.Kind = PTok::Star; return;
+    case '/': take(); T.Kind = PTok::Slash; return;
+    case '=': take(); T.Kind = PTok::Eq; return;
+    case ',': take(); T.Kind = PTok::Comma; return;
+    case ';': take(); T.Kind = PTok::Semi; return;
+    case '(': take(); T.Kind = PTok::LParen; return;
+    case ')': take(); T.Kind = PTok::RParen; return;
+    case '[': take(); T.Kind = PTok::LBracket; return;
+    case ']': take(); T.Kind = PTok::RBracket; return;
+    case '<':
+      take();
+      if (peek() == '=') { take(); T.Kind = PTok::Le; return; }
+      if (peek() == '>') { take(); T.Kind = PTok::Ne; return; }
+      T.Kind = PTok::Lt;
+      return;
+    case '>':
+      take();
+      if (peek() == '=') { take(); T.Kind = PTok::Ge; return; }
+      T.Kind = PTok::Gt;
+      return;
+    case ':':
+      take();
+      if (peek() == '=') { take(); T.Kind = PTok::Assign; return; }
+      T.Kind = PTok::Colon;
+      return;
+    case '.':
+      take();
+      if (peek() == '.') { take(); T.Kind = PTok::DotDot; return; }
+      T.Kind = PTok::Dot;
+      return;
+    default:
+      Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+      take();
+      T.Kind = PTok::End;
+      return;
+    }
+  }
+
+  void lexNumber(PToken &T) {
+    std::string Digits;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(take());
+    // A '.' starts a real literal only when followed by a digit ("0..9"
+    // range syntax must keep its DotDot token).
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      Digits.push_back(take());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits.push_back(take());
+      if (peek() == 'e' || peek() == 'E') {
+        Digits.push_back(take());
+        if (peek() == '+' || peek() == '-')
+          Digits.push_back(take());
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Digits.push_back(take());
+      }
+      T.Kind = PTok::RealLit;
+      T.RealValue = std::strtod(Digits.c_str(), nullptr);
+      return;
+    }
+    T.Kind = PTok::IntLit;
+    T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+  }
+
+  void lexCharOrString(PToken &T) {
+    take(); // opening quote
+    std::string Bytes;
+    for (;;) {
+      if (atEnd() || peek() == '\n') {
+        Diags.error(T.Loc, "unterminated character or string literal");
+        break;
+      }
+      char C = take();
+      if (C == '\'') {
+        if (peek() == '\'') { // '' escapes a single quote
+          take();
+          Bytes.push_back('\'');
+          continue;
+        }
+        break;
+      }
+      Bytes.push_back(C);
+    }
+    if (Bytes.size() == 1) {
+      T.Kind = PTok::CharLit;
+      T.IntValue = static_cast<unsigned char>(Bytes[0]);
+    } else {
+      T.Kind = PTok::StrLit;
+    }
+    T.StrValue = std::move(Bytes);
+  }
+
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+};
+
+} // namespace
+
+std::vector<PToken> omni::pascal::tokenize(const std::string &Source,
+                                           DiagnosticEngine &Diags) {
+  return Lexer(Source, Diags).run();
+}
+
+const char *omni::pascal::getTokenName(PTok Kind) {
+  switch (Kind) {
+  case PTok::End: return "end of input";
+  case PTok::Ident: return "identifier";
+  case PTok::IntLit: return "integer literal";
+  case PTok::RealLit: return "real literal";
+  case PTok::CharLit: return "character literal";
+  case PTok::StrLit: return "string literal";
+  case PTok::KwProgram: return "'program'";
+  case PTok::KwConst: return "'const'";
+  case PTok::KwVar: return "'var'";
+  case PTok::KwProcedure: return "'procedure'";
+  case PTok::KwFunction: return "'function'";
+  case PTok::KwBegin: return "'begin'";
+  case PTok::KwEnd: return "'end'";
+  case PTok::KwIf: return "'if'";
+  case PTok::KwThen: return "'then'";
+  case PTok::KwElse: return "'else'";
+  case PTok::KwWhile: return "'while'";
+  case PTok::KwDo: return "'do'";
+  case PTok::KwFor: return "'for'";
+  case PTok::KwTo: return "'to'";
+  case PTok::KwDownto: return "'downto'";
+  case PTok::KwRepeat: return "'repeat'";
+  case PTok::KwUntil: return "'until'";
+  case PTok::KwDiv: return "'div'";
+  case PTok::KwMod: return "'mod'";
+  case PTok::KwAnd: return "'and'";
+  case PTok::KwOr: return "'or'";
+  case PTok::KwXor: return "'xor'";
+  case PTok::KwNot: return "'not'";
+  case PTok::KwShl: return "'shl'";
+  case PTok::KwShr: return "'shr'";
+  case PTok::KwArray: return "'array'";
+  case PTok::KwOf: return "'of'";
+  case PTok::KwInteger: return "'integer'";
+  case PTok::KwReal: return "'real'";
+  case PTok::KwBoolean: return "'boolean'";
+  case PTok::KwChar: return "'char'";
+  case PTok::KwTrue: return "'true'";
+  case PTok::KwFalse: return "'false'";
+  case PTok::Plus: return "'+'";
+  case PTok::Minus: return "'-'";
+  case PTok::Star: return "'*'";
+  case PTok::Slash: return "'/'";
+  case PTok::Eq: return "'='";
+  case PTok::Ne: return "'<>'";
+  case PTok::Lt: return "'<'";
+  case PTok::Le: return "'<='";
+  case PTok::Gt: return "'>'";
+  case PTok::Ge: return "'>='";
+  case PTok::LParen: return "'('";
+  case PTok::RParen: return "')'";
+  case PTok::LBracket: return "'['";
+  case PTok::RBracket: return "']'";
+  case PTok::Comma: return "','";
+  case PTok::Semi: return "';'";
+  case PTok::Colon: return "':'";
+  case PTok::Assign: return "':='";
+  case PTok::DotDot: return "'..'";
+  case PTok::Dot: return "'.'";
+  }
+  return "token";
+}

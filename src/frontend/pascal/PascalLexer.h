@@ -1,0 +1,65 @@
+//===- frontend/pascal/PascalLexer.h - Pascal lexer -------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the Pascal frontend — the second real source language on
+/// the OmniVM substrate (the paper's language-independence claim, §2).
+/// Classic Pascal surface: case-insensitive keywords and identifiers,
+/// `{ }` and `(* *)` comments, `$`-prefixed hex literals, quoted char and
+/// string literals with `''` escaping.
+///
+//===----------------------------------------------------------------------===//
+#ifndef OMNI_FRONTEND_PASCAL_PASCALLEXER_H
+#define OMNI_FRONTEND_PASCAL_PASCALLEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omni {
+namespace pascal {
+
+enum class PTok : uint8_t {
+  End,
+  Ident,
+  IntLit,
+  RealLit,
+  CharLit,
+  StrLit,
+
+  // Keywords (case-insensitive in source).
+  KwProgram, KwConst, KwVar, KwProcedure, KwFunction, KwBegin, KwEnd,
+  KwIf, KwThen, KwElse, KwWhile, KwDo, KwFor, KwTo, KwDownto, KwRepeat,
+  KwUntil, KwDiv, KwMod, KwAnd, KwOr, KwXor, KwNot, KwShl, KwShr,
+  KwArray, KwOf, KwInteger, KwReal, KwBoolean, KwChar, KwTrue, KwFalse,
+
+  // Punctuation / operators.
+  Plus, Minus, Star, Slash,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  LParen, RParen, LBracket, RBracket,
+  Comma, Semi, Colon, Assign, DotDot, Dot,
+};
+
+/// One token with its source location and decoded payload.
+struct PToken {
+  PTok Kind = PTok::End;
+  SourceLoc Loc;
+  std::string Text;    ///< identifier, lowercased (Pascal is case-blind)
+  int64_t IntValue = 0;
+  double RealValue = 0;
+  std::string StrValue; ///< decoded char/string literal bytes
+};
+
+/// Tokenizes \p Source; reports malformed tokens to \p Diags. The returned
+/// stream is always terminated by a PTok::End token.
+std::vector<PToken> tokenize(const std::string &Source,
+                             DiagnosticEngine &Diags);
+
+/// Printable token-kind name for diagnostics.
+const char *getTokenName(PTok Kind);
+
+} // namespace pascal
+} // namespace omni
+
+#endif // OMNI_FRONTEND_PASCAL_PASCALLEXER_H

@@ -1,0 +1,690 @@
+//===- frontend/pascal/PascalLowering.cpp - Pascal AST -> IR --------------===//
+///
+/// Lowers the typed Pascal AST onto the same mid-level IR the MiniC
+/// frontend targets. Everything downstream — the optimizer, OmniVM
+/// codegen, verifier, sficheck, and the four target translators — is
+/// shared; this file is the entire language-specific half of the backend
+/// contract described in FRONTENDS.md.
+///
+/// Conventions (mirroring the MiniC lowering so modules from either
+/// frontend are indistinguishable to the pipeline):
+///  - scalar locals and value parameters live in virtual registers;
+///    arrays and address-taken scalars live in frame slots; globals are
+///    zero-initialized bss symbols
+///  - `var` parameters are passed as I32 addresses and accessed indirectly
+///  - the program body becomes the exported `main` (returning 0)
+///  - `write`/`writeln` lower to the `print_int`/`print_char` host imports
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/pascal/PascalFrontend.h"
+
+#include "frontend/pascal/PascalAST.h"
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+#include <map>
+
+using namespace omni;
+using namespace omni::pascal;
+using ir::IRBuilder;
+using ir::MemWidth;
+using ir::Op;
+using ir::Value;
+
+namespace {
+
+ir::Type irTypeOf(const PType *T) {
+  return T->K == PTypeKind::Real ? ir::Type::F64 : ir::Type::I32;
+}
+
+MemWidth memWidthOf(const PType *T) {
+  switch (T->K) {
+  case PTypeKind::Real:
+    return MemWidth::F64;
+  case PTypeKind::Boolean:
+  case PTypeKind::Char:
+    return MemWidth::W8;
+  default:
+    return MemWidth::W32;
+  }
+}
+
+/// char and boolean load as zero-extended bytes; integers are signed words.
+bool loadSigned(const PType *T) {
+  return T->K == PTypeKind::Integer || T->K == PTypeKind::Real;
+}
+
+/// An lvalue address: exactly one of (register base), (global symbol),
+/// (frame slot) plus a constant byte offset. Same shape as the MiniC
+/// lowering's.
+struct Addr {
+  Value Base;
+  std::string Sym;
+  int Slot = -1;
+  int64_t Off = 0;
+
+  bool isFrame() const { return Slot >= 0; }
+  bool isGlobal() const { return !Sym.empty(); }
+};
+
+class LoweringImpl {
+public:
+  LoweringImpl(const Module &M, ir::Program &Out, DiagnosticEngine &Diags)
+      : M(M), Out(Out), Diags(Diags) {}
+
+  bool run() {
+    size_t ErrorsBefore = Diags.errorCount();
+
+    // Host imports used by write/writeln.
+    if (M.UsesPrintInt)
+      Out.Imports.push_back("print_int");
+    if (M.UsesPrintChar)
+      Out.Imports.push_back("print_char");
+
+    // Globals: Pascal variables have no initializers, so everything is
+    // zero-initialized bss.
+    for (const auto &G : M.Globals) {
+      ir::GlobalVar GV;
+      GV.Name = G->Name;
+      GV.Size = typeSize(G->Ty);
+      GV.Align = typeAlign(G->Ty);
+      if (GV.Size == 0)
+        GV.Size = 1;
+      Out.Globals.push_back(std::move(GV));
+    }
+
+    for (const auto &Fn : M.Funcs)
+      lowerRoutine(Fn.get());
+    lowerMain();
+
+    return Diags.errorCount() == ErrorsBefore;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  void beginFunction(const std::string &Name, const PType *RetTy) {
+    Out.Functions.push_back(ir::Function());
+    F = &Out.Functions.back();
+    F->Name = Name;
+    F->HasRet = RetTy != nullptr;
+    F->RetTy = RetTy ? irTypeOf(RetTy) : ir::Type::I32;
+    B = std::make_unique<IRBuilder>(*F);
+    VarRegs.clear();
+    VarSlots.clear();
+    Result = Value();
+    unsigned Entry = B->createBlock("entry");
+    B->setInsertPoint(Entry);
+  }
+
+  /// Terminates every block that still falls off the end: functions
+  /// return their result register, procedures return void, `main`
+  /// returns 0.
+  void sealFunction(bool MainZero) {
+    for (unsigned BI = 0; BI < F->Blocks.size(); ++BI) {
+      if (F->Blocks[BI].hasTerminator())
+        continue;
+      B->setInsertPoint(BI);
+      if (!F->HasRet) {
+        B->retVoid();
+      } else if (MainZero || !Result.isValid()) {
+        B->ret(B->constInt(0));
+      } else {
+        B->ret(Result);
+      }
+    }
+  }
+
+  void lowerRoutine(const FuncDecl *Fn) {
+    beginFunction(Fn->Name, Fn->RetTy);
+
+    // Parameters arrive as values; var parameters are addresses.
+    for (VarDecl *P : Fn->Params) {
+      ir::Type Ty = P->VarParam ? ir::Type::I32 : irTypeOf(P->Ty);
+      Value In = F->newValue(Ty);
+      F->ParamTypes.push_back(Ty);
+      F->ParamValues.push_back(In);
+      if (!P->VarParam && P->AddressTaken) {
+        unsigned SlotId = newSlot(P);
+        B->storeFrame(memWidthOf(P->Ty), SlotId, 0, In);
+      } else {
+        Value Var = F->newValue(Ty);
+        B->copyTo(Var, In);
+        VarRegs[P] = Var;
+      }
+    }
+
+    // Locals. (Params are also in Fn->Locals; they already have homes.)
+    for (const auto &L : Fn->Locals) {
+      if (L->IsParam)
+        continue;
+      if (L->Ty->isArray() || L->AddressTaken) {
+        unsigned SlotId = newSlot(L.get());
+        zeroFill(SlotId, L->Ty);
+      } else {
+        Value Var = F->newValue(irTypeOf(L->Ty));
+        VarRegs[L.get()] = Var;
+        // Pascal locals are formally uninitialized; define the register
+        // anyway so the IR has no undefined reads.
+        B->copyTo(Var, zeroOf(L->Ty));
+      }
+    }
+
+    // The function result register, initialized to zero.
+    if (Fn->isFunction()) {
+      Result = F->newValue(irTypeOf(Fn->RetTy));
+      B->copyTo(Result, zeroOf(Fn->RetTy));
+    }
+
+    lowerStmt(Fn->Body.get());
+    sealFunction(/*MainZero=*/false);
+  }
+
+  void lowerMain() {
+    beginFunction("main", M.Types.integerTy());
+    lowerStmt(M.MainBody.get());
+    sealFunction(/*MainZero=*/true);
+  }
+
+  unsigned newSlot(const VarDecl *V) {
+    ir::FrameSlot Slot;
+    Slot.Size = typeSize(V->Ty);
+    Slot.Align = typeAlign(V->Ty);
+    Slot.Name = V->Name;
+    F->Slots.push_back(Slot);
+    unsigned SlotId = static_cast<unsigned>(F->Slots.size() - 1);
+    VarSlots[V] = SlotId;
+    return SlotId;
+  }
+
+  Value zeroOf(const PType *T) {
+    return T->K == PTypeKind::Real ? B->constFp(0.0, ir::Type::F64)
+                                   : B->constInt(0);
+  }
+
+  /// Pascal gives no guarantee about fresh local arrays, but the workload
+  /// ports (like their C originals) rely on explicit initialization only;
+  /// zero-filling keeps behaviour deterministic across targets without
+  /// reading stale frame memory.
+  void zeroFill(unsigned SlotId, const PType *Ty) {
+    uint32_t Size = typeSize(Ty);
+    Value Zero = B->constInt(0);
+    uint32_t Off = 0;
+    for (; Off + 4 <= Size; Off += 4)
+      B->storeFrame(MemWidth::W32, SlotId, Off, Zero);
+    for (; Off < Size; ++Off)
+      B->storeFrame(MemWidth::W8, SlotId, Off, Zero);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt *S) {
+    if (!S || B->blockTerminated())
+      return;
+    switch (S->K) {
+    case StmtKind::Compound:
+      for (const auto &Child : S->Body) {
+        if (B->blockTerminated())
+          break;
+        lowerStmt(Child.get());
+      }
+      return;
+    case StmtKind::Empty:
+      return;
+    case StmtKind::Assign: {
+      Value V = genExpr(S->E.get());
+      storeLValue(S->LHS.get(), V);
+      return;
+    }
+    case StmtKind::AssignResult: {
+      Value V = genExpr(S->E.get());
+      B->copyTo(Result, V);
+      return;
+    }
+    case StmtKind::If: {
+      unsigned Then = B->createBlock("then");
+      unsigned Else = S->S2 ? B->createBlock("else") : 0;
+      unsigned Join = B->createBlock("endif");
+      if (!S->S2)
+        Else = Join;
+      genCond(S->E.get(), Then, Else);
+      B->setInsertPoint(Then);
+      lowerStmt(S->S1.get());
+      if (!B->blockTerminated())
+        B->jmp(Join);
+      if (S->S2) {
+        B->setInsertPoint(Else);
+        lowerStmt(S->S2.get());
+        if (!B->blockTerminated())
+          B->jmp(Join);
+      }
+      B->setInsertPoint(Join);
+      return;
+    }
+    case StmtKind::While: {
+      unsigned Header = B->createBlock("while.header");
+      unsigned Body = B->createBlock("while.body");
+      unsigned Exit = B->createBlock("while.end");
+      B->jmp(Header);
+      B->setInsertPoint(Header);
+      genCond(S->E.get(), Body, Exit);
+      B->setInsertPoint(Body);
+      lowerStmt(S->S1.get());
+      if (!B->blockTerminated())
+        B->jmp(Header);
+      B->setInsertPoint(Exit);
+      return;
+    }
+    case StmtKind::Repeat: {
+      unsigned Body = B->createBlock("repeat.body");
+      unsigned Exit = B->createBlock("repeat.end");
+      B->jmp(Body);
+      B->setInsertPoint(Body);
+      for (const auto &Child : S->Body) {
+        if (B->blockTerminated())
+          break;
+        lowerStmt(Child.get());
+      }
+      // repeat runs its body first, then exits when the condition holds.
+      if (!B->blockTerminated())
+        genCond(S->E.get(), Exit, Body);
+      B->setInsertPoint(Exit);
+      return;
+    }
+    case StmtKind::For:
+      lowerFor(S);
+      return;
+    case StmtKind::Call: {
+      std::vector<Value> Args = genCallArgs(S->Callee, S->Args);
+      B->call(S->Callee->Name, /*IsImport=*/false, std::move(Args),
+              S->Callee->isFunction(),
+              S->Callee->isFunction() ? irTypeOf(S->Callee->RetTy)
+                                      : ir::Type::I32);
+      return;
+    }
+    case StmtKind::Write:
+      lowerWrite(S);
+      return;
+    }
+  }
+
+  void lowerFor(const Stmt *S) {
+    const VarDecl *V = S->LHS->Var;
+    Value Lo = genExpr(S->E.get());
+    writeVar(V, Lo);
+    // The final bound is evaluated exactly once, before the loop runs.
+    Value Hi = B->copy(genExpr(S->E2.get()));
+
+    unsigned Header = B->createBlock("for.header");
+    unsigned Body = B->createBlock("for.body");
+    unsigned Exit = B->createBlock("for.end");
+    B->jmp(Header);
+    B->setInsertPoint(Header);
+    Value Cur = readVar(V);
+    B->br(S->Down ? ir::Cond::Ge : ir::Cond::Le, Cur, Hi, Body, Exit);
+    B->setInsertPoint(Body);
+    lowerStmt(S->S1.get());
+    if (!B->blockTerminated()) {
+      Value Next = B->binaryImm(S->Down ? Op::Sub : Op::Add, readVar(V), 1);
+      writeVar(V, Next);
+      B->jmp(Header);
+    }
+    B->setInsertPoint(Exit);
+  }
+
+  void lowerWrite(const Stmt *S) {
+    for (const auto &A : S->Args) {
+      if (A->K == ExprKind::StrLit) {
+        for (unsigned char C : A->Str)
+          printChar(B->constInt(C));
+        continue;
+      }
+      Value V = genExpr(A.get());
+      if (A->Ty->K == PTypeKind::Char)
+        printChar(V);
+      else
+        B->call("print_int", /*IsImport=*/true, {V}, /*HasRet=*/false,
+                ir::Type::I32);
+    }
+    if (S->Newline)
+      printChar(B->constInt('\n'));
+  }
+
+  void printChar(Value V) {
+    B->call("print_char", /*IsImport=*/true, {V}, /*HasRet=*/false,
+            ir::Type::I32);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Variable access
+  //===--------------------------------------------------------------------===//
+
+  /// Address of a variable that lives in memory (global, frame slot, or
+  /// behind a var-parameter pointer).
+  Addr varAddr(const VarDecl *V) {
+    Addr A;
+    if (V->VarParam) {
+      A.Base = VarRegs.at(V); // the incoming address
+      return A;
+    }
+    if (V->IsGlobal) {
+      A.Sym = V->Name;
+      return A;
+    }
+    auto It = VarSlots.find(V);
+    assert(It != VarSlots.end() && "register variable has no address");
+    A.Slot = static_cast<int>(It->second);
+    return A;
+  }
+
+  bool inRegister(const VarDecl *V) const {
+    return !V->VarParam && VarRegs.count(V);
+  }
+
+  Value readVar(const VarDecl *V) {
+    if (inRegister(V))
+      return VarRegs.at(V);
+    return genLoad(varAddr(V), V->Ty);
+  }
+
+  void writeVar(const VarDecl *V, Value Val) {
+    if (inRegister(V)) {
+      B->copyTo(VarRegs.at(V), Val);
+      return;
+    }
+    genStore(varAddr(V), V->Ty, Val);
+  }
+
+  Value materializeAddr(const Addr &A) {
+    if (A.isFrame())
+      return B->frameAddr(static_cast<unsigned>(A.Slot), A.Off);
+    if (A.isGlobal())
+      return B->addrOf(A.Sym, A.Off);
+    if (A.Off != 0)
+      return B->binaryImm(Op::Add, A.Base, A.Off);
+    return A.Base;
+  }
+
+  Value genLoad(const Addr &A, const PType *Ty) {
+    ir::Type RegTy = irTypeOf(Ty);
+    MemWidth W = memWidthOf(Ty);
+    bool Signed = loadSigned(Ty);
+    if (A.isFrame())
+      return B->loadFrame(RegTy, W, Signed, static_cast<unsigned>(A.Slot),
+                          A.Off);
+    if (A.isGlobal())
+      return B->loadGlobal(RegTy, W, Signed, A.Sym, A.Off);
+    return B->load(RegTy, W, Signed, A.Base, A.Off);
+  }
+
+  void genStore(const Addr &A, const PType *Ty, Value V) {
+    MemWidth W = memWidthOf(Ty);
+    if (A.isFrame()) {
+      B->storeFrame(W, static_cast<unsigned>(A.Slot), A.Off, V);
+      return;
+    }
+    if (A.isGlobal()) {
+      B->storeGlobal(W, A.Sym, A.Off, V);
+      return;
+    }
+    B->store(W, A.Base, A.Off, V);
+  }
+
+  /// Address of an lvalue expression (VarRef or Index chain).
+  Addr genAddr(const Expr *E) {
+    switch (E->K) {
+    case ExprKind::VarRef:
+      return varAddr(E->Var);
+    case ExprKind::Index: {
+      Addr A = genAddr(E->L.get());
+      const PType *ArrTy = E->L->Ty;
+      int64_t Stride = typeSize(E->Ty);
+      // Element offset is (index - lo) * stride; the lo adjustment is a
+      // compile-time constant folded into the displacement.
+      A.Off -= static_cast<int64_t>(ArrTy->Lo) * Stride;
+      const Expr *Ix = E->R.get();
+      if (Ix->K == ExprKind::IntLit) {
+        A.Off += Ix->IntVal * Stride;
+        return A;
+      }
+      Value Idx = genExpr(Ix);
+      Value Scaled =
+          Stride == 1 ? Idx : B->binaryImm(Op::Mul, Idx, Stride);
+      int64_t Off = A.Off;
+      A.Off = 0;
+      Value BasePtr = materializeAddr(A);
+      Addr R;
+      R.Base = B->binary(Op::Add, BasePtr, Scaled);
+      R.Off = Off;
+      return R;
+    }
+    default:
+      Diags.error(E->Loc, "expression is not an lvalue");
+      Addr A;
+      A.Base = B->constInt(0);
+      return A;
+    }
+  }
+
+  void storeLValue(const Expr *E, Value V) {
+    if (E->K == ExprKind::VarRef && inRegister(E->Var)) {
+      B->copyTo(VarRegs.at(E->Var), V);
+      return;
+    }
+    genStore(genAddr(E), E->Ty, V);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  ir::Cond condFor(PTok Op) {
+    switch (Op) {
+    case PTok::Eq:
+      return ir::Cond::Eq;
+    case PTok::Ne:
+      return ir::Cond::Ne;
+    case PTok::Lt:
+      return ir::Cond::Lt;
+    case PTok::Le:
+      return ir::Cond::Le;
+    case PTok::Gt:
+      return ir::Cond::Gt;
+    case PTok::Ge:
+      return ir::Cond::Ge;
+    default:
+      assert(false && "not a comparison");
+      return ir::Cond::Eq;
+    }
+  }
+
+  static bool isRelOp(PTok K) {
+    return K == PTok::Eq || K == PTok::Ne || K == PTok::Lt ||
+           K == PTok::Le || K == PTok::Gt || K == PTok::Ge;
+  }
+
+  /// Branches to \p TrueBlk when \p E holds, else \p FalseBlk. Relational
+  /// operators branch directly; everything else (including Pascal's
+  /// fully-evaluated `and`/`or`) materializes 0/1 first, so both operands
+  /// always execute — the documented difference from C's `&&`/`||`.
+  void genCond(const Expr *E, int TrueBlk, int FalseBlk) {
+    if (E->K == ExprKind::Binary && isRelOp(E->Op)) {
+      ir::Cond Cc = condFor(E->Op);
+      Value LV = genExpr(E->L.get());
+      if (E->L->Ty->K != PTypeKind::Real &&
+          E->R->K == ExprKind::IntLit) {
+        B->brImm(Cc, LV, E->R->IntVal, TrueBlk, FalseBlk);
+        return;
+      }
+      Value RV = genExpr(E->R.get());
+      B->br(Cc, LV, RV, TrueBlk, FalseBlk);
+      return;
+    }
+    if (E->K == ExprKind::Unary && E->Op == PTok::KwNot &&
+        E->Ty->K == PTypeKind::Boolean) {
+      genCond(E->L.get(), FalseBlk, TrueBlk);
+      return;
+    }
+    if (E->K == ExprKind::BoolLit) {
+      B->jmp(E->IntVal ? TrueBlk : FalseBlk);
+      return;
+    }
+    Value V = genExpr(E);
+    B->brImm(ir::Cond::Ne, V, 0, TrueBlk, FalseBlk);
+  }
+
+  std::vector<Value> genCallArgs(const FuncDecl *Callee,
+                                 const std::vector<std::unique_ptr<Expr>> &Args) {
+    std::vector<Value> Out;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      const Expr *A = Args[I].get();
+      bool ByRef = I < Callee->Params.size() && Callee->Params[I]->VarParam;
+      if (ByRef)
+        Out.push_back(materializeAddr(genAddr(A)));
+      else
+        Out.push_back(genExpr(A));
+    }
+    return Out;
+  }
+
+  Value genExpr(const Expr *E) {
+    switch (E->K) {
+    case ExprKind::IntLit:
+    case ExprKind::CharLit:
+    case ExprKind::BoolLit:
+      return B->constInt(E->IntVal);
+    case ExprKind::RealLit:
+      return B->constFp(E->RealVal, ir::Type::F64);
+    case ExprKind::StrLit:
+      Diags.error(E->Loc, "string literals may only appear in write()");
+      return B->constInt(0);
+    case ExprKind::VarRef:
+      if (E->Ty->isArray())
+        return materializeAddr(genAddr(E)); // var-param passing only
+      return readVar(E->Var);
+    case ExprKind::Index:
+      return genLoad(genAddr(E), E->Ty);
+    case ExprKind::Ord:
+      // chars and booleans are already zero-extended I32 values.
+      return genExpr(E->L.get());
+    case ExprKind::Chr:
+      // chr(x) = x mod 256: keep the register form canonical so unstored
+      // char values compare consistently.
+      return B->unary(Op::ZeroExt8, genExpr(E->L.get()), ir::Type::I32);
+    case ExprKind::Trunc:
+      // Truncation toward zero, same as the MiniC (real -> int) cast.
+      return B->unary(Op::FpToInt, genExpr(E->L.get()), ir::Type::I32);
+    case ExprKind::IntToReal:
+      return B->unary(Op::IntToFp, genExpr(E->L.get()), ir::Type::F64);
+    case ExprKind::Unary: {
+      Value V = genExpr(E->L.get());
+      if (E->Op == PTok::Minus)
+        return B->unary(E->Ty->K == PTypeKind::Real ? Op::FNeg : Op::Neg,
+                        V, irTypeOf(E->Ty));
+      assert(E->Op == PTok::KwNot);
+      if (E->Ty->K == PTypeKind::Boolean)
+        return B->binaryImm(Op::Xor, V, 1); // flips a materialized 0/1
+      return B->unary(Op::Not, V, ir::Type::I32);
+    }
+    case ExprKind::Binary:
+      return genBinary(E);
+    case ExprKind::Call: {
+      std::vector<Value> Args = genCallArgs(E->Fn, E->Args);
+      return B->call(E->Fn->Name, /*IsImport=*/false, std::move(Args),
+                     /*HasRet=*/true, irTypeOf(E->Ty));
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return B->constInt(0);
+  }
+
+  Value genBinary(const Expr *E) {
+    if (isRelOp(E->Op)) {
+      ir::Cond Cc = condFor(E->Op);
+      Value LV = genExpr(E->L.get());
+      if (E->L->Ty->K != PTypeKind::Real &&
+          E->R->K == ExprKind::IntLit)
+        return B->cmpImm(Cc, LV, E->R->IntVal);
+      Value RV = genExpr(E->R.get());
+      return B->cmp(Cc, LV, RV);
+    }
+    bool IsReal = E->Ty->K == PTypeKind::Real;
+    Op K;
+    switch (E->Op) {
+    case PTok::Plus:
+      K = IsReal ? Op::FAdd : Op::Add;
+      break;
+    case PTok::Minus:
+      K = IsReal ? Op::FSub : Op::Sub;
+      break;
+    case PTok::Star:
+      K = IsReal ? Op::FMul : Op::Mul;
+      break;
+    case PTok::Slash:
+      K = Op::FDiv; // '/' is always real division
+      break;
+    case PTok::KwDiv:
+      K = Op::Div; // signed; traps DivideByZero like MiniC '/'
+      break;
+    case PTok::KwMod:
+      K = Op::Rem;
+      break;
+    case PTok::KwAnd:
+      K = Op::And; // boolean operands are materialized 0/1
+      break;
+    case PTok::KwOr:
+      K = Op::Or;
+      break;
+    case PTok::KwXor:
+      K = Op::Xor;
+      break;
+    case PTok::KwShl:
+      K = Op::Shl;
+      break;
+    case PTok::KwShr:
+      K = Op::ShrL; // Pascal shr is logical, unlike C's int >>
+      break;
+    default:
+      assert(false && "unhandled binary operator");
+      K = Op::Add;
+      break;
+    }
+    Value LV = genExpr(E->L.get());
+    if (!IsReal && E->R->K == ExprKind::IntLit)
+      return B->binaryImm(K, LV, E->R->IntVal);
+    Value RV = genExpr(E->R.get());
+    return B->binary(K, LV, RV);
+  }
+
+  //===--------------------------------------------------------------------===//
+
+  const Module &M;
+  ir::Program &Out;
+  DiagnosticEngine &Diags;
+
+  ir::Function *F = nullptr;
+  std::unique_ptr<IRBuilder> B;
+  std::map<const VarDecl *, Value> VarRegs;
+  std::map<const VarDecl *, unsigned> VarSlots;
+  Value Result; ///< the enclosing function's result register
+};
+
+} // namespace
+
+bool omni::pascal::lowerToIR(const Module &M, ir::Program &Out,
+                             DiagnosticEngine &Diags) {
+  return LoweringImpl(M, Out, Diags).run();
+}
+
+bool omni::pascal::compileToIR(const std::string &Source, ir::Program &Out,
+                               DiagnosticEngine &Diags) {
+  std::unique_ptr<Module> M = parse(Source, Diags);
+  if (!M)
+    return false;
+  return lowerToIR(*M, Out, Diags);
+}

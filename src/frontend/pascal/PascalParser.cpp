@@ -1,0 +1,1181 @@
+//===- frontend/pascal/PascalParser.cpp - Pascal parser + checker ---------===//
+///
+/// Recursive-descent parser for the Pascal subset, with type checking
+/// interleaved (same one-pass shape as the MiniC frontend). Classic Pascal
+/// precedence: relational < additive (+ - or xor) < multiplicative
+/// (* / div mod and shl shr) < unary. `/` always produces `real`;
+/// `div`/`mod` are the integer forms. Constants fold at parse time, so
+/// array bounds and `const` declarations accept expressions over earlier
+/// constants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/pascal/PascalAST.h"
+
+#include <cassert>
+#include <map>
+
+using namespace omni;
+using namespace omni::pascal;
+
+uint32_t omni::pascal::typeSize(const PType *T) {
+  switch (T->K) {
+  case PTypeKind::Integer:
+    return 4;
+  case PTypeKind::Real:
+    return 8;
+  case PTypeKind::Boolean:
+  case PTypeKind::Char:
+    return 1;
+  case PTypeKind::Array:
+    return T->count() * typeSize(T->Elem);
+  }
+  return 4;
+}
+
+uint32_t omni::pascal::typeAlign(const PType *T) {
+  switch (T->K) {
+  case PTypeKind::Integer:
+    return 4;
+  case PTypeKind::Real:
+    return 8;
+  case PTypeKind::Boolean:
+  case PTypeKind::Char:
+    return 1;
+  case PTypeKind::Array:
+    return typeAlign(T->Elem);
+  }
+  return 4;
+}
+
+std::string omni::pascal::typeName(const PType *T) {
+  switch (T->K) {
+  case PTypeKind::Integer:
+    return "integer";
+  case PTypeKind::Real:
+    return "real";
+  case PTypeKind::Boolean:
+    return "boolean";
+  case PTypeKind::Char:
+    return "char";
+  case PTypeKind::Array:
+    return "array[" + std::to_string(T->Lo) + ".." + std::to_string(T->Hi) +
+           "] of " + typeName(T->Elem);
+  }
+  return "?";
+}
+
+namespace {
+
+/// A folded compile-time constant.
+struct ConstVal {
+  bool IsReal = false;
+  int64_t I = 0;
+  double R = 0;
+};
+
+class Parser {
+public:
+  Parser(std::vector<PToken> Toks, DiagnosticEngine &Diags)
+      : Toks(std::move(Toks)), Diags(Diags) {}
+
+  std::unique_ptr<Module> run() {
+    M = std::make_unique<Module>();
+    parseProgram();
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(M);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token helpers
+  //===--------------------------------------------------------------------===//
+
+  const PToken &peek(size_t Ahead = 0) const {
+    size_t I = Idx + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(PTok K) const { return peek().Kind == K; }
+  const PToken &take() {
+    const PToken &T = Toks[Idx];
+    if (Idx + 1 < Toks.size())
+      ++Idx;
+    return T;
+  }
+  bool accept(PTok K) {
+    if (!at(K))
+      return false;
+    take();
+    return true;
+  }
+  bool expect(PTok K, const char *Where) {
+    if (accept(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + getTokenName(K) +
+                                " " + Where + ", found " +
+                                getTokenName(peek().Kind));
+    return false;
+  }
+  SourceLoc loc() const { return peek().Loc; }
+
+  //===--------------------------------------------------------------------===//
+  // Scope lookups
+  //===--------------------------------------------------------------------===//
+
+  VarDecl *lookupVar(const std::string &Name) {
+    auto It = LocalVars.find(Name);
+    if (It != LocalVars.end())
+      return It->second;
+    auto G = GlobalVars.find(Name);
+    return G != GlobalVars.end() ? G->second : nullptr;
+  }
+  const ConstVal *lookupConst(const std::string &Name) {
+    auto It = LocalConsts.find(Name);
+    if (It != LocalConsts.end())
+      return &It->second;
+    auto G = GlobalConsts.find(Name);
+    return G != GlobalConsts.end() ? &G->second : nullptr;
+  }
+  bool nameInUse(const std::string &Name) {
+    if (CurFn) {
+      return LocalVars.count(Name) || LocalConsts.count(Name) ||
+             Name == CurFn->Name;
+    }
+    return GlobalVars.count(Name) || GlobalConsts.count(Name) ||
+           Funcs.count(Name) || Name == M->Name || Name == "main";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression construction helpers
+  //===--------------------------------------------------------------------===//
+
+  std::unique_ptr<Expr> makeExpr(ExprKind K, const PType *Ty, SourceLoc L) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Ty = Ty;
+    E->Loc = L;
+    return E;
+  }
+  std::unique_ptr<Expr> makeIntLit(int64_t V, SourceLoc L) {
+    auto E = makeExpr(ExprKind::IntLit, M->Types.integerTy(), L);
+    E->IntVal = V;
+    return E;
+  }
+
+  bool isNumeric(const PType *T) {
+    return T->K == PTypeKind::Integer || T->K == PTypeKind::Real;
+  }
+
+  /// Inserts the implicit integer->real widening when needed.
+  std::unique_ptr<Expr> coerceToReal(std::unique_ptr<Expr> E) {
+    if (E->Ty->K == PTypeKind::Real)
+      return E;
+    if (E->K == ExprKind::IntLit) { // fold literals directly
+      auto R = makeExpr(ExprKind::RealLit, M->Types.realTy(), E->Loc);
+      R->RealVal = static_cast<double>(E->IntVal);
+      return R;
+    }
+    auto W = makeExpr(ExprKind::IntToReal, M->Types.realTy(), E->Loc);
+    W->L = std::move(E);
+    return W;
+  }
+
+  /// Recovery value for expression-level type errors: a zero of integer
+  /// type, so checking can continue without cascading.
+  std::unique_ptr<Expr> errorExpr(SourceLoc L) { return makeIntLit(0, L); }
+
+  //===--------------------------------------------------------------------===//
+  // Constant folding
+  //===--------------------------------------------------------------------===//
+
+  bool evalConst(const Expr *E, ConstVal &Out) {
+    switch (E->K) {
+    case ExprKind::IntLit:
+    case ExprKind::CharLit:
+    case ExprKind::BoolLit:
+      Out = ConstVal{false, E->IntVal, 0};
+      return true;
+    case ExprKind::RealLit:
+      Out = ConstVal{true, 0, E->RealVal};
+      return true;
+    case ExprKind::IntToReal: {
+      ConstVal V;
+      if (!evalConst(E->L.get(), V))
+        return false;
+      Out = ConstVal{true, 0, static_cast<double>(V.I)};
+      return true;
+    }
+    case ExprKind::Unary: {
+      ConstVal V;
+      if (!evalConst(E->L.get(), V))
+        return false;
+      if (E->Op == PTok::Minus) {
+        Out = V.IsReal ? ConstVal{true, 0, -V.R}
+                       : ConstVal{false, -V.I, 0};
+        return true;
+      }
+      if (E->Op == PTok::KwNot && !V.IsReal) {
+        Out = ConstVal{false, ~V.I, 0};
+        return true;
+      }
+      return false;
+    }
+    case ExprKind::Binary: {
+      ConstVal A, B;
+      if (!evalConst(E->L.get(), A) || !evalConst(E->R.get(), B))
+        return false;
+      if (A.IsReal || B.IsReal) {
+        double X = A.IsReal ? A.R : static_cast<double>(A.I);
+        double Y = B.IsReal ? B.R : static_cast<double>(B.I);
+        switch (E->Op) {
+        case PTok::Plus: Out = ConstVal{true, 0, X + Y}; return true;
+        case PTok::Minus: Out = ConstVal{true, 0, X - Y}; return true;
+        case PTok::Star: Out = ConstVal{true, 0, X * Y}; return true;
+        case PTok::Slash:
+          if (Y == 0)
+            return false;
+          Out = ConstVal{true, 0, X / Y};
+          return true;
+        default:
+          return false;
+        }
+      }
+      int64_t X = A.I, Y = B.I;
+      switch (E->Op) {
+      case PTok::Plus: Out = ConstVal{false, X + Y, 0}; return true;
+      case PTok::Minus: Out = ConstVal{false, X - Y, 0}; return true;
+      case PTok::Star: Out = ConstVal{false, X * Y, 0}; return true;
+      case PTok::KwDiv:
+        if (Y == 0)
+          return false;
+        Out = ConstVal{false, X / Y, 0};
+        return true;
+      case PTok::KwMod:
+        if (Y == 0)
+          return false;
+        Out = ConstVal{false, X % Y, 0};
+        return true;
+      case PTok::KwAnd: Out = ConstVal{false, X & Y, 0}; return true;
+      case PTok::KwOr: Out = ConstVal{false, X | Y, 0}; return true;
+      case PTok::KwXor: Out = ConstVal{false, X ^ Y, 0}; return true;
+      case PTok::KwShl:
+        Out = ConstVal{false,
+                       static_cast<int32_t>(static_cast<uint32_t>(X)
+                                            << (Y & 31)),
+                       0};
+        return true;
+      case PTok::KwShr:
+        Out = ConstVal{false,
+                       static_cast<int64_t>(static_cast<uint32_t>(X) >>
+                                            (Y & 31)),
+                       0};
+        return true;
+      default:
+        return false;
+      }
+    }
+    default:
+      return false;
+    }
+  }
+
+  /// Parses an expression that must fold to an integer constant.
+  bool parseConstInt(int64_t &Out, const char *Where) {
+    SourceLoc L = loc();
+    auto E = parseExpression();
+    ConstVal V;
+    if (!evalConst(E.get(), V) || V.IsReal) {
+      Diags.error(L, std::string("constant integer expression required ") +
+                         Where);
+      Out = 0;
+      return false;
+    }
+    Out = V.I;
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  const PType *parseType() {
+    SourceLoc L = loc();
+    switch (peek().Kind) {
+    case PTok::KwInteger:
+      take();
+      return M->Types.integerTy();
+    case PTok::KwReal:
+      take();
+      return M->Types.realTy();
+    case PTok::KwBoolean:
+      take();
+      return M->Types.booleanTy();
+    case PTok::KwChar:
+      take();
+      return M->Types.charTy();
+    case PTok::KwArray: {
+      take();
+      expect(PTok::LBracket, "after 'array'");
+      std::vector<std::pair<int64_t, int64_t>> Ranges;
+      do {
+        int64_t Lo = 0, Hi = 0;
+        parseConstInt(Lo, "as array lower bound");
+        expect(PTok::DotDot, "in array index range");
+        parseConstInt(Hi, "as array upper bound");
+        if (Hi < Lo)
+          Diags.error(L, "array upper bound below lower bound");
+        Ranges.push_back({Lo, Hi});
+      } while (accept(PTok::Comma));
+      expect(PTok::RBracket, "after array index ranges");
+      expect(PTok::KwOf, "in array type");
+      const PType *T = parseType();
+      // array[a..b, c..d] of T  ==  array[a..b] of array[c..d] of T
+      for (auto It = Ranges.rbegin(); It != Ranges.rend(); ++It)
+        T = M->Types.getArray(T, static_cast<int32_t>(It->first),
+                              static_cast<int32_t>(It->second));
+      return T;
+    }
+    default:
+      Diags.error(L, std::string("expected a type, found ") +
+                         getTokenName(peek().Kind));
+      return M->Types.integerTy();
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  static bool isRelOp(PTok K) {
+    return K == PTok::Eq || K == PTok::Ne || K == PTok::Lt ||
+           K == PTok::Le || K == PTok::Gt || K == PTok::Ge;
+  }
+
+  std::unique_ptr<Expr> parseExpression() {
+    auto L = parseSimple();
+    if (!isRelOp(peek().Kind))
+      return L;
+    PTok Op = take().Kind;
+    SourceLoc OpLoc = L->Loc;
+    auto R = parseSimple();
+    if (isNumeric(L->Ty) && isNumeric(R->Ty)) {
+      if (L->Ty->K == PTypeKind::Real || R->Ty->K == PTypeKind::Real) {
+        L = coerceToReal(std::move(L));
+        R = coerceToReal(std::move(R));
+      }
+    } else if (L->Ty != R->Ty || !L->Ty->isScalar()) {
+      Diags.error(OpLoc, "cannot compare " + typeName(L->Ty) + " with " +
+                             typeName(R->Ty));
+      return errorExpr(OpLoc);
+    } else if (L->Ty->K == PTypeKind::Boolean && Op != PTok::Eq &&
+               Op != PTok::Ne) {
+      Diags.error(OpLoc, "booleans support only '=' and '<>'");
+    }
+    auto E = makeExpr(ExprKind::Binary, M->Types.booleanTy(), OpLoc);
+    E->Op = Op;
+    E->L = std::move(L);
+    E->R = std::move(R);
+    return E;
+  }
+
+  std::unique_ptr<Expr> parseSimple() {
+    SourceLoc SignLoc = loc();
+    bool Negate = false;
+    if (accept(PTok::Minus))
+      Negate = true;
+    else
+      accept(PTok::Plus);
+    auto L = parseTerm();
+    if (Negate)
+      L = applyUnaryMinus(std::move(L), SignLoc);
+    while (at(PTok::Plus) || at(PTok::Minus) || at(PTok::KwOr) ||
+           at(PTok::KwXor)) {
+      PTok Op = take().Kind;
+      SourceLoc OpLoc = L->Loc;
+      auto R = parseTerm();
+      L = buildArith(Op, std::move(L), std::move(R), OpLoc);
+    }
+    return L;
+  }
+
+  std::unique_ptr<Expr> parseTerm() {
+    auto L = parseFactor();
+    while (at(PTok::Star) || at(PTok::Slash) || at(PTok::KwDiv) ||
+           at(PTok::KwMod) || at(PTok::KwAnd) || at(PTok::KwShl) ||
+           at(PTok::KwShr)) {
+      PTok Op = take().Kind;
+      SourceLoc OpLoc = L->Loc;
+      auto R = parseFactor();
+      L = buildArith(Op, std::move(L), std::move(R), OpLoc);
+    }
+    return L;
+  }
+
+  std::unique_ptr<Expr> applyUnaryMinus(std::unique_ptr<Expr> V,
+                                        SourceLoc L) {
+    if (!isNumeric(V->Ty)) {
+      Diags.error(L, "unary '-' requires integer or real, got " +
+                         typeName(V->Ty));
+      return errorExpr(L);
+    }
+    if (V->K == ExprKind::IntLit) { // fold negative literals
+      V->IntVal = -V->IntVal;
+      return V;
+    }
+    if (V->K == ExprKind::RealLit) {
+      V->RealVal = -V->RealVal;
+      return V;
+    }
+    auto E = makeExpr(ExprKind::Unary, V->Ty, L);
+    E->Op = PTok::Minus;
+    E->L = std::move(V);
+    return E;
+  }
+
+  std::unique_ptr<Expr> buildArith(PTok Op, std::unique_ptr<Expr> L,
+                                   std::unique_ptr<Expr> R, SourceLoc OpLoc) {
+    switch (Op) {
+    case PTok::Plus:
+    case PTok::Minus:
+    case PTok::Star: {
+      if (!isNumeric(L->Ty) || !isNumeric(R->Ty)) {
+        Diags.error(OpLoc, std::string("operator ") + getTokenName(Op) +
+                               " requires numeric operands, got " +
+                               typeName(L->Ty) + " and " + typeName(R->Ty));
+        return errorExpr(OpLoc);
+      }
+      const PType *Ty = M->Types.integerTy();
+      if (L->Ty->K == PTypeKind::Real || R->Ty->K == PTypeKind::Real) {
+        L = coerceToReal(std::move(L));
+        R = coerceToReal(std::move(R));
+        Ty = M->Types.realTy();
+      }
+      auto E = makeExpr(ExprKind::Binary, Ty, OpLoc);
+      E->Op = Op;
+      E->L = std::move(L);
+      E->R = std::move(R);
+      return E;
+    }
+    case PTok::Slash: { // '/' is always real division in Pascal
+      if (!isNumeric(L->Ty) || !isNumeric(R->Ty)) {
+        Diags.error(OpLoc, "operator '/' requires numeric operands, got " +
+                               typeName(L->Ty) + " and " + typeName(R->Ty));
+        return errorExpr(OpLoc);
+      }
+      L = coerceToReal(std::move(L));
+      R = coerceToReal(std::move(R));
+      auto E = makeExpr(ExprKind::Binary, M->Types.realTy(), OpLoc);
+      E->Op = Op;
+      E->L = std::move(L);
+      E->R = std::move(R);
+      return E;
+    }
+    case PTok::KwDiv:
+    case PTok::KwMod:
+    case PTok::KwShl:
+    case PTok::KwShr: {
+      if (L->Ty->K != PTypeKind::Integer ||
+          R->Ty->K != PTypeKind::Integer) {
+        Diags.error(OpLoc, std::string("operator ") + getTokenName(Op) +
+                               " requires integer operands, got " +
+                               typeName(L->Ty) + " and " + typeName(R->Ty));
+        return errorExpr(OpLoc);
+      }
+      auto E = makeExpr(ExprKind::Binary, M->Types.integerTy(), OpLoc);
+      E->Op = Op;
+      E->L = std::move(L);
+      E->R = std::move(R);
+      return E;
+    }
+    case PTok::KwAnd:
+    case PTok::KwOr:
+    case PTok::KwXor: {
+      const PType *Ty = nullptr;
+      if (L->Ty->K == PTypeKind::Integer && R->Ty->K == PTypeKind::Integer)
+        Ty = M->Types.integerTy(); // bitwise form
+      else if (L->Ty->K == PTypeKind::Boolean &&
+               R->Ty->K == PTypeKind::Boolean)
+        Ty = M->Types.booleanTy(); // logical form (fully evaluated)
+      if (!Ty) {
+        Diags.error(OpLoc, std::string("operator ") + getTokenName(Op) +
+                               " requires two integers or two booleans, "
+                               "got " +
+                               typeName(L->Ty) + " and " + typeName(R->Ty));
+        return errorExpr(OpLoc);
+      }
+      auto E = makeExpr(ExprKind::Binary, Ty, OpLoc);
+      E->Op = Op;
+      E->L = std::move(L);
+      E->R = std::move(R);
+      return E;
+    }
+    default:
+      assert(false && "not an arithmetic operator");
+      return errorExpr(OpLoc);
+    }
+  }
+
+  std::unique_ptr<Expr> parseFactor() {
+    SourceLoc L = loc();
+    switch (peek().Kind) {
+    case PTok::KwNot: {
+      take();
+      auto V = parseFactor();
+      if (V->Ty->K != PTypeKind::Boolean &&
+          V->Ty->K != PTypeKind::Integer) {
+        Diags.error(L, "'not' requires boolean or integer, got " +
+                           typeName(V->Ty));
+        return errorExpr(L);
+      }
+      auto E = makeExpr(ExprKind::Unary, V->Ty, L);
+      E->Op = PTok::KwNot;
+      E->L = std::move(V);
+      return E;
+    }
+    case PTok::Minus: // accepted in factor position for convenience
+      take();
+      return applyUnaryMinus(parseFactor(), L);
+    case PTok::IntLit:
+      return makeIntLit(take().IntValue, L);
+    case PTok::RealLit: {
+      auto E = makeExpr(ExprKind::RealLit, M->Types.realTy(), L);
+      E->RealVal = take().RealValue;
+      return E;
+    }
+    case PTok::CharLit: {
+      auto E = makeExpr(ExprKind::CharLit, M->Types.charTy(), L);
+      E->IntVal = take().IntValue;
+      return E;
+    }
+    case PTok::KwTrue:
+    case PTok::KwFalse: {
+      auto E = makeExpr(ExprKind::BoolLit, M->Types.booleanTy(), L);
+      E->IntVal = take().Kind == PTok::KwTrue ? 1 : 0;
+      return E;
+    }
+    case PTok::LParen: {
+      take();
+      auto E = parseExpression();
+      expect(PTok::RParen, "to close parenthesized expression");
+      return E;
+    }
+    case PTok::Ident:
+      return parseIdentExpr();
+    default:
+      Diags.error(L, std::string("expected an expression, found ") +
+                         getTokenName(peek().Kind));
+      take();
+      return errorExpr(L);
+    }
+  }
+
+  std::unique_ptr<Expr> parseIdentExpr() {
+    SourceLoc L = loc();
+    std::string Name = take().Text;
+
+    // Builtins.
+    if (Name == "ord" || Name == "chr" || Name == "trunc")
+      return parseBuiltin(Name, L);
+
+    // Constants fold to literals at resolution.
+    if (const ConstVal *C = lookupConst(Name)) {
+      if (C->IsReal) {
+        auto E = makeExpr(ExprKind::RealLit, M->Types.realTy(), L);
+        E->RealVal = C->R;
+        return E;
+      }
+      return makeIntLit(C->I, L);
+    }
+
+    // Variables (and array indexing).
+    if (VarDecl *V = lookupVar(Name))
+      return parseLValueSuffix(V, L);
+
+    // The enclosing function's own name in expression position is a
+    // recursive call.
+    if (CurFn && CurFn->isFunction() && Name == CurFn->Name)
+      return parseCallExpr(CurFn, L);
+
+    if (auto It = Funcs.find(Name); It != Funcs.end())
+      return parseCallExpr(It->second, L);
+
+    Diags.error(L, "unknown identifier '" + Name + "'");
+    return errorExpr(L);
+  }
+
+  std::unique_ptr<Expr> parseBuiltin(const std::string &Name, SourceLoc L) {
+    expect(PTok::LParen, ("after '" + Name + "'").c_str());
+    auto Arg = parseExpression();
+    expect(PTok::RParen, ("to close '" + Name + "' call").c_str());
+    if (Name == "ord") {
+      if (Arg->Ty->K != PTypeKind::Char &&
+          Arg->Ty->K != PTypeKind::Boolean &&
+          Arg->Ty->K != PTypeKind::Integer) {
+        Diags.error(L, "ord() requires char, boolean, or integer");
+        return errorExpr(L);
+      }
+      if (Arg->Ty->K == PTypeKind::Integer)
+        return Arg; // ord over integer is the identity
+      auto E = makeExpr(ExprKind::Ord, M->Types.integerTy(), L);
+      E->L = std::move(Arg);
+      return E;
+    }
+    if (Name == "chr") {
+      if (Arg->Ty->K != PTypeKind::Integer) {
+        Diags.error(L, "chr() requires an integer");
+        return errorExpr(L);
+      }
+      auto E = makeExpr(ExprKind::Chr, M->Types.charTy(), L);
+      E->L = std::move(Arg);
+      return E;
+    }
+    // trunc
+    if (Arg->Ty->K != PTypeKind::Real) {
+      Diags.error(L, "trunc() requires a real");
+      return errorExpr(L);
+    }
+    auto E = makeExpr(ExprKind::Trunc, M->Types.integerTy(), L);
+    E->L = std::move(Arg);
+    return E;
+  }
+
+  /// Parses `[i, j][k]...` suffixes after a variable reference.
+  std::unique_ptr<Expr> parseLValueSuffix(VarDecl *V, SourceLoc L) {
+    auto E = makeExpr(ExprKind::VarRef, V->Ty, L);
+    E->Var = V;
+    std::unique_ptr<Expr> Cur = std::move(E);
+    while (at(PTok::LBracket)) {
+      take();
+      do {
+        if (!Cur->Ty->isArray()) {
+          Diags.error(loc(), "cannot index non-array " + typeName(Cur->Ty));
+          return errorExpr(L);
+        }
+        auto I = parseExpression();
+        if (I->Ty->K != PTypeKind::Integer) {
+          Diags.error(I->Loc, "array index must be an integer, got " +
+                                  typeName(I->Ty));
+          I = errorExpr(I->Loc);
+        }
+        auto Ix = makeExpr(ExprKind::Index, Cur->Ty->Elem, I->Loc);
+        Ix->L = std::move(Cur);
+        Ix->R = std::move(I);
+        Cur = std::move(Ix);
+      } while (accept(PTok::Comma)); // a[i, j] == a[i][j]
+      expect(PTok::RBracket, "to close array index");
+    }
+    return Cur;
+  }
+
+  /// Checks an actual argument list against \p F and builds the call node.
+  std::unique_ptr<Expr> parseCallExpr(FuncDecl *F, SourceLoc L) {
+    if (!F->isFunction())
+      Diags.error(L, "procedure '" + F->Name +
+                         "' returns nothing and cannot appear in an "
+                         "expression");
+    auto E = makeExpr(ExprKind::Call,
+                      F->RetTy ? F->RetTy : M->Types.integerTy(), L);
+    E->Fn = F;
+    parseCallArgs(F, E->Args, L);
+    return E;
+  }
+
+  void parseCallArgs(FuncDecl *F,
+                     std::vector<std::unique_ptr<Expr>> &Args, SourceLoc L) {
+    if (accept(PTok::LParen)) {
+      if (!at(PTok::RParen)) {
+        do {
+          Args.push_back(parseExpression());
+        } while (accept(PTok::Comma));
+      }
+      expect(PTok::RParen, "to close argument list");
+    }
+    if (Args.size() != F->Params.size()) {
+      Diags.error(L, "'" + F->Name + "' expects " +
+                         std::to_string(F->Params.size()) +
+                         " argument(s), got " + std::to_string(Args.size()));
+      return;
+    }
+    for (size_t I = 0; I < Args.size(); ++I) {
+      VarDecl *P = F->Params[I];
+      std::unique_ptr<Expr> &A = Args[I];
+      if (P->VarParam) {
+        // var parameters demand an lvalue of the exact same type.
+        if (A->K != ExprKind::VarRef && A->K != ExprKind::Index) {
+          Diags.error(A->Loc, "argument for var parameter '" + P->Name +
+                                  "' must be a variable");
+          continue;
+        }
+        if (A->Ty != P->Ty) {
+          Diags.error(A->Loc, "var parameter '" + P->Name + "' needs " +
+                                  typeName(P->Ty) + ", got " +
+                                  typeName(A->Ty));
+          continue;
+        }
+        // A scalar variable whose address escapes must live in memory.
+        if (A->K == ExprKind::VarRef && A->Ty->isScalar())
+          A->Var->AddressTaken = true;
+      } else {
+        if (A->Ty->isArray()) {
+          Diags.error(A->Loc,
+                      "arrays must be passed to 'var' parameters");
+          continue;
+        }
+        if (P->Ty->K == PTypeKind::Real && A->Ty->K == PTypeKind::Integer)
+          A = coerceToReal(std::move(A));
+        else if (A->Ty != P->Ty)
+          Diags.error(A->Loc, "parameter '" + P->Name + "' needs " +
+                                  typeName(P->Ty) + ", got " +
+                                  typeName(A->Ty));
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  std::unique_ptr<Stmt> makeStmt(StmtKind K, SourceLoc L) {
+    auto S = std::make_unique<Stmt>();
+    S->K = K;
+    S->Loc = L;
+    return S;
+  }
+
+  std::unique_ptr<Expr> parseCondition(const char *Where) {
+    auto E = parseExpression();
+    if (E->Ty->K != PTypeKind::Boolean) {
+      Diags.error(E->Loc, std::string(Where) +
+                              " condition must be boolean, got " +
+                              typeName(E->Ty));
+    }
+    return E;
+  }
+
+  /// begin ... end (the KwBegin is already consumed by the caller).
+  std::unique_ptr<Stmt> parseCompound(SourceLoc L) {
+    auto C = makeStmt(StmtKind::Compound, L);
+    for (;;) {
+      if (at(PTok::KwEnd) || at(PTok::End))
+        break;
+      if (accept(PTok::Semi)) // empty statement
+        continue;
+      C->Body.push_back(parseStatement());
+      if (!at(PTok::Semi))
+        break;
+    }
+    expect(PTok::KwEnd, "to close compound statement");
+    return C;
+  }
+
+  std::unique_ptr<Stmt> parseStatement() {
+    SourceLoc L = loc();
+    switch (peek().Kind) {
+    case PTok::KwBegin:
+      take();
+      return parseCompound(L);
+    case PTok::KwIf: {
+      take();
+      auto S = makeStmt(StmtKind::If, L);
+      S->E = parseCondition("'if'");
+      expect(PTok::KwThen, "after 'if' condition");
+      S->S1 = parseStatement();
+      if (accept(PTok::KwElse))
+        S->S2 = parseStatement();
+      return S;
+    }
+    case PTok::KwWhile: {
+      take();
+      auto S = makeStmt(StmtKind::While, L);
+      S->E = parseCondition("'while'");
+      expect(PTok::KwDo, "after 'while' condition");
+      S->S1 = parseStatement();
+      return S;
+    }
+    case PTok::KwRepeat: {
+      take();
+      auto S = makeStmt(StmtKind::Repeat, L);
+      for (;;) {
+        if (at(PTok::KwUntil) || at(PTok::End))
+          break;
+        if (accept(PTok::Semi))
+          continue;
+        S->Body.push_back(parseStatement());
+        if (!at(PTok::Semi))
+          break;
+      }
+      expect(PTok::KwUntil, "to close 'repeat'");
+      S->E = parseCondition("'until'");
+      return S;
+    }
+    case PTok::KwFor:
+      return parseFor();
+    case PTok::Ident:
+      return parseIdentStmt();
+    default:
+      Diags.error(L, std::string("expected a statement, found ") +
+                         getTokenName(peek().Kind));
+      take();
+      return makeStmt(StmtKind::Empty, L);
+    }
+  }
+
+  std::unique_ptr<Stmt> parseFor() {
+    SourceLoc L = loc();
+    take(); // for
+    auto S = makeStmt(StmtKind::For, L);
+    if (!at(PTok::Ident)) {
+      expect(PTok::Ident, "as 'for' loop variable");
+      return makeStmt(StmtKind::Empty, L);
+    }
+    SourceLoc VarLoc = loc();
+    std::string Name = take().Text;
+    VarDecl *V = lookupVar(Name);
+    if (!V) {
+      Diags.error(VarLoc, "unknown loop variable '" + Name + "'");
+    } else if (V->Ty->K != PTypeKind::Integer) {
+      Diags.error(VarLoc, "'for' loop variable must be an integer");
+      V = nullptr;
+    }
+    if (V) {
+      auto Ref = makeExpr(ExprKind::VarRef, V->Ty, VarLoc);
+      Ref->Var = V;
+      S->LHS = std::move(Ref);
+    }
+    expect(PTok::Assign, "after 'for' loop variable");
+    S->E = parseExpression();
+    if (S->E->Ty->K != PTypeKind::Integer)
+      Diags.error(S->E->Loc, "'for' bounds must be integers");
+    if (at(PTok::KwDownto)) {
+      take();
+      S->Down = true;
+    } else {
+      expect(PTok::KwTo, "in 'for' statement");
+    }
+    S->E2 = parseExpression();
+    if (S->E2->Ty->K != PTypeKind::Integer)
+      Diags.error(S->E2->Loc, "'for' bounds must be integers");
+    expect(PTok::KwDo, "after 'for' bounds");
+    S->S1 = parseStatement();
+    if (!S->LHS)
+      return makeStmt(StmtKind::Empty, L);
+    return S;
+  }
+
+  std::unique_ptr<Stmt> parseIdentStmt() {
+    SourceLoc L = loc();
+    std::string Name = take().Text;
+
+    // write / writeln via host imports.
+    if (Name == "write" || Name == "writeln")
+      return parseWrite(Name == "writeln", L);
+
+    // Assignment to the enclosing function's name sets its result.
+    if (CurFn && CurFn->isFunction() && Name == CurFn->Name &&
+        at(PTok::Assign)) {
+      take();
+      auto S = makeStmt(StmtKind::AssignResult, L);
+      S->E = parseExpression();
+      S->E = checkAssignable(CurFn->RetTy, std::move(S->E),
+                             "function result");
+      return S;
+    }
+
+    if (VarDecl *V = lookupVar(Name)) {
+      auto LHS = parseLValueSuffix(V, L);
+      if (!LHS->Ty->isScalar()) {
+        Diags.error(L, "cannot assign whole arrays");
+        LHS = errorExpr(L);
+      }
+      expect(PTok::Assign, "in assignment");
+      auto S = makeStmt(StmtKind::Assign, L);
+      auto RHS = parseExpression();
+      S->E = checkAssignable(LHS->Ty, std::move(RHS), "assignment");
+      S->LHS = std::move(LHS);
+      return S;
+    }
+
+    // Procedure (or self-recursive) call statement.
+    FuncDecl *F = nullptr;
+    if (CurFn && Name == CurFn->Name)
+      F = CurFn;
+    else if (auto It = Funcs.find(Name); It != Funcs.end())
+      F = It->second;
+    if (F) {
+      auto S = makeStmt(StmtKind::Call, L);
+      S->Callee = F;
+      parseCallArgs(F, S->Args, L);
+      return S;
+    }
+
+    Diags.error(L, "unknown identifier '" + Name + "'");
+    return makeStmt(StmtKind::Empty, L);
+  }
+
+  std::unique_ptr<Expr> checkAssignable(const PType *Target,
+                                        std::unique_ptr<Expr> V,
+                                        const char *What) {
+    if (Target->K == PTypeKind::Real && V->Ty->K == PTypeKind::Integer)
+      return coerceToReal(std::move(V));
+    if (Target != V->Ty) {
+      Diags.error(V->Loc, std::string(What) + " needs " + typeName(Target) +
+                              ", got " + typeName(V->Ty));
+      return errorExpr(V->Loc);
+    }
+    return V;
+  }
+
+  std::unique_ptr<Stmt> parseWrite(bool Newline, SourceLoc L) {
+    auto S = makeStmt(StmtKind::Write, L);
+    S->Newline = Newline;
+    if (accept(PTok::LParen)) {
+      if (!at(PTok::RParen)) {
+        do {
+          if (at(PTok::StrLit)) {
+            const PToken &T = take();
+            auto E = makeExpr(ExprKind::StrLit, M->Types.charTy(), T.Loc);
+            E->Str = T.StrValue;
+            S->Args.push_back(std::move(E));
+            M->UsesPrintChar = true;
+            continue;
+          }
+          auto E = parseExpression();
+          switch (E->Ty->K) {
+          case PTypeKind::Integer:
+            M->UsesPrintInt = true;
+            break;
+          case PTypeKind::Char:
+            M->UsesPrintChar = true;
+            break;
+          default:
+            Diags.error(E->Loc,
+                        "write() accepts integer, char, and string "
+                        "arguments; got " +
+                            typeName(E->Ty) +
+                            " (print reals via trunc())");
+          }
+          S->Args.push_back(std::move(E));
+        } while (accept(PTok::Comma));
+      }
+      expect(PTok::RParen, "to close write argument list");
+    }
+    if (Newline)
+      M->UsesPrintChar = true;
+    else if (S->Args.empty())
+      Diags.error(L, "write() needs at least one argument");
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  void parseConstBlock() {
+    while (at(PTok::Ident)) {
+      SourceLoc L = loc();
+      std::string Name = take().Text;
+      expect(PTok::Eq, "in constant declaration");
+      SourceLoc VL = loc();
+      auto E = parseExpression();
+      ConstVal V;
+      if (!evalConst(E.get(), V)) {
+        Diags.error(VL, "initializer of '" + Name +
+                            "' is not a compile-time constant");
+        V = ConstVal{};
+      }
+      if (nameInUse(Name))
+        Diags.error(L, "redefinition of '" + Name + "'");
+      else if (CurFn)
+        LocalConsts[Name] = V;
+      else
+        GlobalConsts[Name] = V;
+      expect(PTok::Semi, "after constant declaration");
+    }
+  }
+
+  void parseVarBlock() {
+    while (at(PTok::Ident)) {
+      std::vector<std::pair<std::string, SourceLoc>> Names;
+      do {
+        if (!at(PTok::Ident)) {
+          expect(PTok::Ident, "in variable declaration");
+          break;
+        }
+        SourceLoc L = loc();
+        Names.push_back({take().Text, L});
+      } while (accept(PTok::Comma));
+      expect(PTok::Colon, "in variable declaration");
+      const PType *Ty = parseType();
+      expect(PTok::Semi, "after variable declaration");
+      for (auto &[Name, L] : Names) {
+        if (nameInUse(Name)) {
+          Diags.error(L, "redefinition of '" + Name + "'");
+          continue;
+        }
+        auto V = std::make_unique<VarDecl>();
+        V->Name = Name;
+        V->Ty = Ty;
+        V->Loc = L;
+        V->IsGlobal = CurFn == nullptr;
+        if (CurFn) {
+          LocalVars[Name] = V.get();
+          CurFn->Locals.push_back(std::move(V));
+        } else {
+          GlobalVars[Name] = V.get();
+          M->Globals.push_back(std::move(V));
+        }
+      }
+    }
+  }
+
+  void parseRoutine() {
+    bool IsFunc = at(PTok::KwFunction);
+    take(); // procedure / function
+    SourceLoc L = loc();
+    std::string Name;
+    if (at(PTok::Ident))
+      Name = take().Text;
+    else
+      expect(PTok::Ident, "as routine name");
+    if (Name == "main")
+      Diags.error(L, "'main' is reserved for the program body");
+    else if (Name == "print_int" || Name == "print_char")
+      Diags.error(L, "'" + Name + "' is a reserved host import name");
+    else if (nameInUse(Name) || Name == "write" || Name == "writeln" ||
+             Name == "ord" || Name == "chr" || Name == "trunc")
+      Diags.error(L, "redefinition of '" + Name + "'");
+
+    auto F = std::make_unique<FuncDecl>();
+    F->Name = Name;
+    F->Loc = L;
+    CurFn = F.get();
+    LocalVars.clear();
+    LocalConsts.clear();
+
+    if (accept(PTok::LParen)) {
+      if (!at(PTok::RParen)) {
+        do {
+          bool IsVar = accept(PTok::KwVar);
+          std::vector<std::pair<std::string, SourceLoc>> Names;
+          do {
+            if (!at(PTok::Ident)) {
+              expect(PTok::Ident, "as parameter name");
+              break;
+            }
+            SourceLoc PL = loc();
+            Names.push_back({take().Text, PL});
+          } while (accept(PTok::Comma));
+          expect(PTok::Colon, "in parameter declaration");
+          const PType *Ty = parseType();
+          if (Ty->isArray() && !IsVar)
+            Diags.error(L, "array parameters must be 'var'");
+          for (auto &[PName, PL] : Names) {
+            if (LocalVars.count(PName)) {
+              Diags.error(PL, "duplicate parameter '" + PName + "'");
+              continue;
+            }
+            auto P = std::make_unique<VarDecl>();
+            P->Name = PName;
+            P->Ty = Ty;
+            P->Loc = PL;
+            P->IsParam = true;
+            P->VarParam = IsVar;
+            LocalVars[PName] = P.get();
+            F->Params.push_back(P.get());
+            F->Locals.push_back(std::move(P));
+          }
+        } while (accept(PTok::Semi));
+      }
+      expect(PTok::RParen, "to close parameter list");
+    }
+    if (IsFunc) {
+      expect(PTok::Colon, "before function result type");
+      F->RetTy = parseType();
+      if (F->RetTy->isArray()) {
+        Diags.error(L, "functions cannot return arrays");
+        F->RetTy = M->Types.integerTy();
+      }
+    }
+    expect(PTok::Semi, "after routine header");
+
+    // Register before the body so the routine can recurse.
+    if (!Name.empty() && !Funcs.count(Name))
+      Funcs[Name] = F.get();
+
+    while (at(PTok::KwConst) || at(PTok::KwVar)) {
+      if (accept(PTok::KwConst))
+        parseConstBlock();
+      else if (accept(PTok::KwVar))
+        parseVarBlock();
+    }
+    SourceLoc BodyLoc = loc();
+    expect(PTok::KwBegin, "to start routine body");
+    F->Body = parseCompound(BodyLoc);
+    expect(PTok::Semi, "after routine body");
+
+    CurFn = nullptr;
+    LocalVars.clear();
+    LocalConsts.clear();
+    M->Funcs.push_back(std::move(F));
+  }
+
+  void parseProgram() {
+    expect(PTok::KwProgram, "at start of source");
+    if (at(PTok::Ident))
+      M->Name = take().Text;
+    else
+      expect(PTok::Ident, "as program name");
+    if (accept(PTok::LParen)) { // program name(input, output) is classic
+      while (at(PTok::Ident)) {
+        take();
+        if (!accept(PTok::Comma))
+          break;
+      }
+      expect(PTok::RParen, "to close program parameter list");
+    }
+    expect(PTok::Semi, "after program header");
+
+    for (;;) {
+      if (accept(PTok::KwConst)) {
+        parseConstBlock();
+        continue;
+      }
+      if (accept(PTok::KwVar)) {
+        parseVarBlock();
+        continue;
+      }
+      if (at(PTok::KwProcedure) || at(PTok::KwFunction)) {
+        parseRoutine();
+        continue;
+      }
+      break;
+    }
+    SourceLoc L = loc();
+    if (!expect(PTok::KwBegin, "to start program body"))
+      return;
+    M->MainBody = parseCompound(L);
+    expect(PTok::Dot, "after final 'end'");
+  }
+
+  //===--------------------------------------------------------------------===//
+
+  std::vector<PToken> Toks;
+  DiagnosticEngine &Diags;
+  size_t Idx = 0;
+  std::unique_ptr<Module> M;
+  FuncDecl *CurFn = nullptr;
+  std::map<std::string, VarDecl *> GlobalVars, LocalVars;
+  std::map<std::string, ConstVal> GlobalConsts, LocalConsts;
+  std::map<std::string, FuncDecl *> Funcs;
+};
+
+} // namespace
+
+std::unique_ptr<Module> omni::pascal::parse(const std::string &Source,
+                                            DiagnosticEngine &Diags) {
+  std::vector<PToken> Toks = tokenize(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return Parser(std::move(Toks), Diags).run();
+}

@@ -405,11 +405,363 @@ int main() {
 }
 )MC";
 
+//===----------------------------------------------------------------------===//
+// Pascal ports
+//===----------------------------------------------------------------------===//
+//
+// Line-for-line ports of three workloads (li needs records and pointers,
+// outside the Pascal subset). Semantic notes that keep them bit-equal to
+// the MiniC sources:
+//  * `shr` is a logical shift (C's unsigned >>); every shifted value here
+//    is a seed whose low 16 bits are discarded, exactly as in C
+//  * `div`/`mod` are the signed forms; all operands are non-negative at
+//    those sites, so they agree with C's / and %
+//  * integer arithmetic wraps mod 2^32 in both languages, so the
+//    `checksum * 33 + x` style hashes agree bit-for-bit
+//  * FP expression trees are kept in the same shape and order, so IEEE
+//    results (and the truncated checksums) are identical
+//  * C's early-exit loops (break/continue/return) are rewritten as
+//    nested ifs with explicit scan flags / bound-forcing assignments that
+//    preserve probe/comparison counts
+//  * each C main's locals become locals of a `run` procedure (the classic
+//    Pascal idiom): program-level variables live in memory, and keeping
+//    hot counters there instead of registers would bill Pascal for a
+//    declaration-site accident rather than the algorithm
+
+const char *CompressPascal = R"PAS(
+program compress;
+{ LZW miniature, ported statement-for-statement from the MiniC workload:
+  same hash probe sequence, same checksum. }
+const
+  INSIZE = 24000;
+  HASHSIZE = 8192;
+  MAXCODE = 4096;
+var
+  input: array[0..INSIZE-1] of char;
+  hash_prefix: array[0..HASHSIZE-1] of integer;
+  hash_ch: array[0..HASHSIZE-1] of integer;
+  hash_code: array[0..HASHSIZE-1] of integer;
+  seed: integer;
+
+function nextrand(m: integer): integer;
+begin
+  seed := seed * 1103515245 + 12345;
+  nextrand := (seed shr 16) mod m
+end;
+
+procedure make_input;
+var
+  words: array[0..15, 0..7] of char;
+  wlen: array[0..15] of integer;
+  w, i, pos, pick: integer;
+begin
+  { word soup with zipf-ish repetition so compression finds structure }
+  pos := 0;
+  for w := 0 to 15 do begin
+    wlen[w] := 2 + nextrand(5);
+    for i := 0 to wlen[w] - 1 do
+      words[w, i] := chr(ord('a') + nextrand(26))
+  end;
+  while pos < INSIZE - 9 do begin
+    pick := nextrand(16);
+    if pick > 7 then pick := nextrand(8); { skew toward low indices }
+    for i := 0 to wlen[pick] - 1 do begin
+      input[pos] := words[pick, i];
+      pos := pos + 1
+    end;
+    input[pos] := ' ';
+    pos := pos + 1
+  end;
+  while pos < INSIZE do begin
+    input[pos] := ' ';
+    pos := pos + 1
+  end
+end;
+
+procedure run;
+var
+  { the MiniC main's locals stay locals: registers, not globals }
+  i, c, h, found, scan, next_code, prefix: integer;
+  checksum, out_codes, probes: integer;
+begin
+  seed := 99991;
+  make_input;
+  for i := 0 to HASHSIZE - 1 do hash_code[i] := -1;
+
+  next_code := 256;
+  prefix := ord(input[0]);
+  checksum := 5381;
+  out_codes := 0;
+  probes := 0;
+
+  for i := 1 to INSIZE - 1 do begin
+    c := ord(input[i]);
+    { search (prefix, c); the scan flag mirrors C's break so the
+      per-iteration work — one probe count, one or two field compares,
+      one step of the probe sequence — is identical }
+    h := ((prefix shl 5) xor c) and (HASHSIZE - 1);
+    found := -1;
+    scan := 1;
+    while scan = 1 do begin
+      if hash_code[h] = -1 then
+        scan := 0
+      else begin
+        probes := probes + 1;
+        if hash_prefix[h] = prefix then begin
+          if hash_ch[h] = c then begin
+            found := hash_code[h];
+            scan := 0
+          end else
+            h := (h + 61) and (HASHSIZE - 1)
+        end else
+          h := (h + 61) and (HASHSIZE - 1)
+      end
+    end;
+    if found <> -1 then
+      prefix := found
+    else begin
+      { emit prefix, add (prefix,c) to the table }
+      checksum := checksum * 33 + prefix;
+      out_codes := out_codes + 1;
+      if next_code < MAXCODE then begin
+        hash_prefix[h] := prefix;
+        hash_ch[h] := c;
+        hash_code[h] := next_code;
+        next_code := next_code + 1
+      end;
+      prefix := c
+    end
+  end;
+  checksum := checksum * 33 + prefix;
+  out_codes := out_codes + 1;
+
+  writeln(checksum and $7fffffff, ' ', out_codes, ' ', next_code, ' ',
+          probes)
+end;
+
+begin
+  run
+end.
+)PAS";
+
+const char *AlvinnPascal = R"PAS(
+program alvinn;
+{ Two-layer perceptron with backprop; the FP expression trees mirror the
+  MiniC source exactly, so the truncated checksums agree bit-for-bit. }
+const
+  IN_N = 48;
+  HID = 12;
+  OUT_N = 4;
+  PATTERNS = 8;
+  EPOCHS = 12;
+var
+  w1: array[0..HID-1, 0..IN_N-1] of real;
+  w2: array[0..OUT_N-1, 0..HID-1] of real;
+  pat_in: array[0..PATTERNS-1, 0..IN_N-1] of real;
+  pat_out: array[0..PATTERNS-1, 0..OUT_N-1] of real;
+  hid_act, hid_raw, hid_delta: array[0..HID-1] of real;
+  out_act, out_raw, out_delta: array[0..OUT_N-1] of real;
+  seed: integer;
+
+function frand: real;
+begin
+  seed := seed * 1103515245 + 12345;
+  frand := ((seed shr 16) and $7fff) / 32768.0 - 0.5
+end;
+
+function sigmoid(x: real): real;
+var ax: real;
+begin
+  if x < 0.0 then ax := -x else ax := x;
+  sigmoid := 0.5 + 0.5 * (x / (1.0 + ax))
+end;
+
+function dsigmoid(x: real): real;
+var ax, d: real;
+begin
+  if x < 0.0 then ax := -x else ax := x;
+  d := 1.0 + ax;
+  dsigmoid := 0.5 / (d * d)
+end;
+
+procedure run;
+var
+  { the MiniC main's locals stay locals: registers, not globals }
+  i, j, p, e, c, d: integer;
+  lr, total_err, s, err, wsum: real;
+begin
+  seed := 424243;
+  for j := 0 to HID - 1 do
+    for i := 0 to IN_N - 1 do w1[j, i] := frand;
+  for j := 0 to OUT_N - 1 do
+    for i := 0 to HID - 1 do w2[j, i] := frand;
+  for p := 0 to PATTERNS - 1 do begin
+    { a "road" centered at column c: bright band across the inputs }
+    c := (p * IN_N) div PATTERNS;
+    for i := 0 to IN_N - 1 do begin
+      d := i - c;
+      if d < 0 then d := -d;
+      if d < 4 then pat_in[p, i] := 1.0 else pat_in[p, i] := 0.1
+    end;
+    for j := 0 to OUT_N - 1 do
+      if (p mod OUT_N) = j then pat_out[p, j] := 0.9
+      else pat_out[p, j] := 0.1
+  end;
+
+  lr := 0.3;
+  total_err := 0.0;
+  for e := 0 to EPOCHS - 1 do begin
+    total_err := 0.0;
+    for p := 0 to PATTERNS - 1 do begin
+      { forward }
+      for j := 0 to HID - 1 do begin
+        s := 0.0;
+        for i := 0 to IN_N - 1 do s := s + w1[j, i] * pat_in[p, i];
+        hid_raw[j] := s;
+        hid_act[j] := sigmoid(s)
+      end;
+      for j := 0 to OUT_N - 1 do begin
+        s := 0.0;
+        for i := 0 to HID - 1 do s := s + w2[j, i] * hid_act[i];
+        out_raw[j] := s;
+        out_act[j] := sigmoid(s)
+      end;
+      { backward }
+      for j := 0 to OUT_N - 1 do begin
+        err := pat_out[p, j] - out_act[j];
+        total_err := total_err + err * err;
+        out_delta[j] := err * dsigmoid(out_raw[j])
+      end;
+      for j := 0 to HID - 1 do begin
+        s := 0.0;
+        for i := 0 to OUT_N - 1 do s := s + out_delta[i] * w2[i, j];
+        hid_delta[j] := s * dsigmoid(hid_raw[j])
+      end;
+      for j := 0 to OUT_N - 1 do
+        for i := 0 to HID - 1 do
+          w2[j, i] := w2[j, i] + lr * out_delta[j] * hid_act[i];
+      for j := 0 to HID - 1 do
+        for i := 0 to IN_N - 1 do
+          w1[j, i] := w1[j, i] + lr * hid_delta[j] * pat_in[p, i]
+    end
+  end;
+
+  { weight checksum + final error, scaled to integers }
+  wsum := 0.0;
+  for j := 0 to HID - 1 do
+    for i := 0 to IN_N - 1 do wsum := wsum + w1[j, i];
+  for j := 0 to OUT_N - 1 do
+    for i := 0 to HID - 1 do wsum := wsum + w2[j, i];
+  writeln(trunc(total_err * 1000000.0), ' ', trunc(wsum * 1000.0))
+end;
+
+begin
+  run
+end.
+)PAS";
+
+const char *EqntottPascal = R"PAS(
+program eqntott;
+{ Truth-table sort; cmppt's early-return scan becomes a bound-forcing
+  while that performs the same element comparisons. }
+const
+  NTERMS = 160;
+  NVARS = 40;
+var
+  pt: array[0..NTERMS-1, 0..NVARS-1] of char;
+  order: array[0..NTERMS-1] of integer;
+  cmps, seed: integer;
+
+function nextrand(m: integer): integer;
+begin
+  seed := seed * 1103515245 + 12345;
+  nextrand := (seed shr 16) mod m
+end;
+
+function cmppt(a, b: integer): integer;
+var i, r: integer;
+begin
+  cmps := cmps + 1;
+  { C returns from inside the loop; forcing i to the bound is the same
+    exit without materializing a boolean each iteration }
+  r := 0;
+  i := 0;
+  while i < NVARS do begin
+    if pt[a, i] < pt[b, i] then begin r := -1; i := NVARS end
+    else if pt[a, i] > pt[b, i] then begin r := 1; i := NVARS end
+    else i := i + 1
+  end;
+  cmppt := r
+end;
+
+procedure sortpt(lo, hi: integer);
+var pivot, i, j, t: integer;
+begin
+  if lo < hi then begin
+    pivot := order[(lo + hi) div 2];
+    i := lo;
+    j := hi;
+    while i <= j do begin
+      while cmppt(order[i], pivot) < 0 do i := i + 1;
+      while cmppt(order[j], pivot) > 0 do j := j - 1;
+      if i <= j then begin
+        t := order[i]; order[i] := order[j]; order[j] := t;
+        i := i + 1; j := j - 1
+      end
+    end;
+    sortpt(lo, j);
+    sortpt(i, hi)
+  end
+end;
+
+procedure run;
+var
+  { the MiniC main's locals stay locals: registers, not globals }
+  t, v, r, c, sorted, distinct, h: integer;
+begin
+  seed := 777;
+  for t := 0 to NTERMS - 1 do begin
+    order[t] := t;
+    for v := 0 to NVARS - 1 do begin
+      r := nextrand(10);
+      { mostly don't-cares with sparse 0/1, like real PLA terms }
+      if r < 6 then pt[t, v] := chr(2) else pt[t, v] := chr(r and 1)
+    end
+  end;
+  { duplicate a block of terms so the sort sees equal keys }
+  for t := 0 to 23 do
+    for v := 0 to NVARS - 1 do
+      pt[NTERMS - 1 - t, v] := pt[t, v];
+
+  sortpt(0, NTERMS - 1);
+
+  sorted := 1;
+  distinct := 1;
+  for t := 1 to NTERMS - 1 do begin
+    c := cmppt(order[t - 1], order[t]);
+    if c > 0 then sorted := 0;
+    if c <> 0 then distinct := distinct + 1
+  end;
+  h := 5381;
+  for t := 0 to NTERMS - 1 do
+    for v := 0 to NVARS - 1 do
+      h := h * 31 + ord(pt[order[t], v]);
+
+  writeln(sorted, ' ', distinct, ' ', cmps, ' ', h and $7fffffff)
+end;
+
+begin
+  run
+end.
+)PAS";
+
 Workload Table[NumWorkloads] = {
-    {"li", LiSource, "987 5 45198 44\n", false},
-    {"compress", CompressSource, "1450125514 3115 3370 26351\n", false},
-    {"alvinn", AlvinnSource, "3183146 1256\n", true},
-    {"eqntott", EqntottSource, "1 136 1742 644029541\n", false},
+    {"li", LiSource, "987 5 45198 44\n", false, nullptr},
+    {"compress", CompressSource, "1450125514 3115 3370 26351\n", false,
+     CompressPascal},
+    {"alvinn", AlvinnSource, "3183146 1256\n", true, AlvinnPascal},
+    {"eqntott", EqntottSource, "1 136 1742 644029541\n", false,
+     EqntottPascal},
 };
 
 } // namespace

@@ -32,6 +32,11 @@ struct Workload {
   const char *Source;         ///< MiniC source
   const char *ExpectedOutput; ///< pinned checksum output
   bool FpHeavy;               ///< alvinn-style fp mix
+  /// Pascal port of the same algorithm (nullptr when not ported). Ports
+  /// are written to be bit-equal: same arithmetic, same FP operation
+  /// order, same ExpectedOutput on every engine — the paper's
+  /// language-independence claim made checkable.
+  const char *PascalSource;
 };
 
 constexpr unsigned NumWorkloads = 4;

@@ -5,6 +5,12 @@
 /// without SFI. This test generates seeded random MiniC programs (integer
 /// arithmetic, arrays, bounded loops, function calls) and cross-checks all
 /// engines. Divergence anywhere is a compiler/translator/simulator bug.
+///
+/// A second property rides on the first: language independence. A paired
+/// generator renders each random program into BOTH MiniC and Pascal; the
+/// two modules must agree on output and trap kind on every engine, warm
+/// and cold. Divergence there is a frontend bug — the substrate beneath
+/// the IR cannot tell the languages apart.
 
 #include "driver/Compiler.h"
 #include "host/ModuleHost.h"
@@ -598,3 +604,335 @@ TEST_P(FuzzDifferentialSfiOpt, OptimizedSandboxAgreesWithNaive) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialSfiOpt,
                          ::testing::Range(1u, 9u));
+
+//===----------------------------------------------------------------------===//
+// Cross-language differential: MiniC vs Pascal from one random program
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One expression or statement rendered into both languages. The pair is
+/// built from a single Rng stream, so C and P are the same program. Every
+/// subexpression is fully parenthesized: Pascal's `and`/`or` bind at the
+/// multiplicative/additive level (tighter than C's `&`/`|`), so only
+/// explicit parentheses make the two renderings structurally identical.
+struct Bi {
+  std::string C, P;
+};
+
+Bi biLeaf(Rng &R, unsigned NumVars) {
+  switch (R.range(3)) {
+  case 0: {
+    std::string V = formatStr("v%u", R.range(NumVars));
+    return {V, V};
+  }
+  case 1: {
+    // A Pascal sign applies to the whole simple expression (`-42 shl 2`
+    // is -(42 shl 2), where C's `-42 << 2` shifts -42), so negative
+    // literals are parenthesized on the Pascal side.
+    int Lit = static_cast<int>(R.range(200)) - 100;
+    std::string L = formatStr("%d", Lit);
+    return {L, Lit < 0 ? "(" + L + ")" : L};
+  }
+  default: {
+    std::string A = formatStr("arr[%u]", R.range(8));
+    return {A, A};
+  }
+  }
+}
+
+/// The operator table keeps the languages bit-equal by construction:
+/// right shifts go through a 0x7fffffff mask so the operand is
+/// non-negative — there C's arithmetic `>>` and Pascal's logical `shr`
+/// coincide; divisors/moduli are forced odd/nonzero as in genExpr.
+Bi biExpr(Rng &R, unsigned NumVars, int Depth) {
+  if (Depth <= 0 || R.chance(35))
+    return biLeaf(R, NumVars);
+  Bi L = biExpr(R, NumVars, Depth - 1);
+  Bi Rhs = biExpr(R, NumVars, Depth - 1);
+  switch (R.range(10)) {
+  case 0:
+    return {"(" + L.C + " + " + Rhs.C + ")", "(" + L.P + " + " + Rhs.P + ")"};
+  case 1:
+    return {"(" + L.C + " - " + Rhs.C + ")", "(" + L.P + " - " + Rhs.P + ")"};
+  case 2:
+    return {"(" + L.C + " * " + Rhs.C + ")", "(" + L.P + " * " + Rhs.P + ")"};
+  case 3:
+    return {"(" + L.C + " / ((" + Rhs.C + " & 7) | 1))",
+            "(" + L.P + " div ((" + Rhs.P + " and 7) or 1))"};
+  case 4:
+    return {"(" + L.C + " % ((" + Rhs.C + " & 15) | 3))",
+            "(" + L.P + " mod ((" + Rhs.P + " and 15) or 3))"};
+  case 5:
+    return {"(" + L.C + " ^ " + Rhs.C + ")",
+            "(" + L.P + " xor " + Rhs.P + ")"};
+  case 6:
+    return {"(" + L.C + " & " + Rhs.C + ")",
+            "(" + L.P + " and " + Rhs.P + ")"};
+  case 7:
+    return {"(" + L.C + " | " + Rhs.C + ")",
+            "(" + L.P + " or " + Rhs.P + ")"};
+  case 8:
+    return {"(" + L.C + " << (" + Rhs.C + " & 7))",
+            "(" + L.P + " shl (" + Rhs.P + " and 7))"};
+  default:
+    return {"((" + L.C + " & 0x7fffffff) >> (" + Rhs.C + " & 7))",
+            "((" + L.P + " and $7fffffff) shr (" + Rhs.P + " and 7))"};
+  }
+}
+
+Bi biCond(Rng &R, unsigned NumVars) {
+  static const char *COps[6] = {"<", "<=", ">", ">=", "==", "!="};
+  static const char *POps[6] = {"<", "<=", ">", ">=", "=", "<>"};
+  unsigned Op = R.range(6);
+  Bi L = biExpr(R, NumVars, 1);
+  Bi Rhs = biExpr(R, NumVars, 1);
+  return {L.C + " " + COps[Op] + " " + Rhs.C,
+          L.P + " " + POps[Op] + " " + Rhs.P};
+}
+
+/// Renders one random program into both languages: same globals, same
+/// helper function, same statement sequence, same running hash.
+Bi biProgram(uint32_t Seed) {
+  Rng R(Seed * 0x9E3779B9u + 3u);
+  unsigned NumVars = 3 + R.range(4);
+
+  Bi S;
+  S.C = "void print_int(int);\nint arr[8];\n"
+        "int helper(int a, int b) { return ((a ^ (b << 1)) + (a & b)); }\n"
+        "int main() {\n  int hash = 5381;\n  int i;\n";
+  S.P = "program fuzz;\nvar arr: array[0..7] of integer;\n"
+        "    hash, i";
+  for (unsigned V = 0; V < NumVars; ++V)
+    appendFormat(S.P, ", v%u", V);
+  S.P += ": integer;\n"
+         "function helper(a, b: integer): integer;\n"
+         "begin helper := ((a xor (b shl 1)) + (a and b)) end;\n"
+         "begin\n  hash := 5381;\n";
+
+  for (unsigned V = 0; V < NumVars; ++V) {
+    int Init = static_cast<int>(R.range(100)) - 50;
+    appendFormat(S.C, "  int v%u = %d;\n", V, Init);
+    appendFormat(S.P, "  v%u := %d;\n", V, Init);
+  }
+  for (unsigned I = 0; I < 8; ++I) {
+    int Init = static_cast<int>(R.range(50));
+    appendFormat(S.C, "  arr[%u] = %d;\n", I, Init);
+    appendFormat(S.P, "  arr[%u] := %d;\n", I, Init);
+  }
+
+  unsigned NumStmts = 6 + R.range(8);
+  for (unsigned I = 0; I < NumStmts; ++I) {
+    switch (R.range(5)) {
+    case 0: {
+      unsigned V = R.range(NumVars);
+      Bi E = biExpr(R, NumVars, 3);
+      appendFormat(S.C, "  v%u = %s;\n", V, E.C.c_str());
+      appendFormat(S.P, "  v%u := %s;\n", V, E.P.c_str());
+      break;
+    }
+    case 1: {
+      Bi Idx = biExpr(R, NumVars, 1);
+      Bi Val = biExpr(R, NumVars, 2);
+      appendFormat(S.C, "  arr[(%s) & 7] = %s;\n", Idx.C.c_str(),
+                   Val.C.c_str());
+      appendFormat(S.P, "  arr[(%s) and 7] := %s;\n", Idx.P.c_str(),
+                   Val.P.c_str());
+      break;
+    }
+    case 2: {
+      Bi Cond = biCond(R, NumVars);
+      unsigned VT = R.range(NumVars), VF = R.range(NumVars);
+      Bi ET = biExpr(R, NumVars, 2), EF = biExpr(R, NumVars, 2);
+      appendFormat(S.C, "  if (%s) v%u = %s; else v%u = %s;\n",
+                   Cond.C.c_str(), VT, ET.C.c_str(), VF, EF.C.c_str());
+      appendFormat(S.P, "  if %s then v%u := %s else v%u := %s;\n",
+                   Cond.P.c_str(), VT, ET.P.c_str(), VF, EF.P.c_str());
+      break;
+    }
+    case 3: {
+      unsigned Trip = 1 + R.range(12);
+      unsigned V = R.range(NumVars);
+      Bi E = biExpr(R, NumVars, 1);
+      appendFormat(S.C,
+                   "  for (i = 0; i < %u; i++) { v%u = v%u + (%s); "
+                   "hash = hash * 33 + v%u; }\n",
+                   Trip, V, V, E.C.c_str(), V);
+      appendFormat(S.P,
+                   "  for i := 0 to %u do begin v%u := v%u + (%s); "
+                   "hash := hash * 33 + v%u end;\n",
+                   Trip - 1, V, V, E.P.c_str(), V);
+      break;
+    }
+    default: {
+      unsigned V = R.range(NumVars);
+      Bi A = biExpr(R, NumVars, 1), B = biExpr(R, NumVars, 1);
+      appendFormat(S.C, "  v%u = helper(%s, %s);\n", V, A.C.c_str(),
+                   B.C.c_str());
+      appendFormat(S.P, "  v%u := helper(%s, %s);\n", V, A.P.c_str(),
+                   B.P.c_str());
+      break;
+    }
+    }
+    unsigned HV = R.range(NumVars);
+    appendFormat(S.C, "  hash = hash * 31 + v%u;\n", HV);
+    appendFormat(S.P, "  hash := hash * 31 + v%u;\n", HV);
+  }
+  S.C += "  for (i = 0; i < 8; i++) hash = hash * 31 + arr[i];\n"
+         "  print_int(hash);\n  return 0;\n}\n";
+  S.P += "  for i := 0 to 7 do hash := hash * 31 + arr[i];\n"
+         "  write(hash)\nend.\n";
+  return S;
+}
+
+vm::Module compileLang(const std::string &Source, driver::Language Lang,
+                       uint32_t Seed, const char *Label) {
+  driver::CompileOptions Opts;
+  Opts.Lang = Lang;
+  vm::Module Exe;
+  std::string Error;
+  EXPECT_TRUE(driver::compileAndLink(Source, Opts, Exe, Error))
+      << Label << " seed " << Seed << ": " << Error << "\n"
+      << Source;
+  return Exe;
+}
+
+} // namespace
+
+class FuzzCrossLanguage : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzCrossLanguage, MiniCAndPascalAgreeOnEveryEngine) {
+  uint32_t Seed = GetParam();
+  Bi Prog = biProgram(Seed);
+  vm::Module CExe =
+      compileLang(Prog.C, driver::Language::MiniC, Seed, "minic");
+  vm::Module PExe =
+      compileLang(Prog.P, driver::Language::Pascal, Seed, "pascal");
+
+  // Reference: the MiniC module on the interpreter.
+  runtime::RunResult Ref = runtime::runOnInterpreter(CExe);
+  ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::Halt)
+      << "seed " << Seed << ": " << printTrap(Ref.Trap) << "\n"
+      << Prog.C;
+  ASSERT_FALSE(Ref.Output.empty());
+
+  // Pascal on the interpreter, at both optimization levels.
+  for (int Level : {0, 2}) {
+    driver::CompileOptions Opts;
+    Opts.Lang = driver::Language::Pascal;
+    Opts.Opt =
+        Level == 0 ? ir::OptOptions::none() : ir::OptOptions::aggressive();
+    vm::Module Exe;
+    std::string Error;
+    ASSERT_TRUE(driver::compileAndLink(Prog.P, Opts, Exe, Error))
+        << "seed " << Seed << ": " << Error << "\n"
+        << Prog.P;
+    runtime::RunResult R = runtime::runOnInterpreter(Exe);
+    EXPECT_EQ(R.Output, Ref.Output)
+        << "seed " << Seed << " pascal opt level " << Level << "\n"
+        << Prog.P;
+  }
+
+  // Both modules on every target, with and without SFI.
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    target::TargetKind Kind = target::allTargets(T);
+    for (bool Sfi : {true, false}) {
+      auto Opts = translate::TranslateOptions::mobile(Sfi);
+      for (auto [Exe, Lang] : {std::pair<const vm::Module *, const char *>{
+                                   &CExe, "minic"},
+                               {&PExe, "pascal"}}) {
+        auto R = runtime::runOnTarget(Kind, *Exe, Opts);
+        EXPECT_EQ(R.Run.Trap.Kind, vm::TrapKind::Halt)
+            << Lang << " seed " << Seed << " on " << getTargetName(Kind)
+            << " sfi=" << Sfi << ": " << printTrap(R.Run.Trap);
+        EXPECT_EQ(R.Run.Output, Ref.Output)
+            << Lang << " seed " << Seed << " on " << getTargetName(Kind)
+            << " sfi=" << Sfi << "\n"
+            << Prog.P;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCrossLanguage, ::testing::Range(1u, 13u));
+
+class FuzzCrossLanguageTraps : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzCrossLanguageTraps, DivideByZeroTrapsIdenticallyInBothLanguages) {
+  uint32_t Seed = GetParam();
+  Rng R(Seed + 0x9A5CA1u);
+  int V = static_cast<int>(R.range(50)) + 1;
+  unsigned Pre = 100 + R.range(900);
+  int Num = static_cast<int>(R.range(100));
+
+  // Zero divisor materialized through memory in both languages so no
+  // frontend or optimization level can fold the trap away.
+  std::string C = "void print_int(int);\nint arr[8];\nint main() {\n";
+  appendFormat(C, "  arr[3] = %d;\n  arr[5] = arr[3] - %d;\n", V, V);
+  appendFormat(C, "  print_int(%u);\n", Pre);
+  appendFormat(C, "  print_int((%d + arr[3]) / arr[5]);\n  return 0;\n}\n",
+               Num);
+  std::string P = "program boom;\nvar arr: array[0..7] of integer;\nbegin\n";
+  appendFormat(P, "  arr[3] := %d;\n  arr[5] := arr[3] - %d;\n", V, V);
+  appendFormat(P, "  write(%u);\n", Pre);
+  appendFormat(P, "  write((%d + arr[3]) div arr[5])\nend.\n", Num);
+
+  vm::Module CExe = compileLang(C, driver::Language::MiniC, Seed, "minic");
+  vm::Module PExe = compileLang(P, driver::Language::Pascal, Seed, "pascal");
+  runtime::RunResult Ref = runtime::runOnInterpreter(CExe);
+  ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::DivideByZero)
+      << "seed " << Seed << ": " << printTrap(Ref.Trap);
+
+  // Pascal must trap with the same kind AND the same output-before-trap,
+  // on the interpreter and on every target x SFI config.
+  runtime::RunResult PRef = runtime::runOnInterpreter(PExe);
+  EXPECT_EQ(PRef.Trap.Kind, Ref.Trap.Kind) << "seed " << Seed;
+  EXPECT_EQ(PRef.Output, Ref.Output) << "seed " << Seed;
+  for (unsigned T = 0; T < target::NumTargets; ++T) {
+    target::TargetKind Kind = target::allTargets(T);
+    for (bool Sfi : {true, false}) {
+      auto R2 = runtime::runOnTarget(Kind, PExe,
+                                     translate::TranslateOptions::mobile(Sfi));
+      EXPECT_EQ(R2.Run.Trap.Kind, vm::TrapKind::DivideByZero)
+          << "pascal seed " << Seed << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi << ": " << printTrap(R2.Run.Trap);
+      EXPECT_EQ(R2.Run.Output, Ref.Output)
+          << "pascal seed " << Seed << " on " << getTargetName(Kind)
+          << " sfi=" << Sfi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCrossLanguageTraps,
+                         ::testing::Range(1u, 5u));
+
+TEST(FuzzCrossLanguageWarm, BothLanguagesServeBitIdenticallyWarmAndCold) {
+  // Seeds outside the FuzzCrossLanguage range, so the first load of each
+  // module here is a guaranteed cold translation in the shared host.
+  for (uint32_t Seed : {3001u, 4007u}) {
+    Bi Prog = biProgram(Seed);
+    vm::Module CExe =
+        compileLang(Prog.C, driver::Language::MiniC, Seed, "minic");
+    vm::Module PExe =
+        compileLang(Prog.P, driver::Language::Pascal, Seed, "pascal");
+    runtime::RunResult Ref = runtime::runOnInterpreter(CExe);
+    ASSERT_EQ(Ref.Trap.Kind, vm::TrapKind::Halt) << "seed " << Seed;
+
+    auto Mobile = translate::TranslateOptions::mobile(true);
+    for (auto [Exe, Lang] :
+         {std::pair<const vm::Module *, const char *>{&CExe, "minic"},
+          {&PExe, "pascal"}}) {
+      auto Cold = runtime::runOnTarget(target::TargetKind::Ppc, *Exe, Mobile);
+      auto Warm = runtime::runOnTarget(target::TargetKind::Ppc, *Exe, Mobile);
+      for (const auto *Run : {&Cold, &Warm}) {
+        EXPECT_EQ(Run->Run.Trap.Kind, vm::TrapKind::Halt)
+            << Lang << " seed " << Seed;
+        EXPECT_EQ(Run->Run.Output, Ref.Output) << Lang << " seed " << Seed;
+      }
+      // Warm service re-ran the same translation bit-identically.
+      EXPECT_EQ(Warm.Run.InstrCount, Cold.Run.InstrCount)
+          << Lang << " seed " << Seed;
+      EXPECT_EQ(Warm.CodeSize, Cold.CodeSize) << Lang << " seed " << Seed;
+    }
+  }
+}

@@ -1,0 +1,13 @@
+//===- tools/omnicc.cpp - command-line OmniVM compiler --------------------===//
+///
+/// Thin wrapper: all logic (argument parsing, language selection, the
+/// --help text) lives in driver::compilerMain so it is testable without
+/// spawning a process.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+int main(int argc, char **argv) {
+  return omni::driver::compilerMain(argc, argv);
+}

@@ -191,6 +191,22 @@ int main(int argc, char **argv) {
       }
       for (target::TargetKind Kind : Cli.Targets)
         AllOk &= checkOne(WL.Name, Exe, Kind, Cli);
+
+      // The Pascal port of the same workload: a different frontend,
+      // the same proof obligations. CI runs this matrix with and
+      // without --sfi-opt.
+      if (!WL.PascalSource)
+        continue;
+      driver::CompileOptions PasOpts;
+      PasOpts.Lang = driver::Language::Pascal;
+      vm::Module PasExe;
+      if (!driver::compileAndLink(WL.PascalSource, PasOpts, PasExe, Error)) {
+        std::printf("%s.pas: compile failed: %s\n", WL.Name, Error.c_str());
+        AllOk = false;
+        continue;
+      }
+      for (target::TargetKind Kind : Cli.Targets)
+        AllOk &= checkOne(std::string(WL.Name) + ".pas", PasExe, Kind, Cli);
     }
   }
   for (const std::string &Path : Cli.Files) {
